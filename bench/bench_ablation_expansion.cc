@@ -1,0 +1,154 @@
+// Ablation A1 (DESIGN.md): the Trigger algorithm with and without the
+// schema-aware descendant expansion of Sec. 5.3.  Without the rewrite,
+// rules whose predicates use `//` can silently fail to fire (the paper's
+// R1/R5 example) — we count those misses across an update workload, and
+// time the trigger itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "policy/trigger.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+#include "xml/schema_graph.h"
+#include "xpath/parser.h"
+
+namespace xmlac::bench {
+namespace {
+
+// A policy over the XMark vocabulary whose predicates reach *through*
+// intermediate elements with a descendant axis (person -> profile -> age,
+// item -> mailbox -> mail -> from, ...).  An update deleting such an
+// intermediate element (e.g. //profile) changes the predicates' outcomes,
+// but only the schema rewrite makes Trigger see that — the paper's R1/R5
+// scenario.
+policy::Policy DescendantHeavyPolicy() {
+  const char* kText = R"(
+default deny
+conflict deny
+allow //person
+allow //item
+allow //open_auction
+allow //closed_auction
+deny  //person[.//age]
+deny  //item[.//from]
+deny  //open_auction[.//personref]
+deny  //closed_auction[.//happiness]
+)";
+  auto p = policy::ParsePolicy(kText);
+  XMLAC_CHECK(p.ok());
+  return std::move(*p);
+}
+
+// Updates aimed at the intermediate elements the predicates pass through,
+// mixed with the generic workload.
+std::vector<xpath::Path> IntermediateUpdates() {
+  std::vector<xpath::Path> out;
+  for (const char* expr :
+       {"//profile", "//mailbox", "//mail", "//bidder", "//annotation",
+        "//person/profile", "//item/mailbox", "//open_auction/bidder",
+        "//closed_auction/annotation"}) {
+    auto p = xpath::ParsePath(expr);
+    XMLAC_CHECK(p.ok());
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+struct AblationResult {
+  double with_seconds = 0;
+  double without_seconds = 0;
+  size_t with_fired = 0;
+  size_t without_fired = 0;
+  size_t updates_with_misses = 0;
+};
+
+AblationResult Run(const std::vector<xpath::Path>& updates) {
+  policy::Policy p = DescendantHeavyPolicy();
+  xml::SchemaGraph schema(XmarkDtd());
+  policy::TriggerIndex with_rewrite(p, &schema);
+  policy::TriggerOptions opt;
+  opt.expansion.schema_rewrite = false;
+  policy::TriggerIndex without_rewrite(p, &schema, opt);
+
+  AblationResult out;
+  for (const xpath::Path& u : updates) {
+    Timer t1;
+    auto a = with_rewrite.Trigger(u);
+    out.with_seconds += t1.ElapsedSeconds();
+    Timer t2;
+    auto b = without_rewrite.Trigger(u);
+    out.without_seconds += t2.ElapsedSeconds();
+    out.with_fired += a.size();
+    out.without_fired += b.size();
+    if (b.size() < a.size()) ++out.updates_with_misses;
+  }
+  return out;
+}
+
+std::vector<xpath::Path> Updates() {
+  const xml::Document& doc = XmarkDocument(0.1);
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = 46;
+  auto out = workload::GenerateQueries(doc, qopt);
+  for (auto& u : IntermediateUpdates()) out.push_back(std::move(u));
+  return out;
+}
+
+void BM_TriggerWithRewrite(benchmark::State& state) {
+  auto updates = Updates();
+  policy::Policy p = DescendantHeavyPolicy();
+  xml::SchemaGraph schema(XmarkDtd());
+  policy::TriggerIndex index(p, &schema);
+  for (auto _ : state) {
+    size_t fired = 0;
+    for (const xpath::Path& u : updates) fired += index.Trigger(u).size();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+
+void BM_TriggerWithoutRewrite(benchmark::State& state) {
+  auto updates = Updates();
+  policy::Policy p = DescendantHeavyPolicy();
+  xml::SchemaGraph schema(XmarkDtd());
+  policy::TriggerOptions opt;
+  opt.expansion.schema_rewrite = false;
+  policy::TriggerIndex index(p, &schema, opt);
+  for (auto _ : state) {
+    size_t fired = 0;
+    for (const xpath::Path& u : updates) fired += index.Trigger(u).size();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+
+BENCHMARK(BM_TriggerWithRewrite)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TriggerWithoutRewrite)->Unit(benchmark::kMicrosecond);
+
+void PrintAblation() {
+  auto updates = Updates();
+  AblationResult r = Run(updates);
+  std::printf("\nAblation A1: schema-aware expansion in Trigger "
+              "(55 updates, descendant-heavy policy)\n");
+  std::printf("%28s %14s %14s\n", "", "with rewrite", "without");
+  std::printf("%28s %14.6f %14.6f\n", "total trigger time (s)",
+              r.with_seconds, r.without_seconds);
+  std::printf("%28s %14zu %14zu\n", "rules fired (total)", r.with_fired,
+              r.without_fired);
+  std::printf("%28s %14s %14zu\n", "updates with missed rules", "-",
+              r.updates_with_misses);
+  std::printf("A missed rule means stale annotations after the update "
+              "(incorrect behaviour).\n\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

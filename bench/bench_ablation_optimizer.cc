@@ -1,0 +1,153 @@
+// Ablation A2 (DESIGN.md): the redundancy-elimination optimizer of
+// Sec. 5.1.  We inflate a coverage policy with rules contained in existing
+// ones (the R4/R7/R8 pattern of Table 1) and measure annotation time with
+// and without optimization, plus the optimizer's own cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "policy/optimizer.h"
+#include "workload/coverage.h"
+#include "xpath/parser.h"
+
+namespace xmlac::bench {
+namespace {
+
+// Adds, for every //a/b rule in `base`, redundant specialisations
+// //a/b[...] with the same effect.
+policy::Policy InflateWithRedundantRules(const policy::Policy& base,
+                                         const xml::Document& doc) {
+  policy::Policy out(base.default_semantics(), base.conflict_resolution());
+  for (const policy::Rule& r : base.rules()) {
+    out.AddRule(r);
+  }
+  for (const policy::Rule& r : base.rules()) {
+    const auto& steps = r.resource.steps;
+    if (steps.empty()) continue;
+    const std::string& tip = steps.back().label;
+    // //...tip[child] for every child label seen under tip in the document.
+    std::set<std::string> child_labels;
+    for (xml::NodeId id : doc.AllElements()) {
+      const xml::Node& n = doc.node(id);
+      if (n.parent != xml::kInvalidNode &&
+          doc.node(n.parent).label == tip) {
+        child_labels.insert(n.label);
+      }
+    }
+    size_t added = 0;
+    for (const std::string& c : child_labels) {
+      if (added >= 2) break;
+      auto parsed = xpath::ParsePath(xpath::ToString(r.resource) + "[" + c +
+                                     "]");
+      if (!parsed.ok()) continue;
+      policy::Rule redundant;
+      redundant.resource = std::move(*parsed);
+      redundant.effect = r.effect;
+      out.AddRule(std::move(redundant));
+      ++added;
+    }
+  }
+  return out;
+}
+
+struct A2Result {
+  size_t rules_before = 0;
+  size_t rules_after = 0;
+  double optimize_seconds = 0;
+  double annotate_unopt_seconds = 0;
+  double annotate_opt_seconds = 0;
+};
+
+A2Result Run(double factor, BackendKind kind) {
+  const xml::Document& doc = XmarkDocument(factor);
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto base = workload::GenerateCoveragePolicy(doc, copt);
+  XMLAC_CHECK(base.ok());
+  policy::Policy inflated = InflateWithRedundantRules(*base, doc);
+
+  A2Result out;
+  out.rules_before = inflated.size();
+  Timer topt;
+  policy::Policy optimized = policy::EliminateRedundantRules(inflated);
+  out.optimize_seconds = topt.ElapsedSeconds();
+  out.rules_after = optimized.size();
+
+  auto annotate = [&](const policy::Policy& p) {
+    auto backend = MakeBackend(kind);
+    Status st = backend->Load(XmarkDtd(), doc);
+    XMLAC_CHECK_MSG(st.ok(), st.ToString());
+    Timer t;
+    auto ann = engine::AnnotateFull(backend.get(), p);
+    XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+    return t.ElapsedSeconds();
+  };
+  out.annotate_unopt_seconds = annotate(inflated);
+  out.annotate_opt_seconds = annotate(optimized);
+  return out;
+}
+
+void BM_AnnotateUnoptimized(benchmark::State& state) {
+  auto kind = static_cast<BackendKind>(state.range(0));
+  for (auto _ : state) {
+    A2Result r = Run(0.1, kind);
+    state.SetIterationTime(r.annotate_unopt_seconds);
+  }
+  state.SetLabel(BackendName(kind));
+}
+
+void BM_AnnotateOptimized(benchmark::State& state) {
+  auto kind = static_cast<BackendKind>(state.range(0));
+  for (auto _ : state) {
+    A2Result r = Run(0.1, kind);
+    state.SetIterationTime(r.annotate_opt_seconds + r.optimize_seconds);
+  }
+  state.SetLabel(BackendName(kind));
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 3; ++b) {
+    benchmark::RegisterBenchmark("A2/AnnotateUnoptimized",
+                                 BM_AnnotateUnoptimized)
+        ->Arg(b)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("A2/AnnotateOptimizedPlusOptimizerCost",
+                                 BM_AnnotateOptimized)
+        ->Arg(b)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintAblation() {
+  std::printf("\nAblation A2: policy optimizer (redundancy elimination), "
+              "f=0.1, coverage 50%%\n");
+  std::printf("%10s %8s %8s %10s %12s %12s\n", "backend", "rules", "kept",
+              "opt(s)", "ann-unopt(s)", "ann-opt(s)");
+  for (int b = 0; b < 3; ++b) {
+    auto kind = static_cast<BackendKind>(b);
+    A2Result r = Run(0.1, kind);
+    std::printf("%10s %8zu %8zu %10.4f %12.4f %12.4f\n", BackendName(kind),
+                r.rules_before, r.rules_after, r.optimize_seconds,
+                r.annotate_unopt_seconds, r.annotate_opt_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintAblation();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

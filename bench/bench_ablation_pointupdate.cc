@@ -1,0 +1,95 @@
+// Ablation A3 (DESIGN.md): the hash index under Algorithm Annotate's
+// per-tuple UPDATEs (paper Fig. 6).  Phase two of annotation issues one
+// `UPDATE t SET s = '+' WHERE id = k` per marked tuple; with the id index
+// each touches one row, without it each scans the whole table — the
+// difference is the gap between the paper's usable relational timings and a
+// quadratic blowup.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "workload/coverage.h"
+
+namespace xmlac::bench {
+namespace {
+
+double AnnotateOnce(double factor, reldb::StorageKind storage,
+                    bool with_indexes) {
+  const xml::Document& doc = XmarkDocument(factor);
+  engine::RelationalOptions opt;
+  opt.storage = storage;
+  opt.create_indexes = with_indexes;
+  opt.load_via_sql = false;  // isolate the annotation cost
+  engine::RelationalBackend backend(opt);
+  Status st = backend.Load(XmarkDtd(), doc);
+  XMLAC_CHECK_MSG(st.ok(), st.ToString());
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto policy = workload::GenerateCoveragePolicy(doc, copt);
+  XMLAC_CHECK(policy.ok());
+  Timer t;
+  auto ann = engine::AnnotateFull(&backend, *policy);
+  XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+  return t.ElapsedSeconds();
+}
+
+void BM_AnnotateIndexed(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(
+        AnnotateOnce(factor, reldb::StorageKind::kRowStore, true));
+  }
+}
+
+void BM_AnnotateUnindexed(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(
+        AnnotateOnce(factor, reldb::StorageKind::kRowStore, false));
+  }
+}
+
+void RegisterAll() {
+  // Unindexed annotation is quadratic; keep the sweep small.
+  for (double f : {0.001, 0.01, 0.05, 0.1}) {
+    benchmark::RegisterBenchmark("A3/AnnotateIndexed", BM_AnnotateIndexed)
+        ->Arg(EncodeFactor(f))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("A3/AnnotateUnindexed", BM_AnnotateUnindexed)
+        ->Arg(EncodeFactor(f))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintAblation() {
+  std::printf("\nAblation A3: id/pid hash indexes under the per-tuple "
+              "UPDATE loop (row store, coverage 50%%)\n");
+  std::printf("%10s %14s %14s %10s\n", "factor", "indexed(s)",
+              "unindexed(s)", "slowdown");
+  for (double f : {0.001, 0.01, 0.05, 0.1}) {
+    double with = AnnotateOnce(f, reldb::StorageKind::kRowStore, true);
+    double without = AnnotateOnce(f, reldb::StorageKind::kRowStore, false);
+    std::printf("%10g %14.4f %14.4f %9.1fx\n", f, with, without,
+                without / (with > 0 ? with : 1e-9));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintAblation();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

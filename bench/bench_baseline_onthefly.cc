@@ -1,0 +1,139 @@
+// Baseline comparison: materialized annotations (the paper's approach)
+// vs on-the-fly enforcement (related work [23], no stored signs).
+//
+// Two panels:
+//   1. per-request response time — on-the-fly pays the policy evaluation on
+//      every request, materialized pays it once at annotation time;
+//   2. break-even — after how many requests the one-off annotation cost is
+//      amortised.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "engine/onthefly.h"
+#include "engine/requester.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+
+namespace xmlac::bench {
+namespace {
+
+struct Setup {
+  const xml::Document* doc;
+  policy::Policy policy;
+  std::vector<xpath::Path> queries;
+};
+
+Setup Prepare(double factor) {
+  Setup s;
+  s.doc = &XmarkDocument(factor);
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto policy = workload::GenerateCoveragePolicy(*s.doc, copt);
+  XMLAC_CHECK(policy.ok());
+  s.policy = std::move(*policy);
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = 55;
+  s.queries = workload::GenerateQueries(*s.doc, qopt);
+  return s;
+}
+
+struct Measured {
+  double annotate_s = 0;       // one-off cost of the materialized approach
+  double per_query_mat_s = 0;  // avg request, annotated store
+  double per_query_otf_s = 0;  // avg request, on-the-fly
+};
+
+Measured Run(double factor) {
+  Setup s = Prepare(factor);
+  Measured m;
+
+  engine::NativeXmlBackend backend;
+  Status st = backend.Load(XmarkDtd(), *s.doc);
+  XMLAC_CHECK_MSG(st.ok(), st.ToString());
+  Timer t;
+  auto ann = engine::AnnotateFull(&backend, s.policy);
+  m.annotate_s = t.ElapsedSeconds();
+  XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+
+  t.Reset();
+  for (const xpath::Path& q : s.queries) {
+    (void)engine::Request(&backend, q);
+  }
+  m.per_query_mat_s = t.ElapsedSeconds() / s.queries.size();
+
+  engine::OnTheFlyRequester otf(s.policy);
+  t.Reset();
+  for (const xpath::Path& q : s.queries) {
+    (void)otf.Request(*s.doc, q);
+  }
+  m.per_query_otf_s = t.ElapsedSeconds() / s.queries.size();
+  return m;
+}
+
+void BM_MaterializedRequest(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(Run(factor).per_query_mat_s);
+  }
+}
+
+void BM_OnTheFlyRequest(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(Run(factor).per_query_otf_s);
+  }
+}
+
+void RegisterAll() {
+  for (double f : {0.001, 0.01, 0.1, 1.0}) {
+    benchmark::RegisterBenchmark("Baseline/MaterializedRequest",
+                                 BM_MaterializedRequest)
+        ->Arg(EncodeFactor(f))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Baseline/OnTheFlyRequest",
+                                 BM_OnTheFlyRequest)
+        ->Arg(EncodeFactor(f))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintComparison() {
+  std::printf("\nBaseline: materialized annotations vs on-the-fly "
+              "enforcement (native store, 55 queries, coverage 50%%)\n");
+  std::printf("%10s %12s %14s %14s %12s %12s\n", "factor", "annotate(s)",
+              "request-mat(s)", "request-otf(s)", "otf/mat", "break-even");
+  for (double f : {0.001, 0.01, 0.1, 1.0}) {
+    Measured m = Run(f);
+    double ratio = m.per_query_otf_s /
+                   (m.per_query_mat_s > 0 ? m.per_query_mat_s : 1e-9);
+    // Requests after which annotate-once-then-query is cheaper in total.
+    double diff = m.per_query_otf_s - m.per_query_mat_s;
+    double breakeven = diff > 0 ? std::ceil(m.annotate_s / diff) : INFINITY;
+    std::printf("%10g %12.4f %14.6f %14.6f %11.1fx %12.0f\n", f,
+                m.annotate_s, m.per_query_mat_s, m.per_query_otf_s, ratio,
+                breakeven);
+  }
+  std::printf("The materialized approach amortises after 'break-even' "
+              "requests per document version.\n\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintComparison();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 10 of the paper: average response time of 55 user queries
+// (all-or-nothing requester) per backend as the document grows.  Expected
+// shape: roughly linear in document size; the native XML store answers much
+// faster than the relational engines (the paper reports ~34x).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "engine/requester.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+
+namespace xmlac::bench {
+namespace {
+
+// Measures the average response time of the 55-query workload against an
+// annotated store.
+double AvgResponseSeconds(engine::Backend* backend,
+                          const std::vector<xpath::Path>& queries) {
+  Timer t;
+  size_t granted = 0;
+  for (const xpath::Path& q : queries) {
+    auto r = engine::Request(backend, q);
+    if (r.ok() && r->granted) ++granted;
+    // Denied requests are normal outcomes, not errors.
+  }
+  benchmark::DoNotOptimize(granted);
+  return t.ElapsedSeconds() / static_cast<double>(queries.size());
+}
+
+struct PreparedStore {
+  std::unique_ptr<engine::Backend> backend;
+  std::vector<xpath::Path> queries;
+};
+
+PreparedStore Prepare(double factor, BackendKind kind) {
+  PreparedStore out;
+  const xml::Document& doc = XmarkDocument(factor);
+  out.backend = MakeBackend(kind);
+  Status st = out.backend->Load(XmarkDtd(), doc);
+  XMLAC_CHECK_MSG(st.ok(), st.ToString());
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto policy = workload::GenerateCoveragePolicy(doc, copt);
+  XMLAC_CHECK(policy.ok());
+  auto ann = engine::AnnotateFull(out.backend.get(), *policy);
+  XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = 55;
+  out.queries = workload::GenerateQueries(doc, qopt);
+  return out;
+}
+
+void BM_Response(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  auto kind = static_cast<BackendKind>(state.range(1));
+  PreparedStore store = Prepare(factor, kind);
+  for (auto _ : state) {
+    state.SetIterationTime(
+        AvgResponseSeconds(store.backend.get(), store.queries));
+  }
+  state.SetLabel(std::string(BackendName(kind)) +
+                 " f=" + std::to_string(factor) + " avg-over-55-queries");
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 3; ++b) {
+    for (double f : Factors()) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig10/Response/") +
+           BackendName(static_cast<BackendKind>(b)))
+              .c_str(),
+          BM_Response)
+          ->Args({EncodeFactor(f), b})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintFigure10() {
+  std::printf("\nFigure 10: avg response time (seconds) over 55 queries\n");
+  std::printf("%10s %12s %12s %12s\n", "factor", "xquery", "monetsql",
+              "postgres");
+  for (double f : Factors()) {
+    double secs[3];
+    for (int b = 0; b < 3; ++b) {
+      PreparedStore store = Prepare(f, static_cast<BackendKind>(b));
+      secs[b] = AvgResponseSeconds(store.backend.get(), store.queries);
+    }
+    std::printf("%10g %12.6f %12.6f %12.6f\n", f,
+                secs[static_cast<int>(BackendKind::kNative)],
+                secs[static_cast<int>(BackendKind::kColumn)],
+                secs[static_cast<int>(BackendKind::kRow)]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintFigure10();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 11 of the paper: average annotation time against policy coverage
+// (25-70% of the document), one curve per document factor, one panel per
+// backend.  Expected shape: annotation time grows with both document size
+// and coverage; the native store wins in the long run.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "workload/coverage.h"
+
+namespace xmlac::bench {
+namespace {
+
+const std::vector<double>& Coverages() {
+  static const auto* kCoverages =
+      new std::vector<double>{0.25, 0.40, 0.55, 0.70};
+  return *kCoverages;
+}
+
+// Smaller factor sweep: annotation at high coverage touches most tuples.
+const std::vector<double>& AnnotationFactors() {
+  static const auto* kFactors =
+      new std::vector<double>{0.0001, 0.001, 0.01, 0.1, 1.0};
+  return *kFactors;
+}
+
+double AnnotateOnce(double factor, BackendKind kind, double coverage,
+                    double* achieved) {
+  const xml::Document& doc = XmarkDocument(factor);
+  auto backend = MakeBackend(kind);
+  Status st = backend->Load(XmarkDtd(), doc);
+  XMLAC_CHECK_MSG(st.ok(), st.ToString());
+  workload::CoverageOptions copt;
+  copt.target = coverage;
+  auto policy = workload::GenerateCoveragePolicy(doc, copt);
+  XMLAC_CHECK(policy.ok());
+  if (achieved != nullptr) {
+    *achieved = workload::MeasureCoverage(*policy, doc);
+  }
+  Timer t;
+  auto ann = engine::AnnotateFull(backend.get(), *policy);
+  double seconds = t.ElapsedSeconds();
+  XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+  return seconds;
+}
+
+void BM_Annotate(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  auto kind = static_cast<BackendKind>(state.range(1));
+  double coverage = state.range(2) / 100.0;
+  double achieved = 0;
+  for (auto _ : state) {
+    state.SetIterationTime(AnnotateOnce(factor, kind, coverage, &achieved));
+  }
+  state.counters["coverage_pct"] = benchmark::Counter(achieved * 100.0);
+  state.SetLabel(std::string(BackendName(kind)) +
+                 " f=" + std::to_string(factor));
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 3; ++b) {
+    for (double f : AnnotationFactors()) {
+      for (double c : Coverages()) {
+        benchmark::RegisterBenchmark(
+            (std::string("Fig11/Annotate/") +
+             BackendName(static_cast<BackendKind>(b)))
+                .c_str(),
+            BM_Annotate)
+            ->Args({EncodeFactor(f), b, static_cast<int64_t>(c * 100)})
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void PrintFigure11() {
+  int panel = 0;
+  for (BackendKind kind : PanelOrder()) {
+    std::printf("\nFigure 11(%c): avg annotation time (seconds), %s\n",
+                'a' + panel++, BackendName(kind));
+    std::printf("%14s", "coverage->");
+    for (double c : Coverages()) std::printf(" %11.0f%%", c * 100);
+    std::printf("\n");
+    for (double f : AnnotationFactors()) {
+      std::printf("f=%-12g", f);
+      for (double c : Coverages()) {
+        std::printf(" %12.4f", AnnotateOnce(f, kind, c, nullptr));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintFigure11();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9 of the paper: average loading time per backend as the document
+// factor grows.  Expected shape: native XML loading is over an order of
+// magnitude faster than executing the shredded INSERT script; between the
+// relational engines the row store loads faster than the column store.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xmlac::bench {
+namespace {
+
+void BM_Load(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  auto kind = static_cast<BackendKind>(state.range(1));
+  const xml::Document& doc = XmarkDocument(factor);
+  for (auto _ : state) {
+    auto backend = MakeBackend(kind);
+    Timer t;
+    Status st = backend->Load(XmarkDtd(), doc);
+    double seconds = t.ElapsedSeconds();
+    XMLAC_CHECK_MSG(st.ok(), st.ToString());
+    state.SetIterationTime(seconds);
+    state.counters["nodes"] =
+        benchmark::Counter(static_cast<double>(backend->NodeCount()));
+  }
+  state.SetLabel(std::string(BackendName(kind)) +
+                 " f=" + std::to_string(factor));
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 3; ++b) {
+    for (double f : Factors()) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig9/Load/") +
+           BackendName(static_cast<BackendKind>(b)))
+              .c_str(),
+          BM_Load)
+          ->Args({EncodeFactor(f), b})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintFigure9() {
+  std::printf("\nFigure 9: avg loading time (seconds) per backend\n");
+  std::printf("%10s %12s %12s %12s\n", "factor", "xquery", "monetsql",
+              "postgres");
+  for (double f : Factors()) {
+    const xml::Document& doc = XmarkDocument(f);
+    double secs[3];
+    for (int b = 0; b < 3; ++b) {
+      auto backend = MakeBackend(static_cast<BackendKind>(b));
+      Timer t;
+      Status st = backend->Load(XmarkDtd(), doc);
+      XMLAC_CHECK_MSG(st.ok(), st.ToString());
+      secs[b] = t.ElapsedSeconds();
+    }
+    std::printf("%10g %12.4f %12.4f %12.4f\n", f,
+                secs[static_cast<int>(BackendKind::kNative)],
+                secs[static_cast<int>(BackendKind::kColumn)],
+                secs[static_cast<int>(BackendKind::kRow)]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintFigure9();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

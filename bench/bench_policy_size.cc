@@ -1,0 +1,139 @@
+// Policy-size sweep: Sec. 7.1 lists "size of the policy" among the
+// evaluation parameters but the paper shows no dedicated figure for it.
+// This bench completes the grid: annotation time, trigger-index
+// construction (expansion + dependency graph, O(n^2) containment) and
+// per-update Trigger cost as the rule count grows, document fixed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/annotator.h"
+#include "policy/trigger.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+#include "xml/schema_graph.h"
+#include "xpath/parser.h"
+
+namespace xmlac::bench {
+namespace {
+
+// A policy with exactly `n` rules over the document's vocabulary: cycles
+// through the path-statistics candidates, alternating in a small fraction
+// of denies.
+policy::Policy PolicyOfSize(const xml::Document& doc, size_t n) {
+  auto stats = workload::PathStatistics(doc);
+  policy::Policy out(policy::DefaultSemantics::kDeny,
+                     policy::ConflictResolution::kDenyOverrides);
+  size_t i = 0;
+  while (out.size() < n) {
+    for (const auto& [path, count] : stats) {
+      if (out.size() >= n) break;
+      if (count == 0) continue;
+      policy::Rule r;
+      auto parsed = xpath::ParsePath(path);
+      XMLAC_CHECK(parsed.ok());
+      r.resource = std::move(*parsed);
+      r.effect = (i % 7 == 6) ? policy::Effect::kDeny : policy::Effect::kAllow;
+      out.AddRule(std::move(r));
+      ++i;
+    }
+    if (stats.empty()) break;
+  }
+  return out;
+}
+
+struct SizeResult {
+  double annotate_s = 0;
+  double index_build_s = 0;
+  double trigger_us = 0;  // avg per update over the 55-query workload
+};
+
+SizeResult Run(size_t rules, BackendKind kind) {
+  const double kFactor = 0.1;
+  const xml::Document& doc = XmarkDocument(kFactor);
+  policy::Policy policy = PolicyOfSize(doc, rules);
+
+  auto backend = MakeBackend(kind);
+  Status st = backend->Load(XmarkDtd(), doc);
+  XMLAC_CHECK_MSG(st.ok(), st.ToString());
+
+  SizeResult out;
+  Timer t;
+  auto ann = engine::AnnotateFull(backend.get(), policy);
+  out.annotate_s = t.ElapsedSeconds();
+  XMLAC_CHECK_MSG(ann.ok(), ann.status().ToString());
+
+  xml::SchemaGraph schema(XmarkDtd());
+  t.Reset();
+  policy::TriggerIndex index(policy, &schema);
+  out.index_build_s = t.ElapsedSeconds();
+
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = 55;
+  auto updates = workload::GenerateQueries(doc, qopt);
+  t.Reset();
+  size_t fired = 0;
+  for (const auto& u : updates) fired += index.Trigger(u).size();
+  out.trigger_us =
+      t.ElapsedSeconds() * 1e6 / static_cast<double>(updates.size());
+  benchmark::DoNotOptimize(fired);
+  return out;
+}
+
+const std::vector<size_t>& RuleCounts() {
+  static const auto* kCounts = new std::vector<size_t>{5, 10, 20, 50, 100};
+  return *kCounts;
+}
+
+void BM_AnnotateByPolicySize(benchmark::State& state) {
+  auto kind = static_cast<BackendKind>(state.range(1));
+  for (auto _ : state) {
+    SizeResult r = Run(static_cast<size_t>(state.range(0)), kind);
+    state.SetIterationTime(r.annotate_s);
+    state.counters["trigger_us"] = benchmark::Counter(r.trigger_us);
+  }
+  state.SetLabel(BackendName(kind));
+}
+
+void RegisterAll() {
+  for (int b = 0; b < 3; ++b) {
+    for (size_t n : RuleCounts()) {
+      benchmark::RegisterBenchmark("PolicySize/Annotate",
+                                   BM_AnnotateByPolicySize)
+          ->Args({static_cast<int64_t>(n), b})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintSweep() {
+  std::printf("\nPolicy-size sweep (document factor 0.1, 55-update trigger "
+              "workload)\n");
+  std::printf("%7s | %10s %10s %10s | %12s %12s\n", "rules", "ann-xq(s)",
+              "ann-col(s)", "ann-row(s)", "index(s)", "trigger(us)");
+  for (size_t n : RuleCounts()) {
+    SizeResult xq = Run(n, BackendKind::kNative);
+    SizeResult col = Run(n, BackendKind::kColumn);
+    SizeResult row = Run(n, BackendKind::kRow);
+    std::printf("%7zu | %10.4f %10.4f %10.4f | %12.4f %12.1f\n", n,
+                xq.annotate_s, col.annotate_s, row.annotate_s,
+                xq.index_build_s, xq.trigger_us);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintSweep();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

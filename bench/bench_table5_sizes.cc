@@ -1,0 +1,79 @@
+// Table 5 of the paper: "Documents generated with xmlgen and their sizes"
+// — XML bytes vs shredded-SQL bytes per scale factor.
+//
+// Absolute sizes are scaled down from the paper's (see DESIGN.md); the
+// property the table demonstrates — SQL scripts of the same order as the
+// XML, with the XML/SQL ratio drifting as documents grow — is reproduced.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "shred/mapping.h"
+#include "shred/shredder.h"
+#include "xml/serializer.h"
+
+namespace xmlac::bench {
+namespace {
+
+void BM_GenerateAndShred(benchmark::State& state) {
+  double factor = DecodeFactor(state.range(0));
+  shred::ShredMapping mapping(XmarkDtd());
+  for (auto _ : state) {
+    workload::XmarkGenerator gen;
+    workload::XmarkOptions opt;
+    opt.factor = factor;
+    xml::Document doc = gen.Generate(opt);
+    std::string xml = xml::Serialize(doc);
+    auto sql = shred::ShredToSqlScript(doc, mapping, '-');
+    XMLAC_CHECK(sql.ok());
+    state.counters["xml_bytes"] =
+        benchmark::Counter(static_cast<double>(xml.size()));
+    state.counters["sql_bytes"] =
+        benchmark::Counter(static_cast<double>(sql->size()));
+    state.counters["elements"] =
+        benchmark::Counter(static_cast<double>(doc.AllElements().size()));
+    benchmark::DoNotOptimize(xml);
+  }
+  state.SetLabel("factor=" + std::to_string(factor));
+}
+
+void RegisterAll() {
+  for (double f : Factors()) {
+    benchmark::RegisterBenchmark("Table5/GenerateAndShred", BM_GenerateAndShred)
+        ->Arg(EncodeFactor(f))
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintTable5() {
+  std::printf("\nTable 5: documents generated with the (scaled) xmlgen and "
+              "their sizes\n");
+  std::printf("%10s %12s %12s %12s\n", "factor", "elements", "XML", "SQL");
+  shred::ShredMapping mapping(XmarkDtd());
+  for (double f : Factors()) {
+    const xml::Document& doc = XmarkDocument(f);
+    std::string xml = xml::Serialize(doc);
+    auto sql = shred::ShredToSqlScript(doc, mapping, '-');
+    XMLAC_CHECK(sql.ok());
+    std::printf("%10g %12zu %12s %12s\n", f, doc.AllElements().size(),
+                HumanBytes(xml.size()).c_str(),
+                HumanBytes(sql->size()).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xmlac::bench
+
+int main(int argc, char** argv) {
+  xmlac::bench::PrintTable5();
+  xmlac::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

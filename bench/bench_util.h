@@ -1,0 +1,104 @@
+#ifndef XMLAC_BENCH_BENCH_UTIL_H_
+#define XMLAC_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark binaries.  Each binary regenerates one
+// table or figure of the paper (see DESIGN.md's experiment index); series
+// are emitted both as google-benchmark counters and as aligned stdout rows
+// mirroring the paper's plots.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "engine/native_backend.h"
+#include "engine/relational_backend.h"
+#include "workload/xmark.h"
+
+namespace xmlac::bench {
+
+// The xmlgen scale factors the paper sweeps (Table 5 / Figs. 9-12).  Our
+// byte budget per factor is scaled down (see DESIGN.md); the *relative*
+// sizes across factors match xmlgen's.
+inline const std::vector<double>& Factors() {
+  static const auto* kFactors =
+      new std::vector<double>{0.0001, 0.001, 0.01, 0.1, 1.0, 2.0};
+  return *kFactors;
+}
+
+enum class BackendKind : int { kNative = 0, kRow = 1, kColumn = 2 };
+
+inline const char* BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kNative:
+      return "xquery";  // the paper's series name for MonetDB/XQuery
+    case BackendKind::kRow:
+      return "postgres";  // row store
+    case BackendKind::kColumn:
+      return "monetsql";  // column store
+  }
+  return "?";
+}
+
+inline std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kNative:
+      return std::make_unique<engine::NativeXmlBackend>();
+    case BackendKind::kRow: {
+      engine::RelationalOptions opt;
+      opt.storage = reldb::StorageKind::kRowStore;
+      return std::make_unique<engine::RelationalBackend>(opt);
+    }
+    case BackendKind::kColumn: {
+      engine::RelationalOptions opt;
+      opt.storage = reldb::StorageKind::kColumnStore;
+      return std::make_unique<engine::RelationalBackend>(opt);
+    }
+  }
+  return nullptr;
+}
+
+// Cache of generated XMark documents so repeated benchmark registrations
+// do not regenerate (generation is deterministic in factor).
+inline const xml::Document& XmarkDocument(double factor) {
+  static auto* cache = new std::vector<std::pair<double, xml::Document>>();
+  for (auto& [f, doc] : *cache) {
+    if (f == factor) return doc;
+  }
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions opt;
+  opt.factor = factor;
+  cache->emplace_back(factor, gen.Generate(opt));
+  return cache->back().second;
+}
+
+inline const xml::Dtd& XmarkDtd() {
+  static const xml::Dtd* kDtd = [] {
+    auto r = workload::XmarkGenerator::ParseXmarkDtd();
+    XMLAC_CHECK_MSG(r.ok(), r.status().ToString());
+    return new xml::Dtd(std::move(*r));
+  }();
+  return *kDtd;
+}
+
+// Panel order used by the paper's three-panel figures:
+// (a) MonetDB/XQuery, (b) MonetDB/SQL, (c) PostgreSQL.
+inline const std::vector<BackendKind>& PanelOrder() {
+  static const auto* kOrder = new std::vector<BackendKind>{
+      BackendKind::kNative, BackendKind::kColumn, BackendKind::kRow};
+  return *kOrder;
+}
+
+// Encodes a factor for integer benchmark args (factor * 10000).
+inline int64_t EncodeFactor(double f) {
+  return static_cast<int64_t>(f * 10000 + 0.5);
+}
+inline double DecodeFactor(int64_t a) { return a / 10000.0; }
+
+}  // namespace xmlac::bench
+
+#endif  // XMLAC_BENCH_BENCH_UTIL_H_

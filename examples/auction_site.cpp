@@ -1,0 +1,93 @@
+// auction_site: the paper's evaluation scenario in miniature — an
+// XMark-style auction document, a coverage policy, and the same pipeline on
+// all three backends side by side.
+//
+//   build/examples/auction_site [factor]     (default 0.05)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/timer.h"
+#include "engine/annotator.h"
+#include "engine/native_backend.h"
+#include "engine/relational_backend.h"
+#include "engine/requester.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+
+int main(int argc, char** argv) {
+  using namespace xmlac;
+  double factor = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions xopt;
+  xopt.factor = factor;
+  xml::Document doc = gen.Generate(xopt);
+  auto dtd = workload::XmarkGenerator::ParseXmarkDtd();
+  std::printf("generated auction site, factor %g: %zu elements\n", factor,
+              doc.AllElements().size());
+
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto policy = workload::GenerateCoveragePolicy(doc, copt);
+  if (!policy.ok()) {
+    std::printf("%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("coverage policy: %zu rules, measured coverage %.1f%%\n",
+              policy->size(),
+              workload::MeasureCoverage(*policy, doc) * 100.0);
+
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = 55;
+  auto queries = workload::GenerateQueries(doc, qopt);
+
+  struct Candidate {
+    const char* name;
+    std::unique_ptr<engine::Backend> backend;
+  };
+  Candidate candidates[3];
+  candidates[0] = {"native xml", std::make_unique<engine::NativeXmlBackend>()};
+  engine::RelationalOptions row;
+  row.storage = reldb::StorageKind::kRowStore;
+  candidates[1] = {"row store", std::make_unique<engine::RelationalBackend>(row)};
+  engine::RelationalOptions col;
+  col.storage = reldb::StorageKind::kColumnStore;
+  candidates[2] = {"column store",
+                   std::make_unique<engine::RelationalBackend>(col)};
+
+  std::printf("\n%-14s %10s %12s %14s %9s\n", "backend", "load(s)",
+              "annotate(s)", "response(ms)", "granted");
+  for (Candidate& c : candidates) {
+    Timer t;
+    Status st = c.backend->Load(*dtd, doc);
+    double load_s = t.ElapsedSeconds();
+    if (!st.ok()) {
+      std::printf("%-14s load failed: %s\n", c.name, st.ToString().c_str());
+      return 1;
+    }
+    t.Reset();
+    auto ann = engine::AnnotateFull(c.backend.get(), *policy);
+    double ann_s = t.ElapsedSeconds();
+    if (!ann.ok()) {
+      std::printf("%-14s annotate failed: %s\n", c.name,
+                  ann.status().ToString().c_str());
+      return 1;
+    }
+    t.Reset();
+    size_t granted = 0;
+    for (const auto& q : queries) {
+      auto r = engine::Request(c.backend.get(), q);
+      if (r.ok() && r->granted) ++granted;
+    }
+    double resp_ms = t.ElapsedSeconds() * 1000.0 /
+                     static_cast<double>(queries.size());
+    std::printf("%-14s %10.3f %12.3f %14.4f %6zu/%zu\n", c.name, load_s,
+                ann_s, resp_ms, granted, queries.size());
+  }
+  std::printf("\nall three stores enforce identical accessibility; they "
+              "differ only in cost.\n");
+  return 0;
+}

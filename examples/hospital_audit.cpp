@@ -1,0 +1,95 @@
+// hospital_audit: walks through the paper's machinery step by step on the
+// hospital example — Table 1 -> Table 3 optimization, the generated
+// annotation SQL (Sec. 5.2), the rule dependency graph (Fig. 7) and the
+// Trigger algorithm (Fig. 8) — on a generated multi-department hospital.
+//
+//   build/examples/hospital_audit
+
+#include <cstdio>
+
+#include "engine/annotator.h"
+#include "engine/relational_backend.h"
+#include "policy/depgraph.h"
+#include "policy/optimizer.h"
+#include "policy/trigger.h"
+#include "workload/hospital.h"
+#include "xml/schema_graph.h"
+#include "xpath/parser.h"
+
+int main() {
+  using namespace xmlac;
+
+  // --- The policy, before and after the optimizer (Table 1 -> Table 3) ---
+  auto parsed = policy::ParsePolicy(workload::kHospitalPolicyText);
+  if (!parsed.ok()) {
+    std::printf("%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Table 1 policy (%zu rules):\n", parsed->size());
+  for (const auto& r : parsed->rules()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+  policy::OptimizerStats ostats;
+  policy::Policy optimized = policy::EliminateRedundantRules(*parsed, &ostats);
+  std::printf("\nafter Redundancy-Elimination (%zu containment tests, "
+              "%zu removed) — Table 3:\n",
+              ostats.containment_tests, ostats.removed);
+  for (const auto& r : optimized.rules()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+
+  // --- A bigger hospital, shredded into the row-store engine -------------
+  workload::HospitalGenerator gen;
+  workload::HospitalOptions hopt;
+  hopt.departments = 3;
+  hopt.patients_per_department = 40;
+  xml::Document doc = gen.Generate(hopt);
+  auto dtd = workload::HospitalGenerator::ParseHospitalDtd();
+
+  engine::RelationalBackend backend;  // row store, SQL loading
+  Status st = backend.Load(*dtd, doc);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nshredded %zu elements into %zu tables\n",
+              backend.NodeCount(), backend.catalog()->NumTables());
+
+  // --- The compiled annotation SQL (Sec. 5.2's Q1 UNION ... EXCEPT ...) --
+  std::vector<size_t> all_rules(optimized.size());
+  for (size_t i = 0; i < all_rules.size(); ++i) all_rules[i] = i;
+  auto sql = backend.CompileAnnotationSql(
+      optimized, all_rules, policy::CombineOp::kGrantsExceptDenies);
+  if (sql.ok()) {
+    std::printf("\nannotation SQL:\n%s\n", sql->ToSql().c_str());
+  }
+
+  auto ann = engine::AnnotateFull(&backend, optimized);
+  if (!ann.ok()) {
+    std::printf("%s\n", ann.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nannotated: %zu of %zu tuples marked accessible\n",
+              ann->marked, backend.NodeCount());
+
+  // --- Dependency graph and Trigger (Sec. 5.3) ---------------------------
+  xml::SchemaGraph schema(*dtd);
+  policy::TriggerIndex trigger(optimized, &schema);
+  std::printf("\nrule dependency graph:\n%s",
+              trigger.dependency_graph().DebugString(optimized).c_str());
+
+  for (const char* update : {"//patient/treatment", "//treatment",
+                             "//patient/name", "//staffinfo/staff"}) {
+    auto u = xpath::ParsePath(update);
+    policy::TriggerStats tstats;
+    auto fired = trigger.Trigger(*u, &tstats);
+    std::printf("update %-22s triggers {", update);
+    for (size_t i = 0; i < fired.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  optimized.rules()[fired[i]].id.c_str());
+    }
+    std::printf("}  (%zu containment tests, %zu via dependencies)\n",
+                tstats.containment_tests, tstats.dependency_added);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// update_stream: the re-annotation story (paper Sec. 5.3 / Fig. 12).
+// Replays a stream of delete updates against an annotated store and prints,
+// per update, the triggered rules, the partial re-annotation time and what
+// a from-scratch annotation would have cost instead.
+//
+//   build/examples/update_stream [factor] [updates]   (defaults 0.05, 12)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "engine/annotator.h"
+#include "engine/native_backend.h"
+#include "policy/trigger.h"
+#include "workload/coverage.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/schema_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace xmlac;
+  double factor = argc > 1 ? std::atof(argv[1]) : 0.05;
+  size_t updates = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 12;
+
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions xopt;
+  xopt.factor = factor;
+  xml::Document doc = gen.Generate(xopt);
+  auto dtd = workload::XmarkGenerator::ParseXmarkDtd();
+
+  engine::NativeXmlBackend backend;
+  Status st = backend.Load(*dtd, doc);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  workload::CoverageOptions copt;
+  copt.target = 0.5;
+  auto policy = workload::GenerateCoveragePolicy(doc, copt);
+  if (!policy.ok()) {
+    std::printf("%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  auto ann = engine::AnnotateFull(&backend, *policy);
+  if (!ann.ok()) {
+    std::printf("%s\n", ann.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu elements, policy of %zu rules, initial annotation "
+              "marked %zu nodes\n\n",
+              backend.NodeCount(), policy->size(), ann->marked);
+
+  xml::SchemaGraph schema(*dtd);
+  policy::TriggerIndex trigger(*policy, &schema);
+  workload::QueryWorkloadOptions qopt;
+  qopt.count = updates;
+  auto stream = workload::GenerateQueries(doc, qopt);
+
+  std::printf("%-34s %8s %9s %12s %12s %8s\n", "update (delete)", "nodes",
+              "rules", "reannot(ms)", "fullann(ms)", "speedup");
+  double total_re = 0;
+  double total_full = 0;
+  for (const auto& u : stream) {
+    auto triggered = trigger.Trigger(u);
+    auto old_scope = engine::TriggeredScope(&backend, *policy, triggered);
+    if (!old_scope.ok()) break;
+    auto deleted = backend.DeleteWhere(u);
+    if (!deleted.ok()) break;
+
+    Timer t;
+    auto re = engine::Reannotate(&backend, *policy, triggered, *old_scope);
+    double re_ms = t.ElapsedSeconds() * 1000.0;
+    if (!re.ok()) break;
+
+    t.Reset();
+    auto full = engine::AnnotateFull(&backend, *policy);
+    double full_ms = t.ElapsedSeconds() * 1000.0;
+    if (!full.ok()) break;
+
+    total_re += re_ms;
+    total_full += full_ms;
+    std::printf("%-34s %8zu %9zu %12.3f %12.3f %7.1fx\n",
+                xpath::ToString(u).c_str(), *deleted, triggered.size(),
+                re_ms, full_ms, full_ms / (re_ms > 0 ? re_ms : 1e-6));
+  }
+  std::printf("\naverage speedup of re-annotation over full annotation: "
+              "%.1fx\n",
+              total_full / (total_re > 0 ? total_re : 1e-6));
+  return 0;
+}

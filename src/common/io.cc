@@ -1,0 +1,38 @@
+#include "common/io.h"
+
+#include <cstdio>
+
+namespace xmlac {
+
+Result<std::string> ReadFile(std::string_view path) {
+  std::string p(path);
+  std::FILE* f = std::fopen(p.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + p + "' for reading");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Internal("read error on '" + p + "'");
+  return out;
+}
+
+Status WriteFile(std::string_view path, std::string_view contents) {
+  std::string p(path);
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + p + "' for writing");
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool bad = written != contents.size();
+  if (std::fclose(f) != 0) bad = true;
+  if (bad) return Status::Internal("write error on '" + p + "'");
+  return Status::OK();
+}
+
+}  // namespace xmlac

@@ -1,0 +1,19 @@
+#ifndef XMLAC_COMMON_IO_H_
+#define XMLAC_COMMON_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xmlac {
+
+// Reads an entire file into a string.
+Result<std::string> ReadFile(std::string_view path);
+
+// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(std::string_view path, std::string_view contents);
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_IO_H_

@@ -1,0 +1,43 @@
+#ifndef XMLAC_COMMON_LOGGING_H_
+#define XMLAC_COMMON_LOGGING_H_
+
+// Minimal check/log facilities.  XMLAC_CHECK aborts on violated invariants —
+// these guard programmer errors, not user input (user input errors travel as
+// Status).
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace xmlac::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace xmlac::internal
+
+#define XMLAC_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::xmlac::internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                                "");                       \
+  } while (0)
+
+#define XMLAC_CHECK_MSG(cond, msg)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream _oss;                                      \
+      _oss << msg;                                                  \
+      ::xmlac::internal::CheckFailed(__FILE__, __LINE__, #cond,     \
+                                     _oss.str());                   \
+    }                                                               \
+  } while (0)
+
+#define XMLAC_DCHECK(cond) assert(cond)
+
+#endif  // XMLAC_COMMON_LOGGING_H_

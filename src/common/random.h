@@ -1,0 +1,53 @@
+#ifndef XMLAC_COMMON_RANDOM_H_
+#define XMLAC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xmlac {
+
+// Deterministic, seedable PRNG (splitmix64 core).  Used by the workload
+// generators so documents and policies are reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Lowercase ASCII word of the given length.
+  std::string Word(int length) {
+    std::string s;
+    s.reserve(static_cast<size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_RANDOM_H_

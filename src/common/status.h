@@ -1,0 +1,136 @@
+#ifndef XMLAC_COMMON_STATUS_H_
+#define XMLAC_COMMON_STATUS_H_
+
+// Status / Result<T> error model.
+//
+// The library does not throw exceptions across public API boundaries.
+// Fallible operations return Status (no payload) or Result<T> (payload or
+// error), in the style of RocksDB's Status and Arrow's Result.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xmlac {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kAccessDenied,
+  kUnsupported,
+  kInternal,
+};
+
+// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status holds either success (ok) or an error code plus message.
+// Cheap to copy in the ok case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AccessDenied(std::string msg) {
+    return Status(StatusCode::kAccessDenied, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Result<T> holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression that yields Status.
+#define XMLAC_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::xmlac::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+// Evaluates an expression yielding Result<T>; on error returns the Status,
+// otherwise assigns the value into `lhs`.
+#define XMLAC_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto XMLAC_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!XMLAC_CONCAT_(_res_, __LINE__).ok())        \
+    return XMLAC_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(XMLAC_CONCAT_(_res_, __LINE__)).value()
+
+#define XMLAC_CONCAT_INNER_(a, b) a##b
+#define XMLAC_CONCAT_(a, b) XMLAC_CONCAT_INNER_(a, b)
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef XMLAC_COMMON_STRINGS_H_
+#define XMLAC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlac {
+
+// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// "1.2 KB", "3.4 MB", ... (powers of 1024).
+std::string HumanBytes(uint64_t bytes);
+
+// Escapes &, <, >, ", ' for embedding in XML text/attributes.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_STRINGS_H_

@@ -1,0 +1,155 @@
+#include "engine/access_controller.h"
+
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+
+AccessController::AccessController(std::unique_ptr<Backend> backend,
+                                   bool optimize_policy)
+    : backend_(std::move(backend)), optimize_policy_(optimize_policy) {}
+
+AccessController::~AccessController() = default;
+
+Status AccessController::Load(std::string_view dtd_text,
+                              std::string_view xml_text) {
+  XMLAC_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text));
+  XMLAC_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseDocument(xml_text));
+  return LoadParsed(dtd, doc);
+}
+
+Status AccessController::LoadParsed(const xml::Dtd& dtd,
+                                    const xml::Document& doc) {
+  dtd_ = std::make_unique<xml::Dtd>(dtd);
+  schema_ = std::make_unique<xml::SchemaGraph>(*dtd_);
+  XMLAC_RETURN_IF_ERROR(backend_->Load(*dtd_, doc));
+  // A policy set before loading re-annotates the fresh document.
+  if (policy_set_) {
+    auto r = AnnotateFull(backend_.get(), policy_);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status AccessController::SetPolicy(std::string_view policy_text) {
+  XMLAC_ASSIGN_OR_RETURN(policy::Policy parsed,
+                         policy::ParsePolicy(policy_text));
+  return SetPolicyParsed(std::move(parsed));
+}
+
+Status AccessController::SetPolicyParsed(policy::Policy policy) {
+  optimizer_stats_ = policy::OptimizerStats();
+  if (optimize_policy_) {
+    // Schema-aware pruning first (rules that cannot match any valid
+    // document), then containment-based redundancy elimination (Fig. 4).
+    if (schema_ != nullptr) {
+      policy = policy::PruneUnsatisfiableRules(policy, *schema_,
+                                               &optimizer_stats_);
+    }
+    policy_ = policy::EliminateRedundantRules(policy, &optimizer_stats_);
+  } else {
+    policy_ = std::move(policy);
+  }
+  trigger_ = std::make_unique<policy::TriggerIndex>(policy_, schema_.get());
+  policy_set_ = true;
+  if (schema_ != nullptr) {
+    auto r = AnnotateFull(backend_.get(), policy_);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Result<RequestOutcome> AccessController::Query(std::string_view xpath) {
+  XMLAC_ASSIGN_OR_RETURN(xpath::Path q, xpath::ParsePath(xpath));
+  return Request(backend_.get(), q);
+}
+
+Result<UpdateStats> AccessController::Update(std::string_view xpath) {
+  if (!policy_set_ || trigger_ == nullptr) {
+    return Status::Internal("no policy set");
+  }
+  XMLAC_ASSIGN_OR_RETURN(xpath::Path u, xpath::ParsePath(xpath));
+  UpdateStats stats;
+  std::vector<size_t> triggered = trigger_->Trigger(u);
+  stats.rules_triggered = triggered.size();
+  // Pre-update scope snapshot: stale marks in these nodes must be reset.
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> old_scope,
+      TriggeredScope(backend_.get(), policy_, triggered));
+  XMLAC_ASSIGN_OR_RETURN(stats.nodes_deleted, backend_->DeleteWhere(u));
+  XMLAC_ASSIGN_OR_RETURN(
+      stats.reannotation,
+      Reannotate(backend_.get(), policy_, triggered, old_scope));
+  return stats;
+}
+
+namespace {
+
+// Appends to `out` the absolute path `base`/<labels of every element in the
+// fragment's tree, one path per element> — the locations the insert
+// touches, which is what Trigger must be probed with.
+void FragmentPaths(const xpath::Path& base, const xml::Document& fragment,
+                   std::vector<xpath::Path>* out) {
+  if (fragment.empty()) return;
+  // Relative label chain per element, rebuilt by walking up.
+  fragment.Visit(fragment.root(), [&](xml::NodeId id) {
+    const xml::Node& n = fragment.node(id);
+    if (n.kind != xml::NodeKind::kElement) return;
+    std::vector<const std::string*> chain;
+    for (xml::NodeId cur = id; cur != xml::kInvalidNode;
+         cur = fragment.node(cur).parent) {
+      chain.push_back(&fragment.node(cur).label);
+    }
+    xpath::Path p = base;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      xpath::Step s;
+      s.axis = xpath::Axis::kChild;
+      s.label = **it;
+      p.steps.push_back(std::move(s));
+    }
+    out->push_back(std::move(p));
+  });
+}
+
+}  // namespace
+
+Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
+                                             std::string_view fragment_xml) {
+  if (!policy_set_ || trigger_ == nullptr) {
+    return Status::Internal("no policy set");
+  }
+  XMLAC_ASSIGN_OR_RETURN(xpath::Path target, xpath::ParsePath(target_xpath));
+  XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
+                         xml::ParseDocument(fragment_xml));
+
+  // Union of trigger sets over every path the insert materialises.
+  std::vector<xpath::Path> touched;
+  FragmentPaths(target, fragment, &touched);
+  std::vector<bool> fired(policy_.size(), false);
+  for (const xpath::Path& u : touched) {
+    for (size_t i : trigger_->Trigger(u)) fired[i] = true;
+  }
+  std::vector<size_t> triggered;
+  for (size_t i = 0; i < fired.size(); ++i) {
+    if (fired[i]) triggered.push_back(i);
+  }
+
+  UpdateStats stats;
+  stats.rules_triggered = triggered.size();
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> old_scope,
+      TriggeredScope(backend_.get(), policy_, triggered));
+  XMLAC_ASSIGN_OR_RETURN(stats.nodes_inserted,
+                         backend_->InsertUnder(target, fragment));
+  XMLAC_ASSIGN_OR_RETURN(
+      stats.reannotation,
+      Reannotate(backend_.get(), policy_, triggered, old_scope));
+  return stats;
+}
+
+Result<AnnotateStats> AccessController::ReannotateFull() {
+  if (!policy_set_) return Status::Internal("no policy set");
+  return AnnotateFull(backend_.get(), policy_);
+}
+
+}  // namespace xmlac::engine

@@ -1,0 +1,86 @@
+#ifndef XMLAC_ENGINE_ACCESS_CONTROLLER_H_
+#define XMLAC_ENGINE_ACCESS_CONTROLLER_H_
+
+// Facade over the full pipeline of Fig. 3: optimizer -> annotator ->
+// (updates) -> reannotator -> requester, for one backend.
+//
+//   AccessController ac(std::make_unique<NativeXmlBackend>());
+//   ac.Load(dtd_text, xml_text);
+//   ac.SetPolicy(policy_text);        // optimizes + annotates
+//   auto r = ac.Query("//patient");   // all-or-nothing
+//   ac.Update("//patient/treatment"); // delete + partial re-annotation
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/annotator.h"
+#include "engine/backend.h"
+#include "engine/requester.h"
+#include "policy/optimizer.h"
+#include "policy/trigger.h"
+#include "xml/schema_graph.h"
+
+namespace xmlac::engine {
+
+struct UpdateStats {
+  size_t nodes_deleted = 0;
+  size_t nodes_inserted = 0;
+  size_t rules_triggered = 0;
+  AnnotateStats reannotation;
+};
+
+class AccessController {
+ public:
+  explicit AccessController(std::unique_ptr<Backend> backend,
+                            bool optimize_policy = true);
+  ~AccessController();
+
+  // Parses and loads the schema + document into the backend.
+  Status Load(std::string_view dtd_text, std::string_view xml_text);
+  Status LoadParsed(const xml::Dtd& dtd, const xml::Document& doc);
+
+  // Parses the policy, removes redundant rules (unless disabled), builds
+  // the trigger index and fully annotates the store.
+  Status SetPolicy(std::string_view policy_text);
+  Status SetPolicyParsed(policy::Policy policy);
+
+  // All-or-nothing read request.
+  Result<RequestOutcome> Query(std::string_view xpath);
+
+  // Delete update: Trigger -> delete -> partial re-annotation.
+  Result<UpdateStats> Update(std::string_view xpath);
+
+  // Insert update (the paper's other update kind): parses `fragment_xml`,
+  // inserts a copy under every node selected by `target_xpath`, and
+  // re-annotates partially.  The trigger set is computed from the paths of
+  // every element the fragment introduces (target/rootlabel, target/
+  // rootlabel/child, ...), so rules matching nodes anywhere inside the new
+  // subtree — or whose predicates now hold — fire.
+  Result<UpdateStats> Insert(std::string_view target_xpath,
+                             std::string_view fragment_xml);
+
+  // Re-annotates everything from scratch (the baseline Fig. 12 compares
+  // against).
+  Result<AnnotateStats> ReannotateFull();
+
+  Backend* backend() { return backend_.get(); }
+  const policy::Policy& active_policy() const { return policy_; }
+  const policy::OptimizerStats& optimizer_stats() const {
+    return optimizer_stats_;
+  }
+
+ private:
+  std::unique_ptr<Backend> backend_;
+  bool optimize_policy_;
+  std::unique_ptr<xml::Dtd> dtd_;
+  std::unique_ptr<xml::SchemaGraph> schema_;
+  policy::Policy policy_;
+  policy::OptimizerStats optimizer_stats_;
+  std::unique_ptr<policy::TriggerIndex> trigger_;
+  bool policy_set_ = false;
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_ACCESS_CONTROLLER_H_

@@ -1,0 +1,40 @@
+#include "engine/accessibility_map.h"
+
+#include <vector>
+
+namespace xmlac::engine {
+
+CompressedAccessibilityMap CompressedAccessibilityMap::Build(
+    const xml::Document& doc, const policy::NodeSet& accessible) {
+  CompressedAccessibilityMap map;
+  if (doc.empty() || !doc.IsAlive(doc.root())) return map;
+  // DFS carrying the inherited accessibility; the virtual super-root is
+  // inaccessible.
+  std::vector<std::pair<xml::NodeId, bool>> stack;  // (node, inherited)
+  stack.emplace_back(doc.root(), false);
+  while (!stack.empty()) {
+    auto [n, inherited] = stack.back();
+    stack.pop_back();
+    bool value = accessible.count(n) > 0;
+    if (value != inherited) map.markers_[n] = value;
+    for (xml::NodeId c : doc.node(n).children) {
+      if (doc.IsAlive(c) && doc.node(c).kind == xml::NodeKind::kElement) {
+        stack.emplace_back(c, value);
+      }
+    }
+  }
+  return map;
+}
+
+bool CompressedAccessibilityMap::IsAccessible(const xml::Document& doc,
+                                              xml::NodeId n) const {
+  if (!doc.IsAlive(n)) return false;
+  for (xml::NodeId cur = n; cur != xml::kInvalidNode;
+       cur = doc.node(cur).parent) {
+    auto it = markers_.find(cur);
+    if (it != markers_.end()) return it->second;
+  }
+  return false;
+}
+
+}  // namespace xmlac::engine

@@ -1,0 +1,48 @@
+#ifndef XMLAC_ENGINE_ACCESSIBILITY_MAP_H_
+#define XMLAC_ENGINE_ACCESSIBILITY_MAP_H_
+
+// Compressed accessibility map (after Yu et al., TODS 29(2) — the
+// annotation-storage technique the paper's related work contrasts with).
+//
+// Instead of one sign per node, accessibility is inheritance-coded: a
+// marker is stored only where a node's accessibility differs from its
+// parent's effective value (the virtual super-root is inaccessible).
+// Lookup walks to the nearest marked ancestor — O(depth) instead of O(1),
+// against storage proportional to the number of accessibility *boundaries*
+// rather than nodes.  bench_ablation_cam quantifies the trade-off that
+// presumably led the paper to plain signs.
+
+#include <unordered_map>
+
+#include "policy/semantics.h"
+#include "xml/document.h"
+
+namespace xmlac::engine {
+
+class CompressedAccessibilityMap {
+ public:
+  // Builds the map for `accessible` (element nodes) over `doc`.
+  static CompressedAccessibilityMap Build(const xml::Document& doc,
+                                          const policy::NodeSet& accessible);
+
+  // Accessibility of `n` (alive element nodes; dead nodes return false).
+  bool IsAccessible(const xml::Document& doc, xml::NodeId n) const;
+
+  // Stored markers (accessibility boundaries).
+  size_t marker_count() const { return markers_.size(); }
+
+  // Approximate in-memory footprint of the marker table.
+  size_t ApproxBytes() const {
+    return markers_.size() * (sizeof(xml::NodeId) + sizeof(bool) +
+                              2 * sizeof(void*));
+  }
+
+ private:
+  // node -> accessibility, present only where it differs from the
+  // inherited value.
+  std::unordered_map<xml::NodeId, bool> markers_;
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_ACCESSIBILITY_MAP_H_

@@ -1,0 +1,89 @@
+#include "engine/annotator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xmlac::engine {
+
+namespace {
+
+char DefaultSign(const policy::Policy& policy) {
+  return policy.default_semantics() == policy::DefaultSemantics::kAllow ? '+'
+                                                                        : '-';
+}
+
+char MarkSign(const policy::AnnotationPlan& plan) {
+  return plan.mark == policy::Effect::kAllow ? '+' : '-';
+}
+
+std::vector<size_t> AllRules(const policy::Policy& policy) {
+  std::vector<size_t> out(policy.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace
+
+Result<AnnotateStats> AnnotateFull(Backend* backend,
+                                   const policy::Policy& policy) {
+  policy::AnnotationPlan plan =
+      policy::PlanFor(policy.default_semantics(), policy.conflict_resolution());
+  XMLAC_RETURN_IF_ERROR(backend->ResetAllSigns(DefaultSign(policy)));
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> marked,
+      backend->EvaluateAnnotationSet(policy, AllRules(policy), plan.combine));
+  XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  AnnotateStats stats;
+  stats.marked = marked.size();
+  stats.reset = backend->NodeCount();
+  stats.rules_used = policy.size();
+  return stats;
+}
+
+Result<std::vector<UniversalId>> TriggeredScope(
+    Backend* backend, const policy::Policy& policy,
+    const std::vector<size_t>& triggered) {
+  std::unordered_set<UniversalId> scope;
+  for (size_t i : triggered) {
+    XMLAC_ASSIGN_OR_RETURN(
+        std::vector<UniversalId> ids,
+        backend->EvaluateQuery(policy.rules()[i].resource));
+    scope.insert(ids.begin(), ids.end());
+  }
+  std::vector<UniversalId> out(scope.begin(), scope.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<AnnotateStats> Reannotate(Backend* backend,
+                                 const policy::Policy& policy,
+                                 const std::vector<size_t>& triggered,
+                                 const std::vector<UniversalId>& old_scope) {
+  AnnotateStats stats;
+  stats.rules_used = triggered.size();
+  if (triggered.empty()) return stats;
+  policy::AnnotationPlan plan =
+      policy::PlanFor(policy.default_semantics(), policy.conflict_resolution());
+
+  // Nodes possibly affected: everything in a triggered scope before or
+  // after the update.
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> new_scope,
+                         TriggeredScope(backend, policy, triggered));
+  std::unordered_set<UniversalId> affected(old_scope.begin(),
+                                           old_scope.end());
+  affected.insert(new_scope.begin(), new_scope.end());
+  std::vector<UniversalId> to_reset(affected.begin(), affected.end());
+  std::sort(to_reset.begin(), to_reset.end());
+  XMLAC_RETURN_IF_ERROR(backend->SetSigns(to_reset, DefaultSign(policy)));
+  stats.reset = to_reset.size();
+
+  // Re-mark per the Fig. 5 plan restricted to the triggered rules.
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> marked,
+      backend->EvaluateAnnotationSet(policy, triggered, plan.combine));
+  XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  stats.marked = marked.size();
+  return stats;
+}
+
+}  // namespace xmlac::engine

@@ -1,0 +1,45 @@
+#ifndef XMLAC_ENGINE_ANNOTATOR_H_
+#define XMLAC_ENGINE_ANNOTATOR_H_
+
+// Annotation and re-annotation over a Backend (paper Sec. 5.2 / 5.3).
+
+#include <vector>
+
+#include "engine/backend.h"
+#include "policy/policy.h"
+#include "policy/trigger.h"
+
+namespace xmlac::engine {
+
+struct AnnotateStats {
+  // Nodes whose sign was set to the non-default value.
+  size_t marked = 0;
+  // Nodes reset to the default sign (re-annotation only; full annotation
+  // resets everything).
+  size_t reset = 0;
+  // Rules that participated.
+  size_t rules_used = 0;
+};
+
+// Full annotation: reset every sign to the policy default, evaluate the
+// Fig. 5 annotation query over all rules, mark the result.
+Result<AnnotateStats> AnnotateFull(Backend* backend,
+                                   const policy::Policy& policy);
+
+// Partial re-annotation after an update, given the triggered rule set and
+// the ids that were in the triggered rules' scopes *before* the update
+// (so stale non-default signs get reset even when a node left a scope).
+Result<AnnotateStats> Reannotate(Backend* backend,
+                                 const policy::Policy& policy,
+                                 const std::vector<size_t>& triggered,
+                                 const std::vector<UniversalId>& old_scope);
+
+// Union of the triggered rules' scopes as currently stored — the pre-update
+// snapshot Reannotate() needs.
+Result<std::vector<UniversalId>> TriggeredScope(
+    Backend* backend, const policy::Policy& policy,
+    const std::vector<size_t>& triggered);
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_ANNOTATOR_H_

@@ -1,0 +1,106 @@
+#include "engine/multi_subject.h"
+
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+
+MultiSubjectController::MultiSubjectController(BackendFactory factory,
+                                               bool optimize_policies)
+    : factory_(std::move(factory)), optimize_policies_(optimize_policies) {}
+
+Status MultiSubjectController::Load(std::string_view dtd_text,
+                                    std::string_view xml_text) {
+  XMLAC_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text));
+  XMLAC_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseDocument(xml_text));
+  return LoadParsed(dtd, doc);
+}
+
+Status MultiSubjectController::LoadParsed(const xml::Dtd& dtd,
+                                          const xml::Document& doc) {
+  if (!subjects_.empty()) {
+    return Status::InvalidArgument(
+        "load the document before adding subjects");
+  }
+  dtd_ = std::make_unique<xml::Dtd>(dtd);
+  XMLAC_RETURN_IF_ERROR(master_.Load(dtd, doc));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status MultiSubjectController::AddSubject(std::string_view subject,
+                                          std::string_view policy_text) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  if (subjects_.find(subject) != subjects_.end()) {
+    return Status::AlreadyExists("subject '" + std::string(subject) +
+                                 "' already registered");
+  }
+  auto controller = std::make_unique<AccessController>(factory_(),
+                                                       optimize_policies_);
+  XMLAC_RETURN_IF_ERROR(
+      controller->LoadParsed(*dtd_, master_.document()));
+  XMLAC_RETURN_IF_ERROR(controller->SetPolicy(policy_text));
+  subjects_[std::string(subject)] = std::move(controller);
+  return Status::OK();
+}
+
+Status MultiSubjectController::RemoveSubject(std::string_view subject) {
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  subjects_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> MultiSubjectController::SubjectNames() const {
+  std::vector<std::string> out;
+  out.reserve(subjects_.size());
+  for (const auto& [name, _] : subjects_) out.push_back(name);
+  return out;
+}
+
+AccessController* MultiSubjectController::subject(std::string_view name) {
+  auto it = subjects_.find(name);
+  return it == subjects_.end() ? nullptr : it->second.get();
+}
+
+Result<RequestOutcome> MultiSubjectController::Query(std::string_view subject,
+                                                     std::string_view xpath) {
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  return it->second->Query(xpath);
+}
+
+Result<std::map<std::string, UpdateStats>> MultiSubjectController::Update(
+    std::string_view xpath) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  XMLAC_ASSIGN_OR_RETURN(xpath::Path u, xpath::ParsePath(xpath));
+  auto deleted = master_.DeleteWhere(u);
+  if (!deleted.ok()) return deleted.status();
+  std::map<std::string, UpdateStats> out;
+  for (auto& [name, controller] : subjects_) {
+    XMLAC_ASSIGN_OR_RETURN(out[name], controller->Update(xpath));
+  }
+  return out;
+}
+
+Result<std::map<std::string, UpdateStats>> MultiSubjectController::Insert(
+    std::string_view target_xpath, std::string_view fragment_xml) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  XMLAC_ASSIGN_OR_RETURN(xpath::Path target, xpath::ParsePath(target_xpath));
+  XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
+                         xml::ParseDocument(fragment_xml));
+  auto inserted = master_.InsertUnder(target, fragment);
+  if (!inserted.ok()) return inserted.status();
+  std::map<std::string, UpdateStats> out;
+  for (auto& [name, controller] : subjects_) {
+    XMLAC_ASSIGN_OR_RETURN(out[name],
+                           controller->Insert(target_xpath, fragment_xml));
+  }
+  return out;
+}
+
+}  // namespace xmlac::engine

@@ -1,0 +1,72 @@
+#ifndef XMLAC_ENGINE_MULTI_SUBJECT_H_
+#define XMLAC_ENGINE_MULTI_SUBJECT_H_
+
+// Multi-subject access control.
+//
+// The paper fixes the rule tuple's `requester` component and studies a
+// single subject; this layer restores the dimension: each subject gets its
+// own policy, enforced through its own annotated replica of the document
+// (the materialized approach is per-policy by construction — one sign per
+// node — so per-subject annotations need per-subject stores).  Updates are
+// broadcast to every replica and to a master copy, which late-added
+// subjects are initialised from.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/access_controller.h"
+#include "engine/native_backend.h"
+
+namespace xmlac::engine {
+
+class MultiSubjectController {
+ public:
+  using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+  // `factory` builds one store per subject (mixing backends per subject is
+  // allowed: the factory may return different kinds over its lifetime).
+  explicit MultiSubjectController(BackendFactory factory,
+                                  bool optimize_policies = true);
+
+  // Parses and installs the document; must precede AddSubject.
+  Status Load(std::string_view dtd_text, std::string_view xml_text);
+  Status LoadParsed(const xml::Dtd& dtd, const xml::Document& doc);
+
+  // Registers `subject` with its policy; the subject's replica reflects all
+  // updates applied so far.
+  Status AddSubject(std::string_view subject, std::string_view policy_text);
+  Status RemoveSubject(std::string_view subject);
+
+  size_t subject_count() const { return subjects_.size(); }
+  std::vector<std::string> SubjectNames() const;
+
+  // All-or-nothing read on behalf of `subject`.
+  Result<RequestOutcome> Query(std::string_view subject,
+                               std::string_view xpath);
+
+  // Broadcast updates: applied to the master copy and re-annotated in every
+  // subject's replica.  Per-subject stats are returned by subject name.
+  Result<std::map<std::string, UpdateStats>> Update(std::string_view xpath);
+  Result<std::map<std::string, UpdateStats>> Insert(
+      std::string_view target_xpath, std::string_view fragment_xml);
+
+  // The current (post-update) document.
+  const xml::Document& document() const { return master_.document(); }
+
+  AccessController* subject(std::string_view name);
+
+ private:
+  BackendFactory factory_;
+  bool optimize_policies_;
+  std::unique_ptr<xml::Dtd> dtd_;
+  NativeXmlBackend master_;  // un-annotated source of truth for replicas
+  bool loaded_ = false;
+  std::map<std::string, std::unique_ptr<AccessController>, std::less<>>
+      subjects_;
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_MULTI_SUBJECT_H_

@@ -1,0 +1,86 @@
+#ifndef XMLAC_ENGINE_NATIVE_BACKEND_H_
+#define XMLAC_ENGINE_NATIVE_BACKEND_H_
+
+// Native XML store (the MonetDB/XQuery analog).
+//
+// Keeps the document tree as-is; accessibility is a `sign` attribute on
+// element nodes, written by the xmlac:annotate() primitive of the paper
+// (insert attribute if absent, replace value otherwise).  To minimise
+// stored information the attribute is only present when it differs from the
+// store's default sign (paper Sec. 5.2, Native XML).
+
+#include "engine/backend.h"
+#include "xmldb/xquery.h"
+
+namespace xmlac::engine {
+
+class NativeXmlBackend final : public Backend {
+ public:
+  NativeXmlBackend() = default;
+
+  std::string name() const override { return "xmldb"; }
+
+  Status Load(const xml::Dtd& dtd, const xml::Document& doc) override;
+  void Clear() override;
+  size_t NodeCount() const override;
+
+  Result<std::vector<UniversalId>> EvaluateQuery(
+      const xpath::Path& query) override;
+
+  // Implemented by compiling the rule subset into one XQuery set expression
+  // (the native analog of the relational backend's UNION/EXCEPT SQL) and
+  // running it through the XQuery-lite engine — the paper's Sec. 5.2 path.
+  Result<std::vector<UniversalId>> EvaluateAnnotationSet(
+      const policy::Policy& policy, const std::vector<size_t>& rule_subset,
+      policy::CombineOp combine) override;
+
+  // The compiled form, e.g.
+  //   doc("xmlgen")((//patient union //regular) except (//patient[treatment]))
+  // NotFound when no rule contributes to the base set.
+  static Result<std::string> CompileAnnotationXQuery(
+      const policy::Policy& policy, const std::vector<size_t>& rule_subset,
+      policy::CombineOp combine);
+
+  Status SetSigns(const std::vector<UniversalId>& ids, char sign) override;
+  Status ResetAllSigns(char default_sign) override;
+  Result<char> GetSign(UniversalId id) override;
+
+  Result<size_t> DeleteWhere(const xpath::Path& u) override;
+  Result<size_t> InsertUnder(const xpath::Path& target,
+                             const xml::Document& fragment) override;
+
+  // The annotated tree (e.g. for serialization in examples).
+  const xml::Document& document() const { return doc_; }
+  char default_sign() const { return default_sign_; }
+
+  // Runs an XQuery-lite expression against the store (registered as
+  // doc("xmlgen"), the paper's document name).  xmlac:annotate() calls
+  // mutate the stored tree directly, exactly like the paper's Sec. 5.2
+  // native annotation path.
+  Result<xmldb::XqValue> RunXQuery(std::string_view query);
+
+  // Persistence: the annotated document serializes to XML with its sign
+  // attributes, so saving + loading preserves both content and annotations
+  // (the store's default sign is recorded on the root as xmlac-default).
+  Status SaveToFile(std::string_view path) const;
+  Status LoadFromFile(std::string_view path);
+
+  // Materializes the security view of the annotated document (cf. the
+  // security-view line of work the paper relates to): a copy containing
+  // exactly the elements that are accessible *and* have only accessible
+  // ancestors, with `sign` attributes stripped.  An inaccessible root
+  // yields an empty document.
+  xml::Document AccessibleView() const;
+
+ private:
+  // The paper's xmlac:annotate($n, $val) function.
+  void Annotate(xml::NodeId n, char val);
+
+  xml::Document doc_;
+  bool loaded_ = false;
+  char default_sign_ = '-';
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_NATIVE_BACKEND_H_

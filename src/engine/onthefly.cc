@@ -1,0 +1,35 @@
+#include "engine/onthefly.h"
+
+#include "policy/semantics.h"
+#include "xpath/evaluator.h"
+
+namespace xmlac::engine {
+
+Result<RequestOutcome> OnTheFlyRequester::Request(
+    const xml::Document& doc, const xpath::Path& query) const {
+  std::vector<xml::NodeId> selected = xpath::Evaluate(query, doc);
+  RequestOutcome outcome;
+  outcome.selected = selected.size();
+  if (!selected.empty()) {
+    // The security check: rule scopes are evaluated per request (this is
+    // the whole point of the baseline — nothing was precomputed).
+    policy::NodeSet accessible = policy::AccessibleNodes(policy_, doc);
+    for (xml::NodeId n : selected) {
+      if (accessible.count(n) > 0) ++outcome.accessible;
+    }
+  }
+  if (outcome.accessible != outcome.selected) {
+    return Status::AccessDenied(
+        std::to_string(outcome.selected - outcome.accessible) + " of " +
+        std::to_string(outcome.selected) +
+        " requested nodes are inaccessible");
+  }
+  outcome.granted = true;
+  outcome.ids.reserve(selected.size());
+  for (xml::NodeId n : selected) {
+    outcome.ids.push_back(static_cast<UniversalId>(n));
+  }
+  return outcome;
+}
+
+}  // namespace xmlac::engine

@@ -1,0 +1,36 @@
+#ifndef XMLAC_ENGINE_ONTHEFLY_H_
+#define XMLAC_ENGINE_ONTHEFLY_H_
+
+// On-the-fly enforcement baseline (the approach of Tan/Lee et al. [23] the
+// paper contrasts its materialized annotations with): no signs are stored;
+// every request re-evaluates the policy over the current document to decide
+// accessibility.  Correct by construction and update-friendly (nothing to
+// re-annotate), but each request pays the full policy-evaluation cost —
+// the trade-off bench_baseline_onthefly quantifies.
+
+#include "engine/requester.h"
+#include "policy/policy.h"
+#include "xml/document.h"
+
+namespace xmlac::engine {
+
+class OnTheFlyRequester {
+ public:
+  explicit OnTheFlyRequester(policy::Policy policy)
+      : policy_(std::move(policy)) {}
+
+  const policy::Policy& policy() const { return policy_; }
+
+  // All-or-nothing request against an *unannotated* document: evaluates the
+  // query, then evaluates every policy rule to decide each selected node's
+  // accessibility.
+  Result<RequestOutcome> Request(const xml::Document& doc,
+                                 const xpath::Path& query) const;
+
+ private:
+  policy::Policy policy_;
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_ONTHEFLY_H_

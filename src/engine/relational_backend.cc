@@ -1,0 +1,290 @@
+#include "engine/relational_backend.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "shred/shredder.h"
+
+namespace xmlac::engine {
+
+using reldb::CompoundSelect;
+using reldb::Value;
+
+RelationalBackend::RelationalBackend(const RelationalOptions& options)
+    : options_(options) {}
+
+Status RelationalBackend::Load(const xml::Dtd& dtd,
+                               const xml::Document& doc) {
+  catalog_ = std::make_unique<reldb::Catalog>(options_.storage);
+  exec_ = std::make_unique<reldb::Executor>(catalog_.get());
+  mapping_ = std::make_unique<shred::ShredMapping>(dtd);
+  XMLAC_RETURN_IF_ERROR(
+      mapping_->CreateTables(catalog_.get(), options_.create_indexes));
+  next_id_ = static_cast<UniversalId>(doc.size());
+  if (options_.load_via_sql) {
+    XMLAC_ASSIGN_OR_RETURN(std::string script,
+                           shred::ShredToSqlScript(doc, *mapping_,
+                                                   default_sign_));
+    return exec_->Run(script);
+  }
+  auto stats =
+      shred::ShredToCatalog(doc, *mapping_, catalog_.get(), default_sign_);
+  return stats.ok() ? Status::OK() : stats.status();
+}
+
+void RelationalBackend::Clear() {
+  exec_.reset();
+  catalog_.reset();
+  mapping_.reset();
+}
+
+size_t RelationalBackend::NodeCount() const {
+  return catalog_ == nullptr ? 0 : catalog_->TotalRows();
+}
+
+Result<std::vector<UniversalId>> RelationalBackend::EvaluateQuery(
+    const xpath::Path& query) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  XMLAC_ASSIGN_OR_RETURN(shred::SqlTranslation tr,
+                         shred::TranslateXPath(query, *mapping_));
+  if (tr.empty) return std::vector<UniversalId>{};
+  XMLAC_ASSIGN_OR_RETURN(reldb::ResultSet rs, exec_->ExecuteSelect(tr.query));
+  std::vector<UniversalId> ids = rs.IdColumn();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<CompoundSelect> RelationalBackend::CompileAnnotationSql(
+    const policy::Policy& policy, const std::vector<size_t>& rule_subset,
+    policy::CombineOp combine) const {
+  if (mapping_ == nullptr) return Status::Internal("backend not loaded");
+  // Per-rule SELECTs, unioned by effect; combined per Fig. 5.
+  std::vector<CompoundSelect> grants;
+  std::vector<CompoundSelect> denies;
+  for (size_t i : rule_subset) {
+    const policy::Rule& r = policy.rules()[i];
+    XMLAC_ASSIGN_OR_RETURN(shred::SqlTranslation tr,
+                           shred::TranslateXPath(r.resource, *mapping_));
+    if (tr.empty) continue;
+    (r.effect == policy::Effect::kAllow ? grants : denies)
+        .push_back(std::move(tr.query));
+  }
+  auto union_all = [](std::vector<CompoundSelect> parts)
+      -> std::optional<CompoundSelect> {
+    if (parts.empty()) return std::nullopt;
+    CompoundSelect acc = std::move(parts[0]);
+    for (size_t i = 1; i < parts.size(); ++i) {
+      acc.rest.emplace_back(CompoundSelect::SetOp::kUnion,
+                            std::move(parts[i]));
+    }
+    return acc;
+  };
+  std::optional<CompoundSelect> grant_q = union_all(std::move(grants));
+  std::optional<CompoundSelect> deny_q = union_all(std::move(denies));
+
+  bool want_grants = combine == policy::CombineOp::kGrants ||
+                     combine == policy::CombineOp::kGrantsExceptDenies;
+  std::optional<CompoundSelect> base =
+      want_grants ? std::move(grant_q) : std::move(deny_q);
+  std::optional<CompoundSelect> minus =
+      want_grants ? std::move(deny_q) : std::move(grant_q);
+  bool subtract = combine == policy::CombineOp::kGrantsExceptDenies ||
+                  combine == policy::CombineOp::kDeniesExceptGrants;
+  if (!base.has_value()) {
+    return Status::NotFound("annotation set is empty by construction");
+  }
+  if (subtract && minus.has_value()) {
+    base->rest.emplace_back(CompoundSelect::SetOp::kExcept,
+                            std::move(*minus));
+  }
+  return std::move(*base);
+}
+
+Result<std::vector<UniversalId>> RelationalBackend::EvaluateAnnotationSet(
+    const policy::Policy& policy, const std::vector<size_t>& rule_subset,
+    policy::CombineOp combine) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  auto compiled = CompileAnnotationSql(policy, rule_subset, combine);
+  if (!compiled.ok()) {
+    if (compiled.status().code() == StatusCode::kNotFound) {
+      return std::vector<UniversalId>{};  // no contributing rules
+    }
+    return compiled.status();
+  }
+  XMLAC_ASSIGN_OR_RETURN(reldb::ResultSet rs, exec_->ExecuteSelect(*compiled));
+  std::vector<UniversalId> ids = rs.IdColumn();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status RelationalBackend::SetSigns(const std::vector<UniversalId>& ids,
+                                   char sign) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  // Algorithm Annotate (Fig. 6): for every table, intersect the target ids
+  // with the table's ids, then issue one UPDATE per matching tuple.
+  std::unordered_set<UniversalId> target(ids.begin(), ids.end());
+  std::string set_sql(1, sign);
+  for (const std::string& table_name : catalog_->TableNames()) {
+    reldb::Table* t = catalog_->GetTable(table_name);
+    size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
+    std::vector<UniversalId> upids;
+    for (reldb::RowIdx i = 0; i < t->Capacity(); ++i) {
+      if (!t->IsAlive(i)) continue;
+      UniversalId id = t->GetValue(i, id_col).AsInt();
+      if (target.count(id) > 0) upids.push_back(id);
+    }
+    for (UniversalId id : upids) {
+      auto n = exec_->Query("UPDATE " + table_name + " SET " +
+                            shred::kSignColumn + " = '" + set_sql +
+                            "' WHERE " + shred::kIdColumn + " = " +
+                            std::to_string(id));
+      if (!n.ok()) return n.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status RelationalBackend::ResetAllSigns(char default_sign) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  default_sign_ = default_sign;
+  for (const std::string& table_name : catalog_->TableNames()) {
+    auto n = exec_->Query("UPDATE " + table_name + " SET " +
+                          shred::kSignColumn + " = '" +
+                          std::string(1, default_sign) + "'");
+    if (!n.ok()) return n.status();
+  }
+  return Status::OK();
+}
+
+reldb::Table* RelationalBackend::FindTable(UniversalId id) {
+  for (const std::string& table_name : catalog_->TableNames()) {
+    reldb::Table* t = catalog_->GetTable(table_name);
+    size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
+    if (!t->IndexLookup(id_col, Value::Int(id)).empty()) return t;
+  }
+  return nullptr;
+}
+
+Result<char> RelationalBackend::GetSign(UniversalId id) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  reldb::Table* t = FindTable(id);
+  if (t == nullptr) {
+    return Status::NotFound("tuple " + std::to_string(id) + " not found");
+  }
+  size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
+  size_t s_col = *t->schema().ColumnIndex(shred::kSignColumn);
+  auto rows = t->IndexLookup(id_col, Value::Int(id));
+  return t->GetValue(rows[0], s_col).AsString()[0];
+}
+
+Result<size_t> RelationalBackend::DeleteWhere(const xpath::Path& u) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  if (!options_.create_indexes) {
+    // The pid-closure walk below silently finds no children without the
+    // hash indexes; refuse instead of corrupting the store.
+    return Status::Unsupported("DeleteWhere requires id/pid indexes");
+  }
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> roots, EvaluateQuery(u));
+  // BFS over pid links to take the subtrees with the selected nodes.
+  std::vector<std::string> tables = catalog_->TableNames();
+  std::unordered_set<UniversalId> doomed(roots.begin(), roots.end());
+  std::vector<UniversalId> frontier = roots;
+  while (!frontier.empty()) {
+    std::vector<UniversalId> next;
+    for (const std::string& table_name : tables) {
+      reldb::Table* t = catalog_->GetTable(table_name);
+      size_t pid_col = *t->schema().ColumnIndex(shred::kPidColumn);
+      size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
+      for (UniversalId parent : frontier) {
+        for (reldb::RowIdx i :
+             t->IndexLookup(pid_col, Value::Int(parent))) {
+          UniversalId child = t->GetValue(i, id_col).AsInt();
+          if (doomed.insert(child).second) next.push_back(child);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  // Point deletes through the executor (indexed on id).
+  size_t deleted = 0;
+  for (const std::string& table_name : tables) {
+    reldb::Table* t = catalog_->GetTable(table_name);
+    size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
+    for (UniversalId id : doomed) {
+      if (t->IndexLookup(id_col, Value::Int(id)).empty()) continue;
+      XMLAC_ASSIGN_OR_RETURN(
+          size_t n, exec_->ExecuteDelete([&] {
+            reldb::DeleteStatement st;
+            st.table = table_name;
+            st.where = reldb::Expr::Compare(
+                reldb::CompareOp::kEq,
+                reldb::Expr::Column("", shred::kIdColumn),
+                reldb::Expr::Literal(Value::Int(id)));
+            return st;
+          }()));
+      deleted += n;
+    }
+  }
+  return deleted;
+}
+
+Result<size_t> RelationalBackend::InsertUnder(const xpath::Path& target,
+                                              const xml::Document& fragment) {
+  if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  if (!options_.create_indexes) {
+    return Status::Unsupported("InsertUnder requires id/pid indexes");
+  }
+  if (fragment.empty() || !fragment.IsAlive(fragment.root())) {
+    return Status::InvalidArgument("empty insert fragment");
+  }
+  // Validate fragment labels up front so a failure cannot leave a
+  // half-inserted subtree.
+  Status label_check;
+  fragment.Visit(fragment.root(), [&](xml::NodeId id) {
+    const xml::Node& n = fragment.node(id);
+    if (label_check.ok() && n.kind == xml::NodeKind::kElement &&
+        !mapping_->HasTable(n.label)) {
+      label_check = Status::InvalidArgument("element '" + n.label +
+                                            "' has no mapped table");
+    }
+  });
+  XMLAC_RETURN_IF_ERROR(label_check);
+
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> parents,
+                         EvaluateQuery(target));
+  size_t inserted = 0;
+  std::string sign(1, default_sign_);
+  for (UniversalId parent : parents) {
+    // Mirror NativeXmlBackend::InsertUnder's traversal exactly (including
+    // id allocation over text nodes) so both backends assign the same
+    // universal ids for the same call sequence.
+    std::vector<std::pair<xml::NodeId, UniversalId>> stack;
+    stack.emplace_back(fragment.root(), parent);
+    while (!stack.empty()) {
+      auto [src, dst_parent] = stack.back();
+      stack.pop_back();
+      const xml::Node& n = fragment.node(src);
+      if (!n.alive) continue;
+      UniversalId id = next_id_++;
+      if (n.kind != xml::NodeKind::kElement) continue;
+      reldb::Table* table = catalog_->GetTable(n.label);
+      reldb::Row row;
+      row.reserve(table->schema().num_columns());
+      row.push_back(Value::Int(id));
+      row.push_back(Value::Int(dst_parent));
+      if (mapping_->HasValueColumn(n.label)) {
+        row.push_back(Value::Str(fragment.DirectText(src)));
+      }
+      row.push_back(Value::Str(sign));
+      auto r = table->Insert(std::move(row));
+      if (!r.ok()) return r.status();
+      ++inserted;
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.emplace_back(*it, id);
+      }
+    }
+  }
+  return inserted;
+}
+
+}  // namespace xmlac::engine

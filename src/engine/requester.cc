@@ -1,0 +1,25 @@
+#include "engine/requester.h"
+
+namespace xmlac::engine {
+
+Result<RequestOutcome> Request(Backend* backend, const xpath::Path& query) {
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> ids,
+                         backend->EvaluateQuery(query));
+  RequestOutcome outcome;
+  outcome.selected = ids.size();
+  for (UniversalId id : ids) {
+    XMLAC_ASSIGN_OR_RETURN(char sign, backend->GetSign(id));
+    if (sign == '+') ++outcome.accessible;
+  }
+  if (outcome.accessible != outcome.selected) {
+    return Status::AccessDenied(
+        std::to_string(outcome.selected - outcome.accessible) + " of " +
+        std::to_string(outcome.selected) +
+        " requested nodes are inaccessible");
+  }
+  outcome.granted = true;
+  outcome.ids = std::move(ids);
+  return outcome;
+}
+
+}  // namespace xmlac::engine

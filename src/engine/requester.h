@@ -1,0 +1,31 @@
+#ifndef XMLAC_ENGINE_REQUESTER_H_
+#define XMLAC_ENGINE_REQUESTER_H_
+
+// The requester front-end (paper Sec. 4): evaluates a read query against an
+// annotated store with all-or-nothing semantics — if every node the XPath
+// selects is annotated accessible, the node ids are returned; otherwise the
+// whole request is denied.
+
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace xmlac::engine {
+
+struct RequestOutcome {
+  bool granted = false;
+  // Populated only when granted.
+  std::vector<UniversalId> ids;
+  // How many of the selected nodes were accessible (diagnostics).
+  size_t accessible = 0;
+  size_t selected = 0;
+};
+
+// Evaluates `query` and applies the all-or-nothing check.  A query that
+// selects no nodes is granted (it leaks nothing).  The returned Status is
+// kAccessDenied when any selected node is inaccessible.
+Result<RequestOutcome> Request(Backend* backend, const xpath::Path& query);
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_REQUESTER_H_

@@ -1,0 +1,56 @@
+#include "policy/depgraph.h"
+
+#include <functional>
+
+#include "xpath/containment.h"
+
+namespace xmlac::policy {
+
+DependencyGraph::DependencyGraph(const Policy& policy) {
+  const std::vector<Rule>& rules = policy.rules();
+  size_t n = rules.size();
+  adjacency_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rules[i].effect == rules[j].effect) continue;
+      if (xpath::Contains(rules[i].resource, rules[j].resource) ||
+          xpath::Contains(rules[j].resource, rules[i].resource)) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+      }
+    }
+  }
+  // Depend-Resolve: DFS closure per rule.
+  depends_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<bool> visited(n, false);
+    visited[r] = true;
+    std::vector<size_t>& dlist = depends_[r];
+    std::function<void(size_t)> resolve = [&](size_t u) {
+      for (size_t v : adjacency_[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          dlist.push_back(v);
+          resolve(v);
+        }
+      }
+    };
+    resolve(r);
+  }
+}
+
+std::string DependencyGraph::DebugString(const Policy& policy) const {
+  std::string out;
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    out += policy.rules()[i].id;
+    out += " ->";
+    for (size_t j : adjacency_[i]) {
+      out += ' ';
+      out += policy.rules()[j].id;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xmlac::policy

@@ -1,0 +1,44 @@
+#ifndef XMLAC_POLICY_DEPGRAPH_H_
+#define XMLAC_POLICY_DEPGRAPH_H_
+
+// Rule dependency graph (paper Fig. 7 / Sec. 5.3).
+//
+// Two rules are adjacent when they have *opposite* effects and their
+// resources are related by containment (either direction, including
+// equivalence): re-annotating the scope of one may need the other to decide
+// the final sign.  Depends(r) is the set of rules reachable from r — the
+// transitive closure Depend-Resolve computes — so Trigger can add every rule
+// whose outcome interacts with a triggered one.
+
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace xmlac::policy {
+
+class DependencyGraph {
+ public:
+  // Builds adjacency + closures with O(n^2) containment tests.
+  explicit DependencyGraph(const Policy& policy);
+
+  size_t num_rules() const { return adjacency_.size(); }
+
+  // Direct neighbours of rule `i` (opposite effect, containment-related).
+  const std::vector<size_t>& Neighbours(size_t i) const {
+    return adjacency_[i];
+  }
+
+  // All rules reachable from `i` (excluding `i` itself unless on a cycle
+  // through another rule).
+  const std::vector<size_t>& Depends(size_t i) const { return depends_[i]; }
+
+  std::string DebugString(const Policy& policy) const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<std::vector<size_t>> depends_;
+};
+
+}  // namespace xmlac::policy
+
+#endif  // XMLAC_POLICY_DEPGRAPH_H_

@@ -1,0 +1,67 @@
+#include "policy/optimizer.h"
+
+#include <vector>
+
+#include "xpath/containment.h"
+#include "xpath/schema_check.h"
+
+namespace xmlac::policy {
+
+Policy PruneUnsatisfiableRules(const Policy& policy,
+                               const xml::SchemaGraph& schema,
+                               OptimizerStats* stats) {
+  Policy out(policy.default_semantics(), policy.conflict_resolution());
+  size_t dropped = 0;
+  for (const Rule& r : policy.rules()) {
+    if (xpath::SatisfiableUnderSchema(r.resource, schema)) {
+      out.AddRule(r);
+    } else {
+      ++dropped;
+    }
+  }
+  if (stats != nullptr) stats->unsatisfiable += dropped;
+  return out;
+}
+
+Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats) {
+  const std::vector<Rule>& rules = policy.rules();
+  std::vector<bool> removed(rules.size(), false);
+  OptimizerStats local;
+
+  // Pairwise sweep within each effect class (Fig. 4's loop over `rules`,
+  // applied separately to A and D as the section prescribes).
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (removed[i]) continue;
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (i == j || removed[j] || removed[i]) continue;
+      if (rules[i].effect != rules[j].effect) continue;
+      ++local.containment_tests;
+      if (xpath::Contains(rules[j].resource, rules[i].resource)) {
+        // r_j ⊑ r_i: r_j is redundant.  (When the two are equivalent this
+        // drops the later one: for i < j the j-th goes first.)
+        if (j > i || !xpath::Contains(rules[i].resource, rules[j].resource)) {
+          removed[j] = true;
+          ++local.removed;
+          continue;
+        }
+      }
+      ++local.containment_tests;
+      if (xpath::Contains(rules[i].resource, rules[j].resource)) {
+        removed[i] = true;
+        ++local.removed;
+      }
+    }
+  }
+
+  Policy out(policy.default_semantics(), policy.conflict_resolution());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (!removed[i]) out.AddRule(rules[i]);
+  }
+  if (stats != nullptr) {
+    stats->removed += local.removed;
+    stats->containment_tests += local.containment_tests;
+  }
+  return out;
+}
+
+}  // namespace xmlac::policy

@@ -1,0 +1,40 @@
+#ifndef XMLAC_POLICY_OPTIMIZER_H_
+#define XMLAC_POLICY_OPTIMIZER_H_
+
+// Redundancy-Elimination (paper Fig. 4 / Sec. 5.1).
+//
+// A rule R is redundant when some other rule R' of the *same* effect
+// contains it (resource(R) ⊑ resource(R')): removing R cannot change the
+// policy semantics because every node R grants/denies is already
+// granted/denied by R'.  For the paper's hospital policy this removes R4,
+// R7, R8 (Table 3); R3 survives because its container R1 has the opposite
+// effect.
+
+#include "policy/policy.h"
+#include "xml/schema_graph.h"
+
+namespace xmlac::policy {
+
+struct OptimizerStats {
+  size_t removed = 0;
+  size_t containment_tests = 0;
+  // Rules dropped by the schema-aware pass (unsatisfiable under the DTD).
+  size_t unsatisfiable = 0;
+};
+
+// Returns a redundancy-free policy with the same (ds, cr) and semantics.
+// Rule ids are preserved from the input.  Of two equivalent rules the later
+// one is dropped.
+Policy EliminateRedundantRules(const Policy& policy,
+                               OptimizerStats* stats = nullptr);
+
+// Schema-aware pass (the paper's future-work optimization): removes rules
+// whose resources are unsatisfiable on any document valid against `schema`.
+// Semantics-preserving for schema-valid documents.
+Policy PruneUnsatisfiableRules(const Policy& policy,
+                               const xml::SchemaGraph& schema,
+                               OptimizerStats* stats = nullptr);
+
+}  // namespace xmlac::policy
+
+#endif  // XMLAC_POLICY_OPTIMIZER_H_

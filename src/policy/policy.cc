@@ -1,0 +1,112 @@
+#include "policy/policy.h"
+
+#include "common/strings.h"
+#include "xpath/parser.h"
+
+namespace xmlac::policy {
+
+std::string Rule::ToString() const {
+  std::string out = id.empty() ? "?" : id;
+  out += ": ";
+  out += effect == Effect::kAllow ? "allow " : "deny ";
+  out += xpath::ToString(resource);
+  return out;
+}
+
+void Policy::AddRule(Rule rule) {
+  if (rule.id.empty()) {
+    rule.id = "R" + std::to_string(rules_.size() + 1);
+  }
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<size_t> Policy::PositiveRules() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].effect == Effect::kAllow) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Policy::NegativeRules() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].effect == Effect::kDeny) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Policy::ToString() const {
+  std::string out;
+  out += "default ";
+  out += ds_ == DefaultSemantics::kAllow ? "allow\n" : "deny\n";
+  out += "conflict ";
+  out += cr_ == ConflictResolution::kAllowOverrides ? "allow\n" : "deny\n";
+  for (const Rule& r : rules_) {
+    out += r.effect == Effect::kAllow ? "allow " : "deny ";
+    out += xpath::ToString(r.resource);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Policy> ParsePolicy(std::string_view text) {
+  Policy policy;
+  bool seen_default = false;
+  bool seen_conflict = false;
+  bool seen_rule = false;
+  int line_no = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StrTrim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto err = [&](std::string msg) {
+      return Status::ParseError("policy line " + std::to_string(line_no) +
+                                ": " + std::move(msg));
+    };
+    size_t space = line.find_first_of(" \t");
+    std::string_view keyword = line.substr(0, space);
+    std::string_view rest =
+        space == std::string_view::npos ? "" : StrTrim(line.substr(space));
+    if (keyword == "default" || keyword == "conflict") {
+      if (seen_rule) return err("directives must precede rules");
+      bool allow;
+      if (rest == "allow") {
+        allow = true;
+      } else if (rest == "deny") {
+        allow = false;
+      } else {
+        return err("expected 'allow' or 'deny' after '" +
+                   std::string(keyword) + "'");
+      }
+      if (keyword == "default") {
+        if (seen_default) return err("duplicate 'default' directive");
+        seen_default = true;
+        policy.set_default_semantics(allow ? DefaultSemantics::kAllow
+                                           : DefaultSemantics::kDeny);
+      } else {
+        if (seen_conflict) return err("duplicate 'conflict' directive");
+        seen_conflict = true;
+        policy.set_conflict_resolution(allow
+                                           ? ConflictResolution::kAllowOverrides
+                                           : ConflictResolution::kDenyOverrides);
+      }
+      continue;
+    }
+    if (keyword == "allow" || keyword == "deny") {
+      if (rest.empty()) return err("missing XPath expression");
+      auto path = xpath::ParsePath(rest);
+      if (!path.ok()) return err(path.status().message());
+      Rule rule;
+      rule.resource = std::move(*path);
+      rule.effect = keyword == "allow" ? Effect::kAllow : Effect::kDeny;
+      policy.AddRule(std::move(rule));
+      seen_rule = true;
+      continue;
+    }
+    return err("expected 'default', 'conflict', 'allow' or 'deny'");
+  }
+  return policy;
+}
+
+}  // namespace xmlac::policy

@@ -1,0 +1,91 @@
+#ifndef XMLAC_POLICY_POLICY_H_
+#define XMLAC_POLICY_POLICY_H_
+
+// Access-control policy model (paper Sec. 3).
+//
+// A policy P = (ds, cr, A, D): default semantics, conflict resolution, the
+// positive rules A and the negative rules D.  Rules fix requester/action
+// (as the paper does) and carry only (resource, effect) with node-level
+// scope.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlac::policy {
+
+enum class Effect : uint8_t {
+  kAllow,  // '+'
+  kDeny,   // '-'
+};
+
+inline char EffectSign(Effect e) { return e == Effect::kAllow ? '+' : '-'; }
+
+// Default semantics ds: accessibility of nodes not covered by any rule.
+enum class DefaultSemantics : uint8_t {
+  kAllow,
+  kDeny,
+};
+
+// Conflict resolution cr: which effect wins when a node is in the scope of
+// rules with opposite signs.
+enum class ConflictResolution : uint8_t {
+  kAllowOverrides,
+  kDenyOverrides,
+};
+
+struct Rule {
+  std::string id;  // "R1", "R2", ... (assigned by Policy::AddRule if empty)
+  xpath::Path resource;
+  Effect effect = Effect::kAllow;
+
+  // "R3: deny //patient[treatment]".
+  std::string ToString() const;
+};
+
+class Policy {
+ public:
+  Policy() = default;
+  Policy(DefaultSemantics ds, ConflictResolution cr) : ds_(ds), cr_(cr) {}
+
+  DefaultSemantics default_semantics() const { return ds_; }
+  ConflictResolution conflict_resolution() const { return cr_; }
+  void set_default_semantics(DefaultSemantics ds) { ds_ = ds; }
+  void set_conflict_resolution(ConflictResolution cr) { cr_ = cr; }
+
+  // Appends a rule; assigns an id "R<n>" when rule.id is empty.
+  void AddRule(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  // Indices of positive (A) / negative (D) rules.
+  std::vector<size_t> PositiveRules() const;
+  std::vector<size_t> NegativeRules() const;
+
+  // Round-trips with ParsePolicy.
+  std::string ToString() const;
+
+ private:
+  DefaultSemantics ds_ = DefaultSemantics::kDeny;
+  ConflictResolution cr_ = ConflictResolution::kDenyOverrides;
+  std::vector<Rule> rules_;
+};
+
+// Parses the policy text format:
+//
+//   # comment
+//   default deny|allow
+//   conflict deny|allow
+//   allow <xpath>
+//   deny <xpath>
+//
+// `default`/`conflict` lines are optional (defaults: deny, deny) and may
+// appear at most once, before any rule.
+Result<Policy> ParsePolicy(std::string_view text);
+
+}  // namespace xmlac::policy
+
+#endif  // XMLAC_POLICY_POLICY_H_

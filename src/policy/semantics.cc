@@ -1,0 +1,79 @@
+#include "policy/semantics.h"
+
+#include "xpath/evaluator.h"
+
+namespace xmlac::policy {
+
+AnnotationPlan PlanFor(DefaultSemantics ds, ConflictResolution cr) {
+  AnnotationPlan plan;
+  if (ds == DefaultSemantics::kDeny) {
+    plan.mark = Effect::kAllow;
+    plan.combine = cr == ConflictResolution::kDenyOverrides
+                       ? CombineOp::kGrantsExceptDenies
+                       : CombineOp::kGrants;
+  } else {
+    plan.mark = Effect::kDeny;
+    plan.combine = cr == ConflictResolution::kDenyOverrides
+                       ? CombineOp::kDenies
+                       : CombineOp::kDeniesExceptGrants;
+  }
+  return plan;
+}
+
+NodeSet Combine(CombineOp op, const NodeSet& grants, const NodeSet& denies) {
+  NodeSet out;
+  switch (op) {
+    case CombineOp::kGrants:
+      return grants;
+    case CombineOp::kDenies:
+      return denies;
+    case CombineOp::kGrantsExceptDenies:
+      for (xml::NodeId id : grants) {
+        if (denies.find(id) == denies.end()) out.insert(id);
+      }
+      return out;
+    case CombineOp::kDeniesExceptGrants:
+      for (xml::NodeId id : denies) {
+        if (grants.find(id) == grants.end()) out.insert(id);
+      }
+      return out;
+  }
+  return out;
+}
+
+NodeSet ScopeUnion(const Policy& policy, const std::vector<size_t>& rule_idx,
+                   const xml::Document& doc) {
+  NodeSet out;
+  for (size_t i : rule_idx) {
+    for (xml::NodeId id : xpath::Evaluate(policy.rules()[i].resource, doc)) {
+      out.insert(id);
+    }
+  }
+  return out;
+}
+
+NodeSet AccessibleNodes(const Policy& policy, const xml::Document& doc) {
+  NodeSet grants = ScopeUnion(policy, policy.PositiveRules(), doc);
+  NodeSet denies = ScopeUnion(policy, policy.NegativeRules(), doc);
+  DefaultSemantics ds = policy.default_semantics();
+  ConflictResolution cr = policy.conflict_resolution();
+  if (ds == DefaultSemantics::kDeny) {
+    // [[A]] or [[A]] − [[D]].
+    return Combine(cr == ConflictResolution::kDenyOverrides
+                       ? CombineOp::kGrantsExceptDenies
+                       : CombineOp::kGrants,
+                   grants, denies);
+  }
+  // ds = allow: U − D, or U − (D − A).
+  NodeSet removed = Combine(cr == ConflictResolution::kDenyOverrides
+                                ? CombineOp::kDenies
+                                : CombineOp::kDeniesExceptGrants,
+                            grants, denies);
+  NodeSet out;
+  for (xml::NodeId id : doc.AllElements()) {
+    if (removed.find(id) == removed.end()) out.insert(id);
+  }
+  return out;
+}
+
+}  // namespace xmlac::policy

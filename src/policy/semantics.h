@@ -1,0 +1,60 @@
+#ifndef XMLAC_POLICY_SEMANTICS_H_
+#define XMLAC_POLICY_SEMANTICS_H_
+
+// Policy semantics (paper Table 2) and annotation planning (Fig. 5).
+//
+//   [[(+,+,A,D)]](T) = U(T) − ([[D]](T) − [[A]](T))
+//   [[(−,+,A,D)]](T) = [[A]](T)
+//   [[(+,−,A,D)]](T) = U(T) − [[D]](T)
+//   [[(−,−,A,D)]](T) = [[A]](T) − [[D]](T)
+//
+// The annotation query does not materialise U(T): nodes start at the
+// default sign, and the query computes only the set whose sign differs from
+// the default (Annotation-Queries, Fig. 5):
+//
+//   ds = deny :  annotate '+' on  grants [EXCEPT denys  when cr = deny]
+//   ds = allow:  annotate '-' on  denys  [EXCEPT grants when cr = allow]
+
+#include <unordered_set>
+#include <vector>
+
+#include "policy/policy.h"
+#include "xml/document.h"
+
+namespace xmlac::policy {
+
+// How to combine the union-of-grants and union-of-denies node sets.
+enum class CombineOp : uint8_t {
+  kGrants,              // A
+  kGrantsExceptDenies,  // A − D
+  kDenies,              // D
+  kDeniesExceptGrants,  // D − A
+};
+
+struct AnnotationPlan {
+  // Sign written onto the selected nodes ('+' when ds = deny).
+  Effect mark = Effect::kAllow;
+  CombineOp combine = CombineOp::kGrantsExceptDenies;
+};
+
+// The Fig. 5 plan for the policy's (ds, cr).
+AnnotationPlan PlanFor(DefaultSemantics ds, ConflictResolution cr);
+
+using NodeSet = std::unordered_set<xml::NodeId>;
+
+// Applies a combine op to materialised node sets.
+NodeSet Combine(CombineOp op, const NodeSet& grants, const NodeSet& denies);
+
+// Ground-truth accessibility: evaluates every rule on `doc` and applies
+// Table 2 directly.  Returns the set of accessible element nodes.
+// (Used by the native backend, the requester, and as the test oracle for
+// both storage backends.)
+NodeSet AccessibleNodes(const Policy& policy, const xml::Document& doc);
+
+// Union of rule scopes for the given rule indices.
+NodeSet ScopeUnion(const Policy& policy, const std::vector<size_t>& rule_idx,
+                   const xml::Document& doc);
+
+}  // namespace xmlac::policy
+
+#endif  // XMLAC_POLICY_SEMANTICS_H_

@@ -1,0 +1,61 @@
+#include "policy/trigger.h"
+
+#include <algorithm>
+
+#include "xpath/containment.h"
+
+namespace xmlac::policy {
+
+TriggerIndex::TriggerIndex(const Policy& policy,
+                           const xml::SchemaGraph* schema,
+                           const TriggerOptions& options)
+    : policy_(policy), options_(options), depgraph_(policy) {
+  expansions_.reserve(policy.rules().size());
+  for (const Rule& r : policy.rules()) {
+    expansions_.push_back(
+        xpath::Expand(r.resource, schema, options.expansion));
+  }
+}
+
+std::vector<size_t> TriggerIndex::Trigger(const xpath::Path& u,
+                                          TriggerStats* stats) const {
+  TriggerStats local;
+  std::vector<bool> fired(policy_.rules().size(), false);
+  xpath::ContainmentCache* cache = options_.containment_cache;
+  auto contains = [cache](const xpath::Path& a, const xpath::Path& b) {
+    return cache != nullptr ? cache->Contains(a, b) : xpath::Contains(a, b);
+  };
+  for (size_t i = 0; i < expansions_.size(); ++i) {
+    for (const xpath::Path& x : expansions_[i]) {
+      local.containment_tests += 2;
+      bool hit = contains(x, u) || contains(u, x);
+      if (!hit && options_.overlap_test) {
+        hit = xpath::MayOverlap(x, u);
+      }
+      if (hit) {
+        fired[i] = true;
+        ++local.directly_triggered;
+        break;
+      }
+    }
+  }
+  // Dependency closure.
+  std::vector<bool> result = fired;
+  for (size_t i = 0; i < fired.size(); ++i) {
+    if (!fired[i]) continue;
+    for (size_t dep : depgraph_.Depends(i)) {
+      if (!result[dep]) {
+        result[dep] = true;
+        ++local.dependency_added;
+      }
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result[i]) out.push_back(i);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace xmlac::policy

@@ -1,0 +1,51 @@
+#include "reldb/catalog.h"
+
+namespace xmlac::reldb {
+
+Result<Table*> Catalog::CreateTable(TableSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table '" + schema.name() +
+                                 "' already exists");
+  }
+  auto table = MakeTable(schema, kind_);
+  Table* raw = table.get();
+  tables_[schema.name()] = std::move(table);
+  return raw;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' not found");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(std::string_view name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t->AliveCount();
+  return n;
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,47 @@
+#ifndef XMLAC_RELDB_CATALOG_H_
+#define XMLAC_RELDB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/table.h"
+
+namespace xmlac::reldb {
+
+// The database catalog: owns all tables of one database instance.  Every
+// table created through a catalog shares its storage kind (the catalog *is*
+// the engine flavour: row-store database vs column-store database).
+class Catalog {
+ public:
+  explicit Catalog(StorageKind kind) : kind_(kind) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  StorageKind storage_kind() const { return kind_; }
+
+  Result<Table*> CreateTable(TableSchema schema);
+  Status DropTable(std::string_view name);
+
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const { return tables_.size(); }
+
+  // Sum of alive rows over all tables.
+  size_t TotalRows() const;
+
+  void Clear() { tables_.clear(); }
+
+ private:
+  StorageKind kind_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_CATALOG_H_

@@ -1,0 +1,79 @@
+#ifndef XMLAC_RELDB_EXECUTOR_H_
+#define XMLAC_RELDB_EXECUTOR_H_
+
+// Query executor.
+//
+// SELECT evaluation is a left-deep join in FROM order.  Equi-join conjuncts
+// (a.x = b.y) drive hash joins; single-table conjuncts are pushed to the
+// scans; everything else is evaluated as a residual filter.  UNION/EXCEPT
+// apply set semantics.  UPDATE/DELETE use a table's hash index when the
+// WHERE clause contains an indexed `col = literal` conjunct — the fast path
+// for the annotation loop's per-tuple sign updates.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/catalog.h"
+#include "reldb/query.h"
+#include "reldb/sql_parser.h"
+
+namespace xmlac::reldb {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  // Convenience for the id-list results of annotation queries.
+  std::vector<int64_t> IdColumn() const;
+  std::string ToString() const;  // aligned debug table
+};
+
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_output = 0;
+  uint64_t statements = 0;
+  uint64_t index_hits = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  Result<ResultSet> ExecuteSelect(const CompoundSelect& q);
+  // Returns the number of affected rows.
+  Result<size_t> ExecuteInsert(const InsertStatement& st);
+  Result<size_t> ExecuteUpdate(const UpdateStatement& st);
+  Result<size_t> ExecuteDelete(const DeleteStatement& st);
+
+  // Dispatch; DDL returns an empty result set.
+  Result<ResultSet> Execute(const Statement& st);
+
+  // Parse + execute one statement.
+  Result<ResultSet> Query(std::string_view sql);
+
+  // Human-readable physical plan of a select, e.g.
+  //   SCAN patient AS pat1 (3 rows)
+  //   HASH JOIN treatment AS treat1 ON pat1.id = treat1.pid (2 rows)
+  //     FILTER treat1.s = '+'
+  //   UNION
+  //     SCAN regular AS regular1 (1 rows)
+  Result<std::string> ExplainSelect(const CompoundSelect& q);
+
+  // Parse + execute a ';'-separated script, discarding result sets.
+  Status Run(std::string_view script);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  Result<ResultSet> ExecuteSingleSelect(const SelectQuery& q);
+
+  Catalog* catalog_;
+  ExecStats stats_;
+};
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_EXECUTOR_H_

@@ -1,0 +1,119 @@
+#include "reldb/expr.h"
+
+namespace xmlac::reldb {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string alias, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column = ColumnRef{std::move(alias), std::move(column)};
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kComparison;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->children.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->op = op;
+  for (const ExprPtr& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return column.alias.empty() ? column.column
+                                  : column.alias + "." + column.column;
+    case ExprKind::kComparison:
+      return children[0]->ToString() + " " +
+             std::string(CompareOpName(op)) + " " + children[1]->ToString();
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + " IS NULL";
+  }
+  return "?";
+}
+
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kAnd) {
+    CollectConjuncts(*e.children[0], out);
+    CollectConjuncts(*e.children[1], out);
+  } else {
+    out->push_back(&e);
+  }
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,68 @@
+#ifndef XMLAC_RELDB_EXPR_H_
+#define XMLAC_RELDB_EXPR_H_
+
+// Scalar expressions for WHERE clauses.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/schema.h"
+
+namespace xmlac::reldb {
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// A column reference `alias.column` (alias may be empty when the query has a
+// single unaliased table).  Binding (slot/col resolution) happens in the
+// executor.
+struct ColumnRef {
+  std::string alias;
+  std::string column;
+};
+
+struct Expr {
+  ExprKind kind;
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  ColumnRef column;
+  // kComparison
+  CompareOp op = CompareOp::kEq;
+  // children: comparison/and/or have 2, not/isnull have 1.
+  std::vector<ExprPtr> children;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(std::string alias, std::string column);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr inner);
+  static ExprPtr IsNull(ExprPtr inner);
+
+  ExprPtr Clone() const;
+  std::string ToString() const;
+};
+
+// Flattens a conjunction tree into its conjuncts (AND nodes only).
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out);
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_EXPR_H_

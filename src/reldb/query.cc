@@ -1,0 +1,76 @@
+#include "reldb/query.h"
+
+namespace xmlac::reldb {
+
+SelectQuery SelectQuery::Clone() const {
+  SelectQuery q;
+  q.distinct = distinct;
+  q.count_star = count_star;
+  q.select = select;
+  q.from = from;
+  if (where != nullptr) q.where = where->Clone();
+  q.order_by = order_by;
+  q.limit = limit;
+  return q;
+}
+
+std::string SelectQuery::ToSql() const {
+  std::string out = distinct ? "SELECT DISTINCT " : "SELECT ";
+  if (count_star) {
+    out += "COUNT(*)";
+  }
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].alias.empty() ? select[i].column
+                                   : select[i].alias + "." + select[i].column;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += ' ';
+      out += from[i].alias;
+    }
+  }
+  if (where != nullptr) {
+    out += " WHERE ";
+    out += where->ToString();
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      const ColumnRef& c = order_by[i].column;
+      out += c.alias.empty() ? c.column : c.alias + "." + c.column;
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) {
+    out += " LIMIT " + std::to_string(*limit);
+  }
+  return out;
+}
+
+CompoundSelect CompoundSelect::Clone() const {
+  CompoundSelect c;
+  c.first = first.Clone();
+  for (const auto& [op, sub] : rest) {
+    c.rest.emplace_back(op, sub.Clone());
+  }
+  return c;
+}
+
+std::string CompoundSelect::ToSql() const {
+  std::string out = first.ToSql();
+  for (const auto& [op, sub] : rest) {
+    out += op == SetOp::kUnion ? " UNION " : " EXCEPT ";
+    bool needs_parens = !sub.rest.empty();
+    if (needs_parens) out += '(';
+    out += sub.ToSql();
+    if (needs_parens) out += ')';
+  }
+  return out;
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,103 @@
+#ifndef XMLAC_RELDB_QUERY_H_
+#define XMLAC_RELDB_QUERY_H_
+
+// Statement AST for the SQL dialect the shredder and annotator emit.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reldb/expr.h"
+#include "reldb/schema.h"
+
+namespace xmlac::reldb {
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderTerm {
+  ColumnRef column;
+  bool descending = false;
+};
+
+// SELECT [DISTINCT] <cols> | COUNT(*) FROM <tables> [WHERE <expr>]
+// [ORDER BY <cols>] [LIMIT <n>]  (comma joins + conjunctive predicates).
+struct SelectQuery {
+  bool distinct = false;
+  // COUNT(*): `select` is empty and the result is one row with one INT.
+  bool count_star = false;
+  std::vector<ColumnRef> select;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<OrderTerm> order_by;
+  std::optional<size_t> limit;
+
+  SelectQuery() = default;
+  SelectQuery(SelectQuery&&) = default;
+  SelectQuery& operator=(SelectQuery&&) = default;
+  SelectQuery Clone() const;
+  std::string ToSql() const;
+};
+
+// A select combined with UNION / EXCEPT (set semantics, left-associative).
+struct CompoundSelect {
+  enum class SetOp : uint8_t { kUnion, kExcept };
+
+  SelectQuery first;
+  std::vector<std::pair<SetOp, CompoundSelect>> rest;
+
+  CompoundSelect() = default;
+  CompoundSelect(CompoundSelect&&) = default;
+  CompoundSelect& operator=(CompoundSelect&&) = default;
+  CompoundSelect Clone() const;
+  std::string ToSql() const;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty: positional
+  std::vector<Row> rows;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct CreateTableStatement {
+  TableSchema schema;
+};
+
+// A parsed SQL statement (exactly one member is set).
+struct Statement {
+  enum class Kind : uint8_t {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+  };
+  Kind kind = Kind::kSelect;
+  CompoundSelect select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+  CreateTableStatement create;
+};
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_QUERY_H_

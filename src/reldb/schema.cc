@@ -1,0 +1,27 @@
+#include "reldb/schema.h"
+
+namespace xmlac::reldb {
+
+std::string TableSchema::ToCreateSql() const {
+  std::string out = "CREATE TABLE " + name_ + " (";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    switch (columns_[i].type) {
+      case ValueType::kInt64:
+        out += "INT";
+        break;
+      case ValueType::kDouble:
+        out += "REAL";
+        break;
+      default:
+        out += "TEXT";
+        break;
+    }
+  }
+  out += ");";
+  return out;
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,47 @@
+#ifndef XMLAC_RELDB_SCHEMA_H_
+#define XMLAC_RELDB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reldb/value.h"
+
+namespace xmlac::reldb {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+// A table schema: ordered, uniquely named columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnDef> columns)
+      : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  std::optional<size_t> ColumnIndex(std::string_view column) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == column) return i;
+    }
+    return std::nullopt;
+  }
+
+  // "CREATE TABLE name (col TYPE, ...);"
+  std::string ToCreateSql() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_SCHEMA_H_

@@ -1,0 +1,533 @@
+#include "reldb/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace xmlac::reldb {
+namespace {
+
+enum class TokKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kOp,     // = <> != < <= > >=
+  kPunct,  // ( ) , . ; *
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier (original case), op or punct spelling
+  std::string upper;  // uppercased identifier for keyword checks
+  Value value;        // kNumber / kString payload
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWsAndComments();
+      Token t;
+      t.offset = pos_;
+      if (pos_ >= text_.size()) {
+        t.kind = TokKind::kEnd;
+        out.push_back(std::move(t));
+        return out;
+      }
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        t.kind = TokKind::kIdent;
+        t.text = std::string(text_.substr(start, pos_ - start));
+        t.upper = t.text;
+        for (char& ch : t.upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 ((c == '-' || c == '+') && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t start = pos_;
+        if (c == '-' || c == '+') ++pos_;
+        bool is_real = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+            is_real = true;
+          }
+          ++pos_;
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        t.kind = TokKind::kNumber;
+        t.text = num;
+        t.value = is_real ? Value::Real(std::strtod(num.c_str(), nullptr))
+                          : Value::Int(std::strtoll(num.c_str(), nullptr, 10));
+      } else if (c == '\'') {
+        ++pos_;
+        std::string s;
+        while (true) {
+          if (pos_ >= text_.size()) {
+            return Status::ParseError("SQL: unterminated string literal");
+          }
+          if (text_[pos_] == '\'') {
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+              s.push_back('\'');
+              pos_ += 2;
+              continue;
+            }
+            ++pos_;
+            break;
+          }
+          s.push_back(text_[pos_]);
+          ++pos_;
+        }
+        t.kind = TokKind::kString;
+        t.value = Value::Str(std::move(s));
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        size_t start = pos_;
+        ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || (c == '<' && text_[pos_] == '>'))) {
+          ++pos_;
+        }
+        t.kind = TokKind::kOp;
+        t.text = std::string(text_.substr(start, pos_ - start));
+        if (t.text == "!") {
+          return Status::ParseError("SQL: stray '!'");
+        }
+      } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == ';' ||
+                 c == '*') {
+        t.kind = TokKind::kPunct;
+        t.text = std::string(1, c);
+        ++pos_;
+      } else {
+        return Status::ParseError(std::string("SQL: unexpected character '") +
+                                  c + "' at offset " + std::to_string(pos_));
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  void SkipWsAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    XMLAC_ASSIGN_OR_RETURN(Statement st, ParseOne());
+    Eat(";");
+    if (!AtEnd()) return Err("trailing tokens after statement");
+    return st;
+  }
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (Eat(";")) continue;
+      XMLAC_ASSIGN_OR_RETURN(Statement st, ParseOne());
+      out.push_back(std::move(st));
+      if (!AtEnd() && !Eat(";")) return Err("expected ';' between statements");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  bool AtEnd() const { return Cur().kind == TokKind::kEnd; }
+
+  bool IsKeyword(std::string_view kw) const {
+    return Cur().kind == TokKind::kIdent && Cur().upper == kw;
+  }
+  bool EatKeyword(std::string_view kw) {
+    if (IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Is(std::string_view text) const {
+    return (Cur().kind == TokKind::kPunct || Cur().kind == TokKind::kOp) &&
+           Cur().text == text;
+  }
+  bool Eat(std::string_view text) {
+    if (Is(text)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(std::string msg) const {
+    return Status::ParseError("SQL, offset " + std::to_string(Cur().offset) +
+                              ": " + std::move(msg));
+  }
+
+  Result<std::string> ExpectIdent(std::string what) {
+    if (Cur().kind != TokKind::kIdent) return Err("expected " + what);
+    std::string s = Cur().text;
+    ++pos_;
+    return s;
+  }
+
+  Status Expect(std::string_view text) {
+    if (!Eat(text)) return Err("expected '" + std::string(text) + "'");
+    return Status::OK();
+  }
+
+  Result<Statement> ParseOne() {
+    Statement st;
+    if (IsKeyword("SELECT") || Is("(")) {
+      st.kind = Statement::Kind::kSelect;
+      XMLAC_ASSIGN_OR_RETURN(st.select, ParseCompound());
+      return st;
+    }
+    if (EatKeyword("INSERT")) {
+      st.kind = Statement::Kind::kInsert;
+      XMLAC_ASSIGN_OR_RETURN(st.insert, ParseInsert());
+      return st;
+    }
+    if (EatKeyword("UPDATE")) {
+      st.kind = Statement::Kind::kUpdate;
+      XMLAC_ASSIGN_OR_RETURN(st.update, ParseUpdate());
+      return st;
+    }
+    if (EatKeyword("DELETE")) {
+      st.kind = Statement::Kind::kDelete;
+      XMLAC_ASSIGN_OR_RETURN(st.del, ParseDelete());
+      return st;
+    }
+    if (EatKeyword("CREATE")) {
+      st.kind = Statement::Kind::kCreateTable;
+      XMLAC_ASSIGN_OR_RETURN(st.create, ParseCreate());
+      return st;
+    }
+    return Err("expected SELECT/INSERT/UPDATE/DELETE/CREATE");
+  }
+
+  // compound := unit ((UNION | EXCEPT) unit)*
+  // unit     := select | '(' compound ')'
+  Result<CompoundSelect> ParseCompound() {
+    CompoundSelect out;
+    XMLAC_ASSIGN_OR_RETURN(CompoundSelect first, ParseUnit());
+    // Flatten a parenthesised leading unit when it has no tail.
+    out = std::move(first);
+    while (true) {
+      CompoundSelect::SetOp op;
+      if (EatKeyword("UNION")) {
+        op = CompoundSelect::SetOp::kUnion;
+      } else if (EatKeyword("EXCEPT")) {
+        op = CompoundSelect::SetOp::kExcept;
+      } else {
+        break;
+      }
+      XMLAC_ASSIGN_OR_RETURN(CompoundSelect rhs, ParseUnit());
+      out.rest.emplace_back(op, std::move(rhs));
+    }
+    return out;
+  }
+
+  Result<CompoundSelect> ParseUnit() {
+    if (Eat("(")) {
+      XMLAC_ASSIGN_OR_RETURN(CompoundSelect inner, ParseCompound());
+      XMLAC_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    if (!EatKeyword("SELECT")) return Err("expected SELECT");
+    CompoundSelect out;
+    XMLAC_ASSIGN_OR_RETURN(out.first, ParseSelectBody());
+    return out;
+  }
+
+  Result<SelectQuery> ParseSelectBody() {
+    SelectQuery q;
+    q.distinct = EatKeyword("DISTINCT");
+    if (EatKeyword("COUNT")) {
+      XMLAC_RETURN_IF_ERROR(Expect("("));
+      XMLAC_RETURN_IF_ERROR(Expect("*"));
+      XMLAC_RETURN_IF_ERROR(Expect(")"));
+      q.count_star = true;
+    } else {
+      // Select list: alias.col | col, comma separated.
+      while (true) {
+        XMLAC_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        q.select.push_back(std::move(ref));
+        if (!Eat(",")) break;
+      }
+    }
+    if (!EatKeyword("FROM")) return Err("expected FROM");
+    while (true) {
+      TableRef tr;
+      XMLAC_ASSIGN_OR_RETURN(tr.table, ExpectIdent("table name"));
+      if (Cur().kind == TokKind::kIdent && !IsReservedTail()) {
+        tr.alias = Cur().text;
+        ++pos_;
+      }
+      q.from.push_back(std::move(tr));
+      if (!Eat(",")) break;
+    }
+    if (EatKeyword("WHERE")) {
+      XMLAC_ASSIGN_OR_RETURN(q.where, ParseOrExpr());
+    }
+    if (EatKeyword("ORDER")) {
+      if (!EatKeyword("BY")) return Err("expected BY after ORDER");
+      while (true) {
+        OrderTerm term;
+        XMLAC_ASSIGN_OR_RETURN(term.column, ParseColumnRef());
+        if (EatKeyword("DESC")) {
+          term.descending = true;
+        } else {
+          (void)EatKeyword("ASC");
+        }
+        q.order_by.push_back(std::move(term));
+        if (!Eat(",")) break;
+      }
+    }
+    if (EatKeyword("LIMIT")) {
+      if (Cur().kind != TokKind::kNumber ||
+          Cur().value.type() != ValueType::kInt64 ||
+          Cur().value.AsInt() < 0) {
+        return Err("LIMIT requires a non-negative integer");
+      }
+      q.limit = static_cast<size_t>(Cur().value.AsInt());
+      ++pos_;
+    }
+    return q;
+  }
+
+  // Keywords that may directly follow a table ref and thus are not aliases.
+  bool IsReservedTail() const {
+    return Cur().upper == "WHERE" || Cur().upper == "UNION" ||
+           Cur().upper == "EXCEPT" || Cur().upper == "ORDER" ||
+           Cur().upper == "LIMIT";
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    ColumnRef ref;
+    XMLAC_ASSIGN_OR_RETURN(std::string first, ExpectIdent("column"));
+    if (Eat(".")) {
+      ref.alias = std::move(first);
+      XMLAC_ASSIGN_OR_RETURN(ref.column, ExpectIdent("column"));
+    } else {
+      ref.column = std::move(first);
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseOrExpr() {
+    XMLAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+    while (EatKeyword("OR")) {
+      XMLAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    XMLAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (EatKeyword("AND")) {
+      XMLAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (EatKeyword("NOT")) {
+      XMLAC_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+      return Expr::Not(std::move(inner));
+    }
+    if (Eat("(")) {
+      XMLAC_ASSIGN_OR_RETURN(ExprPtr inner, ParseOrExpr());
+      XMLAC_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    XMLAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+    if (EatKeyword("IS")) {
+      bool negated = EatKeyword("NOT");
+      if (!EatKeyword("NULL")) return Err("expected NULL after IS");
+      ExprPtr e = Expr::IsNull(std::move(lhs));
+      return negated ? Expr::Not(std::move(e)) : std::move(e);
+    }
+    CompareOp op;
+    if (Eat("=")) {
+      op = CompareOp::kEq;
+    } else if (Eat("<>") || Eat("!=")) {
+      op = CompareOp::kNe;
+    } else if (Eat("<=")) {
+      op = CompareOp::kLe;
+    } else if (Eat(">=")) {
+      op = CompareOp::kGe;
+    } else if (Eat("<")) {
+      op = CompareOp::kLt;
+    } else if (Eat(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Err("expected a comparison operator");
+    }
+    XMLAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    if (Cur().kind == TokKind::kNumber || Cur().kind == TokKind::kString) {
+      Value v = Cur().value;
+      ++pos_;
+      return Expr::Literal(std::move(v));
+    }
+    if (IsKeyword("NULL")) {
+      ++pos_;
+      return Expr::Literal(Value::Null());
+    }
+    if (Cur().kind == TokKind::kIdent) {
+      XMLAC_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      return Expr::Column(std::move(ref.alias), std::move(ref.column));
+    }
+    return Err("expected literal or column reference");
+  }
+
+  Result<Value> ParseLiteralValue() {
+    if (Cur().kind == TokKind::kNumber || Cur().kind == TokKind::kString) {
+      Value v = Cur().value;
+      ++pos_;
+      return v;
+    }
+    if (EatKeyword("NULL")) return Value::Null();
+    return Err("expected a literal value");
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    InsertStatement ins;
+    if (!EatKeyword("INTO")) return Err("expected INTO");
+    XMLAC_ASSIGN_OR_RETURN(ins.table, ExpectIdent("table name"));
+    if (Eat("(")) {
+      while (true) {
+        XMLAC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        ins.columns.push_back(std::move(col));
+        if (Eat(")")) break;
+        XMLAC_RETURN_IF_ERROR(Expect(","));
+      }
+    }
+    if (!EatKeyword("VALUES")) return Err("expected VALUES");
+    while (true) {
+      XMLAC_RETURN_IF_ERROR(Expect("("));
+      Row row;
+      while (true) {
+        XMLAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+        if (Eat(")")) break;
+        XMLAC_RETURN_IF_ERROR(Expect(","));
+      }
+      ins.rows.push_back(std::move(row));
+      if (!Eat(",")) break;
+    }
+    return ins;
+  }
+
+  Result<UpdateStatement> ParseUpdate() {
+    UpdateStatement up;
+    XMLAC_ASSIGN_OR_RETURN(up.table, ExpectIdent("table name"));
+    if (!EatKeyword("SET")) return Err("expected SET");
+    while (true) {
+      XMLAC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      XMLAC_RETURN_IF_ERROR(Expect("="));
+      XMLAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      up.assignments.emplace_back(std::move(col), std::move(v));
+      if (!Eat(",")) break;
+    }
+    if (EatKeyword("WHERE")) {
+      XMLAC_ASSIGN_OR_RETURN(up.where, ParseOrExpr());
+    }
+    return up;
+  }
+
+  Result<DeleteStatement> ParseDelete() {
+    DeleteStatement del;
+    if (!EatKeyword("FROM")) return Err("expected FROM");
+    XMLAC_ASSIGN_OR_RETURN(del.table, ExpectIdent("table name"));
+    if (EatKeyword("WHERE")) {
+      XMLAC_ASSIGN_OR_RETURN(del.where, ParseOrExpr());
+    }
+    return del;
+  }
+
+  Result<CreateTableStatement> ParseCreate() {
+    if (!EatKeyword("TABLE")) return Err("expected TABLE");
+    XMLAC_ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+    XMLAC_RETURN_IF_ERROR(Expect("("));
+    std::vector<ColumnDef> cols;
+    while (true) {
+      ColumnDef col;
+      XMLAC_ASSIGN_OR_RETURN(col.name, ExpectIdent("column name"));
+      XMLAC_ASSIGN_OR_RETURN(std::string type, ExpectIdent("column type"));
+      for (char& ch : type) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (type == "INT" || type == "INTEGER" || type == "BIGINT") {
+        col.type = ValueType::kInt64;
+      } else if (type == "REAL" || type == "DOUBLE" || type == "FLOAT") {
+        col.type = ValueType::kDouble;
+      } else if (type == "TEXT" || type == "VARCHAR" || type == "CHAR") {
+        col.type = ValueType::kString;
+      } else {
+        return Err("unknown column type '" + type + "'");
+      }
+      // Optional length suffix: VARCHAR(32).
+      if (Eat("(")) {
+        if (Cur().kind != TokKind::kNumber) return Err("expected length");
+        ++pos_;
+        XMLAC_RETURN_IF_ERROR(Expect(")"));
+      }
+      cols.push_back(std::move(col));
+      if (Eat(")")) break;
+      XMLAC_RETURN_IF_ERROR(Expect(","));
+    }
+    CreateTableStatement create;
+    create.schema = TableSchema(std::move(name), std::move(cols));
+    return create;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(std::string_view sql) {
+  XMLAC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(sql).Run());
+  return SqlParser(std::move(toks)).ParseStatement();
+}
+
+Result<std::vector<Statement>> ParseSqlScript(std::string_view sql) {
+  XMLAC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(sql).Run());
+  return SqlParser(std::move(toks)).ParseScript();
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,33 @@
+#ifndef XMLAC_RELDB_SQL_PARSER_H_
+#define XMLAC_RELDB_SQL_PARSER_H_
+
+// Parser for the SQL dialect used by the shredder and the annotation
+// pipeline:
+//
+//   CREATE TABLE patient (id INT, pid INT, v TEXT, s TEXT);
+//   INSERT INTO patient VALUES (4, 2, NULL, '-');
+//   INSERT INTO patient (id, pid, s) VALUES (4, 2, '-'), (11, 9, '-');
+//   SELECT p.id FROM patients ps, patient p WHERE ps.id = p.pid;
+//   SELECT ... UNION SELECT ... EXCEPT (SELECT ... UNION SELECT ...);
+//   UPDATE patient SET s = '+' WHERE id = 4;
+//   DELETE FROM patient WHERE pid = 9;
+//
+// Keywords are case-insensitive; identifiers are case-sensitive.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/query.h"
+
+namespace xmlac::reldb {
+
+// Parses a single statement (trailing ';' optional).
+Result<Statement> ParseSql(std::string_view sql);
+
+// Parses a ';'-separated script (e.g. a shredded-document INSERT file).
+Result<std::vector<Statement>> ParseSqlScript(std::string_view sql);
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_SQL_PARSER_H_

@@ -1,0 +1,159 @@
+#include "reldb/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+namespace xmlac::reldb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "REAL";
+    case ValueType::kString:
+      return "TEXT";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() != ValueType::kString) return ToString();
+  std::string out = "'";
+  for (char c : AsString()) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += '\'';
+  return out;
+}
+
+namespace {
+
+// Numeric interpretation of a string value, if it parses completely.
+bool ParseNumeric(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return *end == '\0';
+}
+
+}  // namespace
+
+bool Value::SqlEquals(const Value& other) const {
+  int cmp;
+  return SqlCompare(other, &cmp) && cmp == 0;
+}
+
+bool Value::SqlCompare(const Value& other, int* cmp) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) return false;
+  auto numeric = [cmp](double x, double y) {
+    *cmp = x < y ? -1 : (x > y ? 1 : 0);
+    return true;
+  };
+  bool a_num = a != ValueType::kString;
+  bool b_num = b != ValueType::kString;
+  if (a_num && b_num) return numeric(AsDouble(), other.AsDouble());
+  if (!a_num && !b_num) {
+    // Empty strings (shredded elements without character data) are
+    // incomparable, mirroring xpath::CompareValues.
+    if (AsString().empty() || other.AsString().empty()) return false;
+    // Two strings: numeric when both parse as numbers, else lexicographic.
+    double x, y;
+    if (ParseNumeric(AsString(), &x) && ParseNumeric(other.AsString(), &y)) {
+      return numeric(x, y);
+    }
+    int c = AsString().compare(other.AsString());
+    *cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    return true;
+  }
+  // Mixed number/string: comparable when the string parses as a number.
+  double sv;
+  if (a_num) {
+    if (!ParseNumeric(other.AsString(), &sv)) return false;
+    return numeric(AsDouble(), sv);
+  }
+  if (!ParseNumeric(AsString(), &sv)) return false;
+  return numeric(sv, other.AsDouble());
+}
+
+int Value::TotalCompare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b) ? -1 : 1;
+  switch (rank(a)) {
+    case 0:
+      return 0;
+    case 1: {
+      // Exact int ordering when both are ints; else via double.
+      if (a == ValueType::kInt64 && b == ValueType::kInt64) {
+        int64_t x = AsInt(), y = other.AsInt();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      double x = AsDouble(), y = other.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    default: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble: {
+      double d = std::get<double>(v_);
+      // Hash integral doubles like the equal int64 so TotalCompare-equal
+      // values hash equal.
+      if (d == std::floor(d) && std::abs(d) < 9e15) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+}  // namespace xmlac::reldb

@@ -1,0 +1,97 @@
+#ifndef XMLAC_RELDB_VALUE_H_
+#define XMLAC_RELDB_VALUE_H_
+
+// Typed values for the relational engine.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace xmlac::reldb {
+
+enum class ValueType : uint8_t {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+// A SQL value.  NULL compares like SQL: any comparison with NULL is false
+// (we do not model three-valued logic beyond that; the shredded workload
+// only produces NULLs in the root tuple's pid).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return type() == ValueType::kInt64
+               ? static_cast<double>(std::get<int64_t>(v_))
+               : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  // SQL display form: NULL, 42, 4.2, abc (unquoted).
+  std::string ToString() const;
+
+  // SQL literal form: NULL, 42, 4.2, 'abc' (quotes escaped by doubling).
+  std::string ToSqlLiteral() const;
+
+  // Equality: null != anything (including null).  Numeric types compare by
+  // value across int/double; numbers never equal strings.
+  bool SqlEquals(const Value& other) const;
+
+  // Three-way comparison for ORDER/set operations; total order with
+  // NULL < numbers < strings (used for set semantics, not SQL comparison).
+  int TotalCompare(const Value& other) const;
+
+  // SQL ordering comparison: writes -1/0/+1 and returns true, or returns
+  // false when either side is NULL, an empty string, or the types are
+  // incomparable.
+  // (int/double compare numerically; strings lexicographically; a string
+  // that parses as a number compares numerically with numbers, matching the
+  // loose typing of shredded XML text values.)
+  bool SqlCompare(const Value& other, int* cmp) const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.TotalCompare(b) == 0;
+  }
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace xmlac::reldb
+
+#endif  // XMLAC_RELDB_VALUE_H_

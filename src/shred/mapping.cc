@@ -1,0 +1,56 @@
+#include "shred/mapping.h"
+
+#include <algorithm>
+
+namespace xmlac::shred {
+
+using reldb::ColumnDef;
+using reldb::TableSchema;
+using reldb::ValueType;
+
+ShredMapping::ShredMapping(const xml::Dtd& dtd) : graph_(dtd) {
+  for (const std::string& label : graph_.labels()) {
+    std::vector<ColumnDef> cols;
+    cols.push_back({kIdColumn, ValueType::kInt64});
+    cols.push_back({kPidColumn, ValueType::kInt64});
+    if (graph_.HasText(label)) {
+      cols.push_back({kValueColumn, ValueType::kString});
+      value_tables_.push_back(label);
+    }
+    cols.push_back({kSignColumn, ValueType::kString});
+    tables_.emplace_back(label, std::move(cols));
+  }
+  std::sort(value_tables_.begin(), value_tables_.end());
+}
+
+bool ShredMapping::HasTable(std::string_view label) const {
+  return graph_.HasLabel(label);
+}
+
+bool ShredMapping::HasValueColumn(std::string_view label) const {
+  return std::binary_search(value_tables_.begin(), value_tables_.end(),
+                            label);
+}
+
+std::string ShredMapping::ToDdlScript() const {
+  std::string out;
+  for (const TableSchema& t : tables_) {
+    out += t.ToCreateSql();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ShredMapping::CreateTables(reldb::Catalog* catalog,
+                                  bool with_indexes) const {
+  for (const TableSchema& schema : tables_) {
+    XMLAC_ASSIGN_OR_RETURN(reldb::Table * t, catalog->CreateTable(schema));
+    if (with_indexes) {
+      XMLAC_RETURN_IF_ERROR(t->CreateIndex(kIdColumn));
+      XMLAC_RETURN_IF_ERROR(t->CreateIndex(kPidColumn));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlac::shred

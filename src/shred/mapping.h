@@ -1,0 +1,58 @@
+#ifndef XMLAC_SHRED_MAPPING_H_
+#define XMLAC_SHRED_MAPPING_H_
+
+// XML-to-relational mapping à la ShreX, specialised to the paper's layout
+// (Sec. 5.2): one table per DTD element type,
+//
+//   ET(id INT, pid INT, s TEXT)            structure-only elements
+//   ET(id INT, pid INT, v TEXT, s TEXT)    elements with #PCDATA content
+//
+// `id` is the universal identifier (the tree NodeId), `pid` the parent
+// element's id (NULL at the root), `v` the concatenated text content and
+// `s` the accessibility sign.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reldb/catalog.h"
+#include "xml/dtd.h"
+#include "xml/schema_graph.h"
+
+namespace xmlac::shred {
+
+inline constexpr char kIdColumn[] = "id";
+inline constexpr char kPidColumn[] = "pid";
+inline constexpr char kValueColumn[] = "v";
+inline constexpr char kSignColumn[] = "s";
+
+class ShredMapping {
+ public:
+  // Derives the mapping from a DTD.  Every label appearing anywhere in the
+  // DTD (declared or referenced) gets a table.
+  explicit ShredMapping(const xml::Dtd& dtd);
+
+  const std::vector<reldb::TableSchema>& tables() const { return tables_; }
+  const xml::SchemaGraph& schema_graph() const { return graph_; }
+
+  bool HasTable(std::string_view label) const;
+  // True if `label`'s table carries a `v` column.
+  bool HasValueColumn(std::string_view label) const;
+
+  // The CREATE TABLE script for all tables.
+  std::string ToDdlScript() const;
+
+  // Creates all tables in `catalog`, with hash indexes on id and pid (the
+  // columns every shredded query joins or point-updates on) unless
+  // `with_indexes` is false (exposed for the index ablation benchmark).
+  Status CreateTables(reldb::Catalog* catalog, bool with_indexes = true) const;
+
+ private:
+  xml::SchemaGraph graph_;
+  std::vector<reldb::TableSchema> tables_;
+  std::vector<std::string> value_tables_;  // sorted labels with a v column
+};
+
+}  // namespace xmlac::shred
+
+#endif  // XMLAC_SHRED_MAPPING_H_

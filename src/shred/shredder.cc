@@ -1,0 +1,101 @@
+#include "shred/shredder.h"
+
+#include <set>
+
+#include "reldb/value.h"
+
+namespace xmlac::shred {
+
+using reldb::Value;
+using xml::NodeId;
+using xml::NodeKind;
+
+namespace {
+
+// Walks alive elements in document order, handing (node, parent-element-id)
+// pairs to `fn`; returns the first error `fn` produces.
+Status ForEachElement(const xml::Document& doc, const ShredMapping& mapping,
+                      const std::function<Status(NodeId, NodeId)>& fn) {
+  if (doc.empty()) return Status::OK();
+  Status status;
+  doc.Visit(doc.root(), [&](NodeId id) {
+    if (!status.ok()) return;
+    const xml::Node& n = doc.node(id);
+    if (n.kind != NodeKind::kElement) return;
+    if (!mapping.HasTable(n.label)) {
+      status = Status::InvalidArgument("element '" + n.label +
+                                       "' has no mapped table");
+      return;
+    }
+    status = fn(id, n.parent);
+  });
+  return status;
+}
+
+}  // namespace
+
+Result<ShredStats> ShredToCatalog(const xml::Document& doc,
+                                  const ShredMapping& mapping,
+                                  reldb::Catalog* catalog,
+                                  char default_sign) {
+  ShredStats stats;
+  std::set<std::string_view> touched;
+  std::string sign(1, default_sign);
+  Status st = ForEachElement(doc, mapping, [&](NodeId id, NodeId parent) {
+    const xml::Node& n = doc.node(id);
+    reldb::Table* table = catalog->GetTable(n.label);
+    if (table == nullptr) {
+      return Status::NotFound("table '" + n.label +
+                              "' missing from catalog (run CreateTables)");
+    }
+    reldb::Row row;
+    row.reserve(table->schema().num_columns());
+    row.push_back(Value::Int(static_cast<int64_t>(id)));
+    row.push_back(parent == xml::kInvalidNode
+                      ? Value::Null()
+                      : Value::Int(static_cast<int64_t>(parent)));
+    if (mapping.HasValueColumn(n.label)) {
+      row.push_back(Value::Str(doc.DirectText(id)));
+    }
+    row.push_back(Value::Str(sign));
+    auto inserted = table->Insert(std::move(row));
+    if (!inserted.ok()) return inserted.status();
+    ++stats.tuples;
+    touched.insert(n.label);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  stats.tables_touched = touched.size();
+  return stats;
+}
+
+Result<std::string> ShredToSqlScript(const xml::Document& doc,
+                                     const ShredMapping& mapping,
+                                     char default_sign) {
+  std::string out;
+  Status st = ForEachElement(doc, mapping, [&](NodeId id, NodeId parent) {
+    const xml::Node& n = doc.node(id);
+    out += "INSERT INTO ";
+    out += n.label;
+    out += " VALUES (";
+    out += std::to_string(id);
+    out += ", ";
+    if (parent == xml::kInvalidNode) {
+      out += "NULL";
+    } else {
+      out += std::to_string(parent);
+    }
+    if (mapping.HasValueColumn(n.label)) {
+      out += ", ";
+      out += Value::Str(doc.DirectText(id)).ToSqlLiteral();
+    }
+    out += ", '";
+    out += default_sign;
+    out += "');\n";
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace xmlac::shred

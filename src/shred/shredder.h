@@ -1,0 +1,38 @@
+#ifndef XMLAC_SHRED_SHREDDER_H_
+#define XMLAC_SHRED_SHREDDER_H_
+
+// Document shredding: turns an xml::Document into relational tuples under a
+// ShredMapping.  The tuple id of an element is its tree NodeId, so the two
+// representations share one id space (the paper's universal identifier).
+
+#include <string>
+
+#include "common/status.h"
+#include "reldb/catalog.h"
+#include "shred/mapping.h"
+#include "xml/document.h"
+
+namespace xmlac::shred {
+
+struct ShredStats {
+  size_t tuples = 0;
+  size_t tables_touched = 0;
+};
+
+// Inserts one tuple per alive element of `doc` into `catalog`'s tables,
+// signs initialised to `default_sign` ('+' or '-').  Fails with
+// InvalidArgument on labels without a mapped table.
+Result<ShredStats> ShredToCatalog(const xml::Document& doc,
+                                  const ShredMapping& mapping,
+                                  reldb::Catalog* catalog, char default_sign);
+
+// Emits the equivalent INSERT script (one statement per tuple), the form
+// the paper loads and times ("we shred the XML files to text files
+// containing SQL INSERT statements").
+Result<std::string> ShredToSqlScript(const xml::Document& doc,
+                                     const ShredMapping& mapping,
+                                     char default_sign);
+
+}  // namespace xmlac::shred
+
+#endif  // XMLAC_SHRED_SHREDDER_H_

@@ -1,0 +1,271 @@
+#include "shred/xpath_to_sql.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace xmlac::shred {
+
+using reldb::CompareOp;
+using reldb::CompoundSelect;
+using reldb::Expr;
+using reldb::ExprPtr;
+using reldb::SelectQuery;
+using reldb::TableRef;
+using reldb::Value;
+using xpath::Axis;
+using xpath::Path;
+using xpath::Predicate;
+using xpath::Step;
+
+namespace {
+
+// Fan-out guard: schema-driven expansion of descendants/wildcards is finite
+// but can multiply; beyond this we refuse rather than emit a monster query.
+constexpr size_t kMaxBranches = 1024;
+
+CompareOp ToSqlOp(xpath::CmpOp op) {
+  switch (op) {
+    case xpath::CmpOp::kEq:
+      return CompareOp::kEq;
+    case xpath::CmpOp::kNe:
+      return CompareOp::kNe;
+    case xpath::CmpOp::kLt:
+      return CompareOp::kLt;
+    case xpath::CmpOp::kLe:
+      return CompareOp::kLe;
+    case xpath::CmpOp::kGt:
+      return CompareOp::kGt;
+    case xpath::CmpOp::kGe:
+      return CompareOp::kGe;
+  }
+  return CompareOp::kEq;
+}
+
+// One conjunctive query under construction.
+struct Branch {
+  SelectQuery q;
+  std::string ctx_alias;
+  std::string ctx_label;
+};
+
+class Translator {
+ public:
+  explicit Translator(const ShredMapping& mapping)
+      : mapping_(mapping), graph_(mapping.schema_graph()) {}
+
+  Result<SqlTranslation> Run(const Path& path) {
+    if (graph_.IsRecursive()) {
+      return Status::Unsupported(
+          "XPath-to-SQL translation requires a non-recursive schema");
+    }
+    if (!path.absolute || path.steps.empty()) {
+      return Status::InvalidArgument(
+          "only absolute non-empty paths translate to SQL");
+    }
+    std::vector<Branch> branches;
+    branches.emplace_back();
+    bool first = true;
+    for (const Step& step : path.steps) {
+      XMLAC_ASSIGN_OR_RETURN(branches, ApplyStep(std::move(branches), step,
+                                                 first));
+      first = false;
+      if (branches.empty()) break;
+    }
+    SqlTranslation out;
+    if (branches.empty()) {
+      out.empty = true;
+      return out;
+    }
+    std::set<std::string> result_tables;
+    bool first_branch = true;
+    for (Branch& b : branches) {
+      b.q.distinct = true;
+      b.q.select.push_back({b.ctx_alias, kIdColumn});
+      result_tables.insert(b.ctx_label);
+      if (first_branch) {
+        out.query.first = std::move(b.q);
+        first_branch = false;
+      } else {
+        CompoundSelect sub;
+        sub.first = std::move(b.q);
+        out.query.rest.emplace_back(CompoundSelect::SetOp::kUnion,
+                                    std::move(sub));
+      }
+    }
+    out.result_tables.assign(result_tables.begin(), result_tables.end());
+    return out;
+  }
+
+ private:
+  std::string NewAlias(const std::string& label) {
+    return label + std::to_string(++alias_count_[label]);
+  }
+
+  static void AddConjunct(SelectQuery* q, ExprPtr e) {
+    q->where = q->where == nullptr
+                   ? std::move(e)
+                   : Expr::And(std::move(q->where), std::move(e));
+  }
+
+  // Joins table `label` under `parent_alias` (parent.id = new.pid); returns
+  // the new alias.  Empty parent_alias means no pid constraint (descendant
+  // entry table).
+  std::string JoinChild(Branch* b, const std::string& label,
+                        const std::string& parent_alias) {
+    std::string alias = NewAlias(label);
+    b->q.from.push_back(TableRef{label, alias});
+    if (!parent_alias.empty()) {
+      AddConjunct(&b->q,
+                  Expr::Compare(CompareOp::kEq,
+                                Expr::Column(alias, kPidColumn),
+                                Expr::Column(parent_alias, kIdColumn)));
+    }
+    return alias;
+  }
+
+  // Moves a branch's context through a chain of labels (child joins).
+  Branch FollowChain(const Branch& src,
+                     const std::vector<std::string>& chain) {
+    Branch b;
+    b.q = src.q.Clone();
+    b.ctx_alias = src.ctx_alias;
+    b.ctx_label = src.ctx_label;
+    for (const std::string& hop : chain) {
+      b.ctx_alias = JoinChild(&b, hop, b.ctx_alias);
+      b.ctx_label = hop;
+    }
+    return b;
+  }
+
+  // Label alternatives for a step from context `ctx_label` ("" = document
+  // root context for the path's first step).
+  std::vector<std::vector<std::string>> ChainsFor(const Step& step,
+                                                  const std::string& ctx_label,
+                                                  bool first) {
+    std::vector<std::vector<std::string>> chains;
+    if (first) {
+      // From the virtual document node.
+      if (step.axis == Axis::kChild) {
+        if (step.is_wildcard() || step.label == graph_.root()) {
+          chains.push_back({graph_.root()});
+        }
+      } else {
+        // //label: any node of that type (its table holds exactly those).
+        if (step.is_wildcard()) {
+          for (const std::string& l : graph_.labels()) chains.push_back({l});
+        } else if (graph_.HasLabel(step.label)) {
+          chains.push_back({step.label});
+        }
+      }
+      return chains;
+    }
+    if (step.axis == Axis::kChild) {
+      if (step.is_wildcard()) {
+        for (const std::string& l : graph_.Children(ctx_label)) {
+          chains.push_back({l});
+        }
+      } else if (graph_.Children(ctx_label).count(step.label) > 0) {
+        chains.push_back({step.label});
+      }
+    } else {
+      if (step.is_wildcard()) {
+        for (const std::string& l : graph_.Descendants(ctx_label)) {
+          for (auto& c : graph_.PathsBetween(ctx_label, l, kMaxBranches)) {
+            chains.push_back(std::move(c));
+          }
+        }
+      } else if (graph_.HasLabel(step.label)) {
+        chains = graph_.PathsBetween(ctx_label, step.label, kMaxBranches);
+      }
+    }
+    return chains;
+  }
+
+  Result<std::vector<Branch>> ApplyStep(std::vector<Branch> branches,
+                                        const Step& step, bool first) {
+    std::vector<Branch> moved;
+    for (const Branch& b : branches) {
+      auto chains = ChainsFor(step, b.ctx_label, first);
+      for (const auto& chain : chains) {
+        if (first) {
+          // Entry: FROM the chain's single label; anchor /root to the root
+          // tuple via pid IS NULL.
+          Branch nb;
+          nb.ctx_alias = JoinChild(&nb, chain[0], "");
+          nb.ctx_label = chain[0];
+          if (step.axis == Axis::kChild) {
+            AddConjunct(&nb.q, Expr::IsNull(Expr::Column(nb.ctx_alias,
+                                                         kPidColumn)));
+          }
+          moved.push_back(std::move(nb));
+        } else {
+          moved.push_back(FollowChain(b, chain));
+        }
+        if (moved.size() > kMaxBranches) {
+          return Status::Unsupported("XPath-to-SQL branch explosion");
+        }
+      }
+    }
+    // Predicates fork further.
+    for (const Predicate& pred : step.predicates) {
+      std::vector<Branch> out;
+      for (Branch& b : moved) {
+        XMLAC_ASSIGN_OR_RETURN(std::vector<Branch> expanded,
+                               ApplyPredicate(std::move(b), pred));
+        for (Branch& e : expanded) out.push_back(std::move(e));
+        if (out.size() > kMaxBranches) {
+          return Status::Unsupported("XPath-to-SQL branch explosion");
+        }
+      }
+      moved = std::move(out);
+    }
+    return moved;
+  }
+
+  Result<std::vector<Branch>> ApplyPredicate(Branch branch,
+                                             const Predicate& pred) {
+    std::string saved_alias = branch.ctx_alias;
+    std::string saved_label = branch.ctx_label;
+    std::vector<Branch> tips;
+    tips.push_back(std::move(branch));
+    bool first_step = true;
+    for (const Step& step : pred.path.steps) {
+      XMLAC_ASSIGN_OR_RETURN(tips, ApplyStep(std::move(tips), step, false));
+      (void)first_step;
+      first_step = false;
+      if (tips.empty()) return tips;
+    }
+    std::vector<Branch> out;
+    for (Branch& t : tips) {
+      if (pred.has_comparison()) {
+        // The comparison constrains the tip's text value.
+        if (!mapping_.HasValueColumn(t.ctx_label)) {
+          continue;  // no text content: the comparison can never hold
+        }
+        AddConjunct(&t.q,
+                    Expr::Compare(ToSqlOp(*pred.op),
+                                  Expr::Column(t.ctx_alias, kValueColumn),
+                                  Expr::Literal(Value::Str(pred.value))));
+      }
+      // Restore the spine context.
+      t.ctx_alias = saved_alias;
+      t.ctx_label = saved_label;
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  const ShredMapping& mapping_;
+  const xml::SchemaGraph& graph_;
+  std::map<std::string, int> alias_count_;
+};
+
+}  // namespace
+
+Result<SqlTranslation> TranslateXPath(const xpath::Path& path,
+                                      const ShredMapping& mapping) {
+  return Translator(mapping).Run(path);
+}
+
+}  // namespace xmlac::shred

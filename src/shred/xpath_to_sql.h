@@ -1,0 +1,45 @@
+#ifndef XMLAC_SHRED_XPATH_TO_SQL_H_
+#define XMLAC_SHRED_XPATH_TO_SQL_H_
+
+// XPath-to-SQL translation over the shredded layout (the ShreX role in the
+// paper's pipeline).
+//
+// A location path becomes a join chain over the per-element-type tables,
+// connected by parent.id = child.pid; predicates add further join branches
+// off the context alias; value comparisons constrain the branch tip's `v`
+// column.  Descendant axes and wildcards are expanded against the schema
+// into finitely many child-axis alternatives, so the result is in general a
+// UNION of conjunctive SELECT DISTINCT queries:
+//
+//   //patient[treatment]
+//     -> SELECT DISTINCT patient1.id FROM patient patient1,
+//        treatment treatment1 WHERE treatment1.pid = patient1.id
+//
+// Requires a non-recursive schema (the paper de-recursed xmlgen for the
+// same reason); recursive schemas yield kUnsupported.
+
+#include "common/status.h"
+#include "reldb/query.h"
+#include "shred/mapping.h"
+#include "xpath/ast.h"
+
+namespace xmlac::shred {
+
+struct SqlTranslation {
+  // True when static analysis proves the path selects nothing (e.g. a label
+  // with no schema occurrence); `query` is unset then.
+  bool empty = false;
+  reldb::CompoundSelect query;
+  // The element types the result ids can belong to (the tables the
+  // annotator must consider updating).
+  std::vector<std::string> result_tables;
+};
+
+// Translates an absolute path.  The produced queries select the `id` column
+// of matched nodes.
+Result<SqlTranslation> TranslateXPath(const xpath::Path& path,
+                                      const ShredMapping& mapping);
+
+}  // namespace xmlac::shred
+
+#endif  // XMLAC_SHRED_XPATH_TO_SQL_H_

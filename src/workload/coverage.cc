@@ -1,0 +1,174 @@
+#include "workload/coverage.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "policy/semantics.h"
+#include "xpath/parser.h"
+
+namespace xmlac::workload {
+
+namespace {
+
+struct Candidate {
+  std::string path;
+  std::vector<xml::NodeId> nodes;
+};
+
+// All //label and //parent/label candidates with their exact node lists,
+// collected in one pass.
+std::vector<Candidate> CollectCandidates(const xml::Document& doc) {
+  std::map<std::string, std::vector<xml::NodeId>> by_label;
+  std::map<std::pair<std::string, std::string>, std::vector<xml::NodeId>>
+      by_edge;
+  for (xml::NodeId id : doc.AllElements()) {
+    const xml::Node& n = doc.node(id);
+    by_label[n.label].push_back(id);
+    if (n.parent != xml::kInvalidNode) {
+      by_edge[{doc.node(n.parent).label, n.label}].push_back(id);
+    }
+  }
+  std::vector<Candidate> out;
+  for (auto& [label, nodes] : by_label) {
+    out.push_back({"//" + label, nodes});
+  }
+  // Predicated candidates //parent[child]: the parents that have at least
+  // one `child` — these give Trigger's static analysis real work, like the
+  // paper's hand-written policies (R3, R5, ...).
+  for (auto& [edge, nodes] : by_edge) {
+    std::vector<xml::NodeId> parents;
+    for (xml::NodeId id : nodes) {
+      parents.push_back(doc.node(id).parent);
+    }
+    std::sort(parents.begin(), parents.end());
+    parents.erase(std::unique(parents.begin(), parents.end()),
+                  parents.end());
+    out.push_back(
+        {"//" + edge.first + "[" + edge.second + "]", std::move(parents)});
+  }
+  for (auto& [edge, nodes] : by_edge) {
+    out.push_back({"//" + edge.first + "/" + edge.second, std::move(nodes)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, size_t> PathStatistics(const xml::Document& doc) {
+  std::map<std::string, size_t> out;
+  for (const Candidate& c : CollectCandidates(doc)) {
+    out[c.path] = c.nodes.size();
+  }
+  return out;
+}
+
+Result<policy::Policy> GenerateCoveragePolicy(const xml::Document& doc,
+                                              const CoverageOptions& options) {
+  if (options.target <= 0.0 || options.target > 1.0) {
+    return Status::InvalidArgument("coverage target must be in (0, 1]");
+  }
+  size_t total = doc.AllElements().size();
+  if (total == 0) return Status::InvalidArgument("empty document");
+
+  std::vector<Candidate> candidates = CollectCandidates(doc);
+  Random rng(options.seed);
+  // Deterministic shuffle, then stable sort by size descending: equal-sized
+  // candidates vary across seeds while the greedy stays largest-first.
+  for (size_t i = candidates.size(); i > 1; --i) {
+    std::swap(candidates[i - 1], candidates[rng.Uniform(i)]);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.nodes.size() > b.nodes.size();
+                   });
+
+  policy::Policy out(policy::DefaultSemantics::kDeny,
+                     policy::ConflictResolution::kDenyOverrides);
+  std::unordered_set<xml::NodeId> granted;
+  std::unordered_set<xml::NodeId> denied;
+  const double tol = 0.02;
+
+  auto accessible = [&]() {
+    size_t n = 0;
+    for (xml::NodeId id : granted) {
+      if (denied.find(id) == denied.end()) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(total);
+  };
+
+  auto add_rule = [&](const Candidate& c, policy::Effect effect) {
+    policy::Rule r;
+    auto parsed = xpath::ParsePath(c.path);
+    if (!parsed.ok()) return;  // cannot happen for generated paths
+    r.resource = std::move(*parsed);
+    r.effect = effect;
+    out.AddRule(std::move(r));
+    auto& target_set = effect == policy::Effect::kAllow ? granted : denied;
+    target_set.insert(c.nodes.begin(), c.nodes.end());
+  };
+
+  // Optional small negative rules first (≤ 1.5% of the document each), so
+  // deny-overrides is exercised; the positive greedy then works around them.
+  size_t denies_added = 0;
+  if (options.include_denies) {
+    for (const Candidate& c : candidates) {
+      if (denies_added >= 2) break;
+      double frac = static_cast<double>(c.nodes.size()) /
+                    static_cast<double>(total);
+      if (frac > 0.0 && frac <= 0.015) {
+        add_rule(c, policy::Effect::kDeny);
+        ++denies_added;
+      }
+    }
+  }
+
+  for (const Candidate& c : candidates) {
+    if (out.size() >= options.max_rules) break;
+    if (accessible() >= options.target - tol) break;
+    // Projected coverage if this candidate is granted.
+    size_t gain = 0;
+    for (xml::NodeId id : c.nodes) {
+      if (granted.find(id) == granted.end() &&
+          denied.find(id) == denied.end()) {
+        ++gain;
+      }
+    }
+    if (gain == 0) continue;
+    double projected = accessible() + static_cast<double>(gain) /
+                                          static_cast<double>(total);
+    if (projected <= options.target + tol) {
+      add_rule(c, policy::Effect::kAllow);
+    }
+  }
+  // If we stalled below target (every remaining candidate overshoots), take
+  // the smallest overshooting candidate once.
+  if (accessible() < options.target - tol) {
+    const Candidate* best = nullptr;
+    for (const Candidate& c : candidates) {
+      size_t gain = 0;
+      for (xml::NodeId id : c.nodes) {
+        if (granted.find(id) == granted.end()) ++gain;
+      }
+      if (gain == 0) continue;
+      if (best == nullptr || c.nodes.size() < best->nodes.size()) {
+        best = &c;
+      }
+    }
+    if (best != nullptr) add_rule(*best, policy::Effect::kAllow);
+  }
+  if (out.PositiveRules().empty()) {
+    return Status::Internal("coverage generator produced no positive rules");
+  }
+  return out;
+}
+
+double MeasureCoverage(const policy::Policy& policy,
+                       const xml::Document& doc) {
+  size_t total = doc.AllElements().size();
+  if (total == 0) return 0.0;
+  return static_cast<double>(policy::AccessibleNodes(policy, doc).size()) /
+         static_cast<double>(total);
+}
+
+}  // namespace xmlac::workload

@@ -1,0 +1,48 @@
+#ifndef XMLAC_WORKLOAD_COVERAGE_H_
+#define XMLAC_WORKLOAD_COVERAGE_H_
+
+// The coverage policy dataset (paper Sec. 7.1): policies crafted so the
+// annotation marks an increasing fraction of the document's nodes.  The
+// paper built these by hand and verified achieved coverage with XQuery
+// after annotating; we derive them from the document's label statistics and
+// expose the same verification helper.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "policy/policy.h"
+#include "xml/document.h"
+
+namespace xmlac::workload {
+
+struct CoverageOptions {
+  // Fraction of element nodes the policy should mark accessible, in (0, 1].
+  double target = 0.5;
+  uint64_t seed = 11;
+  // Cap on emitted rules.
+  size_t max_rules = 24;
+  // Add a few negative rules carving out sub-scopes of the positive ones
+  // (keeps deny-overrides exercised, as the paper's policies do).
+  bool include_denies = true;
+};
+
+// Node counts per candidate rule path over `doc`:  //label and
+// //parent/label patterns.
+std::map<std::string, size_t> PathStatistics(const xml::Document& doc);
+
+// Builds a deny-default / deny-overrides policy whose accessible fraction
+// approximates options.target.  Deterministic in (doc, options).
+Result<policy::Policy> GenerateCoveragePolicy(const xml::Document& doc,
+                                              const CoverageOptions& options);
+
+// Achieved coverage: |accessible| / |elements| (the paper's post-annotation
+// verification step).
+double MeasureCoverage(const policy::Policy& policy,
+                       const xml::Document& doc);
+
+}  // namespace xmlac::workload
+
+#endif  // XMLAC_WORKLOAD_COVERAGE_H_

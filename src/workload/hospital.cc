@@ -1,0 +1,113 @@
+#include "workload/hospital.h"
+
+#include "common/random.h"
+
+namespace xmlac::workload {
+
+const char kHospitalDtd[] = R"(
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment (regular? | experimental?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+)";
+
+const char kHospitalPolicyText[] = R"(
+default deny
+conflict deny
+allow //patient
+allow //patient/name
+deny  //patient[treatment]
+allow //patient[treatment]/name
+deny  //patient[.//experimental]
+allow //regular
+allow //regular[med="celecoxib"]
+allow //regular[bill > 1000]
+)";
+
+namespace {
+
+const char* const kMeds[] = {"enoxaparin", "celecoxib", "metformin",
+                             "lisinopril", "atorvastatin"};
+const char* const kTests[] = {"regression hypnosis", "mri scan",
+                              "blood panel", "stress test"};
+const char* const kFirst[] = {"john", "jane", "joy",   "george", "irini",
+                              "maria", "nikos", "elena", "kostas", "anna"};
+const char* const kLast[] = {"doe", "smith", "papadopoulos", "garcia",
+                             "tanaka", "ivanova"};
+
+template <size_t N>
+const char* Pick(Random& rng, const char* const (&arr)[N]) {
+  return arr[rng.Uniform(N)];
+}
+
+}  // namespace
+
+Result<xml::Dtd> HospitalGenerator::ParseHospitalDtd() {
+  return xml::ParseDtd(kHospitalDtd);
+}
+
+xml::Document HospitalGenerator::Generate(
+    const HospitalOptions& options) const {
+  Random rng(options.seed);
+  xml::Document doc;
+  xml::NodeId hospital = doc.CreateRoot("hospital");
+  int psn_counter = 0;
+  int sid_counter = 0;
+  auto text = [&](xml::NodeId parent, std::string_view label,
+                  std::string value) {
+    doc.CreateText(doc.CreateElement(parent, label), value);
+  };
+  for (int d = 0; d < options.departments; ++d) {
+    xml::NodeId dept = doc.CreateElement(hospital, "dept");
+    xml::NodeId patients = doc.CreateElement(dept, "patients");
+    for (int p = 0; p < options.patients_per_department; ++p) {
+      xml::NodeId patient = doc.CreateElement(patients, "patient");
+      char psn[16];
+      std::snprintf(psn, sizeof(psn), "%03d", psn_counter++);
+      text(patient, "psn", psn);
+      text(patient, "name",
+           std::string(Pick(rng, kFirst)) + " " + Pick(rng, kLast));
+      if (rng.NextDouble() < options.treatment_rate) {
+        xml::NodeId treatment = doc.CreateElement(patient, "treatment");
+        if (rng.NextDouble() < options.regular_rate) {
+          xml::NodeId regular = doc.CreateElement(treatment, "regular");
+          text(regular, "med", Pick(rng, kMeds));
+          text(regular, "bill", std::to_string(100 + rng.Uniform(2000)));
+        } else {
+          xml::NodeId experimental =
+              doc.CreateElement(treatment, "experimental");
+          text(experimental, "test", Pick(rng, kTests));
+          text(experimental, "bill", std::to_string(500 + rng.Uniform(3000)));
+        }
+      }
+    }
+    xml::NodeId staffinfo = doc.CreateElement(dept, "staffinfo");
+    for (int s = 0; s < options.staff_per_department; ++s) {
+      xml::NodeId staff = doc.CreateElement(staffinfo, "staff");
+      xml::NodeId member =
+          doc.CreateElement(staff, rng.OneIn(3) ? "doctor" : "nurse");
+      text(member, "sid", "s" + std::to_string(sid_counter++));
+      text(member, "name",
+           std::string(Pick(rng, kFirst)) + " " + Pick(rng, kLast));
+      text(member, "phone",
+           "555-" + std::to_string(1000 + rng.Uniform(9000)));
+    }
+  }
+  return doc;
+}
+
+}  // namespace xmlac::workload

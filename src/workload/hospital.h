@@ -1,0 +1,41 @@
+#ifndef XMLAC_WORKLOAD_HOSPITAL_H_
+#define XMLAC_WORKLOAD_HOSPITAL_H_
+
+// Generator for the paper's running example domain (Fig. 1): hospitals,
+// departments, patients and staff.  Used by the examples and by tests that
+// need medium-sized documents with a policy-rich schema.
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xmlac::workload {
+
+// The hospital DTD of the paper's Fig. 1 (root = hospital).
+extern const char kHospitalDtd[];
+
+// The hospital policy of the paper's Table 1 (policy-text format).
+extern const char kHospitalPolicyText[];
+
+struct HospitalOptions {
+  int departments = 2;
+  int patients_per_department = 50;
+  int staff_per_department = 10;
+  // Probability a patient has a treatment, and that a treatment is regular.
+  double treatment_rate = 0.6;
+  double regular_rate = 0.7;
+  uint64_t seed = 7;
+};
+
+class HospitalGenerator {
+ public:
+  static Result<xml::Dtd> ParseHospitalDtd();
+
+  xml::Document Generate(const HospitalOptions& options) const;
+};
+
+}  // namespace xmlac::workload
+
+#endif  // XMLAC_WORKLOAD_HOSPITAL_H_

@@ -1,0 +1,80 @@
+#include "workload/queries.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "xpath/parser.h"
+
+namespace xmlac::workload {
+
+std::vector<xpath::Path> GenerateQueries(const xml::Document& doc,
+                                         const QueryWorkloadOptions& options) {
+  // Vocabulary: label -> parents, parent -> children (labels only).
+  std::set<std::string> labels;
+  std::map<std::string, std::set<std::string>> children;
+  std::map<std::string, std::set<std::string>> parents;
+  for (xml::NodeId id : doc.AllElements()) {
+    const xml::Node& n = doc.node(id);
+    labels.insert(n.label);
+    if (n.parent != xml::kInvalidNode) {
+      const std::string& p = doc.node(n.parent).label;
+      children[p].insert(n.label);
+      parents[n.label].insert(p);
+    }
+  }
+  std::vector<std::string> label_list(labels.begin(), labels.end());
+  Random rng(options.seed);
+  auto pick = [&rng](const auto& container) -> const std::string& {
+    auto it = container.begin();
+    std::advance(it, rng.Uniform(container.size()));
+    return *it;
+  };
+
+  std::vector<xpath::Path> out;
+  std::set<std::string> seen;
+  size_t attempts = 0;
+  while (out.size() < options.count && attempts < options.count * 50) {
+    ++attempts;
+    const std::string& label = label_list[rng.Uniform(label_list.size())];
+    std::string expr;
+    if (rng.NextDouble() < options.predicate_rate &&
+        children.count(label) > 0) {
+      expr = "//" + label + "[" + pick(children[label]) + "]";
+    } else {
+      switch (rng.Uniform(3)) {
+        case 0:
+          expr = "//" + label;
+          break;
+        case 1: {
+          if (parents.count(label) == 0) {
+            expr = "//" + label;
+            break;
+          }
+          expr = "//" + pick(parents[label]) + "/" + label;
+          break;
+        }
+        default: {
+          if (parents.count(label) == 0) {
+            expr = "//" + label;
+            break;
+          }
+          const std::string& p = pick(parents[label]);
+          if (parents.count(p) == 0) {
+            expr = "//" + p + "/" + label;
+          } else {
+            expr = "//" + pick(parents[p]) + "/" + p + "/" + label;
+          }
+          break;
+        }
+      }
+    }
+    if (!seen.insert(expr).second) continue;
+    auto parsed = xpath::ParsePath(expr);
+    if (parsed.ok()) out.push_back(std::move(*parsed));
+  }
+  return out;
+}
+
+}  // namespace xmlac::workload

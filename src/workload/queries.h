@@ -1,0 +1,36 @@
+#ifndef XMLAC_WORKLOAD_QUERIES_H_
+#define XMLAC_WORKLOAD_QUERIES_H_
+
+// Query / update workload generator.
+//
+// The paper runs "55 different queries (of the same complexity as the
+// coverage policy dataset)" for the response-time figure, and re-runs the
+// same 55 queries as delete updates for the re-annotation figure.  Queries
+// are label- and edge-patterns sampled from the document's statistics so
+// they are non-trivially selective.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlac::workload {
+
+struct QueryWorkloadOptions {
+  size_t count = 55;
+  uint64_t seed = 23;
+  // Fraction of queries that carry a structural predicate.
+  double predicate_rate = 0.3;
+};
+
+// Deterministic workload of absolute XPath queries over `doc`'s vocabulary:
+// //label, //parent/label, //grandparent/parent/label and predicated
+// variants //parent[child].
+std::vector<xpath::Path> GenerateQueries(const xml::Document& doc,
+                                         const QueryWorkloadOptions& options);
+
+}  // namespace xmlac::workload
+
+#endif  // XMLAC_WORKLOAD_QUERIES_H_

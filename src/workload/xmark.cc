@@ -1,0 +1,347 @@
+#include "workload/xmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace xmlac::workload {
+
+// Non-recursive XMark schema: `description` and `text` are flat #PCDATA
+// (upstream XMark nests parlist/listitem/text recursively), and catgraph
+// edges carry from/to as child elements instead of attributes.
+const char kXmarkDtd[] = R"(
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory (#PCDATA)>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT description (text)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge (from, to)>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ELEMENT interest (#PCDATA)>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch (#PCDATA)>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref (#PCDATA)>
+<!ELEMENT seller (#PCDATA)>
+<!ELEMENT annotation (author, description, happiness)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation)>
+<!ELEMENT buyer (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+)";
+
+namespace {
+
+const char* const kCountries[] = {"United States", "Germany",  "Greece",
+                                  "Japan",         "Malaysia", "Peru"};
+const char* const kCities[] = {"Heraklion", "Boston",   "Berlin",
+                               "Kyoto",     "Arequipa", "Penang"};
+const char* const kFirstNames[] = {"Jane", "John", "Joy",  "Irini", "Lazaros",
+                                   "Sofia", "Alex", "Maria", "George", "Elena"};
+const char* const kLastNames[] = {"Doe",    "Smith",  "Koromilas", "Chinis",
+                                  "Petrov", "Tanaka", "Garcia",    "Ioannidis"};
+const char* const kInterests[] = {"sailing", "chess",   "databases",
+                                  "hiking",  "cooking", "astronomy"};
+const char* const kEducation[] = {"High School", "College", "Graduate School"};
+
+template <size_t N>
+const char* Pick(Random& rng, const char* const (&arr)[N]) {
+  return arr[rng.Uniform(N)];
+}
+
+class Builder {
+ public:
+  Builder(const XmarkBaseCounts& base, const XmarkOptions& options)
+      : rng_(options.seed) {
+    auto scaled = [&](int v) {
+      return std::max<int>(
+          1, static_cast<int>(std::llround(v * options.factor)));
+    };
+    items_per_region_ = scaled(base.items_per_region);
+    persons_ = scaled(base.persons);
+    open_auctions_ = scaled(base.open_auctions);
+    closed_auctions_ = scaled(base.closed_auctions);
+    categories_ = scaled(base.categories);
+  }
+
+  xml::Document Build() {
+    xml::NodeId site = doc_.CreateRoot("site");
+    BuildRegions(site);
+    BuildCategories(site);
+    BuildCatgraph(site);
+    BuildPeople(site);
+    BuildOpenAuctions(site);
+    BuildClosedAuctions(site);
+    return std::move(doc_);
+  }
+
+ private:
+  using NodeId = xml::NodeId;
+
+  void Text(NodeId parent, std::string_view label, std::string value) {
+    NodeId n = doc_.CreateElement(parent, label);
+    doc_.CreateText(n, value);
+  }
+
+  std::string PersonRef() {
+    return "person" + std::to_string(rng_.Uniform(
+                          static_cast<uint64_t>(persons_)));
+  }
+  std::string ItemRef() {
+    return "item" + std::to_string(rng_.Uniform(static_cast<uint64_t>(
+                        6 * items_per_region_)));
+  }
+  std::string CategoryRef() {
+    return "category" + std::to_string(rng_.Uniform(
+                            static_cast<uint64_t>(categories_)));
+  }
+  std::string Date() {
+    return std::to_string(1 + rng_.Uniform(12)) + "/" +
+           std::to_string(1 + rng_.Uniform(28)) + "/" +
+           std::to_string(1998 + rng_.Uniform(10));
+  }
+  std::string Sentence(int words) {
+    std::string s;
+    for (int i = 0; i < words; ++i) {
+      if (i > 0) s += ' ';
+      s += rng_.Word(3 + static_cast<int>(rng_.Uniform(7)));
+    }
+    return s;
+  }
+  std::string Money() {
+    return std::to_string(1 + rng_.Uniform(5000)) + "." +
+           std::to_string(rng_.Uniform(100));
+  }
+
+  void Description(NodeId parent) {
+    NodeId d = doc_.CreateElement(parent, "description");
+    Text(d, "text", Sentence(6 + static_cast<int>(rng_.Uniform(20))));
+  }
+
+  void BuildRegions(NodeId site) {
+    NodeId regions = doc_.CreateElement(site, "regions");
+    int item_counter = 0;
+    for (const char* region : {"africa", "asia", "australia", "europe",
+                               "namerica", "samerica"}) {
+      NodeId r = doc_.CreateElement(regions, region);
+      for (int i = 0; i < items_per_region_; ++i) {
+        BuildItem(r, item_counter++);
+      }
+    }
+  }
+
+  void BuildItem(NodeId region, int number) {
+    NodeId item = doc_.CreateElement(region, "item");
+    Text(item, "location", Pick(rng_, kCountries));
+    Text(item, "quantity", std::to_string(1 + rng_.Uniform(5)));
+    Text(item, "name", "item" + std::to_string(number));
+    Text(item, "payment", rng_.OneIn(2) ? "Creditcard" : "Money order");
+    Description(item);
+    Text(item, "shipping", rng_.OneIn(2) ? "Will ship internationally"
+                                         : "Buyer pays fixed shipping");
+    int cats = 1 + static_cast<int>(rng_.Uniform(3));
+    for (int c = 0; c < cats; ++c) Text(item, "incategory", CategoryRef());
+    NodeId mailbox = doc_.CreateElement(item, "mailbox");
+    int mails = static_cast<int>(rng_.Uniform(3));
+    for (int m = 0; m < mails; ++m) {
+      NodeId mail = doc_.CreateElement(mailbox, "mail");
+      Text(mail, "from", PersonRef());
+      Text(mail, "to", PersonRef());
+      Text(mail, "date", Date());
+      Text(mail, "text", Sentence(4 + static_cast<int>(rng_.Uniform(12))));
+    }
+  }
+
+  void BuildCategories(NodeId site) {
+    NodeId categories = doc_.CreateElement(site, "categories");
+    for (int i = 0; i < categories_; ++i) {
+      NodeId c = doc_.CreateElement(categories, "category");
+      Text(c, "name", "category" + std::to_string(i));
+      Description(c);
+    }
+  }
+
+  void BuildCatgraph(NodeId site) {
+    NodeId catgraph = doc_.CreateElement(site, "catgraph");
+    int edges = categories_;
+    for (int i = 0; i < edges; ++i) {
+      NodeId e = doc_.CreateElement(catgraph, "edge");
+      Text(e, "from", CategoryRef());
+      Text(e, "to", CategoryRef());
+    }
+  }
+
+  void BuildPeople(NodeId site) {
+    NodeId people = doc_.CreateElement(site, "people");
+    for (int i = 0; i < persons_; ++i) {
+      NodeId p = doc_.CreateElement(people, "person");
+      std::string name = std::string(Pick(rng_, kFirstNames)) + " " +
+                         Pick(rng_, kLastNames);
+      Text(p, "name", name);
+      Text(p, "emailaddress",
+           "mailto:person" + std::to_string(i) + "@example.org");
+      if (rng_.OneIn(2)) {
+        Text(p, "phone", "+30 2810 " + std::to_string(100000 +
+                                                      rng_.Uniform(900000)));
+      }
+      if (rng_.OneIn(2)) {
+        NodeId addr = doc_.CreateElement(p, "address");
+        Text(addr, "street",
+             std::to_string(1 + rng_.Uniform(99)) + " " + rng_.Word(7) +
+                 " St");
+        Text(addr, "city", Pick(rng_, kCities));
+        Text(addr, "country", Pick(rng_, kCountries));
+        if (rng_.OneIn(3)) Text(addr, "province", rng_.Word(8));
+        Text(addr, "zipcode", std::to_string(10000 + rng_.Uniform(90000)));
+      }
+      if (rng_.OneIn(3)) {
+        Text(p, "homepage",
+             "http://www.example.org/~person" + std::to_string(i));
+      }
+      if (rng_.OneIn(4)) {
+        Text(p, "creditcard",
+             std::to_string(1000 + rng_.Uniform(9000)) + " " +
+                 std::to_string(1000 + rng_.Uniform(9000)));
+      }
+      if (rng_.OneIn(2)) {
+        NodeId prof = doc_.CreateElement(p, "profile");
+        int interests = static_cast<int>(rng_.Uniform(4));
+        for (int k = 0; k < interests; ++k) {
+          Text(prof, "interest", Pick(rng_, kInterests));
+        }
+        if (rng_.OneIn(2)) Text(prof, "education", Pick(rng_, kEducation));
+        if (rng_.OneIn(2)) Text(prof, "gender", rng_.OneIn(2) ? "male"
+                                                              : "female");
+        Text(prof, "business", rng_.OneIn(2) ? "Yes" : "No");
+        if (rng_.OneIn(2)) {
+          Text(prof, "age", std::to_string(18 + rng_.Uniform(60)));
+        }
+      }
+      if (rng_.OneIn(3)) {
+        NodeId watches = doc_.CreateElement(p, "watches");
+        int n = static_cast<int>(rng_.Uniform(4));
+        for (int k = 0; k < n; ++k) Text(watches, "watch", ItemRef());
+      }
+    }
+  }
+
+  void BuildOpenAuctions(NodeId site) {
+    NodeId auctions = doc_.CreateElement(site, "open_auctions");
+    for (int i = 0; i < open_auctions_; ++i) {
+      NodeId a = doc_.CreateElement(auctions, "open_auction");
+      Text(a, "initial", Money());
+      int bidders = static_cast<int>(rng_.Uniform(5));
+      for (int b = 0; b < bidders; ++b) {
+        NodeId bidder = doc_.CreateElement(a, "bidder");
+        Text(bidder, "date", Date());
+        Text(bidder, "time", std::to_string(rng_.Uniform(24)) + ":" +
+                                 std::to_string(rng_.Uniform(60)));
+        Text(bidder, "personref", PersonRef());
+        Text(bidder, "increase", Money());
+      }
+      Text(a, "current", Money());
+      if (rng_.OneIn(2)) Text(a, "privacy", "Yes");
+      Text(a, "itemref", ItemRef());
+      Text(a, "seller", PersonRef());
+      BuildAnnotation(a);
+      Text(a, "quantity", std::to_string(1 + rng_.Uniform(5)));
+      Text(a, "type", rng_.OneIn(2) ? "Regular" : "Featured");
+      NodeId interval = doc_.CreateElement(a, "interval");
+      Text(interval, "start", Date());
+      Text(interval, "end", Date());
+    }
+  }
+
+  void BuildAnnotation(NodeId parent) {
+    NodeId ann = doc_.CreateElement(parent, "annotation");
+    Text(ann, "author", PersonRef());
+    Description(ann);
+    Text(ann, "happiness", std::to_string(1 + rng_.Uniform(10)));
+  }
+
+  void BuildClosedAuctions(NodeId site) {
+    NodeId auctions = doc_.CreateElement(site, "closed_auctions");
+    for (int i = 0; i < closed_auctions_; ++i) {
+      NodeId a = doc_.CreateElement(auctions, "closed_auction");
+      Text(a, "seller", PersonRef());
+      Text(a, "buyer", PersonRef());
+      Text(a, "itemref", ItemRef());
+      Text(a, "price", Money());
+      Text(a, "date", Date());
+      Text(a, "quantity", std::to_string(1 + rng_.Uniform(5)));
+      Text(a, "type", rng_.OneIn(2) ? "Regular" : "Featured");
+      BuildAnnotation(a);
+    }
+  }
+
+  xml::Document doc_;
+  Random rng_;
+  int items_per_region_;
+  int persons_;
+  int open_auctions_;
+  int closed_auctions_;
+  int categories_;
+};
+
+}  // namespace
+
+Result<xml::Dtd> XmarkGenerator::ParseXmarkDtd() {
+  return xml::ParseDtd(kXmarkDtd);
+}
+
+xml::Document XmarkGenerator::Generate(const XmarkOptions& options) const {
+  return Builder(base_, options).Build();
+}
+
+}  // namespace xmlac::workload

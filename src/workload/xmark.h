@@ -1,0 +1,61 @@
+#ifndef XMLAC_WORKLOAD_XMARK_H_
+#define XMLAC_WORKLOAD_XMARK_H_
+
+// XMark-style auction-site document generator (the paper's data source).
+//
+// The paper generated documents with xmlgen from the XMark project after
+// modifying it to *remove all recursive paths* (their shredding requires a
+// non-recursive schema).  This generator reproduces that setup: the XMark
+// element vocabulary (site/regions/items/people/auctions) with the
+// recursive description markup (parlist/listitem) flattened to text, plus a
+// float scale factor `f` like xmlgen's -f.
+//
+// Sizes scale linearly with `f`.  The base counts are chosen so f = 1.0
+// yields roughly 10^5 elements (a few MB of XML) — the paper's absolute
+// sizes (79 MB at f = 1.0) are scaled down by a constant so the benchmark
+// sweep over factors finishes in CI time; relative sizes across factors are
+// preserved, which is what the figures plot.
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xmlac::workload {
+
+// The non-recursive XMark DTD (parses with xml::ParseDtd; root = site).
+extern const char kXmarkDtd[];
+
+struct XmarkOptions {
+  double factor = 1.0;
+  uint64_t seed = 42;
+};
+
+// Base entity counts at factor 1.0 (before scaling).
+struct XmarkBaseCounts {
+  int items_per_region = 400;
+  int persons = 2600;
+  int open_auctions = 1300;
+  int closed_auctions = 1000;
+  int categories = 120;
+};
+
+class XmarkGenerator {
+ public:
+  explicit XmarkGenerator(const XmarkBaseCounts& base = {}) : base_(base) {}
+
+  // Parses kXmarkDtd.
+  static Result<xml::Dtd> ParseXmarkDtd();
+
+  // Generates a document valid against kXmarkDtd.  Deterministic in
+  // (factor, seed).
+  xml::Document Generate(const XmarkOptions& options) const;
+
+ private:
+  XmarkBaseCounts base_;
+};
+
+}  // namespace xmlac::workload
+
+#endif  // XMLAC_WORKLOAD_XMARK_H_

@@ -1,0 +1,164 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xmlac::xml {
+
+NodeId Document::NewNode(NodeKind kind, std::string_view label,
+                         NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = kind;
+  n.label = std::string(label);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  ++alive_count_;
+  return id;
+}
+
+Document Document::Clone() const {
+  Document copy;
+  copy.nodes_ = nodes_;
+  copy.alive_count_ = alive_count_;
+  return copy;
+}
+
+NodeId Document::CreateRoot(std::string_view label) {
+  XMLAC_CHECK_MSG(nodes_.empty(), "root already exists");
+  return NewNode(NodeKind::kElement, label, kInvalidNode);
+}
+
+NodeId Document::CreateElement(NodeId parent, std::string_view label) {
+  XMLAC_CHECK(IsAlive(parent));
+  NodeId id = NewNode(NodeKind::kElement, label, parent);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId Document::CreateText(NodeId parent, std::string_view value) {
+  XMLAC_CHECK(IsAlive(parent));
+  NodeId id = NewNode(NodeKind::kText, value, parent);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Document::DeleteSubtree(NodeId id) {
+  if (!IsAlive(id)) return;
+  NodeId parent = nodes_[id].parent;
+  if (parent != kInvalidNode) {
+    auto& siblings = nodes_[parent].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), id),
+                   siblings.end());
+  }
+  // Iterative DFS kill.
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (!nodes_[cur].alive) continue;
+    nodes_[cur].alive = false;
+    --alive_count_;
+    for (NodeId c : nodes_[cur].children) stack.push_back(c);
+  }
+}
+
+std::optional<std::string_view> Document::GetAttribute(
+    NodeId id, std::string_view name) const {
+  for (const Attribute& a : nodes_[id].attributes) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+void Document::SetAttribute(NodeId id, std::string_view name,
+                            std::string_view value) {
+  for (Attribute& a : nodes_[id].attributes) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  nodes_[id].attributes.push_back(
+      Attribute{std::string(name), std::string(value)});
+}
+
+bool Document::RemoveAttribute(NodeId id, std::string_view name) {
+  auto& attrs = nodes_[id].attributes;
+  for (auto it = attrs.begin(); it != attrs.end(); ++it) {
+    if (it->name == name) {
+      attrs.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Document::DirectText(NodeId id) const {
+  std::string out;
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].alive && nodes_[c].kind == NodeKind::kText) {
+      out += nodes_[c].label;
+    }
+  }
+  return out;
+}
+
+void Document::Visit(NodeId start,
+                     const std::function<void(NodeId)>& fn) const {
+  if (!IsAlive(start)) return;
+  // Explicit stack; pushed in reverse so visitation is document order.
+  std::vector<NodeId> stack = {start};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (!nodes_[cur].alive) continue;
+    fn(cur);
+    const auto& kids = nodes_[cur].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+}
+
+std::vector<NodeId> Document::AllElements() const {
+  std::vector<NodeId> out;
+  if (nodes_.empty()) return out;
+  Visit(root(), [&](NodeId id) {
+    if (nodes_[id].kind == NodeKind::kElement) out.push_back(id);
+  });
+  return out;
+}
+
+std::string Document::PathOf(NodeId id) const {
+  std::vector<std::string_view> labels;
+  for (NodeId cur = id; cur != kInvalidNode; cur = nodes_[cur].parent) {
+    labels.push_back(nodes_[cur].label);
+  }
+  std::string out;
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    out += '/';
+    out += *it;
+  }
+  return out;
+}
+
+int Document::DepthOf(NodeId id) const {
+  int d = 0;
+  for (NodeId cur = nodes_[id].parent; cur != kInvalidNode;
+       cur = nodes_[cur].parent) {
+    ++d;
+  }
+  return d;
+}
+
+int Document::Height() const {
+  int h = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].alive && nodes_[id].kind == NodeKind::kElement) {
+      h = std::max(h, DepthOf(id));
+    }
+  }
+  return h;
+}
+
+}  // namespace xmlac::xml

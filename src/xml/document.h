@@ -1,0 +1,93 @@
+#ifndef XMLAC_XML_DOCUMENT_H_
+#define XMLAC_XML_DOCUMENT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xmlac::xml {
+
+// An XML document: an arena of nodes plus a distinguished root.
+//
+// Invariants:
+//  * node 0, once created, is the root element;
+//  * children lists only contain alive nodes (Delete unlinks);
+//  * a node's parent is kInvalidNode iff it is the root.
+class Document {
+ public:
+  Document() = default;
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  // Deep copy (explicit; the copy constructor is deleted so accidental
+  // copies of multi-megabyte documents can't happen silently).
+  Document Clone() const;
+
+  // Creates the root element.  Must be called exactly once, first.
+  NodeId CreateRoot(std::string_view label);
+
+  // Appends a child element / text node under `parent`.
+  NodeId CreateElement(NodeId parent, std::string_view label);
+  NodeId CreateText(NodeId parent, std::string_view value);
+
+  // Marks `id` and its entire subtree dead and unlinks `id` from its parent.
+  // NodeIds of deleted nodes are never reused.
+  void DeleteSubtree(NodeId id);
+
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : NodeId{0}; }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+
+  // Total slots in the arena, including tombstones.
+  size_t size() const { return nodes_.size(); }
+  // Number of alive nodes.
+  size_t alive_count() const { return alive_count_; }
+
+  bool IsAlive(NodeId id) const {
+    return id < nodes_.size() && nodes_[id].alive;
+  }
+
+  // Attribute access (element nodes only).
+  std::optional<std::string_view> GetAttribute(NodeId id,
+                                               std::string_view name) const;
+  void SetAttribute(NodeId id, std::string_view name, std::string_view value);
+  bool RemoveAttribute(NodeId id, std::string_view name);
+
+  // Concatenated text content of the node's direct text children.
+  std::string DirectText(NodeId id) const;
+
+  // Pre-order traversal over alive nodes of the subtree rooted at `start`.
+  void Visit(NodeId start, const std::function<void(NodeId)>& fn) const;
+
+  // All alive element nodes, in pre-order from the root.
+  std::vector<NodeId> AllElements() const;
+
+  // Path of labels from root to `id`, e.g. "/hospital/dept/patients".
+  std::string PathOf(NodeId id) const;
+
+  // Depth of `id` (root has depth 0).
+  int DepthOf(NodeId id) const;
+
+  // Maximum element depth over the whole document (height of the tree).
+  int Height() const;
+
+ private:
+  NodeId NewNode(NodeKind kind, std::string_view label, NodeId parent);
+
+  std::vector<Node> nodes_;
+  size_t alive_count_ = 0;
+};
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_DOCUMENT_H_

@@ -1,0 +1,259 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+namespace xmlac::xml {
+
+Status Dtd::AddElement(ElementDecl decl) {
+  if (by_name_.count(decl.name) > 0) {
+    return Status::AlreadyExists("duplicate <!ELEMENT " + decl.name + ">");
+  }
+  if (elements_.empty()) root_name_ = decl.name;
+  by_name_[decl.name] = elements_.size();
+  elements_.push_back(std::move(decl));
+  return Status::OK();
+}
+
+bool Dtd::HasElement(std::string_view name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+const ElementDecl* Dtd::Lookup(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+namespace {
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : text_(text) {}
+
+  Result<Dtd> Parse() {
+    Dtd dtd;
+    while (true) {
+      SkipWs();
+      if (AtEnd()) break;
+      if (Match("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (Match("<!ELEMENT")) {
+        XMLAC_RETURN_IF_ERROR(ParseElementDecl(&dtd));
+        continue;
+      }
+      if (Match("<!ATTLIST")) {
+        SkipUntil(">");
+        continue;
+      }
+      if (Match("<!ENTITY")) {
+        SkipUntil(">");
+        continue;
+      }
+      return Err("unexpected content in DTD");
+    }
+    if (dtd.elements().empty()) return Err("DTD declares no elements");
+    return dtd;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Match(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      if (Peek() == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void SkipUntil(std::string_view terminator) {
+    size_t found = text_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      pos_ = text_.size();
+    } else {
+      for (size_t i = pos_; i < found; ++i) {
+        if (text_[i] == '\n') ++line_;
+      }
+      pos_ = found + terminator.size();
+    }
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("DTD line " + std::to_string(line_) + ": " +
+                              std::move(msg));
+  }
+
+  Result<std::string> ParseName() {
+    SkipWs();
+    size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+            Peek() == '-' || Peek() == '.' || Peek() == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Occurrence ParseOccurrence() {
+    if (AtEnd()) return Occurrence::kOne;
+    switch (Peek()) {
+      case '?':
+        ++pos_;
+        return Occurrence::kOptional;
+      case '*':
+        ++pos_;
+        return Occurrence::kStar;
+      case '+':
+        ++pos_;
+        return Occurrence::kPlus;
+      default:
+        return Occurrence::kOne;
+    }
+  }
+
+  // Parses a parenthesised group, assuming '(' was already consumed.
+  Result<Particle> ParseGroup() {
+    std::vector<Particle> items;
+    bool is_choice = false;
+    bool has_pcdata = false;
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated content group");
+      if (Match("#PCDATA")) {
+        has_pcdata = true;
+      } else if (Peek() == '(') {
+        ++pos_;
+        XMLAC_ASSIGN_OR_RETURN(Particle inner, ParseGroup());
+        items.push_back(std::move(inner));
+      } else {
+        XMLAC_ASSIGN_OR_RETURN(std::string name, ParseName());
+        Particle p;
+        p.kind = ParticleKind::kElementRef;
+        p.name = std::move(name);
+        p.occurrence = ParseOccurrence();
+        items.push_back(std::move(p));
+      }
+      SkipWs();
+      if (AtEnd()) return Err("unterminated content group");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '|') {
+        is_choice = true;
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ')') {
+        ++pos_;
+        break;
+      }
+      return Err("expected ',', '|' or ')' in content group");
+    }
+    Particle group;
+    if (has_pcdata && items.empty()) {
+      group.kind = ParticleKind::kPcdata;
+    } else if (has_pcdata) {
+      // Mixed content (#PCDATA | a | b)* — model as a choice whose first
+      // alternative is PCDATA.
+      group.kind = ParticleKind::kChoice;
+      Particle pcdata;
+      pcdata.kind = ParticleKind::kPcdata;
+      group.children.push_back(std::move(pcdata));
+      for (auto& it : items) group.children.push_back(std::move(it));
+    } else {
+      group.kind = is_choice ? ParticleKind::kChoice : ParticleKind::kSequence;
+      group.children = std::move(items);
+    }
+    group.occurrence = ParseOccurrence();
+    return group;
+  }
+
+  Status ParseElementDecl(Dtd* dtd) {
+    XMLAC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWs();
+    ElementDecl decl;
+    decl.name = std::move(name);
+    if (Match("EMPTY")) {
+      decl.content.kind = ParticleKind::kEmpty;
+    } else if (Match("ANY")) {
+      decl.content.kind = ParticleKind::kAny;
+    } else if (!AtEnd() && Peek() == '(') {
+      ++pos_;
+      XMLAC_ASSIGN_OR_RETURN(decl.content, ParseGroup());
+    } else {
+      return Err("expected content model for element " + decl.name);
+    }
+    SkipWs();
+    if (!Match(">")) return Err("expected '>' after element declaration");
+    return dtd->AddElement(std::move(decl));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+void AppendParticle(const Particle& p, std::string* out) {
+  auto occ = [&] {
+    switch (p.occurrence) {
+      case Occurrence::kOptional:
+        *out += '?';
+        break;
+      case Occurrence::kStar:
+        *out += '*';
+        break;
+      case Occurrence::kPlus:
+        *out += '+';
+        break;
+      case Occurrence::kOne:
+        break;
+    }
+  };
+  switch (p.kind) {
+    case ParticleKind::kElementRef:
+      *out += p.name;
+      occ();
+      break;
+    case ParticleKind::kPcdata:
+      *out += "#PCDATA";
+      break;
+    case ParticleKind::kEmpty:
+      *out += "EMPTY";
+      break;
+    case ParticleKind::kAny:
+      *out += "ANY";
+      break;
+    case ParticleKind::kSequence:
+    case ParticleKind::kChoice: {
+      *out += '(';
+      const char* sep = p.kind == ParticleKind::kSequence ? ", " : " | ";
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i > 0) *out += sep;
+        AppendParticle(p.children[i], out);
+      }
+      *out += ')';
+      occ();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view text) { return DtdParser(text).Parse(); }
+
+std::string ParticleToString(const Particle& p) {
+  std::string out;
+  AppendParticle(p, &out);
+  return out;
+}
+
+}  // namespace xmlac::xml

@@ -1,0 +1,81 @@
+#ifndef XMLAC_XML_DTD_H_
+#define XMLAC_XML_DTD_H_
+
+// XML DTD model and parser.
+//
+// The paper (Fig. 1) represents the schema as a node-and-edge-labelled graph:
+// nodes are element types, edges carry the content model (sequence/choice)
+// and occurrence indicators (*, +, ?).  We keep the full content-model tree
+// per element declaration; SchemaGraph (schema_graph.h) derives the flat
+// parent/child edge view used by XPath static analysis.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlac::xml {
+
+enum class Occurrence : uint8_t {
+  kOne,       // exactly one
+  kOptional,  // ?
+  kStar,      // *
+  kPlus,      // +
+};
+
+enum class ParticleKind : uint8_t {
+  kElementRef,  // a named child element
+  kSequence,    // (a, b, c)
+  kChoice,      // (a | b | c)
+  kPcdata,      // #PCDATA
+  kEmpty,       // EMPTY
+  kAny,         // ANY
+};
+
+// One node of a content-model tree.
+struct Particle {
+  ParticleKind kind = ParticleKind::kEmpty;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;                 // element name for kElementRef
+  std::vector<Particle> children;   // for kSequence / kChoice
+};
+
+struct ElementDecl {
+  std::string name;
+  Particle content;
+};
+
+// A parsed DTD: element declarations plus the distinguished root element
+// (by convention, the first declared element).
+class Dtd {
+ public:
+  Status AddElement(ElementDecl decl);
+
+  bool HasElement(std::string_view name) const;
+  const ElementDecl* Lookup(std::string_view name) const;
+
+  const std::string& root_name() const { return root_name_; }
+  void set_root_name(std::string name) { root_name_ = std::move(name); }
+
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+ private:
+  std::vector<ElementDecl> elements_;
+  std::map<std::string, size_t, std::less<>> by_name_;
+  std::string root_name_;
+};
+
+// Parses DTD text consisting of <!ELEMENT ...> declarations; <!ATTLIST ...>
+// declarations and comments are accepted and skipped.  The first declared
+// element becomes the root.
+Result<Dtd> ParseDtd(std::string_view text);
+
+// Serializes a content-model particle back to DTD syntax, e.g.
+// "(psn, name, treatment?)".
+std::string ParticleToString(const Particle& p);
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_DTD_H_

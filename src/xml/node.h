@@ -1,0 +1,46 @@
+#ifndef XMLAC_XML_NODE_H_
+#define XMLAC_XML_NODE_H_
+
+// XML tree model.
+//
+// The paper models XML documents as rooted unordered trees with labels from
+// Sigma (element names) and D (data values).  Document owns all nodes in an
+// append-only arena; NodeId indices are stable for the lifetime of the
+// document, including across deletions (deleted nodes become tombstones).
+// This stability is load-bearing: the shredder reuses NodeId as the
+// relational "universal identifier", so tree nodes and relational tuples
+// share one id space.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmlac::xml {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : uint8_t {
+  kElement,
+  kText,
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  // Element name for kElement nodes; character data for kText nodes.
+  std::string label;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  std::vector<Attribute> attributes;
+  // False once the node (or an ancestor) has been deleted.
+  bool alive = true;
+};
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_NODE_H_

@@ -1,0 +1,291 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace xmlac::xml {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Document> Parse() {
+    SkipProlog();
+    if (AtEnd()) return Err("document has no root element");
+    Document doc;
+    XMLAC_RETURN_IF_ERROR(ParseElement(&doc, kInvalidNode));
+    SkipMisc();
+    if (!AtEnd()) return Err("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  bool Match(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      if (Peek() == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  Status Err(std::string msg) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " +
+                              std::move(msg));
+  }
+
+  // Skips the XML declaration, comments, PIs, whitespace and DOCTYPE before
+  // the root element.
+  void SkipProlog() {
+    while (true) {
+      SkipWs();
+      if (Match("<?")) {
+        SkipUntil("?>");
+      } else if (Match("<!--")) {
+        SkipUntil("-->");
+      } else if (text_.substr(pos_, 9) == "<!DOCTYPE") {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (Match("<?")) {
+        SkipUntil("?>");
+      } else if (Match("<!--")) {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = text_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      pos_ = text_.size();
+    } else {
+      for (size_t i = pos_; i < found; ++i) {
+        if (text_[i] == '\n') ++line_;
+      }
+      pos_ = found + terminator.size();
+    }
+  }
+
+  void SkipDoctype() {
+    pos_ += 9;  // "<!DOCTYPE"
+    int depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\n') ++line_;
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == '>' && depth <= 0) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected a name");
+    size_t start = pos_;
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Decodes entity references in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    out->reserve(out->size() + raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i]);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Err("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code <= 0 || code > 0x10FFFF) return Err("bad character reference");
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Err("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes(Document* doc, NodeId element) {
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      XMLAC_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWs();
+      if (!Match("=")) return Err("expected '=' after attribute name");
+      SkipWs();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '\n') ++line_;
+        ++pos_;
+      }
+      if (AtEnd()) return Err("unterminated attribute value");
+      std::string value;
+      XMLAC_RETURN_IF_ERROR(
+          DecodeText(text_.substr(start, pos_ - start), &value));
+      ++pos_;  // closing quote
+      if (doc->GetAttribute(element, name).has_value()) {
+        return Err("duplicate attribute '" + name + "'");
+      }
+      doc->SetAttribute(element, name, value);
+    }
+  }
+
+  Status ParseElement(Document* doc, NodeId parent) {
+    if (!Match("<")) return Err("expected '<'");
+    XMLAC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodeId element = (parent == kInvalidNode)
+                         ? doc->CreateRoot(name)
+                         : doc->CreateElement(parent, name);
+    XMLAC_RETURN_IF_ERROR(ParseAttributes(doc, element));
+    if (Match("/>")) return Status::OK();
+    if (!Match(">")) return Err("expected '>' to close start tag");
+    return ParseContent(doc, element, name);
+  }
+
+  Status ParseContent(Document* doc, NodeId element,
+                      const std::string& name) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      // Keep text unless it is whitespace-only (formatting noise).
+      bool all_ws = true;
+      for (char c : pending_text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_ws = false;
+          break;
+        }
+      }
+      if (!all_ws) doc->CreateText(element, pending_text);
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (AtEnd()) return Err("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (Match("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (Match("<![CDATA[")) {
+          size_t end = text_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated CDATA");
+          pending_text += std::string(text_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (Match("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        if (PeekAt(1) == '/') {
+          flush_text();
+          pos_ += 2;
+          XMLAC_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != name) {
+            return Err("mismatched close tag </" + close + "> for <" + name +
+                       ">");
+          }
+          SkipWs();
+          if (!Match(">")) return Err("expected '>' in close tag");
+          return Status::OK();
+        }
+        flush_text();
+        XMLAC_RETURN_IF_ERROR(ParseElement(doc, element));
+        continue;
+      }
+      // Character data up to the next '<'.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') {
+        if (Peek() == '\n') ++line_;
+        ++pos_;
+      }
+      XMLAC_RETURN_IF_ERROR(
+          DecodeText(text_.substr(start, pos_ - start), &pending_text));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<Document> ParseDocument(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace xmlac::xml

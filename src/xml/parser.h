@@ -1,0 +1,26 @@
+#ifndef XMLAC_XML_PARSER_H_
+#define XMLAC_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xmlac::xml {
+
+// Parses an XML document from text.
+//
+// Supported: elements, attributes (single or double quoted), character data,
+// the five predefined entities plus numeric character references, comments,
+// processing instructions and the XML declaration (skipped), CDATA sections,
+// and a DOCTYPE declaration (skipped; use DtdParser to interpret it).
+// Not supported (kUnsupported / kParseError): external entities, namespaces
+// beyond treating ':' as a name character.
+//
+// Whitespace-only text between elements is dropped; other text is kept
+// verbatim.
+Result<Document> ParseDocument(std::string_view text);
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_PARSER_H_

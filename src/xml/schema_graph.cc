@@ -1,0 +1,124 @@
+#include "xml/schema_graph.h"
+
+#include <functional>
+
+namespace xmlac::xml {
+namespace {
+
+void CollectParticle(const Particle& p, std::set<std::string>* child_labels,
+                     bool* has_text) {
+  switch (p.kind) {
+    case ParticleKind::kElementRef:
+      child_labels->insert(p.name);
+      break;
+    case ParticleKind::kPcdata:
+      *has_text = true;
+      break;
+    case ParticleKind::kSequence:
+    case ParticleKind::kChoice:
+      for (const Particle& c : p.children) {
+        CollectParticle(c, child_labels, has_text);
+      }
+      break;
+    case ParticleKind::kEmpty:
+    case ParticleKind::kAny:
+      break;
+  }
+}
+
+const std::set<std::string>& EmptySet() {
+  static const std::set<std::string>* kEmpty = new std::set<std::string>();
+  return *kEmpty;
+}
+
+}  // namespace
+
+SchemaGraph::SchemaGraph(const Dtd& dtd) {
+  root_ = dtd.root_name();
+  for (const ElementDecl& decl : dtd.elements()) {
+    labels_.insert(decl.name);
+    std::set<std::string> kids;
+    bool has_text = false;
+    CollectParticle(decl.content, &kids, &has_text);
+    if (has_text) has_text_.insert(decl.name);
+    for (const std::string& k : kids) {
+      children_[decl.name].insert(k);
+      parents_[k].insert(decl.name);
+      labels_.insert(k);
+    }
+  }
+  // Cycle detection with three-colour DFS.
+  std::map<std::string, int> colour;  // 0 = white, 1 = grey, 2 = black
+  std::function<bool(const std::string&)> dfs = [&](const std::string& u) {
+    colour[u] = 1;
+    auto it = children_.find(u);
+    if (it != children_.end()) {
+      for (const std::string& v : it->second) {
+        int c = colour.count(v) ? colour[v] : 0;
+        if (c == 1) return true;
+        if (c == 0 && dfs(v)) return true;
+      }
+    }
+    colour[u] = 2;
+    return false;
+  };
+  for (const std::string& l : labels_) {
+    if ((colour.count(l) ? colour[l] : 0) == 0 && dfs(l)) {
+      recursive_ = true;
+      break;
+    }
+  }
+}
+
+bool SchemaGraph::HasLabel(std::string_view label) const {
+  return labels_.count(std::string(label)) > 0;
+}
+
+const std::set<std::string>& SchemaGraph::Children(
+    std::string_view parent) const {
+  auto it = children_.find(parent);
+  return it == children_.end() ? EmptySet() : it->second;
+}
+
+const std::set<std::string>& SchemaGraph::Parents(
+    std::string_view child) const {
+  auto it = parents_.find(child);
+  return it == parents_.end() ? EmptySet() : it->second;
+}
+
+bool SchemaGraph::HasText(std::string_view label) const {
+  return has_text_.count(std::string(label)) > 0;
+}
+
+std::set<std::string> SchemaGraph::Descendants(std::string_view from) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack(Children(from).begin(), Children(from).end());
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    for (const std::string& c : Children(cur)) stack.push_back(c);
+  }
+  return seen;
+}
+
+std::vector<std::vector<std::string>> SchemaGraph::PathsBetween(
+    std::string_view from, std::string_view to, size_t max_paths) const {
+  std::vector<std::vector<std::string>> out;
+  if (recursive_) return out;  // callers must check IsRecursive() first
+  std::vector<std::string> path;
+  std::function<void(std::string_view)> dfs = [&](std::string_view cur) {
+    if (out.size() >= max_paths) return;
+    for (const std::string& next : Children(cur)) {
+      path.push_back(next);
+      if (next == to) out.push_back(path);
+      dfs(next);
+      path.pop_back();
+      if (out.size() >= max_paths) return;
+    }
+  };
+  dfs(from);
+  return out;
+}
+
+}  // namespace xmlac::xml

@@ -1,0 +1,68 @@
+#ifndef XMLAC_XML_SCHEMA_GRAPH_H_
+#define XMLAC_XML_SCHEMA_GRAPH_H_
+
+// Flat parent/child edge view of a DTD, used by XPath static analysis.
+//
+// The paper's schema-aware rule expansion (Sec. 5.3) rewrites descendant
+// axes inside predicates into finite unions of child-axis paths; that
+// rewriting needs exactly the queries this class answers: which element
+// types can appear under which, and all label paths between two types.
+// The construction is only finite for non-recursive DTDs (the paper modified
+// xmlgen to remove recursion for the same reason), so IsRecursive() is
+// exposed and expansion callers must check it.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dtd.h"
+
+namespace xmlac::xml {
+
+class SchemaGraph {
+ public:
+  explicit SchemaGraph(const Dtd& dtd);
+
+  const std::string& root() const { return root_; }
+
+  bool HasLabel(std::string_view label) const;
+
+  // Element types that can appear as a direct child of `parent` (empty set
+  // for unknown labels and for PCDATA-only elements).
+  const std::set<std::string>& Children(std::string_view parent) const;
+  const std::set<std::string>& Parents(std::string_view child) const;
+
+  // True if `label`'s content model can contain character data.
+  bool HasText(std::string_view label) const;
+
+  // True if some DTD cycle exists (label reachable from itself).
+  bool IsRecursive() const { return recursive_; }
+
+  // All element types reachable from `from` via one or more child edges.
+  std::set<std::string> Descendants(std::string_view from) const;
+
+  // All label paths `from = l0 / l1 / ... / lk = to` with k >= 1, excluding
+  // the starting label: each returned vector is (l1, ..., lk).  Returns an
+  // empty list when `to` is unreachable.  Only valid for non-recursive
+  // schemas (checked).  `max_paths` bounds the enumeration defensively.
+  std::vector<std::vector<std::string>> PathsBetween(std::string_view from,
+                                                     std::string_view to,
+                                                     size_t max_paths = 4096) const;
+
+  // All labels in the schema.
+  const std::set<std::string>& labels() const { return labels_; }
+
+ private:
+  std::set<std::string> labels_;
+  std::map<std::string, std::set<std::string>, std::less<>> children_;
+  std::map<std::string, std::set<std::string>, std::less<>> parents_;
+  std::set<std::string> has_text_;
+  std::string root_;
+  bool recursive_ = false;
+};
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_SCHEMA_GRAPH_H_

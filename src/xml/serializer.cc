@@ -1,0 +1,78 @@
+#include "xml/serializer.h"
+
+#include "common/strings.h"
+
+namespace xmlac::xml {
+namespace {
+
+void SerializeNode(const Document& doc, NodeId id,
+                   const SerializeOptions& options, int depth,
+                   std::string* out) {
+  const Node& n = doc.node(id);
+  if (!n.alive) return;
+  auto indent = [&](int d) {
+    if (options.indent) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  if (n.kind == NodeKind::kText) {
+    *out += XmlEscape(n.label);
+    return;
+  }
+  if (depth > 0 || options.indent) indent(depth);
+  *out += '<';
+  *out += n.label;
+  for (const Attribute& a : n.attributes) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    *out += XmlEscape(a.value);
+    *out += '"';
+  }
+  bool has_alive_child = false;
+  bool has_element_child = false;
+  for (NodeId c : n.children) {
+    if (doc.node(c).alive) {
+      has_alive_child = true;
+      if (doc.node(c).kind == NodeKind::kElement) has_element_child = true;
+    }
+  }
+  if (!has_alive_child) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (NodeId c : n.children) {
+    SerializeNode(doc, c, options, depth + 1, out);
+  }
+  if (options.indent && has_element_child) indent(depth);
+  *out += "</";
+  *out += n.label;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, NodeId start,
+                             const SerializeOptions& options) {
+  std::string body;
+  if (doc.IsAlive(start)) {
+    SerializeNode(doc, start, options, 0, &body);
+  }
+  // Pretty printing starts each element on its own line; trim the leading
+  // newline it produces before the root.
+  if (!body.empty() && body[0] == '\n') body.erase(body.begin());
+  if (!options.declaration) return body;
+  std::string out = "<?xml version=\"1.0\"?>";
+  if (options.indent) out += '\n';
+  out += body;
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  if (doc.empty()) return options.declaration ? "<?xml version=\"1.0\"?>" : "";
+  return SerializeSubtree(doc, doc.root(), options);
+}
+
+}  // namespace xmlac::xml

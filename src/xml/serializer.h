@@ -1,0 +1,25 @@
+#ifndef XMLAC_XML_SERIALIZER_H_
+#define XMLAC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xmlac::xml {
+
+struct SerializeOptions {
+  // Pretty-print with two-space indentation; false emits a compact single
+  // line (canonical for round-trip tests).
+  bool indent = false;
+  // Emit the <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+// Serializes the subtree rooted at `start` (defaults to the whole document).
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+std::string SerializeSubtree(const Document& doc, NodeId start,
+                             const SerializeOptions& options = {});
+
+}  // namespace xmlac::xml
+
+#endif  // XMLAC_XML_SERIALIZER_H_

@@ -1,0 +1,698 @@
+#include "xmldb/xquery.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xmldb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XqExprPtr> Parse() {
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr e, ParseQuery());
+    SkipWs();
+    if (!AtEnd()) return Err("trailing characters");
+    return e;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("XQuery, offset " + std::to_string(pos_) +
+                              ": " + std::move(msg));
+  }
+  bool MatchWord(std::string_view w) {
+    SkipWs();
+    if (text_.substr(pos_, w.size()) != w) return false;
+    size_t end = pos_ + w.size();
+    // Word boundary for alphabetic keywords.
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_' || text_[end] == ':')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+  bool MatchSym(std::string_view s) {
+    SkipWs();
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseName() {
+    SkipWs();
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuoted() {
+    SkipWs();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected a string literal");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Err("unterminated string literal");
+    std::string s(text_.substr(start, pos_ - start));
+    ++pos_;
+    return s;
+  }
+
+  // Consumes a path tail starting at '/' (bracket- and quote-aware).
+  Result<std::string> ConsumePathText() {
+    size_t start = pos_;
+    int depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == '"' || c == '\'') {
+        char q = c;
+        ++pos_;
+        while (!AtEnd() && Peek() != q) ++pos_;
+        if (AtEnd()) return Err("unterminated string in path");
+        ++pos_;
+        continue;
+      }
+      if (depth == 0 &&
+          (std::isspace(static_cast<unsigned char>(c)) || c == ')' ||
+           c == ',' || c == '(')) {
+        break;
+      }
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // query := forExpr | letExpr | setExpr
+  Result<XqExprPtr> ParseQuery() {
+    SkipWs();
+    if (MatchWord("for")) return ParseFor();
+    if (MatchWord("let")) return ParseLet();
+    return ParseSetExpr();
+  }
+
+  Result<XqExprPtr> ParseLet() {
+    if (!MatchSym("$")) return Err("expected '$variable' after let");
+    XMLAC_ASSIGN_OR_RETURN(std::string var, ParseName());
+    if (!MatchSym(":=")) return Err("expected ':=' in let clause");
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr value, ParseSetExpr());
+    XqExprPtr body;
+    if (MatchWord("let")) {
+      // Chained lets need no intervening 'return'.
+      XMLAC_ASSIGN_OR_RETURN(body, ParseLet());
+    } else {
+      if (!MatchWord("return")) return Err("expected 'return'");
+      XMLAC_ASSIGN_OR_RETURN(body, ParseQuery());
+    }
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kLet;
+    e->var = std::move(var);
+    e->children.push_back(std::move(value));
+    e->children.push_back(std::move(body));
+    return e;
+  }
+
+  Result<XqExprPtr> ParseFor() {
+    if (!MatchSym("$")) return Err("expected '$variable' after for");
+    XMLAC_ASSIGN_OR_RETURN(std::string var, ParseName());
+    if (!MatchSym(":=") && !MatchWord("in")) {
+      return Err("expected ':=' or 'in' in for clause");
+    }
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr seq, ParseSetExpr());
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kFor;
+    e->var = std::move(var);
+    e->children.push_back(std::move(seq));
+    // Interleaved let clauses (FLWOR).
+    while (MatchWord("let")) {
+      if (!MatchSym("$")) return Err("expected '$variable' after let");
+      XMLAC_ASSIGN_OR_RETURN(std::string let_var, ParseName());
+      if (!MatchSym(":=")) return Err("expected ':=' in let clause");
+      XMLAC_ASSIGN_OR_RETURN(XqExprPtr value, ParseSetExpr());
+      e->let_vars.push_back(std::move(let_var));
+      e->children.push_back(std::move(value));
+    }
+    if (MatchWord("where")) {
+      XMLAC_ASSIGN_OR_RETURN(XqExprPtr cond, ParseCondition());
+      e->has_where = true;
+      e->children.push_back(std::move(cond));
+    }
+    if (!MatchWord("return")) return Err("expected 'return'");
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr body, ParseQuery());
+    e->children.push_back(std::move(body));
+    return e;
+  }
+
+  Result<XqExprPtr> ParseCondition() {
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr lhs, ParseSetExpr());
+    SkipWs();
+    xpath::CmpOp op;
+    if (MatchSym("!=")) {
+      op = xpath::CmpOp::kNe;
+    } else if (MatchSym("<=")) {
+      op = xpath::CmpOp::kLe;
+    } else if (MatchSym(">=")) {
+      op = xpath::CmpOp::kGe;
+    } else if (MatchSym("=")) {
+      op = xpath::CmpOp::kEq;
+    } else if (MatchSym("<")) {
+      op = xpath::CmpOp::kLt;
+    } else if (MatchSym(">")) {
+      op = xpath::CmpOp::kGt;
+    } else {
+      return lhs;  // bare truthiness condition
+    }
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr rhs, ParseSetExpr());
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kCompare;
+    e->op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  // setExpr := primary (('union' | 'except') primary)*
+  Result<XqExprPtr> ParseSetExpr() {
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr lhs, ParsePrimary());
+    while (true) {
+      XqKind kind;
+      if (MatchWord("union")) {
+        kind = XqKind::kUnion;
+      } else if (MatchWord("except")) {
+        kind = XqKind::kExcept;
+      } else {
+        return lhs;
+      }
+      XMLAC_ASSIGN_OR_RETURN(XqExprPtr rhs, ParsePrimary());
+      auto e = std::make_unique<XqExpr>();
+      e->kind = kind;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  Result<XqExprPtr> ParsePrimary() {
+    SkipWs();
+    if (MatchSym("(")) {
+      XMLAC_ASSIGN_OR_RETURN(XqExprPtr inner, ParseQuery());
+      if (!MatchSym(")")) return Err("expected ')'");
+      return inner;
+    }
+    if (MatchWord("doc")) return ParseDocExpr();
+    if (MatchWord("xmlac:annotate")) return ParseAnnotate();
+    if (MatchWord("count")) return ParseCount();
+    if (Peek() == '$') {
+      ++pos_;
+      XMLAC_ASSIGN_OR_RETURN(std::string var, ParseName());
+      auto e = std::make_unique<XqExpr>();
+      e->kind = XqKind::kVarPath;
+      e->name = std::move(var);
+      if (Peek() == '/') {
+        XMLAC_ASSIGN_OR_RETURN(std::string tail, ConsumePathText());
+        XMLAC_ASSIGN_OR_RETURN(e->path, ParseRelativeTail(tail));
+      }
+      return e;
+    }
+    if (Peek() == '/') {
+      // Absolute path against the contextual / default document.
+      XMLAC_ASSIGN_OR_RETURN(std::string tail, ConsumePathText());
+      auto e = std::make_unique<XqExpr>();
+      e->kind = XqKind::kDocPath;
+      e->name = doc_context_;
+      XMLAC_ASSIGN_OR_RETURN(e->path, xpath::ParsePath(tail));
+      return e;
+    }
+    if (Peek() == '"' || Peek() == '\'') {
+      XMLAC_ASSIGN_OR_RETURN(std::string s, ParseQuoted());
+      auto e = std::make_unique<XqExpr>();
+      e->kind = XqKind::kLiteral;
+      e->str_value = std::move(s);
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '-') {
+      size_t start = pos_;
+      if (Peek() == '-') ++pos_;
+      while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '.')) {
+        ++pos_;
+      }
+      auto e = std::make_unique<XqExpr>();
+      e->kind = XqKind::kLiteral;
+      e->is_number = true;
+      e->num_value =
+          std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr);
+      return e;
+    }
+    return Err("expected an expression");
+  }
+
+  Result<XqExprPtr> ParseDocExpr() {
+    if (!MatchSym("(")) return Err("expected '(' after doc");
+    XMLAC_ASSIGN_OR_RETURN(std::string name, ParseQuoted());
+    if (!MatchSym(")")) return Err("expected ')' after document name");
+    SkipWs();
+    if (Peek() == '/') {
+      XMLAC_ASSIGN_OR_RETURN(std::string tail, ConsumePathText());
+      auto e = std::make_unique<XqExpr>();
+      e->kind = XqKind::kDocPath;
+      e->name = std::move(name);
+      XMLAC_ASSIGN_OR_RETURN(e->path, xpath::ParsePath(tail));
+      return e;
+    }
+    if (Peek() == '(') {
+      // doc("x")(EXPR): evaluate EXPR with absolute paths bound to x.
+      ++pos_;
+      std::string saved = doc_context_;
+      doc_context_ = name;
+      auto inner = ParseQuery();
+      doc_context_ = saved;
+      if (!inner.ok()) return inner.status();
+      if (!MatchSym(")")) return Err("expected ')'");
+      return std::move(*inner);
+    }
+    // Bare doc("x"): the root node.
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kDocPath;
+    e->name = std::move(name);
+    return e;
+  }
+
+  Result<XqExprPtr> ParseAnnotate() {
+    if (!MatchSym("(")) return Err("expected '(' after xmlac:annotate");
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr target, ParseQuery());
+    if (!MatchSym(",")) return Err("expected ',' in xmlac:annotate");
+    XMLAC_ASSIGN_OR_RETURN(std::string sign, ParseQuoted());
+    if (sign != "+" && sign != "-") {
+      return Err("annotate sign must be \"+\" or \"-\"");
+    }
+    if (!MatchSym(")")) return Err("expected ')'");
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kAnnotate;
+    e->sign = sign[0];
+    e->children.push_back(std::move(target));
+    return e;
+  }
+
+  Result<XqExprPtr> ParseCount() {
+    if (!MatchSym("(")) return Err("expected '(' after count");
+    XMLAC_ASSIGN_OR_RETURN(XqExprPtr inner, ParseQuery());
+    if (!MatchSym(")")) return Err("expected ')'");
+    auto e = std::make_unique<XqExpr>();
+    e->kind = XqKind::kCount;
+    e->children.push_back(std::move(inner));
+    return e;
+  }
+
+  // `$x/a/b` and `$x//a` tails are relative paths.
+  Result<xpath::Path> ParseRelativeTail(std::string_view tail) {
+    std::string rel;
+    if (tail.rfind("//", 0) == 0) {
+      rel = "." + std::string(tail);
+    } else if (!tail.empty() && tail[0] == '/') {
+      rel = std::string(tail.substr(1));
+    } else {
+      rel = std::string(tail);
+    }
+    return xpath::ParseRelativePath(rel);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string doc_context_;
+};
+
+std::vector<xml::NodeId> SortedUnique(std::vector<xml::NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::string XqExpr::ToString() const {
+  switch (kind) {
+    case XqKind::kDocPath:
+      return "doc(\"" + name + "\")" + xpath::ToString(path);
+    case XqKind::kVarPath: {
+      std::string p = xpath::ToString(path);
+      return "$" + name + (p.empty() ? "" : "/" + p);
+    }
+    case XqKind::kUnion:
+      return "(" + children[0]->ToString() + " union " +
+             children[1]->ToString() + ")";
+    case XqKind::kExcept:
+      return "(" + children[0]->ToString() + " except " +
+             children[1]->ToString() + ")";
+    case XqKind::kFor: {
+      std::string out = "for $" + var + " in " + children[0]->ToString();
+      size_t next = 1;
+      for (const std::string& lv : let_vars) {
+        out += " let $" + lv + " := " + children[next++]->ToString();
+      }
+      if (has_where) {
+        out += " where " + children[next++]->ToString();
+      }
+      return out + " return " + children[next]->ToString();
+    }
+    case XqKind::kLet:
+      return "let $" + var + " := " + children[0]->ToString() + " return " +
+             children[1]->ToString();
+    case XqKind::kAnnotate:
+      return "xmlac:annotate(" + children[0]->ToString() + ", \"" +
+             std::string(1, sign) + "\")";
+    case XqKind::kCount:
+      return "count(" + children[0]->ToString() + ")";
+    case XqKind::kLiteral:
+      return is_number ? std::to_string(num_value) : "\"" + str_value + "\"";
+    case XqKind::kCompare:
+      return children[0]->ToString() + " " + xpath::ToString(op) + " " +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+std::string XqValue::ToString() const {
+  switch (v.index()) {
+    case 0: {
+      const auto& ids = std::get<std::vector<xml::NodeId>>(v);
+      std::string out = "(" + std::to_string(ids.size()) + " nodes)";
+      return out;
+    }
+    case 1:
+      return std::get<std::string>(v);
+    default: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+      return buf;
+    }
+  }
+}
+
+Result<XqExprPtr> ParseXQuery(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+// ----- Evaluation ----------------------------------------------------------
+
+struct XQueryEngine::Scope {
+  const Scope* parent = nullptr;
+  std::string var;
+  XqValue value;
+  xml::Document* doc = nullptr;
+
+  const Scope* Lookup(std::string_view name) const {
+    for (const Scope* s = this; s != nullptr; s = s->parent) {
+      if (s->var == name) return s;
+    }
+    return nullptr;
+  }
+};
+
+void XQueryEngine::RegisterDocument(std::string name, xml::Document* doc) {
+  docs_[std::move(name)] = doc;
+}
+
+Result<XqValue> XQueryEngine::Run(std::string_view query) {
+  XMLAC_ASSIGN_OR_RETURN(XqExprPtr e, ParseXQuery(query));
+  annotations_ = 0;
+  return Evaluate(*e);
+}
+
+Result<XqValue> XQueryEngine::Evaluate(const XqExpr& expr) {
+  Scope root;
+  return Eval(expr, root);
+}
+
+Result<XqValue> XQueryEngine::Eval(const XqExpr& expr, const Scope& scope) {
+  switch (expr.kind) {
+    case XqKind::kDocPath: {
+      xml::Document* doc = nullptr;
+      if (!expr.name.empty()) {
+        auto it = docs_.find(expr.name);
+        if (it == docs_.end()) {
+          return Status::NotFound("no document '" + expr.name +
+                                  "' registered");
+        }
+        doc = it->second;
+      } else {
+        if (docs_.size() != 1) {
+          return Status::InvalidArgument(
+              "ambiguous bare path: " + std::to_string(docs_.size()) +
+              " documents registered");
+        }
+        doc = docs_.begin()->second;
+      }
+      XqValue out;
+      if (expr.path.empty()) {
+        std::vector<xml::NodeId> ids;
+        if (!doc->empty() && doc->IsAlive(doc->root())) {
+          ids.push_back(doc->root());
+        }
+        out.v = std::move(ids);
+      } else {
+        out.v = xpath::Evaluate(expr.path, *doc);
+      }
+      // Remember which document node ids refer to (single-doc queries).
+      active_doc_for_eval_ = doc;
+      return out;
+    }
+    case XqKind::kVarPath: {
+      const Scope* binding = scope.Lookup(expr.name);
+      if (binding == nullptr) {
+        return Status::InvalidArgument("unbound variable $" + expr.name);
+      }
+      active_doc_for_eval_ = binding->doc;
+      if (expr.path.empty()) return binding->value;
+      if (!binding->value.is_nodes() || binding->doc == nullptr) {
+        return Status::InvalidArgument("path applied to non-node variable $" +
+                                       expr.name);
+      }
+      std::vector<xml::NodeId> acc;
+      for (xml::NodeId n : binding->value.nodes()) {
+        auto part = xpath::EvaluateFrom(expr.path, *binding->doc, n);
+        acc.insert(acc.end(), part.begin(), part.end());
+      }
+      XqValue out;
+      out.v = SortedUnique(std::move(acc));
+      return out;
+    }
+    case XqKind::kUnion:
+    case XqKind::kExcept: {
+      XMLAC_ASSIGN_OR_RETURN(XqValue l, Eval(*expr.children[0], scope));
+      XMLAC_ASSIGN_OR_RETURN(XqValue r, Eval(*expr.children[1], scope));
+      if (!l.is_nodes() || !r.is_nodes()) {
+        return Status::InvalidArgument(
+            "union/except require node sequences");
+      }
+      std::vector<xml::NodeId> lv = SortedUnique(l.nodes());
+      std::vector<xml::NodeId> rv = SortedUnique(r.nodes());
+      std::vector<xml::NodeId> out;
+      if (expr.kind == XqKind::kUnion) {
+        std::set_union(lv.begin(), lv.end(), rv.begin(), rv.end(),
+                       std::back_inserter(out));
+      } else {
+        std::set_difference(lv.begin(), lv.end(), rv.begin(), rv.end(),
+                            std::back_inserter(out));
+      }
+      XqValue v;
+      v.v = std::move(out);
+      return v;
+    }
+    case XqKind::kFor: {
+      XMLAC_ASSIGN_OR_RETURN(XqValue seq, Eval(*expr.children[0], scope));
+      if (!seq.is_nodes()) {
+        return Status::InvalidArgument("for requires a node sequence");
+      }
+      xml::Document* doc = active_doc_for_eval_;
+      size_t next = 1;
+      const size_t num_lets = expr.let_vars.size();
+      const size_t cond_idx = next + num_lets;
+      const XqExpr* cond =
+          expr.has_where ? expr.children[cond_idx].get() : nullptr;
+      const XqExpr& body =
+          *expr.children[cond_idx + (expr.has_where ? 1 : 0)];
+      std::vector<xml::NodeId> node_acc;
+      double num_acc = 0;
+      bool saw_number = false;
+      std::string str_acc;
+      bool saw_string = false;
+      for (xml::NodeId n : seq.nodes()) {
+        Scope inner;
+        inner.parent = &scope;
+        inner.var = expr.var;
+        inner.value.v = std::vector<xml::NodeId>{n};
+        inner.doc = doc;
+        // Interleaved lets: a chain of scopes, each seeing the previous.
+        std::vector<std::unique_ptr<Scope>> lets;
+        const Scope* current = &inner;
+        for (size_t li = 0; li < num_lets; ++li) {
+          XMLAC_ASSIGN_OR_RETURN(
+              XqValue bound, Eval(*expr.children[next + li], *current));
+          auto ls = std::make_unique<Scope>();
+          ls->parent = current;
+          ls->var = expr.let_vars[li];
+          ls->value = std::move(bound);
+          ls->doc = active_doc_for_eval_;
+          current = ls.get();
+          lets.push_back(std::move(ls));
+        }
+        if (cond != nullptr) {
+          XMLAC_ASSIGN_OR_RETURN(bool keep, Truthy(*cond, *current));
+          if (!keep) continue;
+        }
+        XMLAC_ASSIGN_OR_RETURN(XqValue v, Eval(body, *current));
+        switch (v.v.index()) {
+          case 0: {
+            const auto& ids = v.nodes();
+            node_acc.insert(node_acc.end(), ids.begin(), ids.end());
+            break;
+          }
+          case 1:
+            if (saw_string) str_acc += ' ';
+            str_acc += std::get<std::string>(v.v);
+            saw_string = true;
+            break;
+          default:
+            num_acc += std::get<double>(v.v);
+            saw_number = true;
+            break;
+        }
+      }
+      XqValue out;
+      if (saw_number && !saw_string && node_acc.empty()) {
+        out.v = num_acc;
+      } else if (saw_string && !saw_number && node_acc.empty()) {
+        out.v = std::move(str_acc);
+      } else {
+        out.v = SortedUnique(std::move(node_acc));
+      }
+      return out;
+    }
+    case XqKind::kLet: {
+      XMLAC_ASSIGN_OR_RETURN(XqValue bound, Eval(*expr.children[0], scope));
+      Scope inner;
+      inner.parent = &scope;
+      inner.var = expr.var;
+      inner.value = std::move(bound);
+      inner.doc = active_doc_for_eval_;
+      return Eval(*expr.children[1], inner);
+    }
+    case XqKind::kAnnotate: {
+      XMLAC_ASSIGN_OR_RETURN(XqValue target, Eval(*expr.children[0], scope));
+      if (!target.is_nodes()) {
+        return Status::InvalidArgument("xmlac:annotate requires nodes");
+      }
+      xml::Document* doc = active_doc_for_eval_;
+      if (doc == nullptr) return Status::Internal("no active document");
+      for (xml::NodeId n : target.nodes()) {
+        if (!doc->IsAlive(n)) continue;
+        // The paper's function: insert the attribute if absent, replace
+        // its value otherwise (SetAttribute does both).
+        doc->SetAttribute(n, "sign", std::string(1, expr.sign));
+        ++annotations_;
+      }
+      XqValue out;
+      out.v = static_cast<double>(target.nodes().size());
+      return out;
+    }
+    case XqKind::kCount: {
+      XMLAC_ASSIGN_OR_RETURN(XqValue inner, Eval(*expr.children[0], scope));
+      XqValue out;
+      out.v = inner.is_nodes() ? static_cast<double>(inner.nodes().size())
+                               : 1.0;
+      return out;
+    }
+    case XqKind::kLiteral: {
+      XqValue out;
+      if (expr.is_number) {
+        out.v = expr.num_value;
+      } else {
+        out.v = expr.str_value;
+      }
+      return out;
+    }
+    case XqKind::kCompare: {
+      XMLAC_ASSIGN_OR_RETURN(bool b, Truthy(expr, scope));
+      XqValue out;
+      out.v = b ? 1.0 : 0.0;
+      return out;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> XQueryEngine::Truthy(const XqExpr& expr, const Scope& scope) {
+  if (expr.kind == XqKind::kCompare) {
+    XMLAC_ASSIGN_OR_RETURN(XqValue l, Eval(*expr.children[0], scope));
+    xml::Document* ldoc = active_doc_for_eval_;
+    XMLAC_ASSIGN_OR_RETURN(XqValue r, Eval(*expr.children[1], scope));
+    // Resolve both sides to strings for CompareValues semantics; node
+    // sequences compare existentially over their text values.
+    auto as_strings = [&](const XqValue& v,
+                          xml::Document* doc) -> std::vector<std::string> {
+      switch (v.v.index()) {
+        case 0: {
+          std::vector<std::string> out;
+          for (xml::NodeId n : std::get<std::vector<xml::NodeId>>(v.v)) {
+            if (doc != nullptr && doc->IsAlive(n)) {
+              out.push_back(doc->DirectText(n));
+            }
+          }
+          return out;
+        }
+        case 1:
+          return {std::get<std::string>(v.v)};
+        default: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v.v));
+          return {std::string(buf)};
+        }
+      }
+    };
+    std::vector<std::string> ls = as_strings(l, ldoc);
+    std::vector<std::string> rs = as_strings(r, active_doc_for_eval_);
+    for (const std::string& a : ls) {
+      for (const std::string& b : rs) {
+        if (xpath::CompareValues(a, expr.op, b)) return true;
+      }
+    }
+    return false;
+  }
+  XMLAC_ASSIGN_OR_RETURN(XqValue v, Eval(expr, scope));
+  switch (v.v.index()) {
+    case 0:
+      return !v.nodes().empty();
+    case 1:
+      return !std::get<std::string>(v.v).empty();
+    default:
+      return std::get<double>(v.v) != 0.0;
+  }
+}
+
+}  // namespace xmlac::xmldb

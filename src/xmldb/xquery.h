@@ -1,0 +1,128 @@
+#ifndef XMLAC_XMLDB_XQUERY_H_
+#define XMLAC_XMLDB_XQUERY_H_
+
+// XQuery-lite: the fragment the paper actually runs against MonetDB/XQuery
+// (Sec. 5.2), i.e. FLWOR over node sequences with set operators and the
+// xmlac:annotate() update function:
+//
+//   for $n := doc("xmlgen")((R1 union R2 union R6) except (R3 union R5))
+//   return xmlac:annotate($n, "+")
+//
+// Supported:
+//   * doc("name")<path>          absolute path into a registered document
+//   * $var<path>                 relative path from a bound node
+//   * expr union expr, expr except expr   (set semantics on node sequences)
+//   * for $x := expr [where cond] return expr   (`in` also accepted)
+//   * let $x := expr return expr
+//   * xmlac:annotate($n, "sign"), count(expr), string and number literals
+//   * where conditions: comparisons (= != < <= > >=) between expressions
+//     and literals, or bare expressions (non-empty / non-zero truthiness)
+//
+// Queries evaluate against an XQueryEngine holding named documents; the
+// annotate function mutates them (insert-or-replace of the sign attribute,
+// exactly the paper's definition).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xmldb {
+
+// ----- AST -------------------------------------------------------------
+
+enum class XqKind : uint8_t {
+  kDocPath,    // doc("name") + optional absolute path
+  kVarPath,    // $var + optional relative path
+  kUnion,      // lhs union rhs
+  kExcept,     // lhs except rhs
+  kFor,        // for $var := seq [where cond] return body
+  kLet,        // let $var := expr return body
+  kAnnotate,   // xmlac:annotate(expr, sign)
+  kCount,      // count(expr)
+  kLiteral,    // string or number
+  kCompare,    // lhs cmp rhs (in where conditions)
+};
+
+struct XqExpr;
+using XqExprPtr = std::unique_ptr<XqExpr>;
+
+struct XqExpr {
+  XqKind kind;
+  // kDocPath / kVarPath
+  std::string name;   // document name or variable name
+  xpath::Path path;   // may be empty
+  // kLiteral
+  std::string str_value;
+  double num_value = 0;
+  bool is_number = false;
+  // kAnnotate
+  char sign = '+';
+  // kFor / kLet
+  std::string var;
+  // kFor only: names of interleaved `let` clauses; their value expressions
+  // sit in `children` between the sequence and the optional condition, in
+  // order (FLWOR layout: [seq, lets..., cond?, body]).
+  std::vector<std::string> let_vars;
+  // kCompare
+  xpath::CmpOp op = xpath::CmpOp::kEq;
+  // children: union/except/compare have 2; for has (seq, [cond,] body);
+  // annotate/count have 1.
+  std::vector<XqExprPtr> children;
+  bool has_where = false;
+
+  std::string ToString() const;
+};
+
+// Parses a query of the fragment above.
+Result<XqExprPtr> ParseXQuery(std::string_view text);
+
+// ----- Evaluation --------------------------------------------------------
+
+// A value: node sequence (ids into a specific document), string, or number.
+struct XqValue {
+  std::variant<std::vector<xml::NodeId>, std::string, double> v;
+
+  bool is_nodes() const { return v.index() == 0; }
+  const std::vector<xml::NodeId>& nodes() const {
+    return std::get<std::vector<xml::NodeId>>(v);
+  }
+  std::string ToString() const;
+};
+
+class XQueryEngine {
+ public:
+  XQueryEngine() = default;
+
+  // Registers `doc` under `name` (not owned; must outlive the engine).
+  void RegisterDocument(std::string name, xml::Document* doc);
+
+  // Parses and evaluates.  Returns the query's value; annotate calls
+  // mutate the registered documents and evaluate to the count of nodes
+  // annotated.
+  Result<XqValue> Run(std::string_view query);
+  Result<XqValue> Evaluate(const XqExpr& expr);
+
+  // Number of xmlac:annotate() applications in the last Run.
+  size_t last_annotations() const { return annotations_; }
+
+ private:
+  struct Scope;
+  Result<XqValue> Eval(const XqExpr& expr, const Scope& scope);
+  Result<bool> Truthy(const XqExpr& expr, const Scope& scope);
+
+  std::map<std::string, xml::Document*, std::less<>> docs_;
+  // Queries operate over a single document at a time; node ids in XqValues
+  // refer to the most recently touched one.
+  xml::Document* active_doc_for_eval_ = nullptr;
+  size_t annotations_ = 0;
+};
+
+}  // namespace xmlac::xmldb
+
+#endif  // XMLAC_XMLDB_XQUERY_H_

@@ -1,0 +1,137 @@
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+std::string ToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ToString(const Predicate& pred) {
+  std::string out = "[";
+  if (pred.path.empty()) {
+    out += ".";
+  } else {
+    // Relative predicate paths print as `a/b`, `.//a`.
+    if (!pred.path.steps.empty() &&
+        pred.path.steps.front().axis == Axis::kDescendant) {
+      out += ".";
+    }
+    bool first = true;
+    for (const Step& s : pred.path.steps) {
+      if (!first || s.axis == Axis::kDescendant) {
+        out += s.axis == Axis::kDescendant ? "//" : "/";
+      }
+      out += ToString(s);
+      first = false;
+    }
+  }
+  if (pred.has_comparison()) {
+    out += ToString(*pred.op);
+    out += '"';
+    out += pred.value;
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+std::string ToString(const Step& step) {
+  std::string out = step.label;
+  for (const Predicate& p : step.predicates) out += ToString(p);
+  return out;
+}
+
+std::string ToString(const Path& path) {
+  std::string out;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& s = path.steps[i];
+    if (i == 0) {
+      if (path.absolute) {
+        out += s.axis == Axis::kDescendant ? "//" : "/";
+      } else if (s.axis == Axis::kDescendant) {
+        out += ".//";
+      }
+    } else {
+      out += s.axis == Axis::kDescendant ? "//" : "/";
+    }
+    out += ToString(s);
+  }
+  return out;
+}
+
+bool StructurallyEqual(const Predicate& a, const Predicate& b) {
+  if (a.op != b.op || a.value != b.value) return false;
+  return StructurallyEqual(a.path, b.path);
+}
+
+bool StructurallyEqual(const Step& a, const Step& b) {
+  if (a.axis != b.axis || a.label != b.label) return false;
+  if (a.predicates.size() != b.predicates.size()) return false;
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    if (!StructurallyEqual(a.predicates[i], b.predicates[i])) return false;
+  }
+  return true;
+}
+
+bool StructurallyEqual(const Path& a, const Path& b) {
+  if (a.absolute != b.absolute || a.steps.size() != b.steps.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (!StructurallyEqual(a.steps[i], b.steps[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+template <typename Fn>
+bool AnyStep(const Path& path, const Fn& fn) {
+  for (const Step& s : path.steps) {
+    if (fn(s)) return true;
+    for (const Predicate& p : s.predicates) {
+      if (AnyStep(p.path, fn)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UsesDescendantAxis(const Path& path) {
+  return AnyStep(path,
+                 [](const Step& s) { return s.axis == Axis::kDescendant; });
+}
+
+bool UsesWildcard(const Path& path) {
+  return AnyStep(path, [](const Step& s) { return s.is_wildcard(); });
+}
+
+bool UsesPredicates(const Path& path) {
+  return AnyStep(path, [](const Step& s) { return !s.predicates.empty(); });
+}
+
+size_t TotalSteps(const Path& path) {
+  size_t n = 0;
+  AnyStep(path, [&n](const Step&) {
+    ++n;
+    return false;
+  });
+  return n;
+}
+
+}  // namespace xmlac::xpath

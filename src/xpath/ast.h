@@ -1,0 +1,90 @@
+#ifndef XMLAC_XPATH_AST_H_
+#define XMLAC_XPATH_AST_H_
+
+// AST for the paper's XPath fragment (Sec. 2.2):
+//
+//   Paths       p ::= axis::ntst | p[q] | p/p
+//   Qualifiers  q ::= p | q and q | p cmp d
+//   Axes        axis ::= child | descendant
+//   Node test   ntst ::= label | *
+//
+// using the abbreviated syntax: `/` child, `//` descendant, `[...]`
+// predicates, `*` wildcard.  We additionally allow the comparison operators
+// !=, <, <=, >, >= because the paper's own example policy uses
+// `//regular[bill > 1000]` (rule R8).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xmlac::xpath {
+
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,  // `//`: one or more child edges
+};
+
+enum class CmpOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+inline constexpr char kWildcard[] = "*";
+
+struct Predicate;
+
+// One location step: axis, node test, conjunction of predicates.
+struct Step {
+  Axis axis = Axis::kChild;
+  std::string label;  // element name, or "*"
+  std::vector<Predicate> predicates;
+
+  bool is_wildcard() const { return label == kWildcard; }
+};
+
+// A path: absolute (`/a/b`, `//a`) or relative (predicate interiors).
+struct Path {
+  bool absolute = false;
+  std::vector<Step> steps;
+
+  bool empty() const { return steps.empty(); }
+};
+
+// A qualifier `p`, `. cmp d`, or `p cmp d`.  `q and q` is flattened into the
+// owning step's predicate vector.  An empty path means the predicate applies
+// to the context node itself (written `[. = "d"]`).
+struct Predicate {
+  Path path;  // relative; may be empty for a self comparison
+  std::optional<CmpOp> op;
+  std::string value;  // comparison constant (raw text)
+
+  bool has_comparison() const { return op.has_value(); }
+};
+
+// Serializes back to abbreviated XPath syntax (round-trips with the parser).
+std::string ToString(const Path& path);
+std::string ToString(const Step& step);
+std::string ToString(const Predicate& pred);
+std::string ToString(CmpOp op);
+
+// Structural equality (exact same AST, not semantic equivalence).
+bool StructurallyEqual(const Path& a, const Path& b);
+bool StructurallyEqual(const Step& a, const Step& b);
+bool StructurallyEqual(const Predicate& a, const Predicate& b);
+
+// True if any step (recursively) uses the descendant axis / a wildcard /
+// any predicate.
+bool UsesDescendantAxis(const Path& path);
+bool UsesWildcard(const Path& path);
+bool UsesPredicates(const Path& path);
+
+// Total number of steps including predicate interiors.
+size_t TotalSteps(const Path& path);
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_AST_H_

@@ -1,0 +1,130 @@
+#include "xpath/containment.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace xmlac::xpath {
+namespace {
+
+// Does p's constraint imply q's constraint for every possible text value?
+// Conservative: only syntactically identical constraints (plus the trivial
+// case of q having none) are treated as implied — sufficient for the
+// paper's policies and always sound.
+bool ConstraintImplies(const PatternNode& p, const PatternNode& q) {
+  if (!q.op.has_value()) return true;
+  if (!p.op.has_value()) return false;
+  return *p.op == *q.op && p.value == q.value;
+}
+
+// Does q's node test accept everything p's node test accepts?
+bool LabelCompatible(const PatternNode& qn, const PatternNode& pn) {
+  if (qn.label.empty()) return pn.label.empty();  // virtual roots align
+  if (qn.is_wildcard()) return !pn.label.empty();
+  return qn.label == pn.label;  // a concrete q label cannot absorb p's "*"
+}
+
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const TreePattern& q, const TreePattern& p)
+      : q_(q), p_(p), memo_(q.size() * p.size(), kUnknown) {}
+
+  bool Run() { return CanMap(q_.root(), p_.root()); }
+
+ private:
+  static constexpr int8_t kUnknown = -1;
+
+  // Can q's subtree rooted at `qn` embed into p with qn -> pn?
+  bool CanMap(size_t qn, size_t pn) {
+    int8_t& m = memo_[qn * p_.size() + pn];
+    if (m != kUnknown) return m == 1;
+    m = 0;  // guards against (impossible) cycles and caches the failure path
+    bool ok = CanMapUncached(qn, pn);
+    m = ok ? 1 : 0;
+    return ok;
+  }
+
+  bool CanMapUncached(size_t qn, size_t pn) {
+    const PatternNode& qnode = q_.node(qn);
+    const PatternNode& pnode = p_.node(pn);
+    if (!LabelCompatible(qnode, pnode)) return false;
+    if (!ConstraintImplies(pnode, qnode)) return false;
+    if (qn == q_.output() && pn != p_.output()) return false;
+    for (const PatternEdge& qe : qnode.children) {
+      bool matched = false;
+      if (!qe.descendant) {
+        // h(child) must be a p-node connected to pn by a *child* edge.
+        for (const PatternEdge& pe : pnode.children) {
+          if (!pe.descendant && CanMap(qe.target, pe.target)) {
+            matched = true;
+            break;
+          }
+        }
+      } else {
+        // h(child) must be a proper descendant of pn (any edge mix: every
+        // edge guarantees distance >= 1 in all matching trees).
+        for (size_t cand : p_.ProperDescendants(pn)) {
+          if (CanMap(qe.target, cand)) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) return false;
+    }
+    return true;
+  }
+
+  const TreePattern& q_;
+  const TreePattern& p_;
+  std::vector<int8_t> memo_;
+};
+
+// The label every node selected by `path` must carry, or "*"/"" if unknown.
+const std::string& OutputLabel(const Path& path) {
+  static const std::string kEmpty;
+  if (path.steps.empty()) return kEmpty;
+  return path.steps.back().label;
+}
+
+// True if the main spine is rigid: absolute, child axes only, no wildcards.
+// For rigid paths the selected node's root-to-node label sequence is fully
+// determined, so two rigid paths with different spines are disjoint.
+bool IsRigidSpine(const Path& path) {
+  if (!path.absolute) return false;
+  for (const Step& s : path.steps) {
+    if (s.axis != Axis::kChild || s.is_wildcard()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HomomorphismExists(const TreePattern& q, const TreePattern& p) {
+  return HomomorphismSearch(q, p).Run();
+}
+
+bool Contains(const Path& p, const Path& q) {
+  TreePattern tp = TreePattern::FromPath(p);
+  TreePattern tq = TreePattern::FromPath(q);
+  return HomomorphismExists(tq, tp);
+}
+
+bool Equivalent(const Path& p, const Path& q) {
+  return Contains(p, q) && Contains(q, p);
+}
+
+bool ProvablyDisjoint(const Path& p, const Path& q) {
+  if (p.steps.empty() || q.steps.empty()) return false;
+  const std::string& lp = OutputLabel(p);
+  const std::string& lq = OutputLabel(q);
+  if (lp != kWildcard && lq != kWildcard && lp != lq) return true;
+  if (IsRigidSpine(p) && IsRigidSpine(q)) {
+    if (p.steps.size() != q.steps.size()) return true;
+    for (size_t i = 0; i < p.steps.size(); ++i) {
+      if (p.steps[i].label != q.steps[i].label) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xmlac::xpath

@@ -1,0 +1,42 @@
+#ifndef XMLAC_XPATH_CONTAINMENT_H_
+#define XMLAC_XPATH_CONTAINMENT_H_
+
+// XPath containment, disjointness and overlap tests (paper Sec. 2.2, 5.1).
+//
+// Contains(p, q) decides p ⊑ q — every node selected by p on any tree is
+// also selected by q — via the tree-pattern homomorphism test of Miklau &
+// Suciu.  The test is sound for the whole fragment XP(/, //, *, [], =const)
+// (a homomorphism from q's pattern onto p's implies containment) and
+// complete for the sub-fragments without wildcards; when it answers `false`
+// containment may still hold in rare interleavings, which costs the
+// optimizer a missed elimination or Trigger an extra rule but never
+// correctness.
+
+#include "xpath/ast.h"
+#include "xpath/tree_pattern.h"
+
+namespace xmlac::xpath {
+
+// True if p ⊑ q (sound; see above).
+bool Contains(const Path& p, const Path& q);
+
+// True if p ⊑ q and q ⊑ p.
+bool Equivalent(const Path& p, const Path& q);
+
+// True if the *selected node sets* of p and q can be proven disjoint on all
+// trees (sound: a `true` is definitive, a `false` means "maybe overlap").
+// Primary criterion: differing non-wildcard output labels.
+bool ProvablyDisjoint(const Path& p, const Path& q);
+
+// Conservative overlap test: !ProvablyDisjoint.
+inline bool MayOverlap(const Path& p, const Path& q) {
+  return !ProvablyDisjoint(p, q);
+}
+
+// Low-level: homomorphism from pattern `q` into pattern `p` mapping root to
+// root and output to output.
+bool HomomorphismExists(const TreePattern& q, const TreePattern& p);
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_CONTAINMENT_H_

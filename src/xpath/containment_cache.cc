@@ -1,0 +1,64 @@
+#include "xpath/containment_cache.h"
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+
+namespace {
+
+std::string Key(const Path& p, const Path& q) {
+  return ToString(p) + "\t" + ToString(q);
+}
+
+}  // namespace
+
+bool ContainmentCache::Contains(const Path& p, const Path& q) {
+  std::string key = Key(p, q);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  bool result = xpath::Contains(p, q);
+  table_.emplace(std::move(key), result);
+  return result;
+}
+
+void ContainmentCache::Clear() {
+  table_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+Status ContainmentCache::SaveToFile(std::string_view path) const {
+  std::string out;
+  for (const auto& [key, value] : table_) {
+    out += key;
+    out += '\t';
+    out += value ? '1' : '0';
+    out += '\n';
+  }
+  return WriteFile(path, out);
+}
+
+Status ContainmentCache::LoadFromFile(std::string_view path) {
+  XMLAC_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> parts = StrSplit(line, '\t');
+    if (parts.size() != 3 || (parts[2] != "0" && parts[2] != "1")) {
+      continue;  // defensively skip malformed lines
+    }
+    // Validate both paths re-parse; a cache from another version must not
+    // poison lookups keyed by today's ToString form.
+    if (!ParsePath(parts[0]).ok() || !ParsePath(parts[1]).ok()) continue;
+    table_.emplace(parts[0] + "\t" + parts[1], parts[2] == "1");
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlac::xpath

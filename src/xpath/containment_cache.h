@@ -1,0 +1,50 @@
+#ifndef XMLAC_XPATH_CONTAINMENT_CACHE_H_
+#define XMLAC_XPATH_CONTAINMENT_CACHE_H_
+
+// Memoized containment with optional persistence.
+//
+// The paper's implementation serialized containment results to disk
+// because its checker (a Java tool) was expensive to invoke ("we must pay
+// the cost of JVM initialization").  Our native checker is cheap, but the
+// same pattern still pays off where the same pairs recur — the Trigger
+// algorithm re-tests every (rule-expansion, update) pair per update — and
+// the persistent form lets long-lived deployments keep the table across
+// runs.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+class ContainmentCache {
+ public:
+  ContainmentCache() = default;
+
+  // Memoized Contains(p, q).
+  bool Contains(const Path& p, const Path& q);
+
+  size_t size() const { return table_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void Clear();
+
+  // Persistence: one `p<TAB>q<TAB>0|1` line per entry.  Load merges into
+  // the current table (existing entries win) and ignores malformed lines
+  // defensively — a stale or corrupt cache must never change results, only
+  // cost.
+  Status SaveToFile(std::string_view path) const;
+  Status LoadFromFile(std::string_view path);
+
+ private:
+  std::unordered_map<std::string, bool> table_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_CONTAINMENT_CACHE_H_

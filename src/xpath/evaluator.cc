@@ -1,0 +1,162 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace xmlac::xpath {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeKind;
+
+bool LabelMatches(const Step& step, const Document& doc, NodeId id) {
+  const xml::Node& n = doc.node(id);
+  if (n.kind != NodeKind::kElement) return false;
+  return step.is_wildcard() || n.label == step.label;
+}
+
+// Appends every element in the subtree of `root` (excluding `root` itself)
+// matching `step`'s node test for which the predicates hold.
+void CollectDescendants(const Step& step, const Document& doc, NodeId root,
+                        std::vector<NodeId>* out) {
+  for (NodeId c : doc.node(root).children) {
+    if (!doc.node(c).alive) continue;
+    if (LabelMatches(step, doc, c) && PredicatesHold(step, doc, c)) {
+      out->push_back(c);
+    }
+    if (doc.node(c).kind == NodeKind::kElement) {
+      CollectDescendants(step, doc, c, out);
+    }
+  }
+}
+
+void CollectChildren(const Step& step, const Document& doc, NodeId parent,
+                     std::vector<NodeId>* out) {
+  for (NodeId c : doc.node(parent).children) {
+    if (!doc.node(c).alive) continue;
+    if (LabelMatches(step, doc, c) && PredicatesHold(step, doc, c)) {
+      out->push_back(c);
+    }
+  }
+}
+
+// Applies steps [step_index..] to each node of `context`; contexts are
+// already deduplicated and in document order.
+std::vector<NodeId> ApplySteps(const Path& path, size_t step_index,
+                               const Document& doc,
+                               std::vector<NodeId> context) {
+  for (size_t i = step_index; i < path.steps.size(); ++i) {
+    const Step& step = path.steps[i];
+    std::vector<NodeId> next;
+    std::unordered_set<NodeId> seen;
+    for (NodeId ctx : context) {
+      std::vector<NodeId> local;
+      if (step.axis == Axis::kChild) {
+        CollectChildren(step, doc, ctx, &local);
+      } else {
+        CollectDescendants(step, doc, ctx, &local);
+      }
+      for (NodeId id : local) {
+        if (seen.insert(id).second) next.push_back(id);
+      }
+    }
+    // NodeIds are assigned in creation order which coincides with document
+    // order for parsed/generated documents; sorting keeps the contract even
+    // after merging multiple contexts.
+    std::sort(next.begin(), next.end());
+    context = std::move(next);
+    if (context.empty()) break;
+  }
+  return context;
+}
+
+}  // namespace
+
+bool CompareValues(const std::string& lhs, CmpOp op, const std::string& rhs) {
+  // A node without character data has no value to compare: every comparison
+  // is false (mirrors the relational side, where structure-only element
+  // types have no `v` column at all).
+  if (lhs.empty() || rhs.empty()) return false;
+  char* lend = nullptr;
+  char* rend = nullptr;
+  double lv = std::strtod(lhs.c_str(), &lend);
+  double rv = std::strtod(rhs.c_str(), &rend);
+  bool numeric = !lhs.empty() && !rhs.empty() && *lend == '\0' && *rend == '\0';
+  int cmp;
+  if (numeric) {
+    cmp = lv < rv ? -1 : (lv > rv ? 1 : 0);
+  } else {
+    cmp = lhs.compare(rhs);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool PredicatesHold(const Step& step, const xml::Document& doc,
+                    xml::NodeId node) {
+  for (const Predicate& pred : step.predicates) {
+    std::vector<NodeId> selected = EvaluateFrom(pred.path, doc, node);
+    if (!pred.has_comparison()) {
+      if (selected.empty()) return false;
+      continue;
+    }
+    bool any = false;
+    for (NodeId id : selected) {
+      if (CompareValues(doc.DirectText(id), *pred.op, pred.value)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+std::vector<xml::NodeId> EvaluateFrom(const Path& path,
+                                      const xml::Document& doc,
+                                      xml::NodeId context) {
+  if (!doc.IsAlive(context)) return {};
+  if (path.empty()) return {context};
+  return ApplySteps(path, 0, doc, {context});
+}
+
+std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc) {
+  if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
+  const Step& first = path.steps.front();
+  std::vector<NodeId> context;
+  // The virtual document node has exactly one child: the root element.
+  if (first.axis == Axis::kChild) {
+    if (LabelMatches(first, doc, doc.root()) &&
+        PredicatesHold(first, doc, doc.root())) {
+      context.push_back(doc.root());
+    }
+  } else {
+    // descendant from the virtual node: the root and everything below it.
+    if (LabelMatches(first, doc, doc.root()) &&
+        PredicatesHold(first, doc, doc.root())) {
+      context.push_back(doc.root());
+    }
+    CollectDescendants(first, doc, doc.root(), &context);
+    std::sort(context.begin(), context.end());
+    context.erase(std::unique(context.begin(), context.end()), context.end());
+  }
+  return ApplySteps(path, 1, doc, std::move(context));
+}
+
+}  // namespace xmlac::xpath

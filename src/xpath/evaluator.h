@@ -1,0 +1,33 @@
+#ifndef XMLAC_XPATH_EVALUATOR_H_
+#define XMLAC_XPATH_EVALUATOR_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+// Evaluates an absolute path on a document.  Returns the selected element
+// nodes, deduplicated, in document (pre-)order.  Per the paper's model the
+// root element is a child of a virtual document node, so `/hospital` selects
+// the root and `//patient` selects patients at any depth.
+std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc);
+
+// Evaluates a relative path from `context`.  An empty relative path selects
+// the context node itself.
+std::vector<xml::NodeId> EvaluateFrom(const Path& path,
+                                      const xml::Document& doc,
+                                      xml::NodeId context);
+
+// True if `node` satisfies all of `step`'s predicates.
+bool PredicatesHold(const Step& step, const xml::Document& doc,
+                    xml::NodeId node);
+
+// The comparison semantics used by predicates: if both sides parse as
+// numbers, compare numerically, otherwise lexicographically.
+bool CompareValues(const std::string& lhs, CmpOp op, const std::string& rhs);
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_EVALUATOR_H_

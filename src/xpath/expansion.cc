@@ -1,0 +1,124 @@
+#include "xpath/expansion.h"
+
+#include <string>
+
+#include "xpath/containment.h"
+
+namespace xmlac::xpath {
+namespace {
+
+// Appends `step` (axis + label only, predicates stripped) to `prefix`.
+Path Extend(const Path& prefix, Axis axis, const std::string& label) {
+  Path out = prefix;
+  Step s;
+  s.axis = axis;
+  s.label = label;
+  out.steps.push_back(std::move(s));
+  return out;
+}
+
+class Expander {
+ public:
+  Expander(const xml::SchemaGraph* schema, const ExpansionOptions& options)
+      : schema_(schema), options_(options) {
+    rewrite_ = options.schema_rewrite && schema != nullptr &&
+               !schema->IsRecursive();
+  }
+
+  std::vector<Path> Run(const Path& rule) {
+    Path start;
+    start.absolute = true;
+    // Walk the spine; `is_leading` permits the initial // to survive
+    // (the context above the first named step is unbounded from the query's
+    // point of view, so there is nothing to rewrite it against).
+    WalkPath(rule, start, /*is_leading=*/true);
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(const Path& p) {
+    if (out_.size() >= options_.max_paths) return;
+    for (const Path& existing : out_) {
+      if (StructurallyEqual(existing, p)) return;
+    }
+    out_.push_back(p);
+  }
+
+  // The schema label a prefix path ends at, or "" when unknown (wildcard,
+  // or label outside the schema).
+  std::string TipLabel(const Path& prefix) const {
+    if (prefix.steps.empty()) return "";
+    const std::string& l = prefix.steps.back().label;
+    if (l == kWildcard) return "";
+    if (schema_ != nullptr && !schema_->HasLabel(l)) return "";
+    return l;
+  }
+
+  // Emits the touched-path set for `path` appended after `prefix`.
+  void WalkPath(const Path& path, const Path& prefix, bool is_leading) {
+    std::vector<Path> frontier = {prefix};
+    bool leading = is_leading;
+    for (const Step& step : path.steps) {
+      std::vector<Path> next;
+      for (const Path& pre : frontier) {
+        if (step.axis == Axis::kChild || (leading && pre.steps.empty())) {
+          // Child steps, and a leading // straight off the document root,
+          // are kept as written.
+          next.push_back(Extend(pre, step.axis, step.label));
+        } else if (rewrite_ && step.axis == Axis::kDescendant) {
+          std::string from = TipLabel(pre);
+          if (from.empty() || step.is_wildcard() ||
+              (schema_ != nullptr && !schema_->HasLabel(step.label))) {
+            next.push_back(Extend(pre, step.axis, step.label));
+          } else {
+            // Replace `pre//label` with every child chain the schema allows.
+            auto chains = schema_->PathsBetween(from, step.label,
+                                                options_.max_paths);
+            if (chains.empty()) {
+              // Unsatisfiable per schema; keep verbatim so Trigger stays
+              // conservative if the document diverges from the DTD.
+              next.push_back(Extend(pre, step.axis, step.label));
+            } else {
+              for (const auto& chain : chains) {
+                Path grown = pre;
+                for (const std::string& hop : chain) {
+                  grown = Extend(grown, Axis::kChild, hop);
+                  // Every intermediate hop is a touched node too.
+                  Emit(grown);
+                }
+                next.push_back(grown);
+              }
+            }
+          }
+        } else {
+          next.push_back(Extend(pre, step.axis, step.label));
+        }
+      }
+      for (const Path& p : next) Emit(p);
+      // Predicates branch off every frontier tip.
+      for (const Path& p : next) {
+        for (const Predicate& pred : step.predicates) {
+          if (!pred.path.empty()) {
+            WalkPath(pred.path, p, /*is_leading=*/false);
+          }
+        }
+      }
+      frontier = std::move(next);
+      leading = false;
+    }
+  }
+
+  const xml::SchemaGraph* schema_;
+  ExpansionOptions options_;
+  bool rewrite_ = false;
+  std::vector<Path> out_;
+};
+
+}  // namespace
+
+std::vector<Path> Expand(const Path& rule, const xml::SchemaGraph* schema,
+                         const ExpansionOptions& options) {
+  return Expander(schema, options).Run(rule);
+}
+
+}  // namespace xmlac::xpath

@@ -1,0 +1,49 @@
+#ifndef XMLAC_XPATH_EXPANSION_H_
+#define XMLAC_XPATH_EXPANSION_H_
+
+// Rule expansion for the Trigger algorithm (paper Sec. 5.3).
+//
+// A rule's XPath touches more nodes than the ones it selects: every node
+// named on its spine and inside its predicates participates in the match.
+// Expand() returns, for each such pattern node, the predicate-free linear
+// path from the root to that node — e.g.
+//
+//   //patient[treatment]        ->  { //patient, //patient/treatment }
+//
+// When a predicate contains a descendant axis, the paths through it are
+// rewritten into child-axis chains using the DTD (finite for non-recursive
+// schemas), so
+//
+//   //patient[.//experimental]  ->  { //patient,
+//                                     //patient/treatment,
+//                                     //patient/treatment/experimental }
+//
+// including every intermediate prefix, exactly the set Trigger needs to test
+// against an update query.
+
+#include <vector>
+
+#include "xml/schema_graph.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+struct ExpansionOptions {
+  // Rewrite descendant axes (other than a path's leading step) into child
+  // chains via the schema.  Disabled, descendant edges are kept verbatim —
+  // the configuration the paper shows to be incorrect for rules like R5;
+  // exposed for the ablation benchmark.
+  bool schema_rewrite = true;
+  // Defensive cap on the number of expanded paths per rule.
+  size_t max_paths = 4096;
+};
+
+// Expands `rule` into its touched-node paths.  `schema` may be null (or
+// recursive), in which case descendant axes are kept verbatim regardless of
+// options.  Order is unspecified; the set always includes the spine path.
+std::vector<Path> Expand(const Path& rule, const xml::SchemaGraph* schema,
+                         const ExpansionOptions& options = {});
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_EXPANSION_H_

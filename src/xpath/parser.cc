@@ -1,0 +1,217 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace xmlac::xpath {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+class PathParser {
+ public:
+  explicit PathParser(std::string_view text) : text_(text) {}
+
+  Result<Path> ParseTopLevel() {
+    SkipWs();
+    if (AtEnd()) return Err("empty XPath expression");
+    if (Peek() != '/') {
+      return Err("top-level expression must be absolute (start with / or //)");
+    }
+    XMLAC_ASSIGN_OR_RETURN(Path p, ParseAbsolute());
+    SkipWs();
+    if (!AtEnd()) return Err("trailing characters");
+    return p;
+  }
+
+  Result<Path> ParseRelativeTop() {
+    SkipWs();
+    XMLAC_ASSIGN_OR_RETURN(Path p, ParseRelative());
+    SkipWs();
+    if (!AtEnd()) return Err("trailing characters");
+    return p;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Match(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("XPath, offset " + std::to_string(pos_) + ": " +
+                              std::move(msg) + " in '" + std::string(text_) +
+                              "'");
+  }
+
+  Result<Path> ParseAbsolute() {
+    Path path;
+    path.absolute = true;
+    Axis axis = Match("//") ? Axis::kDescendant
+                            : (Match("/") ? Axis::kChild : Axis::kChild);
+    while (true) {
+      XMLAC_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      path.steps.push_back(std::move(step));
+      SkipWs();
+      if (Match("//")) {
+        axis = Axis::kDescendant;
+      } else if (Match("/")) {
+        axis = Axis::kChild;
+      } else {
+        break;
+      }
+    }
+    return path;
+  }
+
+  // Relative path: `.` | `.//a/b` | `./a` | `a/b` | empty-on-`.`.
+  Result<Path> ParseRelative() {
+    Path path;
+    path.absolute = false;
+    Axis axis = Axis::kChild;
+    if (Match(".")) {
+      if (Match("//")) {
+        axis = Axis::kDescendant;
+      } else if (Match("/")) {
+        axis = Axis::kChild;
+      } else {
+        return path;  // bare `.`: the context node itself
+      }
+    } else if (Match("//")) {
+      // Tolerated alias for `.//` inside predicates.
+      axis = Axis::kDescendant;
+    }
+    while (true) {
+      XMLAC_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      path.steps.push_back(std::move(step));
+      SkipWs();
+      if (Match("//")) {
+        axis = Axis::kDescendant;
+      } else if (Match("/")) {
+        axis = Axis::kChild;
+      } else {
+        break;
+      }
+    }
+    return path;
+  }
+
+  Result<Step> ParseStep(Axis axis) {
+    SkipWs();
+    Step step;
+    step.axis = axis;
+    if (Match("*")) {
+      step.label = kWildcard;
+    } else {
+      size_t start = pos_;
+      while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+      if (pos_ == start) return Err("expected element name or '*'");
+      step.label = std::string(text_.substr(start, pos_ - start));
+    }
+    SkipWs();
+    while (Match("[")) {
+      XMLAC_RETURN_IF_ERROR(ParseQualifier(&step));
+      SkipWs();
+    }
+    return step;
+  }
+
+  // Parses the interior of `[...]` (the '[' is consumed).  `q and q` adds
+  // multiple predicates to `step`.
+  Status ParseQualifier(Step* step) {
+    while (true) {
+      XMLAC_ASSIGN_OR_RETURN(Predicate pred, ParseOperand());
+      step->predicates.push_back(std::move(pred));
+      SkipWs();
+      if (Match("]")) return Status::OK();
+      // `and` keyword (require word boundary).
+      if (Match("and")) {
+        SkipWs();
+        continue;
+      }
+      return Err("expected 'and' or ']' in predicate");
+    }
+  }
+
+  Result<Predicate> ParseOperand() {
+    SkipWs();
+    Predicate pred;
+    XMLAC_ASSIGN_OR_RETURN(pred.path, ParseRelative());
+    SkipWs();
+    std::optional<CmpOp> op;
+    if (Match("!=")) {
+      op = CmpOp::kNe;
+    } else if (Match("<=")) {
+      op = CmpOp::kLe;
+    } else if (Match(">=")) {
+      op = CmpOp::kGe;
+    } else if (Match("=")) {
+      op = CmpOp::kEq;
+    } else if (Match("<")) {
+      op = CmpOp::kLt;
+    } else if (Match(">")) {
+      op = CmpOp::kGt;
+    }
+    if (op.has_value()) {
+      pred.op = op;
+      XMLAC_ASSIGN_OR_RETURN(pred.value, ParseConstant());
+    } else if (pred.path.empty()) {
+      return Err("a bare '.' predicate needs a comparison");
+    }
+    return pred;
+  }
+
+  Result<std::string> ParseConstant() {
+    SkipWs();
+    if (AtEnd()) return Err("expected a constant");
+    char c = Peek();
+    if (c == '"' || c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != c) ++pos_;
+      if (AtEnd()) return Err("unterminated string constant");
+      std::string value(text_.substr(start, pos_ - start));
+      ++pos_;
+      return value;
+    }
+    // Bare number: digits, optional sign / decimal point.
+    size_t start = pos_;
+    if (Peek() == '-' || Peek() == '+') ++pos_;
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && !std::isdigit(static_cast<unsigned char>(text_[start])))) {
+      return Err("expected a quoted string or numeric constant");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Path> ParsePath(std::string_view text) {
+  return PathParser(text).ParseTopLevel();
+}
+
+Result<Path> ParseRelativePath(std::string_view text) {
+  return PathParser(text).ParseRelativeTop();
+}
+
+}  // namespace xmlac::xpath

@@ -1,0 +1,30 @@
+#ifndef XMLAC_XPATH_PARSER_H_
+#define XMLAC_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+// Parses an expression of the paper's XPath fragment in abbreviated syntax.
+//
+//   /a/b            absolute child path
+//   //a[b/c]        descendant axis, structural predicate
+//   //a[.//b]       descendant axis inside a predicate
+//   //a[b = "v"]    comparison predicate (also != < <= > >=; bare numbers
+//                   may omit the quotes: //regular[bill > 1000])
+//   //a[b and c]    conjunction (flattened into multiple predicates)
+//   /a/*/c          wildcard node test
+//
+// Top-level expressions must be absolute (start with / or //), matching the
+// paper's definition of rule resources and user queries.
+Result<Path> ParsePath(std::string_view text);
+
+// Parses a relative path as used inside predicates (`b/c`, `.//b`, `.`).
+Result<Path> ParseRelativePath(std::string_view text);
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_PARSER_H_

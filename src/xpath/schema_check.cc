@@ -1,0 +1,132 @@
+#include "xpath/schema_check.h"
+
+namespace xmlac::xpath {
+
+namespace {
+
+using LabelSet = std::set<std::string>;
+
+// Can `pred` hold on some node of type `ctx` in some valid document?
+bool PredicateSatisfiable(const Predicate& pred, const std::string& ctx,
+                          const xml::SchemaGraph& schema);
+
+// Applies the relative path `steps[i..]` to a single context label; returns
+// the possible tip labels.
+LabelSet ApplyRelative(const Path& path, const std::string& ctx,
+                       const xml::SchemaGraph& schema) {
+  LabelSet current = {ctx};
+  for (const Step& step : path.steps) {
+    LabelSet next;
+    for (const std::string& c : current) {
+      if (step.axis == Axis::kChild) {
+        if (step.is_wildcard()) {
+          const auto& kids = schema.Children(c);
+          next.insert(kids.begin(), kids.end());
+        } else if (schema.Children(c).count(step.label) > 0) {
+          next.insert(step.label);
+        }
+      } else {
+        LabelSet desc = schema.Descendants(c);
+        if (step.is_wildcard()) {
+          next.insert(desc.begin(), desc.end());
+        } else if (desc.count(step.label) > 0) {
+          next.insert(step.label);
+        }
+      }
+    }
+    // Filter by this step's predicates.
+    LabelSet kept;
+    for (const std::string& label : next) {
+      bool ok = true;
+      for (const Predicate& pred : step.predicates) {
+        if (!PredicateSatisfiable(pred, label, schema)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.insert(label);
+    }
+    current = std::move(kept);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool PredicateSatisfiable(const Predicate& pred, const std::string& ctx,
+                          const xml::SchemaGraph& schema) {
+  if (pred.path.empty()) {
+    // `[. op c]`: the node needs text content.
+    return schema.HasText(ctx);
+  }
+  LabelSet tips = ApplyRelative(pred.path, ctx, schema);
+  if (tips.empty()) return false;
+  if (!pred.has_comparison()) return true;
+  // Some tip must be able to carry text.
+  for (const std::string& t : tips) {
+    if (schema.HasText(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::set<std::string> PossibleResultLabels(const Path& path,
+                                           const xml::SchemaGraph& schema) {
+  if (path.steps.empty()) return {};
+  const Step& first = path.steps.front();
+  LabelSet context;
+  // Entry from the virtual document node.
+  if (first.axis == Axis::kChild) {
+    if (first.is_wildcard() || first.label == schema.root()) {
+      context.insert(schema.root());
+    }
+  } else {
+    if (first.is_wildcard()) {
+      context = schema.labels();
+    } else if (schema.HasLabel(first.label)) {
+      context.insert(first.label);
+    }
+  }
+  // First step's predicates.
+  LabelSet kept;
+  for (const std::string& label : context) {
+    bool ok = true;
+    for (const Predicate& pred : first.predicates) {
+      if (!PredicateSatisfiable(pred, label, schema)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.insert(label);
+  }
+  context = std::move(kept);
+
+  // Remaining steps via the shared relative walker.
+  Path rest;
+  rest.steps.assign(path.steps.begin() + 1, path.steps.end());
+  LabelSet out;
+  for (const std::string& c : context) {
+    LabelSet tips = ApplyRelative(rest, c, schema);
+    out.insert(tips.begin(), tips.end());
+  }
+  return out;
+}
+
+bool SatisfiableUnderSchema(const Path& path,
+                            const xml::SchemaGraph& schema) {
+  return !PossibleResultLabels(path, schema).empty();
+}
+
+bool ProvablyDisjointUnderSchema(const Path& p, const Path& q,
+                                 const xml::SchemaGraph& schema) {
+  std::set<std::string> lp = PossibleResultLabels(p, schema);
+  if (lp.empty()) return true;
+  std::set<std::string> lq = PossibleResultLabels(q, schema);
+  if (lq.empty()) return true;
+  for (const std::string& l : lp) {
+    if (lq.count(l) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace xmlac::xpath

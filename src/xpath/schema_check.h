@@ -1,0 +1,39 @@
+#ifndef XMLAC_XPATH_SCHEMA_CHECK_H_
+#define XMLAC_XPATH_SCHEMA_CHECK_H_
+
+// Schema-aware XPath static analysis — the "schema-aware optimizations"
+// the paper's conclusion calls for.
+//
+// PossibleResultLabels computes the set of element types an expression can
+// select on any document valid against the schema; an empty set proves the
+// expression unsatisfiable (its rule can be dropped from a policy, and the
+// disjointness test below gets sharper than the pure output-label check in
+// containment.h).  Unlike the child-chain expansion in expansion.h, this
+// analysis only needs reachability, so it works for recursive schemas too.
+
+#include <set>
+#include <string>
+
+#include "xml/schema_graph.h"
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+// Element types `path` (absolute) can select under `schema`.  Empty iff the
+// path is unsatisfiable on every valid document.
+std::set<std::string> PossibleResultLabels(const Path& path,
+                                           const xml::SchemaGraph& schema);
+
+// True if some document valid against `schema` gives `path` a non-empty
+// result.
+bool SatisfiableUnderSchema(const Path& path, const xml::SchemaGraph& schema);
+
+// Sharper disjointness: p and q are disjoint when their possible result
+// label sets do not intersect (sound; subsumes the label test of
+// ProvablyDisjoint for schema-valid documents).
+bool ProvablyDisjointUnderSchema(const Path& p, const Path& q,
+                                 const xml::SchemaGraph& schema);
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_SCHEMA_CHECK_H_

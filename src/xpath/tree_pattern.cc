@@ -1,0 +1,77 @@
+#include "xpath/tree_pattern.h"
+
+#include <functional>
+
+namespace xmlac::xpath {
+
+size_t TreePattern::AddNode(std::string label) {
+  PatternNode n;
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+size_t TreePattern::AppendPath(const Path& path, size_t from) {
+  size_t cur = from;
+  for (const Step& step : path.steps) {
+    size_t next = AddNode(step.label);
+    nodes_[cur].children.push_back(
+        PatternEdge{step.axis == Axis::kDescendant, next});
+    cur = next;
+    for (const Predicate& pred : step.predicates) {
+      size_t leaf = AppendPath(pred.path, cur);
+      if (pred.has_comparison()) {
+        nodes_[leaf].op = pred.op;
+        nodes_[leaf].value = pred.value;
+      }
+    }
+  }
+  return cur;
+}
+
+TreePattern TreePattern::FromPath(const Path& path) {
+  TreePattern tp;
+  tp.AddNode("");  // virtual document root
+  tp.output_ = tp.AppendPath(path, 0);
+  return tp;
+}
+
+std::vector<size_t> TreePattern::ProperDescendants(size_t i) const {
+  std::vector<size_t> out;
+  std::vector<size_t> stack;
+  for (const PatternEdge& e : nodes_[i].children) stack.push_back(e.target);
+  while (!stack.empty()) {
+    size_t cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (const PatternEdge& e : nodes_[cur].children) {
+      stack.push_back(e.target);
+    }
+  }
+  return out;
+}
+
+std::string TreePattern::DebugString() const {
+  std::string out;
+  std::function<void(size_t, int)> rec = [&](size_t i, int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    const PatternNode& n = nodes_[i];
+    out += n.label.empty() ? "(doc)" : n.label;
+    if (n.op.has_value()) {
+      out += " ";
+      out += ToString(*n.op);
+      out += " \"" + n.value + "\"";
+    }
+    if (i == output_) out += "  <== output";
+    out += '\n';
+    for (const PatternEdge& e : n.children) {
+      out.append(static_cast<size_t>(depth) * 2 + 2, ' ');
+      out += e.descendant ? "// down:\n" : "/ down:\n";
+      rec(e.target, depth + 2);
+    }
+  };
+  rec(0, 0);
+  return out;
+}
+
+}  // namespace xmlac::xpath

@@ -1,0 +1,65 @@
+#ifndef XMLAC_XPATH_TREE_PATTERN_H_
+#define XMLAC_XPATH_TREE_PATTERN_H_
+
+// Tree-pattern representation of an XPath expression, the data structure the
+// containment test (Miklau & Suciu, JACM 51(1)) works on.
+//
+// A pattern is a rooted tree whose nodes carry a node test (label or *) and
+// optionally a value-comparison constraint, and whose edges are child or
+// descendant edges.  Node 0 is the virtual document root; the `output` node
+// corresponds to the expression's selected step.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace xmlac::xpath {
+
+struct PatternEdge {
+  bool descendant = false;
+  size_t target = 0;
+};
+
+struct PatternNode {
+  // Element label, "*", or "" for the virtual document root.
+  std::string label;
+  std::optional<CmpOp> op;
+  std::string value;
+  std::vector<PatternEdge> children;
+
+  bool is_wildcard() const { return label == kWildcard; }
+};
+
+class TreePattern {
+ public:
+  // Builds the pattern of an absolute path.  Predicate paths become side
+  // branches; a comparison constraint attaches to the final node of its
+  // predicate path (or to the step node itself for `[. = "v"]`).
+  static TreePattern FromPath(const Path& path);
+
+  const PatternNode& node(size_t i) const { return nodes_[i]; }
+  size_t size() const { return nodes_.size(); }
+  size_t root() const { return 0; }
+  size_t output() const { return output_; }
+
+  // All nodes in the subtree strictly below `i` (proper descendants).
+  std::vector<size_t> ProperDescendants(size_t i) const;
+
+  // Dot-ish debug rendering.
+  std::string DebugString() const;
+
+ private:
+  size_t AddNode(std::string label);
+  // Appends `path`'s steps below `from`; returns the final node.
+  size_t AppendPath(const Path& path, size_t from);
+
+  std::vector<PatternNode> nodes_;
+  size_t output_ = 0;
+};
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_TREE_PATTERN_H_

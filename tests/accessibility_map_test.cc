@@ -1,0 +1,110 @@
+#include "engine/accessibility_map.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testdata.h"
+#include "workload/coverage.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+namespace {
+
+TEST(CompressedAccessibilityMapTest, AgreesWithSetOnHospitalPolicy) {
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  auto p = policy::ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(doc.ok() && p.ok());
+  policy::NodeSet accessible = policy::AccessibleNodes(*p, *doc);
+  auto map = CompressedAccessibilityMap::Build(*doc, accessible);
+  for (xml::NodeId n : doc->AllElements()) {
+    EXPECT_EQ(map.IsAccessible(*doc, n), accessible.count(n) > 0)
+        << "node " << n << " (" << doc->node(n).label << ")";
+  }
+}
+
+TEST(CompressedAccessibilityMapTest, SubtreeGrantsCompressWell) {
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(doc.ok());
+  // Grant whole subtrees: everything under dept.
+  auto p = policy::ParsePolicy(
+      "default deny\nconflict deny\nallow //dept\nallow //dept//*\n");
+  ASSERT_TRUE(p.ok());
+  policy::NodeSet accessible = policy::AccessibleNodes(*p, *doc);
+  auto map = CompressedAccessibilityMap::Build(*doc, accessible);
+  // Only the dept boundary flips: one marker per dept element.
+  auto depts = xpath::Evaluate(*xpath::ParsePath("//dept"), *doc);
+  EXPECT_EQ(map.marker_count(), depts.size());
+  EXPECT_LT(map.marker_count(), accessible.size());
+  for (xml::NodeId n : doc->AllElements()) {
+    EXPECT_EQ(map.IsAccessible(*doc, n), accessible.count(n) > 0);
+  }
+}
+
+TEST(CompressedAccessibilityMapTest, AlternatingWorstCase) {
+  // a -> b -> a -> b ... alternating accessibility: every node is a marker.
+  xml::Document doc;
+  xml::NodeId cur = doc.CreateRoot("n0");
+  policy::NodeSet accessible = {cur};  // root accessible (flip #1)
+  for (int i = 1; i < 10; ++i) {
+    cur = doc.CreateElement(cur, "n" + std::to_string(i));
+    if (i % 2 == 0) accessible.insert(cur);
+  }
+  auto map = CompressedAccessibilityMap::Build(doc, accessible);
+  EXPECT_EQ(map.marker_count(), 10u);
+  for (xml::NodeId n : doc.AllElements()) {
+    EXPECT_EQ(map.IsAccessible(doc, n), accessible.count(n) > 0);
+  }
+}
+
+TEST(CompressedAccessibilityMapTest, EmptyAndFullSets) {
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(doc.ok());
+  auto empty_map = CompressedAccessibilityMap::Build(*doc, {});
+  EXPECT_EQ(empty_map.marker_count(), 0u);
+  EXPECT_FALSE(empty_map.IsAccessible(*doc, doc->root()));
+
+  policy::NodeSet all;
+  for (xml::NodeId n : doc->AllElements()) all.insert(n);
+  auto full_map = CompressedAccessibilityMap::Build(*doc, all);
+  EXPECT_EQ(full_map.marker_count(), 1u);  // single flip at the root
+  for (xml::NodeId n : doc->AllElements()) {
+    EXPECT_TRUE(full_map.IsAccessible(*doc, n));
+  }
+}
+
+TEST(CompressedAccessibilityMapTest, DeadNodesInaccessible) {
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(doc.ok());
+  policy::NodeSet all;
+  for (xml::NodeId n : doc->AllElements()) all.insert(n);
+  auto map = CompressedAccessibilityMap::Build(*doc, all);
+  auto patients = xpath::Evaluate(*xpath::ParsePath("//patient"), *doc);
+  ASSERT_FALSE(patients.empty());
+  doc->DeleteSubtree(patients[0]);
+  EXPECT_FALSE(map.IsAccessible(*doc, patients[0]));
+}
+
+TEST(CompressedAccessibilityMapTest, RandomizedAgreement) {
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    workload::CoverageOptions copt;
+    copt.target = 0.45;
+    copt.seed = seed;
+    auto p = workload::GenerateCoveragePolicy(doc, copt);
+    ASSERT_TRUE(p.ok());
+    policy::NodeSet accessible = policy::AccessibleNodes(*p, doc);
+    auto map = CompressedAccessibilityMap::Build(doc, accessible);
+    for (xml::NodeId n : doc.AllElements()) {
+      ASSERT_EQ(map.IsAccessible(doc, n), accessible.count(n) > 0)
+          << "seed " << seed << " node " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::engine

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "engine/access_controller.h"
+#include "engine/annotator.h"
+#include "engine/native_backend.h"
+#include "policy/semantics.h"
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+namespace {
+
+class AccessibleViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(dtd.ok() && doc.ok());
+    doc_ = std::move(*doc);
+    ASSERT_TRUE(backend_.Load(*dtd, doc_).ok());
+  }
+
+  void Annotate(const char* policy_text) {
+    auto p = policy::ParsePolicy(policy_text);
+    ASSERT_TRUE(p.ok()) << p.status();
+    auto r = AnnotateFull(&backend_, *p);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  xml::Document doc_;
+  NativeXmlBackend backend_;
+};
+
+TEST_F(AccessibleViewTest, DenyDefaultRootInaccessibleGivesEmptyView) {
+  Annotate(testdata::kHospitalPolicy);
+  // The hospital policy never grants the root: the view is empty (every
+  // accessible node sits below an inaccessible ancestor).
+  xml::Document view = backend_.AccessibleView();
+  EXPECT_TRUE(view.empty());
+}
+
+TEST_F(AccessibleViewTest, AllowDefaultViewPrunesDeniedSubtrees) {
+  Annotate(R"(
+default allow
+conflict deny
+deny //treatment
+deny //staffinfo
+)");
+  xml::Document view = backend_.AccessibleView();
+  ASSERT_FALSE(view.empty());
+  EXPECT_TRUE(xpath::Evaluate(*xpath::ParsePath("//treatment"), view).empty());
+  EXPECT_TRUE(xpath::Evaluate(*xpath::ParsePath("//staffinfo"), view).empty());
+  EXPECT_TRUE(xpath::Evaluate(*xpath::ParsePath("//bill"), view).empty());
+  // Patients and their names survive.
+  EXPECT_EQ(xpath::Evaluate(*xpath::ParsePath("//patient"), view).size(), 3u);
+  EXPECT_EQ(xpath::Evaluate(*xpath::ParsePath("//patient/name"), view).size(),
+            3u);
+  // Text content carried over.
+  auto psn = xpath::Evaluate(*xpath::ParsePath("//patient/psn"), view);
+  ASSERT_FALSE(psn.empty());
+  EXPECT_EQ(view.DirectText(psn[0]), "033");
+}
+
+TEST_F(AccessibleViewTest, ViewStripsSignAttributes) {
+  Annotate("default allow\nconflict deny\ndeny //psn\n");
+  xml::Document view = backend_.AccessibleView();
+  for (xml::NodeId id : view.AllElements()) {
+    EXPECT_FALSE(view.GetAttribute(id, "sign").has_value());
+  }
+}
+
+TEST_F(AccessibleViewTest, AccessibleNodeUnderDeniedAncestorExcluded) {
+  Annotate(R"(
+default allow
+conflict deny
+deny //patient[psn="033"]
+allow //patient[psn="033"]/name
+)");
+  // deny-overrides: the patient is denied, so even though its name is
+  // explicitly allowed, the name has no accessible path from the root.
+  xml::Document view = backend_.AccessibleView();
+  auto names = xpath::Evaluate(*xpath::ParsePath("//patient/name"), view);
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(AccessibleViewTest, ViewSerializesAndReparses) {
+  Annotate("default allow\nconflict deny\ndeny //experimental\n");
+  xml::Document view = backend_.AccessibleView();
+  std::string xml = xml::Serialize(view);
+  auto reparsed = xml::ParseDocument(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->alive_count(), view.alive_count());
+}
+
+TEST_F(AccessibleViewTest, FullyAccessibleViewEqualsDocumentModuloSigns) {
+  Annotate("default allow\nconflict deny\n");
+  xml::Document view = backend_.AccessibleView();
+  EXPECT_EQ(xml::Serialize(view), xml::Serialize(doc_));
+}
+
+TEST_F(AccessibleViewTest, UnloadedBackendGivesEmptyView) {
+  NativeXmlBackend fresh;
+  EXPECT_TRUE(fresh.AccessibleView().empty());
+}
+
+}  // namespace
+}  // namespace xmlac::engine

@@ -1,0 +1,167 @@
+#include "engine/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/native_backend.h"
+#include "engine/relational_backend.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+namespace {
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(dtd.ok() && doc.ok());
+    dtd_ = std::make_unique<xml::Dtd>(std::move(*dtd));
+    doc_ = std::move(*doc);
+    ASSERT_TRUE(backend_.Load(*dtd_, doc_).ok());
+  }
+
+  policy::Policy Parse(const char* text) {
+    auto p = policy::ParsePolicy(text);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return std::move(*p);
+  }
+
+  std::unique_ptr<xml::Dtd> dtd_;
+  xml::Document doc_;
+  NativeXmlBackend backend_;
+};
+
+TEST_F(AnnotatorTest, StatsReflectWork) {
+  policy::Policy p = Parse(testdata::kHospitalPolicy);
+  auto stats = AnnotateFull(&backend_, p);
+  ASSERT_TRUE(stats.ok());
+  // Accessible: 3 names + 1 patient + 1 regular = 5.
+  EXPECT_EQ(stats->marked, 5u);
+  EXPECT_EQ(stats->reset, backend_.NodeCount());
+  EXPECT_EQ(stats->rules_used, p.size());
+}
+
+TEST_F(AnnotatorTest, EmptyPolicyMarksNothing) {
+  policy::Policy deny_all(policy::DefaultSemantics::kDeny,
+                          policy::ConflictResolution::kDenyOverrides);
+  auto stats = AnnotateFull(&backend_, deny_all);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->marked, 0u);
+  EXPECT_EQ(*backend_.GetSign(0), '-');
+}
+
+TEST_F(AnnotatorTest, AllowDefaultEmptyPolicyMarksNothing) {
+  policy::Policy allow_all(policy::DefaultSemantics::kAllow,
+                           policy::ConflictResolution::kDenyOverrides);
+  auto stats = AnnotateFull(&backend_, allow_all);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->marked, 0u);
+  EXPECT_EQ(*backend_.GetSign(0), '+');
+}
+
+TEST_F(AnnotatorTest, ReannotateWithNoTriggeredRulesIsNoop) {
+  policy::Policy p = Parse(testdata::kHospitalPolicy);
+  ASSERT_TRUE(AnnotateFull(&backend_, p).ok());
+  std::string before = xml::Serialize(backend_.document());
+  auto stats = Reannotate(&backend_, p, {}, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->marked, 0u);
+  EXPECT_EQ(stats->reset, 0u);
+  EXPECT_EQ(xml::Serialize(backend_.document()), before);
+}
+
+TEST_F(AnnotatorTest, TriggeredScopeIsUnionOfRuleScopes) {
+  policy::Policy p = Parse(testdata::kHospitalPolicy);
+  // Scope of R1 (//patient) and R6 (//regular): 3 patients + 1 regular.
+  auto scope = TriggeredScope(&backend_, p, {0, 5});
+  ASSERT_TRUE(scope.ok());
+  EXPECT_EQ(scope->size(), 4u);
+  // Overlapping rules do not double-count: R1 and R3 both select patients.
+  scope = TriggeredScope(&backend_, p, {0, 2});
+  ASSERT_TRUE(scope.ok());
+  EXPECT_EQ(scope->size(), 3u);
+  // Empty set of rules: empty scope.
+  scope = TriggeredScope(&backend_, p, {});
+  ASSERT_TRUE(scope.ok());
+  EXPECT_TRUE(scope->empty());
+}
+
+TEST_F(AnnotatorTest, ReannotateResetsStaleMarks) {
+  policy::Policy p = Parse(testdata::kHospitalPolicy);
+  ASSERT_TRUE(AnnotateFull(&backend_, p).ok());
+  // Simulate drift: the regular node (id from //regular) is marked, then
+  // the policy's R6 is "re-run" after we delete the node's parent chain —
+  // use the old_scope mechanism directly.
+  auto regular = backend_.EvaluateQuery(*xpath::ParsePath("//regular"));
+  ASSERT_TRUE(regular.ok());
+  ASSERT_EQ(regular->size(), 1u);
+  EXPECT_EQ(*backend_.GetSign((*regular)[0]), '+');
+  // Delete med so R7-style conditions would change; here simply verify that
+  // passing the node in old_scope resets it when no triggered rule re-marks.
+  auto stats = Reannotate(&backend_, p, {1 /* R2: names only */}, *regular);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(*backend_.GetSign((*regular)[0]), '-');  // reset, not re-marked
+}
+
+TEST(AnnotatorRelationalTest, StatsMatchNativeCounts) {
+  auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(dtd.ok() && doc.ok());
+  auto p = policy::ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  NativeXmlBackend native;
+  RelationalBackend relational;
+  ASSERT_TRUE(native.Load(*dtd, *doc).ok());
+  ASSERT_TRUE(relational.Load(*dtd, *doc).ok());
+  auto a = AnnotateFull(&native, *p);
+  auto b = AnnotateFull(&relational, *p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->marked, b->marked);
+}
+
+TEST(NativePersistenceTest, SaveLoadPreservesAnnotations) {
+  auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(dtd.ok() && doc.ok());
+  auto p = policy::ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  NativeXmlBackend backend;
+  ASSERT_TRUE(backend.Load(*dtd, *doc).ok());
+  ASSERT_TRUE(AnnotateFull(&backend, *p).ok());
+
+  std::string file = ::testing::TempDir() + "/xmlac_store.xml";
+  ASSERT_TRUE(backend.SaveToFile(file).ok());
+
+  NativeXmlBackend restored;
+  ASSERT_TRUE(restored.LoadFromFile(file).ok());
+  EXPECT_EQ(restored.NodeCount(), backend.NodeCount());
+  EXPECT_EQ(restored.default_sign(), backend.default_sign());
+  auto all = xpath::ParsePath("//*");
+  ASSERT_TRUE(all.ok());
+  auto ids = backend.EvaluateQuery(*all);
+  auto restored_ids = restored.EvaluateQuery(*all);
+  ASSERT_TRUE(ids.ok() && restored_ids.ok());
+  // NodeIds may shift across serialization (text nodes, arena order), but
+  // counts and per-node signs must agree positionally.
+  ASSERT_EQ(ids->size(), restored_ids->size());
+  for (size_t i = 0; i < ids->size(); ++i) {
+    EXPECT_EQ(*backend.GetSign((*ids)[i]),
+              *restored.GetSign((*restored_ids)[i]))
+        << i;
+  }
+  std::remove(file.c_str());
+}
+
+TEST(NativePersistenceTest, SaveUnloadedFails) {
+  NativeXmlBackend backend;
+  EXPECT_FALSE(backend.SaveToFile("/tmp/x.xml").ok());
+  EXPECT_EQ(backend.LoadFromFile("/no/such/file.xml").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xmlac::engine

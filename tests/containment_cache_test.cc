@@ -1,0 +1,129 @@
+#include "xpath/containment_cache.h"
+
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/trigger.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+Path P(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/xmlac_cc_test_" + name;
+}
+
+TEST(ContainmentCacheTest, AgreesWithDirectChecks) {
+  ContainmentCache cache;
+  struct Case {
+    const char* p;
+    const char* q;
+  };
+  const Case kCases[] = {
+      {"//patient[treatment]", "//patient"},
+      {"//patient", "//patient[treatment]"},
+      {"/a/b/c", "//c"},
+      {"//a", "//b"},
+      {"//a[b and c]", "//a[c]"},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(cache.Contains(P(c.p), P(c.q)), Contains(P(c.p), P(c.q)))
+        << c.p << " vs " << c.q;
+  }
+}
+
+TEST(ContainmentCacheTest, HitsAndMisses) {
+  ContainmentCache cache;
+  Path p = P("//patient[treatment]");
+  Path q = P("//patient");
+  EXPECT_TRUE(cache.Contains(p, q));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_TRUE(cache.Contains(p, q));
+  EXPECT_EQ(cache.hits(), 1u);
+  // Order matters: (q, p) is a distinct entry.
+  EXPECT_FALSE(cache.Contains(q, p));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ContainmentCacheTest, SaveLoadRoundTrip) {
+  std::string file = TempPath("roundtrip");
+  ContainmentCache cache;
+  EXPECT_TRUE(cache.Contains(P("//a[b]"), P("//a")));
+  EXPECT_FALSE(cache.Contains(P("//a"), P("//a[b]")));
+  ASSERT_TRUE(cache.SaveToFile(file).ok());
+
+  ContainmentCache loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(file).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  // Loaded entries are hits.
+  EXPECT_TRUE(loaded.Contains(P("//a[b]"), P("//a")));
+  EXPECT_EQ(loaded.hits(), 1u);
+  EXPECT_EQ(loaded.misses(), 0u);
+  std::remove(file.c_str());
+}
+
+TEST(ContainmentCacheTest, LoadIgnoresCorruptLines) {
+  std::string file = TempPath("corrupt");
+  ASSERT_TRUE(WriteFile(file,
+                        "//a\t//b\t1\n"
+                        "garbage line\n"
+                        "//a\t//b\n"
+                        "//a\t//b\t7\n"
+                        "not[an xpath\t//b\t0\n"
+                        "//c\t//d\t0\n")
+                  .ok());
+  ContainmentCache cache;
+  ASSERT_TRUE(cache.LoadFromFile(file).ok());
+  EXPECT_EQ(cache.size(), 2u);  // only the two well-formed entries
+  std::remove(file.c_str());
+}
+
+TEST(ContainmentCacheTest, LoadMissingFileFails) {
+  ContainmentCache cache;
+  EXPECT_EQ(cache.LoadFromFile("/no/such/cache.tsv").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ContainmentCacheTest, TriggerIndexUsesCache) {
+  auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+  ASSERT_TRUE(dtd.ok());
+  xml::SchemaGraph schema(*dtd);
+  auto policy = policy::ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(policy.ok());
+
+  ContainmentCache cache;
+  policy::TriggerOptions opt;
+  opt.containment_cache = &cache;
+  policy::TriggerIndex cached_index(*policy, &schema, opt);
+  policy::TriggerIndex plain_index(*policy, &schema);
+
+  Path u = P("//patient/treatment");
+  auto a = cached_index.Trigger(u);
+  EXPECT_GT(cache.misses(), 0u);
+  uint64_t misses_after_first = cache.misses();
+  auto b = cached_index.Trigger(u);
+  // The second identical update is answered entirely from the cache.
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), 0u);
+  // And the results never differ from the uncached index.
+  EXPECT_EQ(a, plain_index.Trigger(u));
+  EXPECT_EQ(b, a);
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

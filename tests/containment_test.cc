@@ -1,0 +1,146 @@
+#include "xpath/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+Path P(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+// --- Containment cases straight from the paper (Sec. 5.1, Table 3) ------
+
+TEST(ContainmentTest, PaperRuleR4ContainedInR2) {
+  // //patient[treatment]/name  ⊑  //patient/name
+  EXPECT_TRUE(Contains(P("//patient[treatment]/name"), P("//patient/name")));
+  EXPECT_FALSE(Contains(P("//patient/name"), P("//patient[treatment]/name")));
+}
+
+TEST(ContainmentTest, PaperRuleR7R8ContainedInR6) {
+  EXPECT_TRUE(Contains(P("//regular[med=\"celecoxib\"]"), P("//regular")));
+  EXPECT_TRUE(Contains(P("//regular[bill > 1000]"), P("//regular")));
+  EXPECT_FALSE(Contains(P("//regular"), P("//regular[med=\"celecoxib\"]")));
+}
+
+TEST(ContainmentTest, PaperRuleR3ContainedInR1) {
+  EXPECT_TRUE(Contains(P("//patient[treatment]"), P("//patient")));
+  EXPECT_FALSE(Contains(P("//patient"), P("//patient[treatment]")));
+}
+
+// --- Structural cases ----------------------------------------------------
+
+TEST(ContainmentTest, ChildPathContainedInDescendant) {
+  EXPECT_TRUE(Contains(P("/a/b/c"), P("//c")));
+  EXPECT_TRUE(Contains(P("/a/b/c"), P("/a//c")));
+  EXPECT_TRUE(Contains(P("/a/b/c"), P("//b/c")));
+  EXPECT_FALSE(Contains(P("//c"), P("/a/b/c")));
+}
+
+TEST(ContainmentTest, DescendantDoesNotContainSiblingShape) {
+  EXPECT_FALSE(Contains(P("/a/c"), P("/a/b/c")));
+  EXPECT_FALSE(Contains(P("//a/c"), P("//a/b//c")));
+}
+
+TEST(ContainmentTest, SelfContainment) {
+  for (const char* e :
+       {"//a", "/a/b", "//a[b]", "//a[b=\"v\"]", "/a//b[.//c]/d"}) {
+    EXPECT_TRUE(Contains(P(e), P(e))) << e;
+  }
+}
+
+TEST(ContainmentTest, WildcardAbsorbsLabels) {
+  EXPECT_TRUE(Contains(P("//a"), P("//*")));
+  EXPECT_TRUE(Contains(P("/a/b"), P("/a/*")));
+  EXPECT_TRUE(Contains(P("/a/b"), P("/*/*")));
+  EXPECT_FALSE(Contains(P("//*"), P("//a")));
+  EXPECT_FALSE(Contains(P("/a/*"), P("/a/b")));
+}
+
+TEST(ContainmentTest, DescendantStepAbsorbsLongerChains) {
+  EXPECT_TRUE(Contains(P("/a/b/c/d"), P("/a//d")));
+  EXPECT_TRUE(Contains(P("/a//b//c"), P("/a//c")));
+  EXPECT_TRUE(Contains(P("//a//b"), P("//b")));
+}
+
+TEST(ContainmentTest, PredicatesWeakenTheContainee) {
+  EXPECT_TRUE(Contains(P("//a[b][c]"), P("//a[b]")));
+  EXPECT_TRUE(Contains(P("//a[b and c]"), P("//a[c]")));
+  EXPECT_FALSE(Contains(P("//a[b]"), P("//a[b and c]")));
+}
+
+TEST(ContainmentTest, NestedPredicates) {
+  EXPECT_TRUE(Contains(P("//a[b[c]]"), P("//a[b]")));
+  EXPECT_TRUE(Contains(P("//a[b[c]]"), P("//a[b/c]")));
+  EXPECT_FALSE(Contains(P("//a[b]"), P("//a[b[c]]")));
+}
+
+TEST(ContainmentTest, DescendantPredicateAbsorbsChildPredicate) {
+  EXPECT_TRUE(Contains(P("//a[b/c]"), P("//a[.//c]")));
+  EXPECT_FALSE(Contains(P("//a[.//c]"), P("//a[b/c]")));
+}
+
+TEST(ContainmentTest, ValueConstraints) {
+  EXPECT_TRUE(Contains(P("//a[b=\"x\"]"), P("//a[b]")));
+  EXPECT_FALSE(Contains(P("//a[b]"), P("//a[b=\"x\"]")));
+  EXPECT_TRUE(Contains(P("//a[b=\"x\"]"), P("//a[b=\"x\"]")));
+  EXPECT_FALSE(Contains(P("//a[b=\"x\"]"), P("//a[b=\"y\"]")));
+  EXPECT_FALSE(Contains(P("//a[b>1]"), P("//a[b>2]")));  // conservative
+}
+
+TEST(ContainmentTest, OutputNodeMustAlign) {
+  // Same node set shape but different output element.
+  EXPECT_FALSE(Contains(P("//a/b"), P("//a")));
+  EXPECT_FALSE(Contains(P("//a"), P("//a/b")));
+  // //a/b vs //b: both output b.
+  EXPECT_TRUE(Contains(P("//a/b"), P("//b")));
+}
+
+TEST(ContainmentTest, Equivalence) {
+  EXPECT_TRUE(Equivalent(P("//a"), P("//a")));
+  EXPECT_TRUE(Equivalent(P("//a[b][c]"), P("//a[c][b]")));
+  EXPECT_TRUE(Equivalent(P("//a[b and c]"), P("//a[b][c]")));
+  EXPECT_FALSE(Equivalent(P("//a"), P("/a")));
+  // /a ⊑ //a but not vice versa.
+  EXPECT_TRUE(Contains(P("/a"), P("//a")));
+  EXPECT_FALSE(Contains(P("//a"), P("/a")));
+}
+
+TEST(ContainmentTest, RedundantPredicateEquivalence) {
+  EXPECT_TRUE(Equivalent(P("//a[b]"), P("//a[b][b]")));
+}
+
+TEST(ContainmentTest, DisjointnessByOutputLabel) {
+  EXPECT_TRUE(ProvablyDisjoint(P("//a"), P("//b")));
+  EXPECT_TRUE(ProvablyDisjoint(P("//patient/name"), P("//patient/psn")));
+  EXPECT_FALSE(ProvablyDisjoint(P("//a"), P("//a")));
+  EXPECT_FALSE(ProvablyDisjoint(P("//a"), P("//*")));
+}
+
+TEST(ContainmentTest, DisjointnessByRigidSpine) {
+  EXPECT_TRUE(ProvablyDisjoint(P("/a/b/c"), P("/a/d/c")));
+  EXPECT_TRUE(ProvablyDisjoint(P("/a/c"), P("/a/b/c")));
+  EXPECT_FALSE(ProvablyDisjoint(P("/a/b/c"), P("/a/b/c")));
+  EXPECT_FALSE(ProvablyDisjoint(P("//a/c"), P("/a/b/c")));  // maybe overlap
+}
+
+TEST(ContainmentTest, MayOverlap) {
+  EXPECT_TRUE(MayOverlap(P("//patient"), P("//patient[treatment]")));
+  EXPECT_FALSE(MayOverlap(P("//med"), P("//bill")));
+}
+
+TEST(ContainmentTest, DeepChainPerformance) {
+  // A long chain against its descendant-step generalisation; guards the
+  // memoised search against exponential blowup.
+  std::string chain = "/a";
+  for (int i = 0; i < 40; ++i) chain += "/a";
+  EXPECT_TRUE(Contains(P(chain), P("//a//a//a//a")));
+  EXPECT_FALSE(Contains(P("//a//a//a//a"), P(chain)));
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

@@ -1,0 +1,128 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::xml {
+namespace {
+
+Document MakeHospitalFragment() {
+  // hospital/dept/patients/patient{psn,name}
+  Document doc;
+  NodeId hospital = doc.CreateRoot("hospital");
+  NodeId dept = doc.CreateElement(hospital, "dept");
+  NodeId patients = doc.CreateElement(dept, "patients");
+  NodeId patient = doc.CreateElement(patients, "patient");
+  NodeId psn = doc.CreateElement(patient, "psn");
+  doc.CreateText(psn, "033");
+  NodeId name = doc.CreateElement(patient, "name");
+  doc.CreateText(name, "john doe");
+  return doc;
+}
+
+TEST(DocumentTest, BuildAndNavigate) {
+  Document doc = MakeHospitalFragment();
+  EXPECT_EQ(doc.node(doc.root()).label, "hospital");
+  EXPECT_EQ(doc.alive_count(), 8u);
+  ASSERT_EQ(doc.node(doc.root()).children.size(), 1u);
+  NodeId dept = doc.node(doc.root()).children[0];
+  EXPECT_EQ(doc.node(dept).label, "dept");
+  EXPECT_EQ(doc.node(dept).parent, doc.root());
+}
+
+TEST(DocumentTest, DirectText) {
+  Document doc = MakeHospitalFragment();
+  auto elements = doc.AllElements();
+  NodeId psn = kInvalidNode;
+  for (NodeId id : elements) {
+    if (doc.node(id).label == "psn") psn = id;
+  }
+  ASSERT_NE(psn, kInvalidNode);
+  EXPECT_EQ(doc.DirectText(psn), "033");
+  EXPECT_EQ(doc.DirectText(doc.root()), "");
+}
+
+TEST(DocumentTest, Attributes) {
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  EXPECT_FALSE(doc.GetAttribute(root, "sign").has_value());
+  doc.SetAttribute(root, "sign", "+");
+  ASSERT_TRUE(doc.GetAttribute(root, "sign").has_value());
+  EXPECT_EQ(*doc.GetAttribute(root, "sign"), "+");
+  doc.SetAttribute(root, "sign", "-");
+  EXPECT_EQ(*doc.GetAttribute(root, "sign"), "-");
+  EXPECT_TRUE(doc.RemoveAttribute(root, "sign"));
+  EXPECT_FALSE(doc.RemoveAttribute(root, "sign"));
+  EXPECT_FALSE(doc.GetAttribute(root, "sign").has_value());
+}
+
+TEST(DocumentTest, DeleteSubtreeKillsDescendantsAndUnlinks) {
+  Document doc = MakeHospitalFragment();
+  auto elements = doc.AllElements();
+  NodeId patient = kInvalidNode;
+  for (NodeId id : elements) {
+    if (doc.node(id).label == "patient") patient = id;
+  }
+  ASSERT_NE(patient, kInvalidNode);
+  NodeId patients = doc.node(patient).parent;
+  size_t before = doc.alive_count();
+  doc.DeleteSubtree(patient);
+  EXPECT_FALSE(doc.IsAlive(patient));
+  EXPECT_EQ(doc.alive_count(), before - 5);  // patient, psn, text, name, text
+  EXPECT_TRUE(doc.node(patients).children.empty());
+  // NodeIds are never reused.
+  NodeId fresh = doc.CreateElement(patients, "patient");
+  EXPECT_GT(fresh, patient);
+}
+
+TEST(DocumentTest, DeleteRootEmptiesDocument) {
+  Document doc = MakeHospitalFragment();
+  doc.DeleteSubtree(doc.root());
+  EXPECT_EQ(doc.alive_count(), 0u);
+  EXPECT_FALSE(doc.IsAlive(doc.root()));
+}
+
+TEST(DocumentTest, VisitIsPreOrderDocumentOrder) {
+  Document doc = MakeHospitalFragment();
+  std::vector<std::string> labels;
+  doc.Visit(doc.root(), [&](NodeId id) {
+    if (doc.node(id).kind == NodeKind::kElement) {
+      labels.push_back(doc.node(id).label);
+    }
+  });
+  std::vector<std::string> expected = {"hospital", "dept", "patients",
+                                       "patient", "psn", "name"};
+  EXPECT_EQ(labels, expected);
+}
+
+TEST(DocumentTest, VisitSkipsDeleted) {
+  Document doc = MakeHospitalFragment();
+  for (NodeId id : doc.AllElements()) {
+    if (doc.node(id).label == "psn") doc.DeleteSubtree(id);
+  }
+  std::vector<std::string> labels;
+  doc.Visit(doc.root(), [&](NodeId id) { labels.push_back(doc.node(id).label); });
+  for (const auto& l : labels) EXPECT_NE(l, "psn");
+}
+
+TEST(DocumentTest, PathOfAndDepth) {
+  Document doc = MakeHospitalFragment();
+  NodeId psn = kInvalidNode;
+  for (NodeId id : doc.AllElements()) {
+    if (doc.node(id).label == "psn") psn = id;
+  }
+  EXPECT_EQ(doc.PathOf(psn), "/hospital/dept/patients/patient/psn");
+  EXPECT_EQ(doc.DepthOf(psn), 4);
+  EXPECT_EQ(doc.DepthOf(doc.root()), 0);
+  EXPECT_EQ(doc.Height(), 4);
+}
+
+TEST(DocumentTest, MoveSemantics) {
+  Document doc = MakeHospitalFragment();
+  size_t n = doc.alive_count();
+  Document moved = std::move(doc);
+  EXPECT_EQ(moved.alive_count(), n);
+  EXPECT_EQ(moved.node(moved.root()).label, "hospital");
+}
+
+}  // namespace
+}  // namespace xmlac::xml

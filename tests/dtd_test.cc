@@ -1,0 +1,119 @@
+#include "xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::xml {
+namespace {
+
+// The paper's hospital DTD (Fig. 1).
+constexpr char kHospitalDtd[] = R"(
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment (regular? | experimental?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+)";
+
+TEST(DtdTest, ParsesHospitalDtd) {
+  auto r = ParseDtd(kHospitalDtd);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->root_name(), "hospital");
+  EXPECT_EQ(r->elements().size(), 18u);
+  EXPECT_TRUE(r->HasElement("patient"));
+  EXPECT_FALSE(r->HasElement("nonexistent"));
+}
+
+TEST(DtdTest, OccurrenceIndicators) {
+  auto r = ParseDtd("<!ELEMENT a (b+, c?, d*, e)>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ElementDecl* a = r->Lookup("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->content.kind, ParticleKind::kSequence);
+  ASSERT_EQ(a->content.children.size(), 4u);
+  EXPECT_EQ(a->content.children[0].occurrence, Occurrence::kPlus);
+  EXPECT_EQ(a->content.children[1].occurrence, Occurrence::kOptional);
+  EXPECT_EQ(a->content.children[2].occurrence, Occurrence::kStar);
+  EXPECT_EQ(a->content.children[3].occurrence, Occurrence::kOne);
+}
+
+TEST(DtdTest, ChoiceContent) {
+  auto r = ParseDtd("<!ELEMENT s (nurse | doctor)>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Lookup("s")->content.kind, ParticleKind::kChoice);
+}
+
+TEST(DtdTest, NestedGroups) {
+  auto r = ParseDtd("<!ELEMENT a ((b, c) | (d, e))*>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Particle& content = r->Lookup("a")->content;
+  EXPECT_EQ(content.kind, ParticleKind::kChoice);
+  EXPECT_EQ(content.occurrence, Occurrence::kStar);
+  ASSERT_EQ(content.children.size(), 2u);
+  EXPECT_EQ(content.children[0].kind, ParticleKind::kSequence);
+}
+
+TEST(DtdTest, EmptyAndAny) {
+  auto r = ParseDtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Lookup("a")->content.kind, ParticleKind::kEmpty);
+  EXPECT_EQ(r->Lookup("b")->content.kind, ParticleKind::kAny);
+}
+
+TEST(DtdTest, MixedContent) {
+  auto r = ParseDtd("<!ELEMENT p (#PCDATA | em | strong)*>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Particle& content = r->Lookup("p")->content;
+  EXPECT_EQ(content.kind, ParticleKind::kChoice);
+  EXPECT_EQ(content.children[0].kind, ParticleKind::kPcdata);
+}
+
+TEST(DtdTest, PcdataOnly) {
+  auto r = ParseDtd("<!ELEMENT name (#PCDATA)>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Lookup("name")->content.kind, ParticleKind::kPcdata);
+}
+
+TEST(DtdTest, AttlistAndCommentsSkipped) {
+  auto r = ParseDtd(R"(
+    <!-- hospital schema -->
+    <!ELEMENT a (b)>
+    <!ATTLIST a id ID #REQUIRED>
+    <!ELEMENT b (#PCDATA)>
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->elements().size(), 2u);
+}
+
+TEST(DtdTest, DuplicateElementRejected) {
+  auto r = ParseDtd("<!ELEMENT a (b)><!ELEMENT a (c)>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DtdTest, EmptyDtdRejected) {
+  EXPECT_FALSE(ParseDtd("").ok());
+  EXPECT_FALSE(ParseDtd("   <!-- nothing -->  ").ok());
+}
+
+TEST(DtdTest, ParticleToStringRoundTrip) {
+  auto r = ParseDtd("<!ELEMENT a (b+, (c | d)?, e*)>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ParticleToString(r->Lookup("a")->content),
+            "(b+, (c | d)?, e*)");
+}
+
+}  // namespace
+}  // namespace xmlac::xml

@@ -1,0 +1,160 @@
+#include "xpath/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+Path P(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    schema_ = std::make_unique<xml::SchemaGraph>(*dtd);
+  }
+
+  std::vector<std::string> ExpandStrings(std::string_view rule,
+                                         const ExpansionOptions& opt = {}) {
+    std::vector<std::string> out;
+    for (const Path& p : Expand(P(rule), schema_.get(), opt)) {
+      out.push_back(ToString(p));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<xml::SchemaGraph> schema_;
+};
+
+TEST_F(ExpansionTest, PlainPathExpandsToItself) {
+  EXPECT_EQ(ExpandStrings("//patient"),
+            std::vector<std::string>({"//patient"}));
+}
+
+TEST_F(ExpansionTest, PaperExampleR3) {
+  // //patient[treatment] -> //patient, //patient/treatment  (Sec. 5.3).
+  EXPECT_EQ(ExpandStrings("//patient[treatment]"),
+            std::vector<std::string>({"//patient", "//patient/treatment"}));
+}
+
+TEST_F(ExpansionTest, PaperExampleR5SchemaRewrite) {
+  // //patient[.//experimental] -> //patient, //patient/treatment,
+  //                               //patient/treatment/experimental.
+  EXPECT_EQ(ExpandStrings("//patient[.//experimental]"),
+            std::vector<std::string>({"//patient", "//patient/treatment",
+                                      "//patient/treatment/experimental"}));
+}
+
+TEST_F(ExpansionTest, WithoutSchemaRewriteDescendantKeptVerbatim) {
+  ExpansionOptions opt;
+  opt.schema_rewrite = false;
+  EXPECT_EQ(ExpandStrings("//patient[.//experimental]", opt),
+            std::vector<std::string>(
+                {"//patient", "//patient//experimental"}));
+}
+
+TEST_F(ExpansionTest, MultiStepPredicate) {
+  EXPECT_EQ(
+      ExpandStrings("//patient[treatment/regular]"),
+      std::vector<std::string>({"//patient", "//patient/treatment",
+                                "//patient/treatment/regular"}));
+}
+
+TEST_F(ExpansionTest, ComparisonPredicateContributesPath) {
+  EXPECT_EQ(ExpandStrings("//regular[med=\"celecoxib\"]"),
+            std::vector<std::string>({"//regular", "//regular/med"}));
+}
+
+TEST_F(ExpansionTest, SelfComparisonAddsNothing) {
+  EXPECT_EQ(ExpandStrings("//bill[. > 1000]"),
+            std::vector<std::string>({"//bill"}));
+}
+
+TEST_F(ExpansionTest, SpineStepsAllEmitted) {
+  EXPECT_EQ(ExpandStrings("/hospital/dept/patients"),
+            std::vector<std::string>({"/hospital", "/hospital/dept",
+                                      "/hospital/dept/patients"}));
+}
+
+TEST_F(ExpansionTest, SpineDescendantRewrittenViaSchema) {
+  // //patient//bill has two schema chains (regular and experimental).
+  auto got = ExpandStrings("//patient//bill");
+  std::vector<std::string> expected = {
+      "//patient",
+      "//patient/treatment",
+      "//patient/treatment/experimental",
+      "//patient/treatment/experimental/bill",
+      "//patient/treatment/regular",
+      "//patient/treatment/regular/bill",
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExpansionTest, MultiplePredicates) {
+  auto got = ExpandStrings("//patient[psn][name]");
+  std::vector<std::string> expected = {"//patient", "//patient/name",
+                                       "//patient/psn"};
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExpansionTest, NestedPredicates) {
+  auto got = ExpandStrings("//patient[treatment[regular]]");
+  std::vector<std::string> expected = {"//patient", "//patient/treatment",
+                                       "//patient/treatment/regular"};
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExpansionTest, NullSchemaKeepsDescendants) {
+  auto paths = Expand(P("//patient[.//experimental]"), nullptr);
+  std::vector<std::string> got;
+  for (const Path& p : paths) got.push_back(ToString(p));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, std::vector<std::string>(
+                     {"//patient", "//patient//experimental"}));
+}
+
+TEST_F(ExpansionTest, RecursiveSchemaKeepsDescendants) {
+  auto dtd = xml::ParseDtd("<!ELEMENT a (a?, b)><!ELEMENT b (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  xml::SchemaGraph rec(*dtd);
+  ASSERT_TRUE(rec.IsRecursive());
+  auto paths = Expand(P("//a[.//b]"), &rec);
+  std::vector<std::string> got;
+  for (const Path& p : paths) got.push_back(ToString(p));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, std::vector<std::string>({"//a", "//a//b"}));
+}
+
+TEST_F(ExpansionTest, UnknownLabelKeptVerbatim) {
+  auto got = ExpandStrings("//patient[.//unknownelem]");
+  EXPECT_EQ(got, std::vector<std::string>(
+                     {"//patient", "//patient//unknownelem"}));
+}
+
+TEST_F(ExpansionTest, WildcardStepsSurvive) {
+  auto got = ExpandStrings("//patient/*");
+  EXPECT_EQ(got,
+            std::vector<std::string>({"//patient", "//patient/*"}));
+}
+
+TEST_F(ExpansionTest, LeadingDescendantNeverRewritten) {
+  // Even with schema rewriting on, the leading // stays: //bill must not
+  // blow up into all root-to-bill chains.
+  auto got = ExpandStrings("//bill");
+  EXPECT_EQ(got, std::vector<std::string>({"//bill"}));
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

@@ -1,0 +1,80 @@
+#include "reldb/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::reldb {
+namespace {
+
+TEST(ExprTest, FactoryKinds) {
+  EXPECT_EQ(Expr::Literal(Value::Int(1))->kind, ExprKind::kLiteral);
+  EXPECT_EQ(Expr::Column("t", "c")->kind, ExprKind::kColumnRef);
+  auto cmp = Expr::Compare(CompareOp::kLt, Expr::Column("t", "a"),
+                           Expr::Literal(Value::Int(5)));
+  EXPECT_EQ(cmp->kind, ExprKind::kComparison);
+  EXPECT_EQ(cmp->op, CompareOp::kLt);
+  ASSERT_EQ(cmp->children.size(), 2u);
+}
+
+TEST(ExprTest, ToStringForms) {
+  auto e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Column("a", "id"),
+                    Expr::Column("b", "pid")),
+      Expr::Not(Expr::IsNull(Expr::Column("b", "v"))));
+  EXPECT_EQ(e->ToString(), "(a.id = b.pid AND NOT (b.v IS NULL))");
+  auto lit = Expr::Compare(CompareOp::kNe, Expr::Column("", "s"),
+                           Expr::Literal(Value::Str("it's")));
+  EXPECT_EQ(lit->ToString(), "s <> 'it''s'");
+  auto orx = Expr::Or(Expr::IsNull(Expr::Column("t", "x")),
+                      Expr::Compare(CompareOp::kGe, Expr::Column("t", "x"),
+                                    Expr::Literal(Value::Real(2.5))));
+  EXPECT_EQ(orx->ToString(), "(t.x IS NULL OR t.x >= 2.5)");
+}
+
+TEST(ExprTest, CompareOpNames) {
+  EXPECT_EQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_EQ(CompareOpName(CompareOp::kNe), "<>");
+  EXPECT_EQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_EQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_EQ(CompareOpName(CompareOp::kGt), ">");
+  EXPECT_EQ(CompareOpName(CompareOp::kGe), ">=");
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Column("a", "x"),
+                    Expr::Literal(Value::Int(3))),
+      Expr::Compare(CompareOp::kGt, Expr::Column("a", "y"),
+                    Expr::Literal(Value::Str("q"))));
+  ExprPtr copy = e->Clone();
+  EXPECT_EQ(copy->ToString(), e->ToString());
+  // Mutating the copy leaves the original untouched.
+  copy->children[0]->op = CompareOp::kNe;
+  EXPECT_NE(copy->ToString(), e->ToString());
+}
+
+TEST(ExprTest, CollectConjunctsFlattensAndOnly) {
+  auto e = Expr::And(
+      Expr::And(Expr::Compare(CompareOp::kEq, Expr::Column("a", "x"),
+                              Expr::Literal(Value::Int(1))),
+                Expr::Compare(CompareOp::kEq, Expr::Column("a", "y"),
+                              Expr::Literal(Value::Int(2)))),
+      Expr::Or(Expr::Compare(CompareOp::kEq, Expr::Column("a", "z"),
+                             Expr::Literal(Value::Int(3))),
+               Expr::Compare(CompareOp::kEq, Expr::Column("a", "w"),
+                             Expr::Literal(Value::Int(4)))));
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*e, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);  // two comparisons + the OR as one unit
+  EXPECT_EQ(conjuncts[2]->kind, ExprKind::kOr);
+}
+
+TEST(ExprTest, CollectConjunctsSingleton) {
+  auto e = Expr::Literal(Value::Int(1));
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*e, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 1u);
+  EXPECT_EQ(conjuncts[0], e.get());
+}
+
+}  // namespace
+}  // namespace xmlac::reldb

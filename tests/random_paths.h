@@ -1,0 +1,86 @@
+#ifndef XMLAC_TESTS_RANDOM_PATHS_H_
+#define XMLAC_TESTS_RANDOM_PATHS_H_
+
+// Random XPath generator for property tests: builds expressions of the
+// paper's fragment over a document's actual vocabulary so they are
+// satisfiable often enough to be interesting.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testutil {
+
+class RandomPathGenerator {
+ public:
+  RandomPathGenerator(const xml::Document& doc, uint64_t seed)
+      : rng_(seed) {
+    std::set<std::string> labels;
+    std::set<std::string> text_values;
+    for (xml::NodeId id : doc.AllElements()) {
+      labels.insert(doc.node(id).label);
+      std::string text = doc.DirectText(id);
+      if (!text.empty() && text.size() < 24 &&
+          text.find('"') == std::string::npos && text_values.size() < 64) {
+        text_values.insert(text);
+      }
+    }
+    labels_.assign(labels.begin(), labels.end());
+    values_.assign(text_values.begin(), text_values.end());
+  }
+
+  // A random absolute path: 1-4 steps, each child/descendant, ~15%
+  // wildcards, ~35% of paths carry one predicate (existence, nested, or
+  // comparison against a sampled document value).
+  xpath::Path Next() {
+    std::string expr;
+    int steps = 1 + static_cast<int>(rng_.Uniform(4));
+    for (int i = 0; i < steps; ++i) {
+      expr += rng_.OneIn(2) ? "//" : "/";
+      expr += NameTest();
+    }
+    if (rng_.NextDouble() < 0.35) expr += Predicate();
+    auto parsed = xpath::ParsePath(expr);
+    // The generator only composes valid syntax; a parse failure here is a
+    // bug worth failing loudly on.
+    if (!parsed.ok()) {
+      return Next();
+    }
+    return *parsed;
+  }
+
+ private:
+  std::string NameTest() {
+    if (rng_.NextDouble() < 0.15) return "*";
+    return labels_[rng_.Uniform(labels_.size())];
+  }
+
+  std::string Predicate() {
+    switch (rng_.Uniform(4)) {
+      case 0:
+        return "[" + NameTest() + "]";
+      case 1:
+        return "[.//" + NameTest() + "]";
+      case 2:
+        return "[" + NameTest() + "/" + NameTest() + "]";
+      default: {
+        if (values_.empty()) return "[" + NameTest() + "]";
+        const std::string& v = values_[rng_.Uniform(values_.size())];
+        const char* ops[] = {"=", "!=", "<", ">"};
+        return "[" + NameTest() + ops[rng_.Uniform(4)] + "\"" + v + "\"]";
+      }
+    }
+  }
+
+  Random rng_;
+  std::vector<std::string> labels_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace xmlac::testutil
+
+#endif  // XMLAC_TESTS_RANDOM_PATHS_H_

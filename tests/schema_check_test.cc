@@ -1,0 +1,135 @@
+#include "xpath/schema_check.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/optimizer.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+class SchemaCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    schema_ = std::make_unique<xml::SchemaGraph>(*dtd);
+  }
+
+  Path P(std::string_view text) {
+    auto r = ParsePath(text);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+
+  std::set<std::string> Labels(std::string_view text) {
+    return PossibleResultLabels(P(text), *schema_);
+  }
+
+  std::unique_ptr<xml::SchemaGraph> schema_;
+};
+
+TEST_F(SchemaCheckTest, ConcretePaths) {
+  EXPECT_EQ(Labels("/hospital"), std::set<std::string>{"hospital"});
+  EXPECT_EQ(Labels("//patient"), std::set<std::string>{"patient"});
+  EXPECT_EQ(Labels("//patient/name"), std::set<std::string>{"name"});
+}
+
+TEST_F(SchemaCheckTest, WildcardFansOut) {
+  std::set<std::string> patient_kids = {"psn", "name", "treatment"};
+  EXPECT_EQ(Labels("//patient/*"), patient_kids);
+  EXPECT_EQ(Labels("/*"), std::set<std::string>{"hospital"});
+  // //* = every label in the schema.
+  EXPECT_EQ(Labels("//*"), schema_->labels());
+}
+
+TEST_F(SchemaCheckTest, DescendantThroughIntermediates) {
+  EXPECT_EQ(Labels("//patient//bill"), std::set<std::string>{"bill"});
+  std::set<std::string> under_treatment = {"regular", "experimental", "med",
+                                           "bill", "test"};
+  EXPECT_EQ(Labels("//treatment//*"), under_treatment);
+}
+
+TEST_F(SchemaCheckTest, UnsatisfiablePaths) {
+  EXPECT_FALSE(SatisfiableUnderSchema(P("/clinic"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("/hospital/patient"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//psn/name"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//alien"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//treatment/patient"), *schema_));
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//patient"), *schema_));
+}
+
+TEST_F(SchemaCheckTest, PredicatesFilter) {
+  // A patient can have a treatment, a doctor cannot.
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//patient[treatment]"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//doctor[treatment]"), *schema_));
+  // Descendant predicate through the schema.
+  EXPECT_TRUE(
+      SatisfiableUnderSchema(P("//patient[.//experimental]"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//staff[.//experimental]"),
+                                      *schema_));
+  // //name[x] on a PCDATA-only element is unsatisfiable.
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//name[psn]"), *schema_));
+}
+
+TEST_F(SchemaCheckTest, ComparisonsNeedText) {
+  // psn has text; patient does not.
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//patient[psn=\"5\"]"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//patients[patient=\"5\"]"),
+                                      *schema_));
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//bill[. > 1]"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//patient[. = \"x\"]"), *schema_));
+}
+
+TEST_F(SchemaCheckTest, WildcardStepsInsidePredicates) {
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//patient[*]"), *schema_));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//psn[*]"), *schema_));
+}
+
+TEST_F(SchemaCheckTest, DisjointnessUnderSchema) {
+  // Both select `name`, but one under patients, the other under staff —
+  // same label, so NOT provably disjoint by labels alone.
+  EXPECT_FALSE(ProvablyDisjointUnderSchema(P("//patient/name"),
+                                           P("//doctor/name"), *schema_));
+  EXPECT_TRUE(ProvablyDisjointUnderSchema(P("//patient/psn"),
+                                          P("//doctor/sid"), *schema_));
+  // One side unsatisfiable -> disjoint.
+  EXPECT_TRUE(ProvablyDisjointUnderSchema(P("//alien"), P("//patient"),
+                                          *schema_));
+  EXPECT_FALSE(ProvablyDisjointUnderSchema(P("//patient/*"),
+                                           P("//patient/name"), *schema_));
+}
+
+TEST_F(SchemaCheckTest, WorksOnRecursiveSchemas) {
+  auto dtd = xml::ParseDtd("<!ELEMENT a (a?, b)><!ELEMENT b (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  xml::SchemaGraph rec(*dtd);
+  ASSERT_TRUE(rec.IsRecursive());
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//a//a//b"), rec));
+  EXPECT_TRUE(SatisfiableUnderSchema(P("//a[.//b]"), rec));
+  EXPECT_FALSE(SatisfiableUnderSchema(P("//b/a"), rec));
+}
+
+TEST_F(SchemaCheckTest, PruneUnsatisfiableRules) {
+  auto p = policy::ParsePolicy(R"(
+default deny
+conflict deny
+allow //patient
+allow //doctor[treatment]
+deny  //alien
+allow //regular
+)");
+  ASSERT_TRUE(p.ok());
+  policy::OptimizerStats stats;
+  policy::Policy pruned =
+      policy::PruneUnsatisfiableRules(*p, *schema_, &stats);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(stats.unsatisfiable, 2u);
+  EXPECT_EQ(pruned.rules()[0].id, "R1");
+  EXPECT_EQ(pruned.rules()[1].id, "R4");
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

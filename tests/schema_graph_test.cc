@@ -1,0 +1,118 @@
+#include "xml/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/dtd.h"
+
+namespace xmlac::xml {
+namespace {
+
+constexpr char kHospitalDtd[] = R"(
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment (regular? | experimental?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+)";
+
+SchemaGraph Hospital() {
+  auto r = ParseDtd(kHospitalDtd);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return SchemaGraph(*r);
+}
+
+TEST(SchemaGraphTest, ChildrenAndParents) {
+  SchemaGraph g = Hospital();
+  EXPECT_EQ(g.root(), "hospital");
+  EXPECT_EQ(g.Children("hospital"), std::set<std::string>{"dept"});
+  std::set<std::string> patient_kids = {"psn", "name", "treatment"};
+  EXPECT_EQ(g.Children("patient"), patient_kids);
+  std::set<std::string> name_parents = {"patient", "nurse", "doctor"};
+  EXPECT_EQ(g.Parents("name"), name_parents);
+  EXPECT_TRUE(g.Children("psn").empty());
+}
+
+TEST(SchemaGraphTest, HasText) {
+  SchemaGraph g = Hospital();
+  EXPECT_TRUE(g.HasText("psn"));
+  EXPECT_TRUE(g.HasText("bill"));
+  EXPECT_FALSE(g.HasText("patient"));
+  EXPECT_FALSE(g.HasText("hospital"));
+}
+
+TEST(SchemaGraphTest, NonRecursive) {
+  SchemaGraph g = Hospital();
+  EXPECT_FALSE(g.IsRecursive());
+}
+
+TEST(SchemaGraphTest, RecursiveDetected) {
+  auto r = ParseDtd("<!ELEMENT a (b)><!ELEMENT b (a?)>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SchemaGraph(*r).IsRecursive());
+}
+
+TEST(SchemaGraphTest, SelfRecursionDetected) {
+  auto r = ParseDtd("<!ELEMENT a (a*, b)><!ELEMENT b (#PCDATA)>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SchemaGraph(*r).IsRecursive());
+}
+
+TEST(SchemaGraphTest, Descendants) {
+  SchemaGraph g = Hospital();
+  auto d = g.Descendants("treatment");
+  std::set<std::string> expected = {"regular", "experimental", "med", "bill",
+                                    "test"};
+  EXPECT_EQ(d, expected);
+  EXPECT_TRUE(g.Descendants("psn").empty());
+  // From the root everything except the root itself is reachable.
+  EXPECT_EQ(g.Descendants("hospital").size(), g.labels().size() - 1);
+}
+
+TEST(SchemaGraphTest, PathsBetweenSingle) {
+  SchemaGraph g = Hospital();
+  auto paths = g.PathsBetween("patient", "experimental");
+  ASSERT_EQ(paths.size(), 1u);
+  std::vector<std::string> expected = {"treatment", "experimental"};
+  EXPECT_EQ(paths[0], expected);
+}
+
+TEST(SchemaGraphTest, PathsBetweenMultiple) {
+  SchemaGraph g = Hospital();
+  // name is reachable from staff via nurse and via doctor.
+  auto paths = g.PathsBetween("staff", "name");
+  ASSERT_EQ(paths.size(), 2u);
+}
+
+TEST(SchemaGraphTest, PathsBetweenUnreachable) {
+  SchemaGraph g = Hospital();
+  EXPECT_TRUE(g.PathsBetween("psn", "name").empty());
+  EXPECT_TRUE(g.PathsBetween("treatment", "patient").empty());
+}
+
+TEST(SchemaGraphTest, PathsBetweenBillHasTwoRoutes) {
+  SchemaGraph g = Hospital();
+  auto paths = g.PathsBetween("patient", "bill");
+  // patient/treatment/regular/bill and patient/treatment/experimental/bill.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), "treatment");
+    EXPECT_EQ(p.back(), "bill");
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::xml

@@ -1,0 +1,156 @@
+#include "policy/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::policy {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(d.ok()) << d.status();
+    doc_ = std::move(*d);
+    auto p = ParsePolicy(testdata::kHospitalPolicy);
+    ASSERT_TRUE(p.ok()) << p.status();
+    policy_ = std::move(*p);
+  }
+
+  xml::NodeId Single(std::string_view expr) {
+    auto r = xpath::Evaluate(*xpath::ParsePath(expr), doc_);
+    EXPECT_EQ(r.size(), 1u) << expr;
+    return r.empty() ? xml::kInvalidNode : r[0];
+  }
+
+  std::vector<xml::NodeId> Eval(std::string_view expr) {
+    return xpath::Evaluate(*xpath::ParsePath(expr), doc_);
+  }
+
+  xml::Document doc_;
+  Policy policy_;
+};
+
+// The paper's Fig. 2 annotation: only the third patient (no treatment) is
+// accessible among patients; all patient names are accessible; the regular
+// treatment node is accessible.
+TEST_F(SemanticsTest, HospitalPolicyAccessibleNodes) {
+  NodeSet acc = AccessibleNodes(policy_, doc_);
+  // Patient 099 (joy smith) accessible.
+  EXPECT_TRUE(acc.count(Single("//patient[psn=\"099\"]")));
+  // Patients with treatment are not.
+  EXPECT_FALSE(acc.count(Single("//patient[psn=\"033\"]")));
+  EXPECT_FALSE(acc.count(Single("//patient[psn=\"042\"]")));
+  // All patient names accessible (R2).
+  for (xml::NodeId id : Eval("//patient/name")) EXPECT_TRUE(acc.count(id));
+  // Staff names are not in the scope of any rule: default deny.
+  for (xml::NodeId id : Eval("//staff//name")) EXPECT_FALSE(acc.count(id));
+  // regular accessible (R6), experimental not.
+  EXPECT_TRUE(acc.count(Single("//regular")));
+  EXPECT_FALSE(acc.count(Single("//experimental")));
+  // Unruled structure nodes are denied by default.
+  EXPECT_FALSE(acc.count(Single("//patients")));
+  EXPECT_FALSE(acc.count(doc_.root()));
+}
+
+TEST_F(SemanticsTest, DenyDefaultAllowOverrides) {
+  // (ds=-, cr=+): accessible = [[A]] — denies are ignored on conflict.
+  policy_.set_conflict_resolution(ConflictResolution::kAllowOverrides);
+  NodeSet acc = AccessibleNodes(policy_, doc_);
+  // Now every patient is accessible (R1 wins over R3/R5).
+  for (xml::NodeId id : Eval("//patient")) EXPECT_TRUE(acc.count(id));
+}
+
+TEST_F(SemanticsTest, AllowDefaultDenyOverrides) {
+  // (ds=+, cr=-): accessible = U − [[D]].
+  policy_.set_default_semantics(DefaultSemantics::kAllow);
+  NodeSet acc = AccessibleNodes(policy_, doc_);
+  // Structure nodes now accessible.
+  EXPECT_TRUE(acc.count(Single("//patients")));
+  EXPECT_TRUE(acc.count(doc_.root()));
+  // Denied: patients with treatment.
+  EXPECT_FALSE(acc.count(Single("//patient[psn=\"033\"]")));
+  EXPECT_TRUE(acc.count(Single("//patient[psn=\"099\"]")));
+}
+
+TEST_F(SemanticsTest, AllowDefaultAllowOverrides) {
+  // (ds=+, cr=+): accessible = U − ([[D]] − [[A]]).
+  policy_.set_default_semantics(DefaultSemantics::kAllow);
+  policy_.set_conflict_resolution(ConflictResolution::kAllowOverrides);
+  NodeSet acc = AccessibleNodes(policy_, doc_);
+  // Patients with treatment are in D but also in A (R1): accessible.
+  EXPECT_TRUE(acc.count(Single("//patient[psn=\"033\"]")));
+  EXPECT_TRUE(acc.count(Single("//patient[psn=\"042\"]")));
+}
+
+TEST_F(SemanticsTest, EmptyPolicy) {
+  Policy empty(DefaultSemantics::kDeny, ConflictResolution::kDenyOverrides);
+  EXPECT_TRUE(AccessibleNodes(empty, doc_).empty());
+  Policy allow_all(DefaultSemantics::kAllow,
+                   ConflictResolution::kDenyOverrides);
+  EXPECT_EQ(AccessibleNodes(allow_all, doc_).size(),
+            doc_.AllElements().size());
+}
+
+TEST(PlanForTest, MatchesFigure5) {
+  // ds = deny: mark '+' on grants [except denies].
+  AnnotationPlan p =
+      PlanFor(DefaultSemantics::kDeny, ConflictResolution::kDenyOverrides);
+  EXPECT_EQ(p.mark, Effect::kAllow);
+  EXPECT_EQ(p.combine, CombineOp::kGrantsExceptDenies);
+  p = PlanFor(DefaultSemantics::kDeny, ConflictResolution::kAllowOverrides);
+  EXPECT_EQ(p.mark, Effect::kAllow);
+  EXPECT_EQ(p.combine, CombineOp::kGrants);
+  // ds = allow: mark '-' on denies [except grants].
+  p = PlanFor(DefaultSemantics::kAllow, ConflictResolution::kDenyOverrides);
+  EXPECT_EQ(p.mark, Effect::kDeny);
+  EXPECT_EQ(p.combine, CombineOp::kDenies);
+  p = PlanFor(DefaultSemantics::kAllow, ConflictResolution::kAllowOverrides);
+  EXPECT_EQ(p.mark, Effect::kDeny);
+  EXPECT_EQ(p.combine, CombineOp::kDeniesExceptGrants);
+}
+
+TEST(CombineTest, SetAlgebra) {
+  NodeSet grants = {1, 2, 3};
+  NodeSet denies = {2, 3, 4};
+  EXPECT_EQ(Combine(CombineOp::kGrants, grants, denies), grants);
+  EXPECT_EQ(Combine(CombineOp::kDenies, grants, denies), denies);
+  EXPECT_EQ(Combine(CombineOp::kGrantsExceptDenies, grants, denies),
+            (NodeSet{1}));
+  EXPECT_EQ(Combine(CombineOp::kDeniesExceptGrants, grants, denies),
+            (NodeSet{4}));
+}
+
+// Annotation plan must agree with Table 2 ground truth for the nodes whose
+// sign differs from the default.
+TEST_F(SemanticsTest, PlanConsistentWithGroundTruth) {
+  for (auto ds : {DefaultSemantics::kAllow, DefaultSemantics::kDeny}) {
+    for (auto cr : {ConflictResolution::kAllowOverrides,
+                    ConflictResolution::kDenyOverrides}) {
+      policy_.set_default_semantics(ds);
+      policy_.set_conflict_resolution(cr);
+      NodeSet truth = AccessibleNodes(policy_, doc_);
+      NodeSet grants = ScopeUnion(policy_, policy_.PositiveRules(), doc_);
+      NodeSet denies = ScopeUnion(policy_, policy_.NegativeRules(), doc_);
+      AnnotationPlan plan = PlanFor(ds, cr);
+      NodeSet marked = Combine(plan.combine, grants, denies);
+      for (xml::NodeId id : doc_.AllElements()) {
+        bool accessible = truth.count(id) > 0;
+        bool is_marked = marked.count(id) > 0;
+        if (plan.mark == Effect::kAllow) {
+          // default deny: accessible iff marked.
+          EXPECT_EQ(accessible, is_marked) << "node " << id;
+        } else {
+          EXPECT_EQ(accessible, !is_marked) << "node " << id;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::policy

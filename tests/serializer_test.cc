@@ -1,0 +1,82 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xmlac::xml {
+namespace {
+
+Document Build() {
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.SetAttribute(root, "version", "1");
+  NodeId a = doc.CreateElement(root, "a");
+  doc.CreateText(a, "text & <markup>");
+  doc.CreateElement(root, "b");
+  return doc;
+}
+
+TEST(SerializerTest, CompactForm) {
+  Document doc = Build();
+  EXPECT_EQ(Serialize(doc),
+            "<r version=\"1\"><a>text &amp; &lt;markup&gt;</a><b/></r>");
+}
+
+TEST(SerializerTest, EmptyElementUsesSelfClosing) {
+  Document doc;
+  doc.CreateRoot("lonely");
+  EXPECT_EQ(Serialize(doc), "<lonely/>");
+}
+
+TEST(SerializerTest, Declaration) {
+  Document doc;
+  doc.CreateRoot("x");
+  SerializeOptions opt;
+  opt.declaration = true;
+  EXPECT_EQ(Serialize(doc, opt), "<?xml version=\"1.0\"?><x/>");
+}
+
+TEST(SerializerTest, IndentedFormParsesBack) {
+  Document doc = Build();
+  SerializeOptions opt;
+  opt.indent = true;
+  std::string pretty = Serialize(doc, opt);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto r = ParseDocument(pretty);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Serialize(*r), Serialize(doc));
+}
+
+TEST(SerializerTest, DeletedNodesOmitted) {
+  Document doc = Build();
+  // Delete <a>.
+  NodeId a = doc.node(doc.root()).children[0];
+  doc.DeleteSubtree(a);
+  EXPECT_EQ(Serialize(doc), "<r version=\"1\"><b/></r>");
+}
+
+TEST(SerializerTest, SubtreeSerialization) {
+  Document doc = Build();
+  NodeId a = doc.node(doc.root()).children[0];
+  EXPECT_EQ(SerializeSubtree(doc, a), "<a>text &amp; &lt;markup&gt;</a>");
+}
+
+TEST(SerializerTest, AttributeValuesEscaped) {
+  Document doc;
+  NodeId root = doc.CreateRoot("x");
+  doc.SetAttribute(root, "q", "a\"b<c&");
+  std::string out = Serialize(doc);
+  EXPECT_EQ(out, "<x q=\"a&quot;b&lt;c&amp;\"/>");
+  auto r = ParseDocument(out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->GetAttribute(r->root(), "q"), "a\"b<c&");
+}
+
+TEST(SerializerTest, EmptyDocument) {
+  Document doc;
+  EXPECT_EQ(Serialize(doc), "");
+}
+
+}  // namespace
+}  // namespace xmlac::xml

@@ -1,0 +1,151 @@
+#include "shred/shredder.h"
+
+#include <gtest/gtest.h>
+
+#include "reldb/executor.h"
+#include "shred/mapping.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+
+namespace xmlac::shred {
+namespace {
+
+using reldb::Catalog;
+using reldb::StorageKind;
+
+class ShredderTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    mapping_ = std::make_unique<ShredMapping>(*dtd);
+    auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(*doc);
+    catalog_ = std::make_unique<Catalog>(GetParam());
+    ASSERT_TRUE(mapping_->CreateTables(catalog_.get()).ok());
+  }
+
+  std::unique_ptr<ShredMapping> mapping_;
+  xml::Document doc_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_P(ShredderTest, MappingShape) {
+  // One table per label; value column only for #PCDATA elements.
+  EXPECT_EQ(mapping_->tables().size(), 18u);
+  EXPECT_TRUE(mapping_->HasTable("patient"));
+  EXPECT_FALSE(mapping_->HasTable("nonexistent"));
+  EXPECT_TRUE(mapping_->HasValueColumn("psn"));
+  EXPECT_TRUE(mapping_->HasValueColumn("bill"));
+  EXPECT_FALSE(mapping_->HasValueColumn("patient"));
+  const reldb::Table* psn = catalog_->GetTable("psn");
+  ASSERT_NE(psn, nullptr);
+  EXPECT_EQ(psn->schema().num_columns(), 4u);  // id pid v s
+  const reldb::Table* patient = catalog_->GetTable("patient");
+  EXPECT_EQ(patient->schema().num_columns(), 3u);  // id pid s
+}
+
+TEST_P(ShredderTest, DdlScriptParses) {
+  reldb::Catalog fresh(GetParam());
+  reldb::Executor exec(&fresh);
+  ASSERT_TRUE(exec.Run(mapping_->ToDdlScript()).ok());
+  EXPECT_EQ(fresh.NumTables(), 18u);
+}
+
+TEST_P(ShredderTest, ShredProducesOneTuplePerElement) {
+  auto stats = ShredToCatalog(doc_, *mapping_, catalog_.get(), '-');
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->tuples, doc_.AllElements().size());
+  EXPECT_EQ(catalog_->TotalRows(), stats->tuples);
+  // Three patients shredded into the patient table.
+  EXPECT_EQ(catalog_->GetTable("patient")->AliveCount(), 3u);
+  EXPECT_EQ(catalog_->GetTable("bill")->AliveCount(), 2u);
+}
+
+TEST_P(ShredderTest, UniversalIdsMatchTreeNodeIds) {
+  ASSERT_TRUE(ShredToCatalog(doc_, *mapping_, catalog_.get(), '-').ok());
+  const reldb::Table* patient = catalog_->GetTable("patient");
+  // Every patient tuple's id must be a patient element's NodeId, and its pid
+  // the parent's NodeId.
+  for (reldb::RowIdx i = 0; i < patient->Capacity(); ++i) {
+    ASSERT_TRUE(patient->IsAlive(i));
+    auto id = static_cast<xml::NodeId>(patient->GetValue(i, 0).AsInt());
+    auto pid = static_cast<xml::NodeId>(patient->GetValue(i, 1).AsInt());
+    EXPECT_EQ(doc_.node(id).label, "patient");
+    EXPECT_EQ(doc_.node(id).parent, pid);
+  }
+}
+
+TEST_P(ShredderTest, ValuesAndSignsStored) {
+  ASSERT_TRUE(ShredToCatalog(doc_, *mapping_, catalog_.get(), '-').ok());
+  reldb::Executor exec(catalog_.get());
+  auto rs = exec.Query("SELECT p.id FROM psn p WHERE p.v = '042'");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->rows.size(), 1u);
+  rs = exec.Query("SELECT p.id FROM patient p WHERE p.s = '-'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);  // default sign applied everywhere
+}
+
+TEST_P(ShredderTest, RootTupleHasNullPid) {
+  ASSERT_TRUE(ShredToCatalog(doc_, *mapping_, catalog_.get(), '-').ok());
+  reldb::Executor exec(catalog_.get());
+  auto rs = exec.Query("SELECT h.id FROM hospital h WHERE h.pid IS NULL");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST_P(ShredderTest, SqlScriptRoundTrip) {
+  auto script = ShredToSqlScript(doc_, *mapping_, '-');
+  ASSERT_TRUE(script.ok()) << script.status();
+  reldb::Catalog fresh(GetParam());
+  reldb::Executor exec(&fresh);
+  ASSERT_TRUE(exec.Run(mapping_->ToDdlScript()).ok());
+  ASSERT_TRUE(exec.Run(*script).ok());
+  EXPECT_EQ(fresh.TotalRows(), doc_.AllElements().size());
+}
+
+TEST_P(ShredderTest, SqlScriptEscapesQuotes) {
+  xml::Document doc;
+  auto root = doc.CreateRoot("name");
+  doc.CreateText(root, "o'hara");
+  auto dtd = xml::ParseDtd("<!ELEMENT name (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  ShredMapping m(*dtd);
+  auto script = ShredToSqlScript(doc, m, '-');
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("'o''hara'"), std::string::npos);
+  reldb::Catalog fresh(GetParam());
+  reldb::Executor exec(&fresh);
+  ASSERT_TRUE(exec.Run(m.ToDdlScript()).ok());
+  ASSERT_TRUE(exec.Run(*script).ok());
+}
+
+TEST_P(ShredderTest, UnknownElementRejected) {
+  xml::Document doc;
+  auto root = doc.CreateRoot("hospital");
+  doc.CreateElement(root, "alien");
+  auto r = ShredToCatalog(doc, *mapping_, catalog_.get(), '-');
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(ShredderTest, IndexesCreatedOnIdAndPid) {
+  const reldb::Table* t = catalog_->GetTable("patient");
+  EXPECT_TRUE(t->HasIndex(*t->schema().ColumnIndex("id")));
+  EXPECT_TRUE(t->HasIndex(*t->schema().ColumnIndex("pid")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ShredderTest,
+                         ::testing::Values(StorageKind::kRowStore,
+                                           StorageKind::kColumnStore),
+                         [](const auto& info) {
+                           return info.param == StorageKind::kRowStore
+                                      ? "RowStore"
+                                      : "ColumnStore";
+                         });
+
+}  // namespace
+}  // namespace xmlac::shred

@@ -1,0 +1,144 @@
+// COUNT(*), ORDER BY and LIMIT — the SQL surface beyond what the shredding
+// pipeline itself emits.
+
+#include <gtest/gtest.h>
+
+#include "reldb/executor.h"
+
+namespace xmlac::reldb {
+namespace {
+
+class SqlExtensionsTest : public ::testing::TestWithParam<StorageKind> {
+ protected:
+  SqlExtensionsTest() : catalog_(GetParam()), exec_(&catalog_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(exec_.Run(R"(
+      CREATE TABLE emp (id INT, dept TEXT, salary INT);
+      INSERT INTO emp VALUES (1, 'icu', 900);
+      INSERT INTO emp VALUES (2, 'er', 700);
+      INSERT INTO emp VALUES (3, 'icu', 1200);
+      INSERT INTO emp VALUES (4, 'lab', 700);
+      INSERT INTO emp VALUES (5, 'er', 1100);
+    )").ok());
+  }
+
+  ResultSet MustQuery(std::string_view sql) {
+    auto r = exec_.Query(sql);
+    EXPECT_TRUE(r.ok()) << r.status() << " for " << sql;
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  Catalog catalog_;
+  Executor exec_;
+};
+
+TEST_P(SqlExtensionsTest, CountStar) {
+  ResultSet rs = MustQuery("SELECT COUNT(*) FROM emp");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs.columns[0], "count");
+}
+
+TEST_P(SqlExtensionsTest, CountStarWithWhere) {
+  ResultSet rs = MustQuery("SELECT COUNT(*) FROM emp WHERE dept = 'icu'");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+  rs = MustQuery("SELECT COUNT(*) FROM emp WHERE salary > 2000");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+}
+
+TEST_P(SqlExtensionsTest, CountStarOverJoin) {
+  ResultSet rs = MustQuery(
+      "SELECT COUNT(*) FROM emp a, emp b WHERE a.dept = b.dept");
+  // icu:2x2 + er:2x2 + lab:1 = 9.
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 9);
+}
+
+TEST_P(SqlExtensionsTest, OrderByAscendingDefault) {
+  ResultSet rs = MustQuery("SELECT id FROM emp ORDER BY salary");
+  ASSERT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);  // 700 (id 2 before id 4: stable)
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 4);
+  EXPECT_EQ(rs.rows[4][0].AsInt(), 3);  // 1200
+}
+
+TEST_P(SqlExtensionsTest, OrderByDescending) {
+  ResultSet rs = MustQuery("SELECT id FROM emp ORDER BY salary DESC");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[4][0].AsInt(), 4);  // stable: 700s keep insert order
+}
+
+TEST_P(SqlExtensionsTest, OrderByMultipleKeys) {
+  ResultSet rs = MustQuery(
+      "SELECT id FROM emp ORDER BY dept ASC, salary DESC");
+  // er(1100,700), icu(1200,900), lab(700).
+  std::vector<int64_t> got;
+  for (const Row& r : rs.rows) got.push_back(r[0].AsInt());
+  EXPECT_EQ(got, (std::vector<int64_t>{5, 2, 3, 1, 4}));
+}
+
+TEST_P(SqlExtensionsTest, OrderByUnselectedColumn) {
+  // The sort key need not be projected.
+  ResultSet rs = MustQuery("SELECT dept FROM emp ORDER BY id DESC LIMIT 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "er");
+}
+
+TEST_P(SqlExtensionsTest, Limit) {
+  EXPECT_EQ(MustQuery("SELECT id FROM emp LIMIT 3").rows.size(), 3u);
+  EXPECT_EQ(MustQuery("SELECT id FROM emp LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(MustQuery("SELECT id FROM emp LIMIT 99").rows.size(), 5u);
+}
+
+TEST_P(SqlExtensionsTest, TopKPattern) {
+  ResultSet rs = MustQuery(
+      "SELECT id, salary FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 1200);
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 1100);
+}
+
+TEST_P(SqlExtensionsTest, DistinctOrderedLimited) {
+  ResultSet rs = MustQuery(
+      "SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "er");
+  EXPECT_EQ(rs.rows[1][0].AsString(), "icu");
+}
+
+TEST_P(SqlExtensionsTest, ToSqlRoundTrip) {
+  const char* sql =
+      "SELECT DISTINCT e.dept FROM emp e WHERE e.salary >= 700 "
+      "ORDER BY e.dept DESC LIMIT 2";
+  auto st = ParseSql(sql);
+  ASSERT_TRUE(st.ok()) << st.status();
+  std::string printed = st->select.ToSql();
+  auto st2 = ParseSql(printed);
+  ASSERT_TRUE(st2.ok()) << st2.status() << " for " << printed;
+  EXPECT_EQ(st2->select.ToSql(), printed);
+  auto count_sql = ParseSql("SELECT COUNT(*) FROM emp WHERE dept = 'er'");
+  ASSERT_TRUE(count_sql.ok());
+  EXPECT_EQ(count_sql->select.ToSql(),
+            "SELECT COUNT(*) FROM emp WHERE dept = 'er'");
+}
+
+TEST_P(SqlExtensionsTest, Rejections) {
+  EXPECT_FALSE(exec_.Query("SELECT COUNT(* FROM emp").ok());
+  EXPECT_FALSE(exec_.Query("SELECT COUNT(id) FROM emp").ok());
+  EXPECT_FALSE(exec_.Query("SELECT id FROM emp ORDER salary").ok());
+  EXPECT_FALSE(exec_.Query("SELECT id FROM emp LIMIT -1").ok());
+  EXPECT_FALSE(exec_.Query("SELECT id FROM emp LIMIT many").ok());
+  EXPECT_FALSE(exec_.Query("SELECT id FROM emp ORDER BY nosuch").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SqlExtensionsTest,
+                         ::testing::Values(StorageKind::kRowStore,
+                                           StorageKind::kColumnStore),
+                         [](const auto& info) {
+                           return info.param == StorageKind::kRowStore
+                                      ? "RowStore"
+                                      : "ColumnStore";
+                         });
+
+}  // namespace
+}  // namespace xmlac::reldb

@@ -1,0 +1,190 @@
+#include "reldb/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::reldb {
+namespace {
+
+Statement MustParse(std::string_view sql) {
+  auto r = ParseSql(sql);
+  EXPECT_TRUE(r.ok()) << r.status() << " for: " << sql;
+  return r.ok() ? std::move(*r) : Statement{};
+}
+
+TEST(SqlParserTest, CreateTable) {
+  Statement st = MustParse(
+      "CREATE TABLE patient (id INT, pid INT, v TEXT, s TEXT);");
+  ASSERT_EQ(st.kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(st.create.schema.name(), "patient");
+  ASSERT_EQ(st.create.schema.num_columns(), 4u);
+  EXPECT_EQ(st.create.schema.columns()[0].type, ValueType::kInt64);
+  EXPECT_EQ(st.create.schema.columns()[2].type, ValueType::kString);
+}
+
+TEST(SqlParserTest, CreateTableVarcharLength) {
+  Statement st = MustParse("CREATE TABLE t (a VARCHAR(32), b REAL)");
+  EXPECT_EQ(st.create.schema.columns()[0].type, ValueType::kString);
+  EXPECT_EQ(st.create.schema.columns()[1].type, ValueType::kDouble);
+}
+
+TEST(SqlParserTest, InsertPositional) {
+  Statement st = MustParse("INSERT INTO patient VALUES (4, 2, NULL, '-')");
+  ASSERT_EQ(st.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(st.insert.table, "patient");
+  EXPECT_TRUE(st.insert.columns.empty());
+  ASSERT_EQ(st.insert.rows.size(), 1u);
+  EXPECT_EQ(st.insert.rows[0][0].AsInt(), 4);
+  EXPECT_TRUE(st.insert.rows[0][2].is_null());
+  EXPECT_EQ(st.insert.rows[0][3].AsString(), "-");
+}
+
+TEST(SqlParserTest, InsertWithColumnsAndMultipleRows) {
+  Statement st = MustParse(
+      "INSERT INTO t (id, s) VALUES (1, '-'), (2, '+'), (3, '-')");
+  ASSERT_EQ(st.insert.columns.size(), 2u);
+  ASSERT_EQ(st.insert.rows.size(), 3u);
+  EXPECT_EQ(st.insert.rows[1][1].AsString(), "+");
+}
+
+TEST(SqlParserTest, StringEscaping) {
+  Statement st = MustParse("INSERT INTO t VALUES ('it''s')");
+  EXPECT_EQ(st.insert.rows[0][0].AsString(), "it's");
+}
+
+TEST(SqlParserTest, NegativeNumbersAndReals) {
+  Statement st = MustParse("INSERT INTO t VALUES (-5, 2.5, 1e3)");
+  EXPECT_EQ(st.insert.rows[0][0].AsInt(), -5);
+  EXPECT_DOUBLE_EQ(st.insert.rows[0][1].AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(st.insert.rows[0][2].AsDouble(), 1000.0);
+}
+
+TEST(SqlParserTest, SimpleSelect) {
+  Statement st = MustParse("SELECT p.id FROM patient p WHERE p.pid = 2");
+  ASSERT_EQ(st.kind, Statement::Kind::kSelect);
+  const SelectQuery& q = st.select.first;
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].alias, "p");
+  EXPECT_EQ(q.select[0].column, "id");
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].table, "patient");
+  EXPECT_EQ(q.from[0].alias, "p");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, ExprKind::kComparison);
+}
+
+TEST(SqlParserTest, PaperJoinQuery) {
+  // The translated query for rule R1 (Sec. 5.2 of the paper).
+  Statement st = MustParse(
+      "SELECT pat1.id FROM patients pats1, patient pat1 "
+      "WHERE pats1.id = pat1.pid");
+  const SelectQuery& q = st.select.first;
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_EQ(q.from[1].effective_alias(), "pat1");
+}
+
+TEST(SqlParserTest, UnionExceptCompound) {
+  Statement st = MustParse(
+      "SELECT a.id FROM a UNION SELECT b.id FROM b "
+      "EXCEPT (SELECT c.id FROM c UNION SELECT d.id FROM d)");
+  ASSERT_EQ(st.select.rest.size(), 2u);
+  EXPECT_EQ(st.select.rest[0].first, CompoundSelect::SetOp::kUnion);
+  EXPECT_EQ(st.select.rest[1].first, CompoundSelect::SetOp::kExcept);
+  // The parenthesised right side is itself a compound.
+  EXPECT_EQ(st.select.rest[1].second.rest.size(), 1u);
+}
+
+TEST(SqlParserTest, WhereOperatorsAndLogic) {
+  Statement st = MustParse(
+      "SELECT t.id FROM t WHERE (t.a >= 5 AND t.b <> 'x') OR NOT t.c < 3");
+  ASSERT_NE(st.select.first.where, nullptr);
+  EXPECT_EQ(st.select.first.where->kind, ExprKind::kOr);
+}
+
+TEST(SqlParserTest, IsNullAndIsNotNull) {
+  Statement st = MustParse("SELECT t.id FROM t WHERE t.pid IS NULL");
+  EXPECT_EQ(st.select.first.where->kind, ExprKind::kIsNull);
+  st = MustParse("SELECT t.id FROM t WHERE t.pid IS NOT NULL");
+  EXPECT_EQ(st.select.first.where->kind, ExprKind::kNot);
+}
+
+TEST(SqlParserTest, UnqualifiedColumns) {
+  Statement st = MustParse("SELECT id FROM t WHERE pid = 1");
+  EXPECT_TRUE(st.select.first.select[0].alias.empty());
+}
+
+TEST(SqlParserTest, Update) {
+  Statement st = MustParse("UPDATE patient SET s = '+' WHERE id = 4");
+  ASSERT_EQ(st.kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(st.update.table, "patient");
+  ASSERT_EQ(st.update.assignments.size(), 1u);
+  EXPECT_EQ(st.update.assignments[0].first, "s");
+  EXPECT_EQ(st.update.assignments[0].second.AsString(), "+");
+  ASSERT_NE(st.update.where, nullptr);
+}
+
+TEST(SqlParserTest, UpdateMultipleAssignments) {
+  Statement st = MustParse("UPDATE t SET a = 1, b = 'x'");
+  ASSERT_EQ(st.update.assignments.size(), 2u);
+  EXPECT_EQ(st.update.where, nullptr);
+}
+
+TEST(SqlParserTest, Delete) {
+  Statement st = MustParse("DELETE FROM t WHERE pid = 9");
+  ASSERT_EQ(st.kind, Statement::Kind::kDelete);
+  EXPECT_EQ(st.del.table, "t");
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  Statement st = MustParse("select t.id from t where t.a = 1");
+  ASSERT_EQ(st.kind, Statement::Kind::kSelect);
+}
+
+TEST(SqlParserTest, CommentsSkipped) {
+  auto r = ParseSqlScript(
+      "-- create the table\nCREATE TABLE t (id INT);\n"
+      "-- fill it\nINSERT INTO t VALUES (1);");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SqlParserTest, ScriptParsing) {
+  auto r = ParseSqlScript(
+      "CREATE TABLE t (id INT); INSERT INTO t VALUES (1); "
+      "INSERT INTO t VALUES (2);");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].kind, Statement::Kind::kCreateTable);
+}
+
+TEST(SqlParserTest, EmptyScript) {
+  auto r = ParseSqlScript("  -- nothing\n ;;; ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(SqlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT id").ok());
+  EXPECT_FALSE(ParseSql("SELECT id FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT id FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES (1").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES ('unterminated)").ok());
+  EXPECT_FALSE(ParseSql("UPDATE t SET").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a BLOB)").ok());
+  EXPECT_FALSE(ParseSql("SELECT id FROM t; extra").ok());
+  EXPECT_FALSE(ParseSql("DROP TABLE t").ok());
+}
+
+TEST(SqlParserTest, SelectToSqlRoundTrip) {
+  const char* sql =
+      "SELECT pat1.id FROM patients pats1, patient pat1 "
+      "WHERE pats1.id = pat1.pid AND pat1.id = 3";
+  Statement st = MustParse(sql);
+  std::string printed = st.select.ToSql();
+  Statement st2 = MustParse(printed);
+  EXPECT_EQ(st2.select.ToSql(), printed);
+}
+
+}  // namespace
+}  // namespace xmlac::reldb

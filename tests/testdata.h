@@ -1,0 +1,99 @@
+#ifndef XMLAC_TESTS_TESTDATA_H_
+#define XMLAC_TESTS_TESTDATA_H_
+
+// Shared fixtures: the paper's hospital schema (Fig. 1) and the partial
+// hospital document (Fig. 2), used across module tests.
+
+namespace xmlac::testdata {
+
+inline constexpr char kHospitalDtd[] = R"(
+<!ELEMENT hospital (dept+)>
+<!ELEMENT dept (patients, staffinfo)>
+<!ELEMENT patients (patient*)>
+<!ELEMENT staffinfo (staff*)>
+<!ELEMENT patient (psn, name, treatment?)>
+<!ELEMENT treatment (regular? | experimental?)>
+<!ELEMENT regular (med, bill)>
+<!ELEMENT experimental (test, bill)>
+<!ELEMENT staff (nurse | doctor)>
+<!ELEMENT nurse (sid, name, phone)>
+<!ELEMENT doctor (sid, name, phone)>
+<!ELEMENT psn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT med (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT sid (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+)";
+
+// Figure 2 of the paper: three patients — john doe (regular treatment,
+// enoxaparin/700), jane doe (experimental treatment, regression
+// hypnosis/1600), joy smith (no treatment).
+inline constexpr char kHospitalDoc[] = R"(
+<hospital>
+  <dept>
+    <patients>
+      <patient>
+        <psn>033</psn>
+        <name>john doe</name>
+        <treatment>
+          <regular>
+            <med>enoxaparin</med>
+            <bill>700</bill>
+          </regular>
+        </treatment>
+      </patient>
+      <patient>
+        <psn>042</psn>
+        <name>jane doe</name>
+        <treatment>
+          <experimental>
+            <test>regression hypnosis</test>
+            <bill>1600</bill>
+          </experimental>
+        </treatment>
+      </patient>
+      <patient>
+        <psn>099</psn>
+        <name>joy smith</name>
+      </patient>
+    </patients>
+    <staffinfo>
+      <staff>
+        <doctor>
+          <sid>d01</sid>
+          <name>gregory house</name>
+          <phone>555-0100</phone>
+        </doctor>
+      </staff>
+      <staff>
+        <nurse>
+          <sid>n07</sid>
+          <name>carol hathaway</name>
+          <phone>555-0101</phone>
+        </nurse>
+      </staff>
+    </staffinfo>
+  </dept>
+</hospital>
+)";
+
+// Table 1 of the paper, in the policy text format (see policy/parser.h):
+// deny-by-default, deny-overrides.
+inline constexpr char kHospitalPolicy[] = R"(
+default deny
+conflict deny
+allow //patient
+allow //patient/name
+deny  //patient[treatment]
+allow //patient[treatment]/name
+deny  //patient[.//experimental]
+allow //regular
+allow //regular[med="celecoxib"]
+allow //regular[bill > 1000]
+)";
+
+}  // namespace xmlac::testdata
+
+#endif  // XMLAC_TESTS_TESTDATA_H_

@@ -1,0 +1,87 @@
+#include "xpath/tree_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+Path P(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(TreePatternTest, LinearPath) {
+  TreePattern tp = TreePattern::FromPath(P("/a/b"));
+  ASSERT_EQ(tp.size(), 3u);  // virtual root + a + b
+  EXPECT_EQ(tp.node(tp.root()).label, "");
+  EXPECT_EQ(tp.output(), 2u);
+  EXPECT_EQ(tp.node(2).label, "b");
+  // Edges: root ->child a ->child b.
+  ASSERT_EQ(tp.node(0).children.size(), 1u);
+  EXPECT_FALSE(tp.node(0).children[0].descendant);
+}
+
+TEST(TreePatternTest, DescendantEdges) {
+  TreePattern tp = TreePattern::FromPath(P("//a//b"));
+  ASSERT_EQ(tp.size(), 3u);
+  EXPECT_TRUE(tp.node(0).children[0].descendant);
+  EXPECT_TRUE(tp.node(1).children[0].descendant);
+}
+
+TEST(TreePatternTest, PredicateBecomesBranch) {
+  TreePattern tp = TreePattern::FromPath(P("//a[b]/c"));
+  ASSERT_EQ(tp.size(), 4u);
+  // `a` has two children: predicate b and spine c; output is c.
+  size_t a = tp.node(0).children[0].target;
+  EXPECT_EQ(tp.node(a).label, "a");
+  ASSERT_EQ(tp.node(a).children.size(), 2u);
+  EXPECT_EQ(tp.node(tp.output()).label, "c");
+  EXPECT_NE(tp.output(), tp.node(a).children[0].target);
+}
+
+TEST(TreePatternTest, ComparisonAttachesToPredicateLeaf) {
+  TreePattern tp = TreePattern::FromPath(P("//a[b/c=\"v\"]"));
+  bool found = false;
+  for (size_t i = 0; i < tp.size(); ++i) {
+    if (tp.node(i).op.has_value()) {
+      EXPECT_EQ(tp.node(i).label, "c");
+      EXPECT_EQ(tp.node(i).value, "v");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TreePatternTest, SelfComparisonAttachesToStepNode) {
+  TreePattern tp = TreePattern::FromPath(P("//bill[. > 1000]"));
+  size_t bill = tp.output();
+  ASSERT_TRUE(tp.node(bill).op.has_value());
+  EXPECT_EQ(*tp.node(bill).op, CmpOp::kGt);
+  EXPECT_EQ(tp.node(bill).value, "1000");
+}
+
+TEST(TreePatternTest, ProperDescendants) {
+  TreePattern tp = TreePattern::FromPath(P("/a/b[c]/d"));
+  auto below_root = tp.ProperDescendants(tp.root());
+  EXPECT_EQ(below_root.size(), tp.size() - 1);
+  // Leaf nodes have none.
+  EXPECT_TRUE(tp.ProperDescendants(tp.output()).empty());
+}
+
+TEST(TreePatternTest, WildcardNode) {
+  TreePattern tp = TreePattern::FromPath(P("//*"));
+  EXPECT_TRUE(tp.node(tp.output()).is_wildcard());
+}
+
+TEST(TreePatternTest, DebugStringMentionsOutput) {
+  TreePattern tp = TreePattern::FromPath(P("//a[b]"));
+  std::string s = tp.DebugString();
+  EXPECT_NE(s.find("<== output"), std::string::npos);
+  EXPECT_NE(s.find("(doc)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

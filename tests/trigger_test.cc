@@ -1,0 +1,155 @@
+#include "policy/trigger.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/optimizer.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xpath/parser.h"
+
+namespace xmlac::policy {
+namespace {
+
+class TriggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    schema_ = std::make_unique<xml::SchemaGraph>(*dtd);
+    auto p = ParsePolicy(testdata::kHospitalPolicy);
+    ASSERT_TRUE(p.ok()) << p.status();
+    // Table 3: the optimizer output the paper runs Trigger on.
+    policy_ = EliminateRedundantRules(*p);
+    ASSERT_EQ(policy_.size(), 5u);  // R1 R2 R3 R5 R6
+    index_ = std::make_unique<TriggerIndex>(policy_, schema_.get());
+  }
+
+  std::vector<std::string> TriggeredIds(std::string_view update) {
+    auto u = xpath::ParsePath(update);
+    EXPECT_TRUE(u.ok()) << u.status();
+    std::vector<std::string> out;
+    for (size_t i : index_->Trigger(*u)) out.push_back(policy_.rules()[i].id);
+    return out;
+  }
+
+  std::unique_ptr<xml::SchemaGraph> schema_;
+  Policy policy_;
+  std::unique_ptr<TriggerIndex> index_;
+};
+
+TEST_F(TriggerTest, DependencyGraphLinksOppositeEffects) {
+  const DependencyGraph& g = index_->dependency_graph();
+  // Rule order after optimization: 0=R1(+//patient) 1=R2(+//patient/name)
+  // 2=R3(-//patient[treatment]) 3=R5(-//patient[.//experimental])
+  // 4=R6(+//regular).
+  // R3 ⊑ R1 with opposite effects -> adjacent; same for R5 ⊑ R1.
+  auto n0 = g.Neighbours(0);
+  EXPECT_NE(std::find(n0.begin(), n0.end(), 2u), n0.end());
+  EXPECT_NE(std::find(n0.begin(), n0.end(), 3u), n0.end());
+  // R2 (+names) is not containment-related to R3/R5 (different output label).
+  EXPECT_TRUE(g.Neighbours(1).empty());
+  // R6 (+regular) unrelated to the negative rules.
+  EXPECT_TRUE(g.Neighbours(4).empty());
+  // Closure: R3's depends include R1 and (via R1) R5.
+  auto d2 = g.Depends(2);
+  EXPECT_NE(std::find(d2.begin(), d2.end(), 0u), d2.end());
+  EXPECT_NE(std::find(d2.begin(), d2.end(), 3u), d2.end());
+}
+
+// Paper Sec. 5.3, first example: deleting //patient/treatment must trigger
+// R3 (whose expansion contains //patient/treatment) and, through the
+// dependency graph, R1.
+TEST_F(TriggerTest, DeleteTreatmentTriggersR3AndR1) {
+  auto ids = TriggeredIds("//patient/treatment");
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R3"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R1"), ids.end());
+  // R2 (names) must not fire.
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "R2"), ids.end());
+}
+
+// Paper Sec. 5.3, second example: deleting //treatment (descendant axis in
+// R5's predicate) — without schema expansion R5 would not fire.
+TEST_F(TriggerTest, DeleteAllTreatmentsTriggersR5ViaSchemaExpansion) {
+  auto ids = TriggeredIds("//treatment");
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R5"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R3"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R1"), ids.end());
+}
+
+// The paper's R1/R5 discussion (Sec. 5.3): with only those two rules,
+// deleting //treatment fires nothing unless descendant predicates are
+// rewritten via the schema.  (In the full Table 3 policy, R3's firing pulls
+// R5 in through the dependency closure, masking the effect.)
+TEST_F(TriggerTest, WithoutSchemaExpansionR5Misses) {
+  auto p = ParsePolicy(
+      "allow //patient\ndeny //patient[.//experimental]\n");
+  ASSERT_TRUE(p.ok());
+  auto u = xpath::ParsePath("//treatment");
+  ASSERT_TRUE(u.ok());
+
+  TriggerOptions no_rewrite;
+  no_rewrite.expansion.schema_rewrite = false;
+  TriggerIndex without(*p, schema_.get(), no_rewrite);
+  EXPECT_TRUE(without.Trigger(*u).empty());  // the incorrect behaviour
+
+  TriggerIndex with(*p, schema_.get());
+  auto fired = with.Trigger(*u);
+  ASSERT_EQ(fired.size(), 2u);  // R5 fires, R1 via dependency
+}
+
+TEST_F(TriggerTest, UnrelatedUpdateTriggersNothing) {
+  EXPECT_TRUE(TriggeredIds("//staffinfo/staff").empty());
+  EXPECT_TRUE(TriggeredIds("//doctor/phone").empty());
+}
+
+TEST_F(TriggerTest, NameUpdateTriggersOnlyR2) {
+  auto ids = TriggeredIds("//patient/name");
+  EXPECT_EQ(ids, (std::vector<std::string>{"R2"}));
+}
+
+TEST_F(TriggerTest, UpdateOnRuleOutputTriggersRule) {
+  auto ids = TriggeredIds("//regular");
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R6"), ids.end());
+}
+
+TEST_F(TriggerTest, PatientDeletionTriggersEverythingPatientRelated) {
+  auto ids = TriggeredIds("//patient");
+  // u ⊑ x for the //patient expansions of R1/R2/R3/R5 spines.
+  for (const char* id : {"R1", "R2", "R3", "R5"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+TEST_F(TriggerTest, StatsPopulated) {
+  TriggerStats stats;
+  auto u = xpath::ParsePath("//patient/treatment");
+  ASSERT_TRUE(u.ok());
+  index_->Trigger(*u, &stats);
+  EXPECT_GT(stats.containment_tests, 0u);
+  EXPECT_GT(stats.directly_triggered, 0u);
+  EXPECT_GT(stats.dependency_added, 0u);
+}
+
+TEST_F(TriggerTest, MedValueUpdateTriggersNothingAfterOptimization) {
+  // R7 (med="celecoxib") was optimized away; //regular/med relates to no
+  // surviving rule's expansion except through //regular/med ⊑ ... none.
+  EXPECT_TRUE(TriggeredIds("//regular/med").empty());
+}
+
+TEST(TriggerUnoptimizedTest, MedUpdateTriggersR7OnUnoptimizedPolicy) {
+  auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+  ASSERT_TRUE(dtd.ok());
+  xml::SchemaGraph schema(*dtd);
+  auto p = ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  TriggerIndex index(*p, &schema);
+  auto u = xpath::ParsePath("//regular/med");
+  ASSERT_TRUE(u.ok());
+  std::vector<std::string> ids;
+  for (size_t i : index.Trigger(*u)) ids.push_back(p->rules()[i].id);
+  // R7's expansion includes //regular/med.
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "R7"), ids.end());
+}
+
+}  // namespace
+}  // namespace xmlac::policy

@@ -1,0 +1,77 @@
+#include "reldb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::reldb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, ToSqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value::Str("a'b").ToSqlLiteral(), "'a''b'");
+  EXPECT_EQ(Value::Int(5).ToSqlLiteral(), "5");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Int(1)));
+  EXPECT_FALSE(Value::Int(1).SqlEquals(Value::Null()));
+}
+
+TEST(ValueTest, SqlEqualsNumericCoercion) {
+  EXPECT_TRUE(Value::Int(5).SqlEquals(Value::Real(5.0)));
+  EXPECT_TRUE(Value::Int(5).SqlEquals(Value::Str("5")));
+  EXPECT_TRUE(Value::Str("5.0").SqlEquals(Value::Int(5)));
+  EXPECT_FALSE(Value::Int(5).SqlEquals(Value::Str("five")));
+  EXPECT_TRUE(Value::Str("a").SqlEquals(Value::Str("a")));
+  EXPECT_FALSE(Value::Str("a").SqlEquals(Value::Str("b")));
+}
+
+TEST(ValueTest, SqlCompareStringsNumericWhenBothParse) {
+  int cmp = 99;
+  ASSERT_TRUE(Value::Str("9").SqlCompare(Value::Str("10"), &cmp));
+  EXPECT_EQ(cmp, -1);  // numeric: 9 < 10 (lexicographic would say "9" > "10")
+  ASSERT_TRUE(Value::Str("abc").SqlCompare(Value::Str("abd"), &cmp));
+  EXPECT_EQ(cmp, -1);
+}
+
+TEST(ValueTest, SqlCompareIncomparable) {
+  int cmp;
+  EXPECT_FALSE(Value::Int(1).SqlCompare(Value::Str("one"), &cmp));
+  EXPECT_FALSE(Value::Null().SqlCompare(Value::Int(1), &cmp));
+  // Empty strings are incomparable (shredded no-text elements).
+  EXPECT_FALSE(Value::Str("").SqlCompare(Value::Str(""), &cmp));
+  EXPECT_FALSE(Value::Str("").SqlCompare(Value::Str("x"), &cmp));
+  EXPECT_FALSE(Value::Str("x").SqlEquals(Value::Str("")));
+}
+
+TEST(ValueTest, TotalCompareOrdersAcrossTypes) {
+  EXPECT_LT(Value::Null().TotalCompare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(5).TotalCompare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().TotalCompare(Value::Null()), 0);
+  EXPECT_EQ(Value::Int(3).TotalCompare(Value::Real(3.0)), 0);
+  EXPECT_GT(Value::Str("b").TotalCompare(Value::Str("a")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithTotalCompare) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+}  // namespace
+}  // namespace xmlac::reldb

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "policy/semantics.h"
+#include "shred/mapping.h"
+#include "shred/xpath_to_sql.h"
+#include "workload/coverage.h"
+#include "workload/hospital.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/schema_graph.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::workload {
+namespace {
+
+TEST(XmarkTest, DtdParsesAndIsNonRecursive) {
+  auto dtd = XmarkGenerator::ParseXmarkDtd();
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd->root_name(), "site");
+  xml::SchemaGraph g(*dtd);
+  EXPECT_FALSE(g.IsRecursive());
+}
+
+TEST(XmarkTest, GeneratedDocumentValidAgainstSchema) {
+  auto dtd = XmarkGenerator::ParseXmarkDtd();
+  ASSERT_TRUE(dtd.ok());
+  xml::SchemaGraph g(*dtd);
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  EXPECT_EQ(doc.node(doc.root()).label, "site");
+  // Every element's label is in the schema and every child edge is allowed.
+  for (xml::NodeId id : doc.AllElements()) {
+    const xml::Node& n = doc.node(id);
+    ASSERT_TRUE(g.HasLabel(n.label)) << n.label;
+    if (n.parent != xml::kInvalidNode) {
+      EXPECT_TRUE(g.Children(doc.node(n.parent).label).count(n.label) > 0)
+          << doc.node(n.parent).label << " -> " << n.label;
+    }
+  }
+}
+
+TEST(XmarkTest, SizeScalesWithFactor) {
+  XmarkGenerator gen;
+  XmarkOptions small;
+  small.factor = 0.01;
+  XmarkOptions large;
+  large.factor = 0.1;
+  size_t s = gen.Generate(small).AllElements().size();
+  size_t l = gen.Generate(large).AllElements().size();
+  EXPECT_GT(s, 100u);
+  // Roughly 10x (fanouts are random, allow slack).
+  EXPECT_GT(l, s * 5);
+  EXPECT_LT(l, s * 20);
+}
+
+TEST(XmarkTest, DeterministicInSeed) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.005;
+  xml::Document a = gen.Generate(opt);
+  xml::Document b = gen.Generate(opt);
+  EXPECT_EQ(xml::Serialize(a), xml::Serialize(b));
+  opt.seed = 99;
+  xml::Document c = gen.Generate(opt);
+  EXPECT_NE(xml::Serialize(a), xml::Serialize(c));
+}
+
+TEST(XmarkTest, ShreddableAndTranslatable) {
+  auto dtd = XmarkGenerator::ParseXmarkDtd();
+  ASSERT_TRUE(dtd.ok());
+  shred::ShredMapping mapping(*dtd);
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.005;
+  xml::Document doc = gen.Generate(opt);
+  // Representative XMark-ish queries translate and agree with the tree.
+  for (const char* expr :
+       {"//person", "//person/name", "//open_auction[bidder]",
+        "//closed_auction/price", "//item/incategory",
+        "//person[profile/age]"}) {
+    auto path = xpath::ParsePath(expr);
+    ASSERT_TRUE(path.ok());
+    auto tr = shred::TranslateXPath(*path, mapping);
+    ASSERT_TRUE(tr.ok()) << tr.status() << " for " << expr;
+  }
+}
+
+TEST(HospitalTest, GeneratedDocumentValid) {
+  auto dtd = HospitalGenerator::ParseHospitalDtd();
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  xml::SchemaGraph g(*dtd);
+  HospitalGenerator gen;
+  HospitalOptions opt;
+  xml::Document doc = gen.Generate(opt);
+  for (xml::NodeId id : doc.AllElements()) {
+    const xml::Node& n = doc.node(id);
+    ASSERT_TRUE(g.HasLabel(n.label)) << n.label;
+  }
+  auto patients = xpath::Evaluate(*xpath::ParsePath("//patient"), doc);
+  EXPECT_EQ(patients.size(), static_cast<size_t>(
+                                 opt.departments *
+                                 opt.patients_per_department));
+}
+
+TEST(HospitalTest, PaperPolicyParsesAgainstGenerator) {
+  auto p = policy::ParsePolicy(kHospitalPolicyText);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->size(), 8u);
+  HospitalGenerator gen;
+  xml::Document doc = gen.Generate(HospitalOptions{});
+  // The policy is satisfiable on generated data.
+  EXPECT_GT(policy::AccessibleNodes(*p, doc).size(), 0u);
+}
+
+TEST(HospitalTest, TreatmentRateRespected) {
+  HospitalGenerator gen;
+  HospitalOptions opt;
+  opt.patients_per_department = 500;
+  opt.departments = 1;
+  opt.treatment_rate = 0.25;
+  xml::Document doc = gen.Generate(opt);
+  auto treatments = xpath::Evaluate(*xpath::ParsePath("//treatment"), doc);
+  double rate = static_cast<double>(treatments.size()) / 500.0;
+  EXPECT_NEAR(rate, 0.25, 0.08);
+}
+
+class CoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageTest, HitsTargetWithinTolerance) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  CoverageOptions copt;
+  copt.target = GetParam();
+  auto p = GenerateCoveragePolicy(doc, copt);
+  ASSERT_TRUE(p.ok()) << p.status();
+  double achieved = MeasureCoverage(*p, doc);
+  EXPECT_NEAR(achieved, copt.target, 0.08) << "rules: " << p->size();
+  EXPECT_EQ(p->default_semantics(), policy::DefaultSemantics::kDeny);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CoverageTest,
+                         ::testing::Values(0.25, 0.4, 0.55, 0.7),
+                         [](const auto& info) {
+                           return "t" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(CoverageTest2, DeterministicPerSeed) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.005;
+  xml::Document doc = gen.Generate(opt);
+  CoverageOptions copt;
+  copt.target = 0.5;
+  auto a = GenerateCoveragePolicy(doc, copt);
+  auto b = GenerateCoveragePolicy(doc, copt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST(CoverageTest2, IncludesDenyRulesWhenRequested) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  CoverageOptions copt;
+  copt.target = 0.5;
+  copt.include_denies = true;
+  auto p = GenerateCoveragePolicy(doc, copt);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p->NegativeRules().size(), 0u);
+  copt.include_denies = false;
+  p = GenerateCoveragePolicy(doc, copt);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->NegativeRules().empty());
+}
+
+TEST(CoverageTest2, RejectsBadTargets) {
+  xml::Document doc;
+  doc.CreateRoot("a");
+  CoverageOptions copt;
+  copt.target = 0.0;
+  EXPECT_FALSE(GenerateCoveragePolicy(doc, copt).ok());
+  copt.target = 1.5;
+  EXPECT_FALSE(GenerateCoveragePolicy(doc, copt).ok());
+}
+
+TEST(CoverageTest2, PathStatisticsCounts) {
+  HospitalGenerator gen;
+  HospitalOptions opt;
+  opt.departments = 1;
+  opt.patients_per_department = 10;
+  opt.staff_per_department = 0;
+  xml::Document doc = gen.Generate(opt);
+  auto stats = PathStatistics(doc);
+  EXPECT_EQ(stats["//patient"], 10u);
+  EXPECT_EQ(stats["//patients/patient"], 10u);
+  EXPECT_EQ(stats["//hospital"], 1u);
+}
+
+TEST(QueryWorkloadTest, GeneratesRequestedCountOfDistinctQueries) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  QueryWorkloadOptions qopt;
+  qopt.count = 55;
+  auto queries = GenerateQueries(doc, qopt);
+  EXPECT_EQ(queries.size(), 55u);
+  std::set<std::string> distinct;
+  for (const auto& q : queries) distinct.insert(xpath::ToString(q));
+  EXPECT_EQ(distinct.size(), queries.size());
+}
+
+TEST(QueryWorkloadTest, QueriesAreMostlyNonEmpty) {
+  XmarkGenerator gen;
+  XmarkOptions opt;
+  opt.factor = 0.01;
+  xml::Document doc = gen.Generate(opt);
+  QueryWorkloadOptions qopt;
+  qopt.count = 40;
+  size_t nonempty = 0;
+  for (const auto& q : GenerateQueries(doc, qopt)) {
+    if (!xpath::Evaluate(q, doc).empty()) ++nonempty;
+  }
+  // The vocabulary is sampled from the document, so the vast majority of
+  // queries must match something.
+  EXPECT_GE(nonempty, 35u);
+}
+
+TEST(QueryWorkloadTest, Deterministic) {
+  HospitalGenerator gen;
+  xml::Document doc = gen.Generate(HospitalOptions{});
+  QueryWorkloadOptions qopt;
+  auto a = GenerateQueries(doc, qopt);
+  auto b = GenerateQueries(doc, qopt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(xpath::StructurallyEqual(a[i], b[i]));
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::workload

@@ -1,0 +1,118 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+
+namespace xmlac::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto r = ParseDocument("<root/>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->node(r->root()).label, "root");
+  EXPECT_EQ(r->alive_count(), 1u);
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto r = ParseDocument("<a><b>hello</b><c><d>x</d></c></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Document& doc = *r;
+  auto elements = doc.AllElements();
+  ASSERT_EQ(elements.size(), 4u);
+  NodeId b = elements[1];
+  EXPECT_EQ(doc.node(b).label, "b");
+  EXPECT_EQ(doc.DirectText(b), "hello");
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto r = ParseDocument(R"(<item id="42" name='x y'/>)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r->GetAttribute(r->root(), "id"), "42");
+  EXPECT_EQ(*r->GetAttribute(r->root(), "name"), "x y");
+}
+
+TEST(XmlParserTest, DuplicateAttributeRejected) {
+  auto r = ParseDocument(R"(<item a="1" a="2"/>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto r = ParseDocument("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->DirectText(r->root()), "<tag> & \"q\" 's'");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  auto r = ParseDocument("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->DirectText(r->root()), "AB");
+}
+
+TEST(XmlParserTest, CommentsAndPisSkipped) {
+  auto r = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->AllElements().size(), 2u);
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  auto r = ParseDocument(
+      "<!DOCTYPE hospital [<!ELEMENT hospital (dept+)>]><hospital><dept/></hospital>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->node(r->root()).label, "hospital");
+}
+
+TEST(XmlParserTest, Cdata) {
+  auto r = ParseDocument("<a><![CDATA[<not a tag> & raw]]></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->DirectText(r->root()), "<not a tag> & raw");
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextDropped) {
+  auto r = ParseDocument("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (NodeId id = 0; id < r->size(); ++id) {
+    EXPECT_NE(r->node(id).kind, NodeKind::kText);
+  }
+}
+
+TEST(XmlParserTest, MismatchedTagsRejected) {
+  auto r = ParseDocument("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, UnterminatedElementRejected) {
+  EXPECT_FALSE(ParseDocument("<a><b>").ok());
+  EXPECT_FALSE(ParseDocument("<a").ok());
+  EXPECT_FALSE(ParseDocument("").ok());
+}
+
+TEST(XmlParserTest, TrailingContentRejected) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(ParseDocument("<a/>junk").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseDocument("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
+TEST(XmlParserTest, RoundTripThroughSerializer) {
+  const char* kInput =
+      R"(<hospital><dept><patients><patient sign="+"><psn>033</psn><name>john doe</name></patient></patients></dept></hospital>)";
+  auto r = ParseDocument(kInput);
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::string out = Serialize(*r);
+  auto r2 = ParseDocument(out);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(Serialize(*r2), out);
+  EXPECT_EQ(out, kInput);
+}
+
+}  // namespace
+}  // namespace xmlac::xml

@@ -1,0 +1,182 @@
+#include "xpath/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xpath {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(r.ok()) << r.status();
+    doc_ = std::move(*r);
+  }
+
+  std::vector<NodeId> Eval(std::string_view expr) {
+    auto p = ParsePath(expr);
+    EXPECT_TRUE(p.ok()) << p.status();
+    return Evaluate(*p, doc_);
+  }
+
+  std::vector<std::string> Labels(const std::vector<NodeId>& ids) {
+    std::vector<std::string> out;
+    for (NodeId id : ids) out.push_back(doc_.node(id).label);
+    return out;
+  }
+
+  Document doc_;
+};
+
+TEST_F(EvaluatorTest, RootSelection) {
+  auto r = Eval("/hospital");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], doc_.root());
+}
+
+TEST_F(EvaluatorTest, WrongRootLabelSelectsNothing) {
+  EXPECT_TRUE(Eval("/clinic").empty());
+}
+
+TEST_F(EvaluatorTest, ChildChain) {
+  auto r = Eval("/hospital/dept/patients/patient");
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(EvaluatorTest, DescendantAxisFindsAllDepths) {
+  EXPECT_EQ(Eval("//patient").size(), 3u);
+  EXPECT_EQ(Eval("//bill").size(), 2u);
+  // name appears under patients and staff members.
+  EXPECT_EQ(Eval("//name").size(), 5u);
+}
+
+TEST_F(EvaluatorTest, DescendantCanSelectRoot) {
+  auto r = Eval("//hospital");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], doc_.root());
+}
+
+TEST_F(EvaluatorTest, MixedAxes) {
+  EXPECT_EQ(Eval("/hospital//name").size(), 5u);
+  EXPECT_EQ(Eval("//patient/name").size(), 3u);
+  EXPECT_EQ(Eval("//staff//name").size(), 2u);
+}
+
+TEST_F(EvaluatorTest, Wildcard) {
+  // Children of patient across all patients: psn x3, name x3, treatment x2.
+  EXPECT_EQ(Eval("//patient/*").size(), 8u);
+  EXPECT_EQ(Eval("/hospital/*").size(), 1u);
+  EXPECT_EQ(Eval("/*").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ExistencePredicate) {
+  // Rule R3's scope: patients that have a treatment.
+  EXPECT_EQ(Eval("//patient[treatment]").size(), 2u);
+  EXPECT_EQ(Eval("//patient[name]").size(), 3u);
+  EXPECT_EQ(Eval("//patient[doctor]").size(), 0u);
+}
+
+TEST_F(EvaluatorTest, DescendantPredicate) {
+  // Rule R5's scope: patients under experimental treatment.
+  auto r = Eval("//patient[.//experimental]");
+  ASSERT_EQ(r.size(), 1u);
+  // It is the jane doe patient: check via psn.
+  auto psn = EvaluateFrom(*ParseRelativePath("psn"), doc_, r[0]);
+  ASSERT_EQ(psn.size(), 1u);
+  EXPECT_EQ(doc_.DirectText(psn[0]), "042");
+}
+
+TEST_F(EvaluatorTest, EqualityPredicate) {
+  EXPECT_EQ(Eval("//regular[med=\"celecoxib\"]").size(), 0u);
+  EXPECT_EQ(Eval("//regular[med=\"enoxaparin\"]").size(), 1u);
+  EXPECT_EQ(Eval("//patient[psn=\"099\"]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, NumericComparisons) {
+  // Rule R8's scope: regular treatments with bill > 1000 — none (the 1600
+  // bill belongs to an experimental treatment).
+  EXPECT_EQ(Eval("//regular[bill > 1000]").size(), 0u);
+  EXPECT_EQ(Eval("//regular[bill > 500]").size(), 1u);
+  EXPECT_EQ(Eval("//experimental[bill >= 1600]").size(), 1u);
+  EXPECT_EQ(Eval("//experimental[bill < 1600]").size(), 0u);
+  EXPECT_EQ(Eval("//treatment[.//bill != 700]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, SelfComparisonPredicate) {
+  EXPECT_EQ(Eval("//bill[. > 1000]").size(), 1u);
+  EXPECT_EQ(Eval("//bill[. = 700]").size(), 1u);
+  EXPECT_EQ(Eval("//med[. = \"enoxaparin\"]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, Conjunction) {
+  EXPECT_EQ(Eval("//patient[treatment and name]").size(), 2u);
+  EXPECT_EQ(Eval("//patient[treatment and psn=\"033\"]").size(), 1u);
+  EXPECT_EQ(Eval("//patient[treatment and psn=\"099\"]").size(), 0u);
+}
+
+TEST_F(EvaluatorTest, NestedPredicates) {
+  EXPECT_EQ(Eval("//patient[treatment[regular]]").size(), 1u);
+  EXPECT_EQ(Eval("//patient[treatment[regular[med=\"enoxaparin\"]]]").size(),
+            1u);
+}
+
+TEST_F(EvaluatorTest, PredicatePathWithMultipleSteps) {
+  EXPECT_EQ(Eval("//patient[treatment/regular/bill]").size(), 1u);
+  EXPECT_EQ(Eval("//dept[patients/patient]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ResultsAreDocumentOrderedAndUnique) {
+  auto r = Eval("//name");
+  for (size_t i = 1; i < r.size(); ++i) EXPECT_LT(r[i - 1], r[i]);
+  // `//patient//bill` via two branches must not duplicate.
+  auto bills = Eval("//dept//bill");
+  EXPECT_EQ(bills.size(), 2u);
+}
+
+TEST_F(EvaluatorTest, EvaluateFromRelative) {
+  auto patients = Eval("//patient");
+  ASSERT_EQ(patients.size(), 3u);
+  auto p = ParseRelativePath(".//bill");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(EvaluateFrom(*p, doc_, patients[0]).size(), 1u);
+  EXPECT_EQ(EvaluateFrom(*p, doc_, patients[2]).size(), 0u);
+}
+
+TEST_F(EvaluatorTest, EmptyRelativePathSelectsContext) {
+  Path empty;
+  auto r = EvaluateFrom(empty, doc_, doc_.root());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], doc_.root());
+}
+
+TEST_F(EvaluatorTest, DeletedNodesAreInvisible) {
+  auto treatments = Eval("//treatment");
+  ASSERT_EQ(treatments.size(), 2u);
+  doc_.DeleteSubtree(treatments[0]);
+  EXPECT_EQ(Eval("//treatment").size(), 1u);
+  EXPECT_EQ(Eval("//patient[treatment]").size(), 1u);
+  EXPECT_EQ(Eval("//patient").size(), 3u);
+}
+
+TEST(CompareValuesTest, NumericVsLexicographic) {
+  EXPECT_TRUE(CompareValues("700", CmpOp::kLt, "1000"));   // numeric
+  EXPECT_FALSE(CompareValues("abc", CmpOp::kLt, "1000"));  // lexicographic
+  EXPECT_TRUE(CompareValues("abc", CmpOp::kEq, "abc"));
+  EXPECT_TRUE(CompareValues("10", CmpOp::kEq, "10.0"));  // numeric equality
+  EXPECT_TRUE(CompareValues("x", CmpOp::kNe, "y"));
+  // Empty text has no value: all comparisons are false (matches the
+  // relational side, where structure-only elements have no v column).
+  EXPECT_FALSE(CompareValues("", CmpOp::kEq, ""));
+  EXPECT_FALSE(CompareValues("", CmpOp::kLt, "z"));
+  EXPECT_FALSE(CompareValues("a", CmpOp::kNe, ""));
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

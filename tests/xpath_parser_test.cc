@@ -1,0 +1,179 @@
+#include "xpath/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlac::xpath {
+namespace {
+
+Path MustParse(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : Path{};
+}
+
+TEST(XPathParserTest, SimpleAbsolutePath) {
+  Path p = MustParse("/hospital/dept");
+  EXPECT_TRUE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[0].label, "hospital");
+  EXPECT_EQ(p.steps[1].label, "dept");
+}
+
+TEST(XPathParserTest, DescendantAxis) {
+  Path p = MustParse("//patient");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, MixedAxes) {
+  Path p = MustParse("/a//b/c//d");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[2].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[3].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, Wildcard) {
+  Path p = MustParse("/a/*/b");
+  EXPECT_TRUE(p.steps[1].is_wildcard());
+}
+
+TEST(XPathParserTest, ExistencePredicate) {
+  Path p = MustParse("//patient[treatment]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_FALSE(pred.has_comparison());
+  ASSERT_EQ(pred.path.steps.size(), 1u);
+  EXPECT_EQ(pred.path.steps[0].label, "treatment");
+  EXPECT_EQ(pred.path.steps[0].axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, DescendantPredicate) {
+  Path p = MustParse("//patient[.//experimental]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  ASSERT_EQ(pred.path.steps.size(), 1u);
+  EXPECT_EQ(pred.path.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(pred.path.steps[0].label, "experimental");
+}
+
+TEST(XPathParserTest, EqualityPredicate) {
+  Path p = MustParse("//regular[med=\"celecoxib\"]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  ASSERT_TRUE(pred.has_comparison());
+  EXPECT_EQ(*pred.op, CmpOp::kEq);
+  EXPECT_EQ(pred.value, "celecoxib");
+}
+
+TEST(XPathParserTest, NumericComparisonPredicate) {
+  Path p = MustParse("//regular[bill > 1000]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  ASSERT_TRUE(pred.has_comparison());
+  EXPECT_EQ(*pred.op, CmpOp::kGt);
+  EXPECT_EQ(pred.value, "1000");
+}
+
+TEST(XPathParserTest, AllComparisonOperators) {
+  EXPECT_EQ(*MustParse("//a[b=1]").steps[0].predicates[0].op, CmpOp::kEq);
+  EXPECT_EQ(*MustParse("//a[b!=1]").steps[0].predicates[0].op, CmpOp::kNe);
+  EXPECT_EQ(*MustParse("//a[b<1]").steps[0].predicates[0].op, CmpOp::kLt);
+  EXPECT_EQ(*MustParse("//a[b<=1]").steps[0].predicates[0].op, CmpOp::kLe);
+  EXPECT_EQ(*MustParse("//a[b>1]").steps[0].predicates[0].op, CmpOp::kGt);
+  EXPECT_EQ(*MustParse("//a[b>=1]").steps[0].predicates[0].op, CmpOp::kGe);
+}
+
+TEST(XPathParserTest, Conjunction) {
+  Path p = MustParse("//a[b and c/d and e=\"5\"]");
+  ASSERT_EQ(p.steps[0].predicates.size(), 3u);
+  EXPECT_EQ(p.steps[0].predicates[1].path.steps.size(), 2u);
+  EXPECT_TRUE(p.steps[0].predicates[2].has_comparison());
+}
+
+TEST(XPathParserTest, MultiplePredicateBrackets) {
+  Path p = MustParse("//a[b][c]");
+  ASSERT_EQ(p.steps[0].predicates.size(), 2u);
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  Path p = MustParse("//a[b[c=\"x\"]]");
+  const Predicate& outer = p.steps[0].predicates[0];
+  ASSERT_EQ(outer.path.steps.size(), 1u);
+  ASSERT_EQ(outer.path.steps[0].predicates.size(), 1u);
+  EXPECT_TRUE(outer.path.steps[0].predicates[0].has_comparison());
+}
+
+TEST(XPathParserTest, SelfComparison) {
+  Path p = MustParse("//bill[. > 1000]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_TRUE(pred.path.empty());
+  EXPECT_EQ(*pred.op, CmpOp::kGt);
+}
+
+TEST(XPathParserTest, SingleQuotedConstant) {
+  Path p = MustParse("//a[b='v w']");
+  EXPECT_EQ(p.steps[0].predicates[0].value, "v w");
+}
+
+TEST(XPathParserTest, RelativePathParsing) {
+  auto r = ParseRelativePath(".//a/b");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->absolute);
+  ASSERT_EQ(r->steps.size(), 2u);
+  EXPECT_EQ(r->steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, RejectsRelativeAtTopLevel) {
+  EXPECT_FALSE(ParsePath("patient/name").ok());
+}
+
+TEST(XPathParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("/").ok());
+  EXPECT_FALSE(ParsePath("//a[").ok());
+  EXPECT_FALSE(ParsePath("//a[]").ok());
+  EXPECT_FALSE(ParsePath("//a]").ok());
+  EXPECT_FALSE(ParsePath("//a[b=]").ok());
+  EXPECT_FALSE(ParsePath("//a[.]").ok());
+  EXPECT_FALSE(ParsePath("//a[b='x]").ok());
+  EXPECT_FALSE(ParsePath("/a/").ok());
+}
+
+TEST(XPathParserTest, ToStringRoundTrip) {
+  const char* cases[] = {
+      "/hospital/dept",
+      "//patient",
+      "//patient[treatment]",
+      "//patient[.//experimental]",
+      "//patient[treatment]/name",
+      "/a//b/c",
+      "/a/*/b",
+      "//a[b and c]",
+  };
+  for (const char* text : cases) {
+    Path p = MustParse(text);
+    std::string printed = ToString(p);
+    Path p2 = MustParse(printed);
+    EXPECT_TRUE(StructurallyEqual(p, p2)) << text << " vs " << printed;
+  }
+}
+
+TEST(XPathParserTest, ToStringComparison) {
+  Path p = MustParse("//regular[med=\"celecoxib\"]");
+  EXPECT_EQ(ToString(p), "//regular[med=\"celecoxib\"]");
+}
+
+TEST(XPathParserTest, AstHelpers) {
+  EXPECT_TRUE(UsesDescendantAxis(MustParse("//a")));
+  EXPECT_FALSE(UsesDescendantAxis(MustParse("/a/b")));
+  EXPECT_TRUE(UsesDescendantAxis(MustParse("/a[.//b]")));
+  EXPECT_TRUE(UsesWildcard(MustParse("/a/*")));
+  EXPECT_FALSE(UsesWildcard(MustParse("/a/b")));
+  EXPECT_TRUE(UsesPredicates(MustParse("/a[b]")));
+  EXPECT_FALSE(UsesPredicates(MustParse("/a/b")));
+  EXPECT_EQ(TotalSteps(MustParse("/a[b/c]/d")), 4u);
+}
+
+}  // namespace
+}  // namespace xmlac::xpath

@@ -1,0 +1,212 @@
+#include "xmldb/xquery.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/semantics.h"
+#include "tests/testdata.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::xmldb {
+namespace {
+
+class XQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = xml::ParseDocument(testdata::kHospitalDoc);
+    ASSERT_TRUE(d.ok()) << d.status();
+    doc_ = std::move(*d);
+    engine_.RegisterDocument("xmlgen", &doc_);
+  }
+
+  XqValue MustRun(std::string_view q) {
+    auto r = engine_.Run(q);
+    EXPECT_TRUE(r.ok()) << r.status() << " for: " << q;
+    return r.ok() ? std::move(*r) : XqValue{};
+  }
+
+  double Count(std::string_view q) {
+    XqValue v = MustRun(std::string("count(") + std::string(q) + ")");
+    EXPECT_EQ(v.v.index(), 2u);
+    return std::get<double>(v.v);
+  }
+
+  xml::Document doc_;
+  XQueryEngine engine_;
+};
+
+TEST_F(XQueryTest, DocPathSelectsNodes) {
+  XqValue v = MustRun("doc(\"xmlgen\")//patient");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 3u);
+  // Bare doc() is the root.
+  v = MustRun("doc(\"xmlgen\")");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 1u);
+  EXPECT_EQ(v.nodes()[0], doc_.root());
+}
+
+TEST_F(XQueryTest, UnionAndExcept) {
+  EXPECT_EQ(Count("doc(\"xmlgen\")//patient union doc(\"xmlgen\")//regular"),
+            4.0);
+  EXPECT_EQ(Count("doc(\"xmlgen\")//patient except "
+                  "doc(\"xmlgen\")//patient[treatment]"),
+            1.0);
+  // Union deduplicates.
+  EXPECT_EQ(Count("doc(\"xmlgen\")//patient union doc(\"xmlgen\")//patient"),
+            3.0);
+}
+
+TEST_F(XQueryTest, ForReturnIteratesBindings) {
+  // One name per patient: 3 nodes.
+  XqValue v = MustRun(
+      "for $p in doc(\"xmlgen\")//patient return $p/name");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 3u);
+}
+
+TEST_F(XQueryTest, WhereFiltersBindings) {
+  XqValue v = MustRun(
+      "for $p in doc(\"xmlgen\")//patient where $p/treatment "
+      "return $p/name");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 2u);
+  v = MustRun(
+      "for $p in doc(\"xmlgen\")//patient where $p/psn = \"099\" "
+      "return $p");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 1u);
+}
+
+TEST_F(XQueryTest, WhereComparisonsAreNumericWhenPossible) {
+  XqValue v = MustRun(
+      "for $b in doc(\"xmlgen\")//bill where $b > 1000 return $b");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 1u);  // the 1600 bill
+}
+
+// The paper's own annotation query (Sec. 5.2), with Table 3's rules inlined.
+TEST_F(XQueryTest, PaperAnnotationQuery) {
+  auto r = engine_.Run(R"(
+    for $n := doc("xmlgen")(
+        (//patient union //patient/name union //regular)
+        except (//patient[treatment] union //patient[.//experimental]))
+    return xmlac:annotate($n, "+")
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(engine_.last_annotations(), 5u);
+  // The annotated document matches the Table 2 ground truth.
+  auto p = policy::ParsePolicy(testdata::kHospitalPolicy);
+  ASSERT_TRUE(p.ok());
+  policy::NodeSet truth = policy::AccessibleNodes(*p, doc_);
+  for (xml::NodeId n : doc_.AllElements()) {
+    auto sign = doc_.GetAttribute(n, "sign");
+    EXPECT_EQ(sign.has_value() && *sign == "+", truth.count(n) > 0)
+        << "node " << n << " (" << doc_.node(n).label << ")";
+  }
+}
+
+TEST_F(XQueryTest, AnnotateReplacesExistingSign) {
+  ASSERT_TRUE(
+      engine_.Run("xmlac:annotate(doc(\"xmlgen\")//regular, \"+\")").ok());
+  auto regulars = xpath::Evaluate(*xpath::ParsePath("//regular"), doc_);
+  ASSERT_EQ(regulars.size(), 1u);
+  EXPECT_EQ(*doc_.GetAttribute(regulars[0], "sign"), "+");
+  ASSERT_TRUE(
+      engine_.Run("xmlac:annotate(doc(\"xmlgen\")//regular, \"-\")").ok());
+  EXPECT_EQ(*doc_.GetAttribute(regulars[0], "sign"), "-");
+}
+
+TEST_F(XQueryTest, CountNestedInFor) {
+  // Sum over patients of 1 (count of self) = 3.
+  XqValue v = MustRun(
+      "for $p in doc(\"xmlgen\")//patient return count($p)");
+  ASSERT_EQ(v.v.index(), 2u);
+  EXPECT_EQ(std::get<double>(v.v), 3.0);
+}
+
+TEST_F(XQueryTest, BarePathsUseSingleRegisteredDocument) {
+  EXPECT_EQ(Count("//patient"), 3.0);
+  // With two documents it becomes ambiguous.
+  xml::Document other;
+  other.CreateRoot("x");
+  engine_.RegisterDocument("other", &other);
+  auto r = engine_.Run("count(//patient)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Explicit doc() still works.
+  EXPECT_EQ(Count("doc(\"xmlgen\")//patient"), 3.0);
+}
+
+TEST_F(XQueryTest, LetBindsValues) {
+  // Bind a node sequence once, reuse it twice.
+  XqValue v = MustRun(
+      "let $pats := doc(\"xmlgen\")//patient "
+      "return count($pats) ");
+  ASSERT_EQ(v.v.index(), 2u);
+  EXPECT_EQ(std::get<double>(v.v), 3.0);
+  // Paths apply to every node in the bound sequence.
+  v = MustRun(
+      "let $pats := doc(\"xmlgen\")//patient return $pats/name");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 3u);
+  // Lets nest and shadow.
+  v = MustRun(
+      "let $a := doc(\"xmlgen\")//patient "
+      "let $a := $a/name return count($a)");
+  ASSERT_EQ(v.v.index(), 2u);
+  EXPECT_EQ(std::get<double>(v.v), 3.0);
+}
+
+TEST_F(XQueryTest, LetInsideFor) {
+  XqValue v = MustRun(
+      "for $p in doc(\"xmlgen\")//patient "
+      "let $bills := $p//bill "
+      "where count($bills) > 0 return $p");
+  ASSERT_TRUE(v.is_nodes());
+  EXPECT_EQ(v.nodes().size(), 2u);  // the two patients with treatments
+}
+
+TEST_F(XQueryTest, LetErrors) {
+  EXPECT_FALSE(engine_.Run("let $x doc(\"xmlgen\")//a return $x").ok());
+  EXPECT_FALSE(engine_.Run("let $x := //a").ok());  // missing return
+  // Path on a non-node binding.
+  EXPECT_FALSE(engine_.Run("let $x := \"str\" return $x/name").ok());
+}
+
+TEST_F(XQueryTest, Errors) {
+  EXPECT_FALSE(engine_.Run("").ok());
+  EXPECT_FALSE(engine_.Run("doc(\"nope\")//a").ok());
+  EXPECT_FALSE(engine_.Run("for $x doc(\"xmlgen\")//a return $x").ok());
+  EXPECT_FALSE(engine_.Run("xmlac:annotate(doc(\"xmlgen\")//a, \"?\")").ok());
+  EXPECT_FALSE(engine_.Run("$unbound/name").ok());
+  EXPECT_FALSE(engine_.Run("count(//patient) extra").ok());
+  EXPECT_FALSE(engine_.Run("\"a\" union \"b\"").ok());
+}
+
+TEST_F(XQueryTest, AstToStringRoundTripsThroughParser) {
+  const char* queries[] = {
+      "doc(\"xmlgen\")//patient",
+      "for $p in doc(\"xmlgen\")//patient where $p/treatment return "
+      "$p/name",
+      "(doc(\"xmlgen\")//a union doc(\"xmlgen\")//b) except "
+      "doc(\"xmlgen\")//c",
+      "xmlac:annotate(doc(\"xmlgen\")//regular, \"+\")",
+      "count(doc(\"xmlgen\")//bill)",
+      "let $a := doc(\"xmlgen\")//patient return count($a)",
+      "for $p in doc(\"xmlgen\")//patient let $b := $p//bill where "
+      "count($b) > 0 return $p",
+  };
+  for (const char* q : queries) {
+    auto e = ParseXQuery(q);
+    ASSERT_TRUE(e.ok()) << e.status() << " for " << q;
+    auto printed = (*e)->ToString();
+    auto e2 = ParseXQuery(printed);
+    ASSERT_TRUE(e2.ok()) << e2.status() << " for printed form: " << printed;
+    EXPECT_EQ((*e2)->ToString(), printed);
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::xmldb
