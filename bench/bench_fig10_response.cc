@@ -58,10 +58,15 @@ void BM_Response(benchmark::State& state) {
   double factor = DecodeFactor(state.range(0));
   auto kind = static_cast<BackendKind>(state.range(1));
   PreparedStore store = Prepare(factor, kind);
+  // Report where the query work went (nodes visited / rows scanned) next to
+  // the timing series.
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics metrics_ctx(&metrics);
   for (auto _ : state) {
     state.SetIterationTime(
         AvgResponseSeconds(store.backend.get(), store.queries));
   }
+  AttachMetrics(state, metrics.Snapshot());
   state.SetLabel(std::string(BackendName(kind)) +
                  " f=" + std::to_string(factor) + " avg-over-55-queries");
 }

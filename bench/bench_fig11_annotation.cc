@@ -52,10 +52,16 @@ void BM_Annotate(benchmark::State& state) {
   auto kind = static_cast<BackendKind>(state.range(1));
   double coverage = state.range(2) / 100.0;
   double achieved = 0;
+  // Collect pipeline metrics across the (manual-time) iterations; the
+  // registry's cost is amortized per annotation and reported alongside the
+  // timing counters so regressions show where the work went.
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetrics metrics_ctx(&metrics);
   for (auto _ : state) {
     state.SetIterationTime(AnnotateOnce(factor, kind, coverage, &achieved));
   }
   state.counters["coverage_pct"] = benchmark::Counter(achieved * 100.0);
+  AttachMetrics(state, metrics.Snapshot());
   state.SetLabel(std::string(BackendName(kind)) +
                  " f=" + std::to_string(factor));
 }

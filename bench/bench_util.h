@@ -17,6 +17,7 @@
 #include "common/timer.h"
 #include "engine/native_backend.h"
 #include "engine/relational_backend.h"
+#include "obs/metrics.h"
 #include "workload/xmark.h"
 
 namespace xmlac::bench {
@@ -98,6 +99,37 @@ inline int64_t EncodeFactor(double f) {
   return static_cast<int64_t>(f * 10000 + 0.5);
 }
 inline double DecodeFactor(int64_t a) { return a / 10000.0; }
+
+// Attaches the pipeline's key observability series from `snapshot` as
+// google-benchmark counters: containment-cache hit rate, nodes annotated
+// (signed either way), relational rows scanned, and XPath nodes visited.
+// Series absent from the snapshot (e.g. rows scanned on the native backend)
+// are skipped.  Timing-sensitive benchmarks (Fig. 12) deliberately do NOT
+// install a registry inside the measured region; use this only where the
+// collection happens outside the timed loop or the loop is re-entrant work
+// like annotation whose instrumentation is amortized per operation.
+inline void AttachMetrics(benchmark::State& state,
+                          const obs::MetricsSnapshot& snapshot) {
+  auto counter = [&snapshot](const char* name) -> double {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0.0
+                                         : static_cast<double>(it->second);
+  };
+  double checks = counter("containment.cache.checks");
+  if (checks > 0) {
+    state.counters["cache_hit_rate"] =
+        benchmark::Counter(counter("containment.cache.hits") / checks);
+  }
+  double annotated = counter("annotator.nodes_signed_plus") +
+                     counter("annotator.nodes_signed_minus");
+  if (annotated > 0) {
+    state.counters["nodes_annotated"] = benchmark::Counter(annotated);
+  }
+  double rows = counter("reldb.rows_scanned");
+  if (rows > 0) state.counters["rows_scanned"] = benchmark::Counter(rows);
+  double visited = counter("xpath.nodes_visited");
+  if (visited > 0) state.counters["nodes_visited"] = benchmark::Counter(visited);
+}
 
 }  // namespace xmlac::bench
 

@@ -5,6 +5,7 @@
 // these guard programmer errors, not user input (user input errors travel as
 // Status).
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>

@@ -20,6 +20,9 @@ Status AccessController::Load(std::string_view dtd_text,
 
 Status AccessController::LoadParsed(const xml::Dtd& dtd,
                                     const xml::Document& doc) {
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "load");
+  obs::ScopedTimer timer("engine.load_us");
   dtd_ = std::make_unique<xml::Dtd>(dtd);
   schema_ = std::make_unique<xml::SchemaGraph>(*dtd_);
   XMLAC_RETURN_IF_ERROR(backend_->Load(*dtd_, doc));
@@ -38,19 +41,36 @@ Status AccessController::SetPolicy(std::string_view policy_text) {
 }
 
 Status AccessController::SetPolicyParsed(policy::Policy policy) {
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "set_policy");
+  obs::ScopedTimer timer("engine.set_policy_us");
   optimizer_stats_ = policy::OptimizerStats();
   if (optimize_policy_) {
     // Schema-aware pruning first (rules that cannot match any valid
     // document), then containment-based redundancy elimination (Fig. 4).
+    obs::ScopedSpan opt_span("optimize");
     if (schema_ != nullptr) {
       policy = policy::PruneUnsatisfiableRules(policy, *schema_,
                                                &optimizer_stats_);
     }
-    policy_ = policy::EliminateRedundantRules(policy, &optimizer_stats_);
+    // The shared containment cache memoizes the optimizer's tests so later
+    // trigger probes on the same pairs are hits.
+    policy_ = policy::EliminateRedundantRules(policy, &optimizer_stats_,
+                                              &containment_cache_);
+    if (opt_span.active()) {
+      opt_span.AddCount("removed",
+                        static_cast<int64_t>(optimizer_stats_.removed));
+    }
   } else {
     policy_ = std::move(policy);
   }
-  trigger_ = std::make_unique<policy::TriggerIndex>(policy_, schema_.get());
+  {
+    obs::ScopedSpan build_span("build_trigger_index");
+    policy::TriggerOptions topt;
+    topt.containment_cache = &containment_cache_;
+    trigger_ =
+        std::make_unique<policy::TriggerIndex>(policy_, schema_.get(), topt);
+  }
   policy_set_ = true;
   if (schema_ != nullptr) {
     auto r = AnnotateFull(backend_.get(), policy_);
@@ -60,6 +80,9 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
 }
 
 Result<RequestOutcome> AccessController::Query(std::string_view xpath) {
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "query");
+  obs::IncrementCounter("engine.queries");
   XMLAC_ASSIGN_OR_RETURN(xpath::Path q, xpath::ParsePath(xpath));
   return Request(backend_.get(), q);
 }
@@ -68,6 +91,10 @@ Result<UpdateStats> AccessController::Update(std::string_view xpath) {
   if (!policy_set_ || trigger_ == nullptr) {
     return Status::Internal("no policy set");
   }
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "update");
+  obs::ScopedTimer timer("engine.update_us");
+  obs::IncrementCounter("engine.updates");
   XMLAC_ASSIGN_OR_RETURN(xpath::Path u, xpath::ParsePath(xpath));
   UpdateStats stats;
   std::vector<size_t> triggered = trigger_->Trigger(u);
@@ -76,7 +103,15 @@ Result<UpdateStats> AccessController::Update(std::string_view xpath) {
   XMLAC_ASSIGN_OR_RETURN(
       std::vector<UniversalId> old_scope,
       TriggeredScope(backend_.get(), policy_, triggered));
-  XMLAC_ASSIGN_OR_RETURN(stats.nodes_deleted, backend_->DeleteWhere(u));
+  {
+    obs::ScopedSpan delete_span("delete");
+    XMLAC_ASSIGN_OR_RETURN(stats.nodes_deleted, backend_->DeleteWhere(u));
+    if (delete_span.active()) {
+      delete_span.AddCount("nodes_deleted",
+                           static_cast<int64_t>(stats.nodes_deleted));
+    }
+  }
+  obs::IncrementCounter("engine.nodes_deleted", stats.nodes_deleted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,
       Reannotate(backend_.get(), policy_, triggered, old_scope));
@@ -118,6 +153,10 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
   if (!policy_set_ || trigger_ == nullptr) {
     return Status::Internal("no policy set");
   }
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "insert");
+  obs::ScopedTimer timer("engine.insert_us");
+  obs::IncrementCounter("engine.inserts");
   XMLAC_ASSIGN_OR_RETURN(xpath::Path target, xpath::ParsePath(target_xpath));
   XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
                          xml::ParseDocument(fragment_xml));
@@ -139,8 +178,16 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
   XMLAC_ASSIGN_OR_RETURN(
       std::vector<UniversalId> old_scope,
       TriggeredScope(backend_.get(), policy_, triggered));
-  XMLAC_ASSIGN_OR_RETURN(stats.nodes_inserted,
-                         backend_->InsertUnder(target, fragment));
+  {
+    obs::ScopedSpan insert_span("insert_fragment");
+    XMLAC_ASSIGN_OR_RETURN(stats.nodes_inserted,
+                           backend_->InsertUnder(target, fragment));
+    if (insert_span.active()) {
+      insert_span.AddCount("nodes_inserted",
+                           static_cast<int64_t>(stats.nodes_inserted));
+    }
+  }
+  obs::IncrementCounter("engine.nodes_inserted", stats.nodes_inserted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,
       Reannotate(backend_.get(), policy_, triggered, old_scope));
@@ -149,6 +196,8 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
 
 Result<AnnotateStats> AccessController::ReannotateFull() {
   if (!policy_set_) return Status::Internal("no policy set");
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "reannotate_full");
   return AnnotateFull(backend_.get(), policy_);
 }
 

@@ -17,9 +17,12 @@
 #include "engine/annotator.h"
 #include "engine/backend.h"
 #include "engine/requester.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "policy/optimizer.h"
 #include "policy/trigger.h"
 #include "xml/schema_graph.h"
+#include "xpath/containment_cache.h"
 
 namespace xmlac::engine {
 
@@ -70,6 +73,22 @@ class AccessController {
     return optimizer_stats_;
   }
 
+  // --- Observability ------------------------------------------------------
+  // Every public operation runs with the controller's metrics registry and
+  // tracer installed as the thread's current obs context, so instrumentation
+  // anywhere down the stack (XPath evaluator, containment cache, optimizer,
+  // annotator, relational executor, backends) accumulates here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  // Tracing is off by default (spans then cost one branch each).
+  void EnableTracing(bool enabled) { tracer_.set_enabled(enabled); }
+  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  void ResetMetrics() { metrics_.Reset(); }
+  const xpath::ContainmentCache& containment_cache() const {
+    return containment_cache_;
+  }
+
  private:
   std::unique_ptr<Backend> backend_;
   bool optimize_policy_;
@@ -77,6 +96,11 @@ class AccessController {
   std::unique_ptr<xml::SchemaGraph> schema_;
   policy::Policy policy_;
   policy::OptimizerStats optimizer_stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  // Shared by the optimizer and the trigger index (declared before trigger_
+  // so it outlives the index, which keeps a pointer to it).
+  xpath::ContainmentCache containment_cache_;
   std::unique_ptr<policy::TriggerIndex> trigger_;
   bool policy_set_ = false;
 };

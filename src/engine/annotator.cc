@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlac::engine {
 
 namespace {
+
+// Nodes whose sign was set to '+' vs '-' (the paper's signing work metric).
+void ReportSigned(char sign, size_t n) {
+  obs::IncrementCounter(
+      sign == '+' ? "annotator.nodes_signed_plus" : "annotator.nodes_signed_minus",
+      n);
+}
 
 char DefaultSign(const policy::Policy& policy) {
   return policy.default_semantics() == policy::DefaultSemantics::kAllow ? '+'
@@ -26,25 +36,54 @@ std::vector<size_t> AllRules(const policy::Policy& policy) {
 
 Result<AnnotateStats> AnnotateFull(Backend* backend,
                                    const policy::Policy& policy) {
+  obs::ScopedSpan span("annotate.full");
+  obs::ScopedTimer timer("annotate.full.elapsed_us");
   policy::AnnotationPlan plan =
       policy::PlanFor(policy.default_semantics(), policy.conflict_resolution());
-  XMLAC_RETURN_IF_ERROR(backend->ResetAllSigns(DefaultSign(policy)));
-  XMLAC_ASSIGN_OR_RETURN(
-      std::vector<UniversalId> marked,
-      backend->EvaluateAnnotationSet(policy, AllRules(policy), plan.combine));
-  XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  {
+    obs::ScopedSpan reset_span("annotate.reset_signs");
+    XMLAC_RETURN_IF_ERROR(backend->ResetAllSigns(DefaultSign(policy)));
+  }
+  std::vector<UniversalId> marked;
+  {
+    obs::ScopedSpan eval_span("annotate.evaluate_set");
+    XMLAC_ASSIGN_OR_RETURN(
+        marked,
+        backend->EvaluateAnnotationSet(policy, AllRules(policy), plan.combine));
+    if (eval_span.active()) {
+      eval_span.AddCount("marked", static_cast<int64_t>(marked.size()));
+    }
+  }
+  {
+    obs::ScopedSpan mark_span("annotate.set_signs");
+    XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  }
   AnnotateStats stats;
   stats.marked = marked.size();
   stats.reset = backend->NodeCount();
   stats.rules_used = policy.size();
+  obs::IncrementCounter("annotator.full_annotations");
+  obs::IncrementCounter("annotator.nodes_marked", stats.marked);
+  obs::IncrementCounter("annotator.nodes_reset", stats.reset);
+  obs::IncrementCounter("annotator.rules_used", stats.rules_used);
+  ReportSigned(MarkSign(plan), stats.marked);
+  ReportSigned(DefaultSign(policy),
+               stats.reset >= stats.marked ? stats.reset - stats.marked : 0);
+  if (span.active()) {
+    span.AddCount("marked", static_cast<int64_t>(stats.marked));
+    span.AddCount("rules", static_cast<int64_t>(stats.rules_used));
+  }
   return stats;
 }
 
 Result<std::vector<UniversalId>> TriggeredScope(
     Backend* backend, const policy::Policy& policy,
     const std::vector<size_t>& triggered) {
+  obs::ScopedSpan span("triggered_scope");
   std::unordered_set<UniversalId> scope;
   for (size_t i : triggered) {
+    // Per-rule timing: one histogram sample per scope evaluation.
+    obs::ScopedTimer rule_timer("annotator.rule_scope_us");
     XMLAC_ASSIGN_OR_RETURN(
         std::vector<UniversalId> ids,
         backend->EvaluateQuery(policy.rules()[i].resource));
@@ -52,6 +91,11 @@ Result<std::vector<UniversalId>> TriggeredScope(
   }
   std::vector<UniversalId> out(scope.begin(), scope.end());
   std::sort(out.begin(), out.end());
+  obs::IncrementCounter("annotator.scope_nodes", out.size());
+  if (span.active()) {
+    span.AddCount("rules", static_cast<int64_t>(triggered.size()));
+    span.AddCount("scope_nodes", static_cast<int64_t>(out.size()));
+  }
   return out;
 }
 
@@ -59,8 +103,11 @@ Result<AnnotateStats> Reannotate(Backend* backend,
                                  const policy::Policy& policy,
                                  const std::vector<size_t>& triggered,
                                  const std::vector<UniversalId>& old_scope) {
+  obs::ScopedSpan span("reannotate");
+  obs::ScopedTimer timer("reannotate.elapsed_us");
   AnnotateStats stats;
   stats.rules_used = triggered.size();
+  obs::IncrementCounter("annotator.reannotations");
   if (triggered.empty()) return stats;
   policy::AnnotationPlan plan =
       policy::PlanFor(policy.default_semantics(), policy.conflict_resolution());
@@ -74,15 +121,36 @@ Result<AnnotateStats> Reannotate(Backend* backend,
   affected.insert(new_scope.begin(), new_scope.end());
   std::vector<UniversalId> to_reset(affected.begin(), affected.end());
   std::sort(to_reset.begin(), to_reset.end());
-  XMLAC_RETURN_IF_ERROR(backend->SetSigns(to_reset, DefaultSign(policy)));
+  {
+    obs::ScopedSpan reset_span("annotate.reset_signs");
+    XMLAC_RETURN_IF_ERROR(backend->SetSigns(to_reset, DefaultSign(policy)));
+  }
   stats.reset = to_reset.size();
 
   // Re-mark per the Fig. 5 plan restricted to the triggered rules.
-  XMLAC_ASSIGN_OR_RETURN(
-      std::vector<UniversalId> marked,
-      backend->EvaluateAnnotationSet(policy, triggered, plan.combine));
-  XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  std::vector<UniversalId> marked;
+  {
+    obs::ScopedSpan eval_span("annotate.evaluate_set");
+    XMLAC_ASSIGN_OR_RETURN(
+        marked,
+        backend->EvaluateAnnotationSet(policy, triggered, plan.combine));
+  }
+  {
+    obs::ScopedSpan mark_span("annotate.set_signs");
+    XMLAC_RETURN_IF_ERROR(backend->SetSigns(marked, MarkSign(plan)));
+  }
   stats.marked = marked.size();
+  obs::IncrementCounter("annotator.nodes_marked", stats.marked);
+  obs::IncrementCounter("annotator.nodes_reset", stats.reset);
+  obs::IncrementCounter("annotator.rules_used", stats.rules_used);
+  ReportSigned(MarkSign(plan), stats.marked);
+  ReportSigned(DefaultSign(policy),
+               stats.reset >= stats.marked ? stats.reset - stats.marked : 0);
+  if (span.active()) {
+    span.AddCount("marked", static_cast<int64_t>(stats.marked));
+    span.AddCount("reset", static_cast<int64_t>(stats.reset));
+    span.AddCount("rules", static_cast<int64_t>(stats.rules_used));
+  }
   return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/evaluator.h"
@@ -99,6 +101,11 @@ Result<std::vector<UniversalId>> NativeXmlBackend::EvaluateAnnotationSet(
 }
 
 void NativeXmlBackend::Annotate(xml::NodeId n, char val) {
+  if (obs::CurrentMetrics() != nullptr) {
+    auto attr = doc_.GetAttribute(n, kSignAttr);
+    char cur = attr.has_value() ? (*attr)[0] : default_sign_;
+    if (cur != val) obs::IncrementCounter("native.sign_flips");
+  }
   // xmlac:annotate(): insert the attribute or replace its value; drop it
   // entirely when it matches the store default (minimal storage).
   if (val == default_sign_) {
@@ -120,11 +127,14 @@ Status NativeXmlBackend::SetSigns(const std::vector<UniversalId>& ids,
 
 Status NativeXmlBackend::ResetAllSigns(char default_sign) {
   default_sign_ = default_sign;
+  size_t reset = 0;
   for (xml::NodeId id = 0; id < doc_.size(); ++id) {
     if (doc_.IsAlive(id) && doc_.node(id).kind == xml::NodeKind::kElement) {
       doc_.RemoveAttribute(id, kSignAttr);
+      ++reset;
     }
   }
+  obs::IncrementCounter("native.signs_reset", reset);
   return Status::OK();
 }
 
@@ -147,6 +157,9 @@ Result<size_t> NativeXmlBackend::DeleteWhere(const xpath::Path& u) {
 
 Result<xmldb::XqValue> NativeXmlBackend::RunXQuery(std::string_view query) {
   if (!loaded_) return Status::Internal("backend not loaded");
+  obs::ScopedSpan span("native.xquery");
+  obs::ScopedTimer timer("native.xquery_us");
+  obs::IncrementCounter("native.xquery_runs");
   xmldb::XQueryEngine engine;
   engine.RegisterDocument("xmlgen", &doc_);
   return engine.Run(query);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shred/shredder.h"
 
 namespace xmlac::engine {
@@ -120,10 +122,12 @@ Result<std::vector<UniversalId>> RelationalBackend::EvaluateAnnotationSet(
 Status RelationalBackend::SetSigns(const std::vector<UniversalId>& ids,
                                    char sign) {
   if (catalog_ == nullptr) return Status::Internal("backend not loaded");
+  obs::ScopedSpan span("reldb.set_signs");
   // Algorithm Annotate (Fig. 6): for every table, intersect the target ids
   // with the table's ids, then issue one UPDATE per matching tuple.
   std::unordered_set<UniversalId> target(ids.begin(), ids.end());
   std::string set_sql(1, sign);
+  size_t sign_updates = 0;
   for (const std::string& table_name : catalog_->TableNames()) {
     reldb::Table* t = catalog_->GetTable(table_name);
     size_t id_col = *t->schema().ColumnIndex(shred::kIdColumn);
@@ -139,7 +143,12 @@ Status RelationalBackend::SetSigns(const std::vector<UniversalId>& ids,
                             "' WHERE " + shred::kIdColumn + " = " +
                             std::to_string(id));
       if (!n.ok()) return n.status();
+      ++sign_updates;
     }
+  }
+  obs::IncrementCounter("reldb.sign_updates", sign_updates);
+  if (span.active()) {
+    span.AddCount("updates", static_cast<int64_t>(sign_updates));
   }
   return Status::OK();
 }

@@ -1,22 +1,39 @@
 #include "engine/requester.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlac::engine {
 
 Result<RequestOutcome> Request(Backend* backend, const xpath::Path& query) {
+  obs::ScopedSpan span("request");
+  obs::ScopedTimer timer("requester.elapsed_us");
+  obs::IncrementCounter("requester.requests");
   XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> ids,
                          backend->EvaluateQuery(query));
   RequestOutcome outcome;
   outcome.selected = ids.size();
-  for (UniversalId id : ids) {
-    XMLAC_ASSIGN_OR_RETURN(char sign, backend->GetSign(id));
-    if (sign == '+') ++outcome.accessible;
+  {
+    obs::ScopedSpan check_span("request.sign_check");
+    for (UniversalId id : ids) {
+      XMLAC_ASSIGN_OR_RETURN(char sign, backend->GetSign(id));
+      if (sign == '+') ++outcome.accessible;
+    }
+  }
+  obs::IncrementCounter("requester.nodes_selected", outcome.selected);
+  obs::IncrementCounter("requester.nodes_accessible", outcome.accessible);
+  if (span.active()) {
+    span.AddCount("selected", static_cast<int64_t>(outcome.selected));
+    span.AddCount("accessible", static_cast<int64_t>(outcome.accessible));
   }
   if (outcome.accessible != outcome.selected) {
+    obs::IncrementCounter("requester.denied");
     return Status::AccessDenied(
         std::to_string(outcome.selected - outcome.accessible) + " of " +
         std::to_string(outcome.selected) +
         " requested nodes are inaccessible");
   }
+  obs::IncrementCounter("requester.granted");
   outcome.granted = true;
   outcome.ids = std::move(ids);
   return outcome;

@@ -1,0 +1,200 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace xmlac::obs {
+
+namespace {
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+// Doubles print with enough precision to round-trip small timings but
+// without noise ("%.3f" trims trailing garbage digits).
+void AppendDouble(std::string* out, double v) { Append(out, "%.3f", v); }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          Append(&out, "\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  size_t width = 24;
+  for (const auto& [name, v] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : snapshot.histograms) {
+    width = std::max(width, name.size());
+  }
+  int w = static_cast<int>(width);
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : snapshot.counters) {
+      Append(&out, "  %-*s %12" PRIu64 "\n", w, name.c_str(), v);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : snapshot.gauges) {
+      Append(&out, "  %-*s %12" PRId64 "\n", w, name.c_str(), v);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      Append(&out, "  %-*s count=%-8" PRIu64 " sum=%-10" PRIu64
+             " mean=%-10.1f p50=%-10.0f p99=%-10.0f max=%" PRIu64 "\n",
+             w, name.c_str(), h.count, h.sum, h.Mean(), h.Percentile(0.5),
+             h.Percentile(0.99), h.max);
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    Append(&out, "\"%s\":%" PRIu64, JsonEscape(name).c_str(), v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    Append(&out, "\"%s\":%" PRId64, JsonEscape(name).c_str(), v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    Append(&out, "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+           ",\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"mean\":",
+           JsonEscape(name).c_str(), h.count, h.sum, h.min, h.max);
+    AppendDouble(&out, h.Mean());
+    out += ",\"p50\":";
+    AppendDouble(&out, h.Percentile(0.5));
+    out += ",\"p99\":";
+    AppendDouble(&out, h.Percentile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+void SpanToText(const TraceSpan& span, int depth, std::string* out) {
+  Append(out, "%*s%-*s ", depth * 2, "",
+         std::max(1, 40 - depth * 2), span.name.c_str());
+  if (span.duration_us >= 0) {
+    Append(out, "%10" PRId64 " us", span.duration_us);
+  } else {
+    Append(out, "%10s   ", "open");
+  }
+  if (!span.counters.empty()) {
+    out->append("  [");
+    for (size_t i = 0; i < span.counters.size(); ++i) {
+      if (i > 0) out->append(" ");
+      Append(out, "%s=%" PRId64, span.counters[i].first.c_str(),
+             span.counters[i].second);
+    }
+    out->append("]");
+  }
+  out->append("\n");
+  for (const auto& child : span.children) {
+    SpanToText(*child, depth + 1, out);
+  }
+}
+
+void SpanToJson(const TraceSpan& span, std::string* out) {
+  Append(out, "{\"name\":\"%s\",\"start_us\":%" PRId64
+         ",\"duration_us\":%" PRId64 ",\"counters\":{",
+         JsonEscape(span.name).c_str(), span.start_us, span.duration_us);
+  for (size_t i = 0; i < span.counters.size(); ++i) {
+    if (i > 0) out->append(",");
+    Append(out, "\"%s\":%" PRId64,
+           JsonEscape(span.counters[i].first).c_str(),
+           span.counters[i].second);
+  }
+  out->append("},\"children\":[");
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) out->append(",");
+    SpanToJson(*span.children[i], out);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+std::string TraceToText(const TraceSpan& root) {
+  std::string out;
+  // Skip the synthetic root line when it carries no information of its own.
+  if (root.name == "trace" && root.counters.empty()) {
+    for (const auto& child : root.children) SpanToText(*child, 0, &out);
+    if (out.empty()) out = "(no spans recorded)\n";
+  } else {
+    SpanToText(root, 0, &out);
+  }
+  return out;
+}
+
+std::string TraceToJson(const TraceSpan& root) {
+  std::string out;
+  SpanToJson(root, &out);
+  return out;
+}
+
+}  // namespace xmlac::obs

@@ -1,0 +1,41 @@
+#ifndef XMLAC_OBS_EXPORT_H_
+#define XMLAC_OBS_EXPORT_H_
+
+// Serialization of metrics snapshots and trace trees: aligned text tables
+// for terminals (the CLI's --stats) and JSON for machines (--trace-json,
+// --metrics-json, benchmark post-processing).  The JSON schema is
+// documented in docs/observability.md.
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlac::obs {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes,
+// backslash, control characters).
+std::string JsonEscape(std::string_view s);
+
+// Aligned table, one instrument per row.  Histograms render count, sum,
+// mean and approximate p50/p99.  Deterministic order (sorted by name).
+std::string MetricsToText(const MetricsSnapshot& snapshot);
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": ...,
+// "sum": ..., "min": ..., "max": ..., "mean": ..., "p50": ..., "p99": ...}}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+// Indented tree, one span per line:
+//   update                          1234 us
+//     trigger                         56 us  [fired=3]
+std::string TraceToText(const TraceSpan& root);
+
+// Nested spans: {"name": ..., "start_us": ..., "duration_us": ...,
+// "counters": {...}, "children": [...]}.  Open spans serialize with
+// "duration_us": -1.
+std::string TraceToJson(const TraceSpan& root);
+
+}  // namespace xmlac::obs
+
+#endif  // XMLAC_OBS_EXPORT_H_

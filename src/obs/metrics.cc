@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace xmlac::obs {
+
+void Histogram::Record(uint64_t v) {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Lock-free min/max: retry only while our value still improves the bound.
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the wanted observation (1-based, ceil keeps p=1 at the last).
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket i spans [2^(i-1), 2^i) for i>0 and {0} for i=0; answer with
+      // its geometric midpoint, clamped to the observed range.
+      double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      double hi = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      double mid = i == 0 ? 0.0 : std::sqrt(lo * hi);
+      return std::clamp(mid, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramData d;
+    d.count = h->count();
+    d.sum = h->sum();
+    uint64_t mn = h->min_.load(std::memory_order_relaxed);
+    d.min = mn == UINT64_MAX ? 0 : mn;
+    d.max = h->max_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      d.buckets[i] = h->buckets_[i].load(std::memory_order_relaxed);
+    }
+    snap.histograms[name] = d;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+thread_local MetricsRegistry* tls_current_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* CurrentMetrics() { return tls_current_metrics; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* registry)
+    : previous_(tls_current_metrics) {
+  tls_current_metrics = registry;
+}
+
+ScopedMetrics::~ScopedMetrics() { tls_current_metrics = previous_; }
+
+void IncrementCounter(std::string_view name, uint64_t delta) {
+  MetricsRegistry* m = tls_current_metrics;
+  if (m != nullptr) m->counter(name)->Increment(delta);
+}
+
+void SetGauge(std::string_view name, int64_t value) {
+  MetricsRegistry* m = tls_current_metrics;
+  if (m != nullptr) m->gauge(name)->Set(value);
+}
+
+void RecordHistogram(std::string_view name, uint64_t value) {
+  MetricsRegistry* m = tls_current_metrics;
+  if (m != nullptr) m->histogram(name)->Record(value);
+}
+
+}  // namespace xmlac::obs

@@ -1,0 +1,196 @@
+#ifndef XMLAC_OBS_METRICS_H_
+#define XMLAC_OBS_METRICS_H_
+
+// Pipeline-wide metrics: a thread-safe registry of named counters, gauges
+// and log-scale histograms.
+//
+// Design goals, in order:
+//   1. Pay-for-what-you-use.  Instrumented code reports through the
+//      *current* registry, a thread-local pointer installed by
+//      ScopedMetrics (the AccessController does this around every public
+//      operation).  With no registry installed, every report is one
+//      thread-local load and a branch — no locks, no allocation, no clock
+//      reads (ScopedTimer only samples the clock when a registry is live).
+//   2. Cheap hot-path increments.  Instruments are stable-addressed
+//      (node-based map), so callers may cache Counter*/Histogram* handles;
+//      increments are relaxed atomics, safe from any thread.
+//   3. Snapshot isolation.  Snapshot() copies every value under the
+//      registry lock; later increments never mutate an existing snapshot.
+//
+// Naming convention: dotted lowercase paths, coarse-to-fine, with the unit
+// as the last component for timings ("annotate.full.elapsed_us").  The full
+// catalog lives in docs/observability.md.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace xmlac::obs {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (e.g. cache size, policy size).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucketed histogram: bucket i counts values v with bit_width(v) == i,
+// i.e. bucket 0 holds v == 0, bucket i>0 holds v in [2^(i-1), 2^i).  One
+// relaxed fetch_add per Record plus min/max maintenance; quantiles are
+// recovered from the buckets at snapshot time (exact to within one octave —
+// plenty for "where does the time go" questions).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit_width of uint64_t is 0..64
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Point-in-time copy of one histogram (all plain values).
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Approximate quantile (p in [0,1]) from the log2 buckets: the geometric
+  // midpoint of the bucket holding the p-th observation, clamped to
+  // [min, max].
+  double Percentile(double p) const;
+};
+
+// Point-in-time copy of a whole registry.  Ordered maps keep text/JSON
+// export deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create.  Returned handles are owned by the registry and stay
+  // valid (and stable) for its lifetime; callers may cache them.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every instrument but keeps registrations (cached handles stay
+  // valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so instrument addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- Thread-local reporting context -----------------------------------------
+
+// The registry instrumented code reports into, or nullptr (reporting
+// disabled).  Deep layers (XPath evaluator, containment cache, SQL
+// executor) use this instead of threading a registry through every
+// signature.
+MetricsRegistry* CurrentMetrics();
+
+// Installs `registry` as the current one for this thread; restores the
+// previous registry on destruction (contexts nest).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* registry);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+// Report-if-enabled helpers: one TLS load + branch when disabled.
+void IncrementCounter(std::string_view name, uint64_t delta = 1);
+void SetGauge(std::string_view name, int64_t value);
+void RecordHistogram(std::string_view name, uint64_t value);
+
+// Records elapsed microseconds into histogram `name` on destruction.  The
+// decision (and the clock read) happen only if a registry is current at
+// construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : histogram_(nullptr) {
+    MetricsRegistry* m = CurrentMetrics();
+    if (m != nullptr) {
+      histogram_ = m->histogram(name);
+      timer_.Reset();
+    }
+  }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<uint64_t>(timer_.ElapsedMicros()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Timer timer_;
+};
+
+}  // namespace xmlac::obs
+
+#endif  // XMLAC_OBS_METRICS_H_

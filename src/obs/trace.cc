@@ -1,0 +1,59 @@
+#include "obs/trace.h"
+
+namespace xmlac::obs {
+
+Tracer::Tracer() : current_(&root_) {
+  root_.name = "trace";
+}
+
+void Tracer::Clear() {
+  root_.children.clear();
+  root_.counters.clear();
+  current_ = &root_;
+  epoch_.Reset();
+}
+
+TraceSpan* Tracer::Begin(std::string_view name) {
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::string(name);
+  span->start_us = epoch_.ElapsedMicros();
+  span->parent = current_;
+  TraceSpan* raw = span.get();
+  current_->children.push_back(std::move(span));
+  current_ = raw;
+  return raw;
+}
+
+void Tracer::End(TraceSpan* span) {
+  span->duration_us = epoch_.ElapsedMicros() - span->start_us;
+  // Defensive: if spans were ended out of order (a bug in instrumentation,
+  // not user input), re-anchor at the ended span's parent rather than
+  // walking below the root.
+  current_ = span->parent != nullptr ? span->parent : &root_;
+}
+
+void ScopedSpan::AddCount(std::string_view key, int64_t value) {
+  if (span_ == nullptr) return;
+  for (auto& [k, v] : span_->counters) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  span_->counters.emplace_back(std::string(key), value);
+}
+
+namespace {
+thread_local Tracer* tls_current_tracer = nullptr;
+}  // namespace
+
+Tracer* CurrentTracer() { return tls_current_tracer; }
+
+ScopedObsContext::ScopedObsContext(MetricsRegistry* metrics, Tracer* tracer)
+    : metrics_context_(metrics), previous_tracer_(tls_current_tracer) {
+  tls_current_tracer = tracer;
+}
+
+ScopedObsContext::~ScopedObsContext() { tls_current_tracer = previous_tracer_; }
+
+}  // namespace xmlac::obs

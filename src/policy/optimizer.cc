@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "xpath/containment.h"
 #include "xpath/schema_check.h"
 
@@ -20,13 +21,18 @@ Policy PruneUnsatisfiableRules(const Policy& policy,
     }
   }
   if (stats != nullptr) stats->unsatisfiable += dropped;
+  obs::IncrementCounter("optimizer.rules_unsatisfiable", dropped);
   return out;
 }
 
-Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats) {
+Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats,
+                               xpath::ContainmentCache* cache) {
   const std::vector<Rule>& rules = policy.rules();
   std::vector<bool> removed(rules.size(), false);
   OptimizerStats local;
+  auto contains = [cache](const xpath::Path& a, const xpath::Path& b) {
+    return cache != nullptr ? cache->Contains(a, b) : xpath::Contains(a, b);
+  };
 
   // Pairwise sweep within each effect class (Fig. 4's loop over `rules`,
   // applied separately to A and D as the section prescribes).
@@ -36,17 +42,17 @@ Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats) {
       if (i == j || removed[j] || removed[i]) continue;
       if (rules[i].effect != rules[j].effect) continue;
       ++local.containment_tests;
-      if (xpath::Contains(rules[j].resource, rules[i].resource)) {
+      if (contains(rules[j].resource, rules[i].resource)) {
         // r_j ⊑ r_i: r_j is redundant.  (When the two are equivalent this
         // drops the later one: for i < j the j-th goes first.)
-        if (j > i || !xpath::Contains(rules[i].resource, rules[j].resource)) {
+        if (j > i || !contains(rules[i].resource, rules[j].resource)) {
           removed[j] = true;
           ++local.removed;
           continue;
         }
       }
       ++local.containment_tests;
-      if (xpath::Contains(rules[i].resource, rules[j].resource)) {
+      if (contains(rules[i].resource, rules[j].resource)) {
         removed[i] = true;
         ++local.removed;
       }
@@ -61,6 +67,9 @@ Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats) {
     stats->removed += local.removed;
     stats->containment_tests += local.containment_tests;
   }
+  obs::IncrementCounter("optimizer.rules_examined", rules.size());
+  obs::IncrementCounter("optimizer.rules_removed", local.removed);
+  obs::IncrementCounter("optimizer.containment_tests", local.containment_tests);
   return out;
 }
 

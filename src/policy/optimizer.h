@@ -12,6 +12,7 @@
 
 #include "policy/policy.h"
 #include "xml/schema_graph.h"
+#include "xpath/containment_cache.h"
 
 namespace xmlac::policy {
 
@@ -24,9 +25,13 @@ struct OptimizerStats {
 
 // Returns a redundancy-free policy with the same (ds, cr) and semantics.
 // Rule ids are preserved from the input.  Of two equivalent rules the later
-// one is dropped.
+// one is dropped.  When `cache` is non-null, containment tests are memoized
+// through it (the AccessController shares one cache between the optimizer
+// and the trigger index, so rule-vs-rule results paid for here are free at
+// update time).
 Policy EliminateRedundantRules(const Policy& policy,
-                               OptimizerStats* stats = nullptr);
+                               OptimizerStats* stats = nullptr,
+                               xpath::ContainmentCache* cache = nullptr);
 
 // Schema-aware pass (the paper's future-work optimization): removes rules
 // whose resources are unsatisfiable on any document valid against `schema`.

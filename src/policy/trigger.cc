@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xpath/containment.h"
 
 namespace xmlac::policy {
@@ -19,6 +21,8 @@ TriggerIndex::TriggerIndex(const Policy& policy,
 
 std::vector<size_t> TriggerIndex::Trigger(const xpath::Path& u,
                                           TriggerStats* stats) const {
+  obs::ScopedSpan span("trigger");
+  obs::ScopedTimer timer("trigger.elapsed_us");
   TriggerStats local;
   std::vector<bool> fired(policy_.rules().size(), false);
   xpath::ContainmentCache* cache = options_.containment_cache;
@@ -55,6 +59,19 @@ std::vector<size_t> TriggerIndex::Trigger(const xpath::Path& u,
     if (result[i]) out.push_back(i);
   }
   if (stats != nullptr) *stats = local;
+  obs::IncrementCounter("trigger.invocations");
+  obs::IncrementCounter("trigger.containment_tests", local.containment_tests);
+  obs::IncrementCounter("trigger.rules_fired", out.size());
+  obs::IncrementCounter("trigger.rules_skipped", policy_.size() - out.size());
+  obs::IncrementCounter("trigger.dependency_closure_added",
+                        local.dependency_added);
+  if (span.active()) {
+    span.AddCount("containment_tests",
+                  static_cast<int64_t>(local.containment_tests));
+    span.AddCount("fired", static_cast<int64_t>(out.size()));
+    span.AddCount("dependency_added",
+                  static_cast<int64_t>(local.dependency_added));
+  }
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace xmlac::reldb {
 namespace {
 
@@ -252,6 +254,32 @@ void DedupeRows(ResultSet* rs) {
   }
   rs->rows = std::move(out);
 }
+
+// Mirrors the ExecStats delta accrued during one public statement into the
+// current metrics registry on scope exit (covers error returns too); a no-op
+// when no registry is installed.
+class StatsDeltaReporter {
+ public:
+  explicit StatsDeltaReporter(const ExecStats* stats)
+      : stats_(stats), before_(*stats) {}
+  StatsDeltaReporter(const StatsDeltaReporter&) = delete;
+  StatsDeltaReporter& operator=(const StatsDeltaReporter&) = delete;
+  ~StatsDeltaReporter() {
+    if (obs::CurrentMetrics() == nullptr) return;
+    obs::IncrementCounter("reldb.rows_scanned",
+                          stats_->rows_scanned - before_.rows_scanned);
+    obs::IncrementCounter("reldb.rows_output",
+                          stats_->rows_output - before_.rows_output);
+    obs::IncrementCounter("reldb.statements",
+                          stats_->statements - before_.statements);
+    obs::IncrementCounter("reldb.index_hits",
+                          stats_->index_hits - before_.index_hits);
+  }
+
+ private:
+  const ExecStats* stats_;
+  ExecStats before_;
+};
 
 // Per-slot execution strategy derived from the WHERE conjuncts.
 struct SlotPlan {
@@ -516,11 +544,17 @@ Result<ResultSet> Executor::ExecuteSingleSelect(const SelectQuery& q) {
 }
 
 Result<ResultSet> Executor::ExecuteSelect(const CompoundSelect& q) {
+  obs::ScopedTimer timer("reldb.select_us");
+  StatsDeltaReporter reporter(&stats_);
+  return ExecuteCompound(q);
+}
+
+Result<ResultSet> Executor::ExecuteCompound(const CompoundSelect& q) {
   XMLAC_ASSIGN_OR_RETURN(ResultSet acc, ExecuteSingleSelect(q.first));
   if (q.rest.empty()) return acc;
   DedupeRows(&acc);
   for (const auto& [op, sub] : q.rest) {
-    XMLAC_ASSIGN_OR_RETURN(ResultSet rhs, ExecuteSelect(sub));
+    XMLAC_ASSIGN_OR_RETURN(ResultSet rhs, ExecuteCompound(sub));
     if (rhs.columns.size() != acc.columns.size()) {
       return Status::InvalidArgument(
           "set operation requires equal column counts");
@@ -544,6 +578,8 @@ Result<ResultSet> Executor::ExecuteSelect(const CompoundSelect& q) {
 }
 
 Result<size_t> Executor::ExecuteInsert(const InsertStatement& st) {
+  obs::ScopedTimer scoped_timer("reldb.insert_us");
+  StatsDeltaReporter reporter(&stats_);
   ++stats_.statements;
   Table* t = catalog_->GetTable(st.table);
   if (t == nullptr) {
@@ -582,6 +618,7 @@ Result<size_t> Executor::ExecuteInsert(const InsertStatement& st) {
     (void)idx;
     ++inserted;
   }
+  obs::IncrementCounter("reldb.rows_inserted", inserted);
   return inserted;
 }
 
@@ -631,6 +668,8 @@ Result<std::vector<RowIdx>> MatchRows(Table* t, const Expr* where,
 }  // namespace
 
 Result<size_t> Executor::ExecuteUpdate(const UpdateStatement& st) {
+  obs::ScopedTimer scoped_timer("reldb.update_us");
+  StatsDeltaReporter reporter(&stats_);
   ++stats_.statements;
   Table* t = catalog_->GetTable(st.table);
   if (t == nullptr) {
@@ -649,10 +688,13 @@ Result<size_t> Executor::ExecuteUpdate(const UpdateStatement& st) {
   for (RowIdx i : rows) {
     for (const auto& [col, v] : sets) t->SetValue(i, col, *v);
   }
+  obs::IncrementCounter("reldb.rows_updated", rows.size());
   return rows.size();
 }
 
 Result<size_t> Executor::ExecuteDelete(const DeleteStatement& st) {
+  obs::ScopedTimer scoped_timer("reldb.delete_us");
+  StatsDeltaReporter reporter(&stats_);
   ++stats_.statements;
   Table* t = catalog_->GetTable(st.table);
   if (t == nullptr) {
@@ -661,6 +703,7 @@ Result<size_t> Executor::ExecuteDelete(const DeleteStatement& st) {
   XMLAC_ASSIGN_OR_RETURN(std::vector<RowIdx> rows,
                          MatchRows(t, st.where.get(), &stats_));
   for (RowIdx i : rows) t->DeleteRow(i);
+  obs::IncrementCounter("reldb.rows_deleted", rows.size());
   return rows.size();
 }
 

@@ -41,6 +41,10 @@ class Executor {
  public:
   explicit Executor(Catalog* catalog) : catalog_(catalog) {}
 
+  // The four statement entry points below also report per-operator metrics
+  // (rows scanned/output, statements, index hits as counters; elapsed time
+  // as reldb.{select,insert,update,delete}_us histograms) into the current
+  // obs registry, once per top-level call.
   Result<ResultSet> ExecuteSelect(const CompoundSelect& q);
   // Returns the number of affected rows.
   Result<size_t> ExecuteInsert(const InsertStatement& st);
@@ -68,6 +72,9 @@ class Executor {
   void ResetStats() { stats_ = ExecStats(); }
 
  private:
+  // Recursive compound-select evaluation; metrics flush happens only in the
+  // public ExecuteSelect wrapper so nested set operands are not double-counted.
+  Result<ResultSet> ExecuteCompound(const CompoundSelect& q);
   Result<ResultSet> ExecuteSingleSelect(const SelectQuery& q);
 
   Catalog* catalog_;

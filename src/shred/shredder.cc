@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reldb/value.h"
 
 namespace xmlac::shred {
@@ -38,6 +40,8 @@ Result<ShredStats> ShredToCatalog(const xml::Document& doc,
                                   const ShredMapping& mapping,
                                   reldb::Catalog* catalog,
                                   char default_sign) {
+  obs::ScopedSpan span("shred.to_catalog");
+  obs::ScopedTimer timer("shred.to_catalog_us");
   ShredStats stats;
   std::set<std::string_view> touched;
   std::string sign(1, default_sign);
@@ -66,6 +70,12 @@ Result<ShredStats> ShredToCatalog(const xml::Document& doc,
   });
   if (!st.ok()) return st;
   stats.tables_touched = touched.size();
+  if (obs::CurrentMetrics() != nullptr) {
+    obs::IncrementCounter("shred.tuples", stats.tuples);
+    obs::SetGauge("shred.tables_touched",
+                  static_cast<int64_t>(stats.tables_touched));
+  }
+  span.AddCount("tuples", static_cast<int64_t>(stats.tuples));
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace xmlac::shred {
 
 using reldb::CompareOp;
@@ -265,7 +267,13 @@ class Translator {
 
 Result<SqlTranslation> TranslateXPath(const xpath::Path& path,
                                       const ShredMapping& mapping) {
-  return Translator(mapping).Run(path);
+  obs::ScopedTimer timer("shred.xpath_to_sql_us");
+  Result<SqlTranslation> out = Translator(mapping).Run(path);
+  if (obs::CurrentMetrics() != nullptr) {
+    obs::IncrementCounter("shred.translations");
+    if (!out.ok()) obs::IncrementCounter("shred.translation_errors");
+  }
+  return out;
 }
 
 }  // namespace xmlac::shred

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
@@ -439,9 +441,17 @@ void XQueryEngine::RegisterDocument(std::string name, xml::Document* doc) {
 }
 
 Result<XqValue> XQueryEngine::Run(std::string_view query) {
+  obs::ScopedSpan span("xquery.run");
+  obs::ScopedTimer timer("xquery.run_us");
   XMLAC_ASSIGN_OR_RETURN(XqExprPtr e, ParseXQuery(query));
   annotations_ = 0;
-  return Evaluate(*e);
+  Result<XqValue> out = Evaluate(*e);
+  if (obs::CurrentMetrics() != nullptr) {
+    obs::IncrementCounter("xquery.runs");
+    obs::IncrementCounter("xquery.annotations", annotations_);
+  }
+  span.AddCount("annotations", static_cast<int64_t>(annotations_));
+  return out;
 }
 
 Result<XqValue> XQueryEngine::Evaluate(const XqExpr& expr) {

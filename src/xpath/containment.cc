@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace xmlac::xpath {
 namespace {
 
@@ -100,10 +102,12 @@ bool IsRigidSpine(const Path& path) {
 }  // namespace
 
 bool HomomorphismExists(const TreePattern& q, const TreePattern& p) {
+  obs::IncrementCounter("containment.homomorphism_tests");
   return HomomorphismSearch(q, p).Run();
 }
 
 bool Contains(const Path& p, const Path& q) {
+  obs::IncrementCounter("containment.tests");
   TreePattern tp = TreePattern::FromPath(p);
   TreePattern tq = TreePattern::FromPath(q);
   return HomomorphismExists(tq, tp);

@@ -2,6 +2,7 @@
 
 #include "common/io.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "xpath/containment.h"
 #include "xpath/parser.h"
 
@@ -17,12 +18,15 @@ std::string Key(const Path& p, const Path& q) {
 
 bool ContainmentCache::Contains(const Path& p, const Path& q) {
   std::string key = Key(p, q);
+  obs::IncrementCounter("containment.cache.checks");
   auto it = table_.find(key);
   if (it != table_.end()) {
     ++hits_;
+    obs::IncrementCounter("containment.cache.hits");
     return it->second;
   }
   ++misses_;
+  obs::IncrementCounter("containment.cache.misses");
   bool result = xpath::Contains(p, q);
   table_.emplace(std::move(key), result);
   return result;

@@ -4,12 +4,21 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace xmlac::xpath {
 namespace {
 
 using xml::Document;
 using xml::NodeId;
 using xml::NodeKind;
+
+// Nodes examined since thread start; Evaluate() reports the delta it caused
+// to the current metrics registry (one plain thread-local add per node on
+// the hot path, flushed once per top-level evaluation).  Nested Evaluate/
+// EvaluateFrom calls issued by predicate checks accumulate into the same
+// counter and are reported by the outermost call.
+thread_local uint64_t tls_nodes_visited = 0;
 
 bool LabelMatches(const Step& step, const Document& doc, NodeId id) {
   const xml::Node& n = doc.node(id);
@@ -23,6 +32,7 @@ void CollectDescendants(const Step& step, const Document& doc, NodeId root,
                         std::vector<NodeId>* out) {
   for (NodeId c : doc.node(root).children) {
     if (!doc.node(c).alive) continue;
+    ++tls_nodes_visited;
     if (LabelMatches(step, doc, c) && PredicatesHold(step, doc, c)) {
       out->push_back(c);
     }
@@ -36,6 +46,7 @@ void CollectChildren(const Step& step, const Document& doc, NodeId parent,
                      std::vector<NodeId>* out) {
   for (NodeId c : doc.node(parent).children) {
     if (!doc.node(c).alive) continue;
+    ++tls_nodes_visited;
     if (LabelMatches(step, doc, c) && PredicatesHold(step, doc, c)) {
       out->push_back(c);
     }
@@ -138,9 +149,11 @@ std::vector<xml::NodeId> EvaluateFrom(const Path& path,
 
 std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc) {
   if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
+  uint64_t visited_before = tls_nodes_visited;
   const Step& first = path.steps.front();
   std::vector<NodeId> context;
   // The virtual document node has exactly one child: the root element.
+  ++tls_nodes_visited;
   if (first.axis == Axis::kChild) {
     if (LabelMatches(first, doc, doc.root()) &&
         PredicatesHold(first, doc, doc.root())) {
@@ -156,7 +169,14 @@ std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc) {
     std::sort(context.begin(), context.end());
     context.erase(std::unique(context.begin(), context.end()), context.end());
   }
-  return ApplySteps(path, 1, doc, std::move(context));
+  std::vector<NodeId> out = ApplySteps(path, 1, doc, std::move(context));
+  if (obs::CurrentMetrics() != nullptr) {
+    obs::IncrementCounter("xpath.evaluations");
+    obs::IncrementCounter("xpath.nodes_visited",
+                          tls_nodes_visited - visited_before);
+    obs::IncrementCounter("xpath.nodes_selected", out.size());
+  }
+  return out;
 }
 
 }  // namespace xmlac::xpath

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "engine/access_controller.h"
 #include "engine/native_backend.h"
@@ -211,6 +214,74 @@ TEST_P(ControllerTest, UpdateReannotatesPatients) {
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_TRUE(after->granted);
   EXPECT_EQ(after->ids.size(), 3u);
+}
+
+// The observability layer must agree with itself and with the pipeline's
+// own statistics across a SetPolicy + Query + Update sequence.
+TEST_P(ControllerTest, MetricsPipelineConsistency) {
+  // SetUp already ran Load + SetPolicy with the controller's registry
+  // installed, so optimizer/annotator/cache series must exist.
+  obs::MetricsSnapshot setup = ac_->SnapshotMetrics();
+  ASSERT_TRUE(setup.counters.count("optimizer.rules_examined"));
+  ASSERT_TRUE(setup.counters.count("annotator.full_annotations"));
+  EXPECT_EQ(setup.counters.at("annotator.full_annotations"), 1u);
+  // The optimizer warms the shared containment cache: every check is
+  // either a hit or a miss, nothing is dropped.
+  ASSERT_TRUE(setup.counters.count("containment.cache.checks"));
+  EXPECT_EQ(setup.counters.at("containment.cache.checks"),
+            setup.counters.at("containment.cache.hits") +
+                setup.counters.at("containment.cache.misses"));
+  EXPECT_GT(setup.counters.at("containment.cache.checks"), 0u);
+
+  auto q = ac_->Query("//patient/name");
+  ASSERT_TRUE(q.ok());
+  obs::MetricsSnapshot queried = ac_->SnapshotMetrics();
+  EXPECT_EQ(queried.counters.at("engine.queries"), 1u);
+  EXPECT_EQ(queried.counters.at("requester.requests"), 1u);
+  EXPECT_EQ(queried.counters.at("requester.nodes_selected"), q->ids.size());
+
+  auto up = ac_->Update("//patient/treatment");
+  ASSERT_TRUE(up.ok()) << up.status();
+  obs::MetricsSnapshot updated = ac_->SnapshotMetrics();
+  EXPECT_EQ(updated.counters.at("engine.updates"), 1u);
+  EXPECT_EQ(updated.counters.at("trigger.invocations"), 1u);
+  // The trigger never fires more rules than the active policy holds, and
+  // fired + skipped partition the policy.
+  EXPECT_LE(up->rules_triggered, ac_->active_policy().size());
+  EXPECT_EQ(updated.counters.at("trigger.rules_fired"), up->rules_triggered);
+  EXPECT_EQ(updated.counters.at("trigger.rules_fired") +
+                updated.counters.at("trigger.rules_skipped"),
+            ac_->active_policy().size());
+  EXPECT_EQ(updated.counters.at("annotator.reannotations"), 1u);
+  // Cache stays consistent after the trigger's probes too.
+  EXPECT_EQ(updated.counters.at("containment.cache.checks"),
+            updated.counters.at("containment.cache.hits") +
+                updated.counters.at("containment.cache.misses"));
+  // Monotone: the update can only add cache checks.
+  EXPECT_GE(updated.counters.at("containment.cache.checks"),
+            setup.counters.at("containment.cache.checks"));
+}
+
+// With tracing enabled, the span tree mirrors the operations performed.
+TEST_P(ControllerTest, TraceTreeCoversOperations) {
+  ac_->EnableTracing(true);
+  ASSERT_TRUE(ac_->Query("//regular").ok());
+  ASSERT_TRUE(ac_->Update("//experimental").ok());
+  const obs::TraceSpan& root = ac_->tracer().root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "query");
+  EXPECT_EQ(root.children[1]->name, "update");
+  EXPECT_GE(root.children[0]->duration_us, 0);
+  EXPECT_GE(root.children[1]->duration_us, 0);
+  // The update span contains the trigger, delete and reannotate phases.
+  std::vector<std::string> phases;
+  for (const auto& child : root.children[1]->children) {
+    phases.push_back(child->name);
+  }
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "trigger"), phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "delete"), phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "reannotate"),
+            phases.end());
 }
 
 // Key invariant: partial re-annotation after an update equals from-scratch

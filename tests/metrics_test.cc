@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace xmlac::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, BucketSemantics) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  h->Record(0);    // bucket 0
+  h->Record(1);    // bucket 1: [1, 2)
+  h->Record(2);    // bucket 2: [2, 4)
+  h->Record(3);    // bucket 2
+  h->Record(100);  // bucket 7: [64, 128)
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(d.sum, 106u);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 100u);
+  EXPECT_EQ(d.buckets[0], 1u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 2u);
+  EXPECT_EQ(d.buckets[7], 1u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 106.0 / 5.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  for (int i = 0; i < 100; ++i) h->Record(10);
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  // All observations are 10: any percentile must land on 10 exactly
+  // (geometric bucket midpoints are clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(d.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(0.99), 10.0);
+}
+
+TEST(HistogramTest, PercentileOrdersAcrossBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  for (int i = 0; i < 90; ++i) h->Record(2);
+  for (int i = 0; i < 10; ++i) h->Record(1000);
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  EXPECT_LT(d.Percentile(0.5), d.Percentile(0.99));
+  EXPECT_LE(d.Percentile(0.99), 1000.0);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("a");
+  // Force more insertions; the original handle must stay valid and identical.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i))->Increment();
+  }
+  EXPECT_EQ(reg.counter("a"), a);
+  a->Increment(7);
+  EXPECT_EQ(reg.Snapshot().counters.at("a"), 7u);
+}
+
+TEST(RegistryTest, SnapshotIsolation) {
+  MetricsRegistry reg;
+  reg.counter("x")->Increment(5);
+  MetricsSnapshot before = reg.Snapshot();
+  reg.counter("x")->Increment(5);
+  reg.gauge("g")->Set(1);
+  MetricsSnapshot after = reg.Snapshot();
+  // Later increments never mutate an existing snapshot.
+  EXPECT_EQ(before.counters.at("x"), 5u);
+  EXPECT_EQ(before.gauges.count("g"), 0u);
+  EXPECT_EQ(after.counters.at("x"), 10u);
+  EXPECT_EQ(after.gauges.at("g"), 1);
+}
+
+TEST(RegistryTest, ResetKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("x");
+  c->Increment(3);
+  reg.histogram("h")->Record(9);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);  // cached handle still valid
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("x"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("shared");
+      Histogram* h = reg.histogram("hist");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("shared"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms.at("hist").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CurrentMetricsTest, ScopedInstallAndNesting) {
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  MetricsRegistry outer_reg;
+  MetricsRegistry inner_reg;
+  {
+    ScopedMetrics outer(&outer_reg);
+    EXPECT_EQ(CurrentMetrics(), &outer_reg);
+    IncrementCounter("n", 1);
+    {
+      ScopedMetrics inner(&inner_reg);
+      EXPECT_EQ(CurrentMetrics(), &inner_reg);
+      IncrementCounter("n", 10);
+    }
+    EXPECT_EQ(CurrentMetrics(), &outer_reg);
+    IncrementCounter("n", 2);
+  }
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  EXPECT_EQ(outer_reg.Snapshot().counters.at("n"), 3u);
+  EXPECT_EQ(inner_reg.Snapshot().counters.at("n"), 10u);
+}
+
+TEST(CurrentMetricsTest, HelpersAreNoOpsWithoutRegistry) {
+  ASSERT_EQ(CurrentMetrics(), nullptr);
+  // Must not crash or create anything anywhere.
+  IncrementCounter("nobody", 5);
+  SetGauge("nobody", 5);
+  RecordHistogram("nobody", 5);
+  ScopedTimer t("nobody");
+}
+
+TEST(ScopedTimerTest, RecordsIntoCurrentRegistry) {
+  MetricsRegistry reg;
+  {
+    ScopedMetrics ctx(&reg);
+    ScopedTimer t("op_us");
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.histograms.at("op_us").count, 1u);
+}
+
+TEST(ExportTest, TextTableListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("pipeline.events")->Increment(3);
+  reg.gauge("pipeline.depth")->Set(-2);
+  reg.histogram("pipeline.lat_us")->Record(128);
+  std::string text = MetricsToText(reg.Snapshot());
+  EXPECT_NE(text.find("pipeline.events"), std::string::npos);
+  EXPECT_NE(text.find("pipeline.depth"), std::string::npos);
+  EXPECT_NE(text.find("pipeline.lat_us"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+}
+
+TEST(ExportTest, JsonShape) {
+  MetricsRegistry reg;
+  reg.counter("c\"quoted")->Increment();
+  reg.histogram("h")->Record(7);
+  std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Names must arrive escaped.
+  EXPECT_NE(json.find("c\\\"quoted"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+}  // namespace
+}  // namespace xmlac::obs

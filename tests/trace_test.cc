@@ -1,0 +1,260 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+#include "obs/export.h"
+
+namespace xmlac::obs {
+namespace {
+
+// --- Minimal JSON syntax checker --------------------------------------------
+// Enough of RFC 8259 to validate the exporter's output shape: objects,
+// arrays, strings with escapes, and (possibly signed) numbers.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Expect('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    return Expect('"');
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) { return Peek(c); }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(TracerTest, SpanNestingMirrorsScopes) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      ScopedSpan inner(&tracer, "inner");
+      inner.AddCount("items", 3);
+    }
+    { ScopedSpan sibling(&tracer, "sibling"); }
+  }
+  const TraceSpan& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceSpan& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(outer.duration_us, 0);  // closed
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0]->name, "inner");
+  EXPECT_EQ(outer.children[1]->name, "sibling");
+  ASSERT_EQ(outer.children[0]->counters.size(), 1u);
+  EXPECT_EQ(outer.children[0]->counters[0].first, "items");
+  EXPECT_EQ(outer.children[0]->counters[0].second, 3);
+  // Children start no earlier than the parent and close within it.
+  EXPECT_GE(outer.children[0]->start_us, outer.start_us);
+}
+
+TEST(TracerTest, RepeatedAddCountAccumulates) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan s(&tracer, "op");
+    s.AddCount("n", 2);
+    s.AddCount("n", 5);
+  }
+  const TraceSpan& op = *tracer.root().children[0];
+  ASSERT_EQ(op.counters.size(), 1u);
+  EXPECT_EQ(op.counters[0].second, 7);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;  // disabled by default
+  {
+    ScopedSpan s(&tracer, "never");
+    EXPECT_FALSE(s.active());
+    s.AddCount("ignored", 1);  // must be a harmless no-op
+  }
+  EXPECT_TRUE(tracer.root().children.empty());
+  // Null tracer: also a no-op.
+  ScopedSpan null_span(nullptr, "never");
+  EXPECT_FALSE(null_span.active());
+}
+
+TEST(TracerTest, DisabledPathSkipsTheNameEntirely) {
+  // The disabled constructor must not read the name: build one from a
+  // string_view over a buffer we immediately poison.  (Guards the < 2%
+  // overhead bar: no string copy, no allocation on the disabled path.)
+  Tracer tracer;
+  std::string name = "live";
+  std::string_view view(name);
+  ScopedSpan s(&tracer, view);
+  name.assign(200, 'x');  // would dangle if the span had kept the view
+  EXPECT_FALSE(s.active());
+  EXPECT_TRUE(tracer.root().children.empty());
+}
+
+TEST(TracerTest, ClearRestartsTheTree) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { ScopedSpan s(&tracer, "a"); }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.root().children.empty());
+  { ScopedSpan s(&tracer, "b"); }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_EQ(tracer.root().children[0]->name, "b");
+}
+
+TEST(CurrentTracerTest, ScopedObsContextInstallsBothSinks) {
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  MetricsRegistry reg;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedObsContext ctx(&reg, &tracer);
+    EXPECT_EQ(CurrentTracer(), &tracer);
+    EXPECT_EQ(CurrentMetrics(), &reg);
+    ScopedSpan s("via_tls");  // single-argument form uses CurrentTracer()
+    EXPECT_TRUE(s.active());
+  }
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_EQ(tracer.root().children[0]->name, "via_tls");
+}
+
+TEST(TraceExportTest, JsonIsSyntacticallyValidAndNested) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan update(&tracer, "update");
+    {
+      ScopedSpan trig(&tracer, "trigger");
+      trig.AddCount("fired", 2);
+    }
+    { ScopedSpan del(&tracer, "delete \"quoted\""); }
+  }
+  std::string json = TraceToJson(tracer.root());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"name\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"update\""), std::string::npos);
+  EXPECT_NE(json.find("\"fired\""), std::string::npos);
+  // Quotes in span names must be escaped.
+  EXPECT_NE(json.find("delete \\\"quoted\\\""), std::string::npos);
+  // "trigger" must appear inside update's children array (nesting survives).
+  size_t update_pos = json.find("\"update\"");
+  size_t trigger_pos = json.find("\"trigger\"");
+  EXPECT_LT(update_pos, trigger_pos);
+}
+
+TEST(TraceExportTest, TextTreeIndentsChildren) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ScopedSpan inner(&tracer, "inner");
+  }
+  std::string text = TraceToText(tracer.root());
+  size_t outer_pos = text.find("outer");
+  size_t inner_pos = text.find("inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  // The child line is indented further than the parent line.
+  size_t outer_line = text.rfind('\n', outer_pos);
+  size_t inner_line = text.rfind('\n', inner_pos);
+  size_t outer_indent = outer_pos - (outer_line + 1);
+  size_t inner_indent = inner_pos - (inner_line + 1);
+  EXPECT_GT(inner_indent, outer_indent);
+}
+
+}  // namespace
+}  // namespace xmlac::obs

@@ -5,9 +5,15 @@
 //         [--query XPATH]... [--delete XPATH]...
 //         [--insert TARGET_XPATH FRAGMENT_XML]...
 //         [--explain-sql XPATH] [--xquery EXPR] [--print-annotated] [--repl]
+//         [--stats] [--trace-json=FILE] [--metrics-json=FILE]
 //
 // Actions run in command-line order after load + annotation.  --repl drops
 // into an interactive loop afterwards (`help` lists commands).
+//
+// Observability: --stats prints the pipeline metrics table (see
+// docs/observability.md) after setup and after each action; --trace-json
+// enables tracing and writes the span tree as JSON on exit; --metrics-json
+// writes the final metrics snapshot as JSON on exit.
 
 #include <cstdio>
 #include <cstring>
@@ -20,6 +26,7 @@
 #include "engine/access_controller.h"
 #include "engine/native_backend.h"
 #include "engine/relational_backend.h"
+#include "obs/export.h"
 #include "policy/semantics.h"
 #include "xml/serializer.h"
 #include "xpath/parser.h"
@@ -47,7 +54,12 @@ int Usage(const char* argv0) {
       "  --explain-sql XPATH           print the compiled SQL (relational)\n"
       "  --xquery EXPR                 run an XQuery-lite expression (native)\n"
       "  --print-annotated             dump the annotated XML (native)\n"
-      "  --repl                        interactive mode\n",
+      "  --repl                        interactive mode\n"
+      "observability:\n"
+      "  --stats                       print the metrics table after setup\n"
+      "                                and after each action\n"
+      "  --trace-json[=]FILE           enable tracing, write span tree JSON\n"
+      "  --metrics-json[=]FILE         write final metrics snapshot JSON\n",
       argv0);
   return 2;
 }
@@ -64,6 +76,11 @@ std::unique_ptr<Backend> MakeBackend(const std::string& name) {
     return std::make_unique<RelationalBackend>(opt);
   }
   return nullptr;
+}
+
+void PrintStats(AccessController& ac, const char* label) {
+  std::printf("--- metrics after %s ---\n%s", label,
+              xmlac::obs::MetricsToText(ac.SnapshotMetrics()).c_str());
 }
 
 void DoQuery(AccessController& ac, const std::string& xpath) {
@@ -86,9 +103,10 @@ void DoDelete(AccessController& ac, const std::string& xpath) {
   auto r = ac.Update(xpath);
   if (r.ok()) {
     std::printf("DELETED  %-30s %zu node(s), %zu rule(s) triggered, "
-                "%zu re-marked\n",
+                "re-annotation reset %zu / re-marked %zu (%zu rule(s))\n",
                 xpath.c_str(), r->nodes_deleted, r->rules_triggered,
-                r->reannotation.marked);
+                r->reannotation.reset, r->reannotation.marked,
+                r->reannotation.rules_used);
   } else {
     std::printf("ERROR    %-30s %s\n", xpath.c_str(),
                 r.status().ToString().c_str());
@@ -99,8 +117,11 @@ void DoInsert(AccessController& ac, const std::string& target,
               const std::string& fragment) {
   auto r = ac.Insert(target, fragment);
   if (r.ok()) {
-    std::printf("INSERTED %-30s %zu node(s), %zu rule(s) triggered\n",
-                target.c_str(), r->nodes_inserted, r->rules_triggered);
+    std::printf("INSERTED %-30s %zu node(s), %zu rule(s) triggered, "
+                "re-annotation reset %zu / re-marked %zu (%zu rule(s))\n",
+                target.c_str(), r->nodes_inserted, r->rules_triggered,
+                r->reannotation.reset, r->reannotation.marked,
+                r->reannotation.rules_used);
   } else {
     std::printf("ERROR    %-30s %s\n", target.c_str(),
                 r.status().ToString().c_str());
@@ -223,11 +244,34 @@ int main(int argc, char** argv) {
   };
   std::vector<Action> actions;
   bool repl = false;
+  bool stats = false;
+  std::string trace_json_path;
+  std::string metrics_json_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     auto need = [&](int n) { return i + n < argc; };
-    if (flag == "--dtd" && need(1)) {
+    // --trace-json=FILE / --metrics-json=FILE (also accepted as two args).
+    auto eq_value = [&flag](const char* name) -> std::string {
+      std::string prefix = std::string(name) + "=";
+      if (flag.rfind(prefix, 0) == 0) return flag.substr(prefix.size());
+      return "";
+    };
+    if (std::string v = eq_value("--trace-json"); !v.empty()) {
+      trace_json_path = v;
+      continue;
+    }
+    if (std::string v = eq_value("--metrics-json"); !v.empty()) {
+      metrics_json_path = v;
+      continue;
+    }
+    if (flag == "--stats") {
+      stats = true;
+    } else if (flag == "--trace-json" && need(1)) {
+      trace_json_path = argv[++i];
+    } else if (flag == "--metrics-json" && need(1)) {
+      metrics_json_path = argv[++i];
+    } else if (flag == "--dtd" && need(1)) {
       dtd_path = argv[++i];
     } else if (flag == "--xml" && need(1)) {
       xml_path = argv[++i];
@@ -273,6 +317,7 @@ int main(int argc, char** argv) {
   }
 
   AccessController ac(std::move(backend), optimize);
+  if (!trace_json_path.empty()) ac.EnableTracing(true);
   Status st = ac.Load(*dtd_text, *xml_text);
   if (!st.ok()) {
     std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
@@ -284,10 +329,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("loaded %zu elements; policy: %zu active rule(s) "
-              "(%zu redundant removed, %zu unsatisfiable removed)\n",
+              "(%zu redundant removed, %zu unsatisfiable removed, "
+              "%zu containment test(s))\n",
               ac.backend()->NodeCount(), ac.active_policy().size(),
               ac.optimizer_stats().removed,
-              ac.optimizer_stats().unsatisfiable);
+              ac.optimizer_stats().unsatisfiable,
+              ac.optimizer_stats().containment_tests);
+  if (stats) PrintStats(ac, "setup");
 
   for (const Action& a : actions) {
     if (a.kind == "query") {
@@ -303,7 +351,25 @@ int main(int argc, char** argv) {
     } else if (a.kind == "annotated") {
       DoPrintAnnotated(ac);
     }
+    if (stats && a.kind != "annotated") PrintStats(ac, a.kind.c_str());
   }
   if (repl) Repl(ac);
+
+  if (!trace_json_path.empty()) {
+    Status w = xmlac::WriteFile(trace_json_path,
+                                xmlac::obs::TraceToJson(ac.tracer().root()));
+    if (!w.ok()) {
+      std::fprintf(stderr, "trace-json: %s\n", w.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_json_path.empty()) {
+    Status w = xmlac::WriteFile(metrics_json_path,
+                                xmlac::obs::MetricsToJson(ac.SnapshotMetrics()));
+    if (!w.ok()) {
+      std::fprintf(stderr, "metrics-json: %s\n", w.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
