@@ -1,0 +1,221 @@
+// Serving-layer throughput: the benchmark the bench trajectory tracks as
+// BENCH_serve.json (requests/sec + p99 latency as counters), alongside the
+// paper-figure replications.
+//
+// Two claims are measured:
+//
+//   1. Read throughput scales with the worker pool (snapshot reads take no
+//      locks — the bar is >= 2x from 1 -> 4 workers on a read-only mix
+//      with enough concurrent closed-loop clients).  The ratio is a
+//      hardware property: it holds when the host has >= 4 physical cores;
+//      on single-core containers the series comes out flat, which is why
+//      the per-worker throughput is reported as counters rather than
+//      asserted in-process.
+//   2. Batch coalescing amortizes re-annotation: the same updates applied
+//      through a max_batch=N writer trigger fewer annotator runs than
+//      applied one at a time (asserted here via the existing
+//      annotator.reannotations / annotator.rules_used metrics).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/server.h"
+#include "workload/hospital.h"
+#include "workload/queries.h"
+#include "xpath/ast.h"
+
+namespace xmlac::bench {
+namespace {
+
+constexpr int kDepartments = 4;
+constexpr int kPatientsPerDepartment = 40;
+constexpr size_t kClients = 8;
+constexpr size_t kRequestsPerClient = 256;
+
+const xml::Document& HospitalDocument() {
+  static const xml::Document* kDoc = [] {
+    workload::HospitalOptions opt;
+    opt.departments = kDepartments;
+    opt.patients_per_department = kPatientsPerDepartment;
+    workload::HospitalGenerator gen;
+    return new xml::Document(gen.Generate(opt));
+  }();
+  return *kDoc;
+}
+
+const xml::Dtd& HospitalDtd() {
+  static const xml::Dtd* kDtd = [] {
+    auto r = workload::HospitalGenerator::ParseHospitalDtd();
+    XMLAC_CHECK_MSG(r.ok(), r.status().ToString());
+    return new xml::Dtd(std::move(*r));
+  }();
+  return *kDtd;
+}
+
+const std::vector<std::string>& QueryPool() {
+  static const auto* kQueries = [] {
+    workload::QueryWorkloadOptions opt;
+    opt.count = 32;
+    auto* out = new std::vector<std::string>();
+    for (const auto& q :
+         workload::GenerateQueries(HospitalDocument(), opt)) {
+      out->push_back(xpath::ToString(q));
+    }
+    return out;
+  }();
+  return *kQueries;
+}
+
+std::unique_ptr<serve::Server> MakeServer(size_t workers, size_t max_batch) {
+  serve::ServerOptions opt;
+  opt.workers = workers;
+  opt.max_batch = max_batch;
+  auto server = std::make_unique<serve::Server>(opt);
+  Status loaded = server->LoadParsed(HospitalDtd(), HospitalDocument());
+  XMLAC_CHECK_MSG(loaded.ok(), loaded.ToString());
+  for (size_t i = 0; i < workload::kHospitalSubjectCount; ++i) {
+    Status added =
+        server->AddSubject(workload::kHospitalSubjects[i].subject,
+                           workload::kHospitalSubjects[i].policy_text);
+    XMLAC_CHECK_MSG(added.ok(), added.ToString());
+  }
+  return server;
+}
+
+// Closed-loop read-only mix: kClients client threads each drive
+// kRequestsPerClient requests and wait for each response.  Wall time is
+// measured manually so setup (document generation, annotation, thread
+// spawn) stays out of the timing.
+void BM_ServeReadThroughput(benchmark::State& state) {
+  size_t workers = static_cast<size_t>(state.range(0));
+  auto server = MakeServer(workers, /*max_batch=*/64);
+  Status started = server->Start();
+  XMLAC_CHECK_MSG(started.ok(), started.ToString());
+  const std::vector<std::string>& queries = QueryPool();
+  const auto& subjects = workload::kHospitalSubjects;
+
+  uint64_t requests = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    Timer wall;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server, &queries, &subjects, c] {
+        for (size_t i = 0; i < kRequestsPerClient; ++i) {
+          const char* subject =
+              subjects[(c + i) % workload::kHospitalSubjectCount].subject;
+          serve::ServeResponse resp =
+              server->Query(subject, queries[(c * 31 + i) % queries.size()]);
+          XMLAC_CHECK_MSG(resp.status.ok(), resp.status.ToString());
+          benchmark::DoNotOptimize(resp.selected);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    state.SetIterationTime(wall.ElapsedSeconds());
+    requests += kClients * kRequestsPerClient;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+
+  obs::MetricsSnapshot snapshot = server->SnapshotMetrics();
+  auto latency = snapshot.histograms.find("serve.request.latency_us");
+  if (latency != snapshot.histograms.end()) {
+    state.counters["p50_latency_us"] =
+        benchmark::Counter(latency->second.Percentile(0.50));
+    state.counters["p99_latency_us"] =
+        benchmark::Counter(latency->second.Percentile(0.99));
+  }
+  state.counters["workers"] = benchmark::Counter(static_cast<double>(workers));
+  server->Stop();
+}
+BENCHMARK(BM_ServeReadThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Re-annotation amortization: apply the same kUpdates delete+insert pairs
+// through a writer capped at max_batch = state.range(0).  Submissions are
+// enqueued before Start() so the coalescing is deterministic: with cap 1
+// the writer re-annotates once per update (per-request enforcement); with
+// cap >= kUpdates it re-annotates once per subject for the whole batch.
+constexpr size_t kUpdates = 16;
+
+void BM_ServeUpdateBatching(benchmark::State& state) {
+  size_t max_batch = static_cast<size_t>(state.range(0));
+  uint64_t reannotations = 0;
+  uint64_t rules_used = 0;
+  uint64_t last_batches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto server = MakeServer(/*workers=*/2, max_batch);
+    std::vector<std::future<serve::ServeResponse>> pending;
+    for (size_t i = 0; i < kUpdates / 2; ++i) {
+      char psn[16];
+      std::snprintf(psn, sizeof(psn), "%03d", static_cast<int>(i));
+      pending.push_back(server->SubmitUpdate(std::string("//patient[psn=\"") +
+                                             psn + "\"]"));
+      pending.push_back(server->SubmitInsert(
+          "//patients", std::string("<patient><psn>9") + psn +
+                            "</psn><name>bench</name></patient>"));
+    }
+    state.ResumeTiming();
+    Status started = server->Start();
+    XMLAC_CHECK_MSG(started.ok(), started.ToString());
+    for (auto& f : pending) {
+      serve::ServeResponse resp = f.get();
+      XMLAC_CHECK_MSG(resp.status.ok(), resp.status.ToString());
+    }
+    state.PauseTiming();
+    // annotator.* series live in the per-subject engine registries.
+    reannotations = 0;
+    rules_used = 0;
+    for (const std::string& name : server->SubjectNames()) {
+      auto metrics = server->SubjectMetrics(name);
+      XMLAC_CHECK_MSG(metrics.ok(), metrics.status().ToString());
+      auto it = metrics->counters.find("annotator.reannotations");
+      if (it != metrics->counters.end()) reannotations += it->second;
+      it = metrics->counters.find("annotator.rules_used");
+      if (it != metrics->counters.end()) rules_used += it->second;
+    }
+    auto server_metrics = server->SnapshotMetrics();
+    auto batches = server_metrics.counters.find("serve.batches");
+    last_batches = batches == server_metrics.counters.end()
+                       ? 0
+                       : batches->second;
+    server->Stop();
+    state.ResumeTiming();
+  }
+  state.counters["reannotations"] =
+      benchmark::Counter(static_cast<double>(reannotations));
+  state.counters["rules_used"] =
+      benchmark::Counter(static_cast<double>(rules_used));
+  state.counters["batches"] =
+      benchmark::Counter(static_cast<double>(last_batches));
+  // The acceptance assertion: coalescing must beat per-request
+  // re-annotation.  With max_batch=1 every update re-annotates every
+  // subject once; with max_batch >= kUpdates the whole batch does.
+  size_t subjects = workload::kHospitalSubjectCount;
+  if (max_batch >= kUpdates) {
+    XMLAC_CHECK_MSG(reannotations < kUpdates * subjects,
+                    "batching did not reduce re-annotation runs");
+  }
+}
+BENCHMARK(BM_ServeUpdateBatching)
+    ->Arg(1)
+    ->Arg(static_cast<int>(kUpdates))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlac::bench
+
+BENCHMARK_MAIN();

@@ -5,9 +5,14 @@
 
 namespace xmlac::engine {
 
-AccessController::AccessController(std::unique_ptr<Backend> backend,
-                                   bool optimize_policy)
-    : backend_(std::move(backend)), optimize_policy_(optimize_policy) {}
+AccessController::AccessController(
+    std::unique_ptr<Backend> backend, bool optimize_policy,
+    xpath::ContainmentCache* shared_containment_cache)
+    : backend_(std::move(backend)),
+      optimize_policy_(optimize_policy),
+      containment_cache_(shared_containment_cache != nullptr
+                             ? shared_containment_cache
+                             : &owned_containment_cache_) {}
 
 AccessController::~AccessController() = default;
 
@@ -56,7 +61,7 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
     // The shared containment cache memoizes the optimizer's tests so later
     // trigger probes on the same pairs are hits.
     policy_ = policy::EliminateRedundantRules(policy, &optimizer_stats_,
-                                              &containment_cache_);
+                                              containment_cache_);
     if (opt_span.active()) {
       opt_span.AddCount("removed",
                         static_cast<int64_t>(optimizer_stats_.removed));
@@ -67,7 +72,7 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
   {
     obs::ScopedSpan build_span("build_trigger_index");
     policy::TriggerOptions topt;
-    topt.containment_cache = &containment_cache_;
+    topt.containment_cache = containment_cache_;
     trigger_ =
         std::make_unique<policy::TriggerIndex>(policy_, schema_.get(), topt);
   }
@@ -187,6 +192,96 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
                            static_cast<int64_t>(stats.nodes_inserted));
     }
   }
+  obs::IncrementCounter("engine.nodes_inserted", stats.nodes_inserted);
+  XMLAC_ASSIGN_OR_RETURN(
+      stats.reannotation,
+      Reannotate(backend_.get(), policy_, triggered, old_scope));
+  return stats;
+}
+
+Result<BatchStats> AccessController::ApplyBatch(
+    const std::vector<BatchOp>& ops) {
+  if (!policy_set_ || trigger_ == nullptr) {
+    return Status::Internal("no policy set");
+  }
+  BatchStats stats;
+  if (ops.empty()) return stats;
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "apply_batch");
+  obs::ScopedTimer timer("engine.batch_us");
+  obs::IncrementCounter("engine.batches");
+  obs::IncrementCounter("engine.batch_ops", ops.size());
+  stats.ops = ops.size();
+
+  // Parse every op up front — a malformed op fails the whole batch before
+  // any mutation (batches are all-or-nothing at the parse level).
+  struct ParsedOp {
+    const BatchOp* op;
+    xpath::Path path;
+    xml::Document fragment;  // empty for deletes
+  };
+  std::vector<ParsedOp> parsed;
+  parsed.reserve(ops.size());
+  for (const BatchOp& op : ops) {
+    ParsedOp p;
+    p.op = &op;
+    XMLAC_ASSIGN_OR_RETURN(p.path, xpath::ParsePath(op.xpath));
+    if (op.kind == BatchOp::Kind::kInsert) {
+      XMLAC_ASSIGN_OR_RETURN(p.fragment, xml::ParseDocument(op.fragment_xml));
+    }
+    parsed.push_back(std::move(p));
+  }
+
+  // Union of trigger sets over every update path the batch touches —
+  // computed once, which is the amortization this API exists for.  Trigger
+  // matches on paths, not data, so the pre-mutation probe is valid for
+  // every op regardless of application order.
+  std::vector<bool> fired(policy_.size(), false);
+  {
+    obs::ScopedSpan trigger_span("batch_trigger");
+    std::vector<xpath::Path> touched;
+    for (const ParsedOp& p : parsed) {
+      if (p.op->kind == BatchOp::Kind::kDelete) {
+        touched.push_back(p.path);
+      } else {
+        FragmentPaths(p.path, p.fragment, &touched);
+      }
+    }
+    for (const xpath::Path& u : touched) {
+      for (size_t i : trigger_->Trigger(u)) fired[i] = true;
+    }
+  }
+  std::vector<size_t> triggered;
+  for (size_t i = 0; i < fired.size(); ++i) {
+    if (fired[i]) triggered.push_back(i);
+  }
+  stats.rules_triggered = triggered.size();
+
+  // One pre-batch scope snapshot, then all mutations in submission order,
+  // then one partial re-annotation.
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> old_scope,
+      TriggeredScope(backend_.get(), policy_, triggered));
+  {
+    obs::ScopedSpan apply_span("batch_apply");
+    for (const ParsedOp& p : parsed) {
+      if (p.op->kind == BatchOp::Kind::kDelete) {
+        XMLAC_ASSIGN_OR_RETURN(size_t deleted, backend_->DeleteWhere(p.path));
+        stats.nodes_deleted += deleted;
+      } else {
+        XMLAC_ASSIGN_OR_RETURN(size_t inserted,
+                               backend_->InsertUnder(p.path, p.fragment));
+        stats.nodes_inserted += inserted;
+      }
+    }
+    if (apply_span.active()) {
+      apply_span.AddCount("nodes_deleted",
+                          static_cast<int64_t>(stats.nodes_deleted));
+      apply_span.AddCount("nodes_inserted",
+                          static_cast<int64_t>(stats.nodes_inserted));
+    }
+  }
+  obs::IncrementCounter("engine.nodes_deleted", stats.nodes_deleted);
   obs::IncrementCounter("engine.nodes_inserted", stats.nodes_inserted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,

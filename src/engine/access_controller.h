@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/annotator.h"
 #include "engine/backend.h"
@@ -33,10 +34,49 @@ struct UpdateStats {
   AnnotateStats reannotation;
 };
 
+// One update of a coalesced batch (see ApplyBatch).
+struct BatchOp {
+  enum class Kind { kDelete, kInsert };
+  Kind kind = Kind::kDelete;
+  std::string xpath;         // delete selector, or insert target
+  std::string fragment_xml;  // insert only
+
+  static BatchOp Delete(std::string xpath) {
+    BatchOp op;
+    op.kind = Kind::kDelete;
+    op.xpath = std::move(xpath);
+    return op;
+  }
+  static BatchOp Insert(std::string target_xpath, std::string fragment_xml) {
+    BatchOp op;
+    op.kind = Kind::kInsert;
+    op.xpath = std::move(target_xpath);
+    op.fragment_xml = std::move(fragment_xml);
+    return op;
+  }
+};
+
+struct BatchStats {
+  size_t ops = 0;
+  size_t nodes_deleted = 0;
+  size_t nodes_inserted = 0;
+  // Size of the *union* trigger set — with N coalesced ops this is what
+  // replaces N per-op trigger sets, which is where the amortization comes
+  // from (one Reannotate run instead of N).
+  size_t rules_triggered = 0;
+  AnnotateStats reannotation;
+};
+
 class AccessController {
  public:
-  explicit AccessController(std::unique_ptr<Backend> backend,
-                            bool optimize_policy = true);
+  // `shared_containment_cache` (optional) replaces the controller's own
+  // cache so several controllers — e.g. the per-subject replicas of a
+  // MultiSubjectController, or serving-layer workers — memoize containment
+  // into one table.  The cache is thread-safe; the caller keeps ownership
+  // and must keep it alive for the controller's lifetime.
+  explicit AccessController(
+      std::unique_ptr<Backend> backend, bool optimize_policy = true,
+      xpath::ContainmentCache* shared_containment_cache = nullptr);
   ~AccessController();
 
   // Parses and loads the schema + document into the backend.
@@ -63,6 +103,14 @@ class AccessController {
   Result<UpdateStats> Insert(std::string_view target_xpath,
                              std::string_view fragment_xml);
 
+  // Coalesced update batch: computes the triggered rule set once over the
+  // *union* of every op's update paths, applies all deletes/inserts in
+  // order, then re-annotates once.  Equivalent end state to applying the
+  // ops one at a time, but with a single Trigger/Reannotate round — the
+  // serving layer's writer thread amortizes re-annotation across queued
+  // requests this way.  An empty batch is a no-op.
+  Result<BatchStats> ApplyBatch(const std::vector<BatchOp>& ops);
+
   // Re-annotates everything from scratch (the baseline Fig. 12 compares
   // against).
   Result<AnnotateStats> ReannotateFull();
@@ -86,7 +134,7 @@ class AccessController {
   obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
   void ResetMetrics() { metrics_.Reset(); }
   const xpath::ContainmentCache& containment_cache() const {
-    return containment_cache_;
+    return *containment_cache_;
   }
 
  private:
@@ -99,8 +147,10 @@ class AccessController {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   // Shared by the optimizer and the trigger index (declared before trigger_
-  // so it outlives the index, which keeps a pointer to it).
-  xpath::ContainmentCache containment_cache_;
+  // so it outlives the index, which keeps a pointer to it).  Points at
+  // owned_containment_cache_ unless the constructor was given a shared one.
+  xpath::ContainmentCache owned_containment_cache_;
+  xpath::ContainmentCache* containment_cache_;
   std::unique_ptr<policy::TriggerIndex> trigger_;
   bool policy_set_ = false;
 };

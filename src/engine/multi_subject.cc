@@ -35,8 +35,8 @@ Status MultiSubjectController::AddSubject(std::string_view subject,
     return Status::AlreadyExists("subject '" + std::string(subject) +
                                  "' already registered");
   }
-  auto controller = std::make_unique<AccessController>(factory_(),
-                                                       optimize_policies_);
+  auto controller = std::make_unique<AccessController>(
+      factory_(), optimize_policies_, &containment_cache_);
   XMLAC_RETURN_IF_ERROR(
       controller->LoadParsed(*dtd_, master_.document()));
   XMLAC_RETURN_IF_ERROR(controller->SetPolicy(policy_text));
@@ -83,6 +83,28 @@ Result<std::map<std::string, UpdateStats>> MultiSubjectController::Update(
   std::map<std::string, UpdateStats> out;
   for (auto& [name, controller] : subjects_) {
     XMLAC_ASSIGN_OR_RETURN(out[name], controller->Update(xpath));
+  }
+  return out;
+}
+
+Result<std::map<std::string, BatchStats>> MultiSubjectController::ApplyBatch(
+    const std::vector<BatchOp>& ops) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  // Master first, all ops in order (it carries no annotations, so there is
+  // nothing to coalesce there — just the mutations).
+  for (const BatchOp& op : ops) {
+    XMLAC_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(op.xpath));
+    if (op.kind == BatchOp::Kind::kDelete) {
+      XMLAC_RETURN_IF_ERROR(master_.DeleteWhere(path).status());
+    } else {
+      XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
+                             xml::ParseDocument(op.fragment_xml));
+      XMLAC_RETURN_IF_ERROR(master_.InsertUnder(path, fragment).status());
+    }
+  }
+  std::map<std::string, BatchStats> out;
+  for (auto& [name, controller] : subjects_) {
+    XMLAC_ASSIGN_OR_RETURN(out[name], controller->ApplyBatch(ops));
   }
   return out;
 }

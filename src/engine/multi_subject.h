@@ -52,6 +52,20 @@ class MultiSubjectController {
   Result<std::map<std::string, UpdateStats>> Insert(
       std::string_view target_xpath, std::string_view fragment_xml);
 
+  // Coalesced batch broadcast: every op is applied to the master and each
+  // subject replica re-annotates once for the whole batch (see
+  // AccessController::ApplyBatch).  The serving layer's writer thread is
+  // the intended caller.
+  Result<std::map<std::string, BatchStats>> ApplyBatch(
+      const std::vector<BatchOp>& ops);
+
+  // The containment cache shared by every subject's optimizer and trigger
+  // index (redundancy tests recur across subjects — same document, similar
+  // rule vocabularies — so one memo table beats per-subject copies).
+  const xpath::ContainmentCache& containment_cache() const {
+    return containment_cache_;
+  }
+
   // The current (post-update) document.
   const xml::Document& document() const { return master_.document(); }
 
@@ -62,6 +76,9 @@ class MultiSubjectController {
   bool optimize_policies_;
   std::unique_ptr<xml::Dtd> dtd_;
   NativeXmlBackend master_;  // un-annotated source of truth for replicas
+  // Declared before subjects_ so it outlives every controller that points
+  // at it.  Thread-safe, so subject controllers may run on worker threads.
+  xpath::ContainmentCache containment_cache_;
   bool loaded_ = false;
   std::map<std::string, std::unique_ptr<AccessController>, std::less<>>
       subjects_;

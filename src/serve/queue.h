@@ -1,0 +1,120 @@
+#ifndef XMLAC_SERVE_QUEUE_H_
+#define XMLAC_SERVE_QUEUE_H_
+
+// Bounded MPMC queue for the serving layer.
+//
+// Classic mutex + two-condvar design: producers block in Push while the
+// queue is at capacity (this *is* the server's backpressure — a client
+// thread submitting into a full queue stalls instead of growing an
+// unbounded backlog), consumers block in Pop/PopBatch while it is empty.
+// Close() wakes everyone: pending items still drain, then Pop returns
+// nullopt and Push returns false, which is how worker loops terminate.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace xmlac::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full.  Takes an lvalue and moves from it only on success,
+  // so on a false return (queue closed) the caller still owns the item —
+  // the server uses this to fail the item's promise instead of dropping it.
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking Push; same move-on-success contract.  False when full or
+  // closed.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty.  nullopt once the queue is closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Blocks for the first item, then greedily drains up to `max` items
+  // already queued behind it — the writer thread's batch-coalescing
+  // primitive.  Appends to *out; returns the number popped (0 only when
+  // closed and drained).
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    if (max == 0) return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    size_t popped = 0;
+    while (popped < max && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    lock.unlock();
+    if (popped > 0) not_full_.notify_all();
+    return popped;
+  }
+
+  // Idempotent.  Wakes all blocked producers and consumers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace xmlac::serve
+
+#endif  // XMLAC_SERVE_QUEUE_H_

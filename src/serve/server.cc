@@ -1,0 +1,275 @@
+#include "serve/server.h"
+
+#include "engine/native_backend.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xmlac::serve {
+
+namespace {
+
+std::future<ServeResponse> ReadyResponse(Status status) {
+  std::promise<ServeResponse> done;
+  std::future<ServeResponse> out = done.get_future();
+  ServeResponse resp;
+  resp.status = std::move(status);
+  done.set_value(std::move(resp));
+  return out;
+}
+
+Status StoppedError() { return Status::Internal("server stopped"); }
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      controller_([] { return std::make_unique<engine::NativeXmlBackend>(); },
+                  options.optimize_policies),
+      read_queue_(options.read_queue_capacity),
+      write_queue_(options.write_queue_capacity) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  // One tracer per worker plus one for the writer (tracers are
+  // single-threaded by design; disabled by default, like the engine's).
+  for (size_t i = 0; i < options_.workers + 1; ++i) {
+    tracers_.push_back(std::make_unique<obs::Tracer>());
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Load(std::string_view dtd_text, std::string_view xml_text) {
+  if (started_) return Status::Internal("Load must precede Start");
+  XMLAC_RETURN_IF_ERROR(controller_.Load(dtd_text, xml_text));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status Server::LoadParsed(const xml::Dtd& dtd, const xml::Document& doc) {
+  if (started_) return Status::Internal("Load must precede Start");
+  XMLAC_RETURN_IF_ERROR(controller_.LoadParsed(dtd, doc));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status Server::AddSubject(std::string_view subject,
+                          std::string_view policy_text) {
+  if (started_) return Status::Internal("AddSubject must precede Start");
+  return controller_.AddSubject(subject, policy_text);
+}
+
+Status Server::Start() {
+  if (started_) return Status::Internal("already started");
+  if (!loaded_) return Status::Internal("no document loaded");
+  obs::ScopedMetrics metrics_context(&metrics_);
+  XMLAC_ASSIGN_OR_RETURN(SnapshotPtr initial, BuildSnapshot(controller_, 1));
+  snapshot_.store(std::move(initial));
+  epoch_.store(1, std::memory_order_release);
+  obs::IncrementCounter("serve.snapshot.published");
+  obs::SetGauge("serve.snapshot.epoch", 1);
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_ || stopped_.load(std::memory_order_acquire)) {
+    // Never started: still close the queues so pre-Start submissions fail
+    // their promises instead of waiting forever.
+    if (!started_) {
+      read_queue_.Close();
+      write_queue_.Close();
+      std::vector<ReadTask> reads;
+      while (read_queue_.PopBatch(&reads, SIZE_MAX) > 0) {
+      }
+      for (ReadTask& t : reads) {
+        ServeResponse resp;
+        resp.status = StoppedError();
+        t.done.set_value(std::move(resp));
+      }
+      std::vector<WriteTask> writes;
+      while (write_queue_.PopBatch(&writes, SIZE_MAX) > 0) {
+      }
+      for (WriteTask& t : writes) {
+        ServeResponse resp;
+        resp.status = StoppedError();
+        t.done.set_value(std::move(resp));
+      }
+      stopped_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  stopped_.store(true, std::memory_order_release);
+  // Closing lets the pools drain what is already queued, then exit.
+  read_queue_.Close();
+  write_queue_.Close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  if (writer_.joinable()) writer_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::future<ServeResponse> Server::SubmitQuery(std::string_view subject,
+                                               std::string_view xpath) {
+  auto parsed = xpath::ParsePath(xpath);
+  if (!parsed.ok()) return ReadyResponse(parsed.status());
+  ReadTask task;
+  task.subject = std::string(subject);
+  task.query = std::move(*parsed);
+  std::future<ServeResponse> out = task.done.get_future();
+  if (!read_queue_.Push(task)) {
+    ServeResponse resp;
+    resp.status = StoppedError();
+    task.done.set_value(std::move(resp));
+  }
+  return out;
+}
+
+std::future<ServeResponse> Server::SubmitUpdate(std::string_view xpath) {
+  // Validate on the caller's thread so one malformed op can never fail a
+  // whole coalesced batch.
+  auto parsed = xpath::ParsePath(xpath);
+  if (!parsed.ok()) return ReadyResponse(parsed.status());
+  WriteTask task;
+  task.op = engine::BatchOp::Delete(std::string(xpath));
+  std::future<ServeResponse> out = task.done.get_future();
+  if (!write_queue_.Push(task)) {
+    ServeResponse resp;
+    resp.status = StoppedError();
+    task.done.set_value(std::move(resp));
+  }
+  return out;
+}
+
+std::future<ServeResponse> Server::SubmitInsert(std::string_view target_xpath,
+                                                std::string_view fragment_xml) {
+  auto parsed = xpath::ParsePath(target_xpath);
+  if (!parsed.ok()) return ReadyResponse(parsed.status());
+  auto fragment = xml::ParseDocument(fragment_xml);
+  if (!fragment.ok()) return ReadyResponse(fragment.status());
+  WriteTask task;
+  task.op = engine::BatchOp::Insert(std::string(target_xpath),
+                                    std::string(fragment_xml));
+  std::future<ServeResponse> out = task.done.get_future();
+  if (!write_queue_.Push(task)) {
+    ServeResponse resp;
+    resp.status = StoppedError();
+    task.done.set_value(std::move(resp));
+  }
+  return out;
+}
+
+Result<obs::MetricsSnapshot> Server::SubjectMetrics(
+    std::string_view subject) {
+  engine::AccessController* ac = controller_.subject(subject);
+  if (ac == nullptr) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  return ac->SnapshotMetrics();
+}
+
+void Server::WorkerLoop(size_t worker_index) {
+  obs::Tracer* tracer = tracers_[worker_index].get();
+  while (true) {
+    std::optional<ReadTask> task = read_queue_.Pop();
+    if (!task.has_value()) break;  // closed and drained
+    // Install the server's metrics registry (and this worker's tracer) as
+    // the thread-local obs context — without this, everything the snapshot
+    // read path and the XPath evaluator report would silently drop, since
+    // no AccessController runs on this thread to install sinks.
+    obs::ScopedObsContext obs_context(&metrics_, tracer);
+    obs::ScopedSpan span(tracer, "serve.read");
+    obs::SetGauge("serve.queue.read_depth",
+                  static_cast<int64_t>(read_queue_.size()));
+    obs::IncrementCounter("serve.read.requests");
+    SnapshotPtr snapshot = snapshot_.load();
+    ServeResponse resp;
+    if (snapshot == nullptr) {
+      resp.status = Status::Internal("no snapshot published");
+    } else {
+      resp.epoch = snapshot->epoch;
+      auto outcome = QuerySnapshot(*snapshot, task->subject, task->query);
+      if (!outcome.ok()) {
+        resp.status = outcome.status();
+      } else {
+        resp.granted = outcome->granted;
+        resp.selected = outcome->selected;
+        resp.accessible = outcome->accessible;
+      }
+    }
+    if (!resp.status.ok()) {
+      obs::IncrementCounter("serve.read.errors");
+    } else if (resp.granted) {
+      obs::IncrementCounter("serve.read.granted");
+    } else {
+      obs::IncrementCounter("serve.read.denied");
+    }
+    obs::RecordHistogram("serve.request.latency_us",
+                         static_cast<uint64_t>(task->queued.ElapsedMicros()));
+    task->done.set_value(std::move(resp));
+  }
+}
+
+void Server::WriterLoop() {
+  obs::Tracer* tracer = tracers_.back().get();
+  std::vector<WriteTask> batch;
+  while (true) {
+    batch.clear();
+    if (write_queue_.PopBatch(&batch, options_.max_batch) == 0) break;
+    obs::ScopedObsContext obs_context(&metrics_, tracer);
+    obs::ScopedSpan span(tracer, "serve.write_batch");
+    obs::SetGauge("serve.queue.write_depth",
+                  static_cast<int64_t>(write_queue_.size()));
+    obs::RecordHistogram("serve.batch.size", batch.size());
+    obs::IncrementCounter("serve.batches");
+    obs::IncrementCounter("serve.updates.applied", batch.size());
+
+    std::vector<engine::BatchOp> ops;
+    ops.reserve(batch.size());
+    for (WriteTask& t : batch) ops.push_back(std::move(t.op));
+
+    ServeResponse resp;
+    auto stats = controller_.ApplyBatch(ops);
+    if (!stats.ok()) {
+      resp.status = stats.status();
+      obs::IncrementCounter("serve.write.errors", batch.size());
+    } else {
+      uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+      auto snapshot = BuildSnapshot(controller_, new_epoch);
+      if (!snapshot.ok()) {
+        resp.status = snapshot.status();
+      } else {
+        // Publication point: readers picking up the pointer from here on
+        // see the whole batch; readers holding the old pointer keep an
+        // unchanged pre-batch view.
+        snapshot_.store(std::move(*snapshot));
+        epoch_.store(new_epoch, std::memory_order_release);
+        obs::IncrementCounter("serve.snapshot.published");
+        obs::SetGauge("serve.snapshot.epoch",
+                      static_cast<int64_t>(new_epoch));
+        resp.epoch = new_epoch;
+        resp.batch_size = batch.size();
+        for (const auto& [name, subject_stats] : *stats) {
+          resp.rules_triggered += subject_stats.rules_triggered;
+        }
+      }
+    }
+    if (span.active()) {
+      span.AddCount("batch_size", static_cast<int64_t>(batch.size()));
+      span.AddCount("rules_triggered",
+                    static_cast<int64_t>(resp.rules_triggered));
+    }
+    for (WriteTask& t : batch) {
+      obs::RecordHistogram("serve.update.latency_us",
+                           static_cast<uint64_t>(t.queued.ElapsedMicros()));
+      t.done.set_value(resp);
+    }
+  }
+}
+
+}  // namespace xmlac::serve

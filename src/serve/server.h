@@ -1,0 +1,189 @@
+#ifndef XMLAC_SERVE_SERVER_H_
+#define XMLAC_SERVE_SERVER_H_
+
+// Concurrent access-control service in front of the engine.
+//
+// Architecture (docs/serving.md has the full design):
+//
+//   clients ──SubmitQuery──▶ [bounded read queue] ──▶ worker pool ──▶
+//                                       wait-free snapshot reads
+//   clients ──SubmitUpdate─▶ [bounded write queue] ─▶ writer thread ──▶
+//             batch coalescing ▶ one Trigger/Reannotate ▶ publish snapshot
+//
+// Readers resolve requests against an immutable shared_ptr snapshot of the
+// annotated per-subject replicas (epoch-style publication: one
+// pointer-copy handoff per request — see SnapshotSlot — after which the
+// read touches no shared mutable state).  A single writer thread
+// drains all pending updates from the write queue, applies them as ONE
+// engine batch (union trigger set, one partial re-annotation per subject)
+// and publishes a single new snapshot per batch — amortizing the paper's
+// dominant cost, re-annotation, across concurrent update requests.
+//
+// Lifecycle: configure (Load, AddSubject) → Start → Submit*/sync wrappers
+// from any number of threads → Stop (drains both queues, joins threads).
+// Submissions are also allowed before Start — they queue up and are served
+// once the server starts, which tests and benchmarks use to make batch
+// coalescing deterministic.
+//
+// Observability: the server owns one MetricsRegistry shared by all of its
+// threads.  Each worker and the writer install it (with a per-thread
+// tracer) as the thread-local obs context around every request, so the
+// deep-layer instrumentation that AccessController would install on the
+// caller's thread keeps flowing on pool threads instead of silently
+// dropping.  New serve.* metric names are cataloged in docs/serving.md.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/access_controller.h"
+#include "engine/multi_subject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/queue.h"
+#include "serve/snapshot.h"
+
+namespace xmlac::serve {
+
+struct ServerOptions {
+  size_t workers = 4;
+  size_t read_queue_capacity = 1024;
+  size_t write_queue_capacity = 1024;
+  // Max updates coalesced into one re-annotation batch.  1 degenerates to
+  // per-request re-annotation (the Cheney-style per-request enforcement
+  // cost the batching exists to beat).
+  size_t max_batch = 64;
+  bool optimize_policies = true;
+};
+
+// What a client gets back for any submitted request.
+struct ServeResponse {
+  // Not-OK for malformed requests, unknown subjects, or engine failures.
+  // Access denial is NOT an error: status is OK with granted == false.
+  Status status = Status::OK();
+  // Reads: the all-or-nothing outcome against the served snapshot.
+  bool granted = false;
+  size_t selected = 0;
+  size_t accessible = 0;
+  // Reads: epoch of the snapshot the answer was computed against.
+  // Updates: epoch of the snapshot whose publication included this update.
+  uint64_t epoch = 0;
+  // Updates: how many requests were coalesced into the publishing batch,
+  // and the size of the batch's union trigger set (summed over subjects).
+  size_t batch_size = 0;
+  size_t rules_triggered = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+  ~Server();  // Stop()s if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // --- Configuration (before Start) --------------------------------------
+  Status Load(std::string_view dtd_text, std::string_view xml_text);
+  Status LoadParsed(const xml::Dtd& dtd, const xml::Document& doc);
+  Status AddSubject(std::string_view subject, std::string_view policy_text);
+
+  // Publishes the initial snapshot (epoch 1) and spawns the worker pool
+  // and the writer thread.
+  Status Start();
+
+  // Closes both queues, drains pending requests and joins all threads.
+  // Every submitted future completes.  Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Requests (any thread) ----------------------------------------------
+  // Futures always complete: with a served response, or with a not-OK
+  // status if the request was rejected (parse error, server stopped).
+  std::future<ServeResponse> SubmitQuery(std::string_view subject,
+                                         std::string_view xpath);
+  std::future<ServeResponse> SubmitUpdate(std::string_view xpath);
+  std::future<ServeResponse> SubmitInsert(std::string_view target_xpath,
+                                          std::string_view fragment_xml);
+
+  // Closed-loop conveniences.
+  ServeResponse Query(std::string_view subject, std::string_view xpath) {
+    return SubmitQuery(subject, xpath).get();
+  }
+  ServeResponse Update(std::string_view xpath) {
+    return SubmitUpdate(xpath).get();
+  }
+  ServeResponse Insert(std::string_view target_xpath,
+                       std::string_view fragment_xml) {
+    return SubmitInsert(target_xpath, fragment_xml).get();
+  }
+
+  // --- Introspection -------------------------------------------------------
+  // The currently published snapshot (never null after Start).  Holding the
+  // returned pointer pins that epoch's documents for as long as the caller
+  // likes; the writer publishing newer epochs never mutates it.
+  SnapshotPtr CurrentSnapshot() const { return snapshot_.load(); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  size_t worker_count() const { return options_.workers; }
+  const ServerOptions& options() const { return options_; }
+
+  // Server-level metrics (serve.* series plus everything the pool threads
+  // report through the thread-local obs context).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+
+  // One subject's engine metrics (annotator.*, trigger.* — the per-replica
+  // registries AccessController installs around engine operations).  Safe
+  // at any time; registries are thread-safe.  NotFound for unknown names.
+  Result<obs::MetricsSnapshot> SubjectMetrics(std::string_view subject);
+
+  std::vector<std::string> SubjectNames() const {
+    return controller_.SubjectNames();
+  }
+
+ private:
+  struct ReadTask {
+    std::string subject;
+    xpath::Path query;
+    Timer queued;
+    std::promise<ServeResponse> done;
+  };
+  struct WriteTask {
+    engine::BatchOp op;
+    Timer queued;
+    std::promise<ServeResponse> done;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void WriterLoop();
+
+  ServerOptions options_;
+  engine::MultiSubjectController controller_;
+  bool loaded_ = false;
+  bool started_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+
+  SnapshotSlot snapshot_;
+  std::atomic<uint64_t> epoch_{0};
+
+  BoundedQueue<ReadTask> read_queue_;
+  BoundedQueue<WriteTask> write_queue_;
+  std::vector<std::thread> workers_;
+  std::thread writer_;
+
+  obs::MetricsRegistry metrics_;
+  // One tracer per pool thread (tracers are single-threaded by design);
+  // index workers.size() belongs to the writer.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+};
+
+}  // namespace xmlac::serve
+
+#endif  // XMLAC_SERVE_SERVER_H_

@@ -1,0 +1,79 @@
+#include "serve/snapshot.h"
+
+#include "engine/native_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "xpath/evaluator.h"
+
+namespace xmlac::serve {
+
+namespace {
+
+constexpr char kSignAttr[] = "sign";
+
+bool Accessible(const xml::Document& doc, xml::NodeId id, char default_sign) {
+  auto attr = doc.GetAttribute(id, kSignAttr);
+  char sign = attr.has_value() ? (*attr)[0] : default_sign;
+  return sign == '+';
+}
+
+}  // namespace
+
+Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
+                                             std::string_view subject,
+                                             const xpath::Path& query) {
+  auto it = snapshot.subjects.find(subject);
+  if (it == snapshot.subjects.end()) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  obs::ScopedSpan span("serve.request");
+  obs::ScopedTimer timer("serve.request.eval_us");
+  const SubjectView& view = it->second;
+  const xml::Document& doc = *view.doc;
+  std::vector<xml::NodeId> nodes = xpath::Evaluate(query, doc);
+  engine::RequestOutcome outcome;
+  outcome.selected = nodes.size();
+  for (xml::NodeId n : nodes) {
+    if (Accessible(doc, n, view.default_sign)) ++outcome.accessible;
+  }
+  obs::IncrementCounter("requester.nodes_selected", outcome.selected);
+  obs::IncrementCounter("requester.nodes_accessible", outcome.accessible);
+  if (span.active()) {
+    span.AddCount("selected", static_cast<int64_t>(outcome.selected));
+    span.AddCount("accessible", static_cast<int64_t>(outcome.accessible));
+  }
+  // All-or-nothing: grant only when every selected node is accessible (an
+  // empty selection leaks nothing and is granted, as in engine::Request).
+  if (outcome.accessible == outcome.selected) {
+    outcome.granted = true;
+    outcome.ids.reserve(nodes.size());
+    for (xml::NodeId n : nodes) {
+      outcome.ids.push_back(static_cast<engine::UniversalId>(n));
+    }
+  }
+  return outcome;
+}
+
+Result<SnapshotPtr> BuildSnapshot(engine::MultiSubjectController& controller,
+                                  uint64_t epoch) {
+  obs::ScopedSpan span("serve.snapshot.build");
+  obs::ScopedTimer timer("serve.snapshot.build_us");
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = epoch;
+  for (const std::string& name : controller.SubjectNames()) {
+    engine::AccessController* ac = controller.subject(name);
+    auto* native = dynamic_cast<engine::NativeXmlBackend*>(ac->backend());
+    if (native == nullptr) {
+      return Status::InvalidArgument(
+          "snapshots require native-XML subject backends (subject '" + name +
+          "' is " + ac->backend()->name() + ")");
+    }
+    SubjectView view;
+    view.doc = std::make_shared<const xml::Document>(native->document().Clone());
+    view.default_sign = native->default_sign();
+    snapshot->subjects.emplace(name, std::move(view));
+  }
+  return SnapshotPtr(std::move(snapshot));
+}
+
+}  // namespace xmlac::serve

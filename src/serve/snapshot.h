@@ -1,0 +1,89 @@
+#ifndef XMLAC_SERVE_SNAPSHOT_H_
+#define XMLAC_SERVE_SNAPSHOT_H_
+
+// Immutable annotated snapshots for concurrent reads.
+//
+// The materialized approach concentrates its cost in (re-)annotation and
+// makes a read a sign check — so a published snapshot of the annotated
+// per-subject replicas is all a reader needs.  Snapshots are immutable by
+// construction (const documents behind shared_ptr), readers resolve
+// requests against whichever snapshot was current when they started, and
+// the writer publishes a fresh snapshot per update batch.  No reader ever
+// takes a lock on document data.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "engine/multi_subject.h"
+#include "engine/requester.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlac::serve {
+
+// One subject's annotated replica, frozen.
+struct SubjectView {
+  std::shared_ptr<const xml::Document> doc;
+  char default_sign = '-';
+};
+
+struct Snapshot {
+  // 0 = never published; the initial post-Load/SetPolicy snapshot is 1 and
+  // every update batch increments it.
+  uint64_t epoch = 0;
+  std::map<std::string, SubjectView, std::less<>> subjects;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+// The publication point: one mutex-guarded SnapshotPtr.  Both critical
+// sections are a bare pointer copy — nanoseconds — so readers never wait
+// on the writer's actual work (re-annotation, snapshot building), only on
+// the pointer swing itself.
+//
+// Deliberately NOT std::atomic<std::shared_ptr<...>>: libstdc++'s
+// _Sp_atomic unlocks its internal spinlock in load() with a relaxed
+// fetch_sub, so a reader's access to the stored pointer has no
+// happens-before edge to the next store()'s write of it — formally a data
+// race, and ThreadSanitizer reports it as one.  A plain mutex is
+// unambiguously race-free and indistinguishable at this call frequency.
+class SnapshotSlot {
+ public:
+  SnapshotPtr load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+  void store(SnapshotPtr ptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_ = std::move(ptr);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr ptr_;
+};
+
+// All-or-nothing read against a snapshot, mirroring engine::Request over a
+// native annotated backend.  Unlike engine::Request, a denial is *not* an
+// error status here — it is a normal serving outcome (granted == false,
+// with the selected/accessible tallies filled in).  Error statuses are
+// reserved for unknown subjects.
+Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
+                                             std::string_view subject,
+                                             const xpath::Path& query);
+
+// Freezes the current state of every subject replica of `controller` into
+// a snapshot stamped `epoch`.  Requires native-XML subject backends (the
+// document clone *is* the snapshot); returns InvalidArgument otherwise.
+// Used by the server's writer thread after each batch, and by tests to
+// build serial-oracle snapshots with the same code path.
+Result<SnapshotPtr> BuildSnapshot(engine::MultiSubjectController& controller,
+                                  uint64_t epoch);
+
+}  // namespace xmlac::serve
+
+#endif  // XMLAC_SERVE_SNAPSHOT_H_

@@ -38,6 +38,36 @@ allow //regular[med="celecoxib"]
 allow //regular[bill > 1000]
 )";
 
+const SubjectPolicy kHospitalSubjects[] = {
+    {"nurse", R"(
+default deny
+conflict deny
+allow //patient
+allow //patient/name
+deny  //patient[treatment]
+)"},
+    {"doctor", R"(
+default deny
+conflict deny
+allow //patient
+allow //patient/name
+allow //patient/psn
+allow //treatment
+allow //regular
+allow //experimental
+allow //med
+allow //test
+allow //bill
+)"},
+    {"billing", R"(
+default deny
+conflict deny
+allow //bill
+)"},
+};
+const size_t kHospitalSubjectCount =
+    sizeof(kHospitalSubjects) / sizeof(kHospitalSubjects[0]);
+
 namespace {
 
 const char* const kMeds[] = {"enoxaparin", "celecoxib", "metformin",

@@ -5,6 +5,7 @@
 // departments, patients and staff.  Used by the examples and by tests that
 // need medium-sized documents with a policy-rich schema.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/status.h"
@@ -18,6 +19,17 @@ extern const char kHospitalDtd[];
 
 // The hospital policy of the paper's Table 1 (policy-text format).
 extern const char kHospitalPolicyText[];
+
+// Per-subject session policies for the hospital domain, used by the
+// serving layer (tools/xmlac_loadgen, bench_serve_throughput) and tests:
+// a nurse sees patient names, a doctor sees treatments too, a billing
+// clerk only bills.  Restores the requester dimension the paper fixes.
+struct SubjectPolicy {
+  const char* subject;
+  const char* policy_text;
+};
+extern const SubjectPolicy kHospitalSubjects[];
+extern const size_t kHospitalSubjectCount;
 
 struct HospitalOptions {
   int departments = 2;

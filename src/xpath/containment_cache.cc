@@ -19,20 +19,42 @@ std::string Key(const Path& p, const Path& q) {
 bool ContainmentCache::Contains(const Path& p, const Path& q) {
   std::string key = Key(p, q);
   obs::IncrementCounter("containment.cache.checks");
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    ++hits_;
-    obs::IncrementCounter("containment.cache.hits");
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++hits_;
+      obs::IncrementCounter("containment.cache.hits");
+      return it->second;
+    }
+    ++misses_;
+    obs::IncrementCounter("containment.cache.misses");
   }
-  ++misses_;
-  obs::IncrementCounter("containment.cache.misses");
+  // Computed unlocked: Contains is pure, so a racing duplicate computation
+  // reaches the same value and the second emplace below is a no-op.
   bool result = xpath::Contains(p, q);
+  std::lock_guard<std::mutex> lock(mu_);
   table_.emplace(std::move(key), result);
   return result;
 }
 
+size_t ContainmentCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+uint64_t ContainmentCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ContainmentCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
 void ContainmentCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   table_.clear();
   hits_ = 0;
   misses_ = 0;
@@ -40,11 +62,14 @@ void ContainmentCache::Clear() {
 
 Status ContainmentCache::SaveToFile(std::string_view path) const {
   std::string out;
-  for (const auto& [key, value] : table_) {
-    out += key;
-    out += '\t';
-    out += value ? '1' : '0';
-    out += '\n';
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, value] : table_) {
+      out += key;
+      out += '\t';
+      out += value ? '1' : '0';
+      out += '\n';
+    }
   }
   return WriteFile(path, out);
 }
@@ -60,6 +85,7 @@ Status ContainmentCache::LoadFromFile(std::string_view path) {
     // Validate both paths re-parse; a cache from another version must not
     // poison lookups keyed by today's ToString form.
     if (!ParsePath(parts[0]).ok() || !ParsePath(parts[1]).ok()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
     table_.emplace(parts[0] + "\t" + parts[1], parts[2] == "1");
   }
   return Status::OK();

@@ -10,7 +10,16 @@
 // algorithm re-tests every (rule-expansion, update) pair per update — and
 // the persistent form lets long-lived deployments keep the table across
 // runs.
+//
+// Thread safety: all public members may be called concurrently.  The table
+// and the hit/miss tallies are guarded by one mutex; the underlying
+// containment decision runs outside the lock (it is a pure function), so a
+// slow check never serializes other lookups.  Two threads missing on the
+// same pair may both compute it — the result is deterministic, so the
+// duplicate insert is a no-op and `checks == hits + misses` still holds.
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,9 +36,9 @@ class ContainmentCache {
   // Memoized Contains(p, q).
   bool Contains(const Path& p, const Path& q);
 
-  size_t size() const { return table_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
   void Clear();
 
   // Persistence: one `p<TAB>q<TAB>0|1` line per entry.  Load merges into
@@ -40,6 +49,7 @@ class ContainmentCache {
   Status LoadFromFile(std::string_view path);
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, bool> table_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

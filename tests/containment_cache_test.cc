@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "policy/trigger.h"
 #include "tests/testdata.h"
 #include "xml/dtd.h"
@@ -97,6 +100,43 @@ TEST(ContainmentCacheTest, LoadMissingFileFails) {
   ContainmentCache cache;
   EXPECT_EQ(cache.LoadFromFile("/no/such/cache.tsv").code(),
             StatusCode::kNotFound);
+}
+
+TEST(ContainmentCacheTest, ConcurrentContainsIsSafeAndConsistent) {
+  // Many threads hammer one cache with an overlapping working set.  Results
+  // must always agree with the direct check, and the metric invariant
+  // checks == hits + misses must survive the races (duplicate computes on
+  // a miss race are allowed — each counts as a miss — so misses may exceed
+  // the number of distinct keys, but the books must still balance).
+  const char* kPaths[] = {
+      "//patient",      "//patient[treatment]", "//patient/name",
+      "//regular",      "//regular[med]",       "/a/b/c",
+      "//c",            "//a[b and c]",         "//a[c]",
+      "//bill",
+  };
+  constexpr size_t kPathCount = sizeof(kPaths) / sizeof(kPaths[0]);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kItersPerThread = 400;
+
+  ContainmentCache cache;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kItersPerThread; ++i) {
+        const char* p = kPaths[(t + i) % kPathCount];
+        const char* q = kPaths[(t * 3 + i * 7) % kPathCount];
+        ASSERT_EQ(cache.Contains(P(p), P(q)), Contains(P(p), P(q)))
+            << p << " vs " << q;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kItersPerThread);
+  EXPECT_GT(cache.hits(), 0u);
+  // Every distinct (p, q) pair was computed at least once.
+  EXPECT_GE(cache.misses(), cache.size());
+  EXPECT_LE(cache.size(), kPathCount * kPathCount);
 }
 
 TEST(ContainmentCacheTest, TriggerIndexUsesCache) {

@@ -1,0 +1,480 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/access_controller.h"
+#include "engine/multi_subject.h"
+#include "engine/native_backend.h"
+#include "serve/queue.h"
+#include "serve/snapshot.h"
+#include "workload/hospital.h"
+#include "workload/queries.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xmlac::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueueTest, FifoAndSize) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.Push(v));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 0);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_TRUE(q.TryPush(b));
+  EXPECT_FALSE(q.TryPush(c));
+  // The failed TryPush did not consume the caller's item.
+  EXPECT_EQ(c, 3);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_TRUE(q.TryPush(c));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  BoundedQueue<int> q(1);
+  int first = 1;
+  ASSERT_TRUE(q.Push(first));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int second = 2;
+    EXPECT_TRUE(q.Push(second));  // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer cannot complete until we pop.  (No sleep-based assert on
+  // "still blocked" — just that the handoff completes and order is kept.)
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  int a = 7, b = 8;
+  ASSERT_TRUE(q.Push(a));
+  ASSERT_TRUE(q.Push(b));
+  q.Close();
+  int c = 9;
+  EXPECT_FALSE(q.Push(c));  // closed: rejected, caller keeps the item
+  EXPECT_EQ(c, 9);
+  // Pending items still drain before the nullopt shutdown signal.
+  EXPECT_EQ(q.Pop(), 7);
+  EXPECT_EQ(q.Pop(), 8);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_EQ(q.Pop(), std::nullopt);  // idempotent
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchCoalescesQueuedItems) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.Push(v));
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 3), 3u);  // capped at max
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.PopBatch(&batch, 8), 2u);  // drains the rest
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3, 4}));
+  q.Close();
+  EXPECT_EQ(q.PopBatch(&batch, 8), 0u);  // closed and drained
+}
+
+// ---------------------------------------------------------------------------
+// Server fixtures
+
+ServerOptions SmallOptions(size_t workers = 2, size_t max_batch = 64) {
+  ServerOptions opt;
+  opt.workers = workers;
+  opt.max_batch = max_batch;
+  return opt;
+}
+
+xml::Document SmallHospital() {
+  workload::HospitalOptions opt;
+  opt.departments = 2;
+  opt.patients_per_department = 12;
+  return workload::HospitalGenerator().Generate(opt);
+}
+
+std::unique_ptr<Server> MakeHospitalServer(ServerOptions options) {
+  auto dtd = workload::HospitalGenerator::ParseHospitalDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  auto server = std::make_unique<Server>(options);
+  Status loaded = server->LoadParsed(*dtd, SmallHospital());
+  EXPECT_TRUE(loaded.ok()) << loaded;
+  for (size_t i = 0; i < workload::kHospitalSubjectCount; ++i) {
+    Status added = server->AddSubject(workload::kHospitalSubjects[i].subject,
+                                      workload::kHospitalSubjects[i].policy_text);
+    EXPECT_TRUE(added.ok()) << added;
+  }
+  return server;
+}
+
+// A serial oracle controller with the same document and subjects.
+std::unique_ptr<engine::MultiSubjectController> MakeOracle() {
+  auto dtd = workload::HospitalGenerator::ParseHospitalDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  auto oracle = std::make_unique<engine::MultiSubjectController>(
+      [] { return std::make_unique<engine::NativeXmlBackend>(); });
+  Status loaded = oracle->LoadParsed(*dtd, SmallHospital());
+  EXPECT_TRUE(loaded.ok()) << loaded;
+  for (size_t i = 0; i < workload::kHospitalSubjectCount; ++i) {
+    Status added = oracle->AddSubject(workload::kHospitalSubjects[i].subject,
+                                      workload::kHospitalSubjects[i].policy_text);
+    EXPECT_TRUE(added.ok()) << added;
+  }
+  return oracle;
+}
+
+// ---------------------------------------------------------------------------
+// Basic serving semantics
+
+TEST(ServeTest, AnswersMatchDirectControllerQueries) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+  auto oracle = MakeOracle();
+  const char* kQueries[] = {"//patient", "//patient/name", "//bill",
+                            "//treatment", "//staff", "//nobody"};
+  for (size_t i = 0; i < workload::kHospitalSubjectCount; ++i) {
+    const char* subject = workload::kHospitalSubjects[i].subject;
+    for (const char* q : kQueries) {
+      ServeResponse served = server->Query(subject, q);
+      ASSERT_TRUE(served.status.ok()) << served.status;
+      auto direct = oracle->Query(subject, q);
+      // engine::Request reports denial as an AccessDenied status; the
+      // serving layer reports it as granted=false with an OK status.
+      if (direct.ok()) {
+        EXPECT_TRUE(served.granted) << subject << " " << q;
+        EXPECT_EQ(served.selected, direct->selected);
+        EXPECT_EQ(served.accessible, direct->accessible);
+      } else {
+        EXPECT_EQ(direct.status().code(), StatusCode::kAccessDenied);
+        EXPECT_FALSE(served.granted) << subject << " " << q;
+      }
+    }
+  }
+  server->Stop();
+}
+
+TEST(ServeTest, RejectsMalformedAndUnknown) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_FALSE(server->Query("nurse", "//patient[").status.ok());
+  EXPECT_EQ(server->Query("intruder", "//patient").status.code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(server->Update("not an xpath [").status.ok());
+  EXPECT_FALSE(server->Insert("//patients", "<unclosed>").status.ok());
+  server->Stop();
+}
+
+TEST(ServeTest, StopFailsPendingAndLaterSubmissions) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+  server->Stop();
+  ServeResponse after = server->Query("nurse", "//patient");
+  EXPECT_FALSE(after.status.ok());
+  server->Stop();  // idempotent
+
+  // Submissions queued on a never-started server also complete on Stop.
+  auto cold = MakeHospitalServer(SmallOptions());
+  auto pending = cold->SubmitQuery("nurse", "//patient");
+  cold->Stop();
+  EXPECT_FALSE(pending.get().status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot isolation
+
+TEST(ServeTest, HeldSnapshotIsImmuneToLaterUpdates) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+
+  SnapshotPtr pinned = server->CurrentSnapshot();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch, 1u);
+  auto query = xpath::ParsePath("//patient");
+  ASSERT_TRUE(query.ok());
+  auto before = QuerySnapshot(*pinned, "doctor", *query);
+  ASSERT_TRUE(before.ok());
+  size_t patients_before = before->selected;
+  ASSERT_GT(patients_before, 0u);
+
+  ServeResponse upd = server->Update("//patient[psn=\"000\"]");
+  ASSERT_TRUE(upd.status.ok()) << upd.status;
+  EXPECT_GT(upd.epoch, 1u);
+  EXPECT_GE(server->epoch(), upd.epoch);
+
+  // The pinned snapshot still answers from epoch 1: same node count, even
+  // though the live document lost a patient.
+  auto after = QuerySnapshot(*pinned, "doctor", *query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->selected, patients_before);
+
+  SnapshotPtr fresh = server->CurrentSnapshot();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT(fresh->epoch, pinned->epoch);
+  auto live = QuerySnapshot(*fresh, "doctor", *query);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->selected, patients_before - 1);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Observability propagation (satellite: thread-local sinks on pool threads)
+
+TEST(ServeTest, WorkerThreadsReportIntoServerRegistry) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+  for (int i = 0; i < 8; ++i) {
+    ServeResponse r = server->Query("doctor", "//patient");
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+  ServeResponse upd = server->Update("//patient[psn=\"001\"]");
+  ASSERT_TRUE(upd.status.ok()) << upd.status;
+  server->Stop();
+
+  obs::MetricsSnapshot m = server->SnapshotMetrics();
+  // serve.* series are recorded by the pool threads themselves.
+  EXPECT_GE(m.counters["serve.read.requests"], 8u);
+  EXPECT_GE(m.counters["serve.updates.applied"], 1u);
+  EXPECT_GE(m.counters["serve.snapshot.published"], 2u);
+  // Deep-layer series (QuerySnapshot's requester.* counters, the writer's
+  // snapshot-build timer) only appear here if the thread-local obs context
+  // was installed on the pool threads — the assertion the satellite asks
+  // for.  Without propagation these record into a null sink and vanish.
+  EXPECT_GT(m.counters["requester.nodes_selected"], 0u);
+  ASSERT_TRUE(m.histograms.count("serve.request.latency_us"));
+  EXPECT_GE(m.histograms["serve.request.latency_us"].count, 8u);
+  ASSERT_TRUE(m.histograms.count("serve.snapshot.build_us"));
+  ASSERT_TRUE(m.histograms.count("serve.batch.size"));
+
+  // Per-subject engine registries keep working too (annotator.* flows into
+  // the replica's own registry, not the server's).
+  auto subject_metrics = server->SubjectMetrics("doctor");
+  ASSERT_TRUE(subject_metrics.ok());
+  EXPECT_GT(subject_metrics->counters["annotator.reannotations"], 0u);
+  EXPECT_FALSE(server->SubjectMetrics("intruder").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Batch coalescing
+
+TEST(ServeTest, PreStartSubmissionsCoalesceIntoOneBatch) {
+  // Submissions before Start() queue up; the writer's first PopBatch takes
+  // them all, so exactly one re-annotation per subject serves the lot.
+  auto batched = MakeHospitalServer(SmallOptions(/*workers=*/1,
+                                                 /*max_batch=*/16));
+  std::vector<std::future<ServeResponse>> pending;
+  for (int i = 0; i < 6; ++i) {
+    char psn[8];
+    std::snprintf(psn, sizeof(psn), "%03d", i);
+    pending.push_back(
+        batched->SubmitUpdate(std::string("//patient[psn=\"") + psn + "\"]"));
+  }
+  ASSERT_TRUE(batched->Start().ok());
+  for (auto& f : pending) {
+    ServeResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.epoch, 2u);       // one publication for the whole batch
+    EXPECT_EQ(r.batch_size, 6u);  // all six coalesced
+  }
+  batched->Stop();
+
+  uint64_t batched_reannotations = 0;
+  for (const std::string& name : batched->SubjectNames()) {
+    auto m = batched->SubjectMetrics(name);
+    ASSERT_TRUE(m.ok());
+    batched_reannotations += m->counters["annotator.reannotations"];
+  }
+  // One re-annotation per subject, total == subject count.
+  EXPECT_EQ(batched_reannotations, workload::kHospitalSubjectCount);
+
+  // The same six updates with max_batch=1 re-annotate once per update.
+  auto serial = MakeHospitalServer(SmallOptions(/*workers=*/1,
+                                                /*max_batch=*/1));
+  std::vector<std::future<ServeResponse>> serial_pending;
+  for (int i = 0; i < 6; ++i) {
+    char psn[8];
+    std::snprintf(psn, sizeof(psn), "%03d", i);
+    serial_pending.push_back(
+        serial->SubmitUpdate(std::string("//patient[psn=\"") + psn + "\"]"));
+  }
+  ASSERT_TRUE(serial->Start().ok());
+  for (auto& f : serial_pending) {
+    ServeResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.batch_size, 1u);
+  }
+  serial->Stop();
+  uint64_t serial_reannotations = 0;
+  for (const std::string& name : serial->SubjectNames()) {
+    auto m = serial->SubjectMetrics(name);
+    ASSERT_TRUE(m.ok());
+    serial_reannotations += m->counters["annotator.reannotations"];
+  }
+  EXPECT_EQ(serial_reannotations, 6 * workload::kHospitalSubjectCount);
+  EXPECT_LT(batched_reannotations, serial_reannotations);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress with a serial oracle
+//
+// N reader threads race one updater over the hospital document.  Every
+// served answer is recorded with the epoch it was computed against; every
+// update response records the epoch whose publication included it.  The
+// oracle then replays the updates serially — batch by batch, in epoch
+// order — on a fresh controller, rebuilding each epoch's snapshot, and
+// every recorded answer must match QuerySnapshot against its epoch's
+// oracle snapshot exactly.
+
+struct RecordedRead {
+  uint64_t epoch;
+  size_t subject;
+  size_t query;
+  bool granted;
+  size_t selected;
+  size_t accessible;
+};
+
+TEST(ServeStressTest, ConcurrentReadsMatchSerialOraclePerEpoch) {
+  constexpr size_t kReaders = 4;
+  constexpr size_t kReadsPerReader = 120;
+  constexpr size_t kUpdaterOps = 24;
+
+  auto server = MakeHospitalServer(SmallOptions(/*workers=*/4,
+                                                /*max_batch=*/8));
+  ASSERT_TRUE(server->Start().ok());
+
+  std::vector<std::string> queries;
+  {
+    workload::QueryWorkloadOptions opt;
+    opt.count = 24;
+    for (const auto& q :
+         workload::GenerateQueries(SmallHospital(), opt)) {
+      queries.push_back(xpath::ToString(q));
+    }
+  }
+
+  // Updates: delete patient NNN, then insert a replacement under //patients
+  // (keeps the document from draining and exercises both batch-op kinds).
+  std::vector<engine::BatchOp> ops;
+  for (size_t i = 0; i < kUpdaterOps / 2; ++i) {
+    char psn[8];
+    std::snprintf(psn, sizeof(psn), "%03d", static_cast<int>(i));
+    ops.push_back(engine::BatchOp::Delete(std::string("//patient[psn=\"") +
+                                          psn + "\"]"));
+    ops.push_back(engine::BatchOp::Insert(
+        "//patients", std::string("<patient><psn>5") + psn +
+                          "</psn><name>stress test</name></patient>"));
+  }
+
+  std::vector<std::vector<RecordedRead>> recorded(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      recorded[r].reserve(kReadsPerReader);
+      for (size_t i = 0; i < kReadsPerReader; ++i) {
+        size_t s = (r + i) % workload::kHospitalSubjectCount;
+        size_t q = (r * 13 + i) % queries.size();
+        ServeResponse resp =
+            server->Query(workload::kHospitalSubjects[s].subject, queries[q]);
+        ASSERT_TRUE(resp.status.ok()) << resp.status;
+        recorded[r].push_back({resp.epoch, s, q, resp.granted, resp.selected,
+                               resp.accessible});
+      }
+    });
+  }
+
+  // Updates indexed by the epoch that published them; submission order is
+  // preserved (single updater, FIFO queue), so within an epoch the oracle
+  // replays ops in the exact order the writer applied them.
+  std::map<uint64_t, std::vector<engine::BatchOp>> ops_by_epoch;
+  std::thread updater([&] {
+    for (const engine::BatchOp& op : ops) {
+      ServeResponse resp =
+          op.kind == engine::BatchOp::Kind::kDelete
+              ? server->Update(op.xpath)
+              : server->Insert(op.xpath, op.fragment_xml);
+      ASSERT_TRUE(resp.status.ok()) << resp.status;
+      ops_by_epoch[resp.epoch].push_back(op);
+    }
+  });
+
+  for (std::thread& t : readers) t.join();
+  updater.join();
+  uint64_t final_epoch = server->epoch();
+  server->Stop();
+
+  // --- Serial replay -----------------------------------------------------
+  auto oracle = MakeOracle();
+  std::map<uint64_t, SnapshotPtr> oracle_snapshots;
+  {
+    auto initial = BuildSnapshot(*oracle, 1);
+    ASSERT_TRUE(initial.ok()) << initial.status();
+    oracle_snapshots[1] = *initial;
+  }
+  uint64_t epoch = 1;
+  for (const auto& [published_epoch, batch] : ops_by_epoch) {
+    // Epochs advance by exactly one per published batch, with no gaps.
+    ASSERT_EQ(published_epoch, epoch + 1);
+    auto applied = oracle->ApplyBatch(batch);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    epoch = published_epoch;
+    auto snap = BuildSnapshot(*oracle, epoch);
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    oracle_snapshots[epoch] = *snap;
+  }
+  EXPECT_EQ(epoch, final_epoch);
+
+  size_t checked = 0;
+  for (const auto& reader_log : recorded) {
+    for (const RecordedRead& read : reader_log) {
+      auto it = oracle_snapshots.find(read.epoch);
+      ASSERT_NE(it, oracle_snapshots.end())
+          << "served answer cites unknown epoch " << read.epoch;
+      auto query = xpath::ParsePath(queries[read.query]);
+      ASSERT_TRUE(query.ok());
+      auto expected = QuerySnapshot(
+          *it->second, workload::kHospitalSubjects[read.subject].subject,
+          *query);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      EXPECT_EQ(read.granted, expected->granted)
+          << "epoch " << read.epoch << " subject "
+          << workload::kHospitalSubjects[read.subject].subject << " query "
+          << queries[read.query];
+      EXPECT_EQ(read.selected, expected->selected);
+      EXPECT_EQ(read.accessible, expected->accessible);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, kReaders * kReadsPerReader);
+}
+
+}  // namespace
+}  // namespace xmlac::serve
