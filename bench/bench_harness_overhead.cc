@@ -1,0 +1,66 @@
+// Throughput of the differential harness itself (src/testing/): instance
+// generation, the brute-force oracle, and one full annotation check.  Fuzz
+// coverage per CI minute is instances-per-second times rounds, so a
+// regression here directly shrinks what the nightly job explores; the
+// oracle-vs-engine ratio also documents how much the "deliberately naive"
+// reference costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "testing/diff.h"
+#include "testing/generators.h"
+#include "testing/oracle.h"
+
+namespace xmlac::bench {
+namespace {
+
+testing::InstanceOptions Options(int doc_nodes, uint64_t seed) {
+  testing::InstanceOptions opt;
+  opt.seed = seed;
+  opt.max_doc_nodes = doc_nodes;
+  return opt;
+}
+
+void BM_GenerateInstance(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    testing::Instance instance =
+        testing::GenerateInstance(Options(static_cast<int>(state.range(0)),
+                                          seed++));
+    benchmark::DoNotOptimize(instance.doc.alive_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateInstance)->Arg(30)->Arg(90)->Arg(300);
+
+void BM_OracleSigns(benchmark::State& state) {
+  testing::Instance instance =
+      testing::GenerateInstance(Options(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    auto signs = testing::OracleSigns(instance.policy, instance.doc);
+    benchmark::DoNotOptimize(signs.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleSigns)->Arg(30)->Arg(90)->Arg(300);
+
+void BM_CheckAnnotation(benchmark::State& state) {
+  testing::Instance instance =
+      testing::GenerateInstance(Options(static_cast<int>(state.range(0)), 7));
+  testing::DiffOptions diff;
+  diff.backends = {static_cast<testing::BackendKind>(state.range(1))};
+  for (auto _ : state) {
+    std::string failure = testing::CheckAnnotation(instance, diff);
+    XMLAC_CHECK_MSG(failure.empty(), failure);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckAnnotation)
+    ->ArgsProduct({{30, 90}, {0, 1, 2}})  // doc nodes x backend kind
+    ->ArgNames({"nodes", "backend"});
+
+}  // namespace
+}  // namespace xmlac::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,474 @@
+#include "testing/diff.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/access_controller.h"
+#include "engine/native_backend.h"
+#include "engine/relational_backend.h"
+#include "testing/oracle.h"
+#include "xml/parser.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testing {
+namespace {
+
+using engine::AccessController;
+using engine::UniversalId;
+using xml::NodeId;
+
+std::string Describe(BackendKind kind, bool optimized) {
+  std::string out = BackendName(kind);
+  out += optimized ? "/opt" : "/raw";
+  return out;
+}
+
+// Oracle-side Fig. 5 annotation set: the CombineOp over the naive rule
+// scopes.
+std::vector<NodeId> OracleAnnotationSet(const policy::Policy& policy,
+                                        const xml::Document& doc,
+                                        policy::CombineOp combine) {
+  std::set<NodeId> a;
+  std::set<NodeId> d;
+  for (const policy::Rule& rule : policy.rules()) {
+    auto& target = rule.effect == policy::Effect::kAllow ? a : d;
+    for (NodeId id : OracleEval(rule.resource, doc)) target.insert(id);
+  }
+  std::vector<NodeId> out;
+  switch (combine) {
+    case policy::CombineOp::kGrants:
+      out.assign(a.begin(), a.end());
+      break;
+    case policy::CombineOp::kDenies:
+      out.assign(d.begin(), d.end());
+      break;
+    case policy::CombineOp::kGrantsExceptDenies:
+      for (NodeId id : a) {
+        if (d.count(id) == 0) out.push_back(id);
+      }
+      break;
+    case policy::CombineOp::kDeniesExceptGrants:
+      for (NodeId id : d) {
+        if (a.count(id) == 0) out.push_back(id);
+      }
+      break;
+  }
+  return out;
+}
+
+// Treats kAccessDenied as a normal "denied" outcome; anything else
+// non-OK is a skip (nullopt granted).
+struct EngineOutcome {
+  bool comparable = false;
+  bool granted = false;
+  std::vector<UniversalId> ids;
+};
+
+EngineOutcome RunQuery(AccessController& ac, const xpath::Path& query) {
+  EngineOutcome out;
+  auto r = ac.Query(xpath::ToString(query));
+  if (r.ok()) {
+    out.comparable = true;
+    out.granted = true;
+    out.ids = r->ids;
+  } else if (r.status().code() == StatusCode::kAccessDenied) {
+    out.comparable = true;
+    out.granted = false;
+  }
+  return out;
+}
+
+// Loads + sets policy; "" on success, "skip" on any setup problem (the
+// caller passes the instance through as non-failing).
+bool Setup(AccessController& ac, const Instance& instance,
+           const policy::Policy& engine_policy) {
+  if (!ac.LoadParsed(instance.dtd, instance.doc).ok()) return false;
+  return ac.SetPolicyParsed(engine_policy).ok();
+}
+
+std::string IdList(const std::vector<UniversalId>& ids) {
+  std::string out = "[";
+  for (size_t i = 0; i < ids.size() && i < 12; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  if (ids.size() > 12) out += ",...";
+  out += "]";
+  return out;
+}
+
+std::vector<UniversalId> Widen(const std::vector<NodeId>& ids) {
+  std::vector<UniversalId> out;
+  out.reserve(ids.size());
+  for (NodeId id : ids) out.push_back(static_cast<UniversalId>(id));
+  return out;
+}
+
+}  // namespace
+
+const char* BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kNative:
+      return "native";
+    case BackendKind::kRow:
+      return "row";
+    default:
+      return "column";
+  }
+}
+
+std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind) {
+  if (kind == BackendKind::kNative) {
+    return std::make_unique<engine::NativeXmlBackend>();
+  }
+  engine::RelationalOptions options;
+  options.storage = kind == BackendKind::kRow ? reldb::StorageKind::kRowStore
+                                              : reldb::StorageKind::kColumnStore;
+  return std::make_unique<engine::RelationalBackend>(options);
+}
+
+policy::Policy ApplyBug(policy::Policy policy, InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      break;
+    case InjectedBug::kFlipCr:
+      policy.set_conflict_resolution(
+          policy.conflict_resolution() ==
+                  policy::ConflictResolution::kAllowOverrides
+              ? policy::ConflictResolution::kDenyOverrides
+              : policy::ConflictResolution::kAllowOverrides);
+      break;
+    case InjectedBug::kFlipDs:
+      policy.set_default_semantics(
+          policy.default_semantics() == policy::DefaultSemantics::kAllow
+              ? policy::DefaultSemantics::kDeny
+              : policy::DefaultSemantics::kAllow);
+      break;
+  }
+  return policy;
+}
+
+std::string CheckAnnotation(const Instance& instance,
+                            const DiffOptions& options) {
+  std::map<NodeId, char> oracle_signs = OracleSigns(instance.policy,
+                                                    instance.doc);
+  policy::Policy engine_policy = ApplyBug(instance.policy, options.bug);
+
+  std::vector<size_t> all_rules(engine_policy.size());
+  for (size_t i = 0; i < all_rules.size(); ++i) all_rules[i] = i;
+
+  for (BackendKind kind : options.backends) {
+    // Fig. 5 annotation sets on a bare backend.  The sets are pure A/D
+    // combinations, independent of (ds, cr), so the injected bug does not
+    // (and must not) change them.
+    {
+      std::unique_ptr<engine::Backend> backend = MakeBackend(kind);
+      if (!backend->Load(instance.dtd, instance.doc).ok()) return "";
+      for (policy::CombineOp combine :
+           {policy::CombineOp::kGrants, policy::CombineOp::kGrantsExceptDenies,
+            policy::CombineOp::kDenies,
+            policy::CombineOp::kDeniesExceptGrants}) {
+        auto engine_set =
+            backend->EvaluateAnnotationSet(engine_policy, all_rules, combine);
+        if (!engine_set.ok()) {
+          if (engine_set.status().code() == StatusCode::kUnsupported) continue;
+          return "";
+        }
+        std::vector<UniversalId> oracle_set = Widen(
+            OracleAnnotationSet(instance.policy, instance.doc, combine));
+        if (*engine_set != oracle_set) {
+          return std::string("annotation-set[") + BackendName(kind) +
+                 ", combine " + std::to_string(static_cast<int>(combine)) +
+                 "]: engine " + IdList(*engine_set) + " vs oracle " +
+                 IdList(oracle_set);
+        }
+      }
+    }
+
+    for (bool optimize : {false, true}) {
+      AccessController ac(MakeBackend(kind), optimize);
+      if (!Setup(ac, instance, engine_policy)) continue;
+
+      // Table 2 signs, node by node.
+      for (NodeId id : instance.doc.AllElements()) {
+        auto sign = ac.backend()->GetSign(static_cast<UniversalId>(id));
+        if (!sign.ok()) continue;
+        char want = oracle_signs.at(id);
+        if (*sign != want) {
+          return "annotation[" + Describe(kind, optimize) +
+                 "]: sign mismatch at " + instance.doc.PathOf(id) + " (node " +
+                 std::to_string(id) + "): engine '" + *sign + "', oracle '" +
+                 want + "'";
+        }
+      }
+
+      // All-or-nothing request outcomes on random probes.
+      Random rng(instance.seed ^ 0x5eedf00dULL);
+      RandomPathGenerator paths(instance.doc, rng.Next());
+      for (int i = 0; i < options.probe_queries; ++i) {
+        xpath::Path q = paths.Next();
+        EngineOutcome engine_out = RunQuery(ac, q);
+        if (!engine_out.comparable) continue;  // translator bailout
+        OracleOutcome oracle_out =
+            OracleRequest(instance.policy, instance.doc, q);
+        if (engine_out.granted != oracle_out.granted) {
+          return "request[" + Describe(kind, optimize) + "]: " +
+                 xpath::ToString(q) + ": engine " +
+                 (engine_out.granted ? "grants" : "denies") + ", oracle " +
+                 (oracle_out.granted ? "grants" : "denies");
+        }
+        if (engine_out.granted) {
+          std::vector<UniversalId> oracle_ids =
+              Widen(OracleEval(q, instance.doc));
+          if (engine_out.ids != oracle_ids) {
+            return "request[" + Describe(kind, optimize) + "]: " +
+                   xpath::ToString(q) + ": engine selects " +
+                   IdList(engine_out.ids) + ", oracle " + IdList(oracle_ids);
+          }
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckReannotation(const Instance& instance,
+                              const DiffOptions& options) {
+  if (instance.updates.empty()) return "";
+  policy::Policy engine_policy = ApplyBug(instance.policy, options.bug);
+
+  // The oracle defines re-annotation after an update as full re-annotation
+  // of the post-update document, from scratch.
+  xml::Document oracle_doc = instance.doc.Clone();
+  for (const engine::BatchOp& op : instance.updates) {
+    if (!OracleApply(oracle_doc, op).ok()) return "";
+  }
+  std::map<NodeId, char> oracle_signs = OracleSigns(instance.policy,
+                                                    oracle_doc);
+  size_t oracle_accessible = 0;
+  for (const auto& [id, sign] : oracle_signs) {
+    if (sign == '+') ++oracle_accessible;
+  }
+
+  auto star = xpath::ParsePath("//*");
+  if (!star.ok()) return "";
+
+  for (BackendKind kind : options.backends) {
+    AccessController partial(MakeBackend(kind), true);
+    AccessController full(MakeBackend(kind), true);
+    AccessController batch(MakeBackend(kind), true);
+    if (!Setup(partial, instance, engine_policy) ||
+        !Setup(full, instance, engine_policy) ||
+        !Setup(batch, instance, engine_policy)) {
+      continue;
+    }
+
+    bool skip = false;
+    for (const engine::BatchOp& op : instance.updates) {
+      // Trigger-based partial re-annotation, one op at a time.
+      auto r = op.kind == engine::BatchOp::Kind::kDelete
+                   ? partial.Update(op.xpath)
+                   : partial.Insert(op.xpath, op.fragment_xml);
+      if (!r.ok()) {
+        skip = true;
+        break;
+      }
+      // Reference: raw backend mutation + full re-annotation from scratch.
+      auto path = xpath::ParsePath(op.xpath);
+      if (!path.ok()) {
+        skip = true;
+        break;
+      }
+      if (op.kind == engine::BatchOp::Kind::kDelete) {
+        if (!full.backend()->DeleteWhere(*path).ok()) {
+          skip = true;
+          break;
+        }
+      } else {
+        auto fragment = xml::ParseDocument(op.fragment_xml);
+        if (!fragment.ok() ||
+            !full.backend()->InsertUnder(*path, *fragment).ok()) {
+          skip = true;
+          break;
+        }
+      }
+      if (!full.ReannotateFull().ok()) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    if (!batch.ApplyBatch(instance.updates).ok()) continue;
+
+    // Same backend kind assigns fresh ids identically, so the three
+    // controllers are comparable id by id.
+    auto ids = partial.backend()->EvaluateQuery(*star);
+    if (!ids.ok()) continue;
+    for (UniversalId id : *ids) {
+      auto sp = partial.backend()->GetSign(id);
+      auto sf = full.backend()->GetSign(id);
+      auto sb = batch.backend()->GetSign(id);
+      if (!sp.ok() || !sf.ok() || !sb.ok()) {
+        return std::string("reannotation[") + BackendName(kind) + "]: node " +
+               std::to_string(id) + " missing from a variant (partial " +
+               sp.status().ToString() + ", full " + sf.status().ToString() +
+               ", batch " + sb.status().ToString() + ")";
+      }
+      if (*sp != *sf || *sp != *sb) {
+        return std::string("reannotation[") + BackendName(kind) + "]: node " +
+               std::to_string(id) + ": partial '" + *sp + "', full '" + *sf +
+               "', batch '" + *sb + "'";
+      }
+    }
+
+    // Against the oracle: the element population and the accessible count
+    // must match on every backend; on the native backend ids additionally
+    // coincide with the oracle document (its insert mirrors the native
+    // pre-order), so signs are compared node by node.
+    if (ids->size() != oracle_signs.size()) {
+      return std::string("reannotation[") + BackendName(kind) + "]: " +
+             std::to_string(ids->size()) + " elements after updates, oracle " +
+             std::to_string(oracle_signs.size());
+    }
+    size_t engine_accessible = 0;
+    for (UniversalId id : *ids) {
+      auto sign = partial.backend()->GetSign(id);
+      if (sign.ok() && *sign == '+') ++engine_accessible;
+    }
+    if (engine_accessible != oracle_accessible) {
+      return std::string("reannotation[") + BackendName(kind) + "]: " +
+             std::to_string(engine_accessible) + " accessible, oracle " +
+             std::to_string(oracle_accessible);
+    }
+    if (kind == BackendKind::kNative) {
+      for (const auto& [id, want] : oracle_signs) {
+        auto sign = partial.backend()->GetSign(static_cast<UniversalId>(id));
+        if (!sign.ok()) {
+          return "reannotation[native]: oracle node " + std::to_string(id) +
+                 " (" + oracle_doc.PathOf(id) + ") missing: " +
+                 sign.status().ToString();
+        }
+        if (*sign != want) {
+          return "reannotation[native]: sign mismatch at " +
+                 oracle_doc.PathOf(id) + " (node " + std::to_string(id) +
+                 "): engine '" + *sign + "', oracle '" + want + "'";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckOptimizer(const Instance& instance) {
+  AccessController optimized(MakeBackend(BackendKind::kNative), true);
+  AccessController raw(MakeBackend(BackendKind::kNative), false);
+  if (!Setup(optimized, instance, instance.policy) ||
+      !Setup(raw, instance, instance.policy)) {
+    return "";
+  }
+  for (NodeId id : instance.doc.AllElements()) {
+    auto so = optimized.backend()->GetSign(static_cast<UniversalId>(id));
+    auto sr = raw.backend()->GetSign(static_cast<UniversalId>(id));
+    if (!so.ok() || !sr.ok()) continue;
+    if (*so != *sr) {
+      return "optimizer: rule elimination changed the sign at " +
+             instance.doc.PathOf(id) + " (node " + std::to_string(id) +
+             "): optimized '" + *so + "', unoptimized '" + *sr + "'";
+    }
+  }
+  return "";
+}
+
+std::string CheckContainment(const Instance& instance,
+                             const DiffOptions& options) {
+  PathGenOptions path_options;
+  path_options.allow_comparisons = false;
+  Random rng(instance.seed * 1315423911ULL + 3);
+  RandomPathGenerator paths(instance.doc, rng.Next(), path_options);
+
+  std::vector<xpath::Path> pool;
+  for (const policy::Rule& rule : instance.policy.rules()) {
+    pool.push_back(rule.resource);
+  }
+  for (int i = 0; i < options.containment_pairs; ++i) pool.push_back(paths.Next());
+
+  for (int i = 0; i < options.containment_pairs; ++i) {
+    const xpath::Path& p = pool[rng.Uniform(pool.size())];
+    const xpath::Path& q = pool[rng.Uniform(pool.size())];
+    bool engine = xpath::Contains(p, q);
+    auto oracle = OracleContains(p, q);
+    if (oracle.ok()) {
+      if (engine && !*oracle) {
+        return "containment: Contains claims " + xpath::ToString(p) +
+               " ⊑ " + xpath::ToString(q) +
+               ", canonical-model enumeration refutes it";
+      }
+    }
+    // Empirical witness on the generated document: containment (claimed by
+    // either side) implies subset of the naive evaluations.
+    if (engine || (oracle.ok() && *oracle)) {
+      std::vector<NodeId> ep = OracleEval(p, instance.doc);
+      std::vector<NodeId> eq = OracleEval(q, instance.doc);
+      if (!std::includes(eq.begin(), eq.end(), ep.begin(), ep.end())) {
+        return "containment: " + xpath::ToString(p) + " ⊑ " +
+               xpath::ToString(q) + " claimed by " +
+               (engine ? "Contains" : "the oracle") +
+               ", but the generated document is a counterexample";
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckAll(const Instance& instance, const DiffOptions& options) {
+  std::string out = CheckAnnotation(instance, options);
+  if (out.empty()) out = CheckReannotation(instance, options);
+  if (out.empty()) out = CheckOptimizer(instance);
+  if (out.empty()) out = CheckContainment(instance, options);
+  return out;
+}
+
+CheckFn AnnotationCheck(DiffOptions options) {
+  return [options](const Instance& instance) {
+    return CheckAnnotation(instance, options);
+  };
+}
+
+CheckFn ReannotationCheck(DiffOptions options) {
+  return [options](const Instance& instance) {
+    return CheckReannotation(instance, options);
+  };
+}
+
+CheckFn AllChecks(DiffOptions options) {
+  return [options](const Instance& instance) {
+    return CheckAll(instance, options);
+  };
+}
+
+std::string RunSeededCheck(uint64_t seed, InstanceOptions options,
+                           const CheckFn& check,
+                           const std::string& repro_dir) {
+  options.seed = seed;
+  Instance instance = GenerateInstance(options);
+  std::string failure = check(instance);
+  if (failure.empty()) return "";
+
+  ShrinkResult shrunk = Shrink(instance, check);
+  std::string report = "seed " + std::to_string(seed) + ": " + failure +
+                       "\nminimized (" + std::to_string(shrunk.steps) +
+                       " shrink steps): " + shrunk.failure + "\n" +
+                       FormatInstance(shrunk.instance);
+  if (!repro_dir.empty()) {
+    std::string dir = repro_dir + "/seed-" + std::to_string(seed);
+    Status written = WriteRepro(shrunk.instance, dir);
+    report += written.ok()
+                  ? "repro written to " + dir +
+                        " (replay: xmlac_fuzz --replay " + dir + ")\n"
+                  : "repro dump failed: " + written.ToString() + "\n";
+  }
+  return report;
+}
+
+}  // namespace xmlac::testing

@@ -1,0 +1,405 @@
+#include "testing/generators.h"
+
+#include <filesystem>
+#include <set>
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testing {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+const char* const kValuePool[] = {"a", "b", "v1", "v2", "7", "12", "100", "x"};
+constexpr size_t kValuePoolSize = sizeof(kValuePool) / sizeof(kValuePool[0]);
+
+std::string TypeName(int i) { return "e" + std::to_string(i); }
+
+// Element-ref names of a declaration's content model, in declaration order.
+void CollectRefs(const xml::Particle& p, std::vector<std::string>* out) {
+  if (p.kind == xml::ParticleKind::kElementRef) {
+    out->push_back(p.name);
+    return;
+  }
+  for (const xml::Particle& c : p.children) CollectRefs(c, out);
+}
+
+std::vector<std::string> DeclaredChildren(const xml::Dtd& dtd,
+                                          const std::string& type) {
+  std::vector<std::string> refs;
+  const xml::ElementDecl* decl = dtd.Lookup(type);
+  if (decl != nullptr) CollectRefs(decl->content, &refs);
+  return refs;
+}
+
+// How many copies of one declared child to emit: mostly 0-2, rarely 3.
+int SampleChildCount(Random& rng) {
+  uint64_t roll = rng.Uniform(100);
+  if (roll < 30) return 0;
+  if (roll < 65) return 1;
+  if (roll < 90) return 2;
+  return 3;
+}
+
+void BuildSubtree(Document& doc, NodeId node, const xml::Dtd& dtd,
+                  const std::string& type, int depth, int max_depth,
+                  int* budget, Random& rng) {
+  std::vector<std::string> children = DeclaredChildren(dtd, type);
+  if (children.empty()) {
+    // Leaf (#PCDATA): usually carries a small value, sometimes empty.
+    if (!rng.OneIn(5)) {
+      doc.CreateText(node, kValuePool[rng.Uniform(kValuePoolSize)]);
+    }
+    return;
+  }
+  if (depth >= max_depth) return;
+  for (const std::string& child : children) {
+    int count = SampleChildCount(rng);
+    for (int i = 0; i < count && *budget > 0; ++i) {
+      --*budget;
+      NodeId c = doc.CreateElement(node, child);
+      BuildSubtree(doc, c, dtd, child, depth + 1, max_depth, budget, rng);
+    }
+  }
+}
+
+Document BuildFragment(const xml::Dtd& dtd, const std::string& root_type,
+                       Random& rng) {
+  Document fragment;
+  NodeId root = fragment.CreateRoot(root_type);
+  int budget = 6;
+  BuildSubtree(fragment, root, dtd, root_type, 0, 2, &budget, rng);
+  return fragment;
+}
+
+}  // namespace
+
+// --- RandomPathGenerator ----------------------------------------------------
+
+RandomPathGenerator::RandomPathGenerator(const Document& doc, uint64_t seed,
+                                         const PathGenOptions& options)
+    : rng_(seed), options_(options) {
+  std::set<std::string> labels;
+  std::set<std::string> text_values;
+  for (NodeId id : doc.AllElements()) {
+    labels.insert(doc.node(id).label);
+    std::string text = doc.DirectText(id);
+    if (!text.empty() && text.size() < 24 &&
+        text.find('"') == std::string::npos && text_values.size() < 64) {
+      text_values.insert(text);
+    }
+  }
+  labels_.assign(labels.begin(), labels.end());
+  values_.assign(text_values.begin(), text_values.end());
+}
+
+xpath::Path RandomPathGenerator::Next() {
+  std::string expr;
+  int steps =
+      1 + static_cast<int>(rng_.Uniform(
+              static_cast<uint64_t>(std::max(1, options_.max_steps))));
+  for (int i = 0; i < steps; ++i) {
+    expr += rng_.OneIn(2) ? "//" : "/";
+    expr += NameTest();
+  }
+  if (rng_.NextDouble() < options_.predicate_rate) expr += Predicate();
+  auto parsed = xpath::ParsePath(expr);
+  // The generator only composes valid syntax; a parse failure here is a
+  // bug worth failing loudly on.
+  if (!parsed.ok()) {
+    return Next();
+  }
+  return *parsed;
+}
+
+std::string RandomPathGenerator::NameTest() {
+  if (labels_.empty()) return "*";
+  if (rng_.NextDouble() < options_.wildcard_rate) return "*";
+  return labels_[rng_.Uniform(labels_.size())];
+}
+
+std::string RandomPathGenerator::Predicate() {
+  switch (rng_.Uniform(4)) {
+    case 0:
+      return "[" + NameTest() + "]";
+    case 1:
+      return "[.//" + NameTest() + "]";
+    case 2:
+      return "[" + NameTest() + "/" + NameTest() + "]";
+    default: {
+      if (values_.empty() || !options_.allow_comparisons) {
+        return "[" + NameTest() + "]";
+      }
+      const std::string& v = values_[rng_.Uniform(values_.size())];
+      const char* ops[] = {"=", "!=", "<", ">"};
+      return "[" + NameTest() + ops[rng_.Uniform(4)] + "\"" + v + "\"]";
+    }
+  }
+}
+
+// --- Instance generation ----------------------------------------------------
+
+Instance Instance::Clone() const {
+  Instance copy;
+  copy.dtd_text = dtd_text;
+  copy.dtd = dtd;
+  copy.doc = doc.Clone();
+  copy.policy = policy;
+  copy.updates = updates;
+  copy.seed = seed;
+  return copy;
+}
+
+Instance GenerateInstance(const InstanceOptions& options) {
+  Random rng(options.seed * 0x9E3779B9ULL + 17);
+  Instance out;
+  out.seed = options.seed;
+
+  // Schema: element types on levels (children only point to later types, so
+  // the DTD is non-recursive by construction — the shredder requires that).
+  int n = std::max(1, options.element_types);
+  std::vector<std::set<int>> children(static_cast<size_t>(n));
+  for (int i = 1; i < n; ++i) {
+    children[rng.Uniform(static_cast<uint64_t>(i))].insert(i);
+    if (i >= 2 && rng.OneIn(3)) {
+      children[rng.Uniform(static_cast<uint64_t>(i))].insert(i);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::string decl = "<!ELEMENT " + TypeName(i) + " ";
+    if (children[static_cast<size_t>(i)].empty()) {
+      decl += "(#PCDATA)";
+    } else {
+      decl += "(";
+      bool first = true;
+      for (int c : children[static_cast<size_t>(i)]) {
+        if (!first) decl += ", ";
+        first = false;
+        decl += TypeName(c) + "*";
+      }
+      decl += ")";
+    }
+    decl += ">\n";
+    out.dtd_text += decl;
+  }
+  auto dtd = xml::ParseDtd(out.dtd_text);
+  // The generator only writes well-formed declarations.
+  if (!dtd.ok()) {
+    out.dtd_text = "<!ELEMENT e0 (#PCDATA)>\n";
+    dtd = xml::ParseDtd(out.dtd_text);
+  }
+  out.dtd = *dtd;
+
+  // Document valid against the schema.
+  NodeId root = out.doc.CreateRoot(TypeName(0));
+  int budget = std::max(1, options.max_doc_nodes) - 1;
+  BuildSubtree(out.doc, root, out.dtd, TypeName(0), 0, options.max_depth,
+               &budget, rng);
+
+  // Policy over the document's vocabulary.
+  out.policy.set_default_semantics(rng.OneIn(2)
+                                       ? policy::DefaultSemantics::kAllow
+                                       : policy::DefaultSemantics::kDeny);
+  out.policy.set_conflict_resolution(
+      rng.OneIn(2) ? policy::ConflictResolution::kAllowOverrides
+                   : policy::ConflictResolution::kDenyOverrides);
+  RandomPathGenerator paths(out.doc, rng.Next(), options.paths);
+  int rules =
+      1 + static_cast<int>(rng.Uniform(
+              static_cast<uint64_t>(std::max(1, options.max_rules))));
+  for (int i = 0; i < rules; ++i) {
+    policy::Rule rule;
+    rule.resource = paths.Next();
+    rule.effect = rng.NextDouble() < options.deny_rate
+                      ? policy::Effect::kDeny
+                      : policy::Effect::kAllow;
+    out.policy.AddRule(std::move(rule));
+  }
+
+  // Update stream.
+  int updates =
+      static_cast<int>(rng.Uniform(
+          static_cast<uint64_t>(std::max(0, options.max_updates) + 1)));
+  out.updates = GenerateUpdates(out.doc, out.dtd, rng, updates, options.paths);
+  return out;
+}
+
+std::vector<engine::BatchOp> GenerateUpdates(const Document& doc,
+                                             const xml::Dtd& dtd, Random& rng,
+                                             int count,
+                                             const PathGenOptions& paths) {
+  std::vector<engine::BatchOp> ops;
+  // Container types that actually occur in the document and declare at
+  // least one element child — insert targets.
+  std::vector<std::pair<std::string, std::string>> insertable;
+  {
+    std::set<std::string> present;
+    for (NodeId id : doc.AllElements()) present.insert(doc.node(id).label);
+    for (const std::string& label : present) {
+      for (const std::string& child : DeclaredChildren(dtd, label)) {
+        if (dtd.HasElement(child)) insertable.emplace_back(label, child);
+      }
+    }
+  }
+  RandomPathGenerator path_gen(doc, rng.Next(), paths);
+  for (int i = 0; i < count; ++i) {
+    if (!insertable.empty() && rng.OneIn(3)) {
+      const auto& [target, child] = insertable[rng.Uniform(insertable.size())];
+      Document fragment = BuildFragment(dtd, child, rng);
+      ops.push_back(
+          engine::BatchOp::Insert("//" + target, xml::Serialize(fragment)));
+    } else {
+      ops.push_back(
+          engine::BatchOp::Delete(xpath::ToString(path_gen.Next())));
+    }
+  }
+  return ops;
+}
+
+// --- Repro files ------------------------------------------------------------
+
+namespace {
+constexpr char kDtdFile[] = "schema.dtd";
+constexpr char kDocFile[] = "doc.xml";
+constexpr char kPolicyFile[] = "policy.txt";
+constexpr char kUpdatesFile[] = "updates.txt";
+constexpr char kSeedFile[] = "seed.txt";
+}  // namespace
+
+Status WriteRepro(const Instance& instance, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  auto path = [&dir](const char* name) { return dir + "/" + name; };
+  XMLAC_RETURN_IF_ERROR(WriteFile(path(kDtdFile), instance.dtd_text));
+  xml::SerializeOptions pretty;
+  pretty.indent = true;
+  XMLAC_RETURN_IF_ERROR(
+      WriteFile(path(kDocFile), xml::Serialize(instance.doc, pretty)));
+  XMLAC_RETURN_IF_ERROR(
+      WriteFile(path(kPolicyFile), instance.policy.ToString()));
+  std::string updates;
+  for (const engine::BatchOp& op : instance.updates) {
+    if (op.kind == engine::BatchOp::Kind::kDelete) {
+      updates += "delete\t" + op.xpath + "\n";
+    } else {
+      updates += "insert\t" + op.xpath + "\t" + op.fragment_xml + "\n";
+    }
+  }
+  XMLAC_RETURN_IF_ERROR(WriteFile(path(kUpdatesFile), updates));
+  return WriteFile(path(kSeedFile), std::to_string(instance.seed) + "\n");
+}
+
+Result<Instance> LoadRepro(const std::string& dir) {
+  auto path = [&dir](const char* name) { return dir + "/" + name; };
+  Instance out;
+  XMLAC_ASSIGN_OR_RETURN(out.dtd_text, ReadFile(path(kDtdFile)));
+  XMLAC_ASSIGN_OR_RETURN(out.dtd, xml::ParseDtd(out.dtd_text));
+  XMLAC_ASSIGN_OR_RETURN(std::string doc_text, ReadFile(path(kDocFile)));
+  XMLAC_ASSIGN_OR_RETURN(out.doc, xml::ParseDocument(doc_text));
+  XMLAC_ASSIGN_OR_RETURN(std::string policy_text, ReadFile(path(kPolicyFile)));
+  XMLAC_ASSIGN_OR_RETURN(out.policy, policy::ParsePolicy(policy_text));
+  XMLAC_ASSIGN_OR_RETURN(std::string updates, ReadFile(path(kUpdatesFile)));
+  for (const std::string& raw : StrSplit(updates, '\n')) {
+    std::string_view line = raw;
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::ParseError("malformed updates.txt line: " +
+                                std::string(line));
+    }
+    std::string_view kind = line.substr(0, tab);
+    std::string_view rest = line.substr(tab + 1);
+    if (kind == "delete") {
+      out.updates.push_back(engine::BatchOp::Delete(std::string(rest)));
+    } else if (kind == "insert") {
+      size_t tab2 = rest.find('\t');
+      if (tab2 == std::string_view::npos) {
+        return Status::ParseError("malformed insert line: " +
+                                  std::string(line));
+      }
+      out.updates.push_back(
+          engine::BatchOp::Insert(std::string(rest.substr(0, tab2)),
+                                  std::string(rest.substr(tab2 + 1))));
+    } else {
+      return Status::ParseError("unknown update kind: " + std::string(kind));
+    }
+  }
+  auto seed_text = ReadFile(path(kSeedFile));
+  if (seed_text.ok()) {
+    out.seed = static_cast<uint64_t>(std::strtoull(
+        seed_text->c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string FormatInstance(const Instance& instance) {
+  std::string out;
+  out += "seed " + std::to_string(instance.seed) + ": " +
+         std::to_string(instance.doc.alive_count()) + " nodes, " +
+         std::to_string(instance.policy.size()) + " rules, " +
+         std::to_string(instance.updates.size()) + " updates\n";
+  out += "--- policy ---\n" + instance.policy.ToString();
+  if (!instance.updates.empty()) {
+    out += "--- updates ---\n";
+    for (const engine::BatchOp& op : instance.updates) {
+      if (op.kind == engine::BatchOp::Kind::kDelete) {
+        out += "delete " + op.xpath + "\n";
+      } else {
+        out += "insert " + op.xpath + " " + op.fragment_xml + "\n";
+      }
+    }
+  }
+  out += "--- document ---\n";
+  std::string doc_text = xml::Serialize(instance.doc);
+  if (doc_text.size() > 2000) {
+    doc_text.resize(2000);
+    doc_text += "...(truncated)";
+  }
+  out += doc_text + "\n";
+  return out;
+}
+
+// --- Text fuzz helpers ------------------------------------------------------
+
+std::string RandomGarbage(Random& rng, size_t max_len) {
+  size_t len = rng.Uniform(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Bias toward structural characters so we exercise deep parser states.
+    static const char kChars[] =
+        "<>/='\"[]()!#&;,.*ab01 \t\nPCDATAELEMENTSELECTWHEREallowdeny-"
+        "forletreturnuniondoc$:";
+    s.push_back(kChars[rng.Uniform(sizeof(kChars) - 1)]);
+  }
+  return s;
+}
+
+std::string MutateText(Random& rng, std::string s) {
+  int edits = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < edits && !s.empty(); ++i) {
+    size_t pos = rng.Uniform(s.size());
+    switch (rng.Uniform(3)) {
+      case 0:
+        s[pos] = static_cast<char>(32 + rng.Uniform(95));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace xmlac::testing

@@ -1,0 +1,125 @@
+#ifndef XMLAC_TESTING_GENERATORS_H_
+#define XMLAC_TESTING_GENERATORS_H_
+
+// Seeded, reproducible generators for whole test instances — DTD, document,
+// policy, update stream — plus the repro file format the shrinker dumps.
+// Every generator is deterministic in its options (splitmix64 core), so a
+// failure report is always "seed N" and nothing else.
+//
+// The property suites, the differential checks (testing/diff.h) and the
+// xmlac_fuzz driver all draw from this one family; tests/random_paths.h
+// used to hold the path generator and is folded in here.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/access_controller.h"
+#include "policy/policy.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+#include "xpath/ast.h"
+
+namespace xmlac::testing {
+
+// --- Random XPath over a document's vocabulary ------------------------------
+
+struct PathGenOptions {
+  double wildcard_rate = 0.15;
+  double predicate_rate = 0.35;
+  // When false, comparison predicates are never emitted (the canonical-model
+  // containment oracle covers XP(/, //, *, []) only).
+  bool allow_comparisons = true;
+  int max_steps = 4;
+};
+
+// Random XPath generator: builds expressions of the paper's fragment over a
+// document's actual vocabulary so they are satisfiable often enough to be
+// interesting.
+class RandomPathGenerator {
+ public:
+  RandomPathGenerator(const xml::Document& doc, uint64_t seed,
+                      const PathGenOptions& options = {});
+
+  // A random absolute path: 1..max_steps steps, each child/descendant,
+  // wildcards and one predicate (existence, nested, or comparison against a
+  // sampled document value) at the configured rates.
+  xpath::Path Next();
+
+ private:
+  std::string NameTest();
+  std::string Predicate();
+
+  Random rng_;
+  PathGenOptions options_;
+  std::vector<std::string> labels_;
+  std::vector<std::string> values_;
+};
+
+// --- Whole-instance generation ----------------------------------------------
+
+struct InstanceOptions {
+  uint64_t seed = 1;
+  // Schema size: number of element types (e0 is the root).
+  int element_types = 7;
+  // Element budget and depth cap for the generated document.
+  int max_doc_nodes = 90;
+  int max_depth = 5;
+  // Policy shape.
+  int max_rules = 6;
+  double deny_rate = 0.4;
+  PathGenOptions paths;
+  // Update stream length (deletes and schema-valid inserts mixed).
+  int max_updates = 3;
+};
+
+// One self-contained test case.  Everything the differential checks need,
+// loadable from / dumpable to a repro directory.
+struct Instance {
+  std::string dtd_text;
+  xml::Dtd dtd;
+  xml::Document doc;
+  policy::Policy policy;
+  std::vector<engine::BatchOp> updates;
+  uint64_t seed = 0;
+
+  // Document is move-only; shrinking needs explicit copies.
+  Instance Clone() const;
+};
+
+// Deterministic in `options`.
+Instance GenerateInstance(const InstanceOptions& options);
+
+// Random schema-valid update stream over `doc` (deletes of random paths,
+// inserts of generated fragments under declared container types).
+std::vector<engine::BatchOp> GenerateUpdates(const xml::Document& doc,
+                                             const xml::Dtd& dtd, Random& rng,
+                                             int count,
+                                             const PathGenOptions& paths = {});
+
+// --- Repro files ------------------------------------------------------------
+
+// Writes schema.dtd, doc.xml, policy.txt, updates.txt and seed.txt under
+// `dir` (created if missing).  Replay with `xmlac_fuzz --replay <dir>`.
+Status WriteRepro(const Instance& instance, const std::string& dir);
+
+// Loads an instance previously written by WriteRepro.
+Result<Instance> LoadRepro(const std::string& dir);
+
+// Compact human-readable dump for assertion messages: node/rule/update
+// counts, the policy text, the update stream, and the (truncated) document.
+std::string FormatInstance(const Instance& instance);
+
+// --- Text fuzz helpers (parser robustness suites) ---------------------------
+
+// Random garbage biased toward structural characters so parsers reach deep
+// states.
+std::string RandomGarbage(Random& rng, size_t max_len);
+
+// Flip/insert/delete a few characters of a valid input.
+std::string MutateText(Random& rng, std::string s);
+
+}  // namespace xmlac::testing
+
+#endif  // XMLAC_TESTING_GENERATORS_H_

@@ -1,0 +1,415 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "policy/policy.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testing {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeKind;
+using xpath::Axis;
+using xpath::CmpOp;
+using xpath::Path;
+using xpath::Predicate;
+using xpath::Step;
+
+// Independent re-statement of the predicate comparison spec: numeric when
+// both sides parse fully as numbers, lexicographic otherwise, and always
+// false against a missing value.
+bool NaiveCompare(const std::string& lhs, CmpOp op, const std::string& rhs) {
+  if (lhs.empty() || rhs.empty()) return false;
+  char* lend = nullptr;
+  char* rend = nullptr;
+  double lv = std::strtod(lhs.c_str(), &lend);
+  double rv = std::strtod(rhs.c_str(), &rend);
+  int cmp;
+  if (*lend == '\0' && *rend == '\0') {
+    cmp = lv < rv ? -1 : (lv > rv ? 1 : 0);
+  } else {
+    int c = lhs.compare(rhs);
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool NaiveStepMatches(const Step& step, const Document& doc, NodeId id);
+
+// Selects into `out` every node reached by steps[i..] from `context`.
+void NaiveSelect(const std::vector<Step>& steps, size_t i, const Document& doc,
+                 NodeId context, std::set<NodeId>& out) {
+  if (i == steps.size()) {
+    out.insert(context);
+    return;
+  }
+  const Step& step = steps[i];
+  if (step.axis == Axis::kChild) {
+    for (NodeId c : doc.node(context).children) {
+      if (!doc.IsAlive(c)) continue;
+      if (NaiveStepMatches(step, doc, c)) NaiveSelect(steps, i + 1, doc, c, out);
+    }
+  } else {
+    // descendant: one or more child edges, walked one level at a time.
+    for (NodeId c : doc.node(context).children) {
+      if (!doc.IsAlive(c)) continue;
+      if (NaiveStepMatches(step, doc, c)) NaiveSelect(steps, i + 1, doc, c, out);
+      if (doc.node(c).kind == NodeKind::kElement) {
+        // Re-enter the same step from the child: strictly deeper matches.
+        std::vector<Step> same(steps.begin() + static_cast<long>(i),
+                               steps.end());
+        NaiveSelect(same, 0, doc, c, out);
+      }
+    }
+  }
+}
+
+std::set<NodeId> NaiveEvalFromSet(const Path& path, const Document& doc,
+                                  NodeId context) {
+  std::set<NodeId> out;
+  if (!doc.IsAlive(context)) return out;
+  if (path.empty()) {
+    out.insert(context);
+    return out;
+  }
+  NaiveSelect(path.steps, 0, doc, context, out);
+  return out;
+}
+
+bool NaiveStepMatches(const Step& step, const Document& doc, NodeId id) {
+  const xml::Node& n = doc.node(id);
+  if (n.kind != NodeKind::kElement) return false;
+  if (!step.is_wildcard() && n.label != step.label) return false;
+  for (const Predicate& pred : step.predicates) {
+    std::set<NodeId> selected = NaiveEvalFromSet(pred.path, doc, id);
+    if (!pred.has_comparison()) {
+      if (selected.empty()) return false;
+      continue;
+    }
+    bool any = false;
+    for (NodeId s : selected) {
+      if (NaiveCompare(doc.DirectText(s), *pred.op, pred.value)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+std::set<NodeId> NaiveEvalSet(const Path& path, const Document& doc) {
+  std::set<NodeId> out;
+  if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return out;
+  // The virtual document node has exactly one child: the root element.
+  const Step& first = path.steps.front();
+  std::vector<Step> rest(path.steps.begin() + 1, path.steps.end());
+  if (NaiveStepMatches(first, doc, doc.root())) {
+    NaiveSelect(rest, 0, doc, doc.root(), out);
+  }
+  if (first.axis == Axis::kDescendant) {
+    // Elements strictly below the root may also match the first step; a
+    // descendant step evaluated from the root covers exactly those.
+    NaiveSelect(path.steps, 0, doc, doc.root(), out);
+  }
+  return out;
+}
+
+// Scope of every rule, evaluated naively once.
+std::vector<std::set<NodeId>> RuleScopes(const policy::Policy& policy,
+                                         const Document& doc) {
+  std::vector<std::set<NodeId>> scopes;
+  scopes.reserve(policy.size());
+  for (const policy::Rule& rule : policy.rules()) {
+    scopes.push_back(NaiveEvalSet(rule.resource, doc));
+  }
+  return scopes;
+}
+
+bool AccessibleGiven(const policy::Policy& policy, bool in_a, bool in_d) {
+  bool ds_allow =
+      policy.default_semantics() == policy::DefaultSemantics::kAllow;
+  bool cr_allow =
+      policy.conflict_resolution() == policy::ConflictResolution::kAllowOverrides;
+  // Paper Table 2, case by case.
+  if (ds_allow && cr_allow) return !in_d || in_a;  // U − (D − A)
+  if (!ds_allow && cr_allow) return in_a;          // A
+  if (ds_allow && !cr_allow) return !in_d;         // U − D
+  return in_a && !in_d;                            // A − D
+}
+
+}  // namespace
+
+std::vector<NodeId> OracleEval(const Path& path, const Document& doc) {
+  std::set<NodeId> out = NaiveEvalSet(path, doc);
+  return {out.begin(), out.end()};
+}
+
+std::vector<NodeId> OracleEvalFrom(const Path& path, const Document& doc,
+                                   NodeId context) {
+  std::set<NodeId> out = NaiveEvalFromSet(path, doc, context);
+  return {out.begin(), out.end()};
+}
+
+char OracleDefaultSign(const policy::Policy& policy) {
+  return policy.default_semantics() == policy::DefaultSemantics::kAllow ? '+'
+                                                                        : '-';
+}
+
+bool OracleAccessible(const policy::Policy& policy, const Document& doc,
+                      NodeId id) {
+  bool in_a = false;
+  bool in_d = false;
+  for (const policy::Rule& rule : policy.rules()) {
+    if (NaiveEvalSet(rule.resource, doc).count(id) == 0) continue;
+    if (rule.effect == policy::Effect::kAllow) {
+      in_a = true;
+    } else {
+      in_d = true;
+    }
+  }
+  return AccessibleGiven(policy, in_a, in_d);
+}
+
+std::map<NodeId, char> OracleSigns(const policy::Policy& policy,
+                                   const Document& doc) {
+  std::vector<std::set<NodeId>> scopes = RuleScopes(policy, doc);
+  std::map<NodeId, char> signs;
+  for (NodeId id : doc.AllElements()) {
+    bool in_a = false;
+    bool in_d = false;
+    for (size_t r = 0; r < scopes.size(); ++r) {
+      if (scopes[r].count(id) == 0) continue;
+      if (policy.rules()[r].effect == policy::Effect::kAllow) {
+        in_a = true;
+      } else {
+        in_d = true;
+      }
+    }
+    signs[id] = AccessibleGiven(policy, in_a, in_d) ? '+' : '-';
+  }
+  return signs;
+}
+
+OracleOutcome OracleRequest(const policy::Policy& policy, const Document& doc,
+                            const Path& query) {
+  std::map<NodeId, char> signs = OracleSigns(policy, doc);
+  OracleOutcome out;
+  for (NodeId id : OracleEval(query, doc)) {
+    ++out.selected;
+    if (signs[id] == '+') ++out.accessible;
+  }
+  out.granted = out.accessible == out.selected;
+  return out;
+}
+
+size_t OracleApplyDelete(Document& doc, const Path& u) {
+  size_t removed = 0;
+  for (NodeId id : OracleEval(u, doc)) {
+    if (!doc.IsAlive(id)) continue;  // an ancestor was already deleted
+    doc.Visit(id, [&](NodeId n) {
+      if (doc.node(n).kind == NodeKind::kElement) ++removed;
+    });
+    doc.DeleteSubtree(id);
+  }
+  return removed;
+}
+
+namespace {
+
+size_t CloneInto(Document& doc, NodeId dst_parent, const Document& fragment,
+                 NodeId src) {
+  const xml::Node& n = fragment.node(src);
+  if (!n.alive) return 0;
+  if (n.kind == NodeKind::kText) {
+    doc.CreateText(dst_parent, n.label);
+    return 0;
+  }
+  NodeId dst = doc.CreateElement(dst_parent, n.label);
+  for (const xml::Attribute& a : n.attributes) {
+    if (a.name != "sign") doc.SetAttribute(dst, a.name, a.value);
+  }
+  size_t inserted = 1;
+  for (NodeId c : n.children) inserted += CloneInto(doc, dst, fragment, c);
+  return inserted;
+}
+
+}  // namespace
+
+size_t OracleApplyInsert(Document& doc, const Path& target,
+                         const Document& fragment) {
+  if (fragment.empty() || !fragment.IsAlive(fragment.root())) return 0;
+  size_t inserted = 0;
+  for (NodeId parent : OracleEval(target, doc)) {
+    inserted += CloneInto(doc, parent, fragment, fragment.root());
+  }
+  return inserted;
+}
+
+Status OracleApply(Document& doc, const engine::BatchOp& op) {
+  XMLAC_ASSIGN_OR_RETURN(Path path, xpath::ParsePath(op.xpath));
+  if (op.kind == engine::BatchOp::Kind::kDelete) {
+    OracleApplyDelete(doc, path);
+    return Status::OK();
+  }
+  XMLAC_ASSIGN_OR_RETURN(Document fragment,
+                         xml::ParseDocument(op.fragment_xml));
+  OracleApplyInsert(doc, path, fragment);
+  return Status::OK();
+}
+
+// --- Canonical-model containment -------------------------------------------
+
+namespace {
+
+bool HasComparison(const Path& path) {
+  for (const Step& s : path.steps) {
+    for (const Predicate& p : s.predicates) {
+      if (p.has_comparison()) return true;
+      if (HasComparison(p.path)) return true;
+    }
+  }
+  return false;
+}
+
+void CollectLabels(const Path& path, std::set<std::string>& labels) {
+  for (const Step& s : path.steps) {
+    labels.insert(s.label);
+    for (const Predicate& p : s.predicates) CollectLabels(p.path, labels);
+  }
+}
+
+size_t CountDescendantEdges(const Path& path) {
+  size_t d = 0;
+  for (const Step& s : path.steps) {
+    if (s.axis == Axis::kDescendant) ++d;
+    for (const Predicate& p : s.predicates) d += CountDescendantEdges(p.path);
+  }
+  return d;
+}
+
+NodeId MakeModelNode(Document& doc, NodeId parent, const std::string& label) {
+  if (parent == xml::kInvalidNode) return doc.CreateRoot(label);
+  return doc.CreateElement(parent, label);
+}
+
+// Builds the instantiation of `path` below `parent` (kInvalidNode = the
+// virtual document node), consuming one chain length per descendant edge in
+// the same pre-order the counting pass uses.  Returns the last spine node.
+NodeId BuildModelPath(Document& doc, NodeId parent, const Path& path,
+                      const std::vector<size_t>& chains, size_t& ci,
+                      const std::string& z) {
+  NodeId last = parent;
+  for (const Step& s : path.steps) {
+    if (s.axis == Axis::kDescendant) {
+      size_t extra = chains[ci++];
+      for (size_t k = 0; k < extra; ++k) last = MakeModelNode(doc, last, z);
+    }
+    last = MakeModelNode(doc, last, s.is_wildcard() ? z : s.label);
+    for (const Predicate& p : s.predicates) {
+      BuildModelPath(doc, last, p.path, chains, ci, z);
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+Result<bool> OracleContains(const Path& p, const Path& q) {
+  if (p.empty() || q.empty()) {
+    return Status::InvalidArgument("containment of empty path");
+  }
+  if (HasComparison(p) || HasComparison(q)) {
+    return Status::Unsupported(
+        "canonical-model containment covers XP(/, //, *, []) only");
+  }
+  std::set<std::string> labels;
+  CollectLabels(p, labels);
+  CollectLabels(q, labels);
+  std::string z = "z";
+  while (labels.count(z) > 0) z += "z";
+
+  size_t d = CountDescendantEdges(p);
+  size_t w = xpath::TotalSteps(q) + 1;  // chain lengths 0..w per // edge
+  double models = 1;
+  for (size_t i = 0; i < d; ++i) models *= static_cast<double>(w + 1);
+  if (models > 20000) {
+    return Status::Unsupported("too many canonical models to enumerate");
+  }
+
+  std::vector<size_t> chains(d, 0);
+  while (true) {
+    Document model;
+    size_t ci = 0;
+    NodeId output =
+        BuildModelPath(model, xml::kInvalidNode, p, chains, ci, z);
+    std::set<NodeId> selected = NaiveEvalSet(q, model);
+    if (selected.count(output) == 0) return false;
+    // Odometer over chain lengths.
+    size_t pos = 0;
+    for (; pos < d; ++pos) {
+      if (++chains[pos] <= w) break;
+      chains[pos] = 0;
+    }
+    if (pos == d) break;
+  }
+  return true;
+}
+
+// --- OracleModel ------------------------------------------------------------
+
+void OracleModel::Load(const Document& doc) { doc_ = doc.Clone(); }
+
+Status OracleModel::AddSubject(std::string subject, policy::Policy policy) {
+  if (subjects_.count(subject) > 0) {
+    return Status::AlreadyExists("subject " + subject);
+  }
+  subjects_.emplace(std::move(subject), std::move(policy));
+  return Status::OK();
+}
+
+Status OracleModel::AddSubject(std::string subject,
+                               std::string_view policy_text) {
+  XMLAC_ASSIGN_OR_RETURN(policy::Policy parsed,
+                         policy::ParsePolicy(policy_text));
+  return AddSubject(std::move(subject), std::move(parsed));
+}
+
+Status OracleModel::Apply(const engine::BatchOp& op) {
+  return OracleApply(doc_, op);
+}
+
+Status OracleModel::ApplyBatch(const std::vector<engine::BatchOp>& ops) {
+  for (const engine::BatchOp& op : ops) XMLAC_RETURN_IF_ERROR(Apply(op));
+  return Status::OK();
+}
+
+Result<OracleOutcome> OracleModel::Query(std::string_view subject,
+                                         const Path& query) const {
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) {
+    return Status::NotFound("unknown subject " + std::string(subject));
+  }
+  return OracleRequest(it->second, doc_, query);
+}
+
+}  // namespace xmlac::testing

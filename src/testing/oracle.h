@@ -1,0 +1,131 @@
+#ifndef XMLAC_TESTING_ORACLE_H_
+#define XMLAC_TESTING_ORACLE_H_
+
+// Brute-force semantics oracle for differential testing.
+//
+// Everything here is written to be *obviously correct* rather than fast, and
+// deliberately shares no evaluation code with the implementations under
+// test:
+//
+//  * XPath evaluation is a plain recursive tree walk over the Document
+//    (no context-list pipeline, no metrics, no dedup tricks) —
+//    independent of xpath::Evaluate and of the SQL translation;
+//  * annotation applies the paper's Table 2 definition node by node
+//    (membership in the union of A-scopes / D-scopes, then the (ds, cr)
+//    case split) — independent of the Fig. 5 annotation-query planner;
+//  * containment is decided by enumerating canonical models à la
+//    Miklau–Suciu and evaluating both paths on every model — independent
+//    of the tree-pattern homomorphism test;
+//  * re-annotation after an update is *defined* as full re-annotation from
+//    scratch on the post-update document.
+//
+// The differential checks in testing/diff.h compare the optimizer, the
+// compiled annotation queries on all three backends, and Trigger-based
+// partial re-annotation against this model.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/access_controller.h"
+#include "policy/policy.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlac::testing {
+
+// --- Naive XPath evaluation ------------------------------------------------
+
+// Evaluates an absolute path by recursive descent from the virtual document
+// node.  Returns selected element ids, deduplicated, sorted.
+std::vector<xml::NodeId> OracleEval(const xpath::Path& path,
+                                    const xml::Document& doc);
+
+// Relative evaluation from `context` (empty path selects the context).
+std::vector<xml::NodeId> OracleEvalFrom(const xpath::Path& path,
+                                        const xml::Document& doc,
+                                        xml::NodeId context);
+
+// --- Table 2 accessibility -------------------------------------------------
+
+// The policy's default sign ('+' when ds = allow).
+char OracleDefaultSign(const policy::Policy& policy);
+
+// True if `id` is accessible under the Table 2 case split: membership in
+// the union of positive-rule scopes / negative-rule scopes, then (ds, cr).
+bool OracleAccessible(const policy::Policy& policy, const xml::Document& doc,
+                      xml::NodeId id);
+
+// Sign per alive element, computed node by node.
+std::map<xml::NodeId, char> OracleSigns(const policy::Policy& policy,
+                                        const xml::Document& doc);
+
+// --- All-or-nothing requests ----------------------------------------------
+
+struct OracleOutcome {
+  bool granted = false;
+  size_t selected = 0;
+  size_t accessible = 0;
+};
+
+// The requester semantics: grant iff every selected node is accessible
+// (an empty selection leaks nothing and is granted).
+OracleOutcome OracleRequest(const policy::Policy& policy,
+                            const xml::Document& doc,
+                            const xpath::Path& query);
+
+// --- Updates ---------------------------------------------------------------
+
+// Applies a delete / insert to `doc` using the naive evaluator: delete
+// removes the subtree of every selected node; insert clones the fragment
+// (pre-order) under every target in document order.  Returns elements
+// removed / inserted.
+size_t OracleApplyDelete(xml::Document& doc, const xpath::Path& u);
+size_t OracleApplyInsert(xml::Document& doc, const xpath::Path& target,
+                         const xml::Document& fragment);
+
+// Parses and applies one batch op (delete or insert).
+Status OracleApply(xml::Document& doc, const engine::BatchOp& op);
+
+// --- Containment by canonical-model enumeration ----------------------------
+
+// Decides p ⊑ q exactly for XP(/, //, *, []) by enumerating the canonical
+// models of p (descendant edges instantiated with chains of 0..|q|+1 fresh
+// labels, wildcards instantiated with the fresh label) and checking that q
+// selects p's output node on every one.  Returns Unsupported for paths with
+// comparison predicates or when the model count exceeds an internal cap.
+Result<bool> OracleContains(const xpath::Path& p, const xpath::Path& q);
+
+// --- Stateful multi-subject model ------------------------------------------
+
+// The serving layer's oracle: one shared document, per-subject policies,
+// every question answered by brute force on the current document.  The
+// serve fuzzer replays the server's epoch-stamped history against this.
+class OracleModel {
+ public:
+  OracleModel() = default;
+
+  // Installs a deep copy of `doc`.
+  void Load(const xml::Document& doc);
+
+  Status AddSubject(std::string subject, policy::Policy policy);
+  Status AddSubject(std::string subject, std::string_view policy_text);
+
+  Status Apply(const engine::BatchOp& op);
+  Status ApplyBatch(const std::vector<engine::BatchOp>& ops);
+
+  Result<OracleOutcome> Query(std::string_view subject,
+                              const xpath::Path& query) const;
+
+  const xml::Document& document() const { return doc_; }
+
+ private:
+  xml::Document doc_;
+  std::map<std::string, policy::Policy, std::less<>> subjects_;
+};
+
+}  // namespace xmlac::testing
+
+#endif  // XMLAC_TESTING_ORACLE_H_

@@ -1,0 +1,220 @@
+#include "testing/serve_fuzz.h"
+
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "testing/oracle.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testing {
+namespace {
+
+struct RecordedRead {
+  uint64_t epoch = 0;
+  size_t subject = 0;
+  size_t query = 0;
+  bool granted = false;
+  size_t selected = 0;
+  size_t accessible = 0;
+};
+
+std::string SubjectName(size_t i) { return "s" + std::to_string(i); }
+
+policy::Policy GeneratePolicy(const xml::Document& doc, Random& rng,
+                              const InstanceOptions& options) {
+  policy::Policy out(rng.OneIn(2) ? policy::DefaultSemantics::kAllow
+                                  : policy::DefaultSemantics::kDeny,
+                     rng.OneIn(2) ? policy::ConflictResolution::kAllowOverrides
+                                  : policy::ConflictResolution::kDenyOverrides);
+  RandomPathGenerator paths(doc, rng.Next(), options.paths);
+  int rules =
+      1 + static_cast<int>(rng.Uniform(
+              static_cast<uint64_t>(std::max(1, options.max_rules))));
+  for (int i = 0; i < rules; ++i) {
+    policy::Rule rule;
+    rule.resource = paths.Next();
+    rule.effect = rng.NextDouble() < options.deny_rate ? policy::Effect::kDeny
+                                                       : policy::Effect::kAllow;
+    out.AddRule(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
+  ServeFuzzResult result;
+  auto fail = [&result](std::string why) {
+    result.ok = false;
+    if (result.failure.empty()) result.failure = std::move(why);
+    return result;
+  };
+
+  Random rng(options.seed * 0xD1B54A32D192ED03ULL + 5);
+  InstanceOptions instance_options = options.instance;
+  instance_options.seed = rng.Next();
+  instance_options.max_updates = 0;  // the schedule brings its own
+  Instance instance = GenerateInstance(instance_options);
+
+  size_t subjects = static_cast<size_t>(std::max(1, options.subjects));
+  std::vector<policy::Policy> policies;
+  for (size_t i = 0; i < subjects; ++i) {
+    policies.push_back(GeneratePolicy(instance.doc, rng, instance_options));
+  }
+
+  // Query pool and update stream, all seeded.
+  std::vector<xpath::Path> queries;
+  {
+    RandomPathGenerator paths(instance.doc, rng.Next(),
+                              instance_options.paths);
+    for (int i = 0; i < std::max(1, options.query_pool); ++i) {
+      queries.push_back(paths.Next());
+    }
+  }
+  std::vector<engine::BatchOp> ops = GenerateUpdates(
+      instance.doc, instance.dtd, rng, options.update_ops,
+      instance_options.paths);
+
+  // --- Server under test ----------------------------------------------------
+  serve::ServerOptions server_options;
+  server_options.workers = options.workers;
+  server_options.max_batch = options.max_batch;
+  serve::Server server(server_options);
+  Status st = server.LoadParsed(instance.dtd, instance.doc);
+  if (!st.ok()) return fail("server Load: " + st.ToString());
+  for (size_t i = 0; i < subjects; ++i) {
+    st = server.AddSubject(SubjectName(i), policies[i].ToString());
+    if (!st.ok()) {
+      return fail("server AddSubject " + SubjectName(i) + ": " +
+                  st.ToString());
+    }
+  }
+  st = server.Start();
+  if (!st.ok()) return fail("server Start: " + st.ToString());
+
+  // Per-reader deterministic schedules (only thread interleaving varies).
+  size_t readers = static_cast<size_t>(std::max(1, options.readers));
+  std::vector<std::vector<RecordedRead>> recorded(readers);
+  std::vector<std::string> thread_errors(readers);
+  std::vector<uint64_t> reader_seeds;
+  for (size_t r = 0; r < readers; ++r) reader_seeds.push_back(rng.Next());
+
+  std::vector<std::thread> reader_threads;
+  for (size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Random reader_rng(reader_seeds[r]);
+      for (int i = 0; i < options.reads_per_reader; ++i) {
+        size_t s = reader_rng.Uniform(subjects);
+        size_t q = reader_rng.Uniform(queries.size());
+        serve::ServeResponse resp =
+            server.Query(SubjectName(s), xpath::ToString(queries[q]));
+        if (!resp.status.ok()) {
+          thread_errors[r] = "read failed (subject " + SubjectName(s) +
+                             ", query " + xpath::ToString(queries[q]) +
+                             "): " + resp.status.ToString();
+          return;
+        }
+        recorded[r].push_back({resp.epoch, s, q, resp.granted, resp.selected,
+                               resp.accessible});
+      }
+    });
+  }
+
+  // Single updater; submission order is preserved by the FIFO write queue,
+  // so within one publication epoch the oracle can replay ops in order.
+  std::map<uint64_t, std::vector<engine::BatchOp>> ops_by_epoch;
+  std::string updater_error;
+  std::thread updater([&] {
+    for (const engine::BatchOp& op : ops) {
+      serve::ServeResponse resp =
+          op.kind == engine::BatchOp::Kind::kDelete
+              ? server.Update(op.xpath)
+              : server.Insert(op.xpath, op.fragment_xml);
+      if (!resp.status.ok()) {
+        updater_error = "update '" + op.xpath +
+                        "' failed: " + resp.status.ToString();
+        return;
+      }
+      ops_by_epoch[resp.epoch].push_back(op);
+      ++result.updates_applied;
+    }
+  });
+
+  for (std::thread& t : reader_threads) t.join();
+  updater.join();
+  result.final_epoch = server.epoch();
+  server.Stop();
+
+  for (const std::string& err : thread_errors) {
+    if (!err.empty()) return fail(err);
+  }
+  if (!updater_error.empty()) return fail(updater_error);
+
+  // --- Serial replay against the brute-force model --------------------------
+  OracleModel oracle;
+  oracle.Load(instance.doc);
+  for (size_t i = 0; i < subjects; ++i) {
+    st = oracle.AddSubject(SubjectName(i), policies[i]);
+    if (!st.ok()) return fail("oracle AddSubject: " + st.ToString());
+  }
+
+  // Reads grouped by the epoch they were served at.
+  std::map<uint64_t, std::vector<RecordedRead>> reads_by_epoch;
+  for (const auto& reader_log : recorded) {
+    for (const RecordedRead& read : reader_log) {
+      reads_by_epoch[read.epoch].push_back(read);
+    }
+  }
+  for (const auto& [epoch, batch] : ops_by_epoch) {
+    if (epoch < 2 || epoch > result.final_epoch) {
+      return fail("update cites impossible epoch " + std::to_string(epoch));
+    }
+    (void)batch;
+  }
+
+  auto next_batch = ops_by_epoch.begin();
+  for (const auto& [epoch, reads] : reads_by_epoch) {
+    if (epoch < 1 || epoch > result.final_epoch) {
+      return fail("read cites impossible epoch " + std::to_string(epoch));
+    }
+    // Advance the oracle document to `epoch`: apply every batch whose
+    // publication is included in it.
+    for (; next_batch != ops_by_epoch.end() && next_batch->first <= epoch;
+         ++next_batch) {
+      st = oracle.ApplyBatch(next_batch->second);
+      if (!st.ok()) {
+        return fail("oracle replay of epoch " +
+                    std::to_string(next_batch->first) +
+                    " batch: " + st.ToString());
+      }
+    }
+    for (const RecordedRead& read : reads) {
+      auto expected = oracle.Query(SubjectName(read.subject),
+                                   queries[read.query]);
+      if (!expected.ok()) {
+        return fail("oracle query failed: " + expected.status().ToString());
+      }
+      if (read.granted != expected->granted ||
+          read.selected != expected->selected ||
+          read.accessible != expected->accessible) {
+        return fail(
+            "epoch " + std::to_string(read.epoch) + " subject " +
+            SubjectName(read.subject) + " query " +
+            xpath::ToString(queries[read.query]) + ": served granted=" +
+            (read.granted ? "1" : "0") + " selected=" +
+            std::to_string(read.selected) + " accessible=" +
+            std::to_string(read.accessible) + ", oracle granted=" +
+            (expected->granted ? "1" : "0") + " selected=" +
+            std::to_string(expected->selected) + " accessible=" +
+            std::to_string(expected->accessible));
+      }
+      ++result.reads_checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace xmlac::testing

@@ -1,0 +1,188 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+
+namespace xmlac::testing {
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const Instance& failing, const CheckFn& check, int max_attempts)
+      : check_(check), budget_(max_attempts) {
+    best_.instance = failing.Clone();
+  }
+
+  ShrinkResult Run() {
+    best_.failure = check_(best_.instance);
+    if (best_.failure.empty()) return std::move(best_);
+    bool progress = true;
+    while (progress && budget_ > 0) {
+      progress = false;
+      progress |= DropAllUpdates();
+      progress |= DropUpdatesOneByOne();
+      progress |= DropRules();
+      progress |= PruneSubtrees();
+      progress |= ShortenPaths();
+    }
+    return std::move(best_);
+  }
+
+ private:
+  // Runs the check on `candidate`; adopts it if it still fails.
+  bool Adopt(Instance candidate) {
+    if (budget_ <= 0) return false;
+    --budget_;
+    ++best_.attempts;
+    std::string failure = check_(candidate);
+    if (failure.empty()) return false;
+    best_.instance = std::move(candidate);
+    best_.failure = std::move(failure);
+    ++best_.steps;
+    return true;
+  }
+
+  bool DropAllUpdates() {
+    if (best_.instance.updates.empty()) return false;
+    Instance candidate = best_.instance.Clone();
+    candidate.updates.clear();
+    return Adopt(std::move(candidate));
+  }
+
+  bool DropUpdatesOneByOne() {
+    bool progress = false;
+    for (size_t i = 0; i < best_.instance.updates.size() && budget_ > 0;) {
+      Instance candidate = best_.instance.Clone();
+      candidate.updates.erase(candidate.updates.begin() +
+                              static_cast<ptrdiff_t>(i));
+      if (Adopt(std::move(candidate))) {
+        progress = true;  // index i now names the next update
+      } else {
+        ++i;
+      }
+    }
+    return progress;
+  }
+
+  static policy::Policy WithoutRule(const policy::Policy& policy,
+                                    size_t drop) {
+    policy::Policy out(policy.default_semantics(),
+                       policy.conflict_resolution());
+    for (size_t i = 0; i < policy.rules().size(); ++i) {
+      if (i != drop) out.AddRule(policy.rules()[i]);
+    }
+    return out;
+  }
+
+  static policy::Policy WithRule(const policy::Policy& policy, size_t idx,
+                                 policy::Rule rule) {
+    policy::Policy out(policy.default_semantics(),
+                       policy.conflict_resolution());
+    for (size_t i = 0; i < policy.rules().size(); ++i) {
+      out.AddRule(i == idx ? rule : policy.rules()[i]);
+    }
+    return out;
+  }
+
+  bool DropRules() {
+    bool progress = false;
+    for (size_t i = 0; i < best_.instance.policy.size() && budget_ > 0;) {
+      Instance candidate = best_.instance.Clone();
+      candidate.policy = WithoutRule(best_.instance.policy, i);
+      if (Adopt(std::move(candidate))) {
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    return progress;
+  }
+
+  bool PruneSubtrees() {
+    bool progress = false;
+    // Deeper elements first, so when a whole branch is irrelevant the check
+    // accepts its largest removable pieces in few attempts; the root stays.
+    std::vector<xml::NodeId> order = best_.instance.doc.AllElements();
+    std::reverse(order.begin(), order.end());
+    for (xml::NodeId id : order) {
+      if (budget_ <= 0) break;
+      if (id == best_.instance.doc.root()) continue;
+      if (!best_.instance.doc.IsAlive(id)) continue;  // parent already cut
+      Instance candidate = best_.instance.Clone();
+      candidate.doc.DeleteSubtree(id);
+      progress |= Adopt(std::move(candidate));
+    }
+    return progress;
+  }
+
+  static bool SimplifyRulePath(xpath::Path* path, int variant) {
+    // Variants, tried in turn per rule: drop the last predicate anywhere,
+    // demote a comparison predicate to an existence test, drop the last
+    // step, drop the first step.
+    switch (variant) {
+      case 0:
+        for (auto& step : path->steps) {
+          if (!step.predicates.empty()) {
+            step.predicates.pop_back();
+            return true;
+          }
+        }
+        return false;
+      case 1:
+        for (auto& step : path->steps) {
+          for (auto& pred : step.predicates) {
+            // `[p cmp d]` → `[p]`; a self comparison `[. cmp d]` has no
+            // existence form, variant 0 removes it outright instead.
+            if (pred.has_comparison() && !pred.path.empty()) {
+              pred.op.reset();
+              pred.value.clear();
+              return true;
+            }
+          }
+        }
+        return false;
+      case 2:
+        if (path->steps.size() <= 1) return false;
+        path->steps.pop_back();
+        return true;
+      default:
+        if (path->steps.size() <= 1) return false;
+        path->steps.erase(path->steps.begin());
+        // The new first step must still reach anywhere in the tree.
+        path->steps.front().axis = xpath::Axis::kDescendant;
+        return true;
+    }
+  }
+
+  bool ShortenPaths() {
+    bool progress = false;
+    for (size_t i = 0; i < best_.instance.policy.size() && budget_ > 0; ++i) {
+      for (int variant = 0; variant < 4 && budget_ > 0; ++variant) {
+        // Re-apply the same variant until it stops failing or stops
+        // applying (e.g. keep dropping trailing steps).
+        while (budget_ > 0) {
+          policy::Rule rule = best_.instance.policy.rules()[i];
+          if (!SimplifyRulePath(&rule.resource, variant)) break;
+          Instance candidate = best_.instance.Clone();
+          candidate.policy =
+              WithRule(best_.instance.policy, i, std::move(rule));
+          if (!Adopt(std::move(candidate))) break;
+          progress = true;
+        }
+      }
+    }
+    return progress;
+  }
+
+  const CheckFn& check_;
+  int budget_;
+  ShrinkResult best_;
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const Instance& failing, const CheckFn& check,
+                    int max_attempts) {
+  return Shrinker(failing, check, max_attempts).Run();
+}
+
+}  // namespace xmlac::testing

@@ -1,0 +1,45 @@
+#ifndef XMLAC_TESTING_SHRINK_H_
+#define XMLAC_TESTING_SHRINK_H_
+
+// Greedy structural shrinking of failing test instances.
+//
+// A check function re-runs the failing differential predicate on a candidate
+// instance and returns a non-empty mismatch description if it still fails
+// (empty string = passes, or cannot be evaluated — e.g. the candidate no
+// longer loads, or a backend reports Unsupported).  The shrinker keeps any
+// transformation under which the check still fails and iterates to a fixed
+// point:
+//
+//   * drop updates (all at once, then one at a time),
+//   * drop policy rules,
+//   * prune document subtrees (children before parents, so whole branches
+//     fall fast),
+//   * shorten rule paths (drop predicates, drop steps, demote comparisons
+//     to existence tests).
+
+#include <functional>
+#include <string>
+
+#include "testing/generators.h"
+
+namespace xmlac::testing {
+
+// Returns "" when `instance` passes; a human-readable mismatch otherwise.
+using CheckFn = std::function<std::string(const Instance&)>;
+
+struct ShrinkResult {
+  Instance instance;    // the minimized failing instance
+  std::string failure;  // the mismatch reported on it
+  int steps = 0;        // accepted shrink transformations
+  int attempts = 0;     // check invocations spent
+};
+
+// Precondition: check(failing) is non-empty (if not, the result carries the
+// original instance and an empty failure).  `max_attempts` bounds the total
+// number of check invocations.
+ShrinkResult Shrink(const Instance& failing, const CheckFn& check,
+                    int max_attempts = 2000);
+
+}  // namespace xmlac::testing
+
+#endif  // XMLAC_TESTING_SHRINK_H_

@@ -1,6 +1,8 @@
 // Robustness suite: every parser must reject arbitrary garbage and mutated
 // valid inputs with a Status — never crash, hang, or accept nonsense that
-// then breaks downstream invariants.
+// then breaks downstream invariants.  Garbage and mutation come from the
+// shared helpers in testing/generators.h, so the corpora here and in
+// xmlac_fuzz stay in sync.
 
 #include <gtest/gtest.h>
 
@@ -9,48 +11,20 @@
 #include "common/random.h"
 #include "policy/policy.h"
 #include "reldb/sql_parser.h"
+#include "testing/generators.h"
 #include "tests/testdata.h"
 #include "xml/dtd.h"
 #include "xml/parser.h"
 #include "xml/schema_graph.h"
 #include "xml/serializer.h"
+#include "xmldb/xquery.h"
 #include "xpath/parser.h"
 
 namespace xmlac {
 namespace {
 
-std::string RandomGarbage(Random& rng, size_t max_len) {
-  size_t len = rng.Uniform(max_len + 1);
-  std::string s;
-  s.reserve(len);
-  for (size_t i = 0; i < len; ++i) {
-    // Bias toward structural characters so we exercise deep parser states.
-    static const char kChars[] =
-        "<>/='\"[]()!#&;,.*ab01 \t\nPCDATAELEMENTSELECTWHEREallowdeny-";
-    s.push_back(kChars[rng.Uniform(sizeof(kChars) - 1)]);
-  }
-  return s;
-}
-
-// Flip/insert/delete a few characters of a valid input.
-std::string Mutate(Random& rng, std::string s) {
-  int edits = 1 + static_cast<int>(rng.Uniform(4));
-  for (int i = 0; i < edits && !s.empty(); ++i) {
-    size_t pos = rng.Uniform(s.size());
-    switch (rng.Uniform(3)) {
-      case 0:
-        s[pos] = static_cast<char>(32 + rng.Uniform(95));
-        break;
-      case 1:
-        s.erase(pos, 1);
-        break;
-      default:
-        s.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
-        break;
-    }
-  }
-  return s;
-}
+using testing::MutateText;
+using testing::RandomGarbage;
 
 class FuzzParsersTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -65,7 +39,7 @@ TEST_P(FuzzParsersTest, XmlParserNeverCrashes) {
     }
   }
   for (int i = 0; i < 200; ++i) {
-    auto r = xml::ParseDocument(Mutate(rng, testdata::kHospitalDoc));
+    auto r = xml::ParseDocument(MutateText(rng, testdata::kHospitalDoc));
     if (r.ok()) {
       EXPECT_TRUE(xml::ParseDocument(xml::Serialize(*r)).ok());
     }
@@ -78,7 +52,7 @@ TEST_P(FuzzParsersTest, DtdParserNeverCrashes) {
     (void)xml::ParseDtd(RandomGarbage(rng, 160));
   }
   for (int i = 0; i < 200; ++i) {
-    auto r = xml::ParseDtd(Mutate(rng, testdata::kHospitalDtd));
+    auto r = xml::ParseDtd(MutateText(rng, testdata::kHospitalDtd));
     if (r.ok()) {
       // Accepted DTDs must build a schema graph without issue.
       xml::SchemaGraph g(*r);
@@ -101,7 +75,7 @@ TEST_P(FuzzParsersTest, XPathParserNeverCrashes) {
   }
   for (int i = 0; i < 300; ++i) {
     (void)xpath::ParsePath(
-        Mutate(rng, "//patient[.//experimental and name=\"x\"]/psn"));
+        MutateText(rng, "//patient[.//experimental and name=\"x\"]/psn"));
   }
 }
 
@@ -115,7 +89,54 @@ TEST_P(FuzzParsersTest, SqlParserNeverCrashes) {
       "SELECT p.id FROM patients ps, patient p "
       "WHERE ps.id = p.pid AND p.v <> 'x';";
   for (int i = 0; i < 300; ++i) {
-    (void)reldb::ParseSql(Mutate(rng, kValid));
+    (void)reldb::ParseSql(MutateText(rng, kValid));
+  }
+}
+
+TEST_P(FuzzParsersTest, SqlScriptParserNeverCrashesOnMutations) {
+  Random rng(GetParam() + 60);
+  // Multi-statement script with DDL, inserts and a compound select, so
+  // mutations land in every statement family the script parser dispatches.
+  const char* kScript =
+      "CREATE TABLE t (id INT, v VARCHAR(8));\n"
+      "INSERT INTO t VALUES (1, 'a');\n"
+      "INSERT INTO t (id) VALUES (2), (3);\n"
+      "UPDATE t SET v = '+' WHERE id = 2;\n"
+      "DELETE FROM t WHERE id > 7;\n"
+      "SELECT x.id FROM t x WHERE x.v = 'a' "
+      "UNION SELECT y.id FROM t y WHERE y.v IS NULL;";
+  for (int i = 0; i < 300; ++i) {
+    (void)reldb::ParseSqlScript(MutateText(rng, kScript));
+  }
+  // Select statements that survive mutation must round-trip through ToSql.
+  for (int i = 0; i < 100; ++i) {
+    auto r = reldb::ParseSqlScript(MutateText(rng, kScript));
+    if (!r.ok()) continue;
+    for (const auto& stmt : *r) {
+      if (stmt.kind != reldb::Statement::Kind::kSelect) continue;
+      auto again = reldb::ParseSql(stmt.select.ToSql());
+      EXPECT_TRUE(again.ok())
+          << again.status() << " for " << stmt.select.ToSql();
+    }
+  }
+}
+
+TEST_P(FuzzParsersTest, XQueryParserNeverCrashes) {
+  Random rng(GetParam() + 50);
+  for (int i = 0; i < 400; ++i) {
+    (void)xmldb::ParseXQuery(RandomGarbage(rng, 160));
+  }
+  const char* kValid =
+      "for $n := doc(\"xmlgen\")(//person union //item except //mail) "
+      "where count($n/name) return xmlac:annotate($n, \"+\")";
+  for (int i = 0; i < 300; ++i) {
+    auto r = xmldb::ParseXQuery(MutateText(rng, kValid));
+    if (r.ok()) {
+      // Accepted queries must round-trip through ToString.
+      auto again = xmldb::ParseXQuery((*r)->ToString());
+      EXPECT_TRUE(again.ok())
+          << again.status() << " for " << (*r)->ToString();
+    }
   }
 }
 
@@ -125,7 +146,7 @@ TEST_P(FuzzParsersTest, PolicyParserNeverCrashes) {
     (void)policy::ParsePolicy(RandomGarbage(rng, 200));
   }
   for (int i = 0; i < 300; ++i) {
-    auto r = policy::ParsePolicy(Mutate(rng, testdata::kHospitalPolicy));
+    auto r = policy::ParsePolicy(MutateText(rng, testdata::kHospitalPolicy));
     if (r.ok()) {
       // Accepted policies must round-trip.
       auto again = policy::ParsePolicy(r->ToString());

@@ -1,0 +1,246 @@
+// The brute-force oracle itself, and the conflict-resolution corner cases
+// the differential harness is built to catch: empty policies under every
+// (ds, cr) pair, duplicate rules, and rule sets where A and D select the
+// same node set — oracle vs engine on all three backends.
+
+#include "testing/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "testing/diff.h"
+#include "testing/generators.h"
+#include "xml/parser.h"
+#include "xpath/containment.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlac::testing {
+namespace {
+
+constexpr char kDtd[] =
+    "<!ELEMENT r (x*, y*)>\n"
+    "<!ELEMENT x (#PCDATA)>\n"
+    "<!ELEMENT y (x*)>\n";
+constexpr char kXml[] = "<r><x>1</x><x>2</x><y><x>3</x></y></r>";
+
+Instance MakeInstance(const std::string& policy_text) {
+  Instance instance;
+  instance.dtd_text = kDtd;
+  auto dtd = xml::ParseDtd(kDtd);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  instance.dtd = *dtd;
+  auto doc = xml::ParseDocument(kXml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  instance.doc = std::move(*doc);
+  auto policy = policy::ParsePolicy(policy_text);
+  EXPECT_TRUE(policy.ok()) << policy.status();
+  instance.policy = *policy;
+  instance.seed = 7;
+  return instance;
+}
+
+xpath::Path P(const std::string& text) {
+  auto parsed = xpath::ParsePath(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  return *parsed;
+}
+
+// ---------------------------------------------------------------------------
+// Naive evaluation agrees with the production evaluator
+
+TEST(OracleEvalTest, AgreesWithProductionEvaluatorOnRandomPaths) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    InstanceOptions options;
+    options.seed = seed;
+    Instance instance = GenerateInstance(options);
+    RandomPathGenerator paths(instance.doc, seed * 17 + 1);
+    for (int i = 0; i < 60; ++i) {
+      xpath::Path q = paths.Next();
+      EXPECT_EQ(OracleEval(q, instance.doc),
+                xpath::Evaluate(q, instance.doc))
+          << "seed " << seed << " query " << xpath::ToString(q);
+    }
+  }
+}
+
+TEST(OracleEvalTest, VirtualDocumentNodeSemantics) {
+  auto doc = xml::ParseDocument(kXml);
+  ASSERT_TRUE(doc.ok());
+  // `/r` selects the root; `//r` also reaches it (the virtual document node
+  // has the root as its only child, descendant = one or more child edges).
+  EXPECT_EQ(OracleEval(P("/r"), *doc).size(), 1u);
+  EXPECT_EQ(OracleEval(P("//r"), *doc).size(), 1u);
+  EXPECT_EQ(OracleEval(P("//x"), *doc).size(), 3u);
+  EXPECT_EQ(OracleEval(P("/r/x"), *doc).size(), 2u);
+  EXPECT_EQ(OracleEval(P("//y/x"), *doc).size(), 1u);
+  EXPECT_EQ(OracleEval(P("//x[.=\"2\"]"), *doc).size(), 1u);
+  EXPECT_TRUE(OracleEval(P("/x"), *doc).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Containment by canonical-model enumeration
+
+TEST(OracleContainsTest, KnownCases) {
+  auto yes = [](const char* p, const char* q) {
+    auto r = OracleContains(P(p), P(q));
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(*r) << p << " should be contained in " << q;
+  };
+  auto no = [](const char* p, const char* q) {
+    auto r = OracleContains(P(p), P(q));
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_FALSE(*r) << p << " should NOT be contained in " << q;
+  };
+  yes("/a/b", "//b");
+  yes("/a/b", "/a/*");
+  yes("//a/b", "//b");
+  yes("/a/b[c]", "/a/b");
+  yes("//a//b//c", "//c");
+  yes("/a/b/c", "/a//c");
+  no("//b", "/a/b");
+  no("/a/b", "/a/b[c]");
+  no("/a//c", "/a/b/c");  // the // edge admits longer chains
+  no("//a", "//b");
+  yes("/a/*/c", "/a//c");
+  no("/a//c", "/a/*/c");
+}
+
+TEST(OracleContainsTest, UnsupportedForComparisons) {
+  EXPECT_FALSE(OracleContains(P("//a[b=\"1\"]"), P("//a")).ok());
+}
+
+TEST(OracleContainsTest, EngineContainmentIsSound) {
+  // Whenever the production homomorphism test claims containment, the
+  // exact canonical-model enumeration must agree.
+  InstanceOptions options;
+  options.seed = 11;
+  Instance instance = GenerateInstance(options);
+  PathGenOptions no_cmp;
+  no_cmp.allow_comparisons = false;
+  RandomPathGenerator paths(instance.doc, 23, no_cmp);
+  int checked = 0;
+  for (int i = 0; i < 200; ++i) {
+    xpath::Path p = paths.Next();
+    xpath::Path q = paths.Next();
+    auto exact = OracleContains(p, q);
+    if (!exact.ok()) continue;
+    ++checked;
+    if (xpath::Contains(p, q)) {
+      EXPECT_TRUE(*exact) << xpath::ToString(p) << " vs "
+                          << xpath::ToString(q);
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-resolution corner cases (oracle semantics pinned explicitly,
+// then oracle vs engine on all three backends via CheckAnnotation)
+
+const char* kDsCr[4][2] = {
+    {"default allow\nconflict allow\n", "aa"},
+    {"default allow\nconflict deny\n", "ad"},
+    {"default deny\nconflict allow\n", "da"},
+    {"default deny\nconflict deny\n", "dd"},
+};
+
+TEST(ConflictCornersTest, EmptyPolicyUnderEveryDsCrPair) {
+  for (const auto& combo : kDsCr) {
+    Instance instance = MakeInstance(combo[0]);
+    bool ds_allow = instance.policy.default_semantics() ==
+                    policy::DefaultSemantics::kAllow;
+    for (const auto& [id, sign] : OracleSigns(instance.policy, instance.doc)) {
+      EXPECT_EQ(sign, ds_allow ? '+' : '-')
+          << combo[1] << " node " << id;
+    }
+    EXPECT_EQ(CheckAnnotation(instance), "") << combo[1];
+  }
+}
+
+TEST(ConflictCornersTest, DuplicateRulesAreIdempotent) {
+  for (const auto& combo : kDsCr) {
+    Instance once = MakeInstance(std::string(combo[0]) +
+                                 "allow //x\ndeny //y\n");
+    Instance twice = MakeInstance(std::string(combo[0]) +
+                                  "allow //x\nallow //x\n"
+                                  "deny //y\ndeny //y\n");
+    EXPECT_EQ(OracleSigns(once.policy, once.doc),
+              OracleSigns(twice.policy, twice.doc))
+        << combo[1];
+    EXPECT_EQ(CheckAnnotation(twice), "") << combo[1];
+  }
+}
+
+TEST(ConflictCornersTest, AllowAndDenySelectingTheSameNodeSet) {
+  // A = D = {the three x elements}.  Table 2:
+  //   (+, allow-overrides): U - (D - A) = U        -> everything accessible
+  //   (-, allow-overrides): A                      -> exactly the x nodes
+  //   (+, deny-overrides):  U - D                  -> everything but x
+  //   (-, deny-overrides):  A - D = {}             -> nothing accessible
+  struct Expectation {
+    const char* header;
+    bool x_accessible;
+    bool others_accessible;
+  };
+  const Expectation kExpectations[] = {
+      {"default allow\nconflict allow\n", true, true},
+      {"default deny\nconflict allow\n", true, false},
+      {"default allow\nconflict deny\n", false, true},
+      {"default deny\nconflict deny\n", false, false},
+  };
+  for (const Expectation& expect : kExpectations) {
+    Instance instance =
+        MakeInstance(std::string(expect.header) + "allow //x\ndeny //x\n");
+    std::map<xml::NodeId, char> signs =
+        OracleSigns(instance.policy, instance.doc);
+    for (xml::NodeId id : instance.doc.AllElements()) {
+      bool is_x = instance.doc.node(id).label == "x";
+      EXPECT_EQ(signs.at(id) == '+',
+                is_x ? expect.x_accessible : expect.others_accessible)
+          << expect.header << " at " << instance.doc.PathOf(id);
+    }
+    EXPECT_EQ(CheckAnnotation(instance), "") << expect.header;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle updates and the stateful model
+
+TEST(OracleModelTest, UpdatesAndPerSubjectQueries) {
+  auto doc = xml::ParseDocument(kXml);
+  ASSERT_TRUE(doc.ok());
+  OracleModel model;
+  model.Load(*doc);
+  ASSERT_TRUE(model.AddSubject("reader", "default allow\ndeny //y\n").ok());
+  ASSERT_TRUE(model.AddSubject("admin", "default allow\n").ok());
+
+  auto before = model.Query("reader", P("//x"));
+  ASSERT_TRUE(before.ok());
+  // //y/x is under no deny rule itself (deny //y covers only y), so all
+  // three x's stay accessible.
+  EXPECT_TRUE(before->granted);
+  EXPECT_EQ(before->selected, 3u);
+
+  auto denied = model.Query("reader", P("//y"));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_FALSE(denied->granted);
+  EXPECT_EQ(denied->accessible, 0u);
+
+  ASSERT_TRUE(model.Apply(engine::BatchOp::Delete("//y")).ok());
+  auto after = model.Query("admin", P("//x"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->selected, 2u);  // the x under y went with the subtree
+
+  ASSERT_TRUE(
+      model.Apply(engine::BatchOp::Insert("/r", "<y><x>9</x></y>")).ok());
+  auto inserted = model.Query("admin", P("//y/x"));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(inserted->selected, 1u);
+  EXPECT_FALSE(model.Query("nobody", P("//x")).ok());
+}
+
+}  // namespace
+}  // namespace xmlac::testing

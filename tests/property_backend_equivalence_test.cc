@@ -2,6 +2,11 @@
 // random policies and random documents, every Fig. 5 annotation set, every
 // query result and every sign agrees across native XML, row store and
 // column store.
+//
+// Two layers: a seeded differential sweep through the shared harness
+// (testing/diff.h), whose failures print the seed plus a minimized repro,
+// and an XMark-shaped structural test that pins the per-CombineOp and
+// per-sign agreement explicitly.
 
 #include <gtest/gtest.h>
 
@@ -10,13 +15,31 @@
 #include "engine/annotator.h"
 #include "engine/native_backend.h"
 #include "engine/relational_backend.h"
-#include "tests/random_paths.h"
+#include "testing/diff.h"
+#include "testing/generators.h"
 #include "workload/coverage.h"
 #include "workload/xmark.h"
 #include "xpath/parser.h"
 
 namespace xmlac::engine {
 namespace {
+
+namespace tst = xmlac::testing;
+
+// The shared differential harness: oracle vs AccessController on all three
+// backends, annotation sets, signs and request outcomes.  A failure message
+// is the seed plus the shrunk instance, ready for xmlac_fuzz --replay.
+class SeededAnnotationDiffTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededAnnotationDiffTest, OracleAgreesOnAllBackends) {
+  tst::InstanceOptions options;
+  options.max_doc_nodes = 60;
+  EXPECT_EQ(tst::RunSeededCheck(GetParam(), options, tst::AnnotationCheck()),
+            "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededAnnotationDiffTest,
+                         ::testing::Range<uint64_t>(1, 9));
 
 class BackendEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -77,7 +100,7 @@ TEST_P(BackendEquivalenceTest, AnnotationSetsAndSignsAgree) {
     EXPECT_EQ(*row.GetSign(id), expected) << id;
     EXPECT_EQ(*column.GetSign(id), expected) << id;
   }
-  testutil::RandomPathGenerator paths(doc, seed + 99);
+  tst::RandomPathGenerator paths(doc, seed + 99);
   for (int i = 0; i < 25; ++i) {
     xpath::Path q = paths.Next();
     auto qa = native.EvaluateQuery(q);

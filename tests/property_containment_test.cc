@@ -3,14 +3,17 @@
 //  * disjointness soundness — ProvablyDisjoint(p, q) implies empty
 //    intersection (both plain and schema-aware variants);
 //  * schema-check soundness — evaluation results only carry labels in
-//    PossibleResultLabels, and unsatisfiable paths return nothing.
+//    PossibleResultLabels, and unsatisfiable paths return nothing;
+//  * a seeded sweep through the canonical-model containment oracle
+//    (testing/diff.h), whose failures print seed + minimized repro.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
-#include "tests/random_paths.h"
+#include "testing/diff.h"
+#include "testing/generators.h"
 #include "workload/hospital.h"
 #include "workload/xmark.h"
 #include "xml/schema_graph.h"
@@ -21,10 +24,28 @@
 namespace xmlac::xpath {
 namespace {
 
+namespace tst = xmlac::testing;
+
 std::set<xml::NodeId> EvalSet(const Path& p, const xml::Document& doc) {
   auto v = Evaluate(p, doc);
   return std::set<xml::NodeId>(v.begin(), v.end());
 }
+
+// The homomorphism test vs exact canonical-model enumeration, on random
+// instances from the shared generator family.
+class SeededContainmentDiffTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededContainmentDiffTest, HomomorphismTestIsSound) {
+  tst::DiffOptions diff;
+  diff.containment_pairs = 24;
+  tst::CheckFn check = [diff](const tst::Instance& instance) {
+    return tst::CheckContainment(instance, diff);
+  };
+  EXPECT_EQ(tst::RunSeededCheck(GetParam(), {}, check), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededContainmentDiffTest,
+                         ::testing::Range<uint64_t>(1, 9));
 
 class StaticAnalysisPropertyTest : public ::testing::TestWithParam<uint64_t> {
  protected:
@@ -44,7 +65,7 @@ class StaticAnalysisPropertyTest : public ::testing::TestWithParam<uint64_t> {
 };
 
 TEST_P(StaticAnalysisPropertyTest, ContainmentIsSound) {
-  testutil::RandomPathGenerator gen(doc_, GetParam());
+  tst::RandomPathGenerator gen(doc_, GetParam());
   size_t positives = 0;
   for (int i = 0; i < 80; ++i) {
     Path p = gen.Next();
@@ -67,7 +88,7 @@ TEST_P(StaticAnalysisPropertyTest, ContainmentIsSound) {
 }
 
 TEST_P(StaticAnalysisPropertyTest, DisjointnessIsSound) {
-  testutil::RandomPathGenerator gen(doc_, GetParam() + 1000);
+  tst::RandomPathGenerator gen(doc_, GetParam() + 1000);
   for (int i = 0; i < 80; ++i) {
     Path p = gen.Next();
     Path q = gen.Next();
@@ -91,7 +112,7 @@ TEST_P(StaticAnalysisPropertyTest, DisjointnessIsSound) {
 }
 
 TEST_P(StaticAnalysisPropertyTest, SchemaCheckIsSound) {
-  testutil::RandomPathGenerator gen(doc_, GetParam() + 2000);
+  tst::RandomPathGenerator gen(doc_, GetParam() + 2000);
   for (int i = 0; i < 80; ++i) {
     Path p = gen.Next();
     std::set<std::string> possible = PossibleResultLabels(p, *schema_);
@@ -112,7 +133,7 @@ TEST_P(StaticAnalysisPropertyTest, SchemaCheckIsSound) {
 // Containment must also respect expansion: every expanded path of a rule
 // subsumes... precisely, the rule is contained in its own spine expansion.
 TEST_P(StaticAnalysisPropertyTest, SpineExpansionContainsRule) {
-  testutil::RandomPathGenerator gen(doc_, GetParam() + 3000);
+  tst::RandomPathGenerator gen(doc_, GetParam() + 3000);
   for (int i = 0; i < 40; ++i) {
     Path p = gen.Next();
     // Strip predicates from the spine: p ⊑ stripped.

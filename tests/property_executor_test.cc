@@ -190,6 +190,11 @@ TEST_P(ExecutorPropertyTest, MatchesBruteForceReference) {
     };
 
     for (int round = 0; round < 25; ++round) {
+      // Failure reports lead with the seed, like the testing/ harness: the
+      // whole round is deterministic in it, so "seed N round R" is a repro.
+      SCOPED_TRACE("seed " + std::to_string(GetParam()) + " round " +
+                   std::to_string(round) + " storage " +
+                   (kind == StorageKind::kRowStore ? "row" : "column"));
       SelectQuery q;
       size_t slots = 1 + rng.Uniform(3);
       const char* names[] = {"t1", "t2", "t3"};

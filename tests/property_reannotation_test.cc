@@ -2,6 +2,10 @@
 // coverage policies and random update streams (deletes and inserts mixed),
 // partial re-annotation leaves the store byte-identical in signs to a
 // from-scratch annotation — across all three backends.
+//
+// The seeded sweep runs the shared differential harness (partial vs full vs
+// batched re-annotation vs the brute-force oracle); the XMark test below
+// pins the same invariant on the paper's benchmark schema.
 
 #include <gtest/gtest.h>
 
@@ -10,7 +14,8 @@
 #include "engine/access_controller.h"
 #include "engine/native_backend.h"
 #include "engine/relational_backend.h"
-#include "tests/random_paths.h"
+#include "testing/diff.h"
+#include "testing/generators.h"
 #include "workload/coverage.h"
 #include "workload/queries.h"
 #include "workload/xmark.h"
@@ -20,6 +25,25 @@
 
 namespace xmlac::engine {
 namespace {
+
+namespace tst = xmlac::testing;
+
+// Trigger-based partial re-annotation vs ReannotateFull vs ApplyBatch vs
+// the oracle, on generated instances with update streams.  Failures print
+// the seed and a minimized repro.
+class SeededReannotationDiffTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SeededReannotationDiffTest, PartialEqualsFullEqualsOracle) {
+  tst::InstanceOptions options;
+  options.max_doc_nodes = 60;
+  options.max_updates = 4;
+  EXPECT_EQ(
+      tst::RunSeededCheck(GetParam(), options, tst::ReannotationCheck()), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededReannotationDiffTest,
+                         ::testing::Range<uint64_t>(1, 9));
 
 struct Config {
   uint64_t seed;
@@ -59,7 +83,7 @@ TEST_P(ReannotationPropertyTest, PartialEqualsFullAfterRandomUpdates) {
   ASSERT_TRUE(partial->SetPolicyParsed(*policy).ok());
   ASSERT_TRUE(oracle->SetPolicyParsed(*policy).ok());
 
-  testutil::RandomPathGenerator paths(doc, cfg.seed * 101 + 3);
+  tst::RandomPathGenerator paths(doc, cfg.seed * 101 + 3);
   Random rng(cfg.seed * 13 + 1);
   // Schema-valid (target, fragment) pairs.
   struct InsertCase {

@@ -11,7 +11,7 @@
 #include "common/random.h"
 #include "reldb/executor.h"
 #include "shred/shredder.h"
-#include "tests/random_paths.h"
+#include "testing/generators.h"
 #include "workload/xmark.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -91,7 +91,7 @@ TEST_P(RoundTripPropertyTest, DocumentInvariantsUnderRandomMutation) {
   opt.factor = 0.003;
   opt.seed = GetParam();
   xml::Document doc = gen.Generate(opt);
-  testutil::RandomPathGenerator paths(doc, GetParam() + 55);
+  testing::RandomPathGenerator paths(doc, GetParam() + 55);
 
   for (int round = 0; round < 10; ++round) {
     // Random delete of whatever a random path selects.
@@ -125,6 +125,28 @@ TEST_P(RoundTripPropertyTest, DocumentInvariantsUnderRandomMutation) {
     ASSERT_TRUE(reparsed.ok()) << reparsed.status();
     ASSERT_EQ(reparsed->alive_count(), doc.alive_count());
   }
+}
+
+// Generated instances from the shared family round-trip too: both the
+// document (through the serializer) and the whole instance (through the
+// repro file format the shrinker dumps).
+TEST_P(RoundTripPropertyTest, GeneratedInstanceSerializeParseFixpoint) {
+  testing::InstanceOptions opt;
+  opt.seed = GetParam() * 191 + 2;
+  opt.max_updates = 3;
+  testing::Instance instance = testing::GenerateInstance(opt);
+  std::string once = xml::Serialize(instance.doc);
+  auto reparsed = xml::ParseDocument(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(xml::Serialize(*reparsed), once);
+
+  std::string dir = ::testing::TempDir() + "xmlac_roundtrip_seed" +
+                    std::to_string(opt.seed);
+  ASSERT_TRUE(testing::WriteRepro(instance, dir).ok());
+  auto loaded = testing::LoadRepro(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(xml::Serialize(loaded->doc), once);
+  EXPECT_EQ(loaded->policy.ToString(), instance.policy.ToString());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,

@@ -1,0 +1,160 @@
+// The correctness-tooling library itself: generator determinism, the
+// repro dump/load round-trip, greedy shrinking (including the acceptance
+// bar: an injected semantics bug minimizes to <= 10 document nodes and
+// <= 3 rules), and a small clean run of the stateful serve fuzzer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/diff.h"
+#include "testing/generators.h"
+#include "testing/serve_fuzz.h"
+#include "testing/shrink.h"
+#include "xml/serializer.h"
+
+namespace xmlac::testing {
+namespace {
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  InstanceOptions options;
+  options.seed = 99;
+  Instance a = GenerateInstance(options);
+  Instance b = GenerateInstance(options);
+  EXPECT_EQ(xml::Serialize(a.doc), xml::Serialize(b.doc));
+  EXPECT_EQ(a.policy.ToString(), b.policy.ToString());
+  EXPECT_EQ(a.dtd_text, b.dtd_text);
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].xpath, b.updates[i].xpath);
+    EXPECT_EQ(a.updates[i].fragment_xml, b.updates[i].fragment_xml);
+  }
+
+  options.seed = 100;
+  Instance c = GenerateInstance(options);
+  EXPECT_NE(xml::Serialize(a.doc) + a.policy.ToString(),
+            xml::Serialize(c.doc) + c.policy.ToString());
+}
+
+TEST(GeneratorTest, InstancesAreWellFormed) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    InstanceOptions options;
+    options.seed = seed;
+    Instance instance = GenerateInstance(options);
+    EXPECT_GE(instance.doc.alive_count(), 1u);
+    EXPECT_LE(static_cast<int>(instance.doc.AllElements().size()),
+              options.max_doc_nodes);
+    EXPECT_GE(instance.policy.size(), 1u);
+    EXPECT_LE(static_cast<int>(instance.policy.size()), options.max_rules);
+    EXPECT_TRUE(instance.dtd.HasElement("e0"));
+  }
+}
+
+TEST(ReproTest, WriteLoadRoundTrip) {
+  InstanceOptions options;
+  options.seed = 5;
+  options.max_updates = 3;
+  Instance instance = GenerateInstance(options);
+  std::string dir = ::testing::TempDir() + "xmlac_repro_roundtrip";
+  ASSERT_TRUE(WriteRepro(instance, dir).ok());
+  auto loaded = LoadRepro(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(xml::Serialize(loaded->doc), xml::Serialize(instance.doc));
+  EXPECT_EQ(loaded->policy.ToString(), instance.policy.ToString());
+  EXPECT_EQ(loaded->dtd_text, instance.dtd_text);
+  EXPECT_EQ(loaded->seed, instance.seed);
+  ASSERT_EQ(loaded->updates.size(), instance.updates.size());
+  for (size_t i = 0; i < instance.updates.size(); ++i) {
+    EXPECT_EQ(loaded->updates[i].kind, instance.updates[i].kind);
+    EXPECT_EQ(loaded->updates[i].xpath, instance.updates[i].xpath);
+    EXPECT_EQ(loaded->updates[i].fragment_xml,
+              instance.updates[i].fragment_xml);
+  }
+}
+
+TEST(ShrinkTest, PassingInstanceIsReturnedUnchanged) {
+  InstanceOptions options;
+  options.seed = 3;
+  Instance instance = GenerateInstance(options);
+  ShrinkResult result =
+      Shrink(instance, [](const Instance&) { return std::string(); });
+  EXPECT_TRUE(result.failure.empty());
+  EXPECT_EQ(result.steps, 0);
+}
+
+// The acceptance bar: flip the engine-side conflict resolution, fuzz until
+// the differential check fires, shrink, and the repro must be tiny.
+TEST(ShrinkTest, InjectedCrBugMinimizesToTinyRepro) {
+  DiffOptions diff;
+  diff.backends = {BackendKind::kNative};  // the bug is backend-independent
+  diff.bug = InjectedBug::kFlipCr;
+  CheckFn check = AnnotationCheck(diff);
+
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    InstanceOptions options;
+    options.seed = seed;
+    Instance instance = GenerateInstance(options);
+    std::string failure = check(instance);
+    if (failure.empty()) continue;
+    found = true;
+
+    ShrinkResult shrunk = Shrink(instance, check);
+    EXPECT_FALSE(shrunk.failure.empty());
+    EXPECT_LE(shrunk.instance.doc.alive_count(), 10u)
+        << FormatInstance(shrunk.instance);
+    EXPECT_LE(shrunk.instance.policy.size(), 3u)
+        << FormatInstance(shrunk.instance);
+
+    // The minimized repro survives a dump/load round-trip and still fails.
+    std::string dir = ::testing::TempDir() + "xmlac_repro_shrunk";
+    ASSERT_TRUE(WriteRepro(shrunk.instance, dir).ok());
+    auto loaded = LoadRepro(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_FALSE(check(*loaded).empty());
+  }
+  EXPECT_TRUE(found)
+      << "no seed in 1..40 exposed the flipped conflict resolution";
+}
+
+TEST(ShrinkTest, InjectedDsBugIsCaughtToo) {
+  DiffOptions diff;
+  diff.backends = {BackendKind::kNative};
+  diff.bug = InjectedBug::kFlipDs;
+  CheckFn check = AnnotationCheck(diff);
+  InstanceOptions options;
+  options.seed = 1;
+  Instance instance = GenerateInstance(options);
+  std::string failure = check(instance);
+  ASSERT_FALSE(failure.empty());
+  ShrinkResult shrunk = Shrink(instance, check);
+  EXPECT_LE(shrunk.instance.doc.alive_count(), 10u);
+  EXPECT_LE(shrunk.instance.policy.size(), 3u);
+}
+
+TEST(DiffTest, CleanInstancesPassAllChecks) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    InstanceOptions options;
+    options.seed = seed;
+    options.max_doc_nodes = 40;
+    Instance instance = GenerateInstance(options);
+    EXPECT_EQ(CheckAll(instance), "") << "seed " << seed;
+  }
+}
+
+TEST(ServeFuzzTest, SmallCleanRun) {
+  ServeFuzzOptions options;
+  options.seed = 2;
+  options.readers = 2;
+  options.reads_per_reader = 20;
+  options.update_ops = 4;
+  options.subjects = 2;
+  options.workers = 2;
+  ServeFuzzResult result = RunServeFuzz(options);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.reads_checked, 0u);
+  EXPECT_GE(result.final_epoch, 1u);
+}
+
+}  // namespace
+}  // namespace xmlac::testing
