@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/io.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "engine/native_backend.h"
@@ -129,6 +133,141 @@ inline void AttachMetrics(benchmark::State& state,
   if (rows > 0) state.counters["rows_scanned"] = benchmark::Counter(rows);
   double visited = counter("xpath.nodes_visited");
   if (visited > 0) state.counters["nodes_visited"] = benchmark::Counter(visited);
+}
+
+// --- Repeated timing --------------------------------------------------------
+
+struct BenchTiming {
+  double median_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  int reps = 0;
+};
+
+// Median-of-N measurement with warmup: runs `fn` (which performs one
+// iteration and returns its own elapsed seconds, so setup can be excluded)
+// `warmup` times untimed-for-the-report, then `reps` recorded times.  Every
+// stdout table in bench/ reports the median — single-shot numbers swing
+// with page-cache and allocator state, which is exactly the noise the
+// warmup+median pair removes.
+template <typename Fn>
+BenchTiming MeasureMedian(Fn&& fn, int warmup = 1, int reps = 5) {
+  for (int i = 0; i < warmup; ++i) (void)fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(fn());
+  std::sort(samples.begin(), samples.end());
+  BenchTiming t;
+  t.reps = reps;
+  t.min_s = samples.front();
+  t.max_s = samples.back();
+  size_t mid = samples.size() / 2;
+  t.median_s = samples.size() % 2 == 1
+                   ? samples[mid]
+                   : (samples[mid - 1] + samples[mid]) / 2.0;
+  return t;
+}
+
+// --- Command-line flags shared by all bench binaries ------------------------
+
+// Extracts `--name value` or `--name=value` from argv (removing it), so
+// bench-specific flags can coexist with google-benchmark's.  Returns the
+// value, or `def` when absent.
+inline std::string ConsumeFlag(int* argc, char** argv, const char* name,
+                               const std::string& def = "") {
+  std::string eq = std::string(name) + "=";
+  for (int i = 1; i < *argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      value = argv[i] + eq.size();
+      consumed = 1;
+    }
+    if (consumed == 0) continue;
+    for (int j = i; j + consumed < *argc; ++j) argv[j] = argv[j + consumed];
+    *argc -= consumed;
+    return value;
+  }
+  return def;
+}
+
+// --- Uniform BENCH_*.json emission ------------------------------------------
+
+// Collects rows from the stdout-table printers and writes them as one JSON
+// document when the binary was invoked with `--json out.json`, so CI
+// produces BENCH_*.json files uniformly across benches.
+class BenchReport {
+ public:
+  static BenchReport& Instance() {
+    static auto* instance = new BenchReport();
+    return *instance;
+  }
+
+  void SetBinary(std::string name) { binary_ = std::move(name); }
+  void SetPath(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  // One result row: a bench id, string labels (backend, factor, ...) and
+  // numeric values (seconds_median, speedup, hit_rate, ...).
+  void Add(const std::string& bench,
+           std::vector<std::pair<std::string, std::string>> labels,
+           std::vector<std::pair<std::string, double>> values) {
+    rows_.push_back(Row{bench, std::move(labels), std::move(values)});
+  }
+
+  // Writes the report if --json was given.  Call at the end of main; the
+  // returned status only matters there.
+  Status WriteIfRequested() const {
+    if (path_.empty()) return Status::OK();
+    std::string out = "{\n  \"binary\": \"" + binary_ + "\",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"bench\": \"" + r.bench + "\"";
+      for (const auto& [k, v] : r.labels) {
+        out += ", \"" + k + "\": \"" + v + "\"";
+      }
+      for (const auto& [k, v] : r.values) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        out += ", \"" + k + "\": " + buf;
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return WriteFile(path_, out);
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string binary_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+// Standard prologue for bench mains: consumes `--json out.json` and
+// registers the binary name for the report.
+inline void InitBenchReport(int* argc, char** argv, const char* binary) {
+  BenchReport::Instance().SetBinary(binary);
+  BenchReport::Instance().SetPath(ConsumeFlag(argc, argv, "--json"));
+}
+
+// Standard epilogue: writes the JSON report when requested; returns a
+// process exit code.
+inline int FinishBenchReport() {
+  Status s = BenchReport::Instance().WriteIfRequested();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench report: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace xmlac::bench

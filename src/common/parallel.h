@@ -1,0 +1,63 @@
+#ifndef XMLAC_COMMON_PARALLEL_H_
+#define XMLAC_COMMON_PARALLEL_H_
+
+// Minimal fork-join parallel-for.
+//
+// Threads are spawned per call and joined before return, so nested use
+// (subject fan-out calling per-rule fan-out) cannot deadlock the way a
+// shared fixed-size pool would.  The spawn cost is noise next to the work
+// the engine parallelizes (XPath evaluation over whole documents); a
+// persistent pool would buy nothing but the deadlock hazard.
+//
+// The caller's thread participates, and the caller's obs metrics registry
+// is propagated to the workers (MetricsRegistry is thread-safe).  Tracers
+// are NOT propagated: a Tracer is single-threaded by design, so worker
+// spans are simply dropped.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xmlac {
+
+inline size_t DefaultParallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return hw > 16 ? 16 : hw;
+}
+
+// Runs body(i) for every i in [0, n), on up to `threads` OS threads
+// (0 = DefaultParallelism()).  body must be thread-safe; iteration order is
+// unspecified.  Falls back to a plain loop when n or threads is <= 1.
+inline void ParallelFor(size_t n, size_t threads,
+                        const std::function<void(size_t)>& body) {
+  if (threads == 0) threads = DefaultParallelism();
+  if (threads > n) threads = n;
+  if (n == 0) return;
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  obs::MetricsRegistry* metrics = obs::CurrentMetrics();
+  auto worker = [&]() {
+    obs::ScopedMetrics metrics_ctx(metrics);
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // The caller participates.
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_PARALLEL_H_

@@ -1,20 +1,54 @@
 #include "engine/access_controller.h"
 
+#include <unordered_map>
+
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
 namespace xmlac::engine {
 
+namespace {
+
+ControllerOptions LegacyOptions(bool optimize_policy,
+                                xpath::ContainmentCache* containment_cache) {
+  ControllerOptions options;
+  options.optimize_policy = optimize_policy;
+  options.shared_containment_cache = containment_cache;
+  return options;
+}
+
+}  // namespace
+
 AccessController::AccessController(
     std::unique_ptr<Backend> backend, bool optimize_policy,
     xpath::ContainmentCache* shared_containment_cache)
+    : AccessController(std::move(backend),
+                       LegacyOptions(optimize_policy,
+                                     shared_containment_cache)) {}
+
+AccessController::AccessController(std::unique_ptr<Backend> backend,
+                                   const ControllerOptions& options)
     : backend_(std::move(backend)),
-      optimize_policy_(optimize_policy),
-      containment_cache_(shared_containment_cache != nullptr
-                             ? shared_containment_cache
-                             : &owned_containment_cache_) {}
+      options_(options),
+      containment_cache_(options.shared_containment_cache != nullptr
+                             ? options.shared_containment_cache
+                             : &owned_containment_cache_),
+      rule_cache_(!options.enable_rule_cache ? nullptr
+                  : options.shared_rule_cache != nullptr
+                      ? options.shared_rule_cache
+                      : &owned_rule_cache_),
+      owns_epoch_(options.shared_rule_cache == nullptr) {}
 
 AccessController::~AccessController() = default;
+
+AnnotationContext AccessController::MakeAnnotationContext(uint64_t epoch) {
+  AnnotationContext ctx;
+  ctx.rule_cache = rule_cache_;
+  ctx.epoch = epoch;
+  ctx.sign_state = &sign_state_;
+  ctx.parallel_rules = options_.parallel_rules;
+  return ctx;
+}
 
 Status AccessController::Load(std::string_view dtd_text,
                               std::string_view xml_text) {
@@ -31,9 +65,18 @@ Status AccessController::LoadParsed(const xml::Dtd& dtd,
   dtd_ = std::make_unique<xml::Dtd>(dtd);
   schema_ = std::make_unique<xml::SchemaGraph>(*dtd_);
   XMLAC_RETURN_IF_ERROR(backend_->Load(*dtd_, doc));
+  // The replica changed wholesale: previous diff state is meaningless, and
+  // a privately owned cache holds bitmaps of the old document.  (A shared
+  // cache is left alone — the fleet owner reloads every replica from the
+  // same document.)
+  sign_state_.valid = false;
+  if (rule_cache_ == &owned_rule_cache_) owned_rule_cache_.Clear();
   // A policy set before loading re-annotates the fresh document.
   if (policy_set_) {
-    auto r = AnnotateFull(backend_.get(), policy_);
+    AnnotationContext ctx;
+    if (rule_cache_ != nullptr) ctx = MakeAnnotationContext(rule_cache_->epoch());
+    auto r = AnnotateFull(backend_.get(), policy_,
+                          rule_cache_ != nullptr ? &ctx : nullptr);
     if (!r.ok()) return r.status();
   }
   return Status::OK();
@@ -50,7 +93,7 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
   obs::ScopedSpan span(&tracer_, "set_policy");
   obs::ScopedTimer timer("engine.set_policy_us");
   optimizer_stats_ = policy::OptimizerStats();
-  if (optimize_policy_) {
+  if (options_.optimize_policy) {
     // Schema-aware pruning first (rules that cannot match any valid
     // document), then containment-based redundancy elimination (Fig. 4).
     obs::ScopedSpan opt_span("optimize");
@@ -78,7 +121,10 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
   }
   policy_set_ = true;
   if (schema_ != nullptr) {
-    auto r = AnnotateFull(backend_.get(), policy_);
+    AnnotationContext ctx;
+    if (rule_cache_ != nullptr) ctx = MakeAnnotationContext(rule_cache_->epoch());
+    auto r = AnnotateFull(backend_.get(), policy_,
+                          rule_cache_ != nullptr ? &ctx : nullptr);
     if (!r.ok()) return r.status();
   }
   return Status::OK();
@@ -90,6 +136,55 @@ Result<RequestOutcome> AccessController::Query(std::string_view xpath) {
   obs::IncrementCounter("engine.queries");
   XMLAC_ASSIGN_OR_RETURN(xpath::Path q, xpath::ParsePath(xpath));
   return Request(backend_.get(), q);
+}
+
+void AccessController::MaintainRuleCache(const std::vector<size_t>& triggered,
+                                         uint64_t post_epoch) {
+  std::vector<bool> is_triggered(policy_.size(), false);
+  if (!options_.inject_stale_cache) {
+    for (size_t i : triggered) is_triggered[i] = true;
+  }
+  // Several rules may share a resource path (both effects, etc.).  Evict
+  // wins whenever any of them is triggered: eviction is always sound (it
+  // only forces a recomputation), while promotion is sound exactly for
+  // non-triggered rules, whose scopes the trigger theorem proves unchanged.
+  std::unordered_map<std::string, bool> by_key;
+  for (size_t i = 0; i < policy_.size(); ++i) {
+    by_key[xpath::CanonicalKey(policy_.rules()[i].resource)] |=
+        is_triggered[i];
+  }
+  const std::string store = backend_->name();
+  for (const auto& [key, evict] : by_key) {
+    if (evict) {
+      rule_cache_->Evict(store, key, post_epoch);
+    } else {
+      rule_cache_->Promote(store, key, post_epoch);
+    }
+  }
+}
+
+Result<std::vector<UniversalId>> AccessController::PrepareReannotation(
+    const std::vector<size_t>& triggered, AnnotationContext* reannotate_ctx,
+    bool* use_ctx) {
+  if (rule_cache_ == nullptr) {
+    *use_ctx = false;
+    // Pre-update scope snapshot: stale marks in these nodes must be reset.
+    return TriggeredScope(backend_.get(), policy_, triggered);
+  }
+  *use_ctx = true;
+  if (owns_epoch_) rule_cache_->AdvanceEpoch();
+  uint64_t post_epoch = rule_cache_->epoch();
+  uint64_t pre_epoch = post_epoch == 0 ? 0 : post_epoch - 1;
+  // The pre-update snapshot is served from (and installed into) the cache
+  // at the pre-update epoch — this replica has not mutated yet, so a miss
+  // recomputes exactly the pre-update scope.
+  AnnotationContext old_ctx = MakeAnnotationContext(pre_epoch);
+  XMLAC_ASSIGN_OR_RETURN(
+      std::vector<UniversalId> old_scope,
+      TriggeredScope(backend_.get(), policy_, triggered, &old_ctx));
+  MaintainRuleCache(triggered, post_epoch);
+  *reannotate_ctx = MakeAnnotationContext(post_epoch);
+  return old_scope;
 }
 
 Result<UpdateStats> AccessController::Update(std::string_view xpath) {
@@ -104,10 +199,10 @@ Result<UpdateStats> AccessController::Update(std::string_view xpath) {
   UpdateStats stats;
   std::vector<size_t> triggered = trigger_->Trigger(u);
   stats.rules_triggered = triggered.size();
-  // Pre-update scope snapshot: stale marks in these nodes must be reset.
-  XMLAC_ASSIGN_OR_RETURN(
-      std::vector<UniversalId> old_scope,
-      TriggeredScope(backend_.get(), policy_, triggered));
+  AnnotationContext ctx;
+  bool use_ctx = false;
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> old_scope,
+                         PrepareReannotation(triggered, &ctx, &use_ctx));
   {
     obs::ScopedSpan delete_span("delete");
     XMLAC_ASSIGN_OR_RETURN(stats.nodes_deleted, backend_->DeleteWhere(u));
@@ -119,7 +214,8 @@ Result<UpdateStats> AccessController::Update(std::string_view xpath) {
   obs::IncrementCounter("engine.nodes_deleted", stats.nodes_deleted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,
-      Reannotate(backend_.get(), policy_, triggered, old_scope));
+      Reannotate(backend_.get(), policy_, triggered, old_scope,
+                 use_ctx ? &ctx : nullptr));
   return stats;
 }
 
@@ -180,9 +276,10 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
 
   UpdateStats stats;
   stats.rules_triggered = triggered.size();
-  XMLAC_ASSIGN_OR_RETURN(
-      std::vector<UniversalId> old_scope,
-      TriggeredScope(backend_.get(), policy_, triggered));
+  AnnotationContext ctx;
+  bool use_ctx = false;
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> old_scope,
+                         PrepareReannotation(triggered, &ctx, &use_ctx));
   {
     obs::ScopedSpan insert_span("insert_fragment");
     XMLAC_ASSIGN_OR_RETURN(stats.nodes_inserted,
@@ -195,7 +292,8 @@ Result<UpdateStats> AccessController::Insert(std::string_view target_xpath,
   obs::IncrementCounter("engine.nodes_inserted", stats.nodes_inserted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,
-      Reannotate(backend_.get(), policy_, triggered, old_scope));
+      Reannotate(backend_.get(), policy_, triggered, old_scope,
+                 use_ctx ? &ctx : nullptr));
   return stats;
 }
 
@@ -259,9 +357,10 @@ Result<BatchStats> AccessController::ApplyBatch(
 
   // One pre-batch scope snapshot, then all mutations in submission order,
   // then one partial re-annotation.
-  XMLAC_ASSIGN_OR_RETURN(
-      std::vector<UniversalId> old_scope,
-      TriggeredScope(backend_.get(), policy_, triggered));
+  AnnotationContext ctx;
+  bool use_ctx = false;
+  XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> old_scope,
+                         PrepareReannotation(triggered, &ctx, &use_ctx));
   {
     obs::ScopedSpan apply_span("batch_apply");
     for (const ParsedOp& p : parsed) {
@@ -285,7 +384,8 @@ Result<BatchStats> AccessController::ApplyBatch(
   obs::IncrementCounter("engine.nodes_inserted", stats.nodes_inserted);
   XMLAC_ASSIGN_OR_RETURN(
       stats.reannotation,
-      Reannotate(backend_.get(), policy_, triggered, old_scope));
+      Reannotate(backend_.get(), policy_, triggered, old_scope,
+                 use_ctx ? &ctx : nullptr));
   return stats;
 }
 
@@ -293,7 +393,15 @@ Result<AnnotateStats> AccessController::ReannotateFull() {
   if (!policy_set_) return Status::Internal("no policy set");
   obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
   obs::ScopedSpan span(&tracer_, "reannotate_full");
-  return AnnotateFull(backend_.get(), policy_);
+  // Callers of the from-scratch baseline may have mutated the backend
+  // directly (no Trigger ran, so no eviction happened): advancing the owned
+  // epoch discards every cached scope, keeping this a true full
+  // re-derivation.  A fleet-shared cache is left to its owner.
+  if (rule_cache_ != nullptr && owns_epoch_) rule_cache_->AdvanceEpoch();
+  AnnotationContext ctx;
+  if (rule_cache_ != nullptr) ctx = MakeAnnotationContext(rule_cache_->epoch());
+  return AnnotateFull(backend_.get(), policy_,
+                      rule_cache_ != nullptr ? &ctx : nullptr);
 }
 
 }  // namespace xmlac::engine

@@ -18,6 +18,7 @@
 #include "engine/annotator.h"
 #include "engine/backend.h"
 #include "engine/requester.h"
+#include "engine/rule_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "policy/optimizer.h"
@@ -26,6 +27,32 @@
 #include "xpath/containment_cache.h"
 
 namespace xmlac::engine {
+
+struct ControllerOptions {
+  bool optimize_policy = true;
+
+  // Rule node-set cache (docs/performance.md): memoizes each rule's scope
+  // as a bitmap and turns sign writes into diffs.  When enabled with no
+  // shared cache the controller owns a private one.  A shared cache must
+  // outlive the controller, and every controller sharing it must replicate
+  // the SAME document and receive every update (the MultiSubjectController
+  // guarantees both for its fleet; do not route updates around it).
+  bool enable_rule_cache = true;
+  RuleScopeCache* shared_rule_cache = nullptr;
+
+  // Shared containment cache (see the constructor comment below).
+  xpath::ContainmentCache* shared_containment_cache = nullptr;
+
+  // Worker threads for cache-miss rule evaluation (0 = auto, 1 = serial);
+  // only effective on backends that SupportsParallelEval().
+  size_t parallel_rules = 0;
+
+  // Fault injection for the differential harness: skip the trigger-driven
+  // evictions (every entry is promoted across updates instead), leaving
+  // stale bitmaps behind — `xmlac_fuzz --inject-bug stale-cache` proves the
+  // oracle catches exactly this.
+  bool inject_stale_cache = false;
+};
 
 struct UpdateStats {
   size_t nodes_deleted = 0;
@@ -77,6 +104,8 @@ class AccessController {
   explicit AccessController(
       std::unique_ptr<Backend> backend, bool optimize_policy = true,
       xpath::ContainmentCache* shared_containment_cache = nullptr);
+  AccessController(std::unique_ptr<Backend> backend,
+                   const ControllerOptions& options);
   ~AccessController();
 
   // Parses and loads the schema + document into the backend.
@@ -136,10 +165,30 @@ class AccessController {
   const xpath::ContainmentCache& containment_cache() const {
     return *containment_cache_;
   }
+  // Null when the rule cache is disabled.
+  RuleScopeCache* rule_cache() { return rule_cache_; }
+  const RuleScopeCache* rule_cache() const { return rule_cache_; }
 
  private:
+  // Builds the annotation context for the cached path at `epoch` (null-cache
+  // controllers never call this).
+  AnnotationContext MakeAnnotationContext(uint64_t epoch);
+
+  // Pre-mutation cache work for an update with triggered set `triggered`:
+  // advances the epoch (when this controller owns it), snapshots the
+  // pre-update triggered scope at the previous epoch, then evicts the
+  // triggered entries and promotes the rest.  On the uncached path this is
+  // just the TriggeredScope snapshot.  `reannotate_ctx` is filled with the
+  // post-update context (epoch stamped) iff the cache is enabled.
+  Result<std::vector<UniversalId>> PrepareReannotation(
+      const std::vector<size_t>& triggered, AnnotationContext* reannotate_ctx,
+      bool* use_ctx);
+
+  void MaintainRuleCache(const std::vector<size_t>& triggered,
+                         uint64_t post_epoch);
+
   std::unique_ptr<Backend> backend_;
-  bool optimize_policy_;
+  ControllerOptions options_;
   std::unique_ptr<xml::Dtd> dtd_;
   std::unique_ptr<xml::SchemaGraph> schema_;
   policy::Policy policy_;
@@ -151,6 +200,14 @@ class AccessController {
   // owned_containment_cache_ unless the constructor was given a shared one.
   xpath::ContainmentCache owned_containment_cache_;
   xpath::ContainmentCache* containment_cache_;
+  // Points at owned_rule_cache_ or the shared fleet cache; null disabled.
+  RuleScopeCache owned_rule_cache_;
+  RuleScopeCache* rule_cache_;
+  // Whether this controller advances the cache epoch on its own updates
+  // (true for an owned cache; a fleet-shared cache's epoch is advanced once
+  // per broadcast by the MultiSubjectController).
+  bool owns_epoch_;
+  SignState sign_state_;
   std::unique_ptr<policy::TriggerIndex> trigger_;
   bool policy_set_ = false;
 };

@@ -44,6 +44,17 @@ class Backend {
   // Alive element count.
   virtual size_t NodeCount() const = 0;
 
+  // Exclusive upper bound on every universal id the store can currently
+  // return (ids are arena indices and are never reused, so the bound only
+  // grows).  Used to pre-size annotation bitmaps; 0 means unknown/empty.
+  virtual size_t IdBound() const { return 0; }
+
+  // Whether EvaluateQuery may be called concurrently from several threads
+  // on this backend.  The native store's evaluator is read-only and
+  // thread-safe; the relational executor mutates shared statistics, so
+  // cache-miss rules evaluate serially there.
+  virtual bool SupportsParallelEval() const { return false; }
+
   // Evaluates an absolute XPath query, returning matched node ids (sorted).
   virtual Result<std::vector<UniversalId>> EvaluateQuery(
       const xpath::Path& query) = 0;

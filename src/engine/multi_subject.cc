@@ -1,5 +1,9 @@
 #include "engine/multi_subject.h"
 
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -7,7 +11,15 @@ namespace xmlac::engine {
 
 MultiSubjectController::MultiSubjectController(BackendFactory factory,
                                                bool optimize_policies)
-    : factory_(std::move(factory)), optimize_policies_(optimize_policies) {}
+    : MultiSubjectController(std::move(factory), [&] {
+        MultiSubjectOptions options;
+        options.optimize_policies = optimize_policies;
+        return options;
+      }()) {}
+
+MultiSubjectController::MultiSubjectController(
+    BackendFactory factory, const MultiSubjectOptions& options)
+    : factory_(std::move(factory)), options_(options) {}
 
 Status MultiSubjectController::Load(std::string_view dtd_text,
                                     std::string_view xml_text) {
@@ -24,6 +36,9 @@ Status MultiSubjectController::LoadParsed(const xml::Dtd& dtd,
   }
   dtd_ = std::make_unique<xml::Dtd>(dtd);
   XMLAC_RETURN_IF_ERROR(master_.Load(dtd, doc));
+  // Any bitmaps from a previously loaded document are garbage now.
+  rule_cache_.Clear();
+  rule_cache_.AdvanceEpoch();
   loaded_ = true;
   return Status::OK();
 }
@@ -35,8 +50,15 @@ Status MultiSubjectController::AddSubject(std::string_view subject,
     return Status::AlreadyExists("subject '" + std::string(subject) +
                                  "' already registered");
   }
-  auto controller = std::make_unique<AccessController>(
-      factory_(), optimize_policies_, &containment_cache_);
+  ControllerOptions copt;
+  copt.optimize_policy = options_.optimize_policies;
+  copt.enable_rule_cache = options_.enable_rule_cache;
+  copt.shared_rule_cache =
+      options_.enable_rule_cache ? &rule_cache_ : nullptr;
+  copt.shared_containment_cache = &containment_cache_;
+  copt.parallel_rules = options_.parallel_rules;
+  copt.inject_stale_cache = options_.inject_stale_cache;
+  auto controller = std::make_unique<AccessController>(factory_(), copt);
   XMLAC_RETURN_IF_ERROR(
       controller->LoadParsed(*dtd_, master_.document()));
   XMLAC_RETURN_IF_ERROR(controller->SetPolicy(policy_text));
@@ -49,6 +71,8 @@ Status MultiSubjectController::RemoveSubject(std::string_view subject) {
   if (it == subjects_.end()) {
     return Status::NotFound("unknown subject '" + std::string(subject) + "'");
   }
+  // The subject's cache entries are left behind: nobody promotes them
+  // across the next update, so they age out as ordinary misses.
   subjects_.erase(it);
   return Status::OK();
 }
@@ -74,17 +98,41 @@ Result<RequestOutcome> MultiSubjectController::Query(std::string_view subject,
   return it->second->Query(xpath);
 }
 
+template <typename Stats>
+Result<std::map<std::string, Stats>> MultiSubjectController::FanOut(
+    const std::function<Result<Stats>(AccessController*)>& fn) {
+  // One shared-epoch tick per logical document change, before any subject
+  // starts: every replica then snapshots pre-update scopes at epoch-1 and
+  // re-annotates at the new epoch (see rule_cache.h).
+  if (options_.enable_rule_cache) rule_cache_.AdvanceEpoch();
+  std::vector<std::pair<const std::string*, AccessController*>> flat;
+  flat.reserve(subjects_.size());
+  for (auto& [name, controller] : subjects_) {
+    flat.emplace_back(&name, controller.get());
+  }
+  std::vector<Result<Stats>> results(flat.size(), Result<Stats>(Stats{}));
+  // Replicas are independent stores; the containment and rule caches they
+  // share are thread-safe, and each controller installs its own obs
+  // context, so the fan-out is a plain parallel map.
+  ParallelFor(flat.size(), options_.parallel_subjects,
+              [&](size_t i) { results[i] = fn(flat[i].second); });
+  std::map<std::string, Stats> out;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (!results[i].ok()) return results[i].status();
+    out[*flat[i].first] = std::move(*results[i]);
+  }
+  return out;
+}
+
 Result<std::map<std::string, UpdateStats>> MultiSubjectController::Update(
     std::string_view xpath) {
   if (!loaded_) return Status::Internal("no document loaded");
   XMLAC_ASSIGN_OR_RETURN(xpath::Path u, xpath::ParsePath(xpath));
   auto deleted = master_.DeleteWhere(u);
   if (!deleted.ok()) return deleted.status();
-  std::map<std::string, UpdateStats> out;
-  for (auto& [name, controller] : subjects_) {
-    XMLAC_ASSIGN_OR_RETURN(out[name], controller->Update(xpath));
-  }
-  return out;
+  std::string xpath_copy(xpath);
+  return FanOut<UpdateStats>(
+      [&xpath_copy](AccessController* c) { return c->Update(xpath_copy); });
 }
 
 Result<std::map<std::string, BatchStats>> MultiSubjectController::ApplyBatch(
@@ -102,11 +150,8 @@ Result<std::map<std::string, BatchStats>> MultiSubjectController::ApplyBatch(
       XMLAC_RETURN_IF_ERROR(master_.InsertUnder(path, fragment).status());
     }
   }
-  std::map<std::string, BatchStats> out;
-  for (auto& [name, controller] : subjects_) {
-    XMLAC_ASSIGN_OR_RETURN(out[name], controller->ApplyBatch(ops));
-  }
-  return out;
+  return FanOut<BatchStats>(
+      [&ops](AccessController* c) { return c->ApplyBatch(ops); });
 }
 
 Result<std::map<std::string, UpdateStats>> MultiSubjectController::Insert(
@@ -117,12 +162,12 @@ Result<std::map<std::string, UpdateStats>> MultiSubjectController::Insert(
                          xml::ParseDocument(fragment_xml));
   auto inserted = master_.InsertUnder(target, fragment);
   if (!inserted.ok()) return inserted.status();
-  std::map<std::string, UpdateStats> out;
-  for (auto& [name, controller] : subjects_) {
-    XMLAC_ASSIGN_OR_RETURN(out[name],
-                           controller->Insert(target_xpath, fragment_xml));
-  }
-  return out;
+  std::string target_copy(target_xpath);
+  std::string fragment_copy(fragment_xml);
+  return FanOut<UpdateStats>(
+      [&target_copy, &fragment_copy](AccessController* c) {
+        return c->Insert(target_copy, fragment_copy);
+      });
 }
 
 }  // namespace xmlac::engine

@@ -10,6 +10,13 @@
 // node — so per-subject annotations need per-subject stores).  Updates are
 // broadcast to every replica and to a master copy, which late-added
 // subjects are initialised from.
+//
+// Two fleet-level optimizations (docs/performance.md):
+//  - one RuleScopeCache shared by every subject, so a rule path evaluated
+//    by one replica is a bitmap hit for all others (hospital-style
+//    policies reuse scope paths heavily across subjects);
+//  - broadcasts fan out across subjects on a worker pool — replicas are
+//    independent stores, and the shared caches are thread-safe.
 
 #include <functional>
 #include <map>
@@ -18,8 +25,23 @@
 
 #include "engine/access_controller.h"
 #include "engine/native_backend.h"
+#include "engine/rule_cache.h"
 
 namespace xmlac::engine {
+
+struct MultiSubjectOptions {
+  bool optimize_policies = true;
+  // Share one rule node-set cache across subjects (and enable the bitmap
+  // sign-diff path in every subject controller).
+  bool enable_rule_cache = true;
+  // Worker threads for the per-subject broadcast fan-out (0 = auto,
+  // 1 = serial).
+  size_t parallel_subjects = 0;
+  // Per-subject cache-miss rule evaluation threads (0 = auto, 1 = serial).
+  size_t parallel_rules = 0;
+  // Forwarded test hook (see ControllerOptions::inject_stale_cache).
+  bool inject_stale_cache = false;
+};
 
 class MultiSubjectController {
  public:
@@ -29,6 +51,8 @@ class MultiSubjectController {
   // allowed: the factory may return different kinds over its lifetime).
   explicit MultiSubjectController(BackendFactory factory,
                                   bool optimize_policies = true);
+  MultiSubjectController(BackendFactory factory,
+                         const MultiSubjectOptions& options);
 
   // Parses and installs the document; must precede AddSubject.
   Status Load(std::string_view dtd_text, std::string_view xml_text);
@@ -47,7 +71,8 @@ class MultiSubjectController {
                                std::string_view xpath);
 
   // Broadcast updates: applied to the master copy and re-annotated in every
-  // subject's replica.  Per-subject stats are returned by subject name.
+  // subject's replica (concurrently, per `parallel_subjects`).  Per-subject
+  // stats are returned by subject name.
   Result<std::map<std::string, UpdateStats>> Update(std::string_view xpath);
   Result<std::map<std::string, UpdateStats>> Insert(
       std::string_view target_xpath, std::string_view fragment_xml);
@@ -66,19 +91,35 @@ class MultiSubjectController {
     return containment_cache_;
   }
 
+  // The fleet-shared rule node-set cache (hit/miss/eviction counters for
+  // benches and the perf-smoke CI gate).
+  const RuleScopeCache& rule_cache() const { return rule_cache_; }
+
   // The current (post-update) document.
   const xml::Document& document() const { return master_.document(); }
 
+  // Direct access to a subject's controller, for reads and inspection.
+  // Updates MUST go through the broadcast methods above: a direct
+  // subject-level update would diverge the replica from the fleet while
+  // the fleet still shares one rule cache.
   AccessController* subject(std::string_view name);
 
  private:
+  // Applies `fn` to every subject on the broadcast pool and collects
+  // per-subject results into a name-keyed map (first error wins).
+  template <typename Stats>
+  Result<std::map<std::string, Stats>> FanOut(
+      const std::function<Result<Stats>(AccessController*)>& fn);
+
   BackendFactory factory_;
-  bool optimize_policies_;
+  MultiSubjectOptions options_;
   std::unique_ptr<xml::Dtd> dtd_;
   NativeXmlBackend master_;  // un-annotated source of truth for replicas
-  // Declared before subjects_ so it outlives every controller that points
-  // at it.  Thread-safe, so subject controllers may run on worker threads.
+  // Declared before subjects_ so they outlive every controller that points
+  // at them.  Both are thread-safe, so subject controllers may run on
+  // worker threads.
   xpath::ContainmentCache containment_cache_;
+  RuleScopeCache rule_cache_;
   bool loaded_ = false;
   std::map<std::string, std::unique_ptr<AccessController>, std::less<>>
       subjects_;

@@ -28,12 +28,26 @@ Status NativeXmlBackend::Load(const xml::Dtd& dtd, const xml::Document& doc) {
   (void)dtd;  // the native store needs no schema
   doc_ = doc.Clone();
   loaded_ = true;
+  // The source may already carry sign attributes (e.g. a saved annotated
+  // store).
+  non_default_signs_ = CountNonDefaultSigns();
   return Status::OK();
 }
 
 void NativeXmlBackend::Clear() {
   doc_ = xml::Document();
   loaded_ = false;
+  non_default_signs_ = 0;
+}
+
+size_t NativeXmlBackend::CountNonDefaultSigns() const {
+  size_t n = 0;
+  for (xml::NodeId id = 0; id < doc_.size(); ++id) {
+    if (doc_.IsAlive(id) && doc_.GetAttribute(id, kSignAttr).has_value()) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 size_t NativeXmlBackend::NodeCount() const {
@@ -101,17 +115,22 @@ Result<std::vector<UniversalId>> NativeXmlBackend::EvaluateAnnotationSet(
 }
 
 void NativeXmlBackend::Annotate(xml::NodeId n, char val) {
+  auto attr = doc_.GetAttribute(n, kSignAttr);
+  bool had = attr.has_value();
   if (obs::CurrentMetrics() != nullptr) {
-    auto attr = doc_.GetAttribute(n, kSignAttr);
-    char cur = attr.has_value() ? (*attr)[0] : default_sign_;
+    char cur = had ? (*attr)[0] : default_sign_;
     if (cur != val) obs::IncrementCounter("native.sign_flips");
   }
   // xmlac:annotate(): insert the attribute or replace its value; drop it
   // entirely when it matches the store default (minimal storage).
   if (val == default_sign_) {
-    doc_.RemoveAttribute(n, kSignAttr);
+    if (had) {
+      doc_.RemoveAttribute(n, kSignAttr);
+      --non_default_signs_;
+    }
   } else {
     doc_.SetAttribute(n, kSignAttr, std::string(1, val));
+    if (!had) ++non_default_signs_;
   }
 }
 
@@ -127,6 +146,10 @@ Status NativeXmlBackend::SetSigns(const std::vector<UniversalId>& ids,
 
 Status NativeXmlBackend::ResetAllSigns(char default_sign) {
   default_sign_ = default_sign;
+  // With no explicit sign attribute anywhere, every node already reads as
+  // the (new) default: nothing to remove.  This makes the first annotation
+  // of a freshly loaded replica skip the full-document pass.
+  if (non_default_signs_ == 0) return Status::OK();
   size_t reset = 0;
   for (xml::NodeId id = 0; id < doc_.size(); ++id) {
     if (doc_.IsAlive(id) && doc_.node(id).kind == xml::NodeKind::kElement) {
@@ -134,6 +157,7 @@ Status NativeXmlBackend::ResetAllSigns(char default_sign) {
       ++reset;
     }
   }
+  non_default_signs_ = 0;
   obs::IncrementCounter("native.signs_reset", reset);
   return Status::OK();
 }
@@ -186,6 +210,7 @@ Status NativeXmlBackend::LoadFromFile(std::string_view path) {
   doc.RemoveAttribute(doc.root(), "xmlac-default");
   doc_ = std::move(doc);
   loaded_ = true;
+  non_default_signs_ = CountNonDefaultSigns();
   return Status::OK();
 }
 

@@ -23,6 +23,9 @@ class NativeXmlBackend final : public Backend {
   Status Load(const xml::Dtd& dtd, const xml::Document& doc) override;
   void Clear() override;
   size_t NodeCount() const override;
+  size_t IdBound() const override { return doc_.size(); }
+  // The XPath evaluator is pure over a const Document.
+  bool SupportsParallelEval() const override { return true; }
 
   Result<std::vector<UniversalId>> EvaluateQuery(
       const xpath::Path& query) override;
@@ -76,9 +79,18 @@ class NativeXmlBackend final : public Backend {
   // The paper's xmlac:annotate($n, $val) function.
   void Annotate(xml::NodeId n, char val);
 
+  // Live elements carrying an explicit (non-default) sign attribute, for
+  // counting only.
+  size_t CountNonDefaultSigns() const;
+
   xml::Document doc_;
   bool loaded_ = false;
   char default_sign_ = '-';
+  // Number of alive nodes holding an explicit sign attribute.  When zero,
+  // every sign equals the default and ResetAllSigns is O(1) — the common
+  // case for a freshly loaded replica's first annotation.  Deleted nodes
+  // may leave the count conservatively high; a full reset re-zeroes it.
+  size_t non_default_signs_ = 0;
 };
 
 }  // namespace xmlac::engine

@@ -27,17 +27,22 @@ Status RelationalBackend::Load(const xml::Dtd& dtd,
     XMLAC_ASSIGN_OR_RETURN(std::string script,
                            shred::ShredToSqlScript(doc, *mapping_,
                                                    default_sign_));
-    return exec_->Run(script);
+    XMLAC_RETURN_IF_ERROR(exec_->Run(script));
+    uniform_sign_ = default_sign_;
+    return Status::OK();
   }
   auto stats =
       shred::ShredToCatalog(doc, *mapping_, catalog_.get(), default_sign_);
-  return stats.ok() ? Status::OK() : stats.status();
+  if (!stats.ok()) return stats.status();
+  uniform_sign_ = default_sign_;
+  return Status::OK();
 }
 
 void RelationalBackend::Clear() {
   exec_.reset();
   catalog_.reset();
   mapping_.reset();
+  uniform_sign_ = 0;
 }
 
 size_t RelationalBackend::NodeCount() const {
@@ -126,6 +131,7 @@ Status RelationalBackend::SetSigns(const std::vector<UniversalId>& ids,
   // Algorithm Annotate (Fig. 6): for every table, intersect the target ids
   // with the table's ids, then issue one UPDATE per matching tuple.
   std::unordered_set<UniversalId> target(ids.begin(), ids.end());
+  if (!ids.empty() && sign != uniform_sign_) uniform_sign_ = 0;
   std::string set_sql(1, sign);
   size_t sign_updates = 0;
   for (const std::string& table_name : catalog_->TableNames()) {
@@ -156,12 +162,16 @@ Status RelationalBackend::SetSigns(const std::vector<UniversalId>& ids,
 Status RelationalBackend::ResetAllSigns(char default_sign) {
   if (catalog_ == nullptr) return Status::Internal("backend not loaded");
   default_sign_ = default_sign;
+  // Every tuple already carries this sign (e.g. a freshly shredded replica
+  // on its first annotation): the per-table UPDATEs would be no-ops.
+  if (uniform_sign_ == default_sign) return Status::OK();
   for (const std::string& table_name : catalog_->TableNames()) {
     auto n = exec_->Query("UPDATE " + table_name + " SET " +
                           shred::kSignColumn + " = '" +
                           std::string(1, default_sign) + "'");
     if (!n.ok()) return n.status();
   }
+  uniform_sign_ = default_sign;
   return Status::OK();
 }
 
@@ -246,6 +256,9 @@ Result<size_t> RelationalBackend::InsertUnder(const xpath::Path& target,
   if (fragment.empty() || !fragment.IsAlive(fragment.root())) {
     return Status::InvalidArgument("empty insert fragment");
   }
+  // New tuples arrive with default_sign_; if the store was uniform at some
+  // other sign the mix breaks uniformity.
+  if (uniform_sign_ != 0 && uniform_sign_ != default_sign_) uniform_sign_ = 0;
   // Validate fragment labels up front so a failure cannot leave a
   // half-inserted subtree.
   Status label_check;

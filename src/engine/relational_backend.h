@@ -44,6 +44,12 @@ class RelationalBackend final : public Backend {
   Status Load(const xml::Dtd& dtd, const xml::Document& doc) override;
   void Clear() override;
   size_t NodeCount() const override;
+  size_t IdBound() const override {
+    return static_cast<size_t>(next_id_ < 0 ? 0 : next_id_);
+  }
+  // The executor accumulates ExecStats on every statement; per-rule scans
+  // must stay on one thread.
+  bool SupportsParallelEval() const override { return false; }
 
   Result<std::vector<UniversalId>> EvaluateQuery(
       const xpath::Path& query) override;
@@ -78,6 +84,10 @@ class RelationalBackend final : public Backend {
   std::unique_ptr<reldb::Executor> exec_;
   std::unique_ptr<shred::ShredMapping> mapping_;
   char default_sign_ = '-';
+  // When non-zero, every live tuple's sign column is known to hold this
+  // value, so ResetAllSigns to the same sign skips the per-table UPDATEs —
+  // the fresh-replica fast path.  Any write that could mix signs zeroes it.
+  char uniform_sign_ = 0;
   // Next fresh universal id for inserts.  Seeded with the loaded document's
   // arena size and advanced over text nodes too, so ids assigned by
   // InsertUnder coincide with NativeXmlBackend's for identical call

@@ -1,0 +1,101 @@
+#include "engine/rule_cache.h"
+
+#include "obs/metrics.h"
+
+namespace xmlac::engine {
+
+RuleScopeCache::BitmapPtr RuleScopeCache::Lookup(std::string_view store,
+                                                 std::string_view path_key,
+                                                 uint64_t epoch) const {
+  std::string key = Key(store, path_key);
+  const Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end() && it->second.epoch == epoch) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::IncrementCounter("rulecache.hits");
+      return it->second.bitmap;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::IncrementCounter("rulecache.misses");
+  return nullptr;
+}
+
+void RuleScopeCache::Insert(std::string_view store, std::string_view path_key,
+                            uint64_t epoch, BitmapPtr bitmap) {
+  std::string key = Key(store, path_key);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = shard.table[key];
+  // Never replace a fresher entry: a concurrent subject may already have
+  // recomputed this rule at a later epoch.
+  if (entry.bitmap != nullptr && entry.epoch >= epoch) return;
+  entry.epoch = epoch;
+  entry.bitmap = std::move(bitmap);
+  entry.retired = false;
+  entry.promoted = false;
+}
+
+void RuleScopeCache::Evict(std::string_view store, std::string_view path_key,
+                           uint64_t post_epoch) {
+  std::string key = Key(store, path_key);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return;
+  Entry& entry = it->second;
+  if (entry.epoch >= post_epoch) {
+    // Already current: either a sibling subject recomputed the scope after
+    // the update (keep it) or a subject that considers the rule
+    // non-triggered promoted the old bitmap — a disagreement eviction must
+    // win over, so erase it.
+    if (!entry.promoted) return;
+    shard.table.erase(it);
+  } else if (entry.retired) {
+    return;  // already counted by a sibling subject
+  } else {
+    entry.retired = true;
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  obs::IncrementCounter("rulecache.evictions");
+}
+
+void RuleScopeCache::Promote(std::string_view store, std::string_view path_key,
+                             uint64_t to_epoch) {
+  if (to_epoch == 0) return;
+  std::string key = Key(store, path_key);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return;
+  if (it->second.epoch + 1 == to_epoch && !it->second.retired) {
+    it->second.epoch = to_epoch;
+    it->second.promoted = true;
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+    obs::IncrementCounter("rulecache.promotions");
+  }
+}
+
+void RuleScopeCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.clear();
+  }
+}
+
+RuleScopeCache::Stats RuleScopeCache::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.promotions = promotions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.table.size();
+  }
+  return s;
+}
+
+}  // namespace xmlac::engine

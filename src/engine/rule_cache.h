@@ -1,0 +1,155 @@
+#ifndef XMLAC_ENGINE_RULE_CACHE_H_
+#define XMLAC_ENGINE_RULE_CACHE_H_
+
+// Shared rule node-set cache (see docs/performance.md).
+//
+// Hospital-style policies reuse scope paths heavily across subjects, so the
+// expensive step of annotation — evaluating each rule's XPath over the
+// store — is the natural unit of sharing.  The cache memoizes one bitmap
+// per (store name, canonical resource path) and stamps every entry with the
+// document epoch it was computed at.
+//
+// Epochs: a single atomic counter advanced exactly once per logical
+// document change (by the MultiSubjectController for its whole subject
+// fleet, or by a standalone AccessController that owns its cache).  A
+// lookup only hits when the entry's epoch matches the requested one, so a
+// forgotten invalidation degrades to a miss, never to a stale hit.
+//
+// Invalidation is trigger-driven (paper Fig. 8): after an update `u`, each
+// controller evicts the entries of its rules in Trigger(P, u) and promotes
+// the entries of its non-triggered rules from the previous epoch to the
+// current one.  Promotion is sound because a non-triggered rule's scope is
+// unchanged by the update — that is exactly what the trigger theorem
+// guarantees — modulo deleted ids, which every consumer tolerates (see
+// node_bitmap.h).  Entries nobody promotes (e.g. rules of a removed
+// subject) simply age out as misses.
+//
+// Eviction is *logical*: exact-epoch matching already makes a pre-update
+// entry invisible to post-update lookups, so Evict marks it retired
+// (blocking promotion) instead of erasing it.  That matters under the
+// multi-subject fan-out, where subjects race through an update: a slow
+// subject still serves its pre-update old-scope read from the retired
+// entry, and a fast subject's freshly recomputed post-epoch bitmap is
+// never clobbered by a sibling's eviction.
+//
+// Thread-safety: fully thread-safe; sharded by key hash so concurrent
+// subjects rarely contend.  Bitmaps are shared immutably via shared_ptr.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/node_bitmap.h"
+#include "xpath/ast.h"
+
+namespace xmlac::engine {
+
+class RuleScopeCache {
+ public:
+  using BitmapPtr = std::shared_ptr<const NodeBitmap>;
+
+  RuleScopeCache() = default;
+  RuleScopeCache(const RuleScopeCache&) = delete;
+  RuleScopeCache& operator=(const RuleScopeCache&) = delete;
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Called once per logical document change; entries stamped with older
+  // epochs stop hitting until promoted.
+  uint64_t AdvanceEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // The scope bitmap of `path_key` on `store` as of `epoch`, or null on
+  // miss.  Counts obs rulecache.hits / rulecache.misses.
+  BitmapPtr Lookup(std::string_view store, std::string_view path_key,
+                   uint64_t epoch) const;
+
+  // Installs a bitmap computed at `epoch`.  Never downgrades: if an entry
+  // from a later epoch is already present the insert is dropped.
+  void Insert(std::string_view store, std::string_view path_key,
+              uint64_t epoch, BitmapPtr bitmap);
+
+  // Logically evicts the entry of a triggered rule whose scope may have
+  // changed by the update that advanced the epoch to `post_epoch`: a
+  // pre-update entry is marked retired (still hit by pre-update lookups,
+  // never promoted), while an entry another subject already *promoted* to
+  // `post_epoch` is erased — when subjects disagree about triggering,
+  // eviction must win, since it only forces a recomputation.  A fresh
+  // post-epoch recomputation (Insert) is left alone.
+  void Evict(std::string_view store, std::string_view path_key,
+             uint64_t post_epoch);
+
+  // Re-stamps the entry to `to_epoch` if it currently holds epoch
+  // `to_epoch - 1` (a non-triggered rule carried across an update) and has
+  // not been retired by a concurrent eviction.
+  void Promote(std::string_view store, std::string_view path_key,
+               uint64_t to_epoch);
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t promotions = 0;
+    size_t entries = 0;
+  };
+  Stats GetStats() const;
+
+  double HitRate() const {
+    Stats s = GetStats();
+    uint64_t total = s.hits + s.misses;
+    return total == 0 ? 0.0 : static_cast<double>(s.hits) / total;
+  }
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    BitmapPtr bitmap;
+    // Logically evicted: serves pre-update lookups at its (old) epoch but
+    // must not be promoted.  Cleared by the next Insert.
+    bool retired = false;
+    // Set by Promote, cleared by Insert: lets Evict distinguish a carried-
+    // over bitmap (which a disagreeing eviction must remove) from a fresh
+    // recomputation (which it must keep).
+    bool promoted = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> table;
+  };
+
+  static std::string Key(std::string_view store, std::string_view path_key) {
+    std::string key;
+    key.reserve(store.size() + path_key.size() + 1);
+    key.append(store);
+    key.push_back('\t');
+    key.append(path_key);
+    return key;
+  }
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[xpath::CanonicalHash(key) % kShards];
+  }
+  const Shard& ShardFor(const std::string& key) const {
+    return shards_[xpath::CanonicalHash(key) % kShards];
+  }
+
+  static constexpr size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> promotions_{0};
+};
+
+}  // namespace xmlac::engine
+
+#endif  // XMLAC_ENGINE_RULE_CACHE_H_

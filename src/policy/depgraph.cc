@@ -6,15 +6,28 @@
 
 namespace xmlac::policy {
 
-DependencyGraph::DependencyGraph(const Policy& policy) {
+DependencyGraph::DependencyGraph(const Policy& policy,
+                                 xpath::ContainmentCache* cache) {
   const std::vector<Rule>& rules = policy.rules();
   size_t n = rules.size();
+  // Stringify each resource once: the pairwise sweep keys the cache on
+  // canonical strings.
+  std::vector<std::string> keys;
+  if (cache != nullptr) {
+    keys.reserve(n);
+    for (const Rule& r : rules) keys.push_back(xpath::ToString(r.resource));
+  }
+  auto contains = [&](size_t a, size_t b) {
+    return cache != nullptr
+               ? cache->Contains(rules[a].resource, rules[b].resource,
+                                 keys[a], keys[b])
+               : xpath::Contains(rules[a].resource, rules[b].resource);
+  };
   adjacency_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       if (rules[i].effect == rules[j].effect) continue;
-      if (xpath::Contains(rules[i].resource, rules[j].resource) ||
-          xpath::Contains(rules[j].resource, rules[i].resource)) {
+      if (contains(i, j) || contains(j, i)) {
         adjacency_[i].push_back(j);
         adjacency_[j].push_back(i);
       }

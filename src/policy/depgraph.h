@@ -13,13 +13,18 @@
 #include <vector>
 
 #include "policy/policy.h"
+#include "xpath/containment_cache.h"
 
 namespace xmlac::policy {
 
 class DependencyGraph {
  public:
-  // Builds adjacency + closures with O(n^2) containment tests.
-  explicit DependencyGraph(const Policy& policy);
+  // Builds adjacency + closures with O(n^2) containment tests, memoized
+  // through `cache` when given — fleets re-building the graph for similar
+  // policies (one TriggerIndex per subject) then pay the homomorphism
+  // tests once.
+  explicit DependencyGraph(const Policy& policy,
+                           xpath::ContainmentCache* cache = nullptr);
 
   size_t num_rules() const { return adjacency_.size(); }
 

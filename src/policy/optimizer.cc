@@ -30,8 +30,18 @@ Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats,
   const std::vector<Rule>& rules = policy.rules();
   std::vector<bool> removed(rules.size(), false);
   OptimizerStats local;
-  auto contains = [cache](const xpath::Path& a, const xpath::Path& b) {
-    return cache != nullptr ? cache->Contains(a, b) : xpath::Contains(a, b);
+  // Stringify each resource once: the sweep below tests every pair, and
+  // the cache keys on the canonical strings.
+  std::vector<std::string> keys;
+  if (cache != nullptr) {
+    keys.reserve(rules.size());
+    for (const Rule& r : rules) keys.push_back(xpath::ToString(r.resource));
+  }
+  auto contains = [&](size_t a, size_t b) {
+    return cache != nullptr
+               ? cache->Contains(rules[a].resource, rules[b].resource,
+                                 keys[a], keys[b])
+               : xpath::Contains(rules[a].resource, rules[b].resource);
   };
 
   // Pairwise sweep within each effect class (Fig. 4's loop over `rules`,
@@ -42,17 +52,17 @@ Policy EliminateRedundantRules(const Policy& policy, OptimizerStats* stats,
       if (i == j || removed[j] || removed[i]) continue;
       if (rules[i].effect != rules[j].effect) continue;
       ++local.containment_tests;
-      if (contains(rules[j].resource, rules[i].resource)) {
+      if (contains(j, i)) {
         // r_j ⊑ r_i: r_j is redundant.  (When the two are equivalent this
         // drops the later one: for i < j the j-th goes first.)
-        if (j > i || !contains(rules[i].resource, rules[j].resource)) {
+        if (j > i || !contains(i, j)) {
           removed[j] = true;
           ++local.removed;
           continue;
         }
       }
       ++local.containment_tests;
-      if (contains(rules[i].resource, rules[j].resource)) {
+      if (contains(i, j)) {
         removed[i] = true;
         ++local.removed;
       }

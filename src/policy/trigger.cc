@@ -11,11 +11,22 @@ namespace xmlac::policy {
 TriggerIndex::TriggerIndex(const Policy& policy,
                            const xml::SchemaGraph* schema,
                            const TriggerOptions& options)
-    : policy_(policy), options_(options), depgraph_(policy) {
+    : policy_(policy),
+      options_(options),
+      depgraph_(policy, options.containment_cache) {
   expansions_.reserve(policy.rules().size());
   for (const Rule& r : policy.rules()) {
     expansions_.push_back(
         xpath::Expand(r.resource, schema, options.expansion));
+  }
+  if (options_.containment_cache != nullptr) {
+    expansion_keys_.reserve(expansions_.size());
+    for (const std::vector<xpath::Path>& paths : expansions_) {
+      std::vector<std::string> keys;
+      keys.reserve(paths.size());
+      for (const xpath::Path& p : paths) keys.push_back(xpath::ToString(p));
+      expansion_keys_.push_back(std::move(keys));
+    }
   }
 }
 
@@ -26,13 +37,17 @@ std::vector<size_t> TriggerIndex::Trigger(const xpath::Path& u,
   TriggerStats local;
   std::vector<bool> fired(policy_.rules().size(), false);
   xpath::ContainmentCache* cache = options_.containment_cache;
-  auto contains = [cache](const xpath::Path& a, const xpath::Path& b) {
-    return cache != nullptr ? cache->Contains(a, b) : xpath::Contains(a, b);
-  };
+  // Stringified once per probe; expansion strings were precomputed at
+  // index build.
+  std::string u_key = cache != nullptr ? xpath::ToString(u) : std::string();
   for (size_t i = 0; i < expansions_.size(); ++i) {
-    for (const xpath::Path& x : expansions_[i]) {
+    for (size_t k = 0; k < expansions_[i].size(); ++k) {
+      const xpath::Path& x = expansions_[i][k];
       local.containment_tests += 2;
-      bool hit = contains(x, u) || contains(u, x);
+      bool hit = cache != nullptr
+                     ? (cache->Contains(x, u, expansion_keys_[i][k], u_key) ||
+                        cache->Contains(u, x, u_key, expansion_keys_[i][k]))
+                     : (xpath::Contains(x, u) || xpath::Contains(u, x));
       if (!hit && options_.overlap_test) {
         hit = xpath::MayOverlap(x, u);
       }

@@ -60,6 +60,9 @@ class TriggerIndex {
   const Policy& policy_;
   TriggerOptions options_;
   std::vector<std::vector<xpath::Path>> expansions_;
+  // Canonical strings of expansions_, precomputed so each Trigger probe
+  // keys the containment cache without re-stringifying every expansion.
+  std::vector<std::vector<std::string>> expansion_keys_;
   DependencyGraph depgraph_;
 };
 

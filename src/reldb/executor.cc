@@ -388,6 +388,7 @@ Result<ResultSet> Executor::ExecuteSingleSelect(const SelectQuery& q) {
   std::vector<TupleRows> tuples;
   {
     Table* t = slots[0].table;
+    tuples.reserve(t->AliveCount());
     for (RowIdx i = 0; i < t->Capacity(); ++i) {
       if (!t->IsAlive(i)) continue;
       ++stats_.rows_scanned;
@@ -410,6 +411,7 @@ Result<ResultSet> Executor::ExecuteSingleSelect(const SelectQuery& q) {
     const SlotPlan& plan = plans[s];
     // Candidate row list for this slot, after pushed filters.
     std::vector<RowIdx> candidates;
+    candidates.reserve(t->AliveCount());
     for (RowIdx i = 0; i < t->Capacity(); ++i) {
       if (!t->IsAlive(i)) continue;
       ++stats_.rows_scanned;
@@ -419,6 +421,7 @@ Result<ResultSet> Executor::ExecuteSingleSelect(const SelectQuery& q) {
     // them against a padded tuple.
     if (!plan.filters.empty()) {
       std::vector<RowIdx> filtered;
+      filtered.reserve(candidates.size());
       TupleRows padded(s + 1, 0);
       for (RowIdx i : candidates) {
         padded[s] = i;
@@ -646,21 +649,31 @@ Result<std::vector<RowIdx>> MatchRows(Table* t, const Expr* where,
       }
     }
   }
-  if (!used_index) {
-    for (RowIdx i = 0; i < t->Capacity(); ++i) {
-      if (t->IsAlive(i)) candidates.push_back(i);
-    }
-  }
   std::vector<RowIdx> out;
-  for (RowIdx i : candidates) {
-    if (!t->IsAlive(i)) continue;
+  auto filter_row = [&](RowIdx i) -> Result<bool> {
+    if (!t->IsAlive(i)) return false;
     ++stats->rows_scanned;
     if (where != nullptr) {
       TupleRows tup = {i};
-      XMLAC_ASSIGN_OR_RETURN(bool ok, eval.EvalBool(*where, tup));
-      if (!ok) continue;
+      return eval.EvalBool(*where, tup);
     }
-    out.push_back(i);
+    return true;
+  };
+  if (used_index) {
+    out.reserve(candidates.size());
+    for (RowIdx i : candidates) {
+      XMLAC_ASSIGN_OR_RETURN(bool ok, filter_row(i));
+      if (ok) out.push_back(i);
+    }
+  } else {
+    // Full scan: filter the arena directly instead of materialising an
+    // all-alive candidate vector first (the sign-annotation loop's point
+    // updates land here when indexes are disabled, so the copy shows up).
+    out.reserve(t->AliveCount());
+    for (RowIdx i = 0; i < t->Capacity(); ++i) {
+      XMLAC_ASSIGN_OR_RETURN(bool ok, filter_row(i));
+      if (ok) out.push_back(i);
+    }
   }
   return out;
 }

@@ -24,7 +24,13 @@ Status StoppedError() { return Status::Internal("server stopped"); }
 Server::Server(ServerOptions options)
     : options_(options),
       controller_([] { return std::make_unique<engine::NativeXmlBackend>(); },
-                  options.optimize_policies),
+                  [&options] {
+                    engine::MultiSubjectOptions mopt;
+                    mopt.optimize_policies = options.optimize_policies;
+                    mopt.enable_rule_cache = options.enable_rule_cache;
+                    mopt.parallel_subjects = options.parallel_subjects;
+                    return mopt;
+                  }()),
       read_queue_(options.read_queue_capacity),
       write_queue_(options.write_queue_capacity) {
   if (options_.workers == 0) options_.workers = 1;

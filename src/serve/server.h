@@ -60,6 +60,11 @@ struct ServerOptions {
   // cost the batching exists to beat).
   size_t max_batch = 64;
   bool optimize_policies = true;
+  // Fleet-shared rule node-set cache + bitmap sign diffing in the batched
+  // re-annotation path, and the per-subject re-annotation fan-out width
+  // (0 = auto, 1 = serial).  See docs/performance.md.
+  bool enable_rule_cache = true;
+  size_t parallel_subjects = 0;
 };
 
 // What a client gets back for any submitted request.

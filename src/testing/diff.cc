@@ -18,9 +18,22 @@ using engine::AccessController;
 using engine::UniversalId;
 using xml::NodeId;
 
-std::string Describe(BackendKind kind, bool optimized) {
+std::string Describe(BackendKind kind, bool optimized,
+                     const DiffOptions& options) {
   std::string out = BackendName(kind);
   out += optimized ? "/opt" : "/raw";
+  out += options.rule_cache ? "/cache" : "/nocache";
+  return out;
+}
+
+// The engine-side controller configuration under test: the rule cache per
+// DiffOptions, and the stale-cache fault when that is the injected bug.
+engine::ControllerOptions EngineOptions(bool optimize,
+                                        const DiffOptions& options) {
+  engine::ControllerOptions out;
+  out.optimize_policy = optimize;
+  out.enable_rule_cache = options.rule_cache;
+  out.inject_stale_cache = options.bug == InjectedBug::kStaleCache;
   return out;
 }
 
@@ -145,6 +158,10 @@ policy::Policy ApplyBug(policy::Policy policy, InjectedBug bug) {
               ? policy::DefaultSemantics::kDeny
               : policy::DefaultSemantics::kAllow);
       break;
+    case InjectedBug::kStaleCache:
+      // Engine-side too, but in the controllers, not the policy (see
+      // EngineOptions above).
+      break;
   }
   return policy;
 }
@@ -187,7 +204,7 @@ std::string CheckAnnotation(const Instance& instance,
     }
 
     for (bool optimize : {false, true}) {
-      AccessController ac(MakeBackend(kind), optimize);
+      AccessController ac(MakeBackend(kind), EngineOptions(optimize, options));
       if (!Setup(ac, instance, engine_policy)) continue;
 
       // Table 2 signs, node by node.
@@ -196,7 +213,7 @@ std::string CheckAnnotation(const Instance& instance,
         if (!sign.ok()) continue;
         char want = oracle_signs.at(id);
         if (*sign != want) {
-          return "annotation[" + Describe(kind, optimize) +
+          return "annotation[" + Describe(kind, optimize, options) +
                  "]: sign mismatch at " + instance.doc.PathOf(id) + " (node " +
                  std::to_string(id) + "): engine '" + *sign + "', oracle '" +
                  want + "'";
@@ -213,7 +230,7 @@ std::string CheckAnnotation(const Instance& instance,
         OracleOutcome oracle_out =
             OracleRequest(instance.policy, instance.doc, q);
         if (engine_out.granted != oracle_out.granted) {
-          return "request[" + Describe(kind, optimize) + "]: " +
+          return "request[" + Describe(kind, optimize, options) + "]: " +
                  xpath::ToString(q) + ": engine " +
                  (engine_out.granted ? "grants" : "denies") + ", oracle " +
                  (oracle_out.granted ? "grants" : "denies");
@@ -222,9 +239,37 @@ std::string CheckAnnotation(const Instance& instance,
           std::vector<UniversalId> oracle_ids =
               Widen(OracleEval(q, instance.doc));
           if (engine_out.ids != oracle_ids) {
-            return "request[" + Describe(kind, optimize) + "]: " +
+            return "request[" + Describe(kind, optimize, options) + "]: " +
                    xpath::ToString(q) + ": engine selects " +
                    IdList(engine_out.ids) + ", oracle " + IdList(oracle_ids);
+          }
+        }
+      }
+    }
+
+    // Warm-cache replay: two controllers over the same document sharing one
+    // rule cache.  The first (cold) subject computes and installs the
+    // bitmaps; the second (warm) is annotated from them without evaluating a
+    // single rule path — both must match the oracle sign for sign.
+    if (options.rule_cache) {
+      engine::RuleScopeCache shared;
+      engine::ControllerOptions copt = EngineOptions(true, options);
+      copt.shared_rule_cache = &shared;
+      AccessController cold(MakeBackend(kind), copt);
+      AccessController warm(MakeBackend(kind), copt);
+      if (Setup(cold, instance, engine_policy) &&
+          Setup(warm, instance, engine_policy)) {
+        for (NodeId id : instance.doc.AllElements()) {
+          auto sc = cold.backend()->GetSign(static_cast<UniversalId>(id));
+          auto sw = warm.backend()->GetSign(static_cast<UniversalId>(id));
+          if (!sc.ok() || !sw.ok()) continue;
+          char want = oracle_signs.at(id);
+          if (*sc != want || *sw != want) {
+            return std::string("annotation[") + BackendName(kind) +
+                   "/shared-cache]: sign mismatch at " +
+                   instance.doc.PathOf(id) + " (node " + std::to_string(id) +
+                   "): cold '" + *sc + "', warm '" + *sw + "', oracle '" +
+                   want + "'";
           }
         }
       }
@@ -255,9 +300,14 @@ std::string CheckReannotation(const Instance& instance,
   if (!star.ok()) return "";
 
   for (BackendKind kind : options.backends) {
-    AccessController partial(MakeBackend(kind), true);
-    AccessController full(MakeBackend(kind), true);
-    AccessController batch(MakeBackend(kind), true);
+    // `partial` and `batch` route updates through the controller, so they
+    // exercise the trigger-driven cache maintenance (and the kStaleCache
+    // fault).  `full` mutates the backend directly and re-annotates from
+    // scratch at a fresh epoch, so it stays a correct reference either way.
+    engine::ControllerOptions copt = EngineOptions(true, options);
+    AccessController partial(MakeBackend(kind), copt);
+    AccessController full(MakeBackend(kind), copt);
+    AccessController batch(MakeBackend(kind), copt);
     if (!Setup(partial, instance, engine_policy) ||
         !Setup(full, instance, engine_policy) ||
         !Setup(batch, instance, engine_policy)) {
@@ -426,6 +476,15 @@ std::string CheckAll(const Instance& instance, const DiffOptions& options) {
   if (out.empty()) out = CheckReannotation(instance, options);
   if (out.empty()) out = CheckOptimizer(instance);
   if (out.empty()) out = CheckContainment(instance, options);
+  // Same instance with the rule cache forced off, so every `--mode all`
+  // sweep differentially covers both the cached and the uncached engine
+  // (failure strings carry /cache vs /nocache).
+  if (out.empty() && options.rule_cache) {
+    DiffOptions uncached = options;
+    uncached.rule_cache = false;
+    out = CheckAnnotation(instance, uncached);
+    if (out.empty()) out = CheckReannotation(instance, uncached);
+  }
   return out;
 }
 

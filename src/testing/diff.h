@@ -28,11 +28,14 @@ enum class BackendKind { kNative, kRow, kColumn };
 const char* BackendName(BackendKind kind);
 std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind);
 
-// A deliberate semantics bug applied to the ENGINE-side policy only (the
-// oracle always evaluates the true policy).  Used by harness self-tests and
-// `xmlac_fuzz --inject-bug` to prove the pipeline catches and minimizes
-// real semantic drift.
-enum class InjectedBug { kNone, kFlipCr, kFlipDs };
+// A deliberate semantics bug applied to the ENGINE side only (the oracle
+// always evaluates the true policy).  kFlipCr/kFlipDs corrupt the engine's
+// policy; kStaleCache leaves the policy alone and instead disables the
+// trigger-driven rule-cache evictions inside the controllers (see
+// ControllerOptions::inject_stale_cache), so stale bitmaps survive updates.
+// Used by harness self-tests and `xmlac_fuzz --inject-bug` to prove the
+// pipeline catches and minimizes real semantic drift.
+enum class InjectedBug { kNone, kFlipCr, kFlipDs, kStaleCache };
 
 policy::Policy ApplyBug(policy::Policy policy, InjectedBug bug);
 
@@ -44,11 +47,18 @@ struct DiffOptions {
   // Random path pairs per instance for the containment comparison.
   int containment_pairs = 16;
   InjectedBug bug = InjectedBug::kNone;
+  // Run the controllers with the rule node-set cache enabled.  CheckAll
+  // additionally repeats the annotation/re-annotation checks with the cache
+  // forced off, so one `--mode all` fuzz sweep covers both configurations.
+  bool rule_cache = true;
 };
 
 // Annotation: Table 2 signs node by node, the four Fig. 5 annotation sets,
 // and all-or-nothing request outcomes — oracle vs AccessController on each
-// configured backend, with the policy optimizer both off and on.
+// configured backend, with the policy optimizer both off and on.  When
+// `options.rule_cache` is set this also replays annotation through a
+// fleet-shared RuleScopeCache (one cold subject warming it, one warm
+// subject served from its bitmaps) and diffs both against the oracle.
 std::string CheckAnnotation(const Instance& instance,
                             const DiffOptions& options = {});
 

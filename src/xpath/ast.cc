@@ -2,6 +2,22 @@
 
 namespace xmlac::xpath {
 
+std::string CanonicalKey(const Path& path) { return ToString(path); }
+
+uint64_t CanonicalHash(std::string_view key) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t CanonicalHash(const Path& path) {
+  return CanonicalHash(CanonicalKey(path));
+}
+
 std::string ToString(CmpOp op) {
   switch (op) {
     case CmpOp::kEq:

@@ -13,8 +13,10 @@
 // !=, <, <=, >, >= because the paper's own example policy uses
 // `//regular[bill > 1000]` (rule R8).
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace xmlac::xpath {
@@ -70,6 +72,14 @@ std::string ToString(const Path& path);
 std::string ToString(const Step& step);
 std::string ToString(const Predicate& pred);
 std::string ToString(CmpOp op);
+
+// Canonical cache key for a path: the ToString serialization, which
+// round-trips with the parser, so two structurally equal ASTs always key
+// identically.  CanonicalHash is a stable FNV-1a of that key (stable across
+// runs and platforms, unlike std::hash) for sharded-table placement.
+std::string CanonicalKey(const Path& path);
+uint64_t CanonicalHash(const Path& path);
+uint64_t CanonicalHash(std::string_view key);
 
 // Structural equality (exact same AST, not semantic equivalence).
 bool StructurallyEqual(const Path& a, const Path& b);

@@ -8,63 +8,80 @@
 
 namespace xmlac::xpath {
 
-namespace {
-
-std::string Key(const Path& p, const Path& q) {
-  return ToString(p) + "\t" + ToString(q);
+bool ContainmentCache::Contains(const Path& p, const Path& q) {
+  return Contains(p, q, ToString(p), ToString(q));
 }
 
-}  // namespace
-
-bool ContainmentCache::Contains(const Path& p, const Path& q) {
-  std::string key = Key(p, q);
+bool ContainmentCache::Contains(const Path& p, const Path& q,
+                                std::string_view p_key,
+                                std::string_view q_key) {
+  std::string key;
+  key.reserve(p_key.size() + q_key.size() + 1);
+  key.append(p_key);
+  key.push_back('\t');
+  key.append(q_key);
+  Shard& shard = ShardFor(key);
   obs::IncrementCounter("containment.cache.checks");
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-      ++hits_;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      ++shard.hits;
       obs::IncrementCounter("containment.cache.hits");
       return it->second;
     }
-    ++misses_;
+    ++shard.misses;
     obs::IncrementCounter("containment.cache.misses");
   }
   // Computed unlocked: Contains is pure, so a racing duplicate computation
   // reaches the same value and the second emplace below is a no-op.
   bool result = xpath::Contains(p, q);
-  std::lock_guard<std::mutex> lock(mu_);
-  table_.emplace(std::move(key), result);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.table.emplace(std::move(key), result);
   return result;
 }
 
 size_t ContainmentCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.table.size();
+  }
+  return n;
 }
 
 uint64_t ContainmentCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.hits;
+  }
+  return n;
 }
 
 uint64_t ContainmentCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.misses;
+  }
+  return n;
 }
 
 void ContainmentCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  table_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+  }
 }
 
 Status ContainmentCache::SaveToFile(std::string_view path) const {
   std::string out;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [key, value] : table_) {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.table) {
       out += key;
       out += '\t';
       out += value ? '1' : '0';
@@ -85,8 +102,10 @@ Status ContainmentCache::LoadFromFile(std::string_view path) {
     // Validate both paths re-parse; a cache from another version must not
     // poison lookups keyed by today's ToString form.
     if (!ParsePath(parts[0]).ok() || !ParsePath(parts[1]).ok()) continue;
-    std::lock_guard<std::mutex> lock(mu_);
-    table_.emplace(parts[0] + "\t" + parts[1], parts[2] == "1");
+    std::string key = parts[0] + "\t" + parts[1];
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.emplace(std::move(key), parts[2] == "1");
   }
   return Status::OK();
 }

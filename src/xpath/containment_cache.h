@@ -12,12 +12,15 @@
 // runs.
 //
 // Thread safety: all public members may be called concurrently.  The table
-// and the hit/miss tallies are guarded by one mutex; the underlying
-// containment decision runs outside the lock (it is a pure function), so a
-// slow check never serializes other lookups.  Two threads missing on the
-// same pair may both compute it — the result is deterministic, so the
-// duplicate insert is a no-op and `checks == hits + misses` still holds.
+// is sharded by key hash (16 shards, each with its own mutex and hit/miss
+// tallies), so the serving layer's reader pool and the multi-subject
+// broadcast fan-out don't serialize on one lock.  The underlying
+// containment decision runs outside any lock (it is a pure function), so a
+// slow check never blocks other lookups.  Two threads missing on the same
+// pair may both compute it — the result is deterministic, so the duplicate
+// insert is a no-op and `checks == hits + misses` still holds.
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -36,6 +39,13 @@ class ContainmentCache {
   // Memoized Contains(p, q).
   bool Contains(const Path& p, const Path& q);
 
+  // Same, with caller-supplied canonical strings (`xpath::ToString`) for
+  // the two paths.  Hot loops that test the same paths repeatedly — the
+  // optimizer's O(n^2) sweep, the dependency graph, the trigger probe —
+  // stringify each path once up front instead of twice per test.
+  bool Contains(const Path& p, const Path& q, std::string_view p_key,
+                std::string_view q_key);
+
   size_t size() const;
   uint64_t hits() const;
   uint64_t misses() const;
@@ -49,10 +59,22 @@ class ContainmentCache {
   Status LoadFromFile(std::string_view path);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, bool> table_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, bool> table;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[CanonicalHash(key) % kShards];
+  }
+  const Shard& ShardFor(const std::string& key) const {
+    return shards_[CanonicalHash(key) % kShards];
+  }
+
+  static constexpr size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace xmlac::xpath

@@ -207,6 +207,38 @@ TEST(ConflictCornersTest, AllowAndDenySelectingTheSameNodeSet) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule node-set cache: differential coverage and the stale-cache fault
+
+TEST(RuleCacheDiffTest, CachedAndUncachedAnnotationMatchTheOracle) {
+  // CheckAnnotation with the cache on runs the per-backend controllers plus
+  // the shared-cache cold/warm replay; with the cache off it runs the plain
+  // evaluation path.  Both must agree with the oracle under every (ds, cr).
+  for (const auto& combo : kDsCr) {
+    Instance instance =
+        MakeInstance(std::string(combo[0]) + "allow //x\ndeny //y\n");
+    DiffOptions cached;
+    EXPECT_EQ(CheckAnnotation(instance, cached), "") << combo[1];
+    DiffOptions uncached;
+    uncached.rule_cache = false;
+    EXPECT_EQ(CheckAnnotation(instance, uncached), "") << combo[1];
+  }
+}
+
+TEST(RuleCacheDiffTest, StaleCacheInjectionIsCaught) {
+  // Annotation warms the cache with //x's bitmap; the insert then adds a
+  // new x.  With the trigger-driven evictions sabotaged the stale bitmap
+  // survives the epoch change, the partial re-annotation never signs the
+  // new node, and the differential check must report the divergence.
+  Instance instance = MakeInstance("default deny\nallow //x\n");
+  instance.updates.push_back(
+      engine::BatchOp::Insert("/r/y", "<x>9</x>"));
+  EXPECT_EQ(CheckReannotation(instance), "");
+  DiffOptions buggy;
+  buggy.bug = InjectedBug::kStaleCache;
+  EXPECT_NE(CheckReannotation(instance, buggy), "");
+}
+
+// ---------------------------------------------------------------------------
 // Oracle updates and the stateful model
 
 TEST(OracleModelTest, UpdatesAndPerSubjectQueries) {

@@ -19,6 +19,7 @@
 //   xmlac_fuzz --rounds 100 --seed 7
 //   xmlac_fuzz --mode serve --time-budget-s 60
 //   xmlac_fuzz --inject-bug flip-cr --rounds 50     # must fail + shrink
+//   xmlac_fuzz --inject-bug stale-cache --rounds 50 # ditto, cache staleness
 //   xmlac_fuzz --replay repro/seed-13
 
 #include <cstdio>
@@ -43,7 +44,7 @@ struct FuzzOptions {
   int rounds = 50;
   double time_budget_s = 0;  // 0 = rounds only
   std::string backends = "native,row,column";
-  std::string inject_bug;  // "", "flip-cr", "flip-ds"
+  std::string inject_bug;  // "", "flip-cr", "flip-ds", "stale-cache"
   std::string repro_dir = "repro";
   std::string replay;
   int shrink_attempts = 2000;
@@ -66,7 +67,9 @@ int Usage(const char* argv0) {
       "  --time-budget-s S     stop after S seconds (default: rounds only)\n"
       "  --backends LIST       subset of native,row,column (default all)\n"
       "  --inject-bug B        flip-cr|flip-ds: corrupt the engine-side\n"
-      "                        policy to prove the harness catches it\n"
+      "                        policy; stale-cache: skip the rule cache's\n"
+      "                        trigger-driven evictions — both prove the\n"
+      "                        harness catches the drift\n"
       "  --repro-dir DIR       where minimized repros are dumped (repro)\n"
       "  --replay DIR          re-check an instance written by a past run\n"
       "  --shrink-attempts N   shrink budget in check invocations (2000)\n"
@@ -191,6 +194,8 @@ int main(int argc, char** argv) {
     diff.bug = tst::InjectedBug::kFlipCr;
   } else if (opt.inject_bug == "flip-ds") {
     diff.bug = tst::InjectedBug::kFlipDs;
+  } else if (opt.inject_bug == "stale-cache") {
+    diff.bug = tst::InjectedBug::kStaleCache;
   } else if (!opt.inject_bug.empty()) {
     std::fprintf(stderr, "bad --inject-bug '%s'\n", opt.inject_bug.c_str());
     return Usage(argv[0]);
