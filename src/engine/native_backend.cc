@@ -27,6 +27,7 @@ std::vector<UniversalId> ToIds(const std::vector<xml::NodeId>& nodes) {
 Status NativeXmlBackend::Load(const xml::Dtd& dtd, const xml::Document& doc) {
   (void)dtd;  // the native store needs no schema
   doc_ = doc.Clone();
+  structural_index_.Invalidate();
   loaded_ = true;
   // The source may already carry sign attributes (e.g. a saved annotated
   // store).
@@ -36,8 +37,24 @@ Status NativeXmlBackend::Load(const xml::Dtd& dtd, const xml::Document& doc) {
 
 void NativeXmlBackend::Clear() {
   doc_ = xml::Document();
+  structural_index_.Invalidate();
   loaded_ = false;
   non_default_signs_ = 0;
+}
+
+xpath::EvaluatorOptions NativeXmlBackend::EvalOptions() {
+  xpath::EvaluatorOptions options;
+  if (!use_structural_index_) return options;
+  {
+    // First query after a structural change pays the sync; concurrent
+    // readers (rule-cache misses evaluate on parallel workers) wait here
+    // and then share the synced index read-only.
+    std::lock_guard<std::mutex> lock(index_mu_);
+    structural_index_.Sync();
+  }
+  options.use_structural_index = true;
+  options.index = &structural_index_;
+  return options;
 }
 
 size_t NativeXmlBackend::CountNonDefaultSigns() const {
@@ -64,7 +81,7 @@ size_t NativeXmlBackend::NodeCount() const {
 Result<std::vector<UniversalId>> NativeXmlBackend::EvaluateQuery(
     const xpath::Path& query) {
   if (!loaded_) return Status::Internal("backend not loaded");
-  return ToIds(xpath::Evaluate(query, doc_));
+  return ToIds(xpath::Evaluate(query, doc_, EvalOptions()));
 }
 
 Result<std::string> NativeXmlBackend::CompileAnnotationXQuery(
@@ -173,7 +190,7 @@ Result<char> NativeXmlBackend::GetSign(UniversalId id) {
 
 Result<size_t> NativeXmlBackend::DeleteWhere(const xpath::Path& u) {
   if (!loaded_) return Status::Internal("backend not loaded");
-  std::vector<xml::NodeId> victims = xpath::Evaluate(u, doc_);
+  std::vector<xml::NodeId> victims = xpath::Evaluate(u, doc_, EvalOptions());
   size_t before = NodeCount();
   for (xml::NodeId n : victims) doc_.DeleteSubtree(n);
   return before - NodeCount();
@@ -185,7 +202,7 @@ Result<xmldb::XqValue> NativeXmlBackend::RunXQuery(std::string_view query) {
   obs::ScopedTimer timer("native.xquery_us");
   obs::IncrementCounter("native.xquery_runs");
   xmldb::XQueryEngine engine;
-  engine.RegisterDocument("xmlgen", &doc_);
+  engine.RegisterDocument("xmlgen", &doc_, EvalOptions());
   return engine.Run(query);
 }
 
@@ -209,6 +226,7 @@ Status NativeXmlBackend::LoadFromFile(std::string_view path) {
   default_sign_ = def.has_value() && !def->empty() ? (*def)[0] : '-';
   doc.RemoveAttribute(doc.root(), "xmlac-default");
   doc_ = std::move(doc);
+  structural_index_.Invalidate();
   loaded_ = true;
   non_default_signs_ = CountNonDefaultSigns();
   return Status::OK();
@@ -261,7 +279,8 @@ Result<size_t> NativeXmlBackend::InsertUnder(const xpath::Path& target,
   if (fragment.empty() || !fragment.IsAlive(fragment.root())) {
     return Status::InvalidArgument("empty insert fragment");
   }
-  std::vector<xml::NodeId> parents = xpath::Evaluate(target, doc_);
+  std::vector<xml::NodeId> parents =
+      xpath::Evaluate(target, doc_, EvalOptions());
   size_t inserted = 0;
   for (xml::NodeId parent : parents) {
     // Deep-copy the fragment below `parent` (iterative, parent-before-child

@@ -9,8 +9,11 @@
 // stored information the attribute is only present when it differs from the
 // store's default sign (paper Sec. 5.2, Native XML).
 
+#include <mutex>
+
 #include "engine/backend.h"
 #include "xmldb/xquery.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::engine {
 
@@ -56,6 +59,14 @@ class NativeXmlBackend final : public Backend {
   const xml::Document& document() const { return doc_; }
   char default_sign() const { return default_sign_; }
 
+  // Structural-index switch (on by default).  Queries route through the
+  // stack-based structural-join engine over interval labels + tag streams;
+  // the index lazily (re)builds or replays the document's mutation journal
+  // on the first query after an update.  Off = the naive evaluator, which
+  // the differential harness uses as the reference.
+  void set_use_structural_index(bool on) { use_structural_index_ = on; }
+  bool use_structural_index() const { return use_structural_index_; }
+
   // Runs an XQuery-lite expression against the store (registered as
   // doc("xmlgen"), the paper's document name).  xmlac:annotate() calls
   // mutate the stored tree directly, exactly like the paper's Sec. 5.2
@@ -83,7 +94,18 @@ class NativeXmlBackend final : public Backend {
   // counting only.
   size_t CountNonDefaultSigns() const;
 
+  // Syncs the structural index (serialized — EvaluateQuery runs on
+  // parallel rule-cache-miss workers) and returns the evaluator options to
+  // use: the structural engine when enabled, naive otherwise.
+  xpath::EvaluatorOptions EvalOptions();
+
   xml::Document doc_;
+  // The index holds a pointer to doc_ (stable: the mutex below makes this
+  // class immovable); Load/Clear invalidate it explicitly because the new
+  // document's version counter restarts.
+  xpath::StructuralIndex structural_index_{&doc_};
+  bool use_structural_index_ = true;
+  std::mutex index_mu_;
   bool loaded_ = false;
   char default_sign_ = '-';
   // Number of alive nodes holding an explicit sign attribute.  When zero,

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shred/shredder.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::engine {
 
@@ -19,10 +20,28 @@ Status RelationalBackend::Load(const xml::Dtd& dtd,
                                const xml::Document& doc) {
   catalog_ = std::make_unique<reldb::Catalog>(options_.storage);
   exec_ = std::make_unique<reldb::Executor>(catalog_.get());
-  mapping_ = std::make_unique<shred::ShredMapping>(dtd);
+  mapping_ =
+      std::make_unique<shred::ShredMapping>(dtd, options_.interval_columns);
   XMLAC_RETURN_IF_ERROR(
       mapping_->CreateTables(catalog_.get(), options_.create_indexes));
   next_id_ = static_cast<UniversalId>(doc.size());
+  intervals_.clear();
+  if (options_.interval_columns && !doc.empty()) {
+    // Same labels the shredder writes into the st/en columns, kept here so
+    // InsertUnder can continue the gap allocation scheme.
+    std::vector<xpath::IntervalLabel> labels =
+        xpath::ComputeIntervalLabels(doc);
+    doc.Visit(doc.root(), [&](xml::NodeId id) {
+      const xml::Node& n = doc.node(id);
+      if (n.kind != xml::NodeKind::kElement) return;
+      const xpath::IntervalLabel& l = labels[id];
+      intervals_[id] = NodeInterval{l.start, l.end, l.start};
+      if (n.parent != xml::kInvalidNode) {
+        NodeInterval& p = intervals_[n.parent];
+        if (l.end > p.anchor) p.anchor = l.end;
+      }
+    });
+  }
   if (options_.load_via_sql) {
     XMLAC_ASSIGN_OR_RETURN(std::string script,
                            shred::ShredToSqlScript(doc, *mapping_,
@@ -43,6 +62,7 @@ void RelationalBackend::Clear() {
   catalog_.reset();
   mapping_.reset();
   uniform_sign_ = 0;
+  intervals_.clear();
 }
 
 size_t RelationalBackend::NodeCount() const {
@@ -274,8 +294,27 @@ Result<size_t> RelationalBackend::InsertUnder(const xpath::Path& target,
 
   XMLAC_ASSIGN_OR_RETURN(std::vector<UniversalId> parents,
                          EvaluateQuery(target));
-  size_t inserted = 0;
-  std::string sign(1, default_sign_);
+  // Plan all tuples first (ids and, in interval mode, st/en labels) so a
+  // failed interval allocation can bail before any table is touched.
+  struct PlannedRow {
+    xml::NodeId src;
+    UniversalId id;
+    UniversalId pid;
+    uint64_t st;
+    uint64_t en;
+  };
+  std::vector<PlannedRow> plan;
+  // Planned interval state: copies of touched intervals_ entries plus the
+  // fragment's freshly allocated ones; merged back only on success.
+  std::unordered_map<UniversalId, NodeInterval> scratch;
+  auto interval_of = [&](UniversalId id) -> NodeInterval* {
+    auto it = scratch.find(id);
+    if (it != scratch.end()) return &it->second;
+    auto base = intervals_.find(id);
+    if (base == intervals_.end()) return nullptr;
+    return &scratch.emplace(id, base->second).first->second;
+  };
+  UniversalId planned_next = next_id_;
   for (UniversalId parent : parents) {
     // Mirror NativeXmlBackend::InsertUnder's traversal exactly (including
     // id allocation over text nodes) so both backends assign the same
@@ -287,26 +326,52 @@ Result<size_t> RelationalBackend::InsertUnder(const xpath::Path& target,
       stack.pop_back();
       const xml::Node& n = fragment.node(src);
       if (!n.alive) continue;
-      UniversalId id = next_id_++;
+      UniversalId id = planned_next++;
       if (n.kind != xml::NodeKind::kElement) continue;
-      reldb::Table* table = catalog_->GetTable(n.label);
-      reldb::Row row;
-      row.reserve(table->schema().num_columns());
-      row.push_back(Value::Int(id));
-      row.push_back(Value::Int(dst_parent));
-      if (mapping_->HasValueColumn(n.label)) {
-        row.push_back(Value::Str(fragment.DirectText(src)));
+      uint64_t st = 0;
+      uint64_t en = 0;
+      if (options_.interval_columns) {
+        NodeInterval* p = interval_of(dst_parent);
+        if (p == nullptr) {
+          return Status::Unsupported("no interval recorded for tuple " +
+                                     std::to_string(dst_parent));
+        }
+        if (!xpath::AllocateChildInterval(p->start, p->end, p->anchor, &st,
+                                          &en)) {
+          return Status::Unsupported("interval gap exhausted under tuple " +
+                                     std::to_string(dst_parent));
+        }
+        p->anchor = en;
+        scratch.emplace(id, NodeInterval{st, en, st});
       }
-      row.push_back(Value::Str(sign));
-      auto r = table->Insert(std::move(row));
-      if (!r.ok()) return r.status();
-      ++inserted;
+      plan.push_back({src, id, dst_parent, st, en});
       for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
         stack.emplace_back(*it, id);
       }
     }
   }
-  return inserted;
+  std::string sign(1, default_sign_);
+  for (const PlannedRow& pr : plan) {
+    const xml::Node& n = fragment.node(pr.src);
+    reldb::Table* table = catalog_->GetTable(n.label);
+    reldb::Row row;
+    row.reserve(table->schema().num_columns());
+    row.push_back(Value::Int(pr.id));
+    row.push_back(Value::Int(pr.pid));
+    if (mapping_->HasValueColumn(n.label)) {
+      row.push_back(Value::Str(fragment.DirectText(pr.src)));
+    }
+    if (options_.interval_columns) {
+      row.push_back(Value::Int(static_cast<int64_t>(pr.st)));
+      row.push_back(Value::Int(static_cast<int64_t>(pr.en)));
+    }
+    row.push_back(Value::Str(sign));
+    auto r = table->Insert(std::move(row));
+    if (!r.ok()) return r.status();
+  }
+  next_id_ = planned_next;
+  for (auto& [id, iv] : scratch) intervals_[id] = iv;
+  return plan.size();
 }
 
 }  // namespace xmlac::engine

@@ -10,8 +10,10 @@
 // one point UPDATE per tuple — the deliberate tuple-at-a-time cost the
 // paper measures.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "engine/backend.h"
 #include "reldb/executor.h"
@@ -30,6 +32,13 @@ struct RelationalOptions {
   // InsertUnder require the id index, so those APIs are unavailable without
   // indexes.
   bool create_indexes = true;
+  // Shred (st, en) interval-label columns into every table and compile
+  // descendant steps to range predicates instead of schema join chains.
+  // This is the only relational configuration that supports recursive DTDs.
+  // InsertUnder allocates child intervals from the parent's gap (shared
+  // scheme with the native structural index) and returns kUnsupported
+  // — before mutating anything — if a gap is exhausted.
+  bool interval_columns = false;
 };
 
 class RelationalBackend final : public Backend {
@@ -79,6 +88,15 @@ class RelationalBackend final : public Backend {
   // Table holding tuple `id`, or nullptr.
   reldb::Table* FindTable(UniversalId id);
 
+  // Interval bookkeeping for interval_columns mode: each element tuple's
+  // (start, end) label plus the anchor (highest label value already used
+  // inside it) that InsertUnder's gap allocation continues from.
+  struct NodeInterval {
+    uint64_t start = 0;
+    uint64_t end = 0;
+    uint64_t anchor = 0;
+  };
+
   RelationalOptions options_;
   std::unique_ptr<reldb::Catalog> catalog_;
   std::unique_ptr<reldb::Executor> exec_;
@@ -93,6 +111,9 @@ class RelationalBackend final : public Backend {
   // InsertUnder coincide with NativeXmlBackend's for identical call
   // sequences.
   UniversalId next_id_ = 0;
+  // Populated at Load in interval_columns mode; tuples deleted later keep
+  // their (stale, harmless) entries.
+  std::unordered_map<UniversalId, NodeInterval> intervals_;
 };
 
 }  // namespace xmlac::engine

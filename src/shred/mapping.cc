@@ -8,7 +8,8 @@ using reldb::ColumnDef;
 using reldb::TableSchema;
 using reldb::ValueType;
 
-ShredMapping::ShredMapping(const xml::Dtd& dtd) : graph_(dtd) {
+ShredMapping::ShredMapping(const xml::Dtd& dtd, bool interval_columns)
+    : graph_(dtd), interval_columns_(interval_columns) {
   for (const std::string& label : graph_.labels()) {
     std::vector<ColumnDef> cols;
     cols.push_back({kIdColumn, ValueType::kInt64});
@@ -16,6 +17,10 @@ ShredMapping::ShredMapping(const xml::Dtd& dtd) : graph_(dtd) {
     if (graph_.HasText(label)) {
       cols.push_back({kValueColumn, ValueType::kString});
       value_tables_.push_back(label);
+    }
+    if (interval_columns_) {
+      cols.push_back({kStartColumn, ValueType::kInt64});
+      cols.push_back({kEndColumn, ValueType::kInt64});
     }
     cols.push_back({kSignColumn, ValueType::kString});
     tables_.emplace_back(label, std::move(cols));

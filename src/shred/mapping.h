@@ -10,6 +10,15 @@
 // `id` is the universal identifier (the tree NodeId), `pid` the parent
 // element's id (NULL at the root), `v` the concatenated text content and
 // `s` the accessibility sign.
+//
+// With interval columns enabled the layout gains the structural index's
+// (start, end) labels,
+//
+//   ET(id INT, pid INT, [v TEXT,] st INT, en INT, s TEXT)
+//
+// letting the XPath-to-SQL translator compile descendant axes into range
+// predicates (d.st > a.st AND d.st < a.en) instead of schema-driven join
+// chains — the only translation that terminates on recursive DTDs.
 
 #include <string>
 #include <vector>
@@ -24,13 +33,16 @@ namespace xmlac::shred {
 inline constexpr char kIdColumn[] = "id";
 inline constexpr char kPidColumn[] = "pid";
 inline constexpr char kValueColumn[] = "v";
+inline constexpr char kStartColumn[] = "st";
+inline constexpr char kEndColumn[] = "en";
 inline constexpr char kSignColumn[] = "s";
 
 class ShredMapping {
  public:
   // Derives the mapping from a DTD.  Every label appearing anywhere in the
-  // DTD (declared or referenced) gets a table.
-  explicit ShredMapping(const xml::Dtd& dtd);
+  // DTD (declared or referenced) gets a table.  With `interval_columns`
+  // every table additionally carries the st/en interval-label pair.
+  explicit ShredMapping(const xml::Dtd& dtd, bool interval_columns = false);
 
   const std::vector<reldb::TableSchema>& tables() const { return tables_; }
   const xml::SchemaGraph& schema_graph() const { return graph_; }
@@ -38,6 +50,8 @@ class ShredMapping {
   bool HasTable(std::string_view label) const;
   // True if `label`'s table carries a `v` column.
   bool HasValueColumn(std::string_view label) const;
+  // True if every table carries the st/en interval columns.
+  bool HasIntervalColumns() const { return interval_columns_; }
 
   // The CREATE TABLE script for all tables.
   std::string ToDdlScript() const;
@@ -51,6 +65,7 @@ class ShredMapping {
   xml::SchemaGraph graph_;
   std::vector<reldb::TableSchema> tables_;
   std::vector<std::string> value_tables_;  // sorted labels with a v column
+  bool interval_columns_ = false;
 };
 
 }  // namespace xmlac::shred

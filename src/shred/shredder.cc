@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reldb/value.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::shred {
 
@@ -45,6 +46,8 @@ Result<ShredStats> ShredToCatalog(const xml::Document& doc,
   ShredStats stats;
   std::set<std::string_view> touched;
   std::string sign(1, default_sign);
+  std::vector<xpath::IntervalLabel> labels;
+  if (mapping.HasIntervalColumns()) labels = xpath::ComputeIntervalLabels(doc);
   Status st = ForEachElement(doc, mapping, [&](NodeId id, NodeId parent) {
     const xml::Node& n = doc.node(id);
     reldb::Table* table = catalog->GetTable(n.label);
@@ -60,6 +63,10 @@ Result<ShredStats> ShredToCatalog(const xml::Document& doc,
                       : Value::Int(static_cast<int64_t>(parent)));
     if (mapping.HasValueColumn(n.label)) {
       row.push_back(Value::Str(doc.DirectText(id)));
+    }
+    if (mapping.HasIntervalColumns()) {
+      row.push_back(Value::Int(static_cast<int64_t>(labels[id].start)));
+      row.push_back(Value::Int(static_cast<int64_t>(labels[id].end)));
     }
     row.push_back(Value::Str(sign));
     auto inserted = table->Insert(std::move(row));
@@ -83,6 +90,8 @@ Result<std::string> ShredToSqlScript(const xml::Document& doc,
                                      const ShredMapping& mapping,
                                      char default_sign) {
   std::string out;
+  std::vector<xpath::IntervalLabel> labels;
+  if (mapping.HasIntervalColumns()) labels = xpath::ComputeIntervalLabels(doc);
   Status st = ForEachElement(doc, mapping, [&](NodeId id, NodeId parent) {
     const xml::Node& n = doc.node(id);
     out += "INSERT INTO ";
@@ -98,6 +107,12 @@ Result<std::string> ShredToSqlScript(const xml::Document& doc,
     if (mapping.HasValueColumn(n.label)) {
       out += ", ";
       out += Value::Str(doc.DirectText(id)).ToSqlLiteral();
+    }
+    if (mapping.HasIntervalColumns()) {
+      out += ", ";
+      out += std::to_string(labels[id].start);
+      out += ", ";
+      out += std::to_string(labels[id].end);
     }
     out += ", '";
     out += default_sign;

@@ -57,9 +57,13 @@ class Translator {
       : mapping_(mapping), graph_(mapping.schema_graph()) {}
 
   Result<SqlTranslation> Run(const Path& path) {
-    if (graph_.IsRecursive()) {
+    // Without interval columns descendant steps expand into per-level join
+    // chains, which is only finite on a DAG schema.  Interval mode compiles
+    // them to range predicates instead, so recursion is fine there.
+    if (graph_.IsRecursive() && !mapping_.HasIntervalColumns()) {
       return Status::Unsupported(
-          "XPath-to-SQL translation requires a non-recursive schema");
+          "XPath-to-SQL translation requires a non-recursive schema "
+          "(or interval columns)");
     }
     if (!path.absolute || path.steps.empty()) {
       return Status::InvalidArgument(
@@ -126,6 +130,39 @@ class Translator {
     return alias;
   }
 
+  // Joins table `label` as a descendant of `ctx_alias` via the interval
+  // columns: d.st > a.st AND d.st < a.en.  Alive intervals never partially
+  // overlap, so constraining st alone decides containment.
+  std::string JoinDescendant(Branch* b, const std::string& label,
+                             const std::string& ctx_alias) {
+    std::string alias = NewAlias(label);
+    b->q.from.push_back(TableRef{label, alias});
+    AddConjunct(&b->q,
+                Expr::Compare(CompareOp::kGt,
+                              Expr::Column(alias, kStartColumn),
+                              Expr::Column(ctx_alias, kStartColumn)));
+    AddConjunct(&b->q,
+                Expr::Compare(CompareOp::kLt,
+                              Expr::Column(alias, kStartColumn),
+                              Expr::Column(ctx_alias, kEndColumn)));
+    return alias;
+  }
+
+  // Target labels for an interval-mode descendant step: the schema-reachable
+  // set (finite even on recursive schemas — Descendants() is a BFS with a
+  // visited set, not a path enumeration).
+  std::vector<std::string> DescendantLabels(const Step& step,
+                                            const std::string& ctx_label) {
+    std::vector<std::string> out;
+    std::set<std::string> reach = graph_.Descendants(ctx_label);
+    if (step.is_wildcard()) {
+      out.assign(reach.begin(), reach.end());
+    } else if (reach.count(step.label) > 0) {
+      out.push_back(step.label);
+    }
+    return out;
+  }
+
   // Moves a branch's context through a chain of labels (child joins).
   Branch FollowChain(const Branch& src,
                      const std::vector<std::string>& chain) {
@@ -187,6 +224,24 @@ class Translator {
   Result<std::vector<Branch>> ApplyStep(std::vector<Branch> branches,
                                         const Step& step, bool first) {
     std::vector<Branch> moved;
+    if (!first && step.axis == Axis::kDescendant &&
+        mapping_.HasIntervalColumns()) {
+      // One branch per candidate label, joined by interval containment —
+      // no chain enumeration, so this terminates on recursive schemas.
+      for (const Branch& b : branches) {
+        for (const std::string& label : DescendantLabels(step, b.ctx_label)) {
+          Branch nb;
+          nb.q = b.q.Clone();
+          nb.ctx_alias = JoinDescendant(&nb, label, b.ctx_alias);
+          nb.ctx_label = label;
+          moved.push_back(std::move(nb));
+          if (moved.size() > kMaxBranches) {
+            return Status::Unsupported("XPath-to-SQL branch explosion");
+          }
+        }
+      }
+      return ApplyPredicates(std::move(moved), step);
+    }
     for (const Branch& b : branches) {
       auto chains = ChainsFor(step, b.ctx_label, first);
       for (const auto& chain : chains) {
@@ -209,7 +264,12 @@ class Translator {
         }
       }
     }
-    // Predicates fork further.
+    return ApplyPredicates(std::move(moved), step);
+  }
+
+  // Predicates fork further.
+  Result<std::vector<Branch>> ApplyPredicates(std::vector<Branch> moved,
+                                              const Step& step) {
     for (const Predicate& pred : step.predicates) {
       std::vector<Branch> out;
       for (Branch& b : moved) {

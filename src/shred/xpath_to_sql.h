@@ -15,8 +15,15 @@
 //     -> SELECT DISTINCT patient1.id FROM patient patient1,
 //        treatment treatment1 WHERE treatment1.pid = patient1.id
 //
-// Requires a non-recursive schema (the paper de-recursed xmlgen for the
-// same reason); recursive schemas yield kUnsupported.
+// Without interval columns this requires a non-recursive schema (the paper
+// de-recursed xmlgen for the same reason); recursive schemas yield
+// kUnsupported.  When the mapping carries (st, en) interval columns,
+// descendant steps compile to range predicates
+//
+//   desc.st > ctx.st AND desc.st < ctx.en
+//
+// instead of join chains, which both terminates on recursive schemas and
+// keeps the query size independent of the schema depth.
 
 #include "common/status.h"
 #include "reldb/query.h"

@@ -23,6 +23,7 @@ std::string Describe(BackendKind kind, bool optimized,
   std::string out = BackendName(kind);
   out += optimized ? "/opt" : "/raw";
   out += options.rule_cache ? "/cache" : "/nocache";
+  out += options.structural_accel ? "/structural" : "/naive";
   return out;
 }
 
@@ -131,13 +132,17 @@ const char* BackendName(BackendKind kind) {
   }
 }
 
-std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind) {
+std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind,
+                                             bool structural_accel) {
   if (kind == BackendKind::kNative) {
-    return std::make_unique<engine::NativeXmlBackend>();
+    auto backend = std::make_unique<engine::NativeXmlBackend>();
+    backend->set_use_structural_index(structural_accel);
+    return backend;
   }
   engine::RelationalOptions options;
   options.storage = kind == BackendKind::kRow ? reldb::StorageKind::kRowStore
                                               : reldb::StorageKind::kColumnStore;
+  options.interval_columns = structural_accel;
   return std::make_unique<engine::RelationalBackend>(options);
 }
 
@@ -180,7 +185,8 @@ std::string CheckAnnotation(const Instance& instance,
     // combinations, independent of (ds, cr), so the injected bug does not
     // (and must not) change them.
     {
-      std::unique_ptr<engine::Backend> backend = MakeBackend(kind);
+      std::unique_ptr<engine::Backend> backend =
+          MakeBackend(kind, options.structural_accel);
       if (!backend->Load(instance.dtd, instance.doc).ok()) return "";
       for (policy::CombineOp combine :
            {policy::CombineOp::kGrants, policy::CombineOp::kGrantsExceptDenies,
@@ -204,7 +210,8 @@ std::string CheckAnnotation(const Instance& instance,
     }
 
     for (bool optimize : {false, true}) {
-      AccessController ac(MakeBackend(kind), EngineOptions(optimize, options));
+      AccessController ac(MakeBackend(kind, options.structural_accel),
+                          EngineOptions(optimize, options));
       if (!Setup(ac, instance, engine_policy)) continue;
 
       // Table 2 signs, node by node.
@@ -255,8 +262,8 @@ std::string CheckAnnotation(const Instance& instance,
       engine::RuleScopeCache shared;
       engine::ControllerOptions copt = EngineOptions(true, options);
       copt.shared_rule_cache = &shared;
-      AccessController cold(MakeBackend(kind), copt);
-      AccessController warm(MakeBackend(kind), copt);
+      AccessController cold(MakeBackend(kind, options.structural_accel), copt);
+      AccessController warm(MakeBackend(kind, options.structural_accel), copt);
       if (Setup(cold, instance, engine_policy) &&
           Setup(warm, instance, engine_policy)) {
         for (NodeId id : instance.doc.AllElements()) {
@@ -305,9 +312,9 @@ std::string CheckReannotation(const Instance& instance,
     // fault).  `full` mutates the backend directly and re-annotates from
     // scratch at a fresh epoch, so it stays a correct reference either way.
     engine::ControllerOptions copt = EngineOptions(true, options);
-    AccessController partial(MakeBackend(kind), copt);
-    AccessController full(MakeBackend(kind), copt);
-    AccessController batch(MakeBackend(kind), copt);
+    AccessController partial(MakeBackend(kind, options.structural_accel), copt);
+    AccessController full(MakeBackend(kind, options.structural_accel), copt);
+    AccessController batch(MakeBackend(kind, options.structural_accel), copt);
     if (!Setup(partial, instance, engine_policy) ||
         !Setup(full, instance, engine_policy) ||
         !Setup(batch, instance, engine_policy)) {
@@ -484,6 +491,16 @@ std::string CheckAll(const Instance& instance, const DiffOptions& options) {
     uncached.rule_cache = false;
     out = CheckAnnotation(instance, uncached);
     if (out.empty()) out = CheckReannotation(instance, uncached);
+  }
+  // And with the structural acceleration forced off (naive evaluator,
+  // schema-chain SQL), so the structural engine is always diffed against
+  // both the reference configuration and the oracle — including the
+  // incremental index maintenance that CheckReannotation's updates drive.
+  if (out.empty() && options.structural_accel) {
+    DiffOptions naive = options;
+    naive.structural_accel = false;
+    out = CheckAnnotation(instance, naive);
+    if (out.empty()) out = CheckReannotation(instance, naive);
   }
   return out;
 }

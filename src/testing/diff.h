@@ -26,7 +26,12 @@ namespace xmlac::testing {
 enum class BackendKind { kNative, kRow, kColumn };
 
 const char* BackendName(BackendKind kind);
-std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind);
+// `structural_accel` selects the accelerated storage/evaluation layout: the
+// native backend's structural-join engine over interval labels, and the
+// relational backends' (st, en) interval columns.  False pins the reference
+// configuration (naive evaluator, schema-chain SQL translation).
+std::unique_ptr<engine::Backend> MakeBackend(BackendKind kind,
+                                             bool structural_accel = true);
 
 // A deliberate semantics bug applied to the ENGINE side only (the oracle
 // always evaluates the true policy).  kFlipCr/kFlipDs corrupt the engine's
@@ -51,6 +56,11 @@ struct DiffOptions {
   // additionally repeats the annotation/re-annotation checks with the cache
   // forced off, so one `--mode all` fuzz sweep covers both configurations.
   bool rule_cache = true;
+  // Evaluate through the structural acceleration layer (see MakeBackend).
+  // CheckAll repeats the annotation/re-annotation checks with it forced
+  // off, so every sweep diffs the structural engine against both the naive
+  // configuration and the oracle.
+  bool structural_accel = true;
 };
 
 // Annotation: Table 2 signs node by node, the four Fig. 5 annotation sets,

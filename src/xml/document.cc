@@ -5,6 +5,35 @@
 #include "common/logging.h"
 
 namespace xmlac::xml {
+namespace {
+
+// Retained journal window.  Large enough that any realistic batch of
+// updates between two index syncs replays incrementally; a full document
+// build overflows it immediately, which is fine — a consumer created after
+// the build does one full rebuild anyway.
+constexpr size_t kJournalCap = 1 << 16;
+
+}  // namespace
+
+void Document::Journal(Mutation::Kind kind, NodeId node) {
+  ++version_;
+  if (journal_.size() >= kJournalCap) {
+    size_t drop = journal_.size() / 2;
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<ptrdiff_t>(drop));
+    journal_base_ += drop;
+  }
+  journal_.push_back(Mutation{kind, node});
+}
+
+bool Document::MutationsSince(uint64_t since, std::vector<Mutation>* out) const {
+  if (since > version_) return false;
+  if (since < journal_base_) return false;
+  out->insert(out->end(),
+              journal_.begin() + static_cast<ptrdiff_t>(since - journal_base_),
+              journal_.end());
+  return true;
+}
 
 NodeId Document::NewNode(NodeKind kind, std::string_view label,
                          NodeId parent) {
@@ -15,6 +44,7 @@ NodeId Document::NewNode(NodeKind kind, std::string_view label,
   n.parent = parent;
   nodes_.push_back(std::move(n));
   ++alive_count_;
+  Journal(Mutation::Kind::kCreate, id);
   return id;
 }
 
@@ -22,6 +52,9 @@ Document Document::Clone() const {
   Document copy;
   copy.nodes_ = nodes_;
   copy.alive_count_ = alive_count_;
+  copy.version_ = version_;
+  copy.journal_ = journal_;
+  copy.journal_base_ = journal_base_;
   return copy;
 }
 
@@ -46,6 +79,7 @@ NodeId Document::CreateText(NodeId parent, std::string_view value) {
 
 void Document::DeleteSubtree(NodeId id) {
   if (!IsAlive(id)) return;
+  Journal(Mutation::Kind::kDelete, id);
   NodeId parent = nodes_[id].parent;
   if (parent != kInvalidNode) {
     auto& siblings = nodes_[parent].children;

@@ -12,6 +12,18 @@
 
 namespace xmlac::xml {
 
+// A structural mutation, as recorded in the document's journal: a node was
+// created (kCreate) or a subtree was unlinked and killed (kDelete names the
+// subtree root; the dead subtree's children lists stay intact, so a journal
+// consumer can still walk it).  Attribute writes are deliberately not
+// journaled — they carry no structure, and the annotation pipeline rewrites
+// sign attributes constantly.
+struct Mutation {
+  enum class Kind : uint8_t { kCreate, kDelete };
+  Kind kind;
+  NodeId node;
+};
+
 // An XML document: an arena of nodes plus a distinguished root.
 //
 // Invariants:
@@ -81,11 +93,30 @@ class Document {
   // Maximum element depth over the whole document (height of the tree).
   int Height() const;
 
+  // Structural version: bumped once per CreateRoot/CreateElement/CreateText/
+  // DeleteSubtree (attribute writes don't count).  Derived structures (the
+  // structural index) stamp themselves with this and catch up via the
+  // journal.
+  uint64_t version() const { return version_; }
+
+  // Appends the mutations in version range (since, version()] to `out`.
+  // Returns false when `since` predates the journal's retained window (the
+  // journal is bounded; old entries are discarded) — the caller must rebuild
+  // from scratch instead of replaying.
+  bool MutationsSince(uint64_t since, std::vector<Mutation>* out) const;
+
  private:
   NodeId NewNode(NodeKind kind, std::string_view label, NodeId parent);
+  void Journal(Mutation::Kind kind, NodeId node);
 
   std::vector<Node> nodes_;
   size_t alive_count_ = 0;
+  uint64_t version_ = 0;
+  // Journal of the last mutations; journal_[i] took the document from
+  // version journal_base_ + i to journal_base_ + i + 1.  Bounded: when it
+  // overflows, the oldest half is dropped and journal_base_ advances.
+  std::vector<Mutation> journal_;
+  uint64_t journal_base_ = 0;
 };
 
 }  // namespace xmlac::xml

@@ -436,8 +436,18 @@ struct XQueryEngine::Scope {
   }
 };
 
-void XQueryEngine::RegisterDocument(std::string name, xml::Document* doc) {
-  docs_[std::move(name)] = doc;
+void XQueryEngine::RegisterDocument(std::string name, xml::Document* doc,
+                                    const xpath::EvaluatorOptions& options) {
+  docs_[std::move(name)] = RegisteredDoc{doc, options};
+}
+
+const xpath::EvaluatorOptions& XQueryEngine::OptionsFor(
+    const xml::Document* doc) const {
+  static const xpath::EvaluatorOptions kDefault;
+  for (const auto& [name, entry] : docs_) {
+    if (entry.doc == doc) return entry.options;
+  }
+  return kDefault;
 }
 
 Result<XqValue> XQueryEngine::Run(std::string_view query) {
@@ -463,20 +473,23 @@ Result<XqValue> XQueryEngine::Eval(const XqExpr& expr, const Scope& scope) {
   switch (expr.kind) {
     case XqKind::kDocPath: {
       xml::Document* doc = nullptr;
+      const xpath::EvaluatorOptions* options = nullptr;
       if (!expr.name.empty()) {
         auto it = docs_.find(expr.name);
         if (it == docs_.end()) {
           return Status::NotFound("no document '" + expr.name +
                                   "' registered");
         }
-        doc = it->second;
+        doc = it->second.doc;
+        options = &it->second.options;
       } else {
         if (docs_.size() != 1) {
           return Status::InvalidArgument(
               "ambiguous bare path: " + std::to_string(docs_.size()) +
               " documents registered");
         }
-        doc = docs_.begin()->second;
+        doc = docs_.begin()->second.doc;
+        options = &docs_.begin()->second.options;
       }
       XqValue out;
       if (expr.path.empty()) {
@@ -486,7 +499,7 @@ Result<XqValue> XQueryEngine::Eval(const XqExpr& expr, const Scope& scope) {
         }
         out.v = std::move(ids);
       } else {
-        out.v = xpath::Evaluate(expr.path, *doc);
+        out.v = xpath::Evaluate(expr.path, *doc, *options);
       }
       // Remember which document node ids refer to (single-doc queries).
       active_doc_for_eval_ = doc;
@@ -503,9 +516,10 @@ Result<XqValue> XQueryEngine::Eval(const XqExpr& expr, const Scope& scope) {
         return Status::InvalidArgument("path applied to non-node variable $" +
                                        expr.name);
       }
+      const xpath::EvaluatorOptions& options = OptionsFor(binding->doc);
       std::vector<xml::NodeId> acc;
       for (xml::NodeId n : binding->value.nodes()) {
-        auto part = xpath::EvaluateFrom(expr.path, *binding->doc, n);
+        auto part = xpath::EvaluateFrom(expr.path, *binding->doc, n, options);
         acc.insert(acc.end(), part.begin(), part.end());
       }
       XqValue out;

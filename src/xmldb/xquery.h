@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "xml/document.h"
 #include "xpath/ast.h"
+#include "xpath/evaluator.h"
 
 namespace xmlac::xmldb {
 
@@ -100,7 +101,11 @@ class XQueryEngine {
   XQueryEngine() = default;
 
   // Registers `doc` under `name` (not owned; must outlive the engine).
-  void RegisterDocument(std::string name, xml::Document* doc);
+  // `options` selects the XPath engine used for this document's path
+  // expressions — the native backend passes its synced structural index
+  // here so XQuery node selection shares it.
+  void RegisterDocument(std::string name, xml::Document* doc,
+                        const xpath::EvaluatorOptions& options = {});
 
   // Parses and evaluates.  Returns the query's value; annotate calls
   // mutate the registered documents and evaluate to the count of nodes
@@ -115,8 +120,13 @@ class XQueryEngine {
   struct Scope;
   Result<XqValue> Eval(const XqExpr& expr, const Scope& scope);
   Result<bool> Truthy(const XqExpr& expr, const Scope& scope);
+  const xpath::EvaluatorOptions& OptionsFor(const xml::Document* doc) const;
 
-  std::map<std::string, xml::Document*, std::less<>> docs_;
+  struct RegisteredDoc {
+    xml::Document* doc = nullptr;
+    xpath::EvaluatorOptions options;
+  };
+  std::map<std::string, RegisteredDoc, std::less<>> docs_;
   // Queries operate over a single document at a time; node ids in XqValues
   // refer to the most recently touched one.
   xml::Document* active_doc_for_eval_ = nullptr;

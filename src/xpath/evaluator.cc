@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <unordered_set>
 
 #include "obs/metrics.h"
 
@@ -27,17 +26,29 @@ bool LabelMatches(const Step& step, const Document& doc, NodeId id) {
 }
 
 // Appends every element in the subtree of `root` (excluding `root` itself)
-// matching `step`'s node test for which the predicates hold.
+// matching `step`'s node test for which the predicates hold.  Explicit
+// stack, pushed in reverse so matches come out in document order: documents
+// can be deeper than the call stack (a 50k-deep chain is a few MB of
+// frames under ASan).
 void CollectDescendants(const Step& step, const Document& doc, NodeId root,
                         std::vector<NodeId>* out) {
-  for (NodeId c : doc.node(root).children) {
+  std::vector<NodeId> stack;
+  const auto& top = doc.node(root).children;
+  stack.reserve(top.size());
+  for (auto it = top.rbegin(); it != top.rend(); ++it) stack.push_back(*it);
+  while (!stack.empty()) {
+    NodeId c = stack.back();
+    stack.pop_back();
     if (!doc.node(c).alive) continue;
     ++tls_nodes_visited;
     if (LabelMatches(step, doc, c) && PredicatesHold(step, doc, c)) {
       out->push_back(c);
     }
     if (doc.node(c).kind == NodeKind::kElement) {
-      CollectDescendants(step, doc, c, out);
+      const auto& kids = doc.node(c).children;
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
     }
   }
 }
@@ -61,22 +72,25 @@ std::vector<NodeId> ApplySteps(const Path& path, size_t step_index,
   for (size_t i = step_index; i < path.steps.size(); ++i) {
     const Step& step = path.steps[i];
     std::vector<NodeId> next;
-    std::unordered_set<NodeId> seen;
+    size_t contexts_fed = 0;
     for (NodeId ctx : context) {
-      std::vector<NodeId> local;
+      size_t before = next.size();
       if (step.axis == Axis::kChild) {
-        CollectChildren(step, doc, ctx, &local);
+        CollectChildren(step, doc, ctx, &next);
       } else {
-        CollectDescendants(step, doc, ctx, &local);
+        CollectDescendants(step, doc, ctx, &next);
       }
-      for (NodeId id : local) {
-        if (seen.insert(id).second) next.push_back(id);
-      }
+      if (next.size() > before) ++contexts_fed;
     }
-    // NodeIds are assigned in creation order which coincides with document
-    // order for parsed/generated documents; sorting keeps the contract even
-    // after merging multiple contexts.
-    std::sort(next.begin(), next.end());
+    // One subtree walk can't select the same node twice, so duplicates (and
+    // out-of-order ids, for documents grown by mid-document inserts) only
+    // appear when multiple contexts contributed; a single sort + unique
+    // then restores the sorted-NodeId contract without the per-node hash
+    // lookups the old unordered_set paid on every step.
+    if (contexts_fed > 1 || !std::is_sorted(next.begin(), next.end())) {
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+    }
     context = std::move(next);
     if (context.empty()) break;
   }

@@ -8,6 +8,20 @@
 
 namespace xmlac::xpath {
 
+class StructuralIndex;
+
+// Selects between the two evaluation engines.  The default-constructed
+// options keep the naive step-at-a-time evaluator (the reference the
+// differential oracle checks against); setting `use_structural_index` with
+// a synced index routes evaluation through the structural-join engine in
+// structural_eval.h.  If the index is missing or stale for the queried
+// document, evaluation silently falls back to the naive path — the switch
+// can never make results stale.
+struct EvaluatorOptions {
+  bool use_structural_index = false;
+  const StructuralIndex* index = nullptr;
+};
+
 // Evaluates an absolute path on a document.  Returns the selected element
 // nodes, deduplicated, in document (pre-)order.  Per the paper's model the
 // root element is a child of a virtual document node, so `/hospital` selects
@@ -19,6 +33,14 @@ std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc);
 std::vector<xml::NodeId> EvaluateFrom(const Path& path,
                                       const xml::Document& doc,
                                       xml::NodeId context);
+
+// Engine-dispatching overloads (implemented in structural_eval.cc).
+std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc,
+                                  const EvaluatorOptions& options);
+std::vector<xml::NodeId> EvaluateFrom(const Path& path,
+                                      const xml::Document& doc,
+                                      xml::NodeId context,
+                                      const EvaluatorOptions& options);
 
 // True if `node` satisfies all of `step`'s predicates.
 bool PredicatesHold(const Step& step, const xml::Document& doc,

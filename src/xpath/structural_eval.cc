@@ -1,0 +1,335 @@
+#include "xpath/structural_eval.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlac::xpath {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xml::NodeKind;
+
+// Per-evaluation scratch: counters for the obs layer plus the per-strategy
+// breakdown reported as trace-span tags.
+struct EvalState {
+  const Document& doc;
+  const StructuralIndex& index;
+  uint64_t advances = 0;  // stream/child entries examined (the naive
+                          // engine's nodes_visited analog)
+  uint64_t joins = 0;     // structural merges performed
+  int64_t descendant_merges = 0;
+  int64_t child_merges = 0;
+  int64_t child_scans = 0;
+  int64_t value_probes = 0;
+};
+
+bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node);
+
+void SortByStart(const EvalState& s, std::vector<NodeId>* v) {
+  std::sort(v->begin(), v->end(), [&](NodeId a, NodeId b) {
+    return s.index.label(a).start < s.index.label(b).start;
+  });
+}
+
+// First stream position whose start exceeds `lo`.
+size_t StreamLowerBound(const EvalState& s, const std::vector<NodeId>& stream,
+                        uint64_t lo) {
+  auto it = std::upper_bound(stream.begin(), stream.end(), lo,
+                             [&](uint64_t v, NodeId id) {
+                               return v < s.index.label(id).start;
+                             });
+  return static_cast<size_t>(it - stream.begin());
+}
+
+// The scan window for candidates below any of `ctx`: (min start, max end).
+void ContextBounds(const EvalState& s, const std::vector<NodeId>& ctx,
+                   uint64_t* lo, uint64_t* hi) {
+  *lo = s.index.label(ctx.front()).start;
+  *hi = 0;
+  for (NodeId c : ctx) *hi = std::max(*hi, s.index.label(c).end);
+}
+
+// Stack-based ancestor/descendant merge: appends the stream candidates that
+// lie inside at least one context interval, in start order.  `ctx` must be
+// start-sorted.  `limit` > 0 stops after that many matches (existence
+// probes).  The stack of open context ends is decreasing (outer intervals
+// open first and close last), so each candidate costs amortized O(1).
+void DescendantMerge(EvalState& s, const std::vector<NodeId>& ctx,
+                     const std::vector<NodeId>& stream, size_t limit,
+                     std::vector<NodeId>* out) {
+  if (ctx.empty() || stream.empty()) return;
+  ++s.joins;
+  ++s.descendant_merges;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  ContextBounds(s, ctx, &lo, &hi);
+  size_t j = 0;
+  std::vector<uint64_t> open;
+  for (size_t i = StreamLowerBound(s, stream, lo); i < stream.size(); ++i) {
+    NodeId cand = stream[i];
+    const IntervalLabel& cl = s.index.label(cand);
+    if (cl.start >= hi) break;
+    ++s.advances;
+    while (j < ctx.size() && s.index.label(ctx[j]).start < cl.start) {
+      uint64_t cstart = s.index.label(ctx[j]).start;
+      while (!open.empty() && open.back() < cstart) open.pop_back();
+      open.push_back(s.index.label(ctx[j]).end);
+      ++j;
+    }
+    while (!open.empty() && open.back() < cl.start) open.pop_back();
+    if (open.empty()) continue;
+    if (!s.doc.IsAlive(cand)) continue;
+    out->push_back(cand);
+    if (limit != 0 && out->size() >= limit) return;
+  }
+}
+
+// Parent/child merge: stream candidates whose parent is in `ctx`, in start
+// order.  Used when the contexts' combined child lists would cost more to
+// scan than the stream slice.
+void ChildMerge(EvalState& s, const std::vector<NodeId>& ctx,
+                const std::vector<NodeId>& stream, size_t limit,
+                std::vector<NodeId>* out) {
+  if (ctx.empty() || stream.empty()) return;
+  ++s.joins;
+  ++s.child_merges;
+  std::vector<NodeId> parents(ctx);
+  std::sort(parents.begin(), parents.end());
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  ContextBounds(s, ctx, &lo, &hi);
+  for (size_t i = StreamLowerBound(s, stream, lo); i < stream.size(); ++i) {
+    NodeId cand = stream[i];
+    if (s.index.label(cand).start >= hi) break;
+    ++s.advances;
+    NodeId p = s.doc.node(cand).parent;
+    if (p == xml::kInvalidNode ||
+        !std::binary_search(parents.begin(), parents.end(), p)) {
+      continue;
+    }
+    if (!s.doc.IsAlive(cand)) continue;
+    out->push_back(cand);
+    if (limit != 0 && out->size() >= limit) return;
+  }
+}
+
+// Direct child-list scan.  Output is NOT start-sorted when contexts nest
+// (a nested context's children interleave with its ancestor's later
+// children); the step loop re-sorts.
+void ChildScan(EvalState& s, const Step& step, const std::vector<NodeId>& ctx,
+               size_t limit, std::vector<NodeId>* out) {
+  ++s.joins;
+  ++s.child_scans;
+  for (NodeId parent : ctx) {
+    for (NodeId c : s.doc.node(parent).children) {
+      const xml::Node& cn = s.doc.node(c);
+      if (!cn.alive || cn.kind != NodeKind::kElement) continue;
+      ++s.advances;
+      if (!step.is_wildcard() && cn.label != step.label) continue;
+      out->push_back(c);
+      if (limit != 0 && out->size() >= limit) return;
+    }
+  }
+}
+
+const std::vector<NodeId>& StreamFor(const EvalState& s, const Step& step) {
+  return step.is_wildcard() ? s.index.ElementStream()
+                            : s.index.TagStream(step.label);
+}
+
+// Applies steps [step_index..] to `context`.  `limit_at_last` > 0 allows
+// the final step to stop after that many nodes when it carries no
+// predicates (existence probes from predicate evaluation).
+std::vector<NodeId> ApplySteps(EvalState& s, const Path& path,
+                               size_t step_index, std::vector<NodeId> context,
+                               size_t limit_at_last) {
+  bool start_sorted = context.size() <= 1;
+  for (size_t i = step_index; i < path.steps.size(); ++i) {
+    if (context.empty()) break;
+    const Step& step = path.steps[i];
+    if (!start_sorted) SortByStart(s, &context);
+    bool last = i + 1 == path.steps.size();
+    size_t limit =
+        (last && step.predicates.empty()) ? limit_at_last : size_t{0};
+    // A single context's child list is already start-ordered (children
+    // append, and appended children always label past their siblings).
+    bool scan_stays_sorted = context.size() == 1;
+    std::vector<NodeId> next;
+    start_sorted = true;
+    if (step.axis == Axis::kDescendant) {
+      DescendantMerge(s, context, StreamFor(s, step), limit, &next);
+    } else if (step.is_wildcard()) {
+      // Children of a context are exactly its element children; the "*"
+      // stream is the whole document, so the direct scan always wins.
+      ChildScan(s, step, context, limit, &next);
+      start_sorted = scan_stays_sorted || next.size() <= 1;
+    } else {
+      const std::vector<NodeId>& stream = StreamFor(s, step);
+      size_t scan_cost = 0;
+      for (NodeId c : context) scan_cost += s.doc.node(c).children.size();
+      if (scan_cost <= stream.size()) {
+        ChildScan(s, step, context, limit, &next);
+        start_sorted = scan_stays_sorted || next.size() <= 1;
+      } else {
+        ChildMerge(s, context, stream, limit, &next);
+      }
+    }
+    if (!step.predicates.empty()) {
+      std::vector<NodeId> kept;
+      kept.reserve(next.size());
+      for (NodeId id : next) {
+        if (PredicatesHoldStructural(s, step, id)) kept.push_back(id);
+      }
+      next = std::move(kept);
+    }
+    context = std::move(next);
+  }
+  return context;
+}
+
+// =const leaf probe through the value index: does `pred.path` from `node`
+// reach an element whose text equals `pred.value`?  Only called for kEq
+// with a plain (non-wildcard, predicate-free) final step.
+bool ValueIndexProbe(EvalState& s, const Predicate& pred, NodeId node) {
+  const Step& leaf = pred.path.steps.back();
+  const std::vector<NodeId>* bucket =
+      s.index.ValueMatches(leaf.label, pred.value);
+  ++s.value_probes;
+  if (bucket == nullptr) return false;  // nothing in the document matches
+  Path prefix;
+  prefix.absolute = false;
+  prefix.steps.assign(pred.path.steps.begin(), pred.path.steps.end() - 1);
+  std::vector<NodeId> ctx = ApplySteps(s, prefix, 0, {node}, 0);
+  if (ctx.empty()) return false;
+  SortByStart(s, &ctx);
+  std::vector<NodeId> hit;
+  if (leaf.axis == Axis::kDescendant) {
+    DescendantMerge(s, ctx, *bucket, 1, &hit);
+  } else {
+    ChildMerge(s, ctx, *bucket, 1, &hit);
+  }
+  return !hit.empty();
+}
+
+bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node) {
+  for (const Predicate& pred : step.predicates) {
+    if (!pred.has_comparison()) {
+      if (ApplySteps(s, pred.path, 0, {node}, 1).empty()) return false;
+      continue;
+    }
+    if (pred.path.empty()) {
+      // [. = const] compares the context node's own text.
+      if (!CompareValues(s.doc.DirectText(node), *pred.op, pred.value)) {
+        return false;
+      }
+      continue;
+    }
+    const Step& leaf = pred.path.steps.back();
+    if (*pred.op == CmpOp::kEq && !leaf.is_wildcard() &&
+        leaf.predicates.empty()) {
+      if (!ValueIndexProbe(s, pred, node)) return false;
+      continue;
+    }
+    std::vector<NodeId> selected = ApplySteps(s, pred.path, 0, {node}, 0);
+    bool any = false;
+    for (NodeId id : selected) {
+      if (CompareValues(s.doc.DirectText(id), *pred.op, pred.value)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+void FlushCounters(const EvalState& s, size_t selected, bool top_level) {
+  if (obs::CurrentMetrics() == nullptr) return;
+  if (top_level) obs::IncrementCounter("xpath.evaluations");
+  obs::IncrementCounter("xpath.nodes_visited", s.advances);
+  obs::IncrementCounter("xpath.nodes_selected", selected);
+  obs::IncrementCounter("xpath.structural.joins", s.joins);
+  obs::IncrementCounter("xpath.structural.stream_advances", s.advances);
+}
+
+}  // namespace
+
+std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
+                                       const StructuralIndex& index) {
+  if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
+  EvalState s{doc, index};
+  obs::ScopedSpan span("xpath.structural_eval");
+  const Step& first = path.steps.front();
+  std::vector<NodeId> context;
+  ++s.advances;
+  if (first.axis == Axis::kChild) {
+    // The virtual document node has exactly one child: the root element.
+    const xml::Node& root = doc.node(doc.root());
+    if ((first.is_wildcard() || root.label == first.label) &&
+        PredicatesHoldStructural(s, first, doc.root())) {
+      context.push_back(doc.root());
+    }
+  } else {
+    // Descendant from the virtual node: the step's whole tag stream.
+    for (NodeId c : StreamFor(s, first)) {
+      ++s.advances;
+      if (!doc.IsAlive(c)) continue;
+      if (!first.predicates.empty() &&
+          !PredicatesHoldStructural(s, first, c)) {
+        continue;
+      }
+      context.push_back(c);
+    }
+  }
+  std::vector<NodeId> out = ApplySteps(s, path, 1, std::move(context), 0);
+  // Merges emit in start order; the public contract (shared with the naive
+  // engine and the oracle) is NodeId order.
+  std::sort(out.begin(), out.end());
+  FlushCounters(s, out.size(), /*top_level=*/true);
+  // Join-strategy breakdown for this query.
+  if (s.descendant_merges != 0) {
+    span.AddCount("join.descendant_merge", s.descendant_merges);
+  }
+  if (s.child_merges != 0) span.AddCount("join.child_merge", s.child_merges);
+  if (s.child_scans != 0) span.AddCount("join.child_scan", s.child_scans);
+  if (s.value_probes != 0) span.AddCount("join.value_probe", s.value_probes);
+  return out;
+}
+
+std::vector<NodeId> EvaluateFromStructural(const Path& path,
+                                           const Document& doc,
+                                           NodeId context,
+                                           const StructuralIndex& index) {
+  if (!doc.IsAlive(context)) return {};
+  if (path.empty()) return {context};
+  EvalState s{doc, index};
+  std::vector<NodeId> out = ApplySteps(s, path, 0, {context}, 0);
+  std::sort(out.begin(), out.end());
+  FlushCounters(s, out.size(), /*top_level=*/false);
+  return out;
+}
+
+std::vector<NodeId> Evaluate(const Path& path, const Document& doc,
+                             const EvaluatorOptions& options) {
+  if (options.use_structural_index && options.index != nullptr &&
+      options.index->ReadyFor(doc)) {
+    return EvaluateStructural(path, doc, *options.index);
+  }
+  return Evaluate(path, doc);
+}
+
+std::vector<NodeId> EvaluateFrom(const Path& path, const Document& doc,
+                                 NodeId context,
+                                 const EvaluatorOptions& options) {
+  if (options.use_structural_index && options.index != nullptr &&
+      options.index->ReadyFor(doc)) {
+    return EvaluateFromStructural(path, doc, context, *options.index);
+  }
+  return EvaluateFrom(path, doc, context);
+}
+
+}  // namespace xmlac::xpath

@@ -1,0 +1,262 @@
+#include "xpath/structural_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace xmlac::xpath {
+namespace {
+
+using xml::Document;
+using xml::Mutation;
+using xml::NodeId;
+using xml::NodeKind;
+
+// Label values consumed per enter/leave event at build time.  The trailing
+// gap this leaves inside every parent is what incremental inserts allocate
+// from; 4096 per event supports thousands of appended children per parent
+// before a rebuild.
+constexpr uint64_t kBuildGap = 4096;
+
+// Interval width handed to an incrementally inserted child: small enough
+// that appends don't drain the parent's gap geometrically, large enough
+// that the new node can itself host a few levels of nested inserts.
+constexpr uint64_t kInsertSlot = 64;
+
+const std::vector<NodeId> kEmptyStream;
+
+}  // namespace
+
+std::vector<IntervalLabel> ComputeIntervalLabels(const Document& doc) {
+  std::vector<IntervalLabel> labels(doc.size());
+  if (doc.empty() || !doc.IsAlive(doc.root())) return labels;
+  struct Frame {
+    NodeId id;
+    size_t next_child;
+  };
+  uint64_t counter = kBuildGap;
+  std::vector<Frame> stack;
+  stack.push_back({doc.root(), 0});
+  labels[doc.root()].start = counter;
+  labels[doc.root()].level = 0;
+  counter += kBuildGap;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const xml::Node& n = doc.node(f.id);
+    bool descended = false;
+    while (f.next_child < n.children.size()) {
+      NodeId c = n.children[f.next_child++];
+      const xml::Node& cn = doc.node(c);
+      if (!cn.alive || cn.kind != NodeKind::kElement) continue;
+      labels[c].start = counter;
+      labels[c].level = labels[f.id].level + 1;
+      counter += kBuildGap;
+      stack.push_back({c, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    labels[f.id].end = counter;
+    counter += kBuildGap;
+    stack.pop_back();
+  }
+  return labels;
+}
+
+bool AllocateChildInterval(uint64_t parent_start, uint64_t parent_end,
+                           uint64_t anchor, uint64_t* start, uint64_t* end) {
+  if (anchor < parent_start) anchor = parent_start;
+  if (parent_end <= anchor + 4) return false;  // gap exhausted
+  uint64_t gap = parent_end - anchor - 1;
+  uint64_t slot = std::min<uint64_t>(kInsertSlot, gap / 2);
+  *start = anchor + 1;
+  *end = anchor + slot;
+  return true;
+}
+
+void StructuralIndex::Invalidate() {
+  synced_ = false;
+  synced_version_ = 0;
+  labels_.clear();
+  tag_streams_.clear();
+  element_stream_.clear();
+  dead_in_streams_ = 0;
+  std::lock_guard<std::mutex> lock(value_mu_);
+  value_index_.clear();
+}
+
+void StructuralIndex::Rebuild() {
+  labels_ = ComputeIntervalLabels(*doc_);
+  tag_streams_.clear();
+  element_stream_.clear();
+  dead_in_streams_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(value_mu_);
+    value_index_.clear();
+  }
+  if (!doc_->empty() && doc_->IsAlive(doc_->root())) {
+    // Pre-order visitation matches ascending start labels, so the streams
+    // come out sorted without an explicit sort.
+    doc_->Visit(doc_->root(), [&](NodeId id) {
+      if (doc_->node(id).kind != NodeKind::kElement) return;
+      element_stream_.push_back(id);
+      tag_streams_[doc_->node(id).label].push_back(id);
+    });
+  }
+  ++builds_;
+  obs::IncrementCounter("xpath.structural.index_builds");
+}
+
+void StructuralIndex::InsertIntoStream(std::vector<NodeId>* stream,
+                                       NodeId id) {
+  uint64_t start = labels_[id].start;
+  auto pos = std::upper_bound(stream->begin(), stream->end(), start,
+                              [&](uint64_t s, NodeId other) {
+                                return s < labels_[other].start;
+                              });
+  stream->insert(pos, id);
+}
+
+bool StructuralIndex::LabelNewElement(NodeId id) {
+  const xml::Node& n = doc_->node(id);
+  if (n.parent == xml::kInvalidNode) return false;  // new root: rebuild
+  const IntervalLabel& pl = labels_[n.parent];
+  if (pl.end == 0) return false;  // parent unlabeled (shouldn't happen)
+  // The anchor is the highest label used inside the parent so far; children
+  // append, so scanning the (short) child list keeps alive intervals
+  // disjoint.  Later-created siblings are still unlabeled (end == 0) at
+  // this point in the replay and don't contribute.
+  uint64_t anchor = pl.start;
+  for (NodeId c : doc_->node(n.parent).children) {
+    if (c == id) continue;
+    if (labels_[c].end != 0) anchor = std::max(anchor, labels_[c].end);
+  }
+  uint64_t start = 0;
+  uint64_t end = 0;
+  if (!AllocateChildInterval(pl.start, pl.end, anchor, &start, &end)) {
+    return false;
+  }
+  labels_[id] = IntervalLabel{start, end, pl.level + 1};
+  InsertIntoStream(&element_stream_, id);
+  InsertIntoStream(&tag_streams_[n.label], id);
+  return true;
+}
+
+bool StructuralIndex::Replay(const std::vector<Mutation>& mutations) {
+  auto invalidate_values = [&](NodeId element) {
+    std::lock_guard<std::mutex> lock(value_mu_);
+    auto it = value_index_.find(doc_->node(element).label);
+    if (it != value_index_.end()) value_index_.erase(it);
+  };
+  for (const Mutation& m : mutations) {
+    if (m.node >= doc_->size()) return false;
+    labels_.resize(std::max(labels_.size(), doc_->size()));
+    const xml::Node& n = doc_->node(m.node);
+    if (m.kind == Mutation::Kind::kCreate) {
+      if (n.kind == NodeKind::kText) {
+        // The parent element's direct text changed: its tag's value-index
+        // entry (if materialized) is stale.
+        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
+          invalidate_values(n.parent);
+        }
+        continue;
+      }
+      // Created-then-deleted within the same window: never entered the
+      // streams, nothing to do.
+      if (!doc_->IsAlive(m.node)) continue;
+      if (!LabelNewElement(m.node)) return false;
+    } else {
+      if (n.kind == NodeKind::kText) {
+        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
+          invalidate_values(n.parent);
+        }
+        continue;
+      }
+      // Dead subtrees keep their children lists, so the tombstones now
+      // sitting in the streams can be counted for the compaction heuristic.
+      std::vector<NodeId> stack = {m.node};
+      while (!stack.empty()) {
+        NodeId cur = stack.back();
+        stack.pop_back();
+        const xml::Node& cn = doc_->node(cur);
+        if (cn.kind == NodeKind::kElement && cur < labels_.size() &&
+            labels_[cur].end != 0) {
+          ++dead_in_streams_;
+        }
+        for (NodeId c : cn.children) stack.push_back(c);
+      }
+    }
+  }
+  return true;
+}
+
+void StructuralIndex::Sync() {
+  if (doc_ == nullptr) return;
+  uint64_t v = doc_->version();
+  if (synced_ && synced_version_ == v) return;
+  bool incremental = false;
+  if (synced_) {
+    std::vector<Mutation> mutations;
+    if (doc_->MutationsSince(synced_version_, &mutations)) {
+      incremental = Replay(mutations);
+      // Compaction: once tombstones dominate, scans pay more for skipping
+      // dead entries than a rebuild costs.
+      if (incremental && dead_in_streams_ * 2 > element_stream_.size()) {
+        incremental = false;
+      }
+    }
+  }
+  if (incremental) {
+    ++incremental_updates_;
+    obs::IncrementCounter("xpath.structural.incremental_updates");
+  } else {
+    Rebuild();
+  }
+  synced_ = true;
+  synced_version_ = v;
+}
+
+const std::vector<NodeId>& StructuralIndex::TagStream(
+    std::string_view tag) const {
+  auto it = tag_streams_.find(std::string(tag));
+  return it == tag_streams_.end() ? kEmptyStream : it->second;
+}
+
+std::string StructuralIndex::CanonicalValue(const std::string& text) {
+  if (text.empty()) return text;
+  // Mirrors CompareValues: a side is numeric iff strtod consumes the whole
+  // string.  Numeric values bucket by their double ("01" and "1" collide,
+  // as =const demands); everything else buckets verbatim.
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (*end != '\0') return text;
+  if (v == 0) v = 0;  // collapse -0.0 into +0.0 (they compare equal)
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const std::vector<NodeId>* StructuralIndex::ValueMatches(
+    std::string_view tag, const std::string& value) const {
+  std::string canon = CanonicalValue(value);
+  std::lock_guard<std::mutex> lock(value_mu_);
+  auto it = value_index_.find(tag);
+  if (it == value_index_.end()) {
+    auto& buckets = value_index_[std::string(tag)];
+    const std::vector<NodeId>& stream = TagStream(tag);
+    for (NodeId id : stream) {
+      if (!doc_->IsAlive(id)) continue;
+      std::string text = doc_->DirectText(id);
+      if (text.empty()) continue;  // no value: every comparison is false
+      buckets[CanonicalValue(text)].push_back(id);
+    }
+    it = value_index_.find(tag);
+  }
+  auto bucket = it->second.find(canon);
+  if (bucket == it->second.end() || bucket->second.empty()) return nullptr;
+  return &bucket->second;
+}
+
+}  // namespace xmlac::xpath

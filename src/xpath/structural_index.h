@@ -1,0 +1,154 @@
+#ifndef XMLAC_XPATH_STRUCTURAL_INDEX_H_
+#define XMLAC_XPATH_STRUCTURAL_INDEX_H_
+
+// Per-document structural index: interval labels + tag streams + an
+// optional per-tag value index.
+//
+// Every alive element gets an interval label (start, end, level) from one
+// pre/post-order pass; `d` is a descendant of `a` iff
+// a.start < d.start && d.end < a.end, and labels within one document never
+// partially overlap, so d.start alone decides containment.  Labels are
+// *gapped*: consecutive build-time labels leave kBuildGap unused values, so
+// an inserted subtree can usually be labeled inside its parent's remaining
+// gap without relabeling the document.  When the gap runs out the index
+// falls back to a full rebuild (counted separately, see the obs counters).
+//
+// Tag streams partition the alive elements by tag, each stream sorted by
+// start (= document order).  The structural-join evaluator
+// (structural_eval.h) merges context lists against these streams instead of
+// re-walking subtrees.  Deleted nodes are filtered lazily at scan time
+// (Document keeps tombstones); when too many tombstones accumulate the next
+// Sync() compacts by rebuilding.
+//
+// The index stamps itself with Document::version() and catches up through
+// the document's mutation journal:
+//   * created elements get an interval carved from the parent's gap and are
+//     spliced into their streams;
+//   * deleted subtrees only bump the tombstone estimate;
+//   * text changes invalidate the enclosing tag's value-index entry.
+// Journal truncation, gap exhaustion, or anything unexpected triggers a
+// full rebuild — incremental maintenance is an optimization, never a
+// correctness requirement.
+//
+// Thread-safety: Sync() must not race queries or document mutations (the
+// engine serializes it behind a mutex before any parallel evaluation
+// phase).  The lazy per-tag value-index build is internally synchronized,
+// so concurrent read-only queries may share one synced index.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xmlac::xpath {
+
+struct IntervalLabel {
+  uint64_t start = 0;
+  uint64_t end = 0;  // 0 = unlabeled (text node, tombstone, or stale slot)
+  uint32_t level = 0;  // element depth; root = 0
+};
+
+// One-shot gapped interval labeling of a document's alive elements (also
+// used by the relational shredder to fill (st, en) columns).  The result is
+// indexed by NodeId and only meaningful for alive elements; other slots
+// keep end == 0.
+std::vector<IntervalLabel> ComputeIntervalLabels(const xml::Document& doc);
+
+// Carves an interval for a new last child out of `parent`'s remaining gap.
+// `anchor` is the highest label value already used inside the parent (the
+// last labeled child's end, or parent.start when childless).  Returns false
+// when the gap is exhausted; on success *start/*end hold the new interval
+// and the caller's anchor for the parent becomes *end.  Shared between the
+// native index and the relational backend so both stores assign compatible
+// labels.
+bool AllocateChildInterval(uint64_t parent_start, uint64_t parent_end,
+                           uint64_t anchor, uint64_t* start, uint64_t* end);
+
+class StructuralIndex {
+ public:
+  // `doc` is not owned and must outlive the index.  The index starts
+  // unsynced; call Sync() before querying.
+  explicit StructuralIndex(const xml::Document* doc) : doc_(doc) {}
+
+  StructuralIndex(const StructuralIndex&) = delete;
+  StructuralIndex& operator=(const StructuralIndex&) = delete;
+
+  // Brings the index up to the document's current version (no-op when
+  // already current).  Must be externally serialized against queries.
+  void Sync();
+
+  // Drops all state; the next Sync() rebuilds.  Call after the backing
+  // document object is replaced wholesale (its version counter restarts).
+  void Invalidate();
+
+  // True when the index reflects `doc`'s current content — the evaluator
+  // falls back to the naive path otherwise rather than answer stale.
+  bool ReadyFor(const xml::Document& doc) const {
+    return doc_ == &doc && synced_ && synced_version_ == doc.version();
+  }
+
+  const IntervalLabel& label(xml::NodeId id) const { return labels_[id]; }
+
+  // All alive-at-last-compaction elements with tag `tag`, sorted by start.
+  // May contain tombstones (filter with doc.IsAlive).  Empty stream for
+  // unknown tags.
+  const std::vector<xml::NodeId>& TagStream(std::string_view tag) const;
+
+  // Every element, sorted by start (the "*" stream).
+  const std::vector<xml::NodeId>& ElementStream() const {
+    return element_stream_;
+  }
+
+  // Elements with tag `tag` whose direct text compares equal to `value`
+  // under the evaluator's =const semantics (numeric when both sides parse
+  // as numbers), sorted by start; nullptr when no element matches.  Builds
+  // the per-tag map lazily; safe to call from concurrent readers.
+  const std::vector<xml::NodeId>* ValueMatches(std::string_view tag,
+                                               const std::string& value) const;
+
+  // The canonical form under which values are bucketed: numeric strings
+  // normalize so "01" and "1" share a bucket, mirroring CompareValues.
+  static std::string CanonicalValue(const std::string& text);
+
+  uint64_t builds() const { return builds_; }
+  uint64_t incremental_updates() const { return incremental_updates_; }
+
+ private:
+  void Rebuild();
+  // Applies journaled mutations; false means the journal couldn't be
+  // applied (gap exhausted / unexpected shape) and the caller must Rebuild.
+  bool Replay(const std::vector<xml::Mutation>& mutations);
+  bool LabelNewElement(xml::NodeId id);
+  void InsertIntoStream(std::vector<xml::NodeId>* stream, xml::NodeId id);
+
+  const xml::Document* doc_;
+  bool synced_ = false;
+  uint64_t synced_version_ = 0;
+
+  std::vector<IntervalLabel> labels_;  // by NodeId
+  std::unordered_map<std::string, std::vector<xml::NodeId>> tag_streams_;
+  std::vector<xml::NodeId> element_stream_;
+  // Tombstones sitting in streams since the last rebuild; when they exceed
+  // half the stream entries, Sync() compacts via Rebuild().
+  size_t dead_in_streams_ = 0;
+
+  // tag -> canonical value -> matching elements sorted by start.  Built
+  // lazily per tag (guarded by value_mu_); std::map keeps bucket addresses
+  // stable while other tags build concurrently.
+  mutable std::mutex value_mu_;
+  mutable std::map<std::string, std::map<std::string, std::vector<xml::NodeId>>,
+                   std::less<>>
+      value_index_;
+
+  uint64_t builds_ = 0;
+  uint64_t incremental_updates_ = 0;
+};
+
+}  // namespace xmlac::xpath
+
+#endif  // XMLAC_XPATH_STRUCTURAL_INDEX_H_
