@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/ring.h"
 #include "testing/diff.h"
 #include "testing/generators.h"
 #include "testing/oracle.h"
@@ -59,6 +61,44 @@ void BM_CheckAnnotation(benchmark::State& state) {
 BENCHMARK(BM_CheckAnnotation)
     ->ArgsProduct({{30, 90}, {0, 1, 2}})  // doc nodes x backend kind
     ->ArgNames({"nodes", "backend"});
+
+// --- Instrumentation primitive costs ----------------------------------------
+// The three ways hot paths can report one count, cheapest last.  The
+// CounterHandle numbers justify the cached-handle rewrites in
+// rule_cache/structural_eval; the ring append is the flight recorder's
+// per-event budget.
+
+void BM_IncrementCounterByName(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics context(&registry);
+  for (auto _ : state) {
+    obs::IncrementCounter("bench.by_name");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementCounterByName);
+
+void BM_CounterHandleIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics context(&registry);
+  static thread_local obs::CounterHandle handle("bench.handle");
+  for (auto _ : state) {
+    handle.Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterHandleIncrement);
+
+void BM_RingAppend(benchmark::State& state) {
+  obs::EventRing ring(1 << 12);
+  const uint16_t name = obs::InternName("bench.span");
+  for (auto _ : state) {
+    ring.Append(obs::EventType::kSpanBegin, name, 0);
+  }
+  benchmark::DoNotOptimize(ring.appended());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingAppend);
 
 }  // namespace
 }  // namespace xmlac::bench

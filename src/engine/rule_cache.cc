@@ -14,12 +14,14 @@ RuleScopeCache::BitmapPtr RuleScopeCache::Lookup(std::string_view store,
     auto it = shard.table.find(key);
     if (it != shard.table.end() && it->second.epoch == epoch) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      obs::IncrementCounter("rulecache.hits");
+      static thread_local obs::CounterHandle hits_metric("rulecache.hits");
+      hits_metric.Increment();
       return it->second.bitmap;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  obs::IncrementCounter("rulecache.misses");
+  static thread_local obs::CounterHandle misses_metric("rulecache.misses");
+  misses_metric.Increment();
   return nullptr;
 }
 
@@ -59,7 +61,9 @@ void RuleScopeCache::Evict(std::string_view store, std::string_view path_key,
     entry.retired = true;
   }
   evictions_.fetch_add(1, std::memory_order_relaxed);
-  obs::IncrementCounter("rulecache.evictions");
+  static thread_local obs::CounterHandle evictions_metric(
+      "rulecache.evictions");
+  evictions_metric.Increment();
 }
 
 void RuleScopeCache::Promote(std::string_view store, std::string_view path_key,
@@ -74,7 +78,9 @@ void RuleScopeCache::Promote(std::string_view store, std::string_view path_key,
     it->second.epoch = to_epoch;
     it->second.promoted = true;
     promotions_.fetch_add(1, std::memory_order_relaxed);
-    obs::IncrementCounter("rulecache.promotions");
+    static thread_local obs::CounterHandle promotions_metric(
+        "rulecache.promotions");
+    promotions_metric.Increment();
   }
 }
 

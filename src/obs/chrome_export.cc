@@ -1,0 +1,121 @@
+#include "obs/chrome_export.h"
+
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "common/io.h"
+#include "obs/export.h"
+
+namespace xmlac::obs {
+
+namespace {
+
+// Chrome's ts/dur are microseconds; keep sub-microsecond precision with a
+// fractional part rather than rounding 800ns spans to 0.
+std::string Micros(uint64_t ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << (ns % 1000) / 100;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<RetainedTrace>& traces,
+                            const std::vector<std::string>& ring_labels) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& row) {
+    if (!first) os << ',';
+    first = false;
+    os << row;
+  };
+  // Name each ring's timeline once.
+  for (size_t i = 0; i < ring_labels.size(); ++i) {
+    std::ostringstream row;
+    row << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << JsonEscape(ring_labels[i]) << "\"}}";
+    emit(row.str());
+  }
+  for (const RetainedTrace& t : traces) {
+    const size_t tid = t.ring;
+    {
+      // Request envelope: spans nest visually inside it.
+      std::ostringstream row;
+      row << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+          << JsonEscape(std::string("request ") + RequestClassName(t.klass))
+          << "\",\"cat\":\"request\",\"ts\":" << Micros(t.start_ns)
+          << ",\"dur\":" << t.latency_us << ",\"args\":{\"latency_us\":"
+          << t.latency_us << ",\"dropped_spans\":" << t.dropped_spans << "}}";
+      emit(row.str());
+    }
+    for (const RetainedSpan& s : t.spans) {
+      std::ostringstream row;
+      row << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+          << JsonEscape(NameOf(s.name)) << "\",\"cat\":\"span\",\"ts\":"
+          << Micros(s.start_ns) << ",\"dur\":" << Micros(s.duration_ns)
+          << ",\"args\":{\"depth\":" << s.depth << "}}";
+      emit(row.str());
+    }
+    for (const auto& [name, value] : t.counters) {
+      std::ostringstream row;
+      row << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << tid << ",\"name\":\""
+          << JsonEscape(NameOf(name)) << "\",\"ts\":"
+          << Micros(t.start_ns) << ",\"args\":{\"value\":" << value << "}}";
+      emit(row.str());
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string HealthToText(const RecorderHealth& health) {
+  std::ostringstream os;
+  os << "obs.recorder.evicted_traces " << health.evicted_traces << '\n';
+  os << "obs.recorder.last_epoch " << health.last_epoch << '\n';
+  os << "obs.recorder.requests_seen " << health.requests_seen << '\n';
+  os << "obs.recorder.retained_traces " << health.retained_traces << '\n';
+  os << "obs.ring.appended " << health.events_appended << '\n';
+  os << "obs.ring.dropped " << health.events_dropped << '\n';
+  for (size_t i = 0; i < kRequestClassCount; ++i) {
+    const HistogramData& d = health.latency_us[i];
+    const char* klass = RequestClassName(static_cast<RequestClass>(i));
+    os << "latency." << klass << ".count " << d.count << '\n';
+    if (d.count == 0) continue;
+    os << "latency." << klass << ".mean_us "
+       << static_cast<uint64_t>(d.Mean()) << '\n';
+    os << "latency." << klass << ".p50_us "
+       << static_cast<uint64_t>(d.Percentile(0.50)) << '\n';
+    os << "latency." << klass << ".p95_us "
+       << static_cast<uint64_t>(d.Percentile(0.95)) << '\n';
+    os << "latency." << klass << ".p99_us "
+       << static_cast<uint64_t>(d.Percentile(0.99)) << '\n';
+    os << "latency." << klass << ".max_us " << d.max << '\n';
+  }
+  for (const auto& [name, stat] : health.queues) {
+    os << "queue." << name << ".depth " << stat.depth << '\n';
+    os << "queue." << name << ".watermark " << stat.watermark << '\n';
+  }
+  return os.str();
+}
+
+Status WriteFlightRecorderDump(const FlightRecorder& recorder,
+                               const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("flight recorder dump: cannot create '" + dir +
+                            "': " + ec.message());
+  }
+  XMLAC_RETURN_IF_ERROR(
+      WriteFile(dir + "/trace.json",
+                ChromeTraceJson(recorder.RetainedTraces(),
+                                recorder.RingLabels())));
+  XMLAC_RETURN_IF_ERROR(
+      WriteFile(dir + "/health.txt", HealthToText(recorder.Health())));
+  return Status::OK();
+}
+
+}  // namespace xmlac::obs

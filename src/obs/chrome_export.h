@@ -1,0 +1,39 @@
+#ifndef XMLAC_OBS_CHROME_EXPORT_H_
+#define XMLAC_OBS_CHROME_EXPORT_H_
+
+// Flight-recorder export: Chrome trace_event JSON (loadable in
+// chrome://tracing and Perfetto) and the flat "key value" health text that
+// tools/xmlac_top tails.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/recorder.h"
+
+namespace xmlac::obs {
+
+// Serializes retained traces in the Chrome trace_event format:
+// {"traceEvents": [...]} with one "ph":"X" complete event per span (ts/dur
+// in microseconds), one per request (so the request envelope is visible
+// even when no spans survived), "ph":"M" thread_name metadata rows naming
+// each ring, and "ph":"C" counter rows for per-request counters.  Each ring
+// maps to one tid under pid 1.
+std::string ChromeTraceJson(const std::vector<RetainedTrace>& traces,
+                            const std::vector<std::string>& ring_labels);
+
+// One "key value" line per stat, sorted, newline-terminated — trivially
+// parseable without a JSON library.  Keys are documented in
+// docs/observability.md ("obs.ring.*", "obs.recorder.*", per-class
+// latency under "latency.<class>.*").
+std::string HealthToText(const RecorderHealth& health);
+
+// Dumps `recorder` into directory `dir` (created if missing):
+//   dir/trace.json   Chrome trace of the retained slow requests
+//   dir/health.txt   HealthToText snapshot
+Status WriteFlightRecorderDump(const FlightRecorder& recorder,
+                               const std::string& dir);
+
+}  // namespace xmlac::obs
+
+#endif  // XMLAC_OBS_CHROME_EXPORT_H_

@@ -21,6 +21,19 @@ void Histogram::Record(uint64_t v) {
   }
 }
 
+HistogramData Histogram::Data() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  d.min = mn == UINT64_MAX ? 0 : mn;
+  d.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -31,25 +44,46 @@ void Histogram::Reset() {
 
 double HistogramData::Percentile(double p) const {
   if (count == 0) return 0.0;
+  if (min == max) return static_cast<double>(min);  // one distinct value
   p = std::clamp(p, 0.0, 1.0);
   // Rank of the wanted observation (1-based, ceil keeps p=1 at the last).
   uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      // Bucket i spans [2^(i-1), 2^i) for i>0 and {0} for i=0; answer with
-      // its geometric midpoint, clamped to the observed range.
-      double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
-      double hi = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
-      double mid = i == 0 ? 0.0 : std::sqrt(lo * hi);
-      return std::clamp(mid, static_cast<double>(min),
-                        static_cast<double>(max));
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
     }
+    if (i == 0) return 0.0;  // bucket 0 holds only the value 0
+    // Bucket i holds the integer values [2^(i-1), 2^i - 1].  Tighten that
+    // range to the observed one: the global min bounds the lowest populated
+    // bucket from below, the global max bounds the highest from above.
+    double lo = std::max(std::ldexp(1.0, static_cast<int>(i) - 1),
+                         static_cast<double>(min));
+    double hi = std::min(std::ldexp(1.0, static_cast<int>(i)) - 1.0,
+                         static_cast<double>(max));
+    // Pinched to one distinct value (e.g. bucket 1 = {1}, or a boundary
+    // bucket whose only occupant is min or max): exact answer.
+    if (hi <= lo) return lo;
+    // Log-scale interpolation at the rank's position within the bucket —
+    // the buckets are octaves, so log-uniform is the natural in-bucket
+    // prior.  f is the rank's midpoint offset in (0, 1).
+    double f = (static_cast<double>(rank - seen) - 0.5) /
+               static_cast<double>(buckets[i]);
+    return lo * std::pow(hi / lo, f);
   }
   return static_cast<double>(max);
 }
+
+namespace {
+std::atomic<uint64_t> g_registry_generation{0};
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : generation_(g_registry_generation.fetch_add(1,
+                                                  std::memory_order_relaxed) +
+                  1) {}
 
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -85,18 +119,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) {
-    HistogramData d;
-    d.count = h->count();
-    d.sum = h->sum();
-    uint64_t mn = h->min_.load(std::memory_order_relaxed);
-    d.min = mn == UINT64_MAX ? 0 : mn;
-    d.max = h->max_.load(std::memory_order_relaxed);
-    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
-      d.buckets[i] = h->buckets_[i].load(std::memory_order_relaxed);
-    }
-    snap.histograms[name] = d;
-  }
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Data();
   return snap;
 }
 

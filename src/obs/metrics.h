@@ -59,11 +59,13 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+struct HistogramData;
+
 // Log2-bucketed histogram: bucket i counts values v with bit_width(v) == i,
 // i.e. bucket 0 holds v == 0, bucket i>0 holds v in [2^(i-1), 2^i).  One
 // relaxed fetch_add per Record plus min/max maintenance; quantiles are
-// recovered from the buckets at snapshot time (exact to within one octave —
-// plenty for "where does the time go" questions).
+// recovered from the buckets at snapshot time by log-scale interpolation
+// (see HistogramData::Percentile).
 class Histogram {
  public:
   static constexpr size_t kBuckets = 65;  // bit_width of uint64_t is 0..64
@@ -73,6 +75,9 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset();
+
+  // Point-in-time copy of all buckets and summary values.
+  HistogramData Data() const;
 
  private:
   friend class MetricsRegistry;
@@ -95,9 +100,12 @@ struct HistogramData {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  // Approximate quantile (p in [0,1]) from the log2 buckets: the geometric
-  // midpoint of the bucket holding the p-th observation, clamped to
-  // [min, max].
+  // Quantile (p in [0,1]) from the log2 buckets: log-scale interpolation at
+  // the rank's position *within* the bucket holding the p-th observation,
+  // with the bucket's range tightened to the observed [min, max].  Exact
+  // when the histogram (or the pinched bucket) holds a single distinct
+  // value; otherwise accurate to the log-uniform in-bucket prior instead of
+  // the old bucket-midpoint answer.
   double Percentile(double p) const;
 };
 
@@ -115,9 +123,14 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-unique id, monotonically assigned at construction.  Lets cached
+  // instrument handles (CounterHandle below) detect that a registry at a
+  // reused address is not the one they resolved against.
+  uint64_t generation() const { return generation_; }
 
   // Get-or-create.  Returned handles are owned by the registry and stay
   // valid (and stable) for its lifetime; callers may cache them.
@@ -133,6 +146,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
+  uint64_t generation_;
   // std::map: node-based, so instrument addresses are stable across inserts.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -164,6 +178,68 @@ class ScopedMetrics {
 void IncrementCounter(std::string_view name, uint64_t delta = 1);
 void SetGauge(std::string_view name, int64_t value);
 void RecordHistogram(std::string_view name, uint64_t value);
+
+// --- Cached hot-path handles -------------------------------------------------
+//
+// IncrementCounter/RecordHistogram resolve the instrument by name on every
+// call — a registry mutex + map lookup.  Instruments are stable-addressed
+// (design goal 2), so hot paths keep a function-local `static thread_local`
+// handle instead and re-resolve only when the thread's current registry
+// changes:
+//
+//   static thread_local obs::CounterHandle hits("rulecache.hits");
+//   hits.Increment();
+//
+// The (registry pointer, generation) pair guards against a dead registry's
+// address being reused; with no registry installed the cost is the same one
+// TLS load + branch as IncrementCounter.
+class CounterHandle {
+ public:
+  explicit constexpr CounterHandle(const char* name) : name_(name) {}
+
+  void Increment(uint64_t delta = 1) {
+    MetricsRegistry* m = CurrentMetrics();
+    if (m == nullptr) return;
+    if (m != registry_ || m->generation() != generation_) Rebind(m);
+    counter_->Increment(delta);
+  }
+
+ private:
+  void Rebind(MetricsRegistry* m) {
+    registry_ = m;
+    generation_ = m->generation();
+    counter_ = m->counter(name_);
+  }
+
+  const char* name_;
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t generation_ = 0;
+  Counter* counter_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  explicit constexpr HistogramHandle(const char* name) : name_(name) {}
+
+  void Record(uint64_t value) {
+    MetricsRegistry* m = CurrentMetrics();
+    if (m == nullptr) return;
+    if (m != registry_ || m->generation() != generation_) Rebind(m);
+    histogram_->Record(value);
+  }
+
+ private:
+  void Rebind(MetricsRegistry* m) {
+    registry_ = m;
+    generation_ = m->generation();
+    histogram_ = m->histogram(name_);
+  }
+
+  const char* name_;
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t generation_ = 0;
+  Histogram* histogram_ = nullptr;
+};
 
 // Records elapsed microseconds into histogram `name` on destruction.  The
 // decision (and the clock read) happen only if a registry is current at

@@ -10,10 +10,18 @@ void Tracer::Clear() {
   root_.children.clear();
   root_.counters.clear();
   current_ = &root_;
+  span_count_ = 0;
+  depth_ = 0;
+  dropped_spans_ = 0;
   epoch_.Reset();
 }
 
 TraceSpan* Tracer::Begin(std::string_view name) {
+  if (span_count_ >= max_spans_ || depth_ >= max_depth_) {
+    ++dropped_spans_;
+    IncrementCounter("trace.dropped_spans");
+    return nullptr;
+  }
   auto span = std::make_unique<TraceSpan>();
   span->name = std::string(name);
   span->start_us = epoch_.ElapsedMicros();
@@ -21,6 +29,8 @@ TraceSpan* Tracer::Begin(std::string_view name) {
   TraceSpan* raw = span.get();
   current_->children.push_back(std::move(span));
   current_ = raw;
+  ++span_count_;
+  ++depth_;
   return raw;
 }
 
@@ -30,9 +40,14 @@ void Tracer::End(TraceSpan* span) {
   // not user input), re-anchor at the ended span's parent rather than
   // walking below the root.
   current_ = span->parent != nullptr ? span->parent : &root_;
+  if (depth_ > 0) --depth_;
 }
 
 void ScopedSpan::AddCount(std::string_view key, int64_t value) {
+  if (ring_ != nullptr && value >= 0) {
+    ring_->Append(EventType::kCounter, InternName(key),
+                  static_cast<uint64_t>(value));
+  }
   if (span_ == nullptr) return;
   for (auto& [k, v] : span_->counters) {
     if (k == key) {

@@ -31,6 +31,7 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/ring.h"
 
 namespace xmlac::obs {
 
@@ -48,12 +49,29 @@ struct TraceSpan {
 
 class Tracer {
  public:
+  // Default memory bounds: a trace stops growing (spans are counted in
+  // trace.dropped_spans instead) past these.  A pathological request —
+  // a deeply recursive XPath or a reannotation touching every node —
+  // degrades to a truncated trace, never to unbounded allocation.
+  static constexpr size_t kDefaultMaxSpans = 1 << 16;
+  static constexpr size_t kDefaultMaxDepth = 256;
+
   Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  // Caps on retained spans and nesting depth.  Takes effect for spans
+  // opened after the call; 0 means "drop everything".
+  void set_limits(size_t max_spans, size_t max_depth) {
+    max_spans_ = max_spans;
+    max_depth_ = max_depth;
+  }
+  // Spans refused (over either limit) since construction or last Clear().
+  // Also reported to the current metrics registry as "trace.dropped_spans".
+  uint64_t dropped_spans() const { return dropped_spans_; }
 
   // Drops all recorded spans and restarts the epoch.
   void Clear();
@@ -73,6 +91,11 @@ class Tracer {
   TraceSpan root_;
   TraceSpan* current_;  // innermost open span
   Timer epoch_;
+  size_t max_spans_ = kDefaultMaxSpans;
+  size_t max_depth_ = kDefaultMaxDepth;
+  size_t span_count_ = 0;
+  size_t depth_ = 0;
+  uint64_t dropped_spans_ = 0;
 };
 
 // Thread-local current tracer (see CurrentMetrics for the rationale).
@@ -80,10 +103,22 @@ Tracer* CurrentTracer();
 
 class ScopedSpan {
  public:
-  // No-op when `tracer` is null or disabled.
+  // No-op when `tracer` is null or disabled AND no event ring is installed
+  // on this thread.  With a ring installed (a serve worker under the flight
+  // recorder), the span additionally emits kSpanBegin/kSpanEnd ring events
+  // — this is how every existing instrumentation site across the engine,
+  // XPath evaluator and backends feeds the recorder with zero per-site
+  // changes.  The fully-disabled path still touches neither the clock nor
+  // the name.
   ScopedSpan(Tracer* tracer, std::string_view name)
       : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
-        span_(tracer_ != nullptr ? tracer_->Begin(name) : nullptr) {}
+        span_(tracer_ != nullptr ? tracer_->Begin(name) : nullptr),
+        ring_(CurrentRing()) {
+    if (ring_ != nullptr) {
+      name_id_ = InternName(name);
+      ring_->Append(EventType::kSpanBegin, name_id_, 0);
+    }
+  }
 
   // Convenience: attach to the thread-local current tracer.
   explicit ScopedSpan(std::string_view name)
@@ -91,6 +126,7 @@ class ScopedSpan {
 
   ~ScopedSpan() {
     if (span_ != nullptr) tracer_->End(span_);
+    if (ring_ != nullptr) ring_->Append(EventType::kSpanEnd, name_id_, 0);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -104,6 +140,8 @@ class ScopedSpan {
  private:
   Tracer* tracer_;
   TraceSpan* span_;
+  EventRing* ring_;
+  uint16_t name_id_ = 0;
 };
 
 // Installs a metrics registry and tracer as the thread's current reporting

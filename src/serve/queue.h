@@ -36,6 +36,7 @@ class BoundedQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (items_.size() > watermark_) watermark_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -48,6 +49,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > watermark_) watermark_ = items_.size();
     }
     not_empty_.notify_one();
     return true;
@@ -104,6 +106,13 @@ class BoundedQueue {
     return items_.size();
   }
 
+  // Highest depth ever reached — the backpressure headroom signal surfaced
+  // in Server::HealthSnapshot().
+  size_t watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return watermark_;
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -112,6 +121,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   const size_t capacity_;
+  size_t watermark_ = 0;
   bool closed_ = false;
 };
 

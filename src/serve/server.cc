@@ -1,6 +1,10 @@
 #include "serve/server.h"
 
+#include <chrono>
+#include <sstream>
+
 #include "engine/native_backend.h"
+#include "obs/chrome_export.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -75,11 +79,21 @@ Status Server::Start() {
   obs::SetGauge("serve.snapshot.epoch", 1);
   started_ = true;
   running_.store(true, std::memory_order_release);
+  if (options_.flight_recorder) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(options_.recorder);
+    for (size_t i = 0; i < options_.workers; ++i) {
+      rings_.push_back(recorder_->AddRing("worker-" + std::to_string(i)));
+    }
+    rings_.push_back(recorder_->AddRing("writer"));
+  }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   writer_ = std::thread([this] { WriterLoop(); });
+  if (recorder_ != nullptr) {
+    drainer_ = std::thread([this] { DrainerLoop(); });
+  }
   return Status::OK();
 }
 
@@ -117,7 +131,30 @@ void Server::Stop() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   if (writer_.joinable()) writer_.join();
+  if (drainer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(drainer_mu_);
+      drainer_stop_ = true;
+    }
+    drainer_cv_.notify_all();
+    drainer_.join();
+  }
+  // Producers are all joined: one last drain makes the recorder's view
+  // complete before anyone dumps or inspects it.
+  if (recorder_ != nullptr) recorder_->Drain();
   running_.store(false, std::memory_order_release);
+}
+
+void Server::DrainerLoop() {
+  std::unique_lock<std::mutex> lock(drainer_mu_);
+  while (!drainer_stop_) {
+    drainer_cv_.wait_for(lock,
+                         std::chrono::milliseconds(options_.drain_interval_ms));
+    if (drainer_stop_) break;
+    lock.unlock();
+    recorder_->Drain();
+    lock.lock();
+  }
 }
 
 std::future<ServeResponse> Server::SubmitQuery(std::string_view subject,
@@ -179,8 +216,67 @@ Result<obs::MetricsSnapshot> Server::SubjectMetrics(
   return ac->SnapshotMetrics();
 }
 
+ServerHealth Server::HealthSnapshot() {
+  ServerHealth h;
+  h.epoch = epoch_.load(std::memory_order_acquire);
+  h.read_queue_depth = read_queue_.size();
+  h.read_queue_watermark = read_queue_.watermark();
+  h.write_queue_depth = write_queue_.size();
+  h.write_queue_watermark = write_queue_.watermark();
+  if (recorder_ != nullptr) {
+    recorder_->Drain();  // fold in everything appended so far
+    h.recorder = recorder_->Health();
+    h.recorder_epoch = h.recorder.last_epoch;
+    // Epoch 1 is published by Start(), before any ring exists; the
+    // recorder first sees an epoch at the first update batch.  Lag is only
+    // meaningful once it has.
+    h.epoch_lag =
+        h.recorder_epoch > 0 && h.epoch > h.recorder_epoch
+            ? h.epoch - h.recorder_epoch
+            : 0;
+  }
+  return h;
+}
+
+Status Server::DumpFlightRecorder(const std::string& dir) {
+  if (recorder_ == nullptr) {
+    return Status::Internal("flight recorder disabled");
+  }
+  recorder_->Drain();
+  return obs::WriteFlightRecorderDump(*recorder_, dir);
+}
+
+std::string HealthText(const ServerHealth& health) {
+  std::ostringstream os;
+  os << "serve.health.epoch " << health.epoch << '\n';
+  os << "serve.health.epoch_lag " << health.epoch_lag << '\n';
+  os << "serve.health.read_queue.depth " << health.read_queue_depth << '\n';
+  os << "serve.health.read_queue.watermark " << health.read_queue_watermark
+     << '\n';
+  os << "serve.health.recorder_epoch " << health.recorder_epoch << '\n';
+  os << "serve.health.write_queue.depth " << health.write_queue_depth << '\n';
+  os << "serve.health.write_queue.watermark " << health.write_queue_watermark
+     << '\n';
+  os << obs::HealthToText(health.recorder);
+  return os.str();
+}
+
 void Server::WorkerLoop(size_t worker_index) {
   obs::Tracer* tracer = tracers_[worker_index].get();
+  // The registry is owned by this server and instruments are
+  // stable-addressed, so resolve every per-request instrument ONCE here
+  // instead of paying a registry lock + map lookup per increment.
+  obs::Counter* requests = metrics_.counter("serve.read.requests");
+  obs::Counter* errors = metrics_.counter("serve.read.errors");
+  obs::Counter* granted_c = metrics_.counter("serve.read.granted");
+  obs::Counter* denied = metrics_.counter("serve.read.denied");
+  obs::Gauge* depth_gauge = metrics_.gauge("serve.queue.read_depth");
+  obs::Histogram* latency = metrics_.histogram("serve.request.latency_us");
+  obs::EventRing* ring =
+      worker_index < rings_.size() ? rings_[worker_index] : nullptr;
+  obs::ScopedRing ring_context(ring);
+  const uint16_t queue_name =
+      ring != nullptr ? obs::InternName("read_queue") : 0;
   while (true) {
     std::optional<ReadTask> task = read_queue_.Pop();
     if (!task.has_value()) break;  // closed and drained
@@ -189,90 +285,133 @@ void Server::WorkerLoop(size_t worker_index) {
     // read path and the XPath evaluator report would silently drop, since
     // no AccessController runs on this thread to install sinks.
     obs::ScopedObsContext obs_context(&metrics_, tracer);
-    obs::ScopedSpan span(tracer, "serve.read");
-    obs::SetGauge("serve.queue.read_depth",
-                  static_cast<int64_t>(read_queue_.size()));
-    obs::IncrementCounter("serve.read.requests");
-    SnapshotPtr snapshot = snapshot_.load();
+    const size_t depth = read_queue_.size();
+    if (ring != nullptr) {
+      // The queue snapshot rides in the begin event (name = queue, arg =
+      // depth): one ring append instead of two on the per-request path.
+      ring->Append(obs::EventType::kRequestBegin, queue_name, depth,
+                   static_cast<uint8_t>(obs::RequestClass::kQueryNative));
+    }
     ServeResponse resp;
-    if (snapshot == nullptr) {
-      resp.status = Status::Internal("no snapshot published");
-    } else {
-      resp.epoch = snapshot->epoch;
-      auto outcome = QuerySnapshot(*snapshot, task->subject, task->query);
-      if (!outcome.ok()) {
-        resp.status = outcome.status();
+    {
+      obs::ScopedSpan span(tracer, "serve.read");
+      depth_gauge->Set(static_cast<int64_t>(depth));
+      requests->Increment();
+      SnapshotPtr snapshot = snapshot_.load();
+      if (snapshot == nullptr) {
+        resp.status = Status::Internal("no snapshot published");
       } else {
-        resp.granted = outcome->granted;
-        resp.selected = outcome->selected;
-        resp.accessible = outcome->accessible;
+        resp.epoch = snapshot->epoch;
+        auto outcome = QuerySnapshot(*snapshot, task->subject, task->query);
+        if (!outcome.ok()) {
+          resp.status = outcome.status();
+        } else {
+          resp.granted = outcome->granted;
+          resp.selected = outcome->selected;
+          resp.accessible = outcome->accessible;
+        }
+      }
+      if (!resp.status.ok()) {
+        errors->Increment();
+      } else if (resp.granted) {
+        granted_c->Increment();
+      } else {
+        denied->Increment();
       }
     }
-    if (!resp.status.ok()) {
-      obs::IncrementCounter("serve.read.errors");
-    } else if (resp.granted) {
-      obs::IncrementCounter("serve.read.granted");
-    } else {
-      obs::IncrementCounter("serve.read.denied");
+    const uint64_t latency_us =
+        static_cast<uint64_t>(task->queued.ElapsedMicros());
+    latency->Record(latency_us);
+    if (ring != nullptr) {
+      ring->Append(obs::EventType::kRequestEnd, 0, latency_us,
+                   static_cast<uint8_t>(obs::RequestClass::kQueryNative));
     }
-    obs::RecordHistogram("serve.request.latency_us",
-                         static_cast<uint64_t>(task->queued.ElapsedMicros()));
     task->done.set_value(std::move(resp));
   }
 }
 
 void Server::WriterLoop() {
   obs::Tracer* tracer = tracers_.back().get();
+  // Hoisted instrument handles, same rationale as WorkerLoop.
+  obs::Counter* batches = metrics_.counter("serve.batches");
+  obs::Counter* applied = metrics_.counter("serve.updates.applied");
+  obs::Counter* write_errors = metrics_.counter("serve.write.errors");
+  obs::Counter* published = metrics_.counter("serve.snapshot.published");
+  obs::Gauge* depth_gauge = metrics_.gauge("serve.queue.write_depth");
+  obs::Gauge* epoch_gauge = metrics_.gauge("serve.snapshot.epoch");
+  obs::Histogram* batch_size_h = metrics_.histogram("serve.batch.size");
+  obs::Histogram* update_latency =
+      metrics_.histogram("serve.update.latency_us");
+  obs::EventRing* ring = rings_.empty() ? nullptr : rings_.back();
+  obs::ScopedRing ring_context(ring);
+  const uint16_t queue_name =
+      ring != nullptr ? obs::InternName("write_queue") : 0;
   std::vector<WriteTask> batch;
   while (true) {
     batch.clear();
     if (write_queue_.PopBatch(&batch, options_.max_batch) == 0) break;
     obs::ScopedObsContext obs_context(&metrics_, tracer);
-    obs::ScopedSpan span(tracer, "serve.write_batch");
-    obs::SetGauge("serve.queue.write_depth",
-                  static_cast<int64_t>(write_queue_.size()));
-    obs::RecordHistogram("serve.batch.size", batch.size());
-    obs::IncrementCounter("serve.batches");
-    obs::IncrementCounter("serve.updates.applied", batch.size());
-
-    std::vector<engine::BatchOp> ops;
-    ops.reserve(batch.size());
-    for (WriteTask& t : batch) ops.push_back(std::move(t.op));
-
+    Timer batch_timer;
+    if (ring != nullptr) {
+      // The whole coalesced batch — trigger evaluation, re-annotation,
+      // publication — is one request on the writer's timeline; the queue
+      // snapshot rides in the begin event (name = queue, arg = depth).
+      ring->Append(obs::EventType::kRequestBegin, queue_name,
+                   write_queue_.size(),
+                   static_cast<uint8_t>(obs::RequestClass::kUpdateNative));
+    }
     ServeResponse resp;
-    auto stats = controller_.ApplyBatch(ops);
-    if (!stats.ok()) {
-      resp.status = stats.status();
-      obs::IncrementCounter("serve.write.errors", batch.size());
-    } else {
-      uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
-      auto snapshot = BuildSnapshot(controller_, new_epoch);
-      if (!snapshot.ok()) {
-        resp.status = snapshot.status();
+    {
+      obs::ScopedSpan span(tracer, "serve.write_batch");
+      depth_gauge->Set(static_cast<int64_t>(write_queue_.size()));
+      batch_size_h->Record(batch.size());
+      batches->Increment();
+      applied->Increment(batch.size());
+
+      std::vector<engine::BatchOp> ops;
+      ops.reserve(batch.size());
+      for (WriteTask& t : batch) ops.push_back(std::move(t.op));
+
+      auto stats = controller_.ApplyBatch(ops);
+      if (!stats.ok()) {
+        resp.status = stats.status();
+        write_errors->Increment(batch.size());
       } else {
-        // Publication point: readers picking up the pointer from here on
-        // see the whole batch; readers holding the old pointer keep an
-        // unchanged pre-batch view.
-        snapshot_.store(std::move(*snapshot));
-        epoch_.store(new_epoch, std::memory_order_release);
-        obs::IncrementCounter("serve.snapshot.published");
-        obs::SetGauge("serve.snapshot.epoch",
-                      static_cast<int64_t>(new_epoch));
-        resp.epoch = new_epoch;
-        resp.batch_size = batch.size();
-        for (const auto& [name, subject_stats] : *stats) {
-          resp.rules_triggered += subject_stats.rules_triggered;
+        uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+        auto snapshot = BuildSnapshot(controller_, new_epoch);
+        if (!snapshot.ok()) {
+          resp.status = snapshot.status();
+        } else {
+          // Publication point: readers picking up the pointer from here on
+          // see the whole batch; readers holding the old pointer keep an
+          // unchanged pre-batch view.
+          snapshot_.store(std::move(*snapshot));
+          epoch_.store(new_epoch, std::memory_order_release);
+          published->Increment();
+          epoch_gauge->Set(static_cast<int64_t>(new_epoch));
+          if (ring != nullptr) {
+            ring->Append(obs::EventType::kEpochPublish, 0, new_epoch);
+          }
+          resp.epoch = new_epoch;
+          resp.batch_size = batch.size();
+          for (const auto& [name, subject_stats] : *stats) {
+            resp.rules_triggered += subject_stats.rules_triggered;
+          }
         }
       }
+      if (span.active()) {
+        span.AddCount("batch_size", static_cast<int64_t>(batch.size()));
+        span.AddCount("rules_triggered",
+                      static_cast<int64_t>(resp.rules_triggered));
+      }
     }
-    if (span.active()) {
-      span.AddCount("batch_size", static_cast<int64_t>(batch.size()));
-      span.AddCount("rules_triggered",
-                    static_cast<int64_t>(resp.rules_triggered));
+    if (ring != nullptr) {
+      ring->Append(obs::EventType::kRequestEnd, 0,
+                   static_cast<uint64_t>(batch_timer.ElapsedMicros()),
+                   static_cast<uint8_t>(obs::RequestClass::kUpdateNative));
     }
     for (WriteTask& t : batch) {
-      obs::RecordHistogram("serve.update.latency_us",
-                           static_cast<uint64_t>(t.queued.ElapsedMicros()));
+      update_latency->Record(static_cast<uint64_t>(t.queued.ElapsedMicros()));
       t.done.set_value(resp);
     }
   }

@@ -33,9 +33,11 @@
 // dropping.  New serve.* metric names are cataloged in docs/serving.md.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -45,6 +47,8 @@
 #include "engine/access_controller.h"
 #include "engine/multi_subject.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/ring.h"
 #include "obs/trace.h"
 #include "serve/queue.h"
 #include "serve/snapshot.h"
@@ -65,6 +69,19 @@ struct ServerOptions {
   // (0 = auto, 1 = serial).  See docs/performance.md.
   bool enable_rule_cache = true;
   size_t parallel_subjects = 0;
+  // Always-on flight recorder: each pool thread appends compact binary
+  // events into a lock-free ring; a background drainer folds them into
+  // per-class latency histograms and tail-sampled slow-request traces
+  // (docs/observability.md, "Flight recorder").  Costs one ring append per
+  // span/request on the hot path; CI gates the end-to-end overhead at 5%.
+  bool flight_recorder = true;
+  obs::RecorderOptions recorder;
+  // How often the drainer thread empties the rings.  50ms keeps the
+  // drainer's wakeups negligible even on single-core hosts while staying
+  // well inside the rings' >100ms overwrite horizon; HealthSnapshot() and
+  // DumpFlightRecorder() drain on demand, so freshness doesn't depend on
+  // this cadence.
+  size_t drain_interval_ms = 50;
 };
 
 // What a client gets back for any submitted request.
@@ -84,6 +101,27 @@ struct ServeResponse {
   size_t batch_size = 0;
   size_t rules_triggered = 0;
 };
+
+// Point-in-time operational health of a server: the flight recorder's view
+// (per-class latency distributions, ring drop accounting, retained traces)
+// plus queue and epoch state read directly from the server.  Serializes to
+// the flat "key value" format tools/xmlac_top tails via HealthText().
+struct ServerHealth {
+  uint64_t epoch = 0;
+  // Newest epoch the drainer has seen published (0 until the first update
+  // batch) and how far the recorder's view trails the live epoch.
+  uint64_t recorder_epoch = 0;
+  uint64_t epoch_lag = 0;
+  size_t read_queue_depth = 0;
+  size_t read_queue_watermark = 0;
+  size_t write_queue_depth = 0;
+  size_t write_queue_watermark = 0;
+  obs::RecorderHealth recorder;
+};
+
+// ServerHealth in the flat "key value" line format ("serve.health.*" plus
+// the recorder's "obs.*"/"latency.*"/"queue.*" keys).
+std::string HealthText(const ServerHealth& health);
 
 class Server {
  public:
@@ -148,6 +186,20 @@ class Server {
   // at any time; registries are thread-safe.  NotFound for unknown names.
   Result<obs::MetricsSnapshot> SubjectMetrics(std::string_view subject);
 
+  // Operational health: queue depths and watermarks, epoch lag, ring drop
+  // counts, per-class latency percentiles.  Forces a recorder drain first,
+  // so the answer reflects every event already appended (epoch_lag == 0 on
+  // a quiesced server).  Safe from any thread; works (with zeroed recorder
+  // fields) when the flight recorder is disabled.
+  ServerHealth HealthSnapshot();
+
+  // Dumps the flight recorder (trace.json + health.txt) into `dir`.
+  // Internal error when the recorder is disabled.
+  Status DumpFlightRecorder(const std::string& dir);
+
+  // Null when options().flight_recorder is false.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+
   std::vector<std::string> SubjectNames() const {
     return controller_.SubjectNames();
   }
@@ -167,6 +219,7 @@ class Server {
 
   void WorkerLoop(size_t worker_index);
   void WriterLoop();
+  void DrainerLoop();
 
   ServerOptions options_;
   engine::MultiSubjectController controller_;
@@ -187,6 +240,15 @@ class Server {
   // One tracer per pool thread (tracers are single-threaded by design);
   // index workers.size() belongs to the writer.
   std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+
+  // Flight recorder: one ring per pool thread (same indexing as tracers_),
+  // drained by drainer_ every drain_interval_ms.  Null/empty when disabled.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<obs::EventRing*> rings_;
+  std::thread drainer_;
+  std::mutex drainer_mu_;
+  std::condition_variable drainer_cv_;
+  bool drainer_stop_ = false;
 };
 
 }  // namespace xmlac::serve

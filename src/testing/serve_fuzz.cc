@@ -47,9 +47,17 @@ policy::Policy GeneratePolicy(const xml::Document& doc, Random& rng,
 
 ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
   ServeFuzzResult result;
-  auto fail = [&result](std::string why) {
+  serve::Server* dump_server = nullptr;  // set once the server exists
+  auto fail = [&result, &options, &dump_server](std::string why) {
     result.ok = false;
-    if (result.failure.empty()) result.failure = std::move(why);
+    if (result.failure.empty()) {
+      result.failure = std::move(why);
+      if (!options.flight_recorder_dir.empty() && dump_server != nullptr) {
+        // Best effort: the repro files are the authoritative artifact, the
+        // flight recorder adds the timing story behind the mismatch.
+        (void)dump_server->DumpFlightRecorder(options.flight_recorder_dir);
+      }
+    }
     return result;
   };
 
@@ -83,6 +91,7 @@ ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
   server_options.workers = options.workers;
   server_options.max_batch = options.max_batch;
   serve::Server server(server_options);
+  dump_server = &server;
   Status st = server.LoadParsed(instance.dtd, instance.doc);
   if (!st.ok()) return fail("server Load: " + st.ToString());
   for (size_t i = 0; i < subjects; ++i) {

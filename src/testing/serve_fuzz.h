@@ -34,6 +34,10 @@ struct ServeFuzzOptions {
   // serve::ServerOptions knobs that matter for the schedule.
   size_t workers = 3;
   size_t max_batch = 4;
+  // When non-empty, the server's flight recorder (trace.json + health.txt)
+  // is dumped here on the FIRST failure — the span-level story of the run
+  // that produced the mismatch, saved next to the repro files.
+  std::string flight_recorder_dir;
 };
 
 struct ServeFuzzResult {

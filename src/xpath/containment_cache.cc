@@ -21,17 +21,23 @@ bool ContainmentCache::Contains(const Path& p, const Path& q,
   key.push_back('\t');
   key.append(q_key);
   Shard& shard = ShardFor(key);
-  obs::IncrementCounter("containment.cache.checks");
+  static thread_local obs::CounterHandle checks_metric(
+      "containment.cache.checks");
+  checks_metric.Increment();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.table.find(key);
     if (it != shard.table.end()) {
       ++shard.hits;
-      obs::IncrementCounter("containment.cache.hits");
+      static thread_local obs::CounterHandle hits_metric(
+          "containment.cache.hits");
+      hits_metric.Increment();
       return it->second;
     }
     ++shard.misses;
-    obs::IncrementCounter("containment.cache.misses");
+    static thread_local obs::CounterHandle misses_metric(
+        "containment.cache.misses");
+    misses_metric.Increment();
   }
   // Computed unlocked: Contains is pure, so a racing duplicate computation
   // reaches the same value and the second emplace below is a no-op.

@@ -185,10 +185,14 @@ std::vector<xml::NodeId> Evaluate(const Path& path, const xml::Document& doc) {
   }
   std::vector<NodeId> out = ApplySteps(path, 1, doc, std::move(context));
   if (obs::CurrentMetrics() != nullptr) {
-    obs::IncrementCounter("xpath.evaluations");
-    obs::IncrementCounter("xpath.nodes_visited",
-                          tls_nodes_visited - visited_before);
-    obs::IncrementCounter("xpath.nodes_selected", out.size());
+    static thread_local obs::CounterHandle evaluations("xpath.evaluations");
+    static thread_local obs::CounterHandle nodes_visited(
+        "xpath.nodes_visited");
+    static thread_local obs::CounterHandle nodes_selected(
+        "xpath.nodes_selected");
+    evaluations.Increment();
+    nodes_visited.Increment(tls_nodes_visited - visited_before);
+    nodes_selected.Increment(out.size());
   }
   return out;
 }

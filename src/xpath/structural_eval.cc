@@ -249,11 +249,19 @@ bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node) {
 
 void FlushCounters(const EvalState& s, size_t selected, bool top_level) {
   if (obs::CurrentMetrics() == nullptr) return;
-  if (top_level) obs::IncrementCounter("xpath.evaluations");
-  obs::IncrementCounter("xpath.nodes_visited", s.advances);
-  obs::IncrementCounter("xpath.nodes_selected", selected);
-  obs::IncrementCounter("xpath.structural.joins", s.joins);
-  obs::IncrementCounter("xpath.structural.stream_advances", s.advances);
+  // Cached handles: this flush runs once per (sub)query on the serve read
+  // path, and five name lookups per query showed up in bench_harness_overhead.
+  static thread_local obs::CounterHandle evaluations("xpath.evaluations");
+  static thread_local obs::CounterHandle nodes_visited("xpath.nodes_visited");
+  static thread_local obs::CounterHandle nodes_selected("xpath.nodes_selected");
+  static thread_local obs::CounterHandle joins("xpath.structural.joins");
+  static thread_local obs::CounterHandle advances(
+      "xpath.structural.stream_advances");
+  if (top_level) evaluations.Increment();
+  nodes_visited.Increment(s.advances);
+  nodes_selected.Increment(selected);
+  joins.Increment(s.joins);
+  advances.Increment(s.advances);
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/chrome_export.h"
+
+namespace xmlac::obs {
+namespace {
+
+// --- Minimal JSON syntax checker (same shape as trace_test's) ---------------
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+constexpr uint8_t kQuery =
+    static_cast<uint8_t>(RequestClass::kQueryNative);
+constexpr uint8_t kUpdate =
+    static_cast<uint8_t>(RequestClass::kUpdateNative);
+
+// One request with a two-level span tree, emitted onto `ring`.
+void EmitRequest(EventRing* ring, uint64_t latency_us, uint8_t klass,
+                 uint16_t outer, uint16_t inner) {
+  ring->Append(EventType::kRequestBegin, 0, 0, klass);
+  ring->Append(EventType::kSpanBegin, outer, 0);
+  ring->Append(EventType::kSpanBegin, inner, 0);
+  ring->Append(EventType::kCounter, InternName("frt.count"), 3);
+  ring->Append(EventType::kSpanEnd, inner, 0);
+  ring->Append(EventType::kSpanEnd, outer, 0);
+  ring->Append(EventType::kRequestEnd, 0, latency_us, klass);
+}
+
+TEST(FlightRecorderTest, AssemblesRequestSpanTree) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;  // retain everything with latency >= 1
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("worker-0");
+  uint16_t outer = InternName("frt.outer");
+  uint16_t inner = InternName("frt.inner");
+  EmitRequest(ring, 250, kQuery, outer, inner);
+  recorder.Drain();
+
+  std::vector<RetainedTrace> traces = recorder.RetainedTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  const RetainedTrace& t = traces[0];
+  EXPECT_EQ(t.klass, RequestClass::kQueryNative);
+  EXPECT_EQ(t.latency_us, 250u);
+  EXPECT_EQ(t.ring, 0u);
+  // Spans complete innermost-first; depths reflect nesting.
+  ASSERT_EQ(t.spans.size(), 2u);
+  EXPECT_EQ(t.spans[0].name, inner);
+  EXPECT_EQ(t.spans[0].depth, 1u);
+  EXPECT_EQ(t.spans[1].name, outer);
+  EXPECT_EQ(t.spans[1].depth, 0u);
+  EXPECT_LE(t.spans[1].start_ns, t.spans[0].start_ns);
+  ASSERT_EQ(t.counters.size(), 1u);
+  EXPECT_EQ(NameOf(t.counters[0].first), "frt.count");
+  EXPECT_EQ(t.counters[0].second, 3u);
+}
+
+TEST(FlightRecorderTest, FixedThresholdDropsFastRequests) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 100;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  EmitRequest(ring, 50, kQuery, s, s);   // fast: histogram only
+  EmitRequest(ring, 150, kQuery, s, s);  // slow: retained
+  recorder.Drain();
+  RecorderHealth h = recorder.Health();
+  EXPECT_EQ(h.requests_seen, 2u);
+  std::vector<RetainedTrace> traces = recorder.RetainedTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].latency_us, 150u);
+  // Both latencies landed in the class histogram regardless of retention.
+  size_t qn = static_cast<size_t>(RequestClass::kQueryNative);
+  EXPECT_EQ(h.latency_us[qn].count, 2u);
+  EXPECT_EQ(h.latency_us[qn].min, 50u);
+  EXPECT_EQ(h.latency_us[qn].max, 150u);
+}
+
+TEST(FlightRecorderTest, ClassesKeepSeparateHistograms) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1000000;  // retain nothing
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  EmitRequest(ring, 10, kQuery, s, s);
+  EmitRequest(ring, 20, kQuery, s, s);
+  EmitRequest(ring, 999, kUpdate, s, s);
+  recorder.Drain();
+  RecorderHealth h = recorder.Health();
+  EXPECT_EQ(h.latency_us[static_cast<size_t>(RequestClass::kQueryNative)].count,
+            2u);
+  const HistogramData& up =
+      h.latency_us[static_cast<size_t>(RequestClass::kUpdateNative)];
+  EXPECT_EQ(up.count, 1u);
+  EXPECT_EQ(up.max, 999u);
+  EXPECT_TRUE(recorder.RetainedTraces().empty());
+}
+
+TEST(FlightRecorderTest, RetainedTracesAreBoundedOldestFirstEviction) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;
+  opt.max_retained_traces = 3;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  for (uint64_t i = 1; i <= 10; ++i) EmitRequest(ring, i, kQuery, s, s);
+  recorder.Drain();
+  std::vector<RetainedTrace> traces = recorder.RetainedTraces();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].latency_us, 8u);  // 1..7 evicted
+  EXPECT_EQ(traces[2].latency_us, 10u);
+  EXPECT_EQ(recorder.Health().evicted_traces, 7u);
+}
+
+TEST(FlightRecorderTest, AdaptiveModeRetainsEverythingUntilWarm) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 0;  // adaptive
+  opt.adaptive_warmup = 4;
+  opt.adaptive_percentile = 0.99;
+  opt.max_retained_traces = 100;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  // Warmup phase: all retained (the last lands in the tail anyway).
+  for (uint64_t i = 0; i < 3; ++i) EmitRequest(ring, 10, kQuery, s, s);
+  EmitRequest(ring, 1000, kQuery, s, s);
+  recorder.Drain();
+  EXPECT_EQ(recorder.RetainedTraces().size(), 4u);
+  // Warm: typical requests sit far below the trailing p99 (pinned near the
+  // 1000us outlier) and are NOT retained; a new extreme one is.
+  for (uint64_t i = 0; i < 20; ++i) EmitRequest(ring, 10, kQuery, s, s);
+  recorder.Drain();
+  EXPECT_EQ(recorder.RetainedTraces().size(), 4u);
+  EmitRequest(ring, 100000, kQuery, s, s);
+  recorder.Drain();
+  EXPECT_EQ(recorder.RetainedTraces().size(), 5u);
+  EXPECT_EQ(recorder.Health().requests_seen, 25u);
+}
+
+TEST(FlightRecorderTest, EpochAndQueueEventsFoldIntoHealth) {
+  FlightRecorder recorder;
+  EventRing* ring = recorder.AddRing("writer");
+  uint16_t q = InternName("frt.queue");
+  ring->Append(EventType::kQueueDepth, q, 5);
+  ring->Append(EventType::kEpochPublish, 0, 7);
+  ring->Append(EventType::kQueueDepth, q, 2);
+  ring->Append(EventType::kEpochPublish, 0, 9);
+  recorder.Drain();
+  RecorderHealth h = recorder.Health();
+  EXPECT_EQ(h.last_epoch, 9u);
+  ASSERT_TRUE(h.queues.count("frt.queue"));
+  EXPECT_EQ(h.queues["frt.queue"].depth, 2u);
+  EXPECT_EQ(h.queues["frt.queue"].watermark, 5u);
+}
+
+TEST(FlightRecorderTest, LostEndEventAbandonsHalfRequest) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  // Begin without end (end lost to an overwrite), then a clean request.
+  ring->Append(EventType::kRequestBegin, 0, 0, kQuery);
+  ring->Append(EventType::kSpanBegin, s, 0);
+  EmitRequest(ring, 42, kQuery, s, s);
+  recorder.Drain();
+  std::vector<RetainedTrace> traces = recorder.RetainedTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].latency_us, 42u);
+  EXPECT_EQ(traces[0].spans.size(), 2u);  // only the clean request's spans
+}
+
+TEST(FlightRecorderTest, SpanCapCountsDroppedSpans) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;
+  opt.max_trace_spans = 2;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  ring->Append(EventType::kRequestBegin, 0, 0, kQuery);
+  for (int i = 0; i < 5; ++i) {
+    ring->Append(EventType::kSpanBegin, s, 0);
+    ring->Append(EventType::kSpanEnd, s, 0);
+  }
+  ring->Append(EventType::kRequestEnd, 0, 99, kQuery);
+  recorder.Drain();
+  std::vector<RetainedTrace> traces = recorder.RetainedTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].spans.size(), 2u);
+  EXPECT_EQ(traces[0].dropped_spans, 3u);
+}
+
+TEST(ChromeExportTest, TraceJsonIsValidAndNamesResolve) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("worker-0");
+  uint16_t outer = InternName("frt.chrome.outer");
+  uint16_t inner = InternName("frt.chrome.inner");
+  EmitRequest(ring, 123, kQuery, outer, inner);
+  recorder.Drain();
+  std::string json =
+      ChromeTraceJson(recorder.RetainedTraces(), recorder.RingLabels());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("frt.chrome.outer"), std::string::npos);
+  EXPECT_NE(json.find("frt.chrome.inner"), std::string::npos);
+  EXPECT_NE(json.find("request query.native"), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(ChromeExportTest, EmptyRecorderStillExportsValidJson) {
+  FlightRecorder recorder;
+  std::string json =
+      ChromeTraceJson(recorder.RetainedTraces(), recorder.RingLabels());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(ChromeExportTest, HealthTextIsFlatKeyValueLines) {
+  RecorderOptions opt;
+  opt.slow_threshold_us = 1;
+  FlightRecorder recorder(opt);
+  EventRing* ring = recorder.AddRing("w");
+  uint16_t s = InternName("frt.s");
+  EmitRequest(ring, 64, kQuery, s, s);
+  recorder.Drain();
+  std::string text = HealthToText(recorder.Health());
+  EXPECT_NE(text.find("obs.ring.appended "), std::string::npos);
+  EXPECT_NE(text.find("obs.ring.dropped 0"), std::string::npos);
+  EXPECT_NE(text.find("obs.recorder.requests_seen 1"), std::string::npos);
+  EXPECT_NE(text.find("latency.query.native.count 1"), std::string::npos);
+  EXPECT_NE(text.find("latency.query.native.p50_us 64"), std::string::npos);
+  // Every line is exactly "key value".
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "text must be newline-terminated";
+    std::string line = text.substr(start, end - start);
+    size_t space = line.find(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind(' '), space) << line;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::obs

@@ -70,6 +70,119 @@ TEST(HistogramTest, PercentileOrdersAcrossBuckets) {
   EXPECT_LE(d.Percentile(0.99), 1000.0);
 }
 
+TEST(HistogramTest, PercentileExactForSingleValueBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  // Bucket 1 is [1, 1]: a bucket holding one distinct value is exact.
+  for (int i = 0; i < 50; ++i) h->Record(1);
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(d.Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(0.99), 1.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  // All in bucket 3: [4, 7].  A midpoint-only estimator would return the
+  // same value for every percentile; interpolation must spread them.
+  h->Record(4);
+  h->Record(5);
+  h->Record(6);
+  h->Record(7);
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  double p25 = d.Percentile(0.25);
+  double p50 = d.Percentile(0.5);
+  double p99 = d.Percentile(0.99);
+  EXPECT_LT(p25, p50);
+  EXPECT_LT(p50, p99);
+  EXPECT_GE(p25, 4.0);
+  EXPECT_LE(p99, 7.0);
+  // p50 should land near the geometric middle of [4, 7], not at an edge.
+  EXPECT_GT(p50, 4.5);
+  EXPECT_LT(p50, 6.5);
+}
+
+TEST(HistogramTest, PercentilePinsTailAcrossBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  for (int i = 0; i < 99; ++i) h->Record(10);
+  h->Record(100000);
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  // p50 and p99 both rank inside the dense [8,16) bucket: the estimate must
+  // stay within that bucket's observed range [10, 15] and never be pulled
+  // toward the outlier.  p100 must reach the outlier's bucket.
+  EXPECT_GE(d.Percentile(0.5), 10.0);
+  EXPECT_LE(d.Percentile(0.5), 15.0);
+  EXPECT_GE(d.Percentile(0.99), 10.0);
+  EXPECT_LE(d.Percentile(0.99), 15.0);
+  EXPECT_GT(d.Percentile(1.0), 10000.0);
+  EXPECT_LE(d.Percentile(1.0), 100000.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneInP) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h");
+  for (int i = 1; i <= 1000; ++i) h->Record(static_cast<uint64_t>(i));
+  HistogramData d = reg.Snapshot().histograms.at("h");
+  double prev = 0.0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    double v = d.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+    prev = v;
+  }
+  // Sanity: the estimates track the true quantiles of 1..1000 loosely
+  // (log-bucket resolution, so allow a factor-of-two band).
+  EXPECT_GT(d.Percentile(0.5), 250.0);
+  EXPECT_LT(d.Percentile(0.5), 1000.0);
+}
+
+TEST(CounterHandleTest, ResolvesLazilyAndRebinds) {
+  MetricsRegistry first;
+  CounterHandle handle("handle.test");
+  {
+    ScopedMetrics ctx(&first);
+    handle.Increment(3);
+    handle.Increment();
+  }
+  EXPECT_EQ(first.Snapshot().counters.at("handle.test"), 4u);
+  // A different registry must not receive increments through a stale pointer.
+  MetricsRegistry second;
+  {
+    ScopedMetrics ctx(&second);
+    handle.Increment(10);
+  }
+  EXPECT_EQ(first.Snapshot().counters.at("handle.test"), 4u);
+  EXPECT_EQ(second.Snapshot().counters.at("handle.test"), 10u);
+}
+
+TEST(CounterHandleTest, NoRegistryIsANoOp) {
+  ASSERT_EQ(CurrentMetrics(), nullptr);
+  CounterHandle handle("handle.noop");
+  handle.Increment(5);  // must not crash
+  HistogramHandle hist("handle.noop_hist");
+  hist.Record(5);  // must not crash
+}
+
+TEST(HistogramHandleTest, ResolvesAndRebinds) {
+  MetricsRegistry first;
+  HistogramHandle handle("handle.hist");
+  {
+    ScopedMetrics ctx(&first);
+    handle.Record(8);
+    handle.Record(16);
+  }
+  EXPECT_EQ(first.Snapshot().histograms.at("handle.hist").count, 2u);
+  MetricsRegistry second;
+  {
+    ScopedMetrics ctx(&second);
+    handle.Record(32);
+  }
+  EXPECT_EQ(first.Snapshot().histograms.at("handle.hist").count, 2u);
+  EXPECT_EQ(second.Snapshot().histograms.at("handle.hist").count, 1u);
+}
+
 TEST(RegistryTest, GetOrCreateReturnsStableHandles) {
   MetricsRegistry reg;
   Counter* a = reg.counter("a");

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/io.h"
 #include "engine/access_controller.h"
 #include "engine/multi_subject.h"
 #include "engine/native_backend.h"
@@ -340,6 +341,131 @@ TEST(ServeTest, PreStartSubmissionsCoalesceIntoOneBatch) {
   }
   EXPECT_EQ(serial_reannotations, 6 * workload::kHospitalSubjectCount);
   EXPECT_LT(batched_reannotations, serial_reannotations);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder / health snapshot (tentpole: the recorder's view must
+// reconcile exactly with a serial tally of what the test submitted)
+
+TEST(ServeHealthTest, HealthSnapshotMatchesSerialTally) {
+  constexpr size_t kReads = 32;
+  ServerOptions opt = SmallOptions(/*workers=*/2, /*max_batch=*/4);
+  opt.recorder.slow_threshold_us = 1;  // retain every request
+  auto server = MakeHospitalServer(opt);
+  ASSERT_TRUE(server->Start().ok());
+
+  for (size_t i = 0; i < kReads; ++i) {
+    ServeResponse r = server->Query("doctor", "//patient");
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+  uint64_t batches = 0;
+  uint64_t last_epoch = 0;
+  for (int i = 0; i < 3; ++i) {
+    char psn[8];
+    std::snprintf(psn, sizeof(psn), "%03d", i);
+    ServeResponse r =
+        server->Update(std::string("//patient[psn=\"") + psn + "\"]");
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    if (r.epoch != last_epoch) {
+      ++batches;
+      last_epoch = r.epoch;
+    }
+  }
+
+  ServerHealth health = server->HealthSnapshot();
+
+  // Request accounting is exact: the recorder saw every read as a
+  // query.native request and every published batch as an update.native one.
+  constexpr size_t kQn = static_cast<size_t>(obs::RequestClass::kQueryNative);
+  constexpr size_t kUn = static_cast<size_t>(obs::RequestClass::kUpdateNative);
+  EXPECT_EQ(health.recorder.latency_us[kQn].count, kReads);
+  EXPECT_EQ(health.recorder.latency_us[kUn].count, batches);
+  EXPECT_EQ(health.recorder.requests_seen, kReads + batches);
+
+  // Percentiles of the streamed histogram are ordered and within range.
+  const obs::HistogramData& reads = health.recorder.latency_us[kQn];
+  double p50 = reads.Percentile(0.5);
+  double p95 = reads.Percentile(0.95);
+  double p99 = reads.Percentile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(reads.max));
+  EXPECT_GE(p50, static_cast<double>(reads.min));
+
+  // Queue watermarks: at least one request crossed each queue, and no
+  // watermark can exceed capacity.
+  EXPECT_GE(health.read_queue_watermark, 1u);
+  EXPECT_LE(health.read_queue_watermark, opt.read_queue_capacity);
+  EXPECT_GE(health.write_queue_watermark, 1u);
+  EXPECT_EQ(health.read_queue_depth, 0u);  // everything answered
+
+  // Nothing was dropped at this load, and the drained view is current:
+  // the writer published `last_epoch` and HealthSnapshot() drains first.
+  EXPECT_EQ(health.recorder.events_dropped, 0u);
+  EXPECT_GT(health.recorder.events_appended, 0u);
+  EXPECT_EQ(health.epoch, last_epoch);
+  EXPECT_EQ(health.recorder.last_epoch, last_epoch);
+  EXPECT_EQ(health.recorder_epoch, last_epoch);
+  EXPECT_EQ(health.epoch_lag, 0u);
+
+  // Every request was over the 1us retention threshold; retained traces are
+  // bounded by the options but the eviction counter accounts for the rest.
+  EXPECT_GT(health.recorder.retained_traces, 0u);
+  EXPECT_LE(health.recorder.retained_traces, opt.recorder.max_retained_traces);
+  EXPECT_EQ(health.recorder.retained_traces + health.recorder.evicted_traces,
+            kReads + batches);
+
+  // The flat export carries the same numbers.
+  std::string text = HealthText(health);
+  EXPECT_NE(text.find("serve.health.epoch_lag 0"), std::string::npos);
+  EXPECT_NE(text.find("latency.query.native.count 32"), std::string::npos);
+  EXPECT_NE(text.find("obs.ring.dropped 0"), std::string::npos);
+  EXPECT_NE(text.find("queue.read_queue.watermark"), std::string::npos);
+
+  server->Stop();
+}
+
+TEST(ServeHealthTest, DumpFlightRecorderWritesLoadableTrace) {
+  ServerOptions opt = SmallOptions();
+  opt.recorder.slow_threshold_us = 1;
+  auto server = MakeHospitalServer(opt);
+  ASSERT_TRUE(server->Start().ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server->Query("doctor", "//patient").status.ok());
+  }
+  std::string dir = ::testing::TempDir() + "serve_flight_dump";
+  Status dumped = server->DumpFlightRecorder(dir);
+  ASSERT_TRUE(dumped.ok()) << dumped;
+  server->Stop();
+
+  auto trace = ReadFile(dir + "/trace.json");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->front(), '{');
+  EXPECT_EQ(trace->back(), '}');
+  EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace->find("request query.native"), std::string::npos);
+  EXPECT_NE(trace->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace->find("worker-0"), std::string::npos);
+
+  auto health = ReadFile(dir + "/health.txt");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_NE(health->find("obs.ring.appended "), std::string::npos);
+  EXPECT_NE(health->find("latency.query.native.count 4"), std::string::npos);
+}
+
+TEST(ServeHealthTest, RecorderCanBeDisabled) {
+  ServerOptions opt = SmallOptions();
+  opt.flight_recorder = false;
+  auto server = MakeHospitalServer(opt);
+  ASSERT_TRUE(server->Start().ok());
+  ASSERT_TRUE(server->Query("doctor", "//patient").status.ok());
+  EXPECT_EQ(server->flight_recorder(), nullptr);
+  ServerHealth health = server->HealthSnapshot();
+  EXPECT_EQ(health.recorder.requests_seen, 0u);
+  EXPECT_EQ(health.epoch, 1u);
+  EXPECT_FALSE(server->DumpFlightRecorder("/tmp/never").ok());
+  server->Stop();
 }
 
 // ---------------------------------------------------------------------------

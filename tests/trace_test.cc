@@ -190,6 +190,66 @@ TEST(TracerTest, ClearRestartsTheTree) {
   EXPECT_EQ(tracer.root().children[0]->name, "b");
 }
 
+TEST(TracerTest, SpanCountCapDropsExcessSpans) {
+  MetricsRegistry reg;
+  ScopedMetrics metrics(&reg);
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_limits(/*max_spans=*/3, /*max_depth=*/Tracer::kDefaultMaxDepth);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan s(&tracer, "flat");
+    if (i < 3) {
+      EXPECT_TRUE(s.active()) << i;
+    } else {
+      EXPECT_FALSE(s.active()) << i;
+      s.AddCount("ignored", 1);  // dropped span: must be a harmless no-op
+    }
+  }
+  EXPECT_EQ(tracer.root().children.size(), 3u);
+  EXPECT_EQ(tracer.dropped_spans(), 7u);
+  EXPECT_EQ(reg.Snapshot().counters.at("trace.dropped_spans"), 7u);
+}
+
+TEST(TracerTest, DepthCapDropsDeepSpansButKeepsSiblings) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_limits(Tracer::kDefaultMaxSpans, /*max_depth=*/2);
+  {
+    ScopedSpan a(&tracer, "a");
+    ScopedSpan b(&tracer, "b");
+    {
+      ScopedSpan c(&tracer, "c");  // depth 2: refused
+      EXPECT_FALSE(c.active());
+    }
+    // Depth bookkeeping survives the refused span: a sibling at the same
+    // depth is refused too, but closing `b` frees the level again.
+    ScopedSpan c2(&tracer, "c2");
+    EXPECT_FALSE(c2.active());
+  }
+  { ScopedSpan after(&tracer, "after"); EXPECT_TRUE(after.active()); }
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+  const TraceSpan& root = tracer.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "a");
+  EXPECT_TRUE(root.children[0]->children[0]->children.empty());
+  EXPECT_EQ(root.children[1]->name, "after");
+}
+
+TEST(TracerTest, ClearResetsSpanBudget) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_limits(/*max_spans=*/2, /*max_depth=*/8);
+  { ScopedSpan s(&tracer, "a"); }
+  { ScopedSpan s(&tracer, "b"); }
+  { ScopedSpan s(&tracer, "c"); }  // over budget
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  { ScopedSpan s(&tracer, "fresh"); EXPECT_TRUE(s.active()); }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_EQ(tracer.root().children[0]->name, "fresh");
+}
+
 TEST(CurrentTracerTest, ScopedObsContextInstallsBothSinks) {
   EXPECT_EQ(CurrentTracer(), nullptr);
   MetricsRegistry reg;

@@ -248,13 +248,20 @@ int main(int argc, char** argv) {
       serve_options.instance.max_rules = opt.rules;
       serve_options.instance.element_types = opt.element_types;
       serve_options.update_ops = std::max(opt.updates, 4);
+      // On failure the run's flight recorder lands next to the repro
+      // artifacts: the tail-sampled traces show what the pool threads were
+      // doing around the mismatching epoch.
+      serve_options.flight_recorder_dir =
+          opt.repro_dir + "/serve-seed-" + std::to_string(seed) + "-flight";
       tst::ServeFuzzResult result = tst::RunServeFuzz(serve_options);
       if (!result.ok) {
         std::fprintf(stderr,
                      "seed %llu: SERVE MISMATCH\n  %s\n"
+                     "flight recorder: %s\n"
                      "replay: xmlac_fuzz --mode serve --seed %llu --rounds 1\n",
                      static_cast<unsigned long long>(seed),
                      result.failure.c_str(),
+                     serve_options.flight_recorder_dir.c_str(),
                      static_cast<unsigned long long>(seed));
         return 1;
       }

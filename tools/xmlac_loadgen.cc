@@ -14,7 +14,9 @@
 //
 //   xmlac_loadgen --workload xmark --factor 0.01 --requests 5000
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +59,12 @@ struct LoadgenOptions {
   uint64_t seed = 42;
   std::string report_json;
   bool quiet = false;
+  // Flight recorder surface (docs/observability.md, "Flight recorder").
+  bool recorder = true;
+  std::string flight_recorder_dir;  // dump trace.json + health.txt on exit
+  std::string health_file;          // periodically rewritten for xmlac_top
+  int64_t health_interval_ms = 200;
+  uint64_t slow_threshold_us = 0;  // 0 = adaptive trailing p99
 };
 
 int Usage(const char* argv0) {
@@ -75,7 +83,13 @@ int Usage(const char* argv0) {
       "  --factor F                  xmark scale factor (default 0.01)\n"
       "  --seed N                    workload seed (default 42)\n"
       "  --report-json FILE          write summary + metrics as JSON\n"
-      "  --quiet                     summary line only\n",
+      "  --quiet                     summary line only\n"
+      "  --recorder on|off           flight recorder (default on)\n"
+      "  --flight-recorder DIR       dump trace.json + health.txt on exit\n"
+      "  --health-file FILE          rewrite live health stats for xmlac_top\n"
+      "  --health-interval-ms N      health file refresh period (default 200)\n"
+      "  --slow-threshold-us N       retain traces of requests over N us\n"
+      "                              (default 0 = adaptive trailing p99)\n",
       argv0);
   return 2;
 }
@@ -226,6 +240,25 @@ uint64_t CounterValue(const xmlac::obs::MetricsSnapshot& snapshot,
   return it == snapshot.counters.end() ? 0 : it->second;
 }
 
+// Atomic replace (write temp + rename) so xmlac_top never reads a torn
+// half-written health file.
+void WriteHealthFile(Server* server, const std::string& path) {
+  std::string text = xmlac::serve::HealthText(server->HealthSnapshot());
+  std::string tmp = path + ".tmp";
+  Status written = xmlac::WriteFile(tmp, text);
+  if (written.ok()) std::rename(tmp.c_str(), path.c_str());
+}
+
+void HealthSamplerLoop(Server* server, const LoadgenOptions* opt,
+                       const std::atomic<bool>* stop_flag) {
+  const auto interval =
+      std::chrono::milliseconds(std::max<int64_t>(1, opt->health_interval_ms));
+  while (!stop_flag->load(std::memory_order_relaxed)) {
+    WriteHealthFile(server, opt->health_file);
+    std::this_thread::sleep_for(interval);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +286,11 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") opt.seed = std::strtoull(next(arg.c_str()), nullptr, 10);
     else if (arg == "--report-json") opt.report_json = next("--report-json");
     else if (arg == "--quiet") opt.quiet = true;
+    else if (arg == "--recorder") opt.recorder = std::strcmp(next(arg.c_str()), "off") != 0;
+    else if (arg == "--flight-recorder") opt.flight_recorder_dir = next(arg.c_str());
+    else if (arg == "--health-file") opt.health_file = next(arg.c_str());
+    else if (arg == "--health-interval-ms") opt.health_interval_ms = std::strtoll(next(arg.c_str()), nullptr, 10);
+    else if (arg == "--slow-threshold-us") opt.slow_threshold_us = std::strtoull(next(arg.c_str()), nullptr, 10);
     else return Usage(argv[0]);
   }
   if (opt.clients == 0) opt.clients = 1;
@@ -262,6 +300,8 @@ int main(int argc, char** argv) {
   server_options.max_batch = opt.max_batch;
   server_options.read_queue_capacity = opt.queue_capacity;
   server_options.write_queue_capacity = opt.queue_capacity;
+  server_options.flight_recorder = opt.recorder;
+  server_options.recorder.slow_threshold_us = opt.slow_threshold_us;
   Server server(server_options);
 
   Workload workload;
@@ -286,6 +326,12 @@ int main(int argc, char** argv) {
   std::vector<ClientTally> tallies(opt.clients);
   std::vector<std::thread> clients;
   clients.reserve(opt.clients);
+  std::atomic<bool> health_stop{false};
+  std::thread health_sampler;
+  if (!opt.health_file.empty()) {
+    health_sampler =
+        std::thread(HealthSamplerLoop, &server, &opt, &health_stop);
+  }
   Timer wall;
   for (uint64_t c = 0; c < opt.clients; ++c) {
     clients.emplace_back(ClientLoop, &server, std::cref(workload),
@@ -298,7 +344,25 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : clients) t.join();
   double elapsed = wall.ElapsedSeconds();
+  if (health_sampler.joinable()) {
+    health_stop.store(true, std::memory_order_relaxed);
+    health_sampler.join();
+  }
   server.Stop();
+  // Final health file reflects the fully drained run.
+  if (!opt.health_file.empty()) WriteHealthFile(&server, opt.health_file);
+  if (!opt.flight_recorder_dir.empty()) {
+    Status dumped = server.DumpFlightRecorder(opt.flight_recorder_dir);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "flight recorder dump failed: %s\n",
+                   dumped.ToString().c_str());
+      return 1;
+    }
+    if (!opt.quiet) {
+      std::printf("flight recorder dumped to %s (trace.json, health.txt)\n",
+                  opt.flight_recorder_dir.c_str());
+    }
+  }
 
   ClientTally total;
   for (const ClientTally& t : tallies) {
