@@ -22,16 +22,20 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/bench_util.h"
 #include "common/io.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "serve/server.h"
+#include "storage/wal.h"
 #include "workload/hospital.h"
 #include "workload/queries.h"
 #include "xpath/ast.h"
@@ -322,6 +326,127 @@ int RunObsOverheadGate(const std::string& json_path, double max_overhead) {
   return 0;
 }
 
+// --- WAL overhead gate ------------------------------------------------------
+// `--wal-overhead-json FILE [--max-wal-overhead R]`: the same alternating
+// A/B design as the flight-recorder gate, but over a write-heavy
+// closed-loop mix with the WAL off vs on at durability `fdatasync` — the
+// cost of group commit (encode + append + fdatasync per batch) relative
+// to in-memory serving.  Default gate: 15% of write throughput
+// (docs/durability.md, "Cost").
+
+double MeasureWriteRps(bool wal_on, size_t requests_per_client,
+                       const std::string& data_dir) {
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  opt.max_batch = 64;
+  opt.flight_recorder = false;
+  if (wal_on) {
+    std::filesystem::remove_all(data_dir);
+    opt.durability.data_dir = data_dir;
+    opt.durability.level = storage::DurabilityLevel::kFdatasync;
+  }
+  auto server = std::make_unique<serve::Server>(opt);
+  Status loaded = server->LoadParsed(HospitalDtd(), HospitalDocument());
+  XMLAC_CHECK_MSG(loaded.ok(), loaded.ToString());
+  for (size_t i = 0; i < workload::kHospitalSubjectCount; ++i) {
+    Status added =
+        server->AddSubject(workload::kHospitalSubjects[i].subject,
+                           workload::kHospitalSubjects[i].policy_text);
+    XMLAC_CHECK_MSG(added.ok(), added.ToString());
+  }
+  Status started = server->Start();
+  XMLAC_CHECK_MSG(started.ok(), started.ToString());
+  int total_patients = kDepartments * kPatientsPerDepartment;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  Timer wall;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c, requests_per_client, total_patients] {
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        char psn[16];
+        std::snprintf(psn, sizeof(psn), "%03d",
+                      static_cast<int>((c * 131 + i / 2) % total_patients));
+        serve::ServeResponse resp =
+            i % 2 == 0
+                ? server->Update(std::string("//patient[psn=\"") + psn + "\"]")
+                : server->Insert("//patients",
+                                 std::string("<patient><psn>") + psn +
+                                     "</psn><name>bench</name></patient>");
+        XMLAC_CHECK_MSG(resp.status.ok(), resp.status.ToString());
+        benchmark::DoNotOptimize(resp.selected);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = wall.ElapsedSeconds();
+  server->Stop();
+  server.reset();
+  if (wal_on) std::filesystem::remove_all(data_dir);
+  return elapsed > 0
+             ? static_cast<double>(kClients * requests_per_client) / elapsed
+             : 0.0;
+}
+
+int RunWalOverheadGate(const std::string& json_path, double max_overhead) {
+  constexpr int kRounds = 7;
+  constexpr size_t kGateRequestsPerClient = 128;
+  const std::string data_dir =
+      (std::filesystem::temp_directory_path() /
+       ("xmlac-bench-wal-" + std::to_string(::getpid())))
+          .string();
+  std::vector<double> off_rps, on_rps;
+  MeasureWriteRps(false, kGateRequestsPerClient / 2, data_dir);
+  MeasureWriteRps(true, kGateRequestsPerClient / 2, data_dir);
+  for (int i = 0; i < kRounds; ++i) {
+    off_rps.push_back(MeasureWriteRps(false, kGateRequestsPerClient, data_dir));
+    on_rps.push_back(MeasureWriteRps(true, kGateRequestsPerClient, data_dir));
+  }
+  double off = *std::max_element(off_rps.begin(), off_rps.end());
+  double on = *std::max_element(on_rps.begin(), on_rps.end());
+  double best_ratio_overhead = off > 0 ? 1.0 - on / off : 0.0;
+  // Gate the minimum per-pair overhead for the same reason as the
+  // flight-recorder gate: noise inflates some pairs, a regression all.
+  double overhead = 1.0;
+  for (int i = 0; i < kRounds; ++i) {
+    if (off_rps[i] > 0)
+      overhead = std::min(overhead, 1.0 - on_rps[i] / off_rps[i]);
+  }
+  overhead = std::max(overhead, 0.0);
+  bool pass = overhead <= max_overhead;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"benchmark\": \"wal_overhead\",\n"
+                "  \"durability\": \"fdatasync\",\n"
+                "  \"rounds\": %d,\n"
+                "  \"wal_off_rps\": %.1f,\n"
+                "  \"wal_on_rps\": %.1f,\n"
+                "  \"best_ratio_overhead\": %.4f,\n"
+                "  \"overhead\": %.4f,\n"
+                "  \"max_overhead\": %.4f,\n"
+                "  \"pass\": %s\n"
+                "}\n",
+                kRounds, off, on, best_ratio_overhead, overhead, max_overhead,
+                pass ? "true" : "false");
+  std::printf("%s", buf);
+  if (!json_path.empty()) {
+    Status written = WriteFile(json_path, buf);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!pass) {
+    std::fprintf(
+        stderr,
+        "FAIL: WAL at fdatasync costs %.1f%% write throughput (gate %.1f%%)\n",
+        overhead * 100.0, max_overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace xmlac::bench
 
@@ -329,6 +454,9 @@ int main(int argc, char** argv) {
   std::string overhead_json;
   double max_overhead = 0.05;
   bool overhead_mode = false;
+  std::string wal_json;
+  double max_wal_overhead = 0.15;
+  bool wal_mode = false;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -338,9 +466,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-overhead" && i + 1 < argc) {
       max_overhead = std::strtod(argv[++i], nullptr);
       overhead_mode = true;
+    } else if (arg == "--wal-overhead-json" && i + 1 < argc) {
+      wal_json = argv[++i];
+      wal_mode = true;
+    } else if (arg == "--max-wal-overhead" && i + 1 < argc) {
+      max_wal_overhead = std::strtod(argv[++i], nullptr);
+      wal_mode = true;
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (wal_mode) {
+    return xmlac::bench::RunWalOverheadGate(wal_json, max_wal_overhead);
   }
   if (overhead_mode) {
     return xmlac::bench::RunObsOverheadGate(overhead_json, max_overhead);

@@ -1,0 +1,94 @@
+#ifndef XMLAC_COMMON_BINARY_H_
+#define XMLAC_COMMON_BINARY_H_
+
+// Little-endian binary encoding helpers shared by the durable formats
+// (WAL records, checkpoint files, Document arena dumps).  Writers append
+// to a std::string; readers advance a bounds-checked cursor and report
+// truncation/overflow through the cursor's `ok` flag instead of reading
+// past the end — a torn WAL tail must parse as "incomplete", never as
+// garbage values.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlac {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+// Length-prefixed string (u32 length + raw bytes).
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Bounds-checked read cursor.  Once `ok` goes false every further Get*
+// returns a zero value and leaves the cursor unchanged, so decoders can
+// run a straight-line sequence of reads and check `ok` once at the end.
+struct BinaryCursor {
+  std::string_view data;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit BinaryCursor(std::string_view d) : data(d) {}
+
+  size_t remaining() const { return ok ? data.size() - pos : 0; }
+  bool AtEnd() const { return ok && pos == data.size(); }
+
+  bool Need(size_t n) {
+    if (!ok || data.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data[pos++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data[pos++])) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data[pos++])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t len = GetU32();
+    if (!Need(len)) return std::string();
+    std::string s(data.substr(pos, len));
+    pos += len;
+    return s;
+  }
+};
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_BINARY_H_

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "engine/native_backend.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -89,6 +90,14 @@ Status AccessController::SetPolicy(std::string_view policy_text) {
 }
 
 Status AccessController::SetPolicyParsed(policy::Policy policy) {
+  return InstallPolicy(std::move(policy), /*annotate=*/true);
+}
+
+Status AccessController::SetPolicyForRecovery(policy::Policy policy) {
+  return InstallPolicy(std::move(policy), /*annotate=*/false);
+}
+
+Status AccessController::InstallPolicy(policy::Policy policy, bool annotate) {
   obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
   obs::ScopedSpan span(&tracer_, "set_policy");
   obs::ScopedTimer timer("engine.set_policy_us");
@@ -120,7 +129,7 @@ Status AccessController::SetPolicyParsed(policy::Policy policy) {
         std::make_unique<policy::TriggerIndex>(policy_, schema_.get(), topt);
   }
   policy_set_ = true;
-  if (schema_ != nullptr) {
+  if (annotate && schema_ != nullptr) {
     AnnotationContext ctx;
     if (rule_cache_ != nullptr) ctx = MakeAnnotationContext(rule_cache_->epoch());
     auto r = AnnotateFull(backend_.get(), policy_,
@@ -386,6 +395,87 @@ Result<BatchStats> AccessController::ApplyBatch(
       stats.reannotation,
       Reannotate(backend_.get(), policy_, triggered, old_scope,
                  use_ctx ? &ctx : nullptr));
+  return stats;
+}
+
+char AccessController::CurrentDefaultSign() const {
+  if (sign_state_.valid) return sign_state_.default_sign;
+  if (const auto* native =
+          dynamic_cast<const NativeXmlBackend*>(backend_.get())) {
+    return native->default_sign();
+  }
+  return '-';
+}
+
+NodeBitmap AccessController::ExportMarkedBitmap() const {
+  if (sign_state_.valid) return sign_state_.marked;
+  NodeBitmap out;
+  // Uncached controllers keep no bitmap; the native store's materialized
+  // form (alive elements carrying an explicit sign attribute) is exactly
+  // the marked set.
+  if (const auto* native =
+          dynamic_cast<const NativeXmlBackend*>(backend_.get())) {
+    const xml::Document& doc = native->document();
+    for (xml::NodeId id = 0; id < doc.size(); ++id) {
+      if (doc.IsAlive(id) && doc.GetAttribute(id, "sign").has_value()) {
+        out.Set(static_cast<UniversalId>(id));
+      }
+    }
+  }
+  return out;
+}
+
+Status AccessController::RestoreSigns(char default_sign,
+                                      const std::vector<UniversalId>& marked) {
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  XMLAC_RETURN_IF_ERROR(backend_->ResetAllSigns(default_sign));
+  char flipped = default_sign == '-' ? '+' : '-';
+  XMLAC_RETURN_IF_ERROR(backend_->SetSigns(marked, flipped));
+  sign_state_.default_sign = default_sign;
+  sign_state_.marked = NodeBitmap::FromIds(marked);
+  // Only the cached annotation path maintains the bitmap across updates;
+  // an uncached controller must not keep claiming validity.
+  sign_state_.valid = rule_cache_ != nullptr;
+  return Status::OK();
+}
+
+Result<BatchStats> AccessController::ReplayBatchDecisions(
+    const std::vector<BatchOp>& ops, const std::vector<UniversalId>& marked,
+    const std::vector<UniversalId>& cleared) {
+  obs::ScopedObsContext obs_ctx(&metrics_, &tracer_);
+  obs::ScopedSpan span(&tracer_, "replay_batch");
+  obs::ScopedTimer timer("engine.replay_us");
+  obs::IncrementCounter("engine.replays");
+  BatchStats stats;
+  stats.ops = ops.size();
+  // Re-apply the mutations.  The restored arena is byte-identical to the
+  // pre-batch original (tombstones included), so the same XPath ops select
+  // the same nodes and allocate the same NodeIds the original run did.
+  for (const BatchOp& op : ops) {
+    XMLAC_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(op.xpath));
+    if (op.kind == BatchOp::Kind::kDelete) {
+      XMLAC_ASSIGN_OR_RETURN(size_t deleted, backend_->DeleteWhere(path));
+      stats.nodes_deleted += deleted;
+    } else {
+      XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
+                             xml::ParseDocument(op.fragment_xml));
+      XMLAC_ASSIGN_OR_RETURN(size_t inserted,
+                             backend_->InsertUnder(path, fragment));
+      stats.nodes_inserted += inserted;
+    }
+  }
+  // Then the recorded sign decisions.  SetSigns skips dead ids, so deltas
+  // recorded before a later delete stay harmless.
+  char def = CurrentDefaultSign();
+  char flipped = def == '-' ? '+' : '-';
+  XMLAC_RETURN_IF_ERROR(backend_->SetSigns(marked, flipped));
+  XMLAC_RETURN_IF_ERROR(backend_->SetSigns(cleared, def));
+  stats.reannotation.marked = marked.size();
+  stats.reannotation.reset = cleared.size();
+  if (sign_state_.valid) {
+    for (UniversalId id : marked) sign_state_.marked.Set(id);
+    for (UniversalId id : cleared) sign_state_.marked.Unset(id);
+  }
   return stats;
 }
 

@@ -144,6 +144,39 @@ class AccessController {
   // against).
   Result<AnnotateStats> ReannotateFull();
 
+  // --- Durability hooks (src/storage/; see docs/durability.md) ------------
+  // SetPolicyParsed minus the full annotation: installs the (optimized)
+  // policy and trigger index so post-recovery updates behave identically,
+  // leaving the signs to RestoreSigns / ReplayBatchDecisions.  This is the
+  // asymmetry recovery exploits: annotation *decisions* were logged, so the
+  // expensive policy evaluation never re-runs.
+  Status SetPolicyForRecovery(policy::Policy policy);
+
+  // Materializes a checkpointed sign state: every alive node reads
+  // `default_sign` except the ids in `marked`, which read the flipped sign.
+  Status RestoreSigns(char default_sign,
+                      const std::vector<UniversalId>& marked);
+
+  // Replays one committed batch from its WAL record: re-applies the
+  // mutations, then the *recorded* sign deltas — no Trigger, no rule
+  // evaluation, no re-annotation.  `marked` flips ids to the non-default
+  // sign, `cleared` flips them back to the default.
+  Result<BatchStats> ReplayBatchDecisions(
+      const std::vector<BatchOp>& ops,
+      const std::vector<UniversalId>& marked,
+      const std::vector<UniversalId>& cleared);
+
+  // The replica's current non-default-sign set (the WAL/checkpoint sign
+  // bitmap).  Served from the bitmap sign state when valid, otherwise by
+  // scanning the native store; bits of deleted nodes may linger (harmless,
+  // see node_bitmap.h).
+  NodeBitmap ExportMarkedBitmap() const;
+  std::vector<UniversalId> ExportMarkedSigns() const {
+    return ExportMarkedBitmap().ToIds();
+  }
+
+  char CurrentDefaultSign() const;
+
   Backend* backend() { return backend_.get(); }
   const policy::Policy& active_policy() const { return policy_; }
   const policy::OptimizerStats& optimizer_stats() const {
@@ -173,6 +206,9 @@ class AccessController {
   // Builds the annotation context for the cached path at `epoch` (null-cache
   // controllers never call this).
   AnnotationContext MakeAnnotationContext(uint64_t epoch);
+
+  // Shared body of SetPolicyParsed / SetPolicyForRecovery.
+  Status InstallPolicy(policy::Policy policy, bool annotate);
 
   // Pre-mutation cache work for an update with triggered set `triggered`:
   // advances the epoch (when this controller owns it), snapshots the

@@ -136,6 +136,113 @@ Result<std::map<std::string, UpdateStats>> MultiSubjectController::Update(
 }
 
 Result<std::map<std::string, BatchStats>> MultiSubjectController::ApplyBatch(
+    const std::vector<BatchOp>& ops, CommitCapture* capture) {
+  if (capture == nullptr) return ApplyBatch(ops);
+  uint64_t pre_version = master_.document().version();
+  // Pre-batch sign bitmaps, in subjects_ (map) iteration order.
+  std::vector<NodeBitmap> pre;
+  pre.reserve(subjects_.size());
+  for (auto& [name, controller] : subjects_) {
+    (void)name;
+    pre.push_back(controller->ExportMarkedBitmap());
+  }
+  auto result = ApplyBatch(ops);
+  if (!result.ok()) return result;
+  capture->master_mutations.clear();
+  capture->subjects.clear();
+  // Overflow of the bounded journal leaves the mutation list empty; replay
+  // re-derives mutations from the ops, so this only degrades inspection.
+  (void)master_.document().MutationsSince(pre_version,
+                                          &capture->master_mutations);
+  size_t i = 0;
+  for (auto& [name, controller] : subjects_) {
+    NodeBitmap post = controller->ExportMarkedBitmap();
+    SubjectDelta delta;
+    post.DifferenceInto(pre[i], &delta.marked);
+    pre[i].DifferenceInto(post, &delta.cleared);
+    capture->subjects[name] = std::move(delta);
+    ++i;
+  }
+  return result;
+}
+
+void MultiSubjectController::Reset() {
+  subjects_.clear();
+  master_.Clear();
+  rule_cache_.Clear();
+  dtd_.reset();
+  loaded_ = false;
+}
+
+Status MultiSubjectController::RestoreSubject(
+    std::string_view subject, std::string_view policy_text, char default_sign,
+    const std::vector<UniversalId>& marked) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  if (subjects_.find(subject) != subjects_.end()) {
+    return Status::AlreadyExists("subject '" + std::string(subject) +
+                                 "' already registered");
+  }
+  ControllerOptions copt;
+  copt.optimize_policy = options_.optimize_policies;
+  copt.enable_rule_cache = options_.enable_rule_cache;
+  copt.shared_rule_cache =
+      options_.enable_rule_cache ? &rule_cache_ : nullptr;
+  copt.shared_containment_cache = &containment_cache_;
+  copt.parallel_rules = options_.parallel_rules;
+  copt.inject_stale_cache = options_.inject_stale_cache;
+  auto controller = std::make_unique<AccessController>(factory_(), copt);
+  XMLAC_RETURN_IF_ERROR(controller->LoadParsed(*dtd_, master_.document()));
+  XMLAC_ASSIGN_OR_RETURN(policy::Policy parsed,
+                         policy::ParsePolicy(policy_text));
+  XMLAC_RETURN_IF_ERROR(controller->SetPolicyForRecovery(std::move(parsed)));
+  XMLAC_RETURN_IF_ERROR(controller->RestoreSigns(default_sign, marked));
+  subjects_[std::string(subject)] = std::move(controller);
+  return Status::OK();
+}
+
+Result<std::map<std::string, BatchStats>> MultiSubjectController::ReplayBatch(
+    const std::vector<BatchOp>& ops,
+    const std::map<std::string, SubjectDelta>& deltas) {
+  if (!loaded_) return Status::Internal("no document loaded");
+  // Master first, exactly as ApplyBatch does.
+  for (const BatchOp& op : ops) {
+    XMLAC_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePath(op.xpath));
+    if (op.kind == BatchOp::Kind::kDelete) {
+      XMLAC_RETURN_IF_ERROR(master_.DeleteWhere(path).status());
+    } else {
+      XMLAC_ASSIGN_OR_RETURN(xml::Document fragment,
+                             xml::ParseDocument(op.fragment_xml));
+      XMLAC_RETURN_IF_ERROR(master_.InsertUnder(path, fragment).status());
+    }
+  }
+  std::map<AccessController*, const SubjectDelta*> by_controller;
+  for (auto& [name, controller] : subjects_) {
+    auto it = deltas.find(name);
+    by_controller[controller.get()] =
+        it == deltas.end() ? nullptr : &it->second;
+  }
+  static const std::vector<UniversalId> kNoDelta;
+  return FanOut<BatchStats>(
+      [&ops, &by_controller](AccessController* c) -> Result<BatchStats> {
+        const SubjectDelta* d = by_controller.at(c);
+        return c->ReplayBatchDecisions(ops, d != nullptr ? d->marked : kNoDelta,
+                                       d != nullptr ? d->cleared : kNoDelta);
+      });
+}
+
+void MultiSubjectController::RestoreStructuralLabels(
+    const std::vector<xpath::IntervalLabel>& labels) {
+  master_.RestoreStructuralLabels(labels);
+  for (auto& [name, controller] : subjects_) {
+    (void)name;
+    if (auto* native =
+            dynamic_cast<NativeXmlBackend*>(controller->backend())) {
+      native->RestoreStructuralLabels(labels);
+    }
+  }
+}
+
+Result<std::map<std::string, BatchStats>> MultiSubjectController::ApplyBatch(
     const std::vector<BatchOp>& ops) {
   if (!loaded_) return Status::Internal("no document loaded");
   // Master first, all ops in order (it carries no annotations, so there is

@@ -43,6 +43,25 @@ struct MultiSubjectOptions {
   bool inject_stale_cache = false;
 };
 
+// Per-subject sign delta of one committed batch: the ids whose sign the
+// batch flipped to the non-default value (`marked`) and back to the default
+// (`cleared`).  This is PR 4's SignState diff, reified as the WAL wire
+// format (docs/durability.md).
+struct SubjectDelta {
+  std::vector<UniversalId> marked;
+  std::vector<UniversalId> cleared;
+};
+
+// Everything the WAL needs to make one ApplyBatch replayable without
+// re-running policy evaluation.
+struct CommitCapture {
+  // The master document's journaled mutations for the batch (informational
+  // — replay re-derives them from the ops; may be empty when the bounded
+  // journal overflowed mid-batch).
+  std::vector<xml::Mutation> master_mutations;
+  std::map<std::string, SubjectDelta> subjects;
+};
+
 class MultiSubjectController {
  public:
   using BackendFactory = std::function<std::unique_ptr<Backend>()>;
@@ -83,6 +102,43 @@ class MultiSubjectController {
   // the intended caller.
   Result<std::map<std::string, BatchStats>> ApplyBatch(
       const std::vector<BatchOp>& ops);
+
+  // ApplyBatch plus a WAL capture: on success `capture` holds the master's
+  // journaled mutations and each subject's sign delta for exactly this
+  // batch.  Passing null degrades to plain ApplyBatch.
+  Result<std::map<std::string, BatchStats>> ApplyBatch(
+      const std::vector<BatchOp>& ops, CommitCapture* capture);
+
+  // --- Recovery (src/storage/recovery.cc; see docs/durability.md) ---------
+  // Drops every subject and the loaded document, returning the controller
+  // to its freshly constructed state so recovery can re-load durable state
+  // even after the caller already configured an initial document.
+  void Reset();
+
+  // AddSubject minus the full annotation: installs the subject's policy and
+  // re-materializes its checkpointed signs verbatim.
+  Status RestoreSubject(std::string_view subject, std::string_view policy_text,
+                        char default_sign,
+                        const std::vector<UniversalId>& marked);
+
+  // Replays one committed batch from its WAL record: master mutations plus
+  // each subject's recorded sign decisions — no triggering, no rule
+  // evaluation.  Subjects missing from `deltas` replay with empty deltas.
+  Result<std::map<std::string, BatchStats>> ReplayBatch(
+      const std::vector<BatchOp>& ops,
+      const std::map<std::string, SubjectDelta>& deltas);
+
+  // Resumes the fleet cache's epoch counter where the checkpoint left it,
+  // so replayed and post-recovery batches advance through the same epoch
+  // values the original run used.
+  void RestoreRuleCacheEpoch(uint64_t epoch) {
+    rule_cache_.RestoreEpoch(epoch);
+  }
+
+  // Installs checkpointed interval labels into the master store and every
+  // subject replica (their arenas are structurally identical, so one label
+  // vector fits all).  Non-native replicas are skipped.
+  void RestoreStructuralLabels(const std::vector<xpath::IntervalLabel>& labels);
 
   // The containment cache shared by every subject's optimizer and trigger
   // index (redundancy tests recur across subjects — same document, similar

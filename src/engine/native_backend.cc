@@ -232,6 +232,12 @@ Status NativeXmlBackend::LoadFromFile(std::string_view path) {
   return Status::OK();
 }
 
+void NativeXmlBackend::RestoreStructuralLabels(
+    std::vector<xpath::IntervalLabel> labels) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  structural_index_.RestoreLabels(std::move(labels));
+}
+
 xml::Document NativeXmlBackend::AccessibleView() const {
   xml::Document view;
   if (!loaded_ || doc_.empty() || !doc_.IsAlive(doc_.root())) return view;

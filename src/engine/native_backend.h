@@ -79,6 +79,11 @@ class NativeXmlBackend final : public Backend {
   Status SaveToFile(std::string_view path) const;
   Status LoadFromFile(std::string_view path);
 
+  // Adopts checkpointed interval labels as the structural index's synced
+  // state (recovery's replay-over-rebuild fast path; see RestoreLabels in
+  // xpath/structural_index.h).  Must not race queries.
+  void RestoreStructuralLabels(std::vector<xpath::IntervalLabel> labels);
+
   // Materializes the security view of the annotated document (cf. the
   // security-view line of work the paper relates to): a copy containing
   // exactly the elements that are accessible *and* have only accessible

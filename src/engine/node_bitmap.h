@@ -47,6 +47,13 @@ class NodeBitmap {
     return (words_[word] >> (id & 63)) & 1;
   }
 
+  void Unset(UniversalId id) {
+    if (id < 0) return;
+    size_t word = static_cast<size_t>(id) >> 6;
+    if (word >= words_.size()) return;
+    words_[word] &= ~(uint64_t{1} << (id & 63));
+  }
+
   void Clear() { words_.clear(); }
 
   bool Empty() const {

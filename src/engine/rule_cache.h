@@ -65,6 +65,13 @@ class RuleScopeCache {
     return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
+  // Recovery only: resumes the counter where a checkpoint left it, so that
+  // WAL replay advances through the same epoch values the original run
+  // used.  Must be called before any entries are inserted.
+  void RestoreEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
   // The scope bitmap of `path_key` on `store` as of `epoch`, or null on
   // miss.  Counts obs rulecache.hits / rulecache.misses.
   BitmapPtr Lookup(std::string_view store, std::string_view path_key,

@@ -2,11 +2,17 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
+#include "common/io.h"
 #include "engine/native_backend.h"
 #include "obs/chrome_export.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
+#include "xml/dtd.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::serve {
 
@@ -51,6 +57,7 @@ Server::~Server() { Stop(); }
 Status Server::Load(std::string_view dtd_text, std::string_view xml_text) {
   if (started_) return Status::Internal("Load must precede Start");
   XMLAC_RETURN_IF_ERROR(controller_.Load(dtd_text, xml_text));
+  dtd_text_ = std::string(dtd_text);
   loaded_ = true;
   return Status::OK();
 }
@@ -58,6 +65,9 @@ Status Server::Load(std::string_view dtd_text, std::string_view xml_text) {
 Status Server::LoadParsed(const xml::Dtd& dtd, const xml::Document& doc) {
   if (started_) return Status::Internal("Load must precede Start");
   XMLAC_RETURN_IF_ERROR(controller_.LoadParsed(dtd, doc));
+  // No source text to retain; the genesis/checkpoint records get the DTD's
+  // canonical serialization instead.
+  dtd_text_ = xml::DtdToString(dtd);
   loaded_ = true;
   return Status::OK();
 }
@@ -65,18 +75,83 @@ Status Server::LoadParsed(const xml::Dtd& dtd, const xml::Document& doc) {
 Status Server::AddSubject(std::string_view subject,
                           std::string_view policy_text) {
   if (started_) return Status::Internal("AddSubject must precede Start");
-  return controller_.AddSubject(subject, policy_text);
+  XMLAC_RETURN_IF_ERROR(controller_.AddSubject(subject, policy_text));
+  policies_[std::string(subject)] = std::string(policy_text);
+  return Status::OK();
+}
+
+Status Server::OpenDurability() {
+  const DurabilityOptions& d = options_.durability;
+  XMLAC_RETURN_IF_ERROR(EnsureDirectory(d.data_dir));
+  XMLAC_ASSIGN_OR_RETURN(storage::RecoveredState recovered,
+                         storage::RecoverState(d.data_dir, &controller_));
+  if (recovered.found) {
+    // Durable state supersedes whatever Load/AddSubject configured: the
+    // directory is the source of truth for a restarted server.
+    recovered_ = true;
+    recovered_epoch_ = recovered.epoch;
+    dtd_text_ = recovered.dtd_text;
+    policies_.clear();
+    for (auto& [name, text] : recovered.subject_policies) {
+      policies_[name] = text;
+    }
+    loaded_ = true;
+    obs::IncrementCounter("serve.recovery.runs");
+    obs::IncrementCounter("serve.recovery.batches_replayed",
+                          recovered.replayed_batches);
+  }
+  storage::WalOptions wopt;
+  wopt.dir = d.data_dir;
+  wopt.level = d.level;
+  wopt.segment_bytes = d.segment_bytes;
+  wopt.crash_after_records = d.crash_after_records;
+  wopt.torn_tail_bytes = d.torn_tail_bytes;
+  XMLAC_ASSIGN_OR_RETURN(wal_, storage::Wal::Open(std::move(wopt)));
+  return Status::OK();
+}
+
+Status Server::AppendGenesisRecord() {
+  storage::InstallRecord record;
+  record.epoch = 1;
+  record.rule_cache_epoch = controller_.rule_cache().epoch();
+  record.dtd_text = dtd_text_;
+  controller_.document().AppendBinary(&record.master_binary);
+  for (const std::string& name : controller_.SubjectNames()) {
+    engine::AccessController* ac = controller_.subject(name);
+    storage::SubjectState s;
+    s.name = name;
+    auto it = policies_.find(name);
+    if (it == policies_.end()) {
+      return Status::Internal("no retained policy text for subject '" + name +
+                              "'");
+    }
+    s.policy_text = it->second;
+    s.default_sign = ac->CurrentDefaultSign();
+    s.marked = ac->ExportMarkedSigns();
+    record.subjects.push_back(std::move(s));
+  }
+  XMLAC_RETURN_IF_ERROR(
+      wal_->Append(record.epoch, storage::EncodeInstallRecord(record)));
+  return wal_->Sync();
 }
 
 Status Server::Start() {
   if (started_) return Status::Internal("already started");
-  if (!loaded_) return Status::Internal("no document loaded");
   obs::ScopedMetrics metrics_context(&metrics_);
-  XMLAC_ASSIGN_OR_RETURN(SnapshotPtr initial, BuildSnapshot(controller_, 1));
+  if (!options_.durability.data_dir.empty()) {
+    XMLAC_RETURN_IF_ERROR(OpenDurability());
+  }
+  if (!loaded_) return Status::Internal("no document loaded");
+  if (wal_ != nullptr && !recovered_) {
+    XMLAC_RETURN_IF_ERROR(AppendGenesisRecord());
+  }
+  const uint64_t initial_epoch = recovered_ ? recovered_epoch_ : 1;
+  XMLAC_ASSIGN_OR_RETURN(SnapshotPtr initial,
+                         BuildSnapshot(controller_, initial_epoch));
   snapshot_.store(std::move(initial));
-  epoch_.store(1, std::memory_order_release);
+  epoch_.store(initial_epoch, std::memory_order_release);
   obs::IncrementCounter("serve.snapshot.published");
-  obs::SetGauge("serve.snapshot.epoch", 1);
+  obs::SetGauge("serve.snapshot.epoch", static_cast<int64_t>(initial_epoch));
   started_ = true;
   running_.store(true, std::memory_order_release);
   if (options_.flight_recorder) {
@@ -93,6 +168,9 @@ Status Server::Start() {
   writer_ = std::thread([this] { WriterLoop(); });
   if (recorder_ != nullptr) {
     drainer_ = std::thread([this] { DrainerLoop(); });
+  }
+  if (wal_ != nullptr && options_.durability.checkpoint_every > 0) {
+    checkpointer_ = std::thread([this] { CheckpointerLoop(); });
   }
   return Status::OK();
 }
@@ -131,6 +209,14 @@ void Server::Stop() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   if (writer_.joinable()) writer_.join();
+  if (checkpointer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.notify_all();
+    checkpointer_.join();
+  }
   if (drainer_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(drainer_mu_);
@@ -372,12 +458,36 @@ void Server::WriterLoop() {
       ops.reserve(batch.size());
       for (WriteTask& t : batch) ops.push_back(std::move(t.op));
 
-      auto stats = controller_.ApplyBatch(ops);
+      engine::CommitCapture capture;
+      auto stats = controller_.ApplyBatch(
+          ops, wal_ != nullptr ? &capture : nullptr);
       if (!stats.ok()) {
         resp.status = stats.status();
         write_errors->Increment(batch.size());
       } else {
         uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+        if (wal_ != nullptr) {
+          // Commit point: the batch is durable once Append + Sync return.
+          // Group commit — all coalesced updates share this one sync.
+          storage::BatchRecord record;
+          record.epoch = new_epoch;
+          record.ops = ops;
+          record.master_mutations = std::move(capture.master_mutations);
+          record.deltas = std::move(capture.subjects);
+          Status durable = wal_->Append(
+              new_epoch, storage::EncodeBatchRecord(record));
+          if (durable.ok()) durable = wal_->Sync();
+          if (!durable.ok()) {
+            // The in-memory state already advanced, so publish anyway and
+            // keep serving — but tell the clients their update is NOT
+            // durable, and stop checkpointing (the WAL poisoned itself, so
+            // the post-failure state can never be persisted over the last
+            // good commit).
+            resp.status = durable;
+            write_errors->Increment(batch.size());
+            obs::IncrementCounter("serve.wal.errors");
+          }
+        }
         auto snapshot = BuildSnapshot(controller_, new_epoch);
         if (!snapshot.ok()) {
           resp.status = snapshot.status();
@@ -397,6 +507,13 @@ void Server::WriterLoop() {
           for (const auto& [name, subject_stats] : *stats) {
             resp.rules_triggered += subject_stats.rules_triggered;
           }
+          if (wal_ != nullptr && !wal_->crashed() &&
+              options_.durability.checkpoint_every > 0 &&
+              ++batches_since_checkpoint_ >=
+                  options_.durability.checkpoint_every) {
+            batches_since_checkpoint_ = 0;
+            ScheduleCheckpoint();
+          }
         }
       }
       if (span.active()) {
@@ -415,6 +532,104 @@ void Server::WriterLoop() {
       t.done.set_value(resp);
     }
   }
+}
+
+Server::CheckpointJob Server::MakeCheckpointJob() {
+  CheckpointJob job;
+  job.snapshot = snapshot_.load();
+  job.rule_cache_epoch = controller_.rule_cache().epoch();
+  if (job.snapshot != nullptr && job.snapshot->subjects.empty()) {
+    // No replica to reconstruct the master from: clone it here, on the
+    // thread that owns the engine (the writer, or a quiesced caller).
+    job.master = controller_.document().Clone();
+  }
+  return job;
+}
+
+void Server::ScheduleCheckpoint() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    pending_ckpt_ = MakeCheckpointJob();  // newest wins
+  }
+  ckpt_cv_.notify_all();
+}
+
+void Server::CheckpointerLoop() {
+  obs::ScopedMetrics metrics_context(&metrics_);
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  while (true) {
+    ckpt_cv_.wait(lock,
+                  [this] { return ckpt_stop_ || pending_ckpt_.has_value(); });
+    if (ckpt_stop_) break;  // pending job (if any) is dropped on shutdown
+    CheckpointJob job = std::move(*pending_ckpt_);
+    pending_ckpt_.reset();
+    lock.unlock();
+    Status s = BuildAndWriteCheckpoint(std::move(job));
+    if (!s.ok()) obs::IncrementCounter("serve.checkpoint.errors");
+    lock.lock();
+  }
+}
+
+Status Server::BuildAndWriteCheckpoint(CheckpointJob job) {
+  if (job.snapshot == nullptr) return Status::Internal("no snapshot");
+  Timer timer;
+  storage::CheckpointData data;
+  data.epoch = job.snapshot->epoch;
+  data.rule_cache_epoch = job.rule_cache_epoch;
+  data.dtd_text = dtd_text_;
+  // Reconstruct the un-annotated master from any replica: replica arenas
+  // are structurally identical to the master's (same clone origin, same
+  // mutation sequence), differing only in `sign` attributes.
+  xml::Document master;
+  if (!job.snapshot->subjects.empty()) {
+    const SubjectView& view = job.snapshot->subjects.begin()->second;
+    master = view.doc->Clone();
+    for (xml::NodeId id = 0; id < master.size(); ++id) {
+      if (master.IsAlive(id)) (void)master.RemoveAttribute(id, "sign");
+    }
+  } else if (job.master.has_value()) {
+    master = std::move(*job.master);
+  } else {
+    return Status::Internal("checkpoint job carries no document");
+  }
+  data.labels = xpath::ComputeIntervalLabels(master);
+  master.AppendBinary(&data.master_binary);
+  for (const auto& [name, view] : job.snapshot->subjects) {
+    storage::SubjectState s;
+    s.name = name;
+    auto it = policies_.find(name);
+    if (it == policies_.end()) {
+      return Status::Internal("no retained policy text for subject '" + name +
+                              "'");
+    }
+    s.policy_text = it->second;
+    s.default_sign = view.default_sign;
+    for (xml::NodeId id = 0; id < view.doc->size(); ++id) {
+      if (view.doc->IsAlive(id) &&
+          view.doc->GetAttribute(id, "sign").has_value()) {
+        s.marked.push_back(static_cast<engine::UniversalId>(id));
+      }
+    }
+    data.subjects.push_back(std::move(s));
+  }
+  XMLAC_RETURN_IF_ERROR(
+      storage::WriteCheckpoint(options_.durability.data_dir, data));
+  XMLAC_RETURN_IF_ERROR(storage::RemoveCheckpointsBefore(
+      options_.durability.data_dir, data.epoch));
+  // TruncateThrough no-ops after a (simulated or real) WAL crash, so a
+  // checkpoint can never delete records the recovery path still needs.
+  XMLAC_RETURN_IF_ERROR(wal_->TruncateThrough(data.epoch));
+  obs::IncrementCounter("serve.checkpoints");
+  obs::RecordHistogram("serve.checkpoint.write_us",
+                       static_cast<uint64_t>(timer.ElapsedMicros()));
+  return Status::OK();
+}
+
+Status Server::CheckpointNow() {
+  if (wal_ == nullptr) return Status::Internal("durability disabled");
+  if (!started_) return Status::Internal("not started");
+  obs::ScopedMetrics metrics_context(&metrics_);
+  return BuildAndWriteCheckpoint(MakeCheckpointJob());
 }
 
 }  // namespace xmlac::serve

@@ -36,8 +36,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -52,8 +54,26 @@
 #include "obs/trace.h"
 #include "serve/queue.h"
 #include "serve/snapshot.h"
+#include "storage/wal.h"
 
 namespace xmlac::serve {
+
+// Durability configuration (docs/durability.md).  Off by default — set
+// `data_dir` to make the server write-ahead log every committed batch and
+// recover its state from the directory on Start().
+struct DurabilityOptions {
+  // Empty = durability disabled (pure in-memory serving, the default).
+  std::string data_dir;
+  storage::DurabilityLevel level = storage::DurabilityLevel::kFdatasync;
+  size_t segment_bytes = 64u << 20;
+  // Write a checkpoint (and truncate sealed WAL segments) every N committed
+  // batches, on a background thread.  0 = never checkpoint automatically
+  // (CheckpointNow() still works).
+  size_t checkpoint_every = 0;
+  // Crash-point fuzzing hooks, forwarded to WalOptions (serve_fuzz.h).
+  int64_t crash_after_records = -1;
+  size_t torn_tail_bytes = 0;
+};
 
 struct ServerOptions {
   size_t workers = 4;
@@ -82,6 +102,11 @@ struct ServerOptions {
   // DumpFlightRecorder() drain on demand, so freshness doesn't depend on
   // this cadence.
   size_t drain_interval_ms = 50;
+  // Write-ahead logging + checkpoints + crash recovery.  When enabled the
+  // writer thread appends one WAL record per coalesced batch and syncs it
+  // BEFORE publishing the epoch, so an acked update is durable
+  // (docs/durability.md).
+  DurabilityOptions durability;
 };
 
 // What a client gets back for any submitted request.
@@ -137,7 +162,10 @@ class Server {
   Status AddSubject(std::string_view subject, std::string_view policy_text);
 
   // Publishes the initial snapshot (epoch 1) and spawns the worker pool
-  // and the writer thread.
+  // and the writer thread.  With durability configured, first recovers any
+  // state in data_dir (superseding Load/AddSubject configuration when
+  // found) and opens the WAL; the initial snapshot resumes at the
+  // recovered epoch.
   Status Start();
 
   // Closes both queues, drains pending requests and joins all threads.
@@ -204,6 +232,20 @@ class Server {
     return controller_.SubjectNames();
   }
 
+  // --- Durability ----------------------------------------------------------
+  // True when Start() re-materialized state from data_dir instead of using
+  // the Load/AddSubject configuration.
+  bool recovered() const { return recovered_; }
+
+  // Synchronously writes a checkpoint of the currently published snapshot
+  // and truncates WAL segments it covers.  Internal error when durability
+  // is disabled or the server has not started.  Safe concurrently with
+  // serving: the checkpoint is built from the immutable snapshot.
+  Status CheckpointNow();
+
+  // Null when durability is disabled or the server has not started.
+  storage::Wal* wal() { return wal_.get(); }
+
  private:
   struct ReadTask {
     std::string subject;
@@ -217,9 +259,31 @@ class Server {
     std::promise<ServeResponse> done;
   };
 
+  // A checkpoint job: everything the background checkpointer needs without
+  // touching live engine state (the snapshot is immutable; `master` is a
+  // pre-cloned fallback for the zero-subject case, where no replica exists
+  // to reconstruct the master from).
+  struct CheckpointJob {
+    SnapshotPtr snapshot;
+    std::optional<xml::Document> master;
+    uint64_t rule_cache_epoch = 0;
+  };
+
   void WorkerLoop(size_t worker_index);
   void WriterLoop();
   void DrainerLoop();
+  void CheckpointerLoop();
+
+  // Recovery + WAL open; sets recovered_/loaded_ when durable state exists.
+  Status OpenDurability();
+  // Appends + syncs the genesis install record (fresh directories only).
+  Status AppendGenesisRecord();
+  // Builds and atomically writes the checkpoint for `job`, then truncates
+  // covered WAL segments.
+  Status BuildAndWriteCheckpoint(CheckpointJob job);
+  // Hands the current snapshot to the checkpointer thread (newest wins).
+  void ScheduleCheckpoint();
+  CheckpointJob MakeCheckpointJob();
 
   ServerOptions options_;
   engine::MultiSubjectController controller_;
@@ -249,6 +313,25 @@ class Server {
   std::mutex drainer_mu_;
   std::condition_variable drainer_cv_;
   bool drainer_stop_ = false;
+
+  // --- Durability ----------------------------------------------------------
+  std::unique_ptr<storage::Wal> wal_;
+  // Retained configuration sources, for genesis/checkpoint records: the
+  // DTD's text form and each subject's policy text (only mutated before
+  // Start, read-only afterwards — safe from the checkpointer thread).
+  std::string dtd_text_;
+  std::map<std::string, std::string, std::less<>> policies_;
+  bool recovered_ = false;
+  uint64_t recovered_epoch_ = 0;
+  size_t batches_since_checkpoint_ = 0;  // writer thread only
+  // Background checkpointer (drainer-style lifecycle); the pending slot
+  // holds at most one job — a newer schedule replaces an unstarted older
+  // one, since the newest checkpoint subsumes it.
+  std::thread checkpointer_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  std::optional<CheckpointJob> pending_ckpt_;
 };
 
 }  // namespace xmlac::serve

@@ -1,0 +1,79 @@
+#ifndef XMLAC_STORAGE_RECOVERY_H_
+#define XMLAC_STORAGE_RECOVERY_H_
+
+// Crash recovery: newest valid checkpoint + WAL tail replay
+// (docs/durability.md).
+//
+// The base state comes from the newest checkpoint when one exists,
+// otherwise from the WAL's genesis install record.  Batch records beyond
+// the base epoch then replay through the engine's decision-replay path —
+// mutations plus recorded per-subject sign deltas, never re-running policy
+// evaluation.  A torn tail on the newest segment is a clean truncation
+// (those commits never acked); anything malformed earlier is treated as
+// real corruption and recovery stops conservatively at the last good
+// record.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/multi_subject.h"
+#include "storage/wal.h"
+
+namespace xmlac::storage {
+
+// Raw durable contents of a data directory (also used by xmlac_recover for
+// offline inspection).
+struct WalContents {
+  std::vector<WalRecord> records;  // segment order, then in-segment order
+  size_t segments = 0;
+  // Segments that were torn/corrupt.  At most the last segment may be torn
+  // in a clean shutdown-free crash; more than that means damage.
+  size_t torn_segments = 0;
+  // True when a non-final segment was torn or a CRC-valid record failed to
+  // decode — records after that point were discarded.
+  bool stopped_early = false;
+};
+
+Result<WalContents> ReadWalDir(std::string_view dir);
+
+struct RecoveredState {
+  bool found = false;  // false: directory held no durable state
+  uint64_t epoch = 0;  // last committed epoch re-materialized
+  bool from_checkpoint = false;
+  size_t replayed_batches = 0;
+  std::string dtd_text;
+  // (subject, policy text) pairs, for the serving layer to re-adopt.
+  std::vector<std::pair<std::string, std::string>> subject_policies;
+};
+
+// Re-materializes the durable state of `dir` into `controller` (which is
+// Reset() first).  When nothing durable exists the controller is left
+// untouched and `found` is false.
+Result<RecoveredState> RecoverState(std::string_view dir,
+                                    engine::MultiSubjectController* controller);
+
+// ---------------------------------------------------------------------------
+// Offline inspection (tools/xmlac_recover.cc).
+
+struct WalDirSummary {
+  bool has_checkpoint = false;
+  uint64_t checkpoint_epoch = 0;
+  size_t segments = 0;
+  size_t torn_segments = 0;
+  bool stopped_early = false;
+  size_t install_records = 0;
+  size_t batch_records = 0;
+  uint64_t first_batch_epoch = 0;  // 0 when no batch records
+  uint64_t last_batch_epoch = 0;
+  std::vector<std::string> subjects;  // from checkpoint or install record
+};
+
+Result<WalDirSummary> InspectWalDir(std::string_view dir);
+
+}  // namespace xmlac::storage
+
+#endif  // XMLAC_STORAGE_RECOVERY_H_

@@ -1,0 +1,78 @@
+#include "storage/segment.h"
+
+#include <cstdio>
+
+#include "common/binary.h"
+#include "common/io.h"
+
+namespace xmlac::storage {
+
+namespace {
+constexpr char kPrefix[] = "wal-";
+constexpr char kSuffix[] = ".log";
+constexpr size_t kSeqDigits = 8;
+}  // namespace
+
+std::string SegmentFileName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%0*llu%s", kPrefix,
+                static_cast<int>(kSeqDigits),
+                static_cast<unsigned long long>(seq), kSuffix);
+  return buf;
+}
+
+bool ParseSegmentFileName(std::string_view name, uint64_t* seq) {
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  if (name.substr(0, kPrefixLen) != kPrefix) return false;
+  if (name.substr(name.size() - kSuffixLen) != kSuffix) return false;
+  std::string_view digits =
+      name.substr(kPrefixLen, name.size() - kPrefixLen - kSuffixLen);
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+void AppendFrame(std::string* out, uint64_t marker, std::string_view payload) {
+  std::string body;
+  body.reserve(8 + payload.size());
+  PutU64(&body, marker);
+  body.append(payload);
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  PutU32(out, Crc32(body));
+  out->append(body);
+}
+
+SegmentScan ScanSegment(std::string_view bytes) {
+  SegmentScan scan;
+  size_t pos = 0;
+  while (true) {
+    if (pos == bytes.size()) {
+      scan.clean = true;
+      break;
+    }
+    if (bytes.size() - pos < 8) break;  // torn header
+    BinaryCursor header(bytes.substr(pos, 8));
+    uint32_t body_len = header.GetU32();
+    uint32_t crc = header.GetU32();
+    if (body_len < 8) break;  // body always starts with a marker
+    if (bytes.size() - pos - 8 < body_len) break;  // torn body
+    std::string_view body = bytes.substr(pos + 8, body_len);
+    if (Crc32(body) != crc) break;  // corrupt or torn-then-reused bytes
+    BinaryCursor cursor(body);
+    FramedRecord record;
+    record.marker = cursor.GetU64();
+    record.payload.assign(body.substr(8));
+    scan.records.push_back(std::move(record));
+    pos += 8 + body_len;
+  }
+  scan.valid_bytes = pos;
+  return scan;
+}
+
+}  // namespace xmlac::storage

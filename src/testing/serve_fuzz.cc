@@ -1,12 +1,18 @@
 #include "testing/serve_fuzz.h"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "engine/native_backend.h"
 #include "serve/server.h"
+#include "storage/recovery.h"
 #include "testing/oracle.h"
+#include "xml/serializer.h"
 #include "xpath/parser.h"
 
 namespace xmlac::testing {
@@ -223,6 +229,228 @@ ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
       ++result.reads_checked;
     }
   }
+  return result;
+}
+
+namespace {
+
+// Serializes one subject's annotated replica (tree + sign attributes) plus
+// its default sign — the full durable annotation state in one string.
+Result<std::string> SubjectStateString(engine::AccessController* ac) {
+  auto* native = dynamic_cast<engine::NativeXmlBackend*>(ac->backend());
+  if (native == nullptr) return Status::Internal("non-native backend");
+  return std::string(1, native->default_sign()) + "\n" +
+         xml::Serialize(native->document());
+}
+
+}  // namespace
+
+RecoveryFuzzResult RunRecoveryFuzz(const RecoveryFuzzOptions& options) {
+  RecoveryFuzzResult result;
+  Random rng(options.seed * 0x9E3779B97F4A7C15ULL + 11);
+
+  // Instance, policies, probe queries and the update stream.
+  InstanceOptions instance_options = options.instance;
+  instance_options.seed = rng.Next();
+  instance_options.max_updates = 0;
+  Instance instance = GenerateInstance(instance_options);
+  size_t subjects = static_cast<size_t>(std::max(1, options.subjects));
+  std::vector<policy::Policy> policies;
+  for (size_t i = 0; i < subjects; ++i) {
+    policies.push_back(GeneratePolicy(instance.doc, rng, instance_options));
+  }
+  std::vector<xpath::Path> probes;
+  {
+    RandomPathGenerator paths(instance.doc, rng.Next(),
+                              instance_options.paths);
+    for (int i = 0; i < std::max(1, options.query_probes); ++i) {
+      probes.push_back(paths.Next());
+    }
+  }
+  std::vector<engine::BatchOp> ops = GenerateUpdates(
+      instance.doc, instance.dtd, rng, options.update_ops,
+      instance_options.paths);
+
+  // Crash point: how many WAL records (genesis included) survive.
+  const int max_crash = static_cast<int>(ops.size()) + 1;
+  result.crash_point =
+      options.crash_point >= 0
+          ? std::min(options.crash_point, max_crash)
+          : static_cast<int>(rng.Uniform(static_cast<uint64_t>(max_crash + 1)));
+  result.durable_batches =
+      result.crash_point == 0 ? 0
+                              : static_cast<size_t>(result.crash_point - 1);
+
+  std::string dir = options.data_dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("xmlac-recovery-fuzz-" + std::to_string(::getpid()) + "-" +
+            std::to_string(options.seed)))
+              .string();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  auto fail = [&result, &dir](std::string why) {
+    result.ok = false;
+    if (result.failure.empty()) {
+      result.failure = std::move(why) + " (data dir kept: " + dir + ")";
+    }
+    return result;
+  };
+
+  // --- Durable server run, killed at the crash point ------------------------
+  {
+    serve::ServerOptions server_options;
+    server_options.workers = 1;
+    server_options.max_batch = 1;  // one op per epoch: crash points line up
+    server_options.flight_recorder = false;
+    server_options.durability.data_dir = dir;
+    // Syncs are irrelevant to the model-level crash; skip them for speed.
+    server_options.durability.level = storage::DurabilityLevel::kNone;
+    server_options.durability.crash_after_records = result.crash_point;
+    server_options.durability.torn_tail_bytes = rng.Uniform(32);
+    const size_t kSegmentChoices[] = {256, 4096, 64u << 20};
+    server_options.durability.segment_bytes = kSegmentChoices[rng.Uniform(3)];
+    const size_t kCkptChoices[] = {0, 1, 3};
+    server_options.durability.checkpoint_every = kCkptChoices[rng.Uniform(3)];
+
+    serve::Server server(server_options);
+    Status st = server.LoadParsed(instance.dtd, instance.doc);
+    if (!st.ok()) return fail("server Load: " + st.ToString());
+    for (size_t i = 0; i < subjects; ++i) {
+      st = server.AddSubject(SubjectName(i), policies[i].ToString());
+      if (!st.ok()) return fail("server AddSubject: " + st.ToString());
+    }
+    st = server.Start();
+    if (!st.ok()) return fail("server Start: " + st.ToString());
+    // Serial closed-loop stream: op k commits at epoch k+2 (epoch 1 is the
+    // initial publish), so WAL record k+1 is its commit record.
+    for (const engine::BatchOp& op : ops) {
+      serve::ServeResponse resp =
+          op.kind == engine::BatchOp::Kind::kDelete
+              ? server.Update(op.xpath)
+              : server.Insert(op.xpath, op.fragment_xml);
+      // Post-crash updates still "succeed" in memory — exactly the window a
+      // real kill would erase.
+      if (!resp.status.ok()) {
+        return fail("update '" + op.xpath + "': " + resp.status.ToString());
+      }
+    }
+    server.Stop();
+  }
+
+  // --- Recovery into a fresh engine ----------------------------------------
+  engine::MultiSubjectController recovered_controller(
+      [] { return std::make_unique<engine::NativeXmlBackend>(); });
+  auto recovered = storage::RecoverState(dir, &recovered_controller);
+  if (!recovered.ok()) {
+    return fail("RecoverState: " + recovered.status().ToString());
+  }
+  result.recovered = recovered->found;
+  result.replayed_batches = recovered->replayed_batches;
+  if (result.crash_point == 0) {
+    // The kill predates even the genesis record: the directory must hold
+    // nothing durable.
+    if (recovered->found) return fail("recovered state from pre-genesis crash");
+    std::filesystem::remove_all(dir, ec);
+    return result;
+  }
+  if (!recovered->found) {
+    return fail("no durable state found after crash point " +
+                std::to_string(result.crash_point));
+  }
+  const uint64_t expected_epoch = 1 + result.durable_batches;
+  if (recovered->epoch != expected_epoch) {
+    return fail("recovered epoch " + std::to_string(recovered->epoch) +
+                ", expected " + std::to_string(expected_epoch));
+  }
+
+  // --- Reference engine: the durable prefix, applied the normal way ---------
+  engine::MultiSubjectController reference(
+      [] { return std::make_unique<engine::NativeXmlBackend>(); });
+  Status st = reference.LoadParsed(instance.dtd, instance.doc);
+  if (!st.ok()) return fail("reference Load: " + st.ToString());
+  for (size_t i = 0; i < subjects; ++i) {
+    st = reference.AddSubject(SubjectName(i), policies[i].ToString());
+    if (!st.ok()) return fail("reference AddSubject: " + st.ToString());
+  }
+  for (size_t k = 0; k < result.durable_batches; ++k) {
+    auto applied = reference.ApplyBatch({ops[k]});
+    if (!applied.ok()) {
+      return fail("reference ApplyBatch: " + applied.status().ToString());
+    }
+  }
+
+  // Kill-and-recover equivalence: byte-identical master and replicas.
+  if (xml::Serialize(recovered_controller.document()) !=
+      xml::Serialize(reference.document())) {
+    return fail("recovered master differs from reference at crash point " +
+                std::to_string(result.crash_point));
+  }
+  if (recovered_controller.document().version() !=
+      reference.document().version()) {
+    return fail("recovered master version differs from reference");
+  }
+  for (size_t i = 0; i < subjects; ++i) {
+    engine::AccessController* rec_ac =
+        recovered_controller.subject(SubjectName(i));
+    engine::AccessController* ref_ac = reference.subject(SubjectName(i));
+    if (rec_ac == nullptr || ref_ac == nullptr) {
+      return fail("subject " + SubjectName(i) + " missing after recovery");
+    }
+    auto rec_state = SubjectStateString(rec_ac);
+    auto ref_state = SubjectStateString(ref_ac);
+    if (!rec_state.ok() || !ref_state.ok()) {
+      return fail("subject state serialization failed");
+    }
+    if (*rec_state != *ref_state) {
+      return fail("subject " + SubjectName(i) +
+                  " annotations differ after recovery at crash point " +
+                  std::to_string(result.crash_point));
+    }
+  }
+
+  // Oracle probes: recovered answers must match brute force at the prefix.
+  OracleModel oracle;
+  oracle.Load(instance.doc);
+  for (size_t i = 0; i < subjects; ++i) {
+    st = oracle.AddSubject(SubjectName(i), policies[i]);
+    if (!st.ok()) return fail("oracle AddSubject: " + st.ToString());
+  }
+  for (size_t k = 0; k < result.durable_batches; ++k) {
+    st = oracle.Apply(ops[k]);
+    if (!st.ok()) return fail("oracle Apply: " + st.ToString());
+  }
+  for (const xpath::Path& probe : probes) {
+    for (size_t i = 0; i < subjects; ++i) {
+      auto served = recovered_controller.Query(SubjectName(i),
+                                               xpath::ToString(probe));
+      // The engine reports denial as a kAccessDenied status (all-or-nothing
+      // semantics); anything else non-OK is an infrastructure failure.
+      bool served_granted = served.ok();
+      if (!served.ok() &&
+          served.status().code() != StatusCode::kAccessDenied) {
+        return fail("recovered query failed: " + served.status().ToString());
+      }
+      auto expected = oracle.Query(SubjectName(i), probe);
+      if (!expected.ok()) {
+        return fail("oracle query failed: " + expected.status().ToString());
+      }
+      if (served_granted != expected->granted ||
+          (served_granted && (served->selected != expected->selected ||
+                              served->accessible != expected->accessible))) {
+        return fail("probe '" + xpath::ToString(probe) + "' subject " +
+                    SubjectName(i) + ": recovered granted=" +
+                    (served_granted ? "1" : "0") + ", oracle granted=" +
+                    (expected->granted ? "1" : "0") + " selected=" +
+                    std::to_string(expected->selected) + " accessible=" +
+                    std::to_string(expected->accessible));
+      }
+      ++result.probes_checked;
+    }
+  }
+
+  std::filesystem::remove_all(dir, ec);
   return result;
 }
 

@@ -53,6 +53,52 @@ struct ServeFuzzResult {
 // interleaving varies, but the replay check holds for every interleaving.
 ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options);
 
+// --- Crash-point recovery fuzzing ------------------------------------------
+//
+// One run generates an instance, serves a serial update stream through a
+// durable serve::Server whose WAL "crashes" after a randomized number of
+// records (simulating a SIGKILL between WAL append and apply — every later
+// append silently vanishes, optionally leaving a torn frame prefix), then
+// recovers the data directory into a fresh engine and checks:
+//
+//  * the recovered state is byte-identical to a reference engine that
+//    applied exactly the durable prefix of the stream — master document
+//    serialization, per-subject annotated replicas (tree + sign
+//    attributes), and document versions;
+//  * recovered answers match the brute-force oracle at the durable prefix
+//    for a pool of probe queries (granted / selected / accessible).
+//
+// Checkpoint cadence, torn-tail length, and segment size are drawn from
+// the seed, so the same harness covers replay-from-genesis, replay-from-
+// checkpoint, segment rolling, and torn-tail truncation.
+struct RecoveryFuzzOptions {
+  uint64_t seed = 1;
+  int update_ops = 8;
+  int subjects = 2;
+  int query_probes = 12;
+  InstanceOptions instance;
+  // Number of WAL records (the genesis install counts as one) that become
+  // durable before the simulated kill, in [0, update_ops + 1].
+  // -1 = drawn from the seed.
+  int crash_point = -1;
+  // Data directory for the run.  Empty = a unique directory under the
+  // system temp dir, removed on success and kept (named in `failure`) on
+  // mismatch.
+  std::string data_dir;
+};
+
+struct RecoveryFuzzResult {
+  bool ok = true;
+  std::string failure;  // empty when ok
+  int crash_point = 0;
+  size_t durable_batches = 0;   // committed epochs the WAL retained
+  size_t replayed_batches = 0;  // batches recovery replayed from the tail
+  bool recovered = false;       // false when the crash predates genesis
+  size_t probes_checked = 0;
+};
+
+RecoveryFuzzResult RunRecoveryFuzz(const RecoveryFuzzOptions& options);
+
 }  // namespace xmlac::testing
 
 #endif  // XMLAC_TESTING_SERVE_FUZZ_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binary.h"
 #include "common/logging.h"
 
 namespace xmlac::xml {
@@ -193,6 +194,114 @@ int Document::Height() const {
     }
   }
   return h;
+}
+
+namespace {
+
+// Arena dump format version; bumped on any incompatible layout change so
+// recovery can reject dumps it does not understand.
+constexpr uint32_t kArenaFormatVersion = 1;
+
+}  // namespace
+
+void AppendMutations(const std::vector<Mutation>& mutations,
+                     std::string* out) {
+  PutU32(out, static_cast<uint32_t>(mutations.size()));
+  for (const Mutation& m : mutations) {
+    PutU8(out, static_cast<uint8_t>(m.kind));
+    PutU32(out, m.node);
+  }
+}
+
+Result<std::vector<Mutation>> ParseMutations(std::string_view data) {
+  BinaryCursor cur(data);
+  uint32_t count = cur.GetU32();
+  std::vector<Mutation> out;
+  out.reserve(cur.ok ? count : 0);
+  for (uint32_t i = 0; i < count && cur.ok; ++i) {
+    uint8_t kind = cur.GetU8();
+    NodeId node = cur.GetU32();
+    if (kind > static_cast<uint8_t>(Mutation::Kind::kDelete)) {
+      return Status::InvalidArgument("bad mutation kind in wire encoding");
+    }
+    out.push_back(Mutation{static_cast<Mutation::Kind>(kind), node});
+  }
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("truncated mutation list");
+  }
+  return out;
+}
+
+void Document::AppendBinary(std::string* out) const {
+  PutU32(out, kArenaFormatVersion);
+  PutU64(out, version_);
+  PutU32(out, static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    PutU8(out, static_cast<uint8_t>(n.kind));
+    PutU8(out, n.alive ? 1 : 0);
+    PutString(out, n.label);
+    PutU32(out, n.parent);
+    PutU32(out, static_cast<uint32_t>(n.children.size()));
+    for (NodeId c : n.children) PutU32(out, c);
+    PutU32(out, static_cast<uint32_t>(n.attributes.size()));
+    for (const Attribute& a : n.attributes) {
+      PutString(out, a.name);
+      PutString(out, a.value);
+    }
+  }
+}
+
+Result<Document> Document::FromBinary(std::string_view data) {
+  BinaryCursor cur(data);
+  uint32_t format = cur.GetU32();
+  if (cur.ok && format != kArenaFormatVersion) {
+    return Status::InvalidArgument("unsupported document dump format");
+  }
+  uint64_t version = cur.GetU64();
+  uint32_t count = cur.GetU32();
+  Document doc;
+  if (cur.ok) doc.nodes_.reserve(count);
+  for (uint32_t i = 0; i < count && cur.ok; ++i) {
+    Node n;
+    uint8_t kind = cur.GetU8();
+    if (kind > static_cast<uint8_t>(NodeKind::kText)) {
+      return Status::InvalidArgument("bad node kind in document dump");
+    }
+    n.kind = static_cast<NodeKind>(kind);
+    n.alive = cur.GetU8() != 0;
+    n.label = cur.GetString();
+    n.parent = cur.GetU32();
+    uint32_t kids = cur.GetU32();
+    for (uint32_t k = 0; k < kids && cur.ok; ++k) {
+      n.children.push_back(cur.GetU32());
+    }
+    uint32_t attrs = cur.GetU32();
+    for (uint32_t a = 0; a < attrs && cur.ok; ++a) {
+      std::string name = cur.GetString();
+      std::string value = cur.GetString();
+      n.attributes.push_back(Attribute{std::move(name), std::move(value)});
+    }
+    if (n.alive) ++doc.alive_count_;
+    doc.nodes_.push_back(std::move(n));
+  }
+  if (!cur.ok || !cur.AtEnd()) {
+    return Status::InvalidArgument("truncated document dump");
+  }
+  // Sanity: parent/child ids must be in-arena so downstream traversals
+  // can't index out of bounds on a corrupt (but CRC-valid) dump.
+  for (const Node& n : doc.nodes_) {
+    if (n.parent != kInvalidNode && n.parent >= doc.nodes_.size()) {
+      return Status::InvalidArgument("document dump: parent out of range");
+    }
+    for (NodeId c : n.children) {
+      if (c >= doc.nodes_.size()) {
+        return Status::InvalidArgument("document dump: child out of range");
+      }
+    }
+  }
+  doc.version_ = version;
+  doc.journal_base_ = version;  // empty journal window at the restored version
+  return doc;
 }
 
 }  // namespace xmlac::xml

@@ -24,6 +24,11 @@ struct Mutation {
   NodeId node;
 };
 
+// Wire encoding of a mutation list (5 bytes each: kind + little-endian
+// NodeId), used by WAL batch records.
+void AppendMutations(const std::vector<Mutation>& mutations, std::string* out);
+Result<std::vector<Mutation>> ParseMutations(std::string_view data);
+
 // An XML document: an arena of nodes plus a distinguished root.
 //
 // Invariants:
@@ -104,6 +109,16 @@ class Document {
   // journal is bounded; old entries are discarded) — the caller must rebuild
   // from scratch instead of replaying.
   bool MutationsSince(uint64_t since, std::vector<Mutation>* out) const;
+
+  // Binary arena dump for the durable formats (WAL install records and
+  // checkpoints).  Unlike XML serialization this preserves NodeIds exactly
+  // — tombstones, arena order, and the structural version all round-trip —
+  // which is what makes logical WAL replay deterministic: replaying the
+  // same mutation sequence against a restored arena allocates the same ids
+  // the original run allocated.  The journal is NOT dumped; a restored
+  // document starts with an empty journal window at its version.
+  void AppendBinary(std::string* out) const;
+  static Result<Document> FromBinary(std::string_view data);
 
  private:
   NodeId NewNode(NodeKind kind, std::string_view label, NodeId parent);

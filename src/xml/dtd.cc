@@ -256,4 +256,36 @@ std::string ParticleToString(const Particle& p) {
   return out;
 }
 
+std::string DtdToString(const Dtd& dtd) {
+  std::string out;
+  auto append_decl = [&out](const ElementDecl& decl) {
+    out += "<!ELEMENT ";
+    out += decl.name;
+    out += ' ';
+    switch (decl.content.kind) {
+      case ParticleKind::kEmpty:
+      case ParticleKind::kAny:
+      case ParticleKind::kSequence:
+      case ParticleKind::kChoice:
+        out += ParticleToString(decl.content);
+        break;
+      default:
+        // Bare element refs / #PCDATA need the content-model parens back.
+        out += '(';
+        out += ParticleToString(decl.content);
+        out += ')';
+        break;
+    }
+    out += ">\n";
+  };
+  // Root first: ParseDtd treats the first declaration as the root.
+  for (const ElementDecl& decl : dtd.elements()) {
+    if (decl.name == dtd.root_name()) append_decl(decl);
+  }
+  for (const ElementDecl& decl : dtd.elements()) {
+    if (decl.name != dtd.root_name()) append_decl(decl);
+  }
+  return out;
+}
+
 }  // namespace xmlac::xml

@@ -76,6 +76,11 @@ Result<Dtd> ParseDtd(std::string_view text);
 // "(psn, name, treatment?)".
 std::string ParticleToString(const Particle& p);
 
+// Serializes a whole DTD back to <!ELEMENT ...> declarations, with the
+// root element declared first so ParseDtd(DtdToString(d)) restores the
+// same root.  Used by the durable formats, which persist the DTD as text.
+std::string DtdToString(const Dtd& dtd);
+
 }  // namespace xmlac::xml
 
 #endif  // XMLAC_XML_DTD_H_

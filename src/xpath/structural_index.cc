@@ -87,6 +87,33 @@ void StructuralIndex::Invalidate() {
   value_index_.clear();
 }
 
+void StructuralIndex::RestoreLabels(std::vector<IntervalLabel> labels) {
+  labels_ = std::move(labels);
+  labels_.resize(doc_->size());
+  tag_streams_.clear();
+  element_stream_.clear();
+  dead_in_streams_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(value_mu_);
+    value_index_.clear();
+  }
+  for (NodeId id = 0; id < doc_->size(); ++id) {
+    if (!doc_->IsAlive(id)) continue;
+    const xml::Node& n = doc_->node(id);
+    if (n.kind != NodeKind::kElement || labels_[id].end == 0) continue;
+    element_stream_.push_back(id);
+  }
+  std::sort(element_stream_.begin(), element_stream_.end(),
+            [&](NodeId a, NodeId b) {
+              return labels_[a].start < labels_[b].start;
+            });
+  for (NodeId id : element_stream_) {
+    tag_streams_[doc_->node(id).label].push_back(id);
+  }
+  synced_ = true;
+  synced_version_ = doc_->version();
+}
+
 void StructuralIndex::Rebuild() {
   labels_ = ComputeIntervalLabels(*doc_);
   tag_streams_.clear();
@@ -206,6 +233,11 @@ void StructuralIndex::Sync() {
       if (incremental && dead_in_streams_ * 2 > element_stream_.size()) {
         incremental = false;
       }
+    } else {
+      // The bounded journal dropped the window we needed — a full rebuild
+      // is forced below.  Surface it: a workload hitting this repeatedly is
+      // silently paying rebuild cost for every batch.
+      obs::IncrementCounter("xml.journal.window_misses");
     }
   }
   if (incremental) {

@@ -86,6 +86,14 @@ class StructuralIndex {
   // document object is replaced wholesale (its version counter restarts).
   void Invalidate();
 
+  // Adopts checkpointed labels as the synced state at the document's
+  // current version, rebuilding the tag streams from them instead of
+  // relabeling.  This is recovery's fast path: subsequent Sync() calls
+  // catch up incrementally from these labels exactly as if the index had
+  // computed them itself.  `labels` must describe the backing document
+  // (size() slots, labels for its alive elements).
+  void RestoreLabels(std::vector<IntervalLabel> labels);
+
   // True when the index reflects `doc`'s current content — the evaluator
   // falls back to the naive path otherwise rather than answer stale.
   bool ReadyFor(const xml::Document& doc) const {

@@ -55,6 +55,105 @@ TEST(IoTest, UnwritablePathFails) {
   EXPECT_FALSE(WriteFile("/nonexistent/dir/file.txt", "x").ok());
 }
 
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) known-answer
+// vectors — the standard check values every implementation must hit.
+TEST(Crc32Test, KnownAnswerVectors) {
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);  // the canonical CRC-32 check
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32(zeros), 0x190A55ADu);
+}
+
+TEST(Crc32Test, SeedChainsPartialComputations) {
+  // The documented chaining contract: Crc32(a + b) == Crc32(b, Crc32(a)),
+  // which is what lets the WAL checksum a frame body in pieces.
+  Random rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::string a, b;
+    size_t la = rng.Uniform(64), lb = rng.Uniform(64);
+    for (size_t j = 0; j < la; ++j)
+      a.push_back(static_cast<char>(rng.Uniform(256)));
+    for (size_t j = 0; j < lb; ++j)
+      b.push_back(static_cast<char>(rng.Uniform(256)));
+    EXPECT_EQ(Crc32(a + b), Crc32(b, Crc32(a)));
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "write-ahead log frame body";
+  uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(flipped), clean)
+          << "bit " << bit << " of byte " << byte;
+    }
+  }
+}
+
+TEST(IoTest, AtomicWriteFileRoundTrip) {
+  std::string path = TempPath("atomic");
+  std::string payload = "checkpoint\0body";
+  payload.push_back('\0');
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+// Visible-or-absent: after AtomicWriteFile over an existing file, a reader
+// sees either the complete old or the complete new contents — never a
+// mix, and never a truncated file.  (Single-threaded approximation: the
+// replace either fully happened or the old file is intact; the temp file
+// never lingers under the target name.)
+TEST(IoTest, AtomicWriteFileReplacesWholesale) {
+  std::string path = TempPath("atomic_replace");
+  ASSERT_TRUE(AtomicWriteFile(path, "old contents, rather long").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "new").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new");
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, AtomicWriteFileFailureLeavesTargetIntact) {
+  std::string dir = TempPath("atomic_dir");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  std::string path = dir + "/target";
+  ASSERT_TRUE(AtomicWriteFile(path, "original").ok());
+  // Writing into a nonexistent directory must fail without touching
+  // anything (the temp file lives next to its target).
+  EXPECT_FALSE(AtomicWriteFile(dir + "/missing/target", "x").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "original");
+  // No temp droppings left behind under the directory.
+  auto files = ListFiles(dir);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EnsureDirectoryAndListFiles) {
+  std::string dir = TempPath("listdir");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  // Idempotent on an existing directory.
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(WriteFile(dir + "/b.log", "b").ok());
+  ASSERT_TRUE(WriteFile(dir + "/a.log", "a").ok());
+  auto files = ListFiles(dir);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  std::remove((dir + "/a.log").c_str());
+  std::remove((dir + "/b.log").c_str());
+}
+
 TEST(RandomTest, DeterministicPerSeed) {
   Random a(42), b(42), c(43);
   for (int i = 0; i < 100; ++i) {

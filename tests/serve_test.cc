@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +12,8 @@
 #include <vector>
 
 #include "common/io.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
 #include "engine/access_controller.h"
 #include "engine/multi_subject.h"
 #include "engine/native_backend.h"
@@ -600,6 +604,139 @@ TEST(ServeStressTest, ConcurrentReadsMatchSerialOraclePerEpoch) {
     }
   }
   EXPECT_EQ(checked, kReaders * kReadsPerReader);
+}
+
+// ---------------------------------------------------------------------------
+// Durability (docs/durability.md)
+
+std::string DurableDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/xmlac_serve_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ServerOptions DurableOptions(const std::string& dir,
+                             uint64_t checkpoint_every = 0) {
+  ServerOptions opt = SmallOptions();
+  opt.durability.data_dir = dir;
+  opt.durability.level = storage::DurabilityLevel::kNone;  // tmpfs-friendly
+  opt.durability.checkpoint_every = checkpoint_every;
+  return opt;
+}
+
+// Answers for every subject over a probe pool, for restart comparisons.
+std::map<std::string, std::vector<uint64_t>> ProbeAll(Server* server) {
+  const char* kProbes[] = {"//patient", "//patient/name", "//bill",
+                           "//treatment", "//staff"};
+  std::map<std::string, std::vector<uint64_t>> out;
+  for (const std::string& subject : server->SubjectNames()) {
+    std::vector<uint64_t>& row = out[subject];
+    for (const char* q : kProbes) {
+      ServeResponse resp = server->Query(subject, q);
+      EXPECT_TRUE(resp.status.ok()) << resp.status;
+      row.push_back(resp.granted ? 1 : 0);
+      row.push_back(resp.selected);
+      row.push_back(resp.accessible);
+    }
+  }
+  return out;
+}
+
+TEST(ServeDurabilityTest, RestartRecoversCommittedState) {
+  std::string dir = DurableDir("restart");
+  std::map<std::string, std::vector<uint64_t>> before;
+  {
+    auto server = MakeHospitalServer(DurableOptions(dir));
+    ASSERT_TRUE(server->Start().ok());
+    EXPECT_FALSE(server->recovered());
+    ASSERT_NE(server->wal(), nullptr);
+    ASSERT_TRUE(
+        server->Update("//patient[psn=\"001\"]").status.ok());
+    ASSERT_TRUE(server
+                    ->Insert("//patients",
+                             "<patient><psn>990</psn><name>durable</name>"
+                             "</patient>")
+                    .status.ok());
+    before = ProbeAll(server.get());
+    server->Stop();
+  }
+  {
+    // No LoadParsed / AddSubject: everything comes back from the data dir.
+    auto server = std::make_unique<Server>(DurableOptions(dir));
+    ASSERT_TRUE(server->Start().ok());
+    EXPECT_TRUE(server->recovered());
+    EXPECT_EQ(server->SubjectNames().size(),
+              workload::kHospitalSubjectCount);
+    EXPECT_EQ(ProbeAll(server.get()), before);
+    // The recovered server keeps serving updates durably.
+    ASSERT_TRUE(server->Update("//patient[psn=\"002\"]").status.ok());
+    server->Stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeDurabilityTest, CheckpointNowCoversWalTail) {
+  std::string dir = DurableDir("checkpoint");
+  std::map<std::string, std::vector<uint64_t>> before;
+  {
+    auto server = MakeHospitalServer(DurableOptions(dir));
+    ASSERT_TRUE(server->Start().ok());
+    ASSERT_TRUE(server->Update("//patient[psn=\"001\"]").status.ok());
+    ASSERT_TRUE(server->CheckpointNow().ok());
+    // Post-checkpoint updates land in the WAL tail on top of it.
+    ASSERT_TRUE(server->Update("//patient[psn=\"003\"]").status.ok());
+    before = ProbeAll(server.get());
+    server->Stop();
+  }
+  auto newest = storage::ReadNewestCheckpoint(dir);
+  ASSERT_TRUE(newest.ok()) << newest.status();
+  {
+    auto server = std::make_unique<Server>(DurableOptions(dir));
+    ASSERT_TRUE(server->Start().ok());
+    EXPECT_TRUE(server->recovered());
+    EXPECT_EQ(ProbeAll(server.get()), before);
+    server->Stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeDurabilityTest, BackgroundCheckpointerTruncatesSegments) {
+  std::string dir = DurableDir("bg_checkpoint");
+  {
+    ServerOptions opt = DurableOptions(dir, /*checkpoint_every=*/2);
+    opt.durability.segment_bytes = 4096;  // several rolls over the run
+    auto server = MakeHospitalServer(opt);
+    ASSERT_TRUE(server->Start().ok());
+    for (int i = 1; i <= 10; ++i) {
+      char psn[16];
+      std::snprintf(psn, sizeof(psn), "%03d", i);
+      ASSERT_TRUE(
+          server->Update(std::string("//patient[psn=\"") + psn + "\"]")
+              .status.ok());
+    }
+    server->Stop();  // joins the checkpointer
+  }
+  // At least one background checkpoint must have been written.
+  auto newest = storage::ReadNewestCheckpoint(dir);
+  ASSERT_TRUE(newest.ok()) << newest.status();
+  EXPECT_GT(newest->epoch, 1u);
+  // And the directory still recovers to the full committed state.
+  auto server = std::make_unique<Server>(DurableOptions(dir));
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_TRUE(server->recovered());
+  ServeResponse resp = server->Query(
+      workload::kHospitalSubjects[0].subject, "//patient");
+  EXPECT_TRUE(resp.status.ok());
+  server->Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeDurabilityTest, NoDataDirMeansNoWal) {
+  auto server = MakeHospitalServer(SmallOptions());
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_EQ(server->wal(), nullptr);
+  EXPECT_FALSE(server->recovered());
+  server->Stop();
 }
 
 }  // namespace

@@ -1,0 +1,700 @@
+// Durability subsystem tests (src/storage/, docs/durability.md):
+// segment framing and torn-tail scanning, WAL append/reopen/truncate,
+// checkpoint encode/decode with corruption fallback, and end-to-end crash
+// recovery including the randomized crash-point fuzz harness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io.h"
+#include "engine/multi_subject.h"
+#include "engine/native_backend.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
+#include "testing/serve_fuzz.h"
+#include "tests/testdata.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlac::storage {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/xmlac_storage_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ----- Segment framing ---------------------------------------------------
+
+TEST(SegmentTest, FileNameRoundTrip) {
+  uint64_t seq = 0;
+  EXPECT_EQ(SegmentFileName(1), "wal-00000001.log");
+  ASSERT_TRUE(ParseSegmentFileName(SegmentFileName(42), &seq));
+  EXPECT_EQ(seq, 42u);
+  ASSERT_TRUE(ParseSegmentFileName(SegmentFileName(99999999), &seq));
+  EXPECT_EQ(seq, 99999999u);
+  EXPECT_FALSE(ParseSegmentFileName("checkpoint-000000000001.ckpt", &seq));
+  EXPECT_FALSE(ParseSegmentFileName("wal-.log", &seq));
+  EXPECT_FALSE(ParseSegmentFileName("wal-0000000x.log", &seq));
+  EXPECT_FALSE(ParseSegmentFileName("wal-00000001.log.tmp", &seq));
+}
+
+TEST(SegmentTest, FrameRoundTrip) {
+  std::string bytes;
+  AppendFrame(&bytes, 7, "alpha");
+  AppendFrame(&bytes, 8, "");
+  std::string binary("\x00\x01\xff\xfe", 4);
+  AppendFrame(&bytes, 9, binary);
+  SegmentScan scan = ScanSegment(bytes);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, bytes.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].marker, 7u);
+  EXPECT_EQ(scan.records[0].payload, "alpha");
+  EXPECT_EQ(scan.records[1].marker, 8u);
+  EXPECT_TRUE(scan.records[1].payload.empty());
+  EXPECT_EQ(scan.records[2].marker, 9u);
+  EXPECT_EQ(scan.records[2].payload, binary);
+}
+
+// The recovery invariant, exhaustively: a segment truncated at EVERY byte
+// offset parses as a complete prefix of the original records plus a clean
+// truncation point — never as corrupt or invented records.
+TEST(SegmentTest, TruncationAtEveryByteOffsetYieldsCleanPrefix) {
+  std::string bytes;
+  std::vector<size_t> boundaries{0};  // frame end offsets
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 6; ++i) {
+    std::string payload(static_cast<size_t>(i * 7), 'a' + static_cast<char>(i));
+    payload += "rec" + std::to_string(i);
+    payloads.push_back(payload);
+    AppendFrame(&bytes, 100 + static_cast<uint64_t>(i), payload);
+    boundaries.push_back(bytes.size());
+  }
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    SegmentScan scan = ScanSegment(std::string_view(bytes).substr(0, cut));
+    // Complete frames strictly before the cut survive.
+    size_t want = 0;
+    while (want + 1 < boundaries.size() && boundaries[want + 1] <= cut) ++want;
+    ASSERT_EQ(scan.records.size(), want) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, boundaries[want]) << "cut at " << cut;
+    EXPECT_EQ(scan.clean, boundaries[want] == cut) << "cut at " << cut;
+    for (size_t r = 0; r < want; ++r) {
+      EXPECT_EQ(scan.records[r].marker, 100 + r);
+      EXPECT_EQ(scan.records[r].payload, payloads[r]);
+    }
+  }
+}
+
+// Flipping any single byte never yields a record that differs from the
+// original at that position — the scan stops at or before the damage.
+TEST(SegmentTest, BitRotNeverYieldsCorruptRecords) {
+  std::string bytes;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 4; ++i) {
+    payloads.push_back("payload-" + std::to_string(i));
+    AppendFrame(&bytes, static_cast<uint64_t>(i + 1), payloads.back());
+  }
+  for (size_t at = 0; at < bytes.size(); ++at) {
+    std::string damaged = bytes;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x41);
+    SegmentScan scan = ScanSegment(damaged);
+    ASSERT_LE(scan.records.size(), payloads.size());
+    for (size_t r = 0; r < scan.records.size(); ++r) {
+      // Any record the scan does return must be one of the originals,
+      // in order (the flip may damage only frames at or after its
+      // offset).
+      EXPECT_EQ(scan.records[r].marker, r + 1) << "flip at " << at;
+      EXPECT_EQ(scan.records[r].payload, payloads[r]) << "flip at " << at;
+    }
+  }
+}
+
+// ----- WAL ---------------------------------------------------------------
+
+// A batch record with the given epoch and no ops — a decodable payload
+// for WAL-level tests that don't care about record contents.
+std::string EpochRecord(uint64_t epoch) {
+  BatchRecord record;
+  record.epoch = epoch;
+  return EncodeBatchRecord(record);
+}
+
+TEST(WalTest, AppendReopenRoundTrip) {
+  std::string dir = FreshDir("wal_roundtrip");
+  {
+    WalOptions opt;
+    opt.dir = dir;
+    opt.level = DurabilityLevel::kNone;
+    auto wal = Wal::Open(opt);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->Append(1, EpochRecord(1)).ok());
+    ASSERT_TRUE((*wal)->Append(2, EpochRecord(2)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    EXPECT_EQ((*wal)->records_appended(), 2u);
+  }
+  // A reopen starts a fresh segment after the existing ones and appends
+  // there; the directory reads back in order across segments.
+  {
+    WalOptions opt;
+    opt.dir = dir;
+    opt.level = DurabilityLevel::kNone;
+    auto wal = Wal::Open(opt);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    EXPECT_GT((*wal)->current_segment_seq(), 1u);
+    ASSERT_TRUE((*wal)->Append(3, EpochRecord(3)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto contents = ReadWalDir(dir);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(contents->segments, 2u);
+  EXPECT_EQ(contents->torn_segments, 0u);
+  EXPECT_FALSE(contents->stopped_early);
+  ASSERT_EQ(contents->records.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(contents->records[i].batch.epoch, i + 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, TornTailTruncatedOnReopen) {
+  std::string dir = FreshDir("wal_torn");
+  {
+    WalOptions opt;
+    opt.dir = dir;
+    opt.level = DurabilityLevel::kNone;
+    auto wal = Wal::Open(opt);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, EpochRecord(1)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Simulate a torn append: garbage bytes at the tail of the newest
+  // segment (looks like a frame header pointing past EOF).
+  std::string segment_path = dir + "/" + SegmentFileName(1);
+  auto before = ReadFile(segment_path);
+  ASSERT_TRUE(before.ok());
+  std::string torn = *before + std::string("\xff\xff\xff\x7f tail", 9);
+  ASSERT_TRUE(WriteFile(segment_path, torn).ok());
+  {
+    WalOptions opt;
+    opt.dir = dir;
+    opt.level = DurabilityLevel::kNone;
+    auto wal = Wal::Open(opt);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+  }
+  auto after = ReadFile(segment_path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before) << "open must truncate the torn tail in place";
+  auto contents = ReadWalDir(dir);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].kind, RecordKind::kBatch);
+  EXPECT_EQ(contents->records[0].batch.epoch, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, SegmentRollingAndTruncateThrough) {
+  std::string dir = FreshDir("wal_roll");
+  WalOptions opt;
+  opt.dir = dir;
+  opt.level = DurabilityLevel::kNone;
+  opt.segment_bytes = 64;  // force a roll every couple of records
+  auto wal = Wal::Open(opt);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t epoch = 1; epoch <= 10; ++epoch) {
+    ASSERT_TRUE((*wal)->Append(epoch, EpochRecord(epoch)).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_GT((*wal)->current_segment_seq(), 2u);
+
+  auto files_before = ListFiles(dir);
+  ASSERT_TRUE(files_before.ok());
+  size_t segments_before = files_before->size();
+
+  // Truncation drops sealed segments whose every record is <= the marker;
+  // the open segment survives regardless.
+  ASSERT_TRUE((*wal)->TruncateThrough(5).ok());
+  auto files_after = ListFiles(dir);
+  ASSERT_TRUE(files_after.ok());
+  EXPECT_LT(files_after->size(), segments_before);
+
+  auto contents = ReadWalDir(dir);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_FALSE(contents->records.empty());
+  // Everything with marker > 5 must still be there, contiguously.
+  uint64_t max_epoch = 0;
+  for (const WalRecord& record : contents->records) {
+    max_epoch = std::max(max_epoch, record.batch.epoch);
+  }
+  EXPECT_EQ(max_epoch, 10u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, CrashHookDropsLaterAppendsSilently) {
+  std::string dir = FreshDir("wal_crash");
+  WalOptions opt;
+  opt.dir = dir;
+  opt.level = DurabilityLevel::kNone;
+  opt.crash_after_records = 2;
+  auto wal = Wal::Open(opt);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, EpochRecord(1)).ok());
+  ASSERT_TRUE((*wal)->Append(2, EpochRecord(2)).ok());
+  EXPECT_FALSE((*wal)->crashed());
+  // The third append hits the crash point: it reports success (the caller
+  // must behave exactly as if the process died) but persists nothing.
+  ASSERT_TRUE((*wal)->Append(3, EpochRecord(3)).ok());
+  EXPECT_TRUE((*wal)->crashed());
+  ASSERT_TRUE((*wal)->Append(4, EpochRecord(4)).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  // Truncation must refuse to run post-crash.
+  ASSERT_TRUE((*wal)->TruncateThrough(99).ok());
+  wal->reset();
+
+  auto contents = ReadWalDir(dir);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, DurabilityLevelNames) {
+  EXPECT_EQ(DurabilityLevelName(DurabilityLevel::kNone), "none");
+  EXPECT_EQ(DurabilityLevelName(DurabilityLevel::kFdatasync), "fdatasync");
+  EXPECT_EQ(DurabilityLevelName(DurabilityLevel::kFsync), "fsync");
+  EXPECT_EQ(ParseDurabilityLevel("fsync"), DurabilityLevel::kFsync);
+  EXPECT_EQ(ParseDurabilityLevel("fdatasync"), DurabilityLevel::kFdatasync);
+  EXPECT_EQ(ParseDurabilityLevel("none"), DurabilityLevel::kNone);
+  EXPECT_FALSE(ParseDurabilityLevel("o_direct").has_value());
+}
+
+// ----- Record payload encoding -------------------------------------------
+
+TEST(RecordTest, InstallRoundTrip) {
+  InstallRecord install;
+  install.epoch = 1;
+  install.rule_cache_epoch = 17;
+  install.dtd_text = "<!ELEMENT r (#PCDATA)>";
+  install.master_binary = std::string("\x00\x01\x02", 3);
+  SubjectState subject;
+  subject.name = "alice";
+  subject.policy_text = "policy text";
+  subject.default_sign = '+';
+  subject.marked = {3, 5, 8};
+  install.subjects.push_back(subject);
+
+  auto decoded = DecodeRecord(EncodeInstallRecord(install));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->kind, RecordKind::kInstall);
+  EXPECT_EQ(decoded->install.epoch, 1u);
+  EXPECT_EQ(decoded->install.rule_cache_epoch, 17u);
+  EXPECT_EQ(decoded->install.dtd_text, install.dtd_text);
+  EXPECT_EQ(decoded->install.master_binary, install.master_binary);
+  ASSERT_EQ(decoded->install.subjects.size(), 1u);
+  EXPECT_EQ(decoded->install.subjects[0].name, "alice");
+  EXPECT_EQ(decoded->install.subjects[0].default_sign, '+');
+  EXPECT_EQ(decoded->install.subjects[0].marked, subject.marked);
+}
+
+TEST(RecordTest, BatchRoundTrip) {
+  BatchRecord batch;
+  batch.epoch = 9;
+  batch.ops.push_back(engine::BatchOp::Delete("//a[b=\"c\"]"));
+  batch.ops.push_back(engine::BatchOp::Insert("//a", "<b>x</b>"));
+  batch.deltas["alice"] = engine::SubjectDelta{{1, 2}, {3}};
+  batch.deltas["bob"] = engine::SubjectDelta{{}, {7}};
+
+  auto decoded = DecodeRecord(EncodeBatchRecord(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->kind, RecordKind::kBatch);
+  EXPECT_EQ(decoded->batch.epoch, 9u);
+  ASSERT_EQ(decoded->batch.ops.size(), 2u);
+  EXPECT_EQ(decoded->batch.ops[0].kind, engine::BatchOp::Kind::kDelete);
+  EXPECT_EQ(decoded->batch.ops[0].xpath, "//a[b=\"c\"]");
+  EXPECT_EQ(decoded->batch.ops[1].kind, engine::BatchOp::Kind::kInsert);
+  EXPECT_EQ(decoded->batch.ops[1].fragment_xml, "<b>x</b>");
+  ASSERT_EQ(decoded->batch.deltas.size(), 2u);
+  EXPECT_EQ(decoded->batch.deltas.at("alice").marked,
+            (std::vector<engine::UniversalId>{1, 2}));
+  EXPECT_EQ(decoded->batch.deltas.at("alice").cleared,
+            (std::vector<engine::UniversalId>{3}));
+  EXPECT_EQ(decoded->batch.deltas.at("bob").cleared,
+            (std::vector<engine::UniversalId>{7}));
+}
+
+TEST(RecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeRecord("").ok());
+  EXPECT_FALSE(DecodeRecord("\x07garbage").ok());
+  // A valid record with trailing bytes is rejected (AtEnd check).
+  std::string padded = EncodeBatchRecord(BatchRecord{});
+  padded += "x";
+  EXPECT_FALSE(DecodeRecord(padded).ok());
+}
+
+// ----- Checkpoints -------------------------------------------------------
+
+CheckpointData SampleCheckpoint(uint64_t epoch) {
+  CheckpointData data;
+  data.epoch = epoch;
+  data.rule_cache_epoch = epoch + 1;
+  data.dtd_text = "<!ELEMENT r (#PCDATA)>";
+  data.master_binary = "binary-master-" + std::to_string(epoch);
+  data.labels.push_back(xpath::IntervalLabel{1, 100, 0});
+  data.labels.push_back(xpath::IntervalLabel{2, 50, 1});
+  SubjectState subject;
+  subject.name = "alice";
+  subject.policy_text = "p";
+  subject.default_sign = '-';
+  subject.marked = {4, 9};
+  data.subjects.push_back(subject);
+  return data;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTrip) {
+  CheckpointData data = SampleCheckpoint(12);
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->epoch, 12u);
+  EXPECT_EQ(decoded->rule_cache_epoch, 13u);
+  EXPECT_EQ(decoded->master_binary, data.master_binary);
+  ASSERT_EQ(decoded->labels.size(), 2u);
+  EXPECT_EQ(decoded->labels[1].start, 2u);
+  EXPECT_EQ(decoded->labels[1].end, 50u);
+  EXPECT_EQ(decoded->labels[1].level, 1u);
+  ASSERT_EQ(decoded->subjects.size(), 1u);
+  EXPECT_EQ(decoded->subjects[0].marked,
+            (std::vector<engine::UniversalId>{4, 9}));
+}
+
+TEST(CheckpointTest, DecodeRejectsCorruption) {
+  std::string bytes = EncodeCheckpoint(SampleCheckpoint(3));
+  EXPECT_TRUE(DecodeCheckpoint(bytes).ok());
+  for (size_t at : {size_t{0}, size_t{5}, bytes.size() / 2,
+                    bytes.size() - 1}) {
+    std::string damaged = bytes;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x10);
+    EXPECT_FALSE(DecodeCheckpoint(damaged).ok()) << "flip at " << at;
+  }
+  EXPECT_FALSE(DecodeCheckpoint(bytes.substr(0, bytes.size() - 3)).ok());
+  EXPECT_FALSE(DecodeCheckpoint("").ok());
+}
+
+TEST(CheckpointTest, NewestValidWinsAndCorruptFallsBack) {
+  std::string dir = FreshDir("ckpt");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(WriteCheckpoint(dir, SampleCheckpoint(5)).ok());
+  ASSERT_TRUE(WriteCheckpoint(dir, SampleCheckpoint(9)).ok());
+  auto newest = ReadNewestCheckpoint(dir);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->epoch, 9u);
+
+  // Corrupt the newest file: reads fall back to the older valid one.
+  std::string newest_path = dir + "/" + CheckpointFileName(9);
+  auto bytes = ReadFile(newest_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = *bytes;
+  damaged[damaged.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFile(newest_path, damaged).ok());
+  newest = ReadNewestCheckpoint(dir);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->epoch, 5u);
+
+  ASSERT_TRUE(RemoveCheckpointsBefore(dir, 9).ok());
+  EXPECT_FALSE(ReadNewestCheckpoint(dir + "/nope").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, EmptyDirIsNotFound) {
+  std::string dir = FreshDir("ckpt_empty");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  auto r = ReadNewestCheckpoint(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+// ----- Recovery ----------------------------------------------------------
+
+engine::MultiSubjectController MakeController() {
+  return engine::MultiSubjectController(
+      [] { return std::make_unique<engine::NativeXmlBackend>(); });
+}
+
+// Serialized annotation state of one subject: default sign + replica tree
+// with sign attributes.
+std::string SubjectString(engine::MultiSubjectController* controller,
+                          std::string_view name) {
+  auto* ac = controller->subject(name);
+  EXPECT_NE(ac, nullptr);
+  auto* native = dynamic_cast<engine::NativeXmlBackend*>(ac->backend());
+  EXPECT_NE(native, nullptr);
+  return std::string(1, native->default_sign()) + "\n" +
+         xml::Serialize(native->document());
+}
+
+struct DurableRun {
+  std::string dir;
+  xml::Dtd dtd;
+  std::vector<std::pair<std::string, std::string>> subjects;
+};
+
+// Builds a WAL directory (genesis + one batch per op) while applying the
+// ops through `controller` normally; markers are the commit epochs.
+void WriteRun(engine::MultiSubjectController* controller,
+              const std::vector<engine::BatchOp>& ops, const DurableRun& run) {
+  WalOptions wopt;
+  wopt.dir = run.dir;
+  wopt.level = DurabilityLevel::kNone;
+  auto wal = Wal::Open(wopt);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  InstallRecord install;
+  install.epoch = 1;
+  install.rule_cache_epoch = controller->rule_cache().epoch();
+  install.dtd_text = xml::DtdToString(run.dtd);
+  controller->document().AppendBinary(&install.master_binary);
+  for (const auto& [name, policy] : run.subjects) {
+    auto* ac = controller->subject(name);
+    ASSERT_NE(ac, nullptr);
+    SubjectState state;
+    state.name = name;
+    state.policy_text = policy;
+    state.default_sign = ac->CurrentDefaultSign();
+    state.marked = ac->ExportMarkedSigns();
+    install.subjects.push_back(std::move(state));
+  }
+  ASSERT_TRUE((*wal)->Append(1, EncodeInstallRecord(install)).ok());
+
+  uint64_t epoch = 1;
+  for (const engine::BatchOp& op : ops) {
+    std::vector<engine::BatchOp> batch{op};
+    engine::CommitCapture capture;
+    auto stats = controller->ApplyBatch(batch, &capture);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    BatchRecord record;
+    record.epoch = ++epoch;
+    record.ops = std::move(batch);
+    record.master_mutations = std::move(capture.master_mutations);
+    record.deltas = std::move(capture.subjects);
+    ASSERT_TRUE(
+        (*wal)->Append(record.epoch, EncodeBatchRecord(record)).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+}
+
+// A second policy so recovery exercises per-subject sign divergence.
+constexpr char kAuditorPolicy[] = R"(
+default deny
+conflict deny
+allow //patient
+allow //patient/psn
+deny  //patient[.//experimental]
+allow //bill
+)";
+
+DurableRun HospitalRun(const char* tag) {
+  DurableRun run;
+  run.dir = FreshDir(tag);
+  auto dtd = xml::ParseDtd(testdata::kHospitalDtd);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  run.dtd = *dtd;
+  run.subjects = {
+      {"auditor", kAuditorPolicy},
+      {"nurse", testdata::kHospitalPolicy},
+  };
+  return run;
+}
+
+void SetUpRun(const DurableRun& run,
+              engine::MultiSubjectController* controller) {
+  auto doc = xml::ParseDocument(testdata::kHospitalDoc);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(controller->LoadParsed(run.dtd, *doc).ok());
+  for (const auto& [name, policy] : run.subjects) {
+    ASSERT_TRUE(controller->AddSubject(name, policy).ok());
+  }
+}
+
+TEST(RecoveryTest, ReplayedStateMatchesLiveState) {
+  DurableRun run = HospitalRun("recover_e2e");
+  engine::MultiSubjectController live = MakeController();
+  SetUpRun(run, &live);
+  std::vector<engine::BatchOp> ops{
+      engine::BatchOp::Delete("//patient[psn=\"033\"]"),
+      engine::BatchOp::Insert("//patients",
+                              "<patient><psn>009</psn><name>new</name>"
+                              "</patient>"),
+      engine::BatchOp::Delete("//patient[psn=\"042\"]/treatment"),
+  };
+  WriteRun(&live, ops, run);
+
+  engine::MultiSubjectController recovered = MakeController();
+  auto state = RecoverState(run.dir, &recovered);
+  ASSERT_TRUE(state.ok()) << state.status();
+  ASSERT_TRUE(state->found);
+  EXPECT_FALSE(state->from_checkpoint);
+  EXPECT_EQ(state->epoch, 1 + ops.size());
+  EXPECT_EQ(state->replayed_batches, ops.size());
+  EXPECT_EQ(state->dtd_text, xml::DtdToString(run.dtd));
+  ASSERT_EQ(state->subject_policies.size(), 2u);
+
+  EXPECT_EQ(xml::Serialize(recovered.document()),
+            xml::Serialize(live.document()));
+  EXPECT_EQ(recovered.document().version(), live.document().version());
+  for (const auto& [name, policy] : run.subjects) {
+    EXPECT_EQ(SubjectString(&recovered, name), SubjectString(&live, name))
+        << name;
+  }
+  std::filesystem::remove_all(run.dir);
+}
+
+TEST(RecoveryTest, ReplayFromCheckpointSkipsCoveredBatches) {
+  DurableRun run = HospitalRun("recover_ckpt");
+  engine::MultiSubjectController live = MakeController();
+  SetUpRun(run, &live);
+  std::vector<engine::BatchOp> ops{
+      engine::BatchOp::Delete("//patient[psn=\"033\"]"),
+      engine::BatchOp::Delete("//patient[psn=\"042\"]"),
+  };
+  WriteRun(&live, ops, run);
+
+  // Checkpoint the final state (epoch 3): recovery must load it and
+  // replay zero batches, ignoring the fully covered WAL.
+  CheckpointData data;
+  data.epoch = 3;
+  data.rule_cache_epoch = live.rule_cache().epoch();
+  data.dtd_text = xml::DtdToString(run.dtd);
+  live.document().AppendBinary(&data.master_binary);
+  data.labels = xpath::ComputeIntervalLabels(live.document());
+  for (const auto& [name, policy] : run.subjects) {
+    auto* ac = live.subject(name);
+    SubjectState subject;
+    subject.name = name;
+    subject.policy_text = policy;
+    subject.default_sign = ac->CurrentDefaultSign();
+    subject.marked = ac->ExportMarkedSigns();
+    data.subjects.push_back(std::move(subject));
+  }
+  ASSERT_TRUE(WriteCheckpoint(run.dir, data).ok());
+
+  engine::MultiSubjectController recovered = MakeController();
+  auto state = RecoverState(run.dir, &recovered);
+  ASSERT_TRUE(state.ok()) << state.status();
+  ASSERT_TRUE(state->found);
+  EXPECT_TRUE(state->from_checkpoint);
+  EXPECT_EQ(state->epoch, 3u);
+  EXPECT_EQ(state->replayed_batches, 0u);
+  EXPECT_EQ(xml::Serialize(recovered.document()),
+            xml::Serialize(live.document()));
+  for (const auto& [name, policy] : run.subjects) {
+    EXPECT_EQ(SubjectString(&recovered, name), SubjectString(&live, name));
+  }
+  std::filesystem::remove_all(run.dir);
+}
+
+TEST(RecoveryTest, EpochGapIsAnError) {
+  DurableRun run = HospitalRun("recover_gap");
+  engine::MultiSubjectController live = MakeController();
+  SetUpRun(run, &live);
+  std::vector<engine::BatchOp> ops{
+      engine::BatchOp::Delete("//patient[psn=\"033\"]"),
+  };
+  WriteRun(&live, ops, run);
+  // Append a batch whose epoch skips 3: recovery must refuse rather than
+  // replay out of order.
+  {
+    WalOptions wopt;
+    wopt.dir = run.dir;
+    wopt.level = DurabilityLevel::kNone;
+    auto wal = Wal::Open(wopt);
+    ASSERT_TRUE(wal.ok());
+    BatchRecord record;
+    record.epoch = 4;
+    record.ops.push_back(engine::BatchOp::Delete("//patient[psn=\"042\"]"));
+    ASSERT_TRUE(
+        (*wal)->Append(record.epoch, EncodeBatchRecord(record)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  engine::MultiSubjectController recovered = MakeController();
+  auto state = RecoverState(run.dir, &recovered);
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kInternal);
+  std::filesystem::remove_all(run.dir);
+}
+
+TEST(RecoveryTest, EmptyDirectoryRecoversNothing) {
+  std::string dir = FreshDir("recover_empty");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  engine::MultiSubjectController controller = MakeController();
+  auto state = RecoverState(dir, &controller);
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_FALSE(state->found);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RecoveryTest, InspectSummarizesDirectory) {
+  DurableRun run = HospitalRun("recover_inspect");
+  engine::MultiSubjectController live = MakeController();
+  SetUpRun(run, &live);
+  std::vector<engine::BatchOp> ops{
+      engine::BatchOp::Delete("//patient[psn=\"033\"]"),
+      engine::BatchOp::Delete("//patient[psn=\"042\"]"),
+  };
+  WriteRun(&live, ops, run);
+  auto summary = InspectWalDir(run.dir);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_FALSE(summary->has_checkpoint);
+  EXPECT_EQ(summary->segments, 1u);
+  EXPECT_EQ(summary->install_records, 1u);
+  EXPECT_EQ(summary->batch_records, 2u);
+  EXPECT_EQ(summary->first_batch_epoch, 2u);
+  EXPECT_EQ(summary->last_batch_epoch, 3u);
+  EXPECT_EQ(summary->subjects.size(), 2u);
+  std::filesystem::remove_all(run.dir);
+}
+
+// ----- Crash-point fuzz harness ------------------------------------------
+
+// Fixed crash points cover the interesting boundaries deterministically;
+// the remaining seeds draw crash point, torn-tail length, segment size,
+// and checkpoint cadence at random (testing/serve_fuzz.h).
+TEST(RecoveryFuzzTest, CrashBeforeGenesisRecoversNothing) {
+  xmlac::testing::RecoveryFuzzOptions opt;
+  opt.seed = 7;
+  opt.crash_point = 0;
+  auto result = xmlac::testing::RunRecoveryFuzz(opt);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_FALSE(result.recovered);
+}
+
+TEST(RecoveryFuzzTest, CrashRightAfterGenesis) {
+  xmlac::testing::RecoveryFuzzOptions opt;
+  opt.seed = 7;
+  opt.crash_point = 1;
+  auto result = xmlac::testing::RunRecoveryFuzz(opt);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_TRUE(result.recovered);
+  EXPECT_EQ(result.durable_batches, 0u);
+}
+
+TEST(RecoveryFuzzTest, RandomizedCrashPoints) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    xmlac::testing::RecoveryFuzzOptions opt;
+    opt.seed = seed;
+    auto result = xmlac::testing::RunRecoveryFuzz(opt);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.failure;
+  }
+}
+
+}  // namespace
+}  // namespace xmlac::storage

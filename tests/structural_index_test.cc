@@ -7,6 +7,7 @@
 
 #include "engine/native_backend.h"
 #include "engine/relational_backend.h"
+#include "obs/metrics.h"
 #include "testing/generators.h"
 #include "tests/testdata.h"
 #include "xml/dtd.h"
@@ -150,6 +151,51 @@ TEST(StructuralIndexTest, DeleteTombstonesThenCompacts) {
   index.Sync();
   EXPECT_TRUE(EvalBoth("//patient", doc, index).empty());
   EXPECT_EQ(EvalBoth("//hospital", doc, index).size(), 1u);
+}
+
+// Regression: when the bounded mutation journal drops the window the
+// index needs, the forced full rebuild must (a) still yield a correct
+// index and (b) be surfaced through the xml.journal.window_misses
+// counter instead of silently charging rebuild cost to every sync
+// (docs/durability.md, "Observability").
+TEST(StructuralIndexTest, JournalWindowMissCountsAndRebuilds) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics scoped(&registry);
+  Document doc = Parse(testdata::kHospitalDoc);
+  StructuralIndex index(&doc);
+  index.Sync();
+  EXPECT_EQ(index.builds(), 1u);
+
+  // Overflow the journal (cap 2^16; overflow drops the oldest half) so
+  // the window [synced_version, now) is gone.
+  std::vector<NodeId> patients = EvalBoth("//patients", doc, index);
+  ASSERT_EQ(patients.size(), 1u);
+  for (int i = 0; i < (1 << 16) + 8; ++i) {
+    NodeId n = doc.CreateElement(patients[0], "patient");
+    doc.DeleteSubtree(n);
+  }
+  std::vector<xml::Mutation> mutations;
+  ASSERT_FALSE(doc.MutationsSince(1, &mutations))
+      << "journal window unexpectedly intact; raise the loop count";
+
+  index.Sync();
+  EXPECT_EQ(index.builds(), 2u) << "window miss must force a full rebuild";
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  auto it = snapshot.counters.find("xml.journal.window_misses");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_EQ(it->second, 1u);
+  // The rebuilt index still answers correctly.
+  EXPECT_EQ(EvalBoth("//patient", doc, index).size(), 3u);
+
+  // A follow-up in-window sync replays incrementally and does not bump
+  // the counter again.
+  NodeId p = doc.CreateElement(patients[0], "patient");
+  NodeId psn = doc.CreateElement(p, "psn");
+  doc.CreateText(psn, "888");
+  index.Sync();
+  EXPECT_EQ(index.builds(), 2u);
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("xml.journal.window_misses"), 1u);
 }
 
 TEST(StructuralIndexTest, StaleIndexFallsBackToNaive) {

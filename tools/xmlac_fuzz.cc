@@ -18,10 +18,12 @@
 //
 //   xmlac_fuzz --rounds 100 --seed 7
 //   xmlac_fuzz --mode serve --time-budget-s 60
+//   xmlac_fuzz --mode serve --crash-after -1        # crash-recovery rounds
 //   xmlac_fuzz --inject-bug flip-cr --rounds 50     # must fail + shrink
 //   xmlac_fuzz --inject-bug stale-cache --rounds 50 # ditto, cache staleness
 //   xmlac_fuzz --replay repro/seed-13
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +56,11 @@ struct FuzzOptions {
   int updates = 3;
   int element_types = 7;
   bool quiet = false;
+  // Crash-recovery fuzzing (serve mode only): run each round as a durable
+  // server killed after N WAL records, then recover and check equivalence
+  // (testing/serve_fuzz.h).  -1 = randomized crash point per round;
+  // INT_MIN = disabled.
+  int crash_after = INT_MIN;
 };
 
 int Usage(const char* argv0) {
@@ -73,6 +80,9 @@ int Usage(const char* argv0) {
       "  --repro-dir DIR       where minimized repros are dumped (repro)\n"
       "  --replay DIR          re-check an instance written by a past run\n"
       "  --shrink-attempts N   shrink budget in check invocations (2000)\n"
+      "  --crash-after N       (serve mode) crash-recovery rounds: kill the\n"
+      "                        durable server after N WAL records, recover,\n"
+      "                        check equivalence; -1 = random crash point\n"
       "  --doc-nodes N         instance document budget (default 90)\n"
       "  --rules N             max rules per instance (default 6)\n"
       "  --updates N           max updates per instance (default 3)\n"
@@ -181,6 +191,7 @@ int main(int argc, char** argv) {
     else if (arg == "--rules") opt.rules = std::atoi(next(arg.c_str()));
     else if (arg == "--updates") opt.updates = std::atoi(next(arg.c_str()));
     else if (arg == "--element-types") opt.element_types = std::atoi(next(arg.c_str()));
+    else if (arg == "--crash-after") opt.crash_after = std::atoi(next(arg.c_str()));
     else if (arg == "--quiet") opt.quiet = true;
     else return Usage(argv[0]);
   }
@@ -240,6 +251,36 @@ int main(int argc, char** argv) {
     }
     uint64_t seed = opt.seed + static_cast<uint64_t>(r);
     ++rounds_run;
+
+    if (opt.mode == "serve" && opt.crash_after != INT_MIN) {
+      tst::RecoveryFuzzOptions recovery_options;
+      recovery_options.seed = seed;
+      recovery_options.instance.max_doc_nodes = opt.doc_nodes;
+      recovery_options.instance.max_rules = opt.rules;
+      recovery_options.instance.element_types = opt.element_types;
+      recovery_options.update_ops = std::max(opt.updates, 4);
+      recovery_options.crash_point = opt.crash_after;
+      tst::RecoveryFuzzResult result = tst::RunRecoveryFuzz(recovery_options);
+      if (!result.ok) {
+        std::fprintf(stderr,
+                     "seed %llu: RECOVERY MISMATCH (crash point %d)\n  %s\n"
+                     "replay: xmlac_fuzz --mode serve --crash-after %d "
+                     "--seed %llu --rounds 1\n",
+                     static_cast<unsigned long long>(seed),
+                     result.crash_point, result.failure.c_str(),
+                     result.crash_point,
+                     static_cast<unsigned long long>(seed));
+        return 1;
+      }
+      if (!opt.quiet && (r + 1) % 10 == 0) {
+        std::printf(
+            "%d rounds, last: crash point %d, %zu durable batches "
+            "(%zu replayed), %zu probes\n",
+            r + 1, result.crash_point, result.durable_batches,
+            result.replayed_batches, result.probes_checked);
+      }
+      continue;
+    }
 
     if (opt.mode == "serve") {
       tst::ServeFuzzOptions serve_options;

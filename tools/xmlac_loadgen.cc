@@ -29,6 +29,7 @@
 #include "common/timer.h"
 #include "obs/export.h"
 #include "serve/server.h"
+#include "storage/wal.h"
 #include "workload/coverage.h"
 #include "workload/hospital.h"
 #include "workload/queries.h"
@@ -65,6 +66,11 @@ struct LoadgenOptions {
   std::string health_file;          // periodically rewritten for xmlac_top
   int64_t health_interval_ms = 200;
   uint64_t slow_threshold_us = 0;  // 0 = adaptive trailing p99
+  // Durability surface (docs/durability.md).  Empty data_dir = WAL off.
+  std::string data_dir;
+  xmlac::storage::DurabilityLevel durability =
+      xmlac::storage::DurabilityLevel::kFdatasync;
+  uint64_t checkpoint_every = 0;  // 0 = no background checkpoints
 };
 
 int Usage(const char* argv0) {
@@ -89,7 +95,12 @@ int Usage(const char* argv0) {
       "  --health-file FILE          rewrite live health stats for xmlac_top\n"
       "  --health-interval-ms N      health file refresh period (default 200)\n"
       "  --slow-threshold-us N       retain traces of requests over N us\n"
-      "                              (default 0 = adaptive trailing p99)\n",
+      "                              (default 0 = adaptive trailing p99)\n"
+      "  --data-dir DIR              durable mode: WAL + checkpoints in DIR\n"
+      "                              (recovers existing state on start)\n"
+      "  --durability LEVEL          none|fdatasync|fsync (default fdatasync)\n"
+      "  --checkpoint-every N        checkpoint every N batches (default 0 =\n"
+      "                              never; WAL replays from genesis)\n",
       argv0);
   return 2;
 }
@@ -291,6 +302,17 @@ int main(int argc, char** argv) {
     else if (arg == "--health-file") opt.health_file = next(arg.c_str());
     else if (arg == "--health-interval-ms") opt.health_interval_ms = std::strtoll(next(arg.c_str()), nullptr, 10);
     else if (arg == "--slow-threshold-us") opt.slow_threshold_us = std::strtoull(next(arg.c_str()), nullptr, 10);
+    else if (arg == "--data-dir") opt.data_dir = next(arg.c_str());
+    else if (arg == "--durability") {
+      const char* level = next(arg.c_str());
+      auto parsed = xmlac::storage::ParseDurabilityLevel(level);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown durability level '%s'\n", level);
+        return Usage(argv[0]);
+      }
+      opt.durability = *parsed;
+    }
+    else if (arg == "--checkpoint-every") opt.checkpoint_every = std::strtoull(next(arg.c_str()), nullptr, 10);
     else return Usage(argv[0]);
   }
   if (opt.clients == 0) opt.clients = 1;
@@ -302,6 +324,9 @@ int main(int argc, char** argv) {
   server_options.write_queue_capacity = opt.queue_capacity;
   server_options.flight_recorder = opt.recorder;
   server_options.recorder.slow_threshold_us = opt.slow_threshold_us;
+  server_options.durability.data_dir = opt.data_dir;
+  server_options.durability.level = opt.durability;
+  server_options.durability.checkpoint_every = opt.checkpoint_every;
   Server server(server_options);
 
   Workload workload;
@@ -319,6 +344,10 @@ int main(int argc, char** argv) {
   if (!started.ok()) {
     std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
     return 1;
+  }
+  if (server.recovered() && !opt.quiet) {
+    std::printf("recovered committed state from %s (epoch resumes there)\n",
+                opt.data_dir.c_str());
   }
 
   std::atomic<bool> stop_flag{false};
