@@ -450,74 +450,95 @@ void Server::WriterLoop() {
     {
       obs::ScopedSpan span(tracer, "serve.write_batch");
       depth_gauge->Set(static_cast<int64_t>(write_queue_.size()));
-      batch_size_h->Record(batch.size());
-      batches->Increment();
-      applied->Increment(batch.size());
 
       std::vector<engine::BatchOp> ops;
       ops.reserve(batch.size());
-      for (WriteTask& t : batch) ops.push_back(std::move(t.op));
+      std::vector<WriteTask*> ckpt_barriers;
+      for (WriteTask& t : batch) {
+        if (t.checkpoint != nullptr) {
+          ckpt_barriers.push_back(&t);
+        } else {
+          ops.push_back(std::move(t.op));
+        }
+      }
 
       engine::CommitCapture capture;
-      auto stats = controller_.ApplyBatch(
-          ops, wal_ != nullptr ? &capture : nullptr);
-      if (!stats.ok()) {
-        resp.status = stats.status();
-        write_errors->Increment(batch.size());
-      } else {
-        uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
-        if (wal_ != nullptr) {
-          // Commit point: the batch is durable once Append + Sync return.
-          // Group commit — all coalesced updates share this one sync.
-          storage::BatchRecord record;
-          record.epoch = new_epoch;
-          record.ops = ops;
-          record.master_mutations = std::move(capture.master_mutations);
-          record.deltas = std::move(capture.subjects);
-          Status durable = wal_->Append(
-              new_epoch, storage::EncodeBatchRecord(record));
-          if (durable.ok()) durable = wal_->Sync();
-          if (!durable.ok()) {
-            // The in-memory state already advanced, so publish anyway and
-            // keep serving — but tell the clients their update is NOT
-            // durable, and stop checkpointing (the WAL poisoned itself, so
-            // the post-failure state can never be persisted over the last
-            // good commit).
-            resp.status = durable;
-            write_errors->Increment(batch.size());
-            obs::IncrementCounter("serve.wal.errors");
-          }
-        }
-        auto snapshot = BuildSnapshot(controller_, new_epoch);
-        if (!snapshot.ok()) {
-          resp.status = snapshot.status();
+      // A checkpoint-barrier-only batch applies nothing.
+      if (!ops.empty()) {
+        batch_size_h->Record(ops.size());
+        batches->Increment();
+        applied->Increment(ops.size());
+        auto stats = controller_.ApplyBatch(
+            ops, wal_ != nullptr ? &capture : nullptr);
+        if (!stats.ok()) {
+          resp.status = stats.status();
+          write_errors->Increment(ops.size());
         } else {
-          // Publication point: readers picking up the pointer from here on
-          // see the whole batch; readers holding the old pointer keep an
-          // unchanged pre-batch view.
-          snapshot_.store(std::move(*snapshot));
-          epoch_.store(new_epoch, std::memory_order_release);
-          published->Increment();
-          epoch_gauge->Set(static_cast<int64_t>(new_epoch));
-          if (ring != nullptr) {
-            ring->Append(obs::EventType::kEpochPublish, 0, new_epoch);
+          uint64_t new_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+          if (wal_ != nullptr) {
+            // Commit point: the batch is durable once Append + Sync return.
+            // Group commit — all coalesced updates share this one sync.
+            storage::BatchRecord record;
+            record.epoch = new_epoch;
+            record.ops = ops;
+            record.master_mutations = std::move(capture.master_mutations);
+            record.deltas = std::move(capture.subjects);
+            Status durable = wal_->Append(
+                new_epoch, storage::EncodeBatchRecord(record));
+            if (durable.ok()) durable = wal_->Sync();
+            if (!durable.ok()) {
+              // The in-memory state already advanced, so publish anyway and
+              // keep serving — but tell the clients their update is NOT
+              // durable, and stop checkpointing (the WAL poisoned itself, so
+              // the post-failure state can never be persisted over the last
+              // good commit).  The WAL keeps failing every later commit the
+              // same way, so no subsequent client is told its write stuck.
+              resp.status = durable;
+              write_errors->Increment(ops.size());
+              obs::IncrementCounter("serve.wal.errors");
+            }
           }
-          resp.epoch = new_epoch;
-          resp.batch_size = batch.size();
-          for (const auto& [name, subject_stats] : *stats) {
-            resp.rules_triggered += subject_stats.rules_triggered;
-          }
-          if (wal_ != nullptr && !wal_->crashed() &&
-              options_.durability.checkpoint_every > 0 &&
-              ++batches_since_checkpoint_ >=
-                  options_.durability.checkpoint_every) {
-            batches_since_checkpoint_ = 0;
-            ScheduleCheckpoint();
+          auto snapshot = BuildSnapshot(controller_, new_epoch);
+          if (!snapshot.ok()) {
+            resp.status = snapshot.status();
+          } else {
+            // Publication point: readers picking up the pointer from here on
+            // see the whole batch; readers holding the old pointer keep an
+            // unchanged pre-batch view.
+            snapshot_.store(std::move(*snapshot));
+            epoch_.store(new_epoch, std::memory_order_release);
+            published->Increment();
+            epoch_gauge->Set(static_cast<int64_t>(new_epoch));
+            if (ring != nullptr) {
+              ring->Append(obs::EventType::kEpochPublish, 0, new_epoch);
+            }
+            resp.epoch = new_epoch;
+            resp.batch_size = ops.size();
+            for (const auto& [name, subject_stats] : *stats) {
+              resp.rules_triggered += subject_stats.rules_triggered;
+            }
+            if (wal_ != nullptr && !wal_->crashed() &&
+                options_.durability.checkpoint_every > 0 &&
+                ++batches_since_checkpoint_ >=
+                    options_.durability.checkpoint_every) {
+              batches_since_checkpoint_ = 0;
+              ScheduleCheckpoint();
+            }
           }
         }
       }
+      // Checkpoint barriers capture their job here, on the writer thread,
+      // after this batch's ops are applied — the engine is quiescent
+      // between batches, so the capture (and its Clone in the
+      // zero-subject case) never races ApplyBatch.
+      for (WriteTask* t : ckpt_barriers) {
+        t->checkpoint->set_value(MakeCheckpointJob());
+        ServeResponse barrier_resp;
+        barrier_resp.epoch = epoch_.load(std::memory_order_acquire);
+        t->done.set_value(std::move(barrier_resp));
+      }
       if (span.active()) {
-        span.AddCount("batch_size", static_cast<int64_t>(batch.size()));
+        span.AddCount("batch_size", static_cast<int64_t>(ops.size()));
         span.AddCount("rules_triggered",
                       static_cast<int64_t>(resp.rules_triggered));
       }
@@ -528,6 +549,7 @@ void Server::WriterLoop() {
                    static_cast<uint8_t>(obs::RequestClass::kUpdateNative));
     }
     for (WriteTask& t : batch) {
+      if (t.checkpoint != nullptr) continue;  // promise already fulfilled
       update_latency->Record(static_cast<uint64_t>(t.queued.ElapsedMicros()));
       t.done.set_value(resp);
     }
@@ -540,7 +562,8 @@ Server::CheckpointJob Server::MakeCheckpointJob() {
   job.rule_cache_epoch = controller_.rule_cache().epoch();
   if (job.snapshot != nullptr && job.snapshot->subjects.empty()) {
     // No replica to reconstruct the master from: clone it here, on the
-    // thread that owns the engine (the writer, or a quiesced caller).
+    // writer thread, which owns the engine (both the post-batch checkpoint
+    // scheduling and CheckpointNow's queue barrier run the capture there).
     job.master = controller_.document().Clone();
   }
   return job;
@@ -571,6 +594,10 @@ void Server::CheckpointerLoop() {
 }
 
 Status Server::BuildAndWriteCheckpoint(CheckpointJob job) {
+  // One checkpoint at a time: CheckpointNow callers and the background
+  // checkpointer must not interleave their write/remove-older/truncate
+  // sequences.
+  std::lock_guard<std::mutex> lock(ckpt_write_mu_);
   if (job.snapshot == nullptr) return Status::Internal("no snapshot");
   Timer timer;
   storage::CheckpointData data;
@@ -628,8 +655,21 @@ Status Server::BuildAndWriteCheckpoint(CheckpointJob job) {
 Status Server::CheckpointNow() {
   if (wal_ == nullptr) return Status::Internal("durability disabled");
   if (!started_) return Status::Internal("not started");
+  if (wal_->crashed()) {
+    // Same gating as the background scheduling path: once the WAL has
+    // crashed, in-memory state contains commits clients were told are NOT
+    // durable, and persisting it would contradict that.
+    return Status::Internal("WAL crashed; refusing to checkpoint state "
+                            "already reported non-durable");
+  }
+  // Capture the job on the writer thread via a queue barrier, so the
+  // snapshot + rule-cache-epoch + master clone never race ApplyBatch.
+  WriteTask task;
+  task.checkpoint = std::make_shared<std::promise<CheckpointJob>>();
+  std::future<CheckpointJob> job = task.checkpoint->get_future();
+  if (!write_queue_.Push(task)) return StoppedError();
   obs::ScopedMetrics metrics_context(&metrics_);
-  return BuildAndWriteCheckpoint(MakeCheckpointJob());
+  return BuildAndWriteCheckpoint(job.get());
 }
 
 }  // namespace xmlac::serve

@@ -237,10 +237,13 @@ class Server {
   // the Load/AddSubject configuration.
   bool recovered() const { return recovered_; }
 
-  // Synchronously writes a checkpoint of the currently published snapshot
-  // and truncates WAL segments it covers.  Internal error when durability
-  // is disabled or the server has not started.  Safe concurrently with
-  // serving: the checkpoint is built from the immutable snapshot.
+  // Synchronously writes a checkpoint of the current committed state and
+  // truncates WAL segments it covers.  The job is captured on the writer
+  // thread (via a write-queue barrier) so it never races ApplyBatch, and
+  // the checkpoint write itself is serialized against the background
+  // checkpointer.  Internal error when durability is disabled, the server
+  // has not started, or the WAL has crashed (post-crash in-memory state
+  // was already reported non-durable and must not be persisted).
   Status CheckpointNow();
 
   // Null when durability is disabled or the server has not started.
@@ -253,11 +256,6 @@ class Server {
     Timer queued;
     std::promise<ServeResponse> done;
   };
-  struct WriteTask {
-    engine::BatchOp op;
-    Timer queued;
-    std::promise<ServeResponse> done;
-  };
 
   // A checkpoint job: everything the background checkpointer needs without
   // touching live engine state (the snapshot is immutable; `master` is a
@@ -267,6 +265,16 @@ class Server {
     SnapshotPtr snapshot;
     std::optional<xml::Document> master;
     uint64_t rule_cache_epoch = 0;
+  };
+
+  struct WriteTask {
+    engine::BatchOp op;
+    Timer queued;
+    std::promise<ServeResponse> done;
+    // When set, the task is a CheckpointNow barrier instead of an update:
+    // the writer thread captures a CheckpointJob after applying the batch's
+    // ops (so the capture never races the engine) and fulfills the promise.
+    std::shared_ptr<std::promise<CheckpointJob>> checkpoint;
   };
 
   void WorkerLoop(size_t worker_index);
@@ -332,6 +340,10 @@ class Server {
   std::condition_variable ckpt_cv_;
   bool ckpt_stop_ = false;
   std::optional<CheckpointJob> pending_ckpt_;
+  // Serializes BuildAndWriteCheckpoint between the background checkpointer
+  // and CheckpointNow callers, so the write/remove-older/truncate sequence
+  // of two checkpoints never interleaves.
+  std::mutex ckpt_write_mu_;
 };
 
 }  // namespace xmlac::serve

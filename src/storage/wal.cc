@@ -92,11 +92,16 @@ Result<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
 
 Wal::~Wal() {
   if (fd_ >= 0) {
-    if (!crashed_ && options_.level != DurabilityLevel::kNone) {
+    if (!crashed() && options_.level != DurabilityLevel::kNone) {
       (void)::fsync(fd_);
     }
     (void)::close(fd_);
   }
+}
+
+void Wal::Poison(const Status& error) {
+  if (io_error_.ok()) io_error_ = error;
+  crashed_.store(true, std::memory_order_release);
 }
 
 Status Wal::OpenSegment(uint64_t seq) {
@@ -115,7 +120,7 @@ Status Wal::OpenSegment(uint64_t seq) {
 
 Status Wal::CloseSegment() {
   if (fd_ < 0) return Status::OK();
-  Status sync = Sync();
+  Status sync = SyncLocked();
   int rc = ::close(fd_);
   fd_ = -1;
   sealed_max_marker_[seq_] = current_max_marker_;
@@ -142,7 +147,15 @@ Status Wal::WriteAll(std::string_view bytes) {
 }
 
 Status Wal::Append(uint64_t marker, std::string_view payload) {
-  if (crashed_) return Status::OK();  // post-crash appends vanish silently
+  std::lock_guard<std::mutex> lock(mu_);
+  if (simulated_crash_) return Status::OK();  // post-kill appends vanish
+  if (!io_error_.ok()) return io_error_;      // real failures stay errors
+  // A frame body is [u64 marker][payload] behind a u32 length prefix.
+  if (payload.size() > static_cast<size_t>(UINT32_MAX) - 8) {
+    return Status::InvalidArgument(
+        "WAL record payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame format's u32 length limit");
+  }
   std::string frame;
   AppendFrame(&frame, marker, payload);
   if (options_.crash_after_records >= 0 &&
@@ -155,20 +168,25 @@ Status Wal::Append(uint64_t marker, std::string_view payload) {
       (void)WriteAll(std::string_view(frame).substr(0, torn));
       if (options_.level != DurabilityLevel::kNone) (void)::fsync(fd_);
     }
-    crashed_ = true;
+    simulated_crash_ = true;
+    crashed_.store(true, std::memory_order_release);
     return Status::OK();
   }
-  // Roll before the append so a record never spans segments.
+  // Roll before the append so a record never spans segments.  A failed
+  // roll poisons the log just like a failed write: the record was never
+  // made durable, so later commits must not look like they were.
   if (current_bytes_ > 0 && current_bytes_ + frame.size() > options_.segment_bytes) {
-    XMLAC_RETURN_IF_ERROR(CloseSegment());
-    XMLAC_RETURN_IF_ERROR(OpenSegment(seq_ + 1));
-    XMLAC_RETURN_IF_ERROR(SyncDirectory(options_.dir));
+    Status roll = CloseSegment();
+    if (roll.ok()) roll = OpenSegment(seq_ + 1);
+    if (roll.ok()) roll = SyncDirectory(options_.dir);
+    if (!roll.ok()) {
+      Poison(roll);
+      return roll;
+    }
   }
   Status s = WriteAll(frame);
   if (!s.ok()) {
-    // A real IO failure poisons the log exactly like a crash: later commits
-    // must not appear durable when this one is missing.
-    crashed_ = true;
+    Poison(s);
     return s;
   }
   current_bytes_ += frame.size();
@@ -178,7 +196,14 @@ Status Wal::Append(uint64_t marker, std::string_view payload) {
 }
 
 Status Wal::Sync() {
-  if (crashed_ || fd_ < 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status Wal::SyncLocked() {
+  if (simulated_crash_) return Status::OK();
+  if (!io_error_.ok()) return io_error_;
+  if (fd_ < 0) return Status::OK();
   int rc = 0;
   switch (options_.level) {
     case DurabilityLevel::kNone:
@@ -195,14 +220,17 @@ Status Wal::Sync() {
       break;
   }
   if (rc != 0) {
-    crashed_ = true;
-    return Status::Internal(std::string("WAL sync: ") + std::strerror(errno));
+    Status s = Status::Internal(std::string("WAL sync: ") +
+                                std::strerror(errno));
+    Poison(s);
+    return s;
   }
   return Status::OK();
 }
 
 Status Wal::TruncateThrough(uint64_t marker) {
-  if (crashed_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed()) return Status::OK();
   bool removed = false;
   for (auto it = sealed_max_marker_.begin(); it != sealed_max_marker_.end();) {
     if (it->second <= marker) {

@@ -15,10 +15,16 @@
 // highest epoch it contains, so checkpointing can truncate whole segments
 // whose epochs the checkpoint covers.  Only the newest segment may have a
 // torn tail; Open truncates it and starts a fresh segment.
+//
+// Thread safety: Append/Sync (the serve writer) and TruncateThrough (the
+// background checkpointer) may run concurrently; an internal mutex
+// serializes all file and segment-map state.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -68,7 +74,8 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   // Appends one framed record; `marker` is the record's commit epoch.
-  // Not durable until Sync() returns.
+  // Not durable until Sync() returns.  InvalidArgument for payloads a
+  // frame's u32 length prefix cannot represent (~4GiB).
   Status Append(uint64_t marker, std::string_view payload);
 
   // Makes every appended record durable, per the configured level.
@@ -78,22 +85,42 @@ class Wal {
   // truncation; the open segment is never deleted).
   Status TruncateThrough(uint64_t marker);
 
-  // True once the crash hook fired or a real IO error was hit; appends are
-  // silently dropped and checkpoints must not truncate past this point.
-  bool crashed() const { return crashed_; }
+  // True once the crash hook fired or a real IO error was hit; checkpoints
+  // must not truncate past this point.  After the *simulated* crash hook,
+  // appends silently succeed without touching the file (the caller must
+  // behave as if the process died); after a *real* IO failure, Append and
+  // Sync keep returning the original error — later commits must never look
+  // durable when an earlier one is missing.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
-  uint64_t records_appended() const { return records_; }
-  uint64_t current_segment_seq() const { return seq_; }
+  uint64_t records_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  uint64_t current_segment_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seq_;
+  }
   const WalOptions& options() const { return options_; }
 
  private:
   explicit Wal(WalOptions options) : options_(std::move(options)) {}
 
+  // All of these require mu_ to be held.
+  Status SyncLocked();
   Status OpenSegment(uint64_t seq);
   Status CloseSegment();
   Status WriteAll(std::string_view bytes);
+  // Records a real IO failure: the error is sticky for every later
+  // Append/Sync, and crashed() gates truncation from here on.
+  void Poison(const Status& error);
 
   WalOptions options_;
+  // Serializes Append/Sync (writer thread) against TruncateThrough
+  // (checkpointer thread): fd_/seq_/current_* and sealed_max_marker_ are
+  // all guarded by it (a segment roll inserts into the map concurrently
+  // with truncation iterating it).
+  mutable std::mutex mu_;
   int fd_ = -1;
   uint64_t seq_ = 0;
   size_t current_bytes_ = 0;
@@ -101,7 +128,9 @@ class Wal {
   // Highest marker per sealed segment (0 for empty ones), for truncation.
   std::map<uint64_t, uint64_t> sealed_max_marker_;
   uint64_t records_ = 0;
-  bool crashed_ = false;
+  std::atomic<bool> crashed_{false};
+  bool simulated_crash_ = false;     // crash_after_records hook fired
+  Status io_error_ = Status::OK();   // first real IO failure, sticky
   bool torn_written_ = false;
 };
 

@@ -700,6 +700,63 @@ TEST(ServeDurabilityTest, CheckpointNowCoversWalTail) {
   std::filesystem::remove_all(dir);
 }
 
+// CheckpointNow racing live writes (and the background checkpointer): the
+// job capture runs on the writer thread via a queue barrier and checkpoint
+// writes are mutex-serialized, so concurrent manual checkpoints must never
+// corrupt the directory or lose committed updates.
+TEST(ServeDurabilityTest, CheckpointNowDuringConcurrentWrites) {
+  std::string dir = DurableDir("ckpt_concurrent");
+  std::map<std::string, std::vector<uint64_t>> before;
+  {
+    ServerOptions opt = DurableOptions(dir, /*checkpoint_every=*/3);
+    opt.durability.segment_bytes = 4096;
+    auto server = MakeHospitalServer(opt);
+    ASSERT_TRUE(server->Start().ok());
+    std::thread writer([&server] {
+      for (int i = 0; i < 20; ++i) {
+        char psn[16];
+        std::snprintf(psn, sizeof(psn), "9%02d", i);
+        ServeResponse r = server->Insert(
+            "//patients", std::string("<patient><psn>") + psn +
+                              "</psn><name>conc</name></patient>");
+        ASSERT_TRUE(r.status.ok()) << r.status;
+      }
+    });
+    for (int i = 0; i < 5; ++i) {
+      Status s = server->CheckpointNow();
+      ASSERT_TRUE(s.ok()) << s;
+    }
+    writer.join();
+    before = ProbeAll(server.get());
+    server->Stop();
+  }
+  {
+    auto server = std::make_unique<Server>(DurableOptions(dir));
+    ASSERT_TRUE(server->Start().ok());
+    EXPECT_TRUE(server->recovered());
+    EXPECT_EQ(ProbeAll(server.get()), before);
+    server->Stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Once the WAL crashes, in-memory state holds commits clients were told
+// are NOT durable — a manual checkpoint must refuse to persist it, same as
+// the background scheduling gate.
+TEST(ServeDurabilityTest, CheckpointNowRefusesAfterWalCrash) {
+  std::string dir = DurableDir("ckpt_crash");
+  ServerOptions opt = DurableOptions(dir);
+  opt.durability.crash_after_records = 1;  // genesis only; batch 1 "kills" it
+  auto server = MakeHospitalServer(opt);
+  ASSERT_TRUE(server->Start().ok());
+  ASSERT_TRUE(server->Update("//patient[psn=\"001\"]").status.ok());
+  ASSERT_NE(server->wal(), nullptr);
+  ASSERT_TRUE(server->wal()->crashed());
+  EXPECT_FALSE(server->CheckpointNow().ok());
+  server->Stop();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ServeDurabilityTest, BackgroundCheckpointerTruncatesSegments) {
   std::string dir = DurableDir("bg_checkpoint");
   {
