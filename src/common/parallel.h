@@ -4,15 +4,24 @@
 // Minimal fork-join parallel-for.
 //
 // Threads are spawned per call and joined before return, so nested use
-// (subject fan-out calling per-rule fan-out) cannot deadlock the way a
-// shared fixed-size pool would.  The spawn cost is noise next to the work
-// the engine parallelizes (XPath evaluation over whole documents); a
-// persistent pool would buy nothing but the deadlock hazard.
+// (subject fan-out calling per-rule fan-out calling shard fan-out) cannot
+// deadlock the way a shared fixed-size pool would.  The spawn cost is noise
+// next to the work the engine parallelizes (XPath evaluation over whole
+// documents); a persistent pool would buy nothing but the deadlock hazard.
 //
-// The caller's thread participates, and the caller's obs metrics registry
-// is propagated to the workers (MetricsRegistry is thread-safe).  Tracers
-// are NOT propagated: a Tracer is single-threaded by design, so worker
-// spans are simply dropped.
+// The caller's thread participates, and two pieces of obs context propagate
+// to the spawned workers:
+//   - the caller's metrics registry (MetricsRegistry is thread-safe), and
+//   - the caller's WorkerRingPool, if one is installed: each spawned worker
+//     claims a free SPSC event ring for the duration of the loop, so spans
+//     and counters emitted inside the body reach the flight recorder
+//     instead of being dropped.  Workers that find the pool empty (or no
+//     pool installed) run ring-less.
+//
+// Work is claimed in contiguous index ranges of `grain` elements per
+// fetch_add, so fine-grained loops (per-bitmap-word, per-row) do not pay
+// one atomic RMW per element.  grain == 0 picks ~n/(8*threads): 8 chunks
+// per worker balances skewed per-element cost against contention.
 
 #include <atomic>
 #include <cstddef>
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/ring.h"
 
 namespace xmlac {
 
@@ -31,9 +41,10 @@ inline size_t DefaultParallelism() {
 }
 
 // Runs body(i) for every i in [0, n), on up to `threads` OS threads
-// (0 = DefaultParallelism()).  body must be thread-safe; iteration order is
-// unspecified.  Falls back to a plain loop when n or threads is <= 1.
-inline void ParallelFor(size_t n, size_t threads,
+// (0 = DefaultParallelism()), claiming `grain` consecutive indices per
+// atomic increment (0 = auto).  body must be thread-safe; iteration order
+// is unspecified.  Falls back to a plain loop when n or threads is <= 1.
+inline void ParallelFor(size_t n, size_t threads, size_t grain,
                         const std::function<void(size_t)>& body) {
   if (threads == 0) threads = DefaultParallelism();
   if (threads > n) threads = n;
@@ -42,20 +53,34 @@ inline void ParallelFor(size_t n, size_t threads,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  if (grain == 0) grain = n / (8 * threads);
+  if (grain == 0) grain = 1;
   std::atomic<size_t> next{0};
   obs::MetricsRegistry* metrics = obs::CurrentMetrics();
-  auto worker = [&]() {
+  obs::WorkerRingPool* rings = obs::CurrentWorkerRingPool();
+  auto worker = [&](bool spawned) {
     obs::ScopedMetrics metrics_ctx(metrics);
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      body(i);
+    // Only spawned threads claim a pool ring; the caller keeps its own.
+    obs::ScopedWorkerRing ring_ctx(spawned ? rings : nullptr);
+    for (size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+         begin < n; begin = next.fetch_add(grain, std::memory_order_relaxed)) {
+      size_t end = begin + grain < n ? begin + grain : n;
+      for (size_t i = begin; i < end; ++i) body(i);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
-  for (size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();  // The caller participates.
+  for (size_t t = 1; t < threads; ++t) {
+    pool.emplace_back([&worker] { worker(true); });
+  }
+  worker(false);  // The caller participates.
   for (std::thread& t : pool) t.join();
+}
+
+// Auto-grain overload.
+inline void ParallelFor(size_t n, size_t threads,
+                        const std::function<void(size_t)>& body) {
+  ParallelFor(n, threads, 0, body);
 }
 
 }  // namespace xmlac

@@ -38,7 +38,12 @@ AccessController::AccessController(std::unique_ptr<Backend> backend,
                   : options.shared_rule_cache != nullptr
                       ? options.shared_rule_cache
                       : &owned_rule_cache_),
-      owns_epoch_(options.shared_rule_cache == nullptr) {}
+      owns_epoch_(options.shared_rule_cache == nullptr) {
+  ShardConfig shard;
+  shard.enabled = options_.shard_parallel;
+  shard.threads = options_.shard_threads;
+  backend_->SetShardConfig(shard);
+}
 
 AccessController::~AccessController() = default;
 
@@ -48,6 +53,8 @@ AnnotationContext AccessController::MakeAnnotationContext(uint64_t epoch) {
   ctx.epoch = epoch;
   ctx.sign_state = &sign_state_;
   ctx.parallel_rules = options_.parallel_rules;
+  ctx.shard.enabled = options_.shard_parallel;
+  ctx.shard.threads = options_.shard_threads;
   return ctx;
 }
 

@@ -47,6 +47,14 @@ struct ControllerOptions {
   // only effective on backends that SupportsParallelEval().
   size_t parallel_rules = 0;
 
+  // Shard-parallel execution (common/shard.h, docs/performance.md): fans the
+  // hot loops — structural-index joins, Fig. 5 bitmap combination, relational
+  // seed scans, labeling — out over contiguous interval/row ranges with an
+  // order-preserving merge.  `shard_threads` 0 = auto (hardware concurrency,
+  // capped); results are byte-identical to serial for any shard count.
+  bool shard_parallel = true;
+  size_t shard_threads = 0;
+
   // Fault injection for the differential harness: skip the trigger-driven
   // evictions (every entry is promoted across updates instead), leaving
   // stale bitmaps behind — `xmlac_fuzz --inject-bug stale-cache` proves the

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/shard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xpath/ast.h"
@@ -108,28 +109,100 @@ Result<std::vector<RuleScopeCache::BitmapPtr>> RuleScopes(
   return out;
 }
 
+// Below this many 64-bit words the bitmap combination stays serial: a word
+// op is ~1ns, so a shard must own hundreds of thousands of ids before the
+// fan-out pays for its thread spawns.
+constexpr size_t kBitmapShardMinWords = 2048;
+
+// Word-range-parallel sign diff.  Word ranges own disjoint ascending id
+// ranges, so per-range outputs concatenated in range order are exactly the
+// serial DifferenceInto output.
+void ShardedDifference(const NodeBitmap& a, const NodeBitmap& b,
+                       const ShardConfig& shard,
+                       std::vector<UniversalId>* out) {
+  std::vector<ShardRange> ranges =
+      PlanShards(a.word_count(), shard, kBitmapShardMinWords);
+  if (ranges.size() <= 1) {
+    a.DifferenceInto(b, out);
+    return;
+  }
+  std::vector<std::vector<UniversalId>> parts(ranges.size());
+  ParallelFor(ranges.size(), shard.ResolvedThreads(), 1, [&](size_t k) {
+    a.DifferenceInto(b, &parts[k], ranges[k].begin, ranges[k].end);
+  });
+  for (const auto& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
+  }
+}
+
+// acc |= union of all scopes, word-range-parallel.  Each word has exactly
+// one owning shard, so the concurrent ORs are race-free after EnsureWords.
+void ShardedUnion(NodeBitmap* acc,
+                  const std::vector<RuleScopeCache::BitmapPtr>& scopes,
+                  const ShardConfig& shard) {
+  size_t words = acc->word_count();
+  for (const auto& s : scopes) words = std::max(words, s->word_count());
+  acc->EnsureWords(words);
+  auto combine_range = [&](size_t wb, size_t we) {
+    for (const auto& s : scopes) acc->UnionRange(*s, wb, we);
+  };
+  std::vector<ShardRange> ranges =
+      PlanShards(words, shard, kBitmapShardMinWords);
+  if (ranges.size() <= 1) {
+    combine_range(0, words);
+    return;
+  }
+  ParallelFor(ranges.size(), shard.ResolvedThreads(), 1, [&](size_t k) {
+    combine_range(ranges[k].begin, ranges[k].end);
+  });
+}
+
 // The Fig. 5 / Table 2 combination over per-rule bitmaps: UNION of the
 // base-effect scopes as word-wise OR, EXCEPT of the opposing scopes as
-// word-wise AND-NOT.
+// word-wise AND-NOT.  Word-range partitioned: every word of base/minus is
+// written by exactly one shard, and the EXCEPT subtracts only words its own
+// shard fully built, so the sharded result is bit-identical to serial.
 NodeBitmap CombineScopes(const policy::Policy& policy,
                          const std::vector<size_t>& subset,
                          const std::vector<RuleScopeCache::BitmapPtr>& scopes,
-                         policy::CombineOp combine, size_t id_bound) {
+                         policy::CombineOp combine, size_t id_bound,
+                         const ShardConfig& shard) {
   bool base_is_grant = combine == policy::CombineOp::kGrants ||
                        combine == policy::CombineOp::kGrantsExceptDenies;
   bool has_except = combine == policy::CombineOp::kGrantsExceptDenies ||
                     combine == policy::CombineOp::kDeniesExceptGrants;
   NodeBitmap base(id_bound);
   NodeBitmap minus(id_bound);
-  for (size_t k = 0; k < subset.size(); ++k) {
-    bool grant = policy.rules()[subset[k]].effect == policy::Effect::kAllow;
-    if (grant == base_is_grant) {
-      base.Union(*scopes[k]);
-    } else if (has_except) {
-      minus.Union(*scopes[k]);
+  size_t words = base.word_count();
+  for (const auto& s : scopes) words = std::max(words, s->word_count());
+  base.EnsureWords(words);
+  minus.EnsureWords(words);
+  auto combine_range = [&](size_t wb, size_t we) {
+    for (size_t k = 0; k < subset.size(); ++k) {
+      bool grant = policy.rules()[subset[k]].effect == policy::Effect::kAllow;
+      if (grant == base_is_grant) {
+        base.UnionRange(*scopes[k], wb, we);
+      } else if (has_except) {
+        minus.UnionRange(*scopes[k], wb, we);
+      }
+    }
+    if (has_except) base.SubtractRange(minus, wb, we);
+  };
+  std::vector<ShardRange> ranges =
+      PlanShards(words, shard, kBitmapShardMinWords);
+  if (ranges.size() <= 1) {
+    combine_range(0, words);
+  } else {
+    obs::ScopedSpan span("annotate.shard_combine");
+    ParallelFor(ranges.size(), shard.ResolvedThreads(), 1, [&](size_t k) {
+      combine_range(ranges[k].begin, ranges[k].end);
+    });
+    obs::IncrementCounter("annotator.shard.fanouts");
+    obs::IncrementCounter("annotator.shard.shards", ranges.size());
+    if (span.active()) {
+      span.AddCount("shards", static_cast<int64_t>(ranges.size()));
     }
   }
-  if (has_except) base.Subtract(minus);
   return base;
 }
 
@@ -141,18 +214,19 @@ NodeBitmap CombineScopes(const policy::Policy& policy,
 // scopes' union so marks outside it survive).
 Status ApplySigns(Backend* backend, char mark, char def,
                   const NodeBitmap& desired, const NodeBitmap* affected,
-                  SignState* state, AnnotateStats* stats) {
+                  SignState* state, const ShardConfig& shard,
+                  AnnotateStats* stats) {
   if (state != nullptr && state->valid && state->default_sign == def) {
     std::vector<UniversalId> to_default;
     std::vector<UniversalId> to_mark;
     if (affected != nullptr) {
       NodeBitmap current = state->marked;
       current.Intersect(*affected);
-      current.DifferenceInto(desired, &to_default);
+      ShardedDifference(current, desired, shard, &to_default);
     } else {
-      state->marked.DifferenceInto(desired, &to_default);
+      ShardedDifference(state->marked, desired, shard, &to_default);
     }
-    desired.DifferenceInto(state->marked, &to_mark);
+    ShardedDifference(desired, state->marked, shard, &to_mark);
     {
       obs::ScopedSpan diff_span("annotate.sign_diff");
       XMLAC_RETURN_IF_ERROR(backend->SetSigns(to_default, def));
@@ -222,14 +296,14 @@ Result<AnnotateStats> AnnotateFullCached(Backend* backend,
   std::vector<size_t> all = AllRules(policy);
   XMLAC_ASSIGN_OR_RETURN(std::vector<RuleScopeCache::BitmapPtr> scopes,
                          RuleScopes(backend, policy, all, *ctx));
-  NodeBitmap desired =
-      CombineScopes(policy, all, scopes, plan.combine, backend->IdBound());
+  NodeBitmap desired = CombineScopes(policy, all, scopes, plan.combine,
+                                     backend->IdBound(), ctx->shard);
   AnnotateStats stats;
   stats.rules_used = policy.size();
   XMLAC_RETURN_IF_ERROR(ApplySigns(backend, MarkSign(plan),
                                    DefaultSign(policy), desired,
                                    /*affected=*/nullptr, ctx->sign_state,
-                                   &stats));
+                                   ctx->shard, &stats));
   obs::IncrementCounter("annotator.full_annotations");
   obs::IncrementCounter("annotator.nodes_marked", stats.marked);
   obs::IncrementCounter("annotator.nodes_reset", stats.reset);
@@ -259,15 +333,15 @@ Result<AnnotateStats> ReannotateCached(Backend* backend,
   XMLAC_ASSIGN_OR_RETURN(std::vector<RuleScopeCache::BitmapPtr> scopes,
                          RuleScopes(backend, policy, triggered, *ctx));
   NodeBitmap desired = CombineScopes(policy, triggered, scopes, plan.combine,
-                                     backend->IdBound());
+                                     backend->IdBound(), ctx->shard);
   // Everything in a triggered scope before or after the update; only these
   // signs may change.
   NodeBitmap affected(backend->IdBound());
-  for (size_t k = 0; k < scopes.size(); ++k) affected.Union(*scopes[k]);
+  ShardedUnion(&affected, scopes, ctx->shard);
   for (UniversalId id : old_scope) affected.Set(id);
   XMLAC_RETURN_IF_ERROR(ApplySigns(backend, MarkSign(plan),
                                    DefaultSign(policy), desired, &affected,
-                                   ctx->sign_state, &stats));
+                                   ctx->sign_state, ctx->shard, &stats));
   obs::IncrementCounter("annotator.nodes_marked", stats.marked);
   obs::IncrementCounter("annotator.nodes_reset", stats.reset);
   obs::IncrementCounter("annotator.rules_used", stats.rules_used);
@@ -343,7 +417,7 @@ Result<std::vector<UniversalId>> TriggeredScope(
     XMLAC_ASSIGN_OR_RETURN(std::vector<RuleScopeCache::BitmapPtr> scopes,
                            RuleScopes(backend, policy, triggered, *ctx));
     NodeBitmap scope(backend->IdBound());
-    for (const auto& bm : scopes) scope.Union(*bm);
+    ShardedUnion(&scope, scopes, ctx->shard);
     out = scope.ToIds();
   } else {
     std::unordered_set<UniversalId> scope;

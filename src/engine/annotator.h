@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/shard.h"
 #include "engine/backend.h"
 #include "engine/node_bitmap.h"
 #include "engine/rule_cache.h"
@@ -63,6 +64,10 @@ struct AnnotationContext {
   // Worker threads for cache-miss rule evaluation (0 = auto); only used
   // when backend->SupportsParallelEval().
   size_t parallel_rules = 0;
+  // Shard-parallel execution of the Fig. 5 bitmap combination and the sign
+  // diffs (word-range partitioning; see common/shard.h).  Safe to leave on:
+  // the sharded result is bit-identical to the serial one.
+  ShardConfig shard;
 };
 
 // Full annotation: evaluate the Fig. 5 annotation query over all rules and

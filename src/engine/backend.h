@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shard.h"
 #include "common/status.h"
 #include "policy/policy.h"
 #include "policy/semantics.h"
@@ -54,6 +55,12 @@ class Backend {
   // thread-safe; the relational executor mutates shared statistics, so
   // cache-miss rules evaluate serially there.
   virtual bool SupportsParallelEval() const { return false; }
+
+  // Intra-operation shard-parallelism (common/shard.h): the native store
+  // fans XPath evaluation and index rebuilds out per interval shard, the
+  // relational store splits scans into row ranges.  Results are identical
+  // either way; backends without parallel paths ignore the call.
+  virtual void SetShardConfig(const ShardConfig& shard) { (void)shard; }
 
   // Evaluates an absolute XPath query, returning matched node ids (sorted).
   virtual Result<std::vector<UniversalId>> EvaluateQuery(

@@ -57,6 +57,8 @@ Status MultiSubjectController::AddSubject(std::string_view subject,
       options_.enable_rule_cache ? &rule_cache_ : nullptr;
   copt.shared_containment_cache = &containment_cache_;
   copt.parallel_rules = options_.parallel_rules;
+  copt.shard_parallel = options_.shard_parallel;
+  copt.shard_threads = options_.shard_threads;
   copt.inject_stale_cache = options_.inject_stale_cache;
   auto controller = std::make_unique<AccessController>(factory_(), copt);
   XMLAC_RETURN_IF_ERROR(
@@ -189,6 +191,8 @@ Status MultiSubjectController::RestoreSubject(
       options_.enable_rule_cache ? &rule_cache_ : nullptr;
   copt.shared_containment_cache = &containment_cache_;
   copt.parallel_rules = options_.parallel_rules;
+  copt.shard_parallel = options_.shard_parallel;
+  copt.shard_threads = options_.shard_threads;
   copt.inject_stale_cache = options_.inject_stale_cache;
   auto controller = std::make_unique<AccessController>(factory_(), copt);
   XMLAC_RETURN_IF_ERROR(controller->LoadParsed(*dtd_, master_.document()));

@@ -39,6 +39,10 @@ struct MultiSubjectOptions {
   size_t parallel_subjects = 0;
   // Per-subject cache-miss rule evaluation threads (0 = auto, 1 = serial).
   size_t parallel_rules = 0;
+  // Shard-parallel hot loops inside every subject controller (forwarded to
+  // ControllerOptions::shard_parallel / shard_threads).
+  bool shard_parallel = true;
+  size_t shard_threads = 0;
   // Forwarded test hook (see ControllerOptions::inject_stale_cache).
   bool inject_stale_cache = false;
 };

@@ -44,12 +44,14 @@ void NativeXmlBackend::Clear() {
 
 xpath::EvaluatorOptions NativeXmlBackend::EvalOptions() {
   xpath::EvaluatorOptions options;
-  if (!use_structural_index_) return options;
   {
     // First query after a structural change pays the sync; concurrent
     // readers (rule-cache misses evaluate on parallel workers) wait here
-    // and then share the synced index read-only.
+    // and then share the synced index read-only.  shard_ is read under the
+    // same lock SetShardConfig writes it under.
     std::lock_guard<std::mutex> lock(index_mu_);
+    options.shard = shard_;
+    if (!use_structural_index_) return options;
     structural_index_.Sync();
   }
   options.use_structural_index = true;

@@ -67,6 +67,15 @@ class NativeXmlBackend final : public Backend {
   void set_use_structural_index(bool on) { use_structural_index_ = on; }
   bool use_structural_index() const { return use_structural_index_; }
 
+  // Shard-parallel execution (common/shard.h): structural-engine queries
+  // fan out per interval shard and index rebuilds per top-level subtree.
+  // Results are identical either way.
+  void SetShardConfig(const ShardConfig& shard) override {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    shard_ = shard;
+    structural_index_.set_shard_config(shard);
+  }
+
   // Runs an XQuery-lite expression against the store (registered as
   // doc("xmlgen"), the paper's document name).  xmlac:annotate() calls
   // mutate the stored tree directly, exactly like the paper's Sec. 5.2
@@ -110,6 +119,7 @@ class NativeXmlBackend final : public Backend {
   // document's version counter restarts.
   xpath::StructuralIndex structural_index_{&doc_};
   bool use_structural_index_ = true;
+  ShardConfig shard_;
   std::mutex index_mu_;
   bool loaded_ = false;
   char default_sign_ = '-';

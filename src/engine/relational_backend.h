@@ -60,6 +60,11 @@ class RelationalBackend final : public Backend {
   // must stay on one thread.
   bool SupportsParallelEval() const override { return false; }
 
+  // Shard-parallel execution (common/shard.h): SELECT seed scans and the
+  // Fig. 6 SetSigns gather loop split into contiguous row ranges merged in
+  // scan order.  Applied to the current executor and re-applied on Load.
+  void SetShardConfig(const ShardConfig& shard) override;
+
   Result<std::vector<UniversalId>> EvaluateQuery(
       const xpath::Path& query) override;
   Result<std::vector<UniversalId>> EvaluateAnnotationSet(
@@ -98,6 +103,7 @@ class RelationalBackend final : public Backend {
   };
 
   RelationalOptions options_;
+  ShardConfig shard_;
   std::unique_ptr<reldb::Catalog> catalog_;
   std::unique_ptr<reldb::Executor> exec_;
   std::unique_ptr<shred::ShredMapping> mapping_;

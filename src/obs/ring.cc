@@ -146,4 +146,60 @@ ScopedRing::ScopedRing(EventRing* ring) : previous_(tls_current_ring) {
 
 ScopedRing::~ScopedRing() { tls_current_ring = previous_; }
 
+void WorkerRingPool::Add(EventRing* ring) {
+  auto entry = std::make_unique<Entry>();
+  entry->ring = ring;
+  entries_.push_back(std::move(entry));
+}
+
+EventRing* WorkerRingPool::TryAcquire() {
+  for (auto& entry : entries_) {
+    bool expected = false;
+    if (entry->busy.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return entry->ring;
+    }
+  }
+  return nullptr;
+}
+
+void WorkerRingPool::Release(EventRing* ring) {
+  if (ring == nullptr) return;
+  for (auto& entry : entries_) {
+    if (entry->ring == ring) {
+      entry->busy.store(false, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+namespace {
+thread_local WorkerRingPool* tls_current_pool = nullptr;
+}  // namespace
+
+WorkerRingPool* CurrentWorkerRingPool() { return tls_current_pool; }
+
+ScopedWorkerRingPool::ScopedWorkerRingPool(WorkerRingPool* pool)
+    : previous_(tls_current_pool) {
+  tls_current_pool = pool;
+}
+
+ScopedWorkerRingPool::~ScopedWorkerRingPool() { tls_current_pool = previous_; }
+
+ScopedWorkerRing::ScopedWorkerRing(WorkerRingPool* pool) : pool_(pool) {
+  if (pool_ == nullptr) return;
+  previous_pool_ = tls_current_pool;
+  previous_ring_ = tls_current_ring;
+  tls_current_pool = pool_;
+  ring_ = pool_->TryAcquire();
+  if (ring_ != nullptr) tls_current_ring = ring_;
+}
+
+ScopedWorkerRing::~ScopedWorkerRing() {
+  if (pool_ == nullptr) return;
+  tls_current_ring = previous_ring_;
+  tls_current_pool = previous_pool_;
+  pool_->Release(ring_);
+}
+
 }  // namespace xmlac::obs

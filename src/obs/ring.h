@@ -164,6 +164,75 @@ inline void EmitEvent(EventType type, uint16_t name, uint64_t arg,
   if (ring != nullptr) ring->Append(type, name, arg, klass);
 }
 
+// --- Worker ring pool -------------------------------------------------------
+// ParallelFor spawns short-lived worker threads that have no ring of their
+// own, and SPSC rings admit exactly one producer — workers must never share
+// the caller's ring.  A WorkerRingPool holds pre-created rings (typically
+// FlightRecorder::AddRing "parallel-N" rings) that workers claim atomically
+// for the duration of one fan-out and release on exit.  Concurrent fan-outs
+// (server workers, nested ParallelFor) each claim distinct rings; when the
+// pool runs dry the extra workers simply run ring-less, exactly the old
+// behavior.  Rings are registered before any worker runs and never removed,
+// so iteration is lock-free.
+
+class WorkerRingPool {
+ public:
+  // Registers a ring (non-owning; the ring must outlive all claimants).
+  // Not thread-safe: call before the pool is published to workers.
+  void Add(EventRing* ring);
+
+  // Claims an idle ring, or nullptr when all are busy.  Thread-safe.
+  EventRing* TryAcquire();
+
+  // Returns a ring obtained from TryAcquire.  nullptr is a no-op.
+  void Release(EventRing* ring);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    EventRing* ring = nullptr;
+    std::atomic<bool> busy{false};
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+// The thread's installed pool (or nullptr), mirroring CurrentRing().
+// ParallelFor reads this to decide whether worker spans can be recorded.
+WorkerRingPool* CurrentWorkerRingPool();
+
+// Installs `pool` for the current thread, restoring the previous pool on
+// destruction.  Server worker/writer loops install the recorder's pool once
+// at thread start so every ParallelFor beneath them propagates spans.
+class ScopedWorkerRingPool {
+ public:
+  explicit ScopedWorkerRingPool(WorkerRingPool* pool);
+  ~ScopedWorkerRingPool();
+  ScopedWorkerRingPool(const ScopedWorkerRingPool&) = delete;
+  ScopedWorkerRingPool& operator=(const ScopedWorkerRingPool&) = delete;
+
+ private:
+  WorkerRingPool* previous_;
+};
+
+// ParallelFor worker guard: claims a ring from `pool` (if one is free),
+// installs it as the thread's current ring, and re-installs `pool` so
+// nested fan-outs can claim rings too.  A null pool is a complete no-op —
+// the participating caller thread passes null to keep its own ring.
+class ScopedWorkerRing {
+ public:
+  explicit ScopedWorkerRing(WorkerRingPool* pool);
+  ~ScopedWorkerRing();
+  ScopedWorkerRing(const ScopedWorkerRing&) = delete;
+  ScopedWorkerRing& operator=(const ScopedWorkerRing&) = delete;
+
+ private:
+  WorkerRingPool* pool_ = nullptr;
+  EventRing* ring_ = nullptr;
+  WorkerRingPool* previous_pool_ = nullptr;
+  EventRing* previous_ring_ = nullptr;
+};
+
 }  // namespace xmlac::obs
 
 #endif  // XMLAC_OBS_RING_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/io.h"
+#include "common/parallel.h"
 #include "engine/native_backend.h"
 #include "obs/chrome_export.h"
 #include "storage/checkpoint.h"
@@ -39,6 +40,8 @@ Server::Server(ServerOptions options)
                     mopt.optimize_policies = options.optimize_policies;
                     mopt.enable_rule_cache = options.enable_rule_cache;
                     mopt.parallel_subjects = options.parallel_subjects;
+                    mopt.shard_parallel = options.shard_parallel;
+                    mopt.shard_threads = options.shard_threads;
                     return mopt;
                   }()),
       read_queue_(options.read_queue_capacity),
@@ -160,6 +163,19 @@ Status Server::Start() {
       rings_.push_back(recorder_->AddRing("worker-" + std::to_string(i)));
     }
     rings_.push_back(recorder_->AddRing("writer"));
+    if (options_.shard_parallel) {
+      // Rings for ParallelFor workers spawned by sharded execution.  Sized
+      // for the widest fan-out (auto parallelism); workers that find the
+      // pool exhausted simply run ring-less.
+      worker_ring_pool_ = std::make_unique<obs::WorkerRingPool>();
+      const size_t pool_size = options_.shard_threads != 0
+                                   ? options_.shard_threads
+                                   : DefaultParallelism();
+      for (size_t i = 0; i < pool_size; ++i) {
+        worker_ring_pool_->Add(
+            recorder_->AddRing("parallel-" + std::to_string(i)));
+      }
+    }
   }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
@@ -361,6 +377,9 @@ void Server::WorkerLoop(size_t worker_index) {
   obs::EventRing* ring =
       worker_index < rings_.size() ? rings_[worker_index] : nullptr;
   obs::ScopedRing ring_context(ring);
+  // Sharded fan-outs launched from this thread hand recorder rings to their
+  // spawned workers through the pool.
+  obs::ScopedWorkerRingPool pool_context(worker_ring_pool_.get());
   const uint16_t queue_name =
       ring != nullptr ? obs::InternName("read_queue") : 0;
   while (true) {
@@ -430,6 +449,7 @@ void Server::WriterLoop() {
       metrics_.histogram("serve.update.latency_us");
   obs::EventRing* ring = rings_.empty() ? nullptr : rings_.back();
   obs::ScopedRing ring_context(ring);
+  obs::ScopedWorkerRingPool pool_context(worker_ring_pool_.get());
   const uint16_t queue_name =
       ring != nullptr ? obs::InternName("write_queue") : 0;
   std::vector<WriteTask> batch;

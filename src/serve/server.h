@@ -89,6 +89,12 @@ struct ServerOptions {
   // (0 = auto, 1 = serial).  See docs/performance.md.
   bool enable_rule_cache = true;
   size_t parallel_subjects = 0;
+  // Shard-parallel hot loops inside every subject controller (structural
+  // joins, bitmap combination, labeling — see docs/performance.md).  With
+  // the flight recorder on, ParallelFor workers claim rings from a shared
+  // pool so their spans land in the recorder too.
+  bool shard_parallel = true;
+  size_t shard_threads = 0;
   // Always-on flight recorder: each pool thread appends compact binary
   // events into a lock-free ring; a background drainer folds them into
   // per-class latency histograms and tail-sampled slow-request traces
@@ -317,6 +323,10 @@ class Server {
   // drained by drainer_ every drain_interval_ms.  Null/empty when disabled.
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::vector<obs::EventRing*> rings_;
+  // Ring pool for ParallelFor workers spawned under sharded execution: each
+  // spawned worker claims a dedicated ring for the fan-out's duration, so
+  // shard-span events reach the recorder without breaking SPSC.
+  std::unique_ptr<obs::WorkerRingPool> worker_ring_pool_;
   std::thread drainer_;
   std::mutex drainer_mu_;
   std::condition_variable drainer_cv_;

@@ -24,6 +24,7 @@ std::string Describe(BackendKind kind, bool optimized,
   out += optimized ? "/opt" : "/raw";
   out += options.rule_cache ? "/cache" : "/nocache";
   out += options.structural_accel ? "/structural" : "/naive";
+  out += options.shard_parallel ? "/shard" : "/serial";
   return out;
 }
 
@@ -34,6 +35,7 @@ engine::ControllerOptions EngineOptions(bool optimize,
   engine::ControllerOptions out;
   out.optimize_policy = optimize;
   out.enable_rule_cache = options.rule_cache;
+  out.shard_parallel = options.shard_parallel;
   out.inject_stale_cache = options.bug == InjectedBug::kStaleCache;
   return out;
 }
@@ -187,6 +189,9 @@ std::string CheckAnnotation(const Instance& instance,
     {
       std::unique_ptr<engine::Backend> backend =
           MakeBackend(kind, options.structural_accel);
+      ShardConfig shard;
+      shard.enabled = options.shard_parallel;
+      backend->SetShardConfig(shard);
       if (!backend->Load(instance.dtd, instance.doc).ok()) return "";
       for (policy::CombineOp combine :
            {policy::CombineOp::kGrants, policy::CombineOp::kGrantsExceptDenies,
@@ -501,6 +506,15 @@ std::string CheckAll(const Instance& instance, const DiffOptions& options) {
     naive.structural_accel = false;
     out = CheckAnnotation(instance, naive);
     if (out.empty()) out = CheckReannotation(instance, naive);
+  }
+  // And with shard-parallel execution forced off, so the sharded fan-out /
+  // merge paths are always diffed against the serial engine on the same
+  // instance (failure strings carry /shard vs /serial).
+  if (out.empty() && options.shard_parallel) {
+    DiffOptions serial = options;
+    serial.shard_parallel = false;
+    out = CheckAnnotation(instance, serial);
+    if (out.empty()) out = CheckReannotation(instance, serial);
   }
   return out;
 }

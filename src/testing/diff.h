@@ -61,6 +61,13 @@ struct DiffOptions {
   // off, so every sweep diffs the structural engine against both the naive
   // configuration and the oracle.
   bool structural_accel = true;
+  // Run the controllers with shard-parallel execution (common/shard.h):
+  // interval-range fan-out in the structural evaluator, word-range bitmap
+  // combination, sharded relational scans.  CheckAll repeats the
+  // annotation/re-annotation checks with sharding forced off, so every
+  // sweep diffs the sharded engine against both the serial configuration
+  // and the oracle (failure strings carry /shard vs /serial).
+  bool shard_parallel = true;
 };
 
 // Annotation: Table 2 signs node by node, the four Fig. 5 annotation sets,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/shard.h"
 #include "xml/document.h"
 #include "xpath/ast.h"
 
@@ -20,6 +21,11 @@ class StructuralIndex;
 struct EvaluatorOptions {
   bool use_structural_index = false;
   const StructuralIndex* index = nullptr;
+  // Exchange fan-out for the structural engine (common/shard.h): large
+  // context sets split into interval ranges and evaluate shard-parallel
+  // with an order-preserving merge.  Identical results either way; disable
+  // to force serial execution (the differential harness does both).
+  ShardConfig shard;
 };
 
 // Evaluates an absolute path on a document.  Returns the selected element

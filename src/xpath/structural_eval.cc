@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/parallel.h"
+#include "common/shard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,11 +15,23 @@ using xml::Document;
 using xml::NodeId;
 using xml::NodeKind;
 
+// Contexts smaller than this stay serial: a fan-out costs thread spawns
+// plus a merge sort, so each shard must carry real join work.
+constexpr size_t kEvalShardMinContext = 256;
+
 // Per-evaluation scratch: counters for the obs layer plus the per-strategy
 // breakdown reported as trace-span tags.
 struct EvalState {
   const Document& doc;
   const StructuralIndex& index;
+  // Non-null enables the exchange fan-out (see FanOutSteps); shard-worker
+  // states leave it null so workers never nest another fan-out.
+  const ShardConfig* shard = nullptr;
+  // One fan-out per step chain: consumed by the first step whose context
+  // clears the work threshold.  Cleared during predicate evaluation —
+  // predicate sub-paths start from one node and re-enter ApplySteps many
+  // times, the worst shape for a fan-out.
+  bool fanout_available = false;
   uint64_t advances = 0;  // stream/child entries examined (the naive
                           // engine's nodes_visited analog)
   uint64_t joins = 0;     // structural merges performed
@@ -25,7 +39,21 @@ struct EvalState {
   int64_t child_merges = 0;
   int64_t child_scans = 0;
   int64_t value_probes = 0;
+  int64_t shard_fanouts = 0;
+  int64_t shard_count = 0;
 };
+
+// Folds a shard worker's counters into the parent state.
+void AggregateCounters(EvalState& s, const EvalState& sub) {
+  s.advances += sub.advances;
+  s.joins += sub.joins;
+  s.descendant_merges += sub.descendant_merges;
+  s.child_merges += sub.child_merges;
+  s.child_scans += sub.child_scans;
+  s.value_probes += sub.value_probes;
+  s.shard_fanouts += sub.shard_fanouts;
+  s.shard_count += sub.shard_count;
+}
 
 bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node);
 
@@ -141,6 +169,54 @@ const std::vector<NodeId>& StreamFor(const EvalState& s, const Step& step) {
                             : s.index.TagStream(step.label);
 }
 
+std::vector<NodeId> ApplySteps(EvalState& s, const Path& path,
+                               size_t step_index, std::vector<NodeId> context,
+                               size_t limit_at_last);
+
+// Exchange fan-out over the context set: splits the start-sorted context
+// into contiguous interval ranges, applies the remaining steps per range on
+// ParallelFor workers (each with a serial worker state), and merges by
+// concatenating in range order.  Contexts nesting across a range boundary
+// can both select the same node, so the merge also sorts by NodeId and
+// deduplicates — which is exactly the serial output contract, making the
+// result byte-identical for any shard count.
+std::vector<NodeId> FanOutSteps(EvalState& s, const Path& path,
+                                size_t step_index,
+                                const std::vector<NodeId>& context,
+                                const std::vector<ShardRange>& ranges) {
+  obs::ScopedSpan span("xpath.shard_fanout");
+  ++s.shard_fanouts;
+  s.shard_count += static_cast<int64_t>(ranges.size());
+  std::vector<std::vector<NodeId>> parts(ranges.size());
+  std::vector<EvalState> states;
+  states.reserve(ranges.size());
+  for (size_t k = 0; k < ranges.size(); ++k) {
+    states.emplace_back(EvalState{s.doc, s.index});
+  }
+  ParallelFor(ranges.size(), s.shard->ResolvedThreads(), 1, [&](size_t k) {
+    std::vector<NodeId> ctx(context.begin() + ranges[k].begin,
+                            context.begin() + ranges[k].end);
+    parts[k] = ApplySteps(states[k], path, step_index, std::move(ctx), 0);
+  });
+  std::vector<NodeId> out;
+  {
+    obs::ScopedTimer merge_timer("xpath.shard.merge_us");
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out.reserve(total);
+    for (const auto& part : parts) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  for (const EvalState& sub : states) AggregateCounters(s, sub);
+  if (span.active()) {
+    span.AddCount("shards", static_cast<int64_t>(ranges.size()));
+  }
+  return out;
+}
+
 // Applies steps [step_index..] to `context`.  `limit_at_last` > 0 allows
 // the final step to stop after that many nodes when it carries no
 // predicates (existence probes from predicate evaluation).
@@ -150,6 +226,15 @@ std::vector<NodeId> ApplySteps(EvalState& s, const Path& path,
   bool start_sorted = context.size() <= 1;
   for (size_t i = step_index; i < path.steps.size(); ++i) {
     if (context.empty()) break;
+    if (s.shard != nullptr && s.fanout_available && limit_at_last == 0) {
+      std::vector<ShardRange> ranges =
+          PlanShards(context.size(), *s.shard, kEvalShardMinContext);
+      if (ranges.size() > 1) {
+        s.fanout_available = false;
+        if (!start_sorted) SortByStart(s, &context);
+        return FanOutSteps(s, path, i, context, ranges);
+      }
+    }
     const Step& step = path.steps[i];
     if (!start_sorted) SortByStart(s, &context);
     bool last = i + 1 == path.steps.size();
@@ -215,7 +300,8 @@ bool ValueIndexProbe(EvalState& s, const Predicate& pred, NodeId node) {
   return !hit.empty();
 }
 
-bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node) {
+bool PredicatesHoldStructuralImpl(EvalState& s, const Step& step,
+                                  NodeId node) {
   for (const Predicate& pred : step.predicates) {
     if (!pred.has_comparison()) {
       if (ApplySteps(s, pred.path, 0, {node}, 1).empty()) return false;
@@ -247,6 +333,16 @@ bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node) {
   return true;
 }
 
+bool PredicatesHoldStructural(EvalState& s, const Step& step, NodeId node) {
+  // Predicate sub-paths must not consume the step chain's fan-out budget:
+  // they re-enter ApplySteps once per candidate from single-node contexts.
+  bool saved = s.fanout_available;
+  s.fanout_available = false;
+  bool ok = PredicatesHoldStructuralImpl(s, step, node);
+  s.fanout_available = saved;
+  return ok;
+}
+
 void FlushCounters(const EvalState& s, size_t selected, bool top_level) {
   if (obs::CurrentMetrics() == nullptr) return;
   // Cached handles: this flush runs once per (sub)query on the serve read
@@ -257,42 +353,96 @@ void FlushCounters(const EvalState& s, size_t selected, bool top_level) {
   static thread_local obs::CounterHandle joins("xpath.structural.joins");
   static thread_local obs::CounterHandle advances(
       "xpath.structural.stream_advances");
+  static thread_local obs::CounterHandle shard_fanouts("xpath.shard.fanouts");
+  static thread_local obs::CounterHandle shard_shards("xpath.shard.shards");
   if (top_level) evaluations.Increment();
   nodes_visited.Increment(s.advances);
   nodes_selected.Increment(selected);
   joins.Increment(s.joins);
   advances.Increment(s.advances);
+  if (s.shard_fanouts != 0) {
+    shard_fanouts.Increment(static_cast<uint64_t>(s.shard_fanouts));
+    shard_shards.Increment(static_cast<uint64_t>(s.shard_count));
+  }
 }
 
-}  // namespace
-
-std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
-                                       const StructuralIndex& index) {
-  if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
-  EvalState s{doc, index};
-  obs::ScopedSpan span("xpath.structural_eval");
+// Builds the first-step context for an absolute path.  For a descendant
+// first step with predicates over a large tag stream, the per-candidate
+// predicate filter fans out shard-parallel: stream ranges are disjoint
+// nodes in pre-order, so concatenation in range order is the serial output.
+std::vector<NodeId> FirstStepContext(EvalState& s, const Path& path) {
   const Step& first = path.steps.front();
   std::vector<NodeId> context;
-  ++s.advances;
   if (first.axis == Axis::kChild) {
     // The virtual document node has exactly one child: the root element.
-    const xml::Node& root = doc.node(doc.root());
+    const xml::Node& root = s.doc.node(s.doc.root());
     if ((first.is_wildcard() || root.label == first.label) &&
-        PredicatesHoldStructural(s, first, doc.root())) {
-      context.push_back(doc.root());
+        PredicatesHoldStructural(s, first, s.doc.root())) {
+      context.push_back(s.doc.root());
     }
-  } else {
-    // Descendant from the virtual node: the step's whole tag stream.
-    for (NodeId c : StreamFor(s, first)) {
-      ++s.advances;
-      if (!doc.IsAlive(c)) continue;
-      if (!first.predicates.empty() &&
-          !PredicatesHoldStructural(s, first, c)) {
-        continue;
-      }
-      context.push_back(c);
-    }
+    return context;
   }
+  // Descendant from the virtual node: the step's whole tag stream.
+  const std::vector<NodeId>& stream = StreamFor(s, first);
+  std::vector<ShardRange> ranges;
+  if (s.shard != nullptr && !first.predicates.empty()) {
+    ranges = PlanShards(stream.size(), *s.shard, kEvalShardMinContext);
+  }
+  if (ranges.size() > 1) {
+    obs::ScopedSpan span("xpath.shard_fanout");
+    ++s.shard_fanouts;
+    s.shard_count += static_cast<int64_t>(ranges.size());
+    std::vector<std::vector<NodeId>> parts(ranges.size());
+    std::vector<EvalState> states;
+    states.reserve(ranges.size());
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      states.emplace_back(EvalState{s.doc, s.index});
+    }
+    ParallelFor(ranges.size(), s.shard->ResolvedThreads(), 1, [&](size_t k) {
+      for (size_t i = ranges[k].begin; i < ranges[k].end; ++i) {
+        NodeId c = stream[i];
+        ++states[k].advances;
+        if (!s.doc.IsAlive(c)) continue;
+        if (!PredicatesHoldStructural(states[k], first, c)) continue;
+        parts[k].push_back(c);
+      }
+    });
+    for (const EvalState& sub : states) AggregateCounters(s, sub);
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    context.reserve(total);
+    for (const auto& part : parts) {
+      context.insert(context.end(), part.begin(), part.end());
+    }
+    if (span.active()) {
+      span.AddCount("shards", static_cast<int64_t>(ranges.size()));
+    }
+    return context;
+  }
+  for (NodeId c : stream) {
+    ++s.advances;
+    if (!s.doc.IsAlive(c)) continue;
+    if (!first.predicates.empty() && !PredicatesHoldStructural(s, first, c)) {
+      continue;
+    }
+    context.push_back(c);
+  }
+  return context;
+}
+
+std::vector<NodeId> EvaluateStructuralImpl(const Path& path,
+                                           const Document& doc,
+                                           const StructuralIndex& index,
+                                           const ShardConfig* shard) {
+  if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
+  EvalState s{doc, index};
+  if (shard != nullptr && shard->enabled) {
+    s.shard = shard;
+    s.fanout_available = true;
+  }
+  obs::ScopedSpan span("xpath.structural_eval");
+  ++s.advances;
+  std::vector<NodeId> context = FirstStepContext(s, path);
   std::vector<NodeId> out = ApplySteps(s, path, 1, std::move(context), 0);
   // Merges emit in start order; the public contract (shared with the naive
   // engine and the oracle) is NodeId order.
@@ -305,27 +455,61 @@ std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
   if (s.child_merges != 0) span.AddCount("join.child_merge", s.child_merges);
   if (s.child_scans != 0) span.AddCount("join.child_scan", s.child_scans);
   if (s.value_probes != 0) span.AddCount("join.value_probe", s.value_probes);
+  if (s.shard_fanouts != 0) span.AddCount("shard.fanouts", s.shard_fanouts);
   return out;
 }
 
-std::vector<NodeId> EvaluateFromStructural(const Path& path,
-                                           const Document& doc,
-                                           NodeId context,
-                                           const StructuralIndex& index) {
+std::vector<NodeId> EvaluateFromStructuralImpl(const Path& path,
+                                               const Document& doc,
+                                               NodeId context,
+                                               const StructuralIndex& index,
+                                               const ShardConfig* shard) {
   if (!doc.IsAlive(context)) return {};
   if (path.empty()) return {context};
   EvalState s{doc, index};
+  if (shard != nullptr && shard->enabled) {
+    s.shard = shard;
+    s.fanout_available = true;
+  }
   std::vector<NodeId> out = ApplySteps(s, path, 0, {context}, 0);
   std::sort(out.begin(), out.end());
   FlushCounters(s, out.size(), /*top_level=*/false);
   return out;
 }
 
+}  // namespace
+
+std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
+                                       const StructuralIndex& index) {
+  return EvaluateStructuralImpl(path, doc, index, nullptr);
+}
+
+std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
+                                       const StructuralIndex& index,
+                                       const ShardConfig& shard) {
+  return EvaluateStructuralImpl(path, doc, index, &shard);
+}
+
+std::vector<NodeId> EvaluateFromStructural(const Path& path,
+                                           const Document& doc,
+                                           NodeId context,
+                                           const StructuralIndex& index) {
+  return EvaluateFromStructuralImpl(path, doc, context, index, nullptr);
+}
+
+std::vector<NodeId> EvaluateFromStructural(const Path& path,
+                                           const Document& doc,
+                                           NodeId context,
+                                           const StructuralIndex& index,
+                                           const ShardConfig& shard) {
+  return EvaluateFromStructuralImpl(path, doc, context, index, &shard);
+}
+
 std::vector<NodeId> Evaluate(const Path& path, const Document& doc,
                              const EvaluatorOptions& options) {
   if (options.use_structural_index && options.index != nullptr &&
       options.index->ReadyFor(doc)) {
-    return EvaluateStructural(path, doc, *options.index);
+    return EvaluateStructural(path, doc, *options.index, options.shard);
   }
   return Evaluate(path, doc);
 }
@@ -335,7 +519,8 @@ std::vector<NodeId> EvaluateFrom(const Path& path, const Document& doc,
                                  const EvaluatorOptions& options) {
   if (options.use_structural_index && options.index != nullptr &&
       options.index->ReadyFor(doc)) {
-    return EvaluateFromStructural(path, doc, context, *options.index);
+    return EvaluateFromStructural(path, doc, context, *options.index,
+                                  options.shard);
   }
   return EvaluateFrom(path, doc, context);
 }

@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "common/shard.h"
 #include "xml/document.h"
 #include "xpath/ast.h"
 #include "xpath/evaluator.h"
@@ -45,6 +46,21 @@ std::vector<xml::NodeId> EvaluateFromStructural(const Path& path,
                                                 const xml::Document& doc,
                                                 xml::NodeId context,
                                                 const StructuralIndex& index);
+
+// Shard-parallel variants: large context sets fan out per contiguous
+// interval range onto ParallelFor workers with an order-preserving merge
+// (exchange operator; docs/performance.md).  Results are byte-identical to
+// the serial overloads for any shard count.
+std::vector<xml::NodeId> EvaluateStructural(const Path& path,
+                                            const xml::Document& doc,
+                                            const StructuralIndex& index,
+                                            const ShardConfig& shard);
+
+std::vector<xml::NodeId> EvaluateFromStructural(const Path& path,
+                                                const xml::Document& doc,
+                                                xml::NodeId context,
+                                                const StructuralIndex& index,
+                                                const ShardConfig& shard);
 
 }  // namespace xmlac::xpath
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.h"
 #include "obs/metrics.h"
 
 namespace xmlac::xpath {
@@ -27,21 +28,27 @@ constexpr uint64_t kInsertSlot = 64;
 
 const std::vector<NodeId> kEmptyStream;
 
-}  // namespace
+// Below this many document slots a rebuild stays serial: per-node labeling
+// work is tens of nanoseconds, so small documents cannot amortize the
+// fan-out's thread spawns.
+constexpr size_t kLabelShardMinNodes = 4096;
 
-std::vector<IntervalLabel> ComputeIntervalLabels(const Document& doc) {
-  std::vector<IntervalLabel> labels(doc.size());
-  if (doc.empty() || !doc.IsAlive(doc.root())) return labels;
+// Labels the subtree rooted at `root` with the enter/leave counter scheme,
+// starting at label value `counter`; returns the counter after the
+// subtree's leave event.  A subtree holding n alive elements consumes
+// exactly 2*n kBuildGap slots — the invariant that lets the parallel
+// builder precompute every top-level subtree's base offset.
+uint64_t LabelSubtree(const Document& doc, NodeId root, uint32_t level,
+                      uint64_t counter, std::vector<IntervalLabel>* labels) {
   struct Frame {
     NodeId id;
     size_t next_child;
   };
-  uint64_t counter = kBuildGap;
-  std::vector<Frame> stack;
-  stack.push_back({doc.root(), 0});
-  labels[doc.root()].start = counter;
-  labels[doc.root()].level = 0;
+  (*labels)[root].start = counter;
+  (*labels)[root].level = level;
   counter += kBuildGap;
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
   while (!stack.empty()) {
     Frame& f = stack.back();
     const xml::Node& n = doc.node(f.id);
@@ -50,18 +57,91 @@ std::vector<IntervalLabel> ComputeIntervalLabels(const Document& doc) {
       NodeId c = n.children[f.next_child++];
       const xml::Node& cn = doc.node(c);
       if (!cn.alive || cn.kind != NodeKind::kElement) continue;
-      labels[c].start = counter;
-      labels[c].level = labels[f.id].level + 1;
+      (*labels)[c].start = counter;
+      (*labels)[c].level = (*labels)[f.id].level + 1;
       counter += kBuildGap;
       stack.push_back({c, 0});
       descended = true;
       break;
     }
     if (descended) continue;
-    labels[f.id].end = counter;
+    (*labels)[f.id].end = counter;
     counter += kBuildGap;
     stack.pop_back();
   }
+  return counter;
+}
+
+// Alive elements in the subtree (descending only through alive elements,
+// mirroring LabelSubtree's descend condition).
+size_t CountSubtreeElements(const Document& doc, NodeId root) {
+  size_t n = 0;
+  std::vector<NodeId> stack = {root};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const xml::Node& cn = doc.node(cur);
+    if (!cn.alive || cn.kind != NodeKind::kElement) continue;
+    ++n;
+    for (NodeId c : cn.children) stack.push_back(c);
+  }
+  return n;
+}
+
+// The root's alive element children: the unit of the per-subtree fan-out.
+std::vector<NodeId> TopLevelSubtrees(const Document& doc) {
+  std::vector<NodeId> tops;
+  for (NodeId c : doc.node(doc.root()).children) {
+    const xml::Node& cn = doc.node(c);
+    if (cn.alive && cn.kind == NodeKind::kElement) tops.push_back(c);
+  }
+  return tops;
+}
+
+bool ShouldShardRebuild(const Document& doc, const ShardConfig& shard,
+                        size_t top_count) {
+  size_t min_work = shard.min_work != 0 ? shard.min_work : kLabelShardMinNodes;
+  return shard.enabled && top_count > 1 && doc.size() >= min_work &&
+         shard.ResolvedThreads() > 1;
+}
+
+}  // namespace
+
+std::vector<IntervalLabel> ComputeIntervalLabels(const Document& doc) {
+  ShardConfig serial;
+  serial.enabled = false;
+  return ComputeIntervalLabels(doc, serial);
+}
+
+std::vector<IntervalLabel> ComputeIntervalLabels(const Document& doc,
+                                                 const ShardConfig& shard) {
+  std::vector<IntervalLabel> labels(doc.size());
+  if (doc.empty() || !doc.IsAlive(doc.root())) return labels;
+  std::vector<NodeId> tops = TopLevelSubtrees(doc);
+  if (!ShouldShardRebuild(doc, shard, tops.size())) {
+    LabelSubtree(doc, doc.root(), 0, kBuildGap, &labels);
+    return labels;
+  }
+  // Each top-level subtree owns a precomputed, disjoint label range and a
+  // disjoint set of NodeId slots, so the workers never touch the same data.
+  labels[doc.root()].start = kBuildGap;
+  labels[doc.root()].level = 0;
+  size_t threads = shard.ResolvedThreads();
+  std::vector<size_t> counts(tops.size());
+  ParallelFor(tops.size(), threads, 1, [&](size_t i) {
+    counts[i] = CountSubtreeElements(doc, tops[i]);
+  });
+  std::vector<uint64_t> bases(tops.size());
+  uint64_t counter = 2 * kBuildGap;
+  for (size_t i = 0; i < tops.size(); ++i) {
+    bases[i] = counter;
+    counter += 2 * static_cast<uint64_t>(counts[i]) * kBuildGap;
+  }
+  ParallelFor(tops.size(), threads, 1, [&](size_t i) {
+    LabelSubtree(doc, tops[i], 1, bases[i], &labels);
+  });
+  labels[doc.root()].end = counter;
+  obs::IncrementCounter("xpath.structural.shard_labelings");
   return labels;
 }
 
@@ -115,7 +195,7 @@ void StructuralIndex::RestoreLabels(std::vector<IntervalLabel> labels) {
 }
 
 void StructuralIndex::Rebuild() {
-  labels_ = ComputeIntervalLabels(*doc_);
+  labels_ = ComputeIntervalLabels(*doc_, shard_);
   tag_streams_.clear();
   element_stream_.clear();
   dead_in_streams_ = 0;
@@ -124,13 +204,42 @@ void StructuralIndex::Rebuild() {
     value_index_.clear();
   }
   if (!doc_->empty() && doc_->IsAlive(doc_->root())) {
-    // Pre-order visitation matches ascending start labels, so the streams
-    // come out sorted without an explicit sort.
-    doc_->Visit(doc_->root(), [&](NodeId id) {
-      if (doc_->node(id).kind != NodeKind::kElement) return;
-      element_stream_.push_back(id);
-      tag_streams_[doc_->node(id).label].push_back(id);
-    });
+    std::vector<NodeId> tops = TopLevelSubtrees(*doc_);
+    if (!ShouldShardRebuild(*doc_, shard_, tops.size())) {
+      // Pre-order visitation matches ascending start labels, so the streams
+      // come out sorted without an explicit sort.
+      doc_->Visit(doc_->root(), [&](NodeId id) {
+        if (doc_->node(id).kind != NodeKind::kElement) return;
+        element_stream_.push_back(id);
+        tag_streams_[doc_->node(id).label].push_back(id);
+      });
+    } else {
+      // Per-subtree streams built in parallel, then concatenated in subtree
+      // order: [root] + subtree pre-orders in sibling order IS the document
+      // pre-order, so the merged streams match the serial build exactly.
+      element_stream_.push_back(doc_->root());
+      tag_streams_[doc_->node(doc_->root()).label].push_back(doc_->root());
+      struct SubtreeStreams {
+        std::vector<NodeId> elements;
+        std::unordered_map<std::string, std::vector<NodeId>> tags;
+      };
+      std::vector<SubtreeStreams> parts(tops.size());
+      ParallelFor(tops.size(), shard_.ResolvedThreads(), 1, [&](size_t i) {
+        doc_->Visit(tops[i], [&](NodeId id) {
+          if (doc_->node(id).kind != NodeKind::kElement) return;
+          parts[i].elements.push_back(id);
+          parts[i].tags[doc_->node(id).label].push_back(id);
+        });
+      });
+      for (const SubtreeStreams& part : parts) {
+        element_stream_.insert(element_stream_.end(), part.elements.begin(),
+                               part.elements.end());
+        for (const auto& [tag, ids] : part.tags) {
+          auto& stream = tag_streams_[tag];
+          stream.insert(stream.end(), ids.begin(), ids.end());
+        }
+      }
+    }
   }
   ++builds_;
   obs::IncrementCounter("xpath.structural.index_builds");

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/shard.h"
 #include "xml/document.h"
 
 namespace xmlac::xpath {
@@ -58,6 +59,13 @@ struct IntervalLabel {
 // indexed by NodeId and only meaningful for alive elements; other slots
 // keep end == 0.
 std::vector<IntervalLabel> ComputeIntervalLabels(const xml::Document& doc);
+
+// Shard-parallel variant: labels each top-level subtree on a ParallelFor
+// worker.  The enter/leave scheme consumes exactly two kBuildGap slots per
+// alive element, so each subtree's base offset is precomputable and the
+// label vector is byte-identical to the serial one for any thread count.
+std::vector<IntervalLabel> ComputeIntervalLabels(const xml::Document& doc,
+                                                 const ShardConfig& shard);
 
 // Carves an interval for a new last child out of `parent`'s remaining gap.
 // `anchor` is the highest label value already used inside the parent (the
@@ -126,6 +134,11 @@ class StructuralIndex {
   uint64_t builds() const { return builds_; }
   uint64_t incremental_updates() const { return incremental_updates_; }
 
+  // Sharding for full rebuilds (labeling + stream construction run
+  // per-top-level-subtree on ParallelFor workers).  Streams and labels are
+  // identical either way; takes effect at the next Rebuild().
+  void set_shard_config(const ShardConfig& shard) { shard_ = shard; }
+
  private:
   void Rebuild();
   // Applies journaled mutations; false means the journal couldn't be
@@ -155,6 +168,7 @@ class StructuralIndex {
 
   uint64_t builds_ = 0;
   uint64_t incremental_updates_ = 0;
+  ShardConfig shard_;
 };
 
 }  // namespace xmlac::xpath

@@ -71,6 +71,9 @@ struct LoadgenOptions {
   xmlac::storage::DurabilityLevel durability =
       xmlac::storage::DurabilityLevel::kFdatasync;
   uint64_t checkpoint_every = 0;  // 0 = no background checkpoints
+  // Shard-parallel execution inside the engine (docs/performance.md).
+  bool shard_parallel = true;
+  size_t shard_threads = 0;  // 0 = auto
 };
 
 int Usage(const char* argv0) {
@@ -95,6 +98,8 @@ int Usage(const char* argv0) {
       "  --health-file FILE          rewrite live health stats for xmlac_top\n"
       "  --health-interval-ms N      health file refresh period (default 200)\n"
       "  --slow-threshold-us N       retain traces of requests over N us\n"
+      "  --shard-threads N           shard-parallel engine threads (0 = auto)\n"
+      "  --no-shard                  disable shard-parallel execution\n"
       "                              (default 0 = adaptive trailing p99)\n"
       "  --data-dir DIR              durable mode: WAL + checkpoints in DIR\n"
       "                              (recovers existing state on start)\n"
@@ -313,6 +318,8 @@ int main(int argc, char** argv) {
       opt.durability = *parsed;
     }
     else if (arg == "--checkpoint-every") opt.checkpoint_every = std::strtoull(next(arg.c_str()), nullptr, 10);
+    else if (arg == "--shard-threads") opt.shard_threads = std::strtoull(next(arg.c_str()), nullptr, 10);
+    else if (arg == "--no-shard") opt.shard_parallel = false;
     else return Usage(argv[0]);
   }
   if (opt.clients == 0) opt.clients = 1;
@@ -323,6 +330,8 @@ int main(int argc, char** argv) {
   server_options.read_queue_capacity = opt.queue_capacity;
   server_options.write_queue_capacity = opt.queue_capacity;
   server_options.flight_recorder = opt.recorder;
+  server_options.shard_parallel = opt.shard_parallel;
+  server_options.shard_threads = opt.shard_threads;
   server_options.recorder.slow_threshold_us = opt.slow_threshold_us;
   server_options.durability.data_dir = opt.data_dir;
   server_options.durability.level = opt.durability;
