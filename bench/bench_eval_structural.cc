@@ -61,7 +61,7 @@ struct QueryPoint {
 };
 
 QueryPoint RunQuery(const xpath::Path& path, const xml::Document& doc,
-                    const xpath::StructuralIndex& index, int reps) {
+                    const xpath::IndexVersion& index, int reps) {
   xpath::EvaluatorOptions structural;
   structural.use_structural_index = true;
   structural.index = &index;
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   const xml::Document& doc = bench::XmarkDocument(factor);
   xpath::StructuralIndex index(&doc);
   Timer build;
-  index.Sync();
+  index.Publish();
   double build_s = build.ElapsedSeconds();
 
   size_t elements = 0;
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
   for (const char* expr : bench::kQueries) {
     auto path = xpath::ParsePath(expr);
     XMLAC_CHECK_MSG(path.ok(), path.status().ToString());
-    bench::QueryPoint p = bench::RunQuery(*path, doc, index, reps);
+    bench::QueryPoint p = bench::RunQuery(*path, doc, *index.current(), reps);
     double speedup =
         p.naive_s / (p.structural_s > 0 ? p.structural_s : 1e-9);
     double ratio = static_cast<double>(p.naive_visited) /

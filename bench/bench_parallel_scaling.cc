@@ -113,7 +113,8 @@ int main(int argc, char** argv) {
   XMLAC_CHECK_MSG(policy.ok(), policy.status().ToString());
 
   xpath::StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
+  const xpath::IndexVersion& version = *index.current();
   std::vector<xpath::Path> eval_paths;
   for (const char* expr : bench::kEvalQueries) {
     auto p = xpath::ParsePath(expr);
@@ -151,7 +152,7 @@ int main(int argc, char** argv) {
           [&] {
             for (const xpath::Path& p : eval_paths) {
               benchmark::DoNotOptimize(
-                  xpath::EvaluateStructural(p, doc, index, config));
+                  xpath::EvaluateStructural(p, doc, version, config));
             }
           },
           reps);

@@ -1,0 +1,232 @@
+#ifndef XMLAC_COMMON_EPOCH_H_
+#define XMLAC_COMMON_EPOCH_H_
+
+// Epoch-based memory reclamation in the style of the Bw-tree's garbage
+// collector (docs/concurrency.md).
+//
+// Writers publish immutable versions of a shared structure with a single
+// atomic pointer store and hand the displaced version to Retire(); readers
+// bracket every traversal with Pin()/Unpin() (usually via EpochGuard).  A
+// retired object is destroyed only once every slot pinned at the time of
+// its retirement has unpinned — so a reader that loaded the old pointer
+// under its pin can keep dereferencing it lock-free.
+//
+// Protocol (all epoch loads/stores are seq_cst; see docs/concurrency.md
+// for the interleaving argument):
+//
+//   writer: store new version pointer            (publication)
+//           stamp = Advance()                    (global epoch += 1)
+//           Retire(old, stamp) ; Collect()
+//   reader: e = Pin()        -- announces e = global epoch in a TLS slot
+//           load version pointer, traverse
+//           Unpin()
+//
+// Collect() frees a retiree iff stamp <= min(pinned epochs).  Any reader
+// that could still hold the retired pointer pinned *before* the advance,
+// i.e. with epoch <= stamp - 1 < stamp, and therefore blocks reclamation
+// until it unpins.  A reader pinned at >= stamp read the global counter
+// after the advance, which (seq_cst) is after the publication store, so
+// its subsequent pointer load observes the replacement, never the retiree
+// — which is why equality does not block.
+//
+// Pins nest: an inner Pin() on an already-pinned thread keeps the outer
+// epoch (a depth counter, touched only by the owning thread).  Slots are
+// co-owned by the manager and a thread_local cache so neither a dying
+// thread nor a dying manager leaves the other with a dangling slot;
+// Collect() prunes slots whose thread has exited.
+//
+// This header is dependency-free (common/ must not depend on obs/); the
+// call sites report pins/advances/reclaims to the metrics registry.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace xmlac {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kUnpinned = ~uint64_t{0};
+
+  struct Stats {
+    uint64_t pins = 0;       // Pin() calls that actually pinned (depth 0->1)
+    uint64_t advances = 0;   // global epoch increments
+    uint64_t retired = 0;    // objects handed to Retire()
+    uint64_t reclaimed = 0;  // retired objects destroyed by Collect()
+    uint64_t live = 0;       // retired but not yet reclaimed
+  };
+
+  EpochManager() : id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {}
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+  // Destroying the manager drops the retire list (freeing everything on
+  // it); callers must ensure no reader is pinned-and-traversing by then.
+  ~EpochManager() = default;
+
+  // Process-wide manager shared by every versioned structure.  Leaked so
+  // thread_local slot caches destroyed after static teardown stay valid.
+  static EpochManager& Global() {
+    static EpochManager* const kGlobal = new EpochManager();
+    return *kGlobal;
+  }
+
+  // Announces this thread as a reader of the current epoch and returns it.
+  // Nested calls keep the outermost epoch.
+  uint64_t Pin() {
+    Slot* slot = LocalSlot();
+    if (slot->depth++ == 0) {
+      uint64_t e = global_.load(std::memory_order_seq_cst);
+      slot->epoch.store(e, std::memory_order_seq_cst);
+      pins_.fetch_add(1, std::memory_order_relaxed);
+      return e;
+    }
+    return slot->epoch.load(std::memory_order_relaxed);
+  }
+
+  void Unpin() {
+    Slot* slot = LocalSlot();
+    if (slot->depth > 0 && --slot->depth == 0) {
+      slot->epoch.store(kUnpinned, std::memory_order_seq_cst);
+    }
+  }
+
+  bool pinned() const {
+    Slot* slot = const_cast<EpochManager*>(this)->LocalSlot();
+    return slot->depth > 0;
+  }
+
+  uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
+
+  // Bumps the global epoch; returns the new value, used to stamp retires.
+  uint64_t Advance() {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  // Defers destruction of `obj` until no reader is pinned at an epoch
+  // older than the current one.  Callers publish the replacement pointer
+  // and Advance() *before* retiring (see protocol above).
+  void Retire(std::shared_ptr<const void> obj) {
+    if (obj == nullptr) return;
+    uint64_t stamp = global_.load(std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(mu_);
+    list_.push_back(Retiree{stamp, std::move(obj)});
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // GC pass: destroys every retiree stamped at or before the oldest
+  // pinned epoch (all of them when nothing is pinned) — only readers
+  // pinned *before* the retiree's advance can hold it, and they announce
+  // an epoch strictly below the stamp.  Also prunes slots of exited
+  // threads.  Returns the number reclaimed.
+  size_t Collect() {
+    std::vector<std::shared_ptr<const void>> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t min_pinned = kUnpinned;
+      for (auto it = slots_.begin(); it != slots_.end();) {
+        uint64_t e = (*it)->epoch.load(std::memory_order_seq_cst);
+        if (e == kUnpinned && it->use_count() == 1) {
+          it = slots_.erase(it);  // thread exited
+          continue;
+        }
+        if (e != kUnpinned && e < min_pinned) min_pinned = e;
+        ++it;
+      }
+      for (auto it = list_.begin(); it != list_.end();) {
+        if (it->stamp <= min_pinned) {
+          doomed.push_back(std::move(it->obj));
+          it = list_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    reclaimed_.fetch_add(doomed.size(), std::memory_order_relaxed);
+    return doomed.size();  // destructors run here, outside the lock
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.pins = pins_.load(std::memory_order_relaxed);
+    s.advances = advances_.load(std::memory_order_relaxed);
+    s.retired = retired_.load(std::memory_order_relaxed);
+    s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+    s.live = s.retired - s.reclaimed;
+    return s;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{kUnpinned};
+    int depth = 0;  // owning thread only
+  };
+  struct Retiree {
+    uint64_t stamp;
+    std::shared_ptr<const void> obj;
+  };
+
+  Slot* LocalSlot() {
+    // Keyed by manager id, not address: a new manager reusing a freed
+    // address must not inherit a stale slot.  shared_ptr co-ownership
+    // keeps the slot alive for whichever of {thread, manager} dies last.
+    struct Cache {
+      uint64_t id = 0;
+      Slot* slot = nullptr;
+      std::unordered_map<uint64_t, std::shared_ptr<Slot>> slots;
+    };
+    thread_local Cache cache;
+    if (cache.id == id_ && cache.slot != nullptr) return cache.slot;
+    auto it = cache.slots.find(id_);
+    if (it == cache.slots.end()) {
+      auto slot = std::make_shared<Slot>();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_.push_back(slot);
+      }
+      it = cache.slots.emplace(id_, std::move(slot)).first;
+    }
+    cache.id = id_;
+    cache.slot = it->second.get();
+    return cache.slot;
+  }
+
+  static inline std::atomic<uint64_t> next_id_{1};
+
+  const uint64_t id_;
+  std::atomic<uint64_t> global_{1};
+  std::atomic<uint64_t> pins_{0};
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+
+  std::mutex mu_;  // slot registration + retire list (writer/GC side only)
+  std::vector<std::shared_ptr<Slot>> slots_;
+  std::deque<Retiree> list_;
+};
+
+// RAII pin.  `EpochGuard g(EpochManager::Global());` brackets a read-side
+// critical section; nesting is safe (inner guards keep the outer epoch).
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& manager)
+      : manager_(manager), epoch_(manager.Pin()) {}
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+  ~EpochGuard() { manager_.Unpin(); }
+
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  EpochManager& manager_;
+  uint64_t epoch_;
+};
+
+}  // namespace xmlac
+
+#endif  // XMLAC_COMMON_EPOCH_H_

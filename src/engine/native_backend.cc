@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/epoch.h"
 #include "common/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,6 +33,7 @@ Status NativeXmlBackend::Load(const xml::Dtd& dtd, const xml::Document& doc) {
   // The source may already carry sign attributes (e.g. a saved annotated
   // store).
   non_default_signs_ = CountNonDefaultSigns();
+  PublishIndex();
   return Status::OK();
 }
 
@@ -42,21 +44,20 @@ void NativeXmlBackend::Clear() {
   non_default_signs_ = 0;
 }
 
-xpath::EvaluatorOptions NativeXmlBackend::EvalOptions() {
+xpath::EvaluatorOptions NativeXmlBackend::EvalOptions() const {
   xpath::EvaluatorOptions options;
-  {
-    // First query after a structural change pays the sync; concurrent
-    // readers (rule-cache misses evaluate on parallel workers) wait here
-    // and then share the synced index read-only.  shard_ is read under the
-    // same lock SetShardConfig writes it under.
-    std::lock_guard<std::mutex> lock(index_mu_);
-    options.shard = shard_;
-    if (!use_structural_index_) return options;
-    structural_index_.Sync();
-  }
+  options.shard = shard_;
+  if (!use_structural_index_) return options;
+  // One atomic load: the writer published a fresh version before its
+  // mutating call returned, so this is never stale in steady state, and a
+  // reader never syncs, rebuilds, or waits here.
   options.use_structural_index = true;
-  options.index = &structural_index_;
+  options.index = structural_index_.current();
   return options;
+}
+
+void NativeXmlBackend::PublishIndex() {
+  if (use_structural_index_) structural_index_.Publish();
 }
 
 size_t NativeXmlBackend::CountNonDefaultSigns() const {
@@ -83,6 +84,11 @@ size_t NativeXmlBackend::NodeCount() const {
 Result<std::vector<UniversalId>> NativeXmlBackend::EvaluateQuery(
     const xpath::Path& query) {
   if (!loaded_) return Status::Internal("backend not loaded");
+  // Readers pin an epoch for the whole traversal so a concurrent publisher
+  // retiring the version they loaded cannot reclaim it under them.
+  static thread_local obs::CounterHandle pins("epoch.pins");
+  pins.Increment();
+  EpochGuard guard(EpochManager::Global());
   return ToIds(xpath::Evaluate(query, doc_, EvalOptions()));
 }
 
@@ -195,6 +201,7 @@ Result<size_t> NativeXmlBackend::DeleteWhere(const xpath::Path& u) {
   std::vector<xml::NodeId> victims = xpath::Evaluate(u, doc_, EvalOptions());
   size_t before = NodeCount();
   for (xml::NodeId n : victims) doc_.DeleteSubtree(n);
+  PublishIndex();
   return before - NodeCount();
 }
 
@@ -203,6 +210,9 @@ Result<xmldb::XqValue> NativeXmlBackend::RunXQuery(std::string_view query) {
   obs::ScopedSpan span("native.xquery");
   obs::ScopedTimer timer("native.xquery_us");
   obs::IncrementCounter("native.xquery_runs");
+  static thread_local obs::CounterHandle pins("epoch.pins");
+  pins.Increment();
+  EpochGuard guard(EpochManager::Global());
   xmldb::XQueryEngine engine;
   engine.RegisterDocument("xmlgen", &doc_, EvalOptions());
   return engine.Run(query);
@@ -231,12 +241,14 @@ Status NativeXmlBackend::LoadFromFile(std::string_view path) {
   structural_index_.Invalidate();
   loaded_ = true;
   non_default_signs_ = CountNonDefaultSigns();
+  PublishIndex();
   return Status::OK();
 }
 
 void NativeXmlBackend::RestoreStructuralLabels(
     std::vector<xpath::IntervalLabel> labels) {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  // Recovery seeds version 0 from the checkpointed labels; subsequent
+  // publishes catch up incrementally from it.
   structural_index_.RestoreLabels(std::move(labels));
 }
 
@@ -316,6 +328,7 @@ Result<size_t> NativeXmlBackend::InsertUnder(const xpath::Path& target,
       }
     }
   }
+  PublishIndex();
   return inserted;
 }
 

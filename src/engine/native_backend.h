@@ -9,7 +9,7 @@
 // stored information the attribute is only present when it differs from the
 // store's default sign (paper Sec. 5.2, Native XML).
 
-#include <mutex>
+#include <memory>
 
 #include "engine/backend.h"
 #include "xmldb/xquery.h"
@@ -60,18 +60,33 @@ class NativeXmlBackend final : public Backend {
   char default_sign() const { return default_sign_; }
 
   // Structural-index switch (on by default).  Queries route through the
-  // stack-based structural-join engine over interval labels + tag streams;
-  // the index lazily (re)builds or replays the document's mutation journal
-  // on the first query after an update.  Off = the naive evaluator, which
-  // the differential harness uses as the reference.
-  void set_use_structural_index(bool on) { use_structural_index_ = on; }
+  // stack-based structural-join engine over immutable published
+  // IndexVersions (docs/concurrency.md): every mutating call on this
+  // backend publishes a fresh version before returning, and readers load
+  // it wait-free under an epoch pin — no lock, no lazy sync, no rebuild
+  // ever runs on a reader.  Off = the naive evaluator, which the
+  // differential harness uses as the reference.
+  void set_use_structural_index(bool on) {
+    use_structural_index_ = on;
+    if (on && loaded_) structural_index_.Publish();
+  }
   bool use_structural_index() const { return use_structural_index_; }
+
+  // The currently published index version (nullptr when the structural
+  // index is disabled or nothing is loaded).  Shared ownership for
+  // long-lived holders — the serve layer embeds it in snapshots so a
+  // snapshot read always sees the matching tree+signs+index triple.
+  // Writer-thread only: must not race mutating calls.
+  std::shared_ptr<const xpath::IndexVersion> CurrentIndexVersion() const {
+    if (!use_structural_index_) return nullptr;
+    return structural_index_.CurrentShared();
+  }
 
   // Shard-parallel execution (common/shard.h): structural-engine queries
   // fan out per interval shard and index rebuilds per top-level subtree.
-  // Results are identical either way.
+  // Results are identical either way.  Writer-side configuration: must not
+  // race queries or mutations.
   void SetShardConfig(const ShardConfig& shard) override {
-    std::lock_guard<std::mutex> lock(index_mu_);
     shard_ = shard;
     structural_index_.set_shard_config(shard);
   }
@@ -88,9 +103,9 @@ class NativeXmlBackend final : public Backend {
   Status SaveToFile(std::string_view path) const;
   Status LoadFromFile(std::string_view path);
 
-  // Adopts checkpointed interval labels as the structural index's synced
-  // state (recovery's replay-over-rebuild fast path; see RestoreLabels in
-  // xpath/structural_index.h).  Must not race queries.
+  // Adopts checkpointed interval labels as the structural index's seed
+  // version — recovery's replay-over-rebuild fast path; see RestoreLabels
+  // in xpath/structural_index.h.  Writer-side: must not race queries.
   void RestoreStructuralLabels(std::vector<xpath::IntervalLabel> labels);
 
   // Materializes the security view of the annotated document (cf. the
@@ -108,19 +123,25 @@ class NativeXmlBackend final : public Backend {
   // counting only.
   size_t CountNonDefaultSigns() const;
 
-  // Syncs the structural index (serialized — EvaluateQuery runs on
-  // parallel rule-cache-miss workers) and returns the evaluator options to
-  // use: the structural engine when enabled, naive otherwise.
-  xpath::EvaluatorOptions EvalOptions();
+  // Evaluator options for the current read: the structural engine with the
+  // currently published IndexVersion when enabled, naive otherwise.  Pure
+  // loads — safe on parallel rule-cache-miss workers; callers that can
+  // race a publisher hold an epoch pin across the load and traversal.
+  xpath::EvaluatorOptions EvalOptions() const;
+
+  // Publishes a fresh index version after a mutation (no-op when the
+  // structural index is disabled).  Every mutating public method ends with
+  // this, which is also what keeps journal-window-miss rebuilds on the
+  // writer: readers only ever load the published pointer.
+  void PublishIndex();
 
   xml::Document doc_;
-  // The index holds a pointer to doc_ (stable: the mutex below makes this
-  // class immovable); Load/Clear invalidate it explicitly because the new
-  // document's version counter restarts.
+  // The index holds a pointer to doc_ (stable: this class is immovable);
+  // Load/Clear invalidate it explicitly because the new document's version
+  // counter restarts.
   xpath::StructuralIndex structural_index_{&doc_};
   bool use_structural_index_ = true;
   ShardConfig shard_;
-  std::mutex index_mu_;
   bool loaded_ = false;
   char default_sign_ = '-';
   // Number of alive nodes holding an explicit sign attribute.  When zero,

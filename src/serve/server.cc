@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/epoch.h"
 #include "common/io.h"
 #include "common/parallel.h"
 #include "engine/native_backend.h"
@@ -150,7 +151,8 @@ Status Server::Start() {
   }
   const uint64_t initial_epoch = recovered_ ? recovered_epoch_ : 1;
   XMLAC_ASSIGN_OR_RETURN(SnapshotPtr initial,
-                         BuildSnapshot(controller_, initial_epoch));
+                         BuildSnapshot(controller_, initial_epoch,
+                                       options_.snapshot_index));
   snapshot_.store(std::move(initial));
   epoch_.store(initial_epoch, std::memory_order_release);
   obs::IncrementCounter("serve.snapshot.published");
@@ -325,6 +327,12 @@ ServerHealth Server::HealthSnapshot() {
   h.read_queue_watermark = read_queue_.watermark();
   h.write_queue_depth = write_queue_.size();
   h.write_queue_watermark = write_queue_.watermark();
+  EpochManager::Stats epoch_stats = EpochManager::Global().stats();
+  h.epoch_pins = epoch_stats.pins;
+  h.epoch_advances = epoch_stats.advances;
+  h.epoch_retired = epoch_stats.retired;
+  h.epoch_reclaimed = epoch_stats.reclaimed;
+  h.epoch_live_versions = epoch_stats.live;
   if (recorder_ != nullptr) {
     recorder_->Drain();  // fold in everything appended so far
     h.recorder = recorder_->Health();
@@ -356,6 +364,11 @@ std::string HealthText(const ServerHealth& health) {
   os << "serve.health.read_queue.watermark " << health.read_queue_watermark
      << '\n';
   os << "serve.health.recorder_epoch " << health.recorder_epoch << '\n';
+  os << "epoch.pins " << health.epoch_pins << '\n';
+  os << "epoch.advances " << health.epoch_advances << '\n';
+  os << "epoch.retired " << health.epoch_retired << '\n';
+  os << "epoch.reclaimed " << health.epoch_reclaimed << '\n';
+  os << "epoch.live_versions " << health.epoch_live_versions << '\n';
   os << "serve.health.write_queue.depth " << health.write_queue_depth << '\n';
   os << "serve.health.write_queue.watermark " << health.write_queue_watermark
      << '\n';
@@ -518,13 +531,18 @@ void Server::WriterLoop() {
               obs::IncrementCounter("serve.wal.errors");
             }
           }
-          auto snapshot = BuildSnapshot(controller_, new_epoch);
+          auto snapshot =
+              BuildSnapshot(controller_, new_epoch, options_.snapshot_index);
           if (!snapshot.ok()) {
             resp.status = snapshot.status();
           } else {
             // Publication point: readers picking up the pointer from here on
             // see the whole batch; readers holding the old pointer keep an
-            // unchanged pre-batch view.
+            // unchanged pre-batch view.  The snapshot embeds each subject's
+            // freshly published IndexVersion, so tree, signs, and index
+            // travel as one epoch — and since this store runs after the WAL
+            // Sync above, durability still precedes anything a client can
+            // observe (docs/concurrency.md).
             snapshot_.store(std::move(*snapshot));
             epoch_.store(new_epoch, std::memory_order_release);
             published->Increment();

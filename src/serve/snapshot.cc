@@ -30,7 +30,23 @@ Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
   obs::ScopedTimer timer("serve.request.eval_us");
   const SubjectView& view = it->second;
   const xml::Document& doc = *view.doc;
-  std::vector<xml::NodeId> nodes = xpath::Evaluate(query, doc);
+  // The index-acquire step is the entirety of what a reader "syncs": two
+  // loads and a version check.  Timed so the bench's max-sync-pause figure
+  // is measured, not asserted.
+  xpath::EvaluatorOptions options;
+  {
+    obs::ScopedTimer acquire("serve.read.index_acquire_us");
+    if (view.index != nullptr && view.index->Matches(doc)) {
+      options.use_structural_index = true;
+      options.index = view.index.get();
+    } else if (view.index != nullptr) {
+      // The snapshot carried a version that doesn't match its own clone —
+      // the publish-with-snapshot invariant broke somewhere upstream.
+      // Answer correctly via the naive engine and surface it.
+      obs::IncrementCounter("serve.read.index_stale");
+    }
+  }
+  std::vector<xml::NodeId> nodes = xpath::Evaluate(query, doc, options);
   engine::RequestOutcome outcome;
   outcome.selected = nodes.size();
   for (xml::NodeId n : nodes) {
@@ -55,7 +71,7 @@ Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
 }
 
 Result<SnapshotPtr> BuildSnapshot(engine::MultiSubjectController& controller,
-                                  uint64_t epoch) {
+                                  uint64_t epoch, bool capture_index) {
   obs::ScopedSpan span("serve.snapshot.build");
   obs::ScopedTimer timer("serve.snapshot.build_us");
   auto snapshot = std::make_shared<Snapshot>();
@@ -70,6 +86,10 @@ Result<SnapshotPtr> BuildSnapshot(engine::MultiSubjectController& controller,
     }
     SubjectView view;
     view.doc = std::make_shared<const xml::Document>(native->document().Clone());
+    // Clone() preserves the version counter, so the backend's published
+    // IndexVersion matches the frozen clone exactly (tree+signs+index
+    // travel together; signs are attributes and never touch the index).
+    if (capture_index) view.index = native->CurrentIndexVersion();
     view.default_sign = native->default_sign();
     snapshot->subjects.emplace(name, std::move(view));
   }

@@ -22,12 +22,21 @@
 #include "engine/requester.h"
 #include "xml/document.h"
 #include "xpath/ast.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::serve {
 
-// One subject's annotated replica, frozen.
+// One subject's annotated replica, frozen.  `index` is the structural
+// IndexVersion the subject's backend had published when the snapshot was
+// built — the same immutable version the writer's own queries used — so a
+// snapshot read always sees a matching tree+signs+index triple and
+// evaluates through the structural engine without pinning an epoch (the
+// shared_ptr keeps the version alive for the snapshot's lifetime).  Null
+// when the backend's structural index is disabled; reads then fall back
+// to the naive evaluator.
 struct SubjectView {
   std::shared_ptr<const xml::Document> doc;
+  std::shared_ptr<const xpath::IndexVersion> index;
   char default_sign = '-';
 };
 
@@ -71,7 +80,10 @@ class SnapshotSlot {
 // native annotated backend.  Unlike engine::Request, a denial is *not* an
 // error status here — it is a normal serving outcome (granted == false,
 // with the selected/accessible tallies filled in).  Error statuses are
-// reserved for unknown subjects.
+// reserved for unknown subjects.  Evaluation uses the view's embedded
+// IndexVersion (structural engine); a missing or mismatched version counts
+// `serve.read.index_stale` and falls back to the naive evaluator — the
+// bench gate holds that counter at zero.
 Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
                                              std::string_view subject,
                                              const xpath::Path& query);
@@ -80,9 +92,12 @@ Result<engine::RequestOutcome> QuerySnapshot(const Snapshot& snapshot,
 // a snapshot stamped `epoch`.  Requires native-XML subject backends (the
 // document clone *is* the snapshot); returns InvalidArgument otherwise.
 // Used by the server's writer thread after each batch, and by tests to
-// build serial-oracle snapshots with the same code path.
+// build serial-oracle snapshots with the same code path.  `capture_index`
+// false skips embedding IndexVersions, pinning reads to the naive
+// evaluator — the A/B baseline the epoch bench gate compares against
+// (ServerOptions::snapshot_index).
 Result<SnapshotPtr> BuildSnapshot(engine::MultiSubjectController& controller,
-                                  uint64_t epoch);
+                                  uint64_t epoch, bool capture_index = true);
 
 }  // namespace xmlac::serve
 

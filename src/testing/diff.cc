@@ -10,6 +10,8 @@
 #include "xml/parser.h"
 #include "xpath/containment.h"
 #include "xpath/parser.h"
+#include "xpath/structural_eval.h"
+#include "xpath/structural_index.h"
 
 namespace xmlac::testing {
 namespace {
@@ -119,6 +121,72 @@ std::vector<UniversalId> Widen(const std::vector<NodeId>& ids) {
   out.reserve(ids.size());
   for (NodeId id : ids) out.push_back(static_cast<UniversalId>(id));
   return out;
+}
+
+// Maintained-vs-rebuilt index versions: drive the instance's updates
+// through a native backend (whose writer publishes incrementally
+// maintained IndexVersions), then evaluate probe queries three ways —
+// through the maintained version, through a from-scratch rebuild of the
+// final document, and through the naive evaluator.  All three must agree.
+// This is the direct check on incremental version maintenance (journal
+// replay, gap allocation, tombstone filtering, value-bucket carry-forward)
+// that the sign-level checks above only exercise indirectly.
+std::string CheckIndexVersions(const Instance& instance,
+                               const DiffOptions& options) {
+  engine::NativeXmlBackend backend;
+  backend.set_use_structural_index(true);
+  ShardConfig shard;
+  shard.enabled = options.shard_parallel;
+  backend.SetShardConfig(shard);
+  if (!backend.Load(instance.dtd, instance.doc).ok()) return "";
+  for (const engine::BatchOp& op : instance.updates) {
+    auto path = xpath::ParsePath(op.xpath);
+    if (!path.ok()) return "";
+    if (op.kind == engine::BatchOp::Kind::kDelete) {
+      if (!backend.DeleteWhere(*path).ok()) return "";
+    } else {
+      auto fragment = xml::ParseDocument(op.fragment_xml);
+      if (!fragment.ok() || !backend.InsertUnder(*path, *fragment).ok()) {
+        return "";
+      }
+    }
+  }
+  const xml::Document& doc = backend.document();
+  std::shared_ptr<const xpath::IndexVersion> maintained =
+      backend.CurrentIndexVersion();
+  if (maintained == nullptr || !maintained->Matches(doc)) {
+    return "index-version: maintained version missing or stale after " +
+           std::to_string(instance.updates.size()) + " updates";
+  }
+  // An independent publisher over the same document: its first Publish()
+  // has no parent version, so it must rebuild from scratch.
+  xpath::StructuralIndex fresh(&doc);
+  fresh.Publish();
+  const xpath::IndexVersion* rebuilt = fresh.current();
+  if (rebuilt == nullptr || fresh.builds() != 1) {
+    return "index-version: fresh publisher did not full-rebuild";
+  }
+  Random rng(instance.seed ^ 0xe90c4f00dULL);
+  RandomPathGenerator paths(doc, rng.Next());
+  for (int i = 0; i < options.probe_queries; ++i) {
+    xpath::Path q = paths.Next();
+    std::vector<NodeId> via_maintained =
+        xpath::EvaluateStructural(q, doc, *maintained);
+    std::vector<NodeId> via_rebuilt =
+        xpath::EvaluateStructural(q, doc, *rebuilt);
+    if (via_maintained != via_rebuilt) {
+      return "index-version: " + xpath::ToString(q) + ": maintained " +
+             IdList(Widen(via_maintained)) + " vs rebuilt " +
+             IdList(Widen(via_rebuilt));
+    }
+    std::vector<NodeId> naive = xpath::Evaluate(q, doc);
+    if (via_maintained != naive) {
+      return "index-version: " + xpath::ToString(q) + ": structural " +
+             IdList(Widen(via_maintained)) + " vs naive " +
+             IdList(Widen(naive));
+    }
+  }
+  return "";
 }
 
 }  // namespace
@@ -488,6 +556,10 @@ std::string CheckAll(const Instance& instance, const DiffOptions& options) {
   if (out.empty()) out = CheckReannotation(instance, options);
   if (out.empty()) out = CheckOptimizer(instance);
   if (out.empty()) out = CheckContainment(instance, options);
+  // Versioned-vs-fresh-rebuild index diff on every pass: the incrementally
+  // maintained IndexVersion must answer every probe exactly like a
+  // from-scratch rebuild (and the naive engine) on the post-update document.
+  if (out.empty()) out = CheckIndexVersions(instance, options);
   // Same instance with the rule cache forced off, so every `--mode all`
   // sweep differentially covers both the cached and the uncached engine
   // (failure strings carry /cache vs /nocache).

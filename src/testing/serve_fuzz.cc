@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -117,6 +118,7 @@ ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
   std::vector<uint64_t> reader_seeds;
   for (size_t r = 0; r < readers; ++r) reader_seeds.push_back(rng.Next());
 
+  std::atomic<bool> updates_done{false};
   std::vector<std::thread> reader_threads;
   for (size_t r = 0; r < readers; ++r) {
     reader_threads.emplace_back([&, r] {
@@ -124,6 +126,28 @@ ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
       for (int i = 0; i < options.reads_per_reader; ++i) {
         size_t s = reader_rng.Uniform(subjects);
         size_t q = reader_rng.Uniform(queries.size());
+        if (options.torn_epochs && i % 2 == 0) {
+          // Torn read: hold the snapshot across a publication.  Stall until
+          // the writer moves past the captured epoch (or runs out of
+          // updates), THEN traverse the captured documents and index
+          // versions — the worst-case interleaving for epoch reclamation.
+          serve::SnapshotPtr snap = server.CurrentSnapshot();
+          while (server.epoch() == snap->epoch &&
+                 !updates_done.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          auto outcome =
+              serve::QuerySnapshot(*snap, SubjectName(s), queries[q]);
+          if (!outcome.ok()) {
+            thread_errors[r] = "torn read failed (subject " + SubjectName(s) +
+                               ", query " + xpath::ToString(queries[q]) +
+                               "): " + outcome.status().ToString();
+            return;
+          }
+          recorded[r].push_back({snap->epoch, s, q, outcome->granted,
+                                 outcome->selected, outcome->accessible});
+          continue;
+        }
         serve::ServeResponse resp =
             server.Query(SubjectName(s), xpath::ToString(queries[q]));
         if (!resp.status.ok()) {
@@ -151,11 +175,14 @@ ServeFuzzResult RunServeFuzz(const ServeFuzzOptions& options) {
       if (!resp.status.ok()) {
         updater_error = "update '" + op.xpath +
                         "' failed: " + resp.status.ToString();
-        return;
+        break;
       }
       ops_by_epoch[resp.epoch].push_back(op);
       ++result.updates_applied;
     }
+    // Release torn readers stalled waiting for a publication that will
+    // never come.
+    updates_done.store(true, std::memory_order_release);
   });
 
   for (std::thread& t : reader_threads) t.join();

@@ -34,6 +34,14 @@ struct ServeFuzzOptions {
   // serve::ServerOptions knobs that matter for the schedule.
   size_t workers = 3;
   size_t max_batch = 4;
+  // Torn-epoch reads: every other read captures the current snapshot, then
+  // deliberately stalls until the writer has published at least one NEWER
+  // epoch (or the update stream is exhausted) before traversing the captured
+  // one — forcing version publication between a reader's pin and its
+  // traversal.  The answer is recorded at the captured epoch, so the oracle
+  // replay asserts the immutability contract directly: publishing a new
+  // index version must never perturb a version a reader already holds.
+  bool torn_epochs = false;
   // When non-empty, the server's flight recorder (trace.json + health.txt)
   // is dumped here on the FIRST failure — the span-level story of the run
   // that produced the mismatch, saved next to the repro files.

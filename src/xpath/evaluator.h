@@ -9,18 +9,21 @@
 
 namespace xmlac::xpath {
 
-class StructuralIndex;
+class IndexVersion;
 
 // Selects between the two evaluation engines.  The default-constructed
 // options keep the naive step-at-a-time evaluator (the reference the
 // differential oracle checks against); setting `use_structural_index` with
-// a synced index routes evaluation through the structural-join engine in
-// structural_eval.h.  If the index is missing or stale for the queried
-// document, evaluation silently falls back to the naive path — the switch
-// can never make results stale.
+// a published index version routes evaluation through the structural-join
+// engine in structural_eval.h.  `index` is an immutable IndexVersion the
+// caller loaded under an epoch pin (or owns via shared_ptr — see
+// structural_index.h); the caller guarantees it was built for `doc`'s
+// lineage.  If the version is missing or doesn't match the queried
+// document, evaluation falls back to the naive path — the switch can never
+// make results stale.
 struct EvaluatorOptions {
   bool use_structural_index = false;
-  const StructuralIndex* index = nullptr;
+  const IndexVersion* index = nullptr;
   // Exchange fan-out for the structural engine (common/shard.h): large
   // context sets split into interval ranges and evaluate shard-parallel
   // with an order-preserving merge.  Identical results either way; disable

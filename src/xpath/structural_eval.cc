@@ -23,7 +23,7 @@ constexpr size_t kEvalShardMinContext = 256;
 // breakdown reported as trace-span tags.
 struct EvalState {
   const Document& doc;
-  const StructuralIndex& index;
+  const IndexVersion& index;
   // Non-null enables the exchange fan-out (see FanOutSteps); shard-worker
   // states leave it null so workers never nest another fan-out.
   const ShardConfig* shard = nullptr;
@@ -282,7 +282,7 @@ std::vector<NodeId> ApplySteps(EvalState& s, const Path& path,
 bool ValueIndexProbe(EvalState& s, const Predicate& pred, NodeId node) {
   const Step& leaf = pred.path.steps.back();
   const std::vector<NodeId>* bucket =
-      s.index.ValueMatches(leaf.label, pred.value);
+      s.index.ValueMatches(leaf.label, pred.value, s.doc);
   ++s.value_probes;
   if (bucket == nullptr) return false;  // nothing in the document matches
   Path prefix;
@@ -432,7 +432,7 @@ std::vector<NodeId> FirstStepContext(EvalState& s, const Path& path) {
 
 std::vector<NodeId> EvaluateStructuralImpl(const Path& path,
                                            const Document& doc,
-                                           const StructuralIndex& index,
+                                           const IndexVersion& index,
                                            const ShardConfig* shard) {
   if (doc.empty() || path.empty() || !doc.IsAlive(doc.root())) return {};
   EvalState s{doc, index};
@@ -462,7 +462,7 @@ std::vector<NodeId> EvaluateStructuralImpl(const Path& path,
 std::vector<NodeId> EvaluateFromStructuralImpl(const Path& path,
                                                const Document& doc,
                                                NodeId context,
-                                               const StructuralIndex& index,
+                                               const IndexVersion& index,
                                                const ShardConfig* shard) {
   if (!doc.IsAlive(context)) return {};
   if (path.empty()) return {context};
@@ -480,12 +480,12 @@ std::vector<NodeId> EvaluateFromStructuralImpl(const Path& path,
 }  // namespace
 
 std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
-                                       const StructuralIndex& index) {
+                                       const IndexVersion& index) {
   return EvaluateStructuralImpl(path, doc, index, nullptr);
 }
 
 std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
-                                       const StructuralIndex& index,
+                                       const IndexVersion& index,
                                        const ShardConfig& shard) {
   return EvaluateStructuralImpl(path, doc, index, &shard);
 }
@@ -493,14 +493,14 @@ std::vector<NodeId> EvaluateStructural(const Path& path, const Document& doc,
 std::vector<NodeId> EvaluateFromStructural(const Path& path,
                                            const Document& doc,
                                            NodeId context,
-                                           const StructuralIndex& index) {
+                                           const IndexVersion& index) {
   return EvaluateFromStructuralImpl(path, doc, context, index, nullptr);
 }
 
 std::vector<NodeId> EvaluateFromStructural(const Path& path,
                                            const Document& doc,
                                            NodeId context,
-                                           const StructuralIndex& index,
+                                           const IndexVersion& index,
                                            const ShardConfig& shard) {
   return EvaluateFromStructuralImpl(path, doc, context, index, &shard);
 }
@@ -508,7 +508,7 @@ std::vector<NodeId> EvaluateFromStructural(const Path& path,
 std::vector<NodeId> Evaluate(const Path& path, const Document& doc,
                              const EvaluatorOptions& options) {
   if (options.use_structural_index && options.index != nullptr &&
-      options.index->ReadyFor(doc)) {
+      options.index->Matches(doc)) {
     return EvaluateStructural(path, doc, *options.index, options.shard);
   }
   return Evaluate(path, doc);
@@ -518,7 +518,7 @@ std::vector<NodeId> EvaluateFrom(const Path& path, const Document& doc,
                                  NodeId context,
                                  const EvaluatorOptions& options) {
   if (options.use_structural_index && options.index != nullptr &&
-      options.index->ReadyFor(doc)) {
+      options.index->Matches(doc)) {
     return EvaluateFromStructural(path, doc, context, *options.index,
                                   options.shard);
   }

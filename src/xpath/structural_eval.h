@@ -35,17 +35,19 @@
 
 namespace xmlac::xpath {
 
-// `index` must be synced for `doc` (StructuralIndex::ReadyFor); prefer the
-// dispatching Evaluate(path, doc, options) overload, which checks and
-// falls back to the naive engine.
+// `index` must be a version matching `doc` (IndexVersion::Matches); prefer
+// the dispatching Evaluate(path, doc, options) overload, which checks and
+// falls back to the naive engine.  The version is immutable: callers racing
+// a publisher hold it under an epoch pin or by shared ownership
+// (structural_index.h), and traversal itself is lock-free.
 std::vector<xml::NodeId> EvaluateStructural(const Path& path,
                                             const xml::Document& doc,
-                                            const StructuralIndex& index);
+                                            const IndexVersion& index);
 
 std::vector<xml::NodeId> EvaluateFromStructural(const Path& path,
                                                 const xml::Document& doc,
                                                 xml::NodeId context,
-                                                const StructuralIndex& index);
+                                                const IndexVersion& index);
 
 // Shard-parallel variants: large context sets fan out per contiguous
 // interval range onto ParallelFor workers with an order-preserving merge
@@ -53,13 +55,13 @@ std::vector<xml::NodeId> EvaluateFromStructural(const Path& path,
 // the serial overloads for any shard count.
 std::vector<xml::NodeId> EvaluateStructural(const Path& path,
                                             const xml::Document& doc,
-                                            const StructuralIndex& index,
+                                            const IndexVersion& index,
                                             const ShardConfig& shard);
 
 std::vector<xml::NodeId> EvaluateFromStructural(const Path& path,
                                                 const xml::Document& doc,
                                                 xml::NodeId context,
-                                                const StructuralIndex& index,
+                                                const IndexVersion& index,
                                                 const ShardConfig& shard);
 
 }  // namespace xmlac::xpath

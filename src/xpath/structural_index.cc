@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <unordered_map>
+#include <utility>
 
+#include "common/epoch.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 
@@ -156,216 +160,22 @@ bool AllocateChildInterval(uint64_t parent_start, uint64_t parent_end,
   return true;
 }
 
-void StructuralIndex::Invalidate() {
-  synced_ = false;
-  synced_version_ = 0;
-  labels_.clear();
-  tag_streams_.clear();
-  element_stream_.clear();
-  dead_in_streams_ = 0;
-  std::lock_guard<std::mutex> lock(value_mu_);
-  value_index_.clear();
+// ----- IndexVersion ------------------------------------------------------
+
+void IndexVersion::InitValueSlots() {
+  for (const auto& [tag, stream] : tag_streams_) {
+    (void)stream;
+    value_slots_.try_emplace(tag);
+  }
 }
 
-void StructuralIndex::RestoreLabels(std::vector<IntervalLabel> labels) {
-  labels_ = std::move(labels);
-  labels_.resize(doc_->size());
-  tag_streams_.clear();
-  element_stream_.clear();
-  dead_in_streams_ = 0;
-  {
-    std::lock_guard<std::mutex> lock(value_mu_);
-    value_index_.clear();
-  }
-  for (NodeId id = 0; id < doc_->size(); ++id) {
-    if (!doc_->IsAlive(id)) continue;
-    const xml::Node& n = doc_->node(id);
-    if (n.kind != NodeKind::kElement || labels_[id].end == 0) continue;
-    element_stream_.push_back(id);
-  }
-  std::sort(element_stream_.begin(), element_stream_.end(),
-            [&](NodeId a, NodeId b) {
-              return labels_[a].start < labels_[b].start;
-            });
-  for (NodeId id : element_stream_) {
-    tag_streams_[doc_->node(id).label].push_back(id);
-  }
-  synced_ = true;
-  synced_version_ = doc_->version();
-}
-
-void StructuralIndex::Rebuild() {
-  labels_ = ComputeIntervalLabels(*doc_, shard_);
-  tag_streams_.clear();
-  element_stream_.clear();
-  dead_in_streams_ = 0;
-  {
-    std::lock_guard<std::mutex> lock(value_mu_);
-    value_index_.clear();
-  }
-  if (!doc_->empty() && doc_->IsAlive(doc_->root())) {
-    std::vector<NodeId> tops = TopLevelSubtrees(*doc_);
-    if (!ShouldShardRebuild(*doc_, shard_, tops.size())) {
-      // Pre-order visitation matches ascending start labels, so the streams
-      // come out sorted without an explicit sort.
-      doc_->Visit(doc_->root(), [&](NodeId id) {
-        if (doc_->node(id).kind != NodeKind::kElement) return;
-        element_stream_.push_back(id);
-        tag_streams_[doc_->node(id).label].push_back(id);
-      });
-    } else {
-      // Per-subtree streams built in parallel, then concatenated in subtree
-      // order: [root] + subtree pre-orders in sibling order IS the document
-      // pre-order, so the merged streams match the serial build exactly.
-      element_stream_.push_back(doc_->root());
-      tag_streams_[doc_->node(doc_->root()).label].push_back(doc_->root());
-      struct SubtreeStreams {
-        std::vector<NodeId> elements;
-        std::unordered_map<std::string, std::vector<NodeId>> tags;
-      };
-      std::vector<SubtreeStreams> parts(tops.size());
-      ParallelFor(tops.size(), shard_.ResolvedThreads(), 1, [&](size_t i) {
-        doc_->Visit(tops[i], [&](NodeId id) {
-          if (doc_->node(id).kind != NodeKind::kElement) return;
-          parts[i].elements.push_back(id);
-          parts[i].tags[doc_->node(id).label].push_back(id);
-        });
-      });
-      for (const SubtreeStreams& part : parts) {
-        element_stream_.insert(element_stream_.end(), part.elements.begin(),
-                               part.elements.end());
-        for (const auto& [tag, ids] : part.tags) {
-          auto& stream = tag_streams_[tag];
-          stream.insert(stream.end(), ids.begin(), ids.end());
-        }
-      }
-    }
-  }
-  ++builds_;
-  obs::IncrementCounter("xpath.structural.index_builds");
-}
-
-void StructuralIndex::InsertIntoStream(std::vector<NodeId>* stream,
-                                       NodeId id) {
-  uint64_t start = labels_[id].start;
-  auto pos = std::upper_bound(stream->begin(), stream->end(), start,
-                              [&](uint64_t s, NodeId other) {
-                                return s < labels_[other].start;
-                              });
-  stream->insert(pos, id);
-}
-
-bool StructuralIndex::LabelNewElement(NodeId id) {
-  const xml::Node& n = doc_->node(id);
-  if (n.parent == xml::kInvalidNode) return false;  // new root: rebuild
-  const IntervalLabel& pl = labels_[n.parent];
-  if (pl.end == 0) return false;  // parent unlabeled (shouldn't happen)
-  // The anchor is the highest label used inside the parent so far; children
-  // append, so scanning the (short) child list keeps alive intervals
-  // disjoint.  Later-created siblings are still unlabeled (end == 0) at
-  // this point in the replay and don't contribute.
-  uint64_t anchor = pl.start;
-  for (NodeId c : doc_->node(n.parent).children) {
-    if (c == id) continue;
-    if (labels_[c].end != 0) anchor = std::max(anchor, labels_[c].end);
-  }
-  uint64_t start = 0;
-  uint64_t end = 0;
-  if (!AllocateChildInterval(pl.start, pl.end, anchor, &start, &end)) {
-    return false;
-  }
-  labels_[id] = IntervalLabel{start, end, pl.level + 1};
-  InsertIntoStream(&element_stream_, id);
-  InsertIntoStream(&tag_streams_[n.label], id);
-  return true;
-}
-
-bool StructuralIndex::Replay(const std::vector<Mutation>& mutations) {
-  auto invalidate_values = [&](NodeId element) {
-    std::lock_guard<std::mutex> lock(value_mu_);
-    auto it = value_index_.find(doc_->node(element).label);
-    if (it != value_index_.end()) value_index_.erase(it);
-  };
-  for (const Mutation& m : mutations) {
-    if (m.node >= doc_->size()) return false;
-    labels_.resize(std::max(labels_.size(), doc_->size()));
-    const xml::Node& n = doc_->node(m.node);
-    if (m.kind == Mutation::Kind::kCreate) {
-      if (n.kind == NodeKind::kText) {
-        // The parent element's direct text changed: its tag's value-index
-        // entry (if materialized) is stale.
-        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
-          invalidate_values(n.parent);
-        }
-        continue;
-      }
-      // Created-then-deleted within the same window: never entered the
-      // streams, nothing to do.
-      if (!doc_->IsAlive(m.node)) continue;
-      if (!LabelNewElement(m.node)) return false;
-    } else {
-      if (n.kind == NodeKind::kText) {
-        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
-          invalidate_values(n.parent);
-        }
-        continue;
-      }
-      // Dead subtrees keep their children lists, so the tombstones now
-      // sitting in the streams can be counted for the compaction heuristic.
-      std::vector<NodeId> stack = {m.node};
-      while (!stack.empty()) {
-        NodeId cur = stack.back();
-        stack.pop_back();
-        const xml::Node& cn = doc_->node(cur);
-        if (cn.kind == NodeKind::kElement && cur < labels_.size() &&
-            labels_[cur].end != 0) {
-          ++dead_in_streams_;
-        }
-        for (NodeId c : cn.children) stack.push_back(c);
-      }
-    }
-  }
-  return true;
-}
-
-void StructuralIndex::Sync() {
-  if (doc_ == nullptr) return;
-  uint64_t v = doc_->version();
-  if (synced_ && synced_version_ == v) return;
-  bool incremental = false;
-  if (synced_) {
-    std::vector<Mutation> mutations;
-    if (doc_->MutationsSince(synced_version_, &mutations)) {
-      incremental = Replay(mutations);
-      // Compaction: once tombstones dominate, scans pay more for skipping
-      // dead entries than a rebuild costs.
-      if (incremental && dead_in_streams_ * 2 > element_stream_.size()) {
-        incremental = false;
-      }
-    } else {
-      // The bounded journal dropped the window we needed — a full rebuild
-      // is forced below.  Surface it: a workload hitting this repeatedly is
-      // silently paying rebuild cost for every batch.
-      obs::IncrementCounter("xml.journal.window_misses");
-    }
-  }
-  if (incremental) {
-    ++incremental_updates_;
-    obs::IncrementCounter("xpath.structural.incremental_updates");
-  } else {
-    Rebuild();
-  }
-  synced_ = true;
-  synced_version_ = v;
-}
-
-const std::vector<NodeId>& StructuralIndex::TagStream(
+const IndexVersion::Stream& IndexVersion::TagStream(
     std::string_view tag) const {
-  auto it = tag_streams_.find(std::string(tag));
-  return it == tag_streams_.end() ? kEmptyStream : it->second;
+  auto it = tag_streams_.find(tag);
+  return it == tag_streams_.end() ? kEmptyStream : *it->second;
 }
 
-std::string StructuralIndex::CanonicalValue(const std::string& text) {
+std::string IndexVersion::CanonicalValue(const std::string& text) {
   if (text.empty()) return text;
   // Mirrors CompareValues: a side is numeric iff strtod consumes the whole
   // string.  Numeric values bucket by their double ("01" and "1" collide,
@@ -379,25 +189,369 @@ std::string StructuralIndex::CanonicalValue(const std::string& text) {
   return buf;
 }
 
-const std::vector<NodeId>* StructuralIndex::ValueMatches(
-    std::string_view tag, const std::string& value) const {
-  std::string canon = CanonicalValue(value);
-  std::lock_guard<std::mutex> lock(value_mu_);
-  auto it = value_index_.find(tag);
-  if (it == value_index_.end()) {
-    auto& buckets = value_index_[std::string(tag)];
-    const std::vector<NodeId>& stream = TagStream(tag);
-    for (NodeId id : stream) {
-      if (!doc_->IsAlive(id)) continue;
-      std::string text = doc_->DirectText(id);
-      if (text.empty()) continue;  // no value: every comparison is false
-      buckets[CanonicalValue(text)].push_back(id);
+const IndexVersion::Stream* IndexVersion::ValueMatches(
+    std::string_view tag, const std::string& value,
+    const xml::Document& doc) const {
+  auto it = value_slots_.find(tag);
+  if (it == value_slots_.end()) return nullptr;  // no such tag stream
+  const ValueSlot& slot = it->second;
+  const ValueBuckets* buckets = slot.published.load(std::memory_order_acquire);
+  if (buckets == nullptr) {
+    // First probe of this tag in this version: build once behind the slot
+    // lock, publish with an atomic store.  Every later probe — including
+    // concurrent ones racing this build — is wait-free after the load
+    // above succeeds.
+    std::lock_guard<std::mutex> lock(slot.build_mu);
+    buckets = slot.published.load(std::memory_order_relaxed);
+    if (buckets == nullptr) {
+      auto built = std::make_shared<ValueBuckets>();
+      for (NodeId id : TagStream(tag)) {
+        if (!doc.IsAlive(id)) continue;
+        std::string text = doc.DirectText(id);
+        if (text.empty()) continue;  // no value: every comparison is false
+        (*built)[CanonicalValue(text)].push_back(id);
+      }
+      slot.owned = std::move(built);
+      slot.published.store(slot.owned.get(), std::memory_order_release);
+      buckets = slot.owned.get();
     }
-    it = value_index_.find(tag);
   }
-  auto bucket = it->second.find(canon);
-  if (bucket == it->second.end() || bucket->second.empty()) return nullptr;
+  auto bucket = buckets->find(CanonicalValue(value));
+  if (bucket == buckets->end() || bucket->second.empty()) return nullptr;
   return &bucket->second;
+}
+
+// ----- StructuralIndex (publisher) ---------------------------------------
+
+StructuralIndex::~StructuralIndex() {
+  // Hand the last version to the epoch GC instead of freeing inline: a
+  // reader pinned before this destructor ran may still be traversing it.
+  std::shared_ptr<const IndexVersion> old = std::move(head_);
+  current_.store(nullptr, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    EpochManager& mgr = EpochManager::Global();
+    mgr.Advance();
+    mgr.Retire(std::move(old));
+    mgr.Collect();
+  }
+}
+
+const IndexVersion::Stream& StructuralIndex::TagStream(
+    std::string_view tag) const {
+  const IndexVersion* v = current();
+  return v == nullptr ? kEmptyStream : v->TagStream(tag);
+}
+
+const IndexVersion::Stream& StructuralIndex::ElementStream() const {
+  const IndexVersion* v = current();
+  return v == nullptr ? kEmptyStream : v->ElementStream();
+}
+
+void StructuralIndex::Invalidate() {
+  std::shared_ptr<const IndexVersion> old = std::move(head_);
+  current_.store(nullptr, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    EpochManager& mgr = EpochManager::Global();
+    mgr.Advance();
+    mgr.Retire(std::move(old));
+    mgr.Collect();
+  }
+}
+
+void StructuralIndex::RestoreLabels(std::vector<IntervalLabel> labels) {
+  auto next = std::shared_ptr<IndexVersion>(new IndexVersion());
+  next->doc_version_ = doc_->version();
+  labels.resize(doc_->size());
+  auto elements = std::make_shared<IndexVersion::Stream>();
+  for (NodeId id = 0; id < doc_->size(); ++id) {
+    if (!doc_->IsAlive(id)) continue;
+    const xml::Node& n = doc_->node(id);
+    if (n.kind != NodeKind::kElement || labels[id].end == 0) continue;
+    elements->push_back(id);
+  }
+  std::sort(elements->begin(), elements->end(), [&](NodeId a, NodeId b) {
+    return labels[a].start < labels[b].start;
+  });
+  std::unordered_map<std::string, IndexVersion::Stream> tags;
+  for (NodeId id : *elements) {
+    tags[doc_->node(id).label].push_back(id);
+  }
+  next->labels_ =
+      std::make_shared<const IndexVersion::Labels>(std::move(labels));
+  next->element_stream_ = std::move(elements);
+  for (auto& [tag, ids] : tags) {
+    next->tag_streams_.emplace(
+        tag, std::make_shared<const IndexVersion::Stream>(std::move(ids)));
+  }
+  next->InitValueSlots();
+  Install(std::move(next));
+}
+
+std::shared_ptr<IndexVersion> StructuralIndex::BuildFull() {
+  auto next = std::shared_ptr<IndexVersion>(new IndexVersion());
+  next->doc_version_ = doc_->version();
+  next->labels_ = std::make_shared<const IndexVersion::Labels>(
+      ComputeIntervalLabels(*doc_, shard_));
+  auto elements = std::make_shared<IndexVersion::Stream>();
+  std::unordered_map<std::string, IndexVersion::Stream> tags;
+  if (!doc_->empty() && doc_->IsAlive(doc_->root())) {
+    std::vector<NodeId> tops = TopLevelSubtrees(*doc_);
+    if (!ShouldShardRebuild(*doc_, shard_, tops.size())) {
+      // Pre-order visitation matches ascending start labels, so the streams
+      // come out sorted without an explicit sort.
+      doc_->Visit(doc_->root(), [&](NodeId id) {
+        if (doc_->node(id).kind != NodeKind::kElement) return;
+        elements->push_back(id);
+        tags[doc_->node(id).label].push_back(id);
+      });
+    } else {
+      // Per-subtree streams built in parallel, then concatenated in subtree
+      // order: [root] + subtree pre-orders in sibling order IS the document
+      // pre-order, so the merged streams match the serial build exactly.
+      elements->push_back(doc_->root());
+      tags[doc_->node(doc_->root()).label].push_back(doc_->root());
+      struct SubtreeStreams {
+        IndexVersion::Stream elements;
+        std::unordered_map<std::string, IndexVersion::Stream> tags;
+      };
+      std::vector<SubtreeStreams> parts(tops.size());
+      ParallelFor(tops.size(), shard_.ResolvedThreads(), 1, [&](size_t i) {
+        doc_->Visit(tops[i], [&](NodeId id) {
+          if (doc_->node(id).kind != NodeKind::kElement) return;
+          parts[i].elements.push_back(id);
+          parts[i].tags[doc_->node(id).label].push_back(id);
+        });
+      });
+      for (SubtreeStreams& part : parts) {
+        elements->insert(elements->end(), part.elements.begin(),
+                         part.elements.end());
+        for (auto& [tag, ids] : part.tags) {
+          auto& stream = tags[tag];
+          stream.insert(stream.end(), ids.begin(), ids.end());
+        }
+      }
+    }
+  }
+  next->element_stream_ = std::move(elements);
+  for (auto& [tag, ids] : tags) {
+    next->tag_streams_.emplace(
+        tag, std::make_shared<const IndexVersion::Stream>(std::move(ids)));
+  }
+  next->InitValueSlots();
+  ++builds_;
+  obs::IncrementCounter("xpath.structural.index_builds");
+  return next;
+}
+
+std::shared_ptr<IndexVersion> StructuralIndex::BuildIncremental(
+    const IndexVersion& parent, const std::vector<Mutation>& mutations) {
+  auto next = std::shared_ptr<IndexVersion>(new IndexVersion());
+  next->doc_version_ = doc_->version();
+  // Start fully shared with the parent; parts clone lazily on first touch,
+  // so a delete-only batch shares labels, the "*" stream, and every tag
+  // stream (the common case for serve workloads).
+  next->labels_ = parent.labels_;
+  next->element_stream_ = parent.element_stream_;
+  next->tag_streams_ = parent.tag_streams_;
+  next->dead_in_streams_ = parent.dead_in_streams_;
+
+  IndexVersion::Labels* labels = nullptr;
+  IndexVersion::Stream* elements = nullptr;
+  std::map<std::string, IndexVersion::Stream*, std::less<>> cloned_tags;
+  // Tags whose direct text changed: their value buckets must not carry
+  // forward into the new version.
+  std::set<std::string, std::less<>> dirty_values;
+
+  auto mutable_labels = [&]() -> IndexVersion::Labels* {
+    if (labels == nullptr) {
+      auto clone = std::make_shared<IndexVersion::Labels>(*next->labels_);
+      labels = clone.get();
+      next->labels_ = std::move(clone);
+    }
+    return labels;
+  };
+  auto mutable_elements = [&]() -> IndexVersion::Stream* {
+    if (elements == nullptr) {
+      auto clone =
+          std::make_shared<IndexVersion::Stream>(*next->element_stream_);
+      elements = clone.get();
+      next->element_stream_ = std::move(clone);
+    }
+    return elements;
+  };
+  auto mutable_tag = [&](const std::string& tag) -> IndexVersion::Stream* {
+    auto it = cloned_tags.find(tag);
+    if (it != cloned_tags.end()) return it->second;
+    auto sit = next->tag_streams_.find(tag);
+    auto clone = sit == next->tag_streams_.end()
+                     ? std::make_shared<IndexVersion::Stream>()
+                     : std::make_shared<IndexVersion::Stream>(*sit->second);
+    IndexVersion::Stream* raw = clone.get();
+    next->tag_streams_.insert_or_assign(tag, std::move(clone));
+    cloned_tags.emplace(tag, raw);
+    return raw;
+  };
+  auto insert_into = [&](IndexVersion::Stream* stream, NodeId id) {
+    const IndexVersion::Labels& all = *next->labels_;
+    uint64_t start = all[id].start;
+    auto pos = std::upper_bound(stream->begin(), stream->end(), start,
+                                [&](uint64_t s, NodeId other) {
+                                  return s < all[other].start;
+                                });
+    stream->insert(pos, id);
+  };
+  auto label_new_element = [&](NodeId id) -> bool {
+    const xml::Node& n = doc_->node(id);
+    if (n.parent == xml::kInvalidNode) return false;  // new root: rebuild
+    IndexVersion::Labels& all = *mutable_labels();
+    const IntervalLabel pl = all[n.parent];
+    if (pl.end == 0) return false;  // parent unlabeled (shouldn't happen)
+    // The anchor is the highest label used inside the parent so far;
+    // children append, so scanning the (short) child list keeps alive
+    // intervals disjoint.  Later-created siblings are still unlabeled
+    // (end == 0) at this point in the replay and don't contribute.
+    uint64_t anchor = pl.start;
+    for (NodeId c : doc_->node(n.parent).children) {
+      if (c == id) continue;
+      if (all[c].end != 0) anchor = std::max(anchor, all[c].end);
+    }
+    uint64_t start = 0;
+    uint64_t end = 0;
+    if (!AllocateChildInterval(pl.start, pl.end, anchor, &start, &end)) {
+      return false;
+    }
+    all[id] = IntervalLabel{start, end, pl.level + 1};
+    insert_into(mutable_elements(), id);
+    insert_into(mutable_tag(n.label), id);
+    return true;
+  };
+
+  // Matches() requires labels_->size() == doc.size(); text/element
+  // creations grow the document, so the slot table clones and resizes
+  // up front when it has to.
+  if (next->labels_->size() != doc_->size()) {
+    mutable_labels()->resize(doc_->size());
+  }
+
+  for (const Mutation& m : mutations) {
+    if (m.node >= doc_->size()) return nullptr;
+    const xml::Node& n = doc_->node(m.node);
+    if (m.kind == Mutation::Kind::kCreate) {
+      if (n.kind == NodeKind::kText) {
+        // The parent element's direct text changed: its tag's value buckets
+        // (if materialized in the parent version) are stale.
+        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
+          dirty_values.insert(doc_->node(n.parent).label);
+        }
+        continue;
+      }
+      // Created-then-deleted within the same window: never entered the
+      // streams, nothing to do.
+      if (!doc_->IsAlive(m.node)) continue;
+      if (!label_new_element(m.node)) return nullptr;
+    } else {
+      if (n.kind == NodeKind::kText) {
+        if (n.parent != xml::kInvalidNode && doc_->IsAlive(n.parent)) {
+          dirty_values.insert(doc_->node(n.parent).label);
+        }
+        continue;
+      }
+      // Dead subtrees keep their children lists, so the tombstones now
+      // sitting in the streams can be counted for the compaction heuristic.
+      std::vector<NodeId> stack = {m.node};
+      while (!stack.empty()) {
+        NodeId cur = stack.back();
+        stack.pop_back();
+        const xml::Node& cn = doc_->node(cur);
+        if (cn.kind == NodeKind::kElement && cur < next->labels_->size() &&
+            (*next->labels_)[cur].end != 0) {
+          ++next->dead_in_streams_;
+        }
+        for (NodeId c : cn.children) stack.push_back(c);
+      }
+    }
+  }
+
+  // Value buckets carry forward for every tag whose stream is still the
+  // parent's array (pointer-shared ⇒ structurally untouched) and whose
+  // text didn't change — a delete-only batch keeps them all warm.
+  next->InitValueSlots();
+  for (auto& [tag, slot] : next->value_slots_) {
+    if (dirty_values.count(tag) != 0) continue;
+    auto pstream = parent.tag_streams_.find(tag);
+    auto nstream = next->tag_streams_.find(tag);
+    if (pstream == parent.tag_streams_.end() ||
+        pstream->second != nstream->second) {
+      continue;
+    }
+    auto pslot = parent.value_slots_.find(tag);
+    if (pslot == parent.value_slots_.end()) continue;
+    std::shared_ptr<const IndexVersion::ValueBuckets> carried;
+    {
+      // The parent stays readable while we publish: a concurrent reader
+      // may be building this very slot, so take its build lock to copy.
+      std::lock_guard<std::mutex> lock(pslot->second.build_mu);
+      carried = pslot->second.owned;
+    }
+    if (carried != nullptr) {
+      slot.owned = std::move(carried);
+      slot.published.store(slot.owned.get(), std::memory_order_release);
+    }
+  }
+  return next;
+}
+
+void StructuralIndex::Publish() {
+  if (doc_ == nullptr) return;
+  if (head_ != nullptr && head_->Matches(*doc_)) return;
+  obs::ScopedTimer timer("xpath.structural.version_publish_us");
+  std::shared_ptr<IndexVersion> next;
+  if (head_ != nullptr) {
+    std::vector<Mutation> mutations;
+    if (doc_->MutationsSince(head_->doc_version_, &mutations)) {
+      next = BuildIncremental(*head_, mutations);
+      // Compaction: once tombstones dominate, scans pay more for skipping
+      // dead entries than a rebuild costs.
+      if (next != nullptr &&
+          next->dead_in_streams_ * 2 > next->element_stream_->size()) {
+        next = nullptr;
+      }
+    } else {
+      // The bounded journal dropped the window we needed — a full rebuild
+      // is forced below, *on this writer thread*.  Surface it: a workload
+      // hitting this repeatedly is silently paying rebuild cost for every
+      // batch.  (Readers can never hit this path; they only ever load the
+      // published pointer.)
+      obs::IncrementCounter("xml.journal.window_misses");
+    }
+  }
+  if (next != nullptr) {
+    ++incremental_updates_;
+    obs::IncrementCounter("xpath.structural.incremental_updates");
+  } else {
+    next = BuildFull();
+  }
+  Install(std::move(next));
+}
+
+void StructuralIndex::Install(std::shared_ptr<const IndexVersion> next) {
+  std::shared_ptr<const IndexVersion> old = std::move(head_);
+  head_ = std::move(next);
+  // Publication point: one atomic store, then the epoch advance.  The
+  // seq_cst ordering (store before fetch_add) is what lets the GC free a
+  // retiree once every pinned epoch is >= its stamp — see common/epoch.h.
+  current_.store(head_.get(), std::memory_order_seq_cst);
+  EpochManager& mgr = EpochManager::Global();
+  mgr.Advance();
+  obs::IncrementCounter("epoch.advances");
+  if (old != nullptr) {
+    mgr.Retire(std::move(old));
+    obs::IncrementCounter("epoch.retired");
+  }
+  size_t reclaimed = mgr.Collect();
+  if (reclaimed > 0) obs::IncrementCounter("epoch.reclaimed", reclaimed);
+  obs::SetGauge("epoch.live_versions",
+                static_cast<int64_t>(mgr.stats().live));
 }
 
 }  // namespace xmlac::xpath

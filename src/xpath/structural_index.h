@@ -1,8 +1,9 @@
 #ifndef XMLAC_XPATH_STRUCTURAL_INDEX_H_
 #define XMLAC_XPATH_STRUCTURAL_INDEX_H_
 
-// Per-document structural index: interval labels + tag streams + an
-// optional per-tag value index.
+// Multi-version structural index: interval labels + tag streams + a
+// per-tag value index, published as immutable versions with epoch-based
+// reclamation (docs/concurrency.md).
 //
 // Every alive element gets an interval label (start, end, level) from one
 // pre/post-order pass; `d` is a descendant of `a` iff
@@ -10,7 +11,7 @@
 // partially overlap, so d.start alone decides containment.  Labels are
 // *gapped*: consecutive build-time labels leave kBuildGap unused values, so
 // an inserted subtree can usually be labeled inside its parent's remaining
-// gap without relabeling the document.  When the gap runs out the index
+// gap without relabeling the document.  When the gap runs out the publisher
 // falls back to a full rebuild (counted separately, see the obs counters).
 //
 // Tag streams partition the alive elements by tag, each stream sorted by
@@ -18,29 +19,42 @@
 // (structural_eval.h) merges context lists against these streams instead of
 // re-walking subtrees.  Deleted nodes are filtered lazily at scan time
 // (Document keeps tombstones); when too many tombstones accumulate the next
-// Sync() compacts by rebuilding.
+// Publish() compacts by rebuilding.
 //
-// The index stamps itself with Document::version() and catches up through
-// the document's mutation journal:
+// Concurrency model (the Bw-tree-style MVCC scheme from common/epoch.h):
+//
+//   * IndexVersion is deeply immutable.  The writer catches up through the
+//     document's mutation journal *off the read path* and publishes a new
+//     version with one atomic pointer store; unchanged parts — the label
+//     vector, the "*" element stream, and every untouched per-tag stream
+//     and value-bucket map — are shared with the prior version by
+//     refcounted pointers (delete-only batches share everything).
+//   * Readers pin an epoch (EpochGuard on EpochManager::Global()), load
+//     current(), and traverse wait-free: no locks, no lazy sync, no
+//     rebuild can ever run on a reader.  Long-lived holders (serve
+//     snapshots) take CurrentShared() on the writer thread instead of
+//     pinning for the snapshot's lifetime.
+//   * The displaced version is Retire()d to the global epoch manager and
+//     reclaimed only once no reader pins an older epoch.
+//
+// Versions stamp themselves with Document::version(); the writer's catch-up
+// replays the journal:
 //   * created elements get an interval carved from the parent's gap and are
-//     spliced into their streams;
+//     spliced into (copies of) their streams;
 //   * deleted subtrees only bump the tombstone estimate;
-//   * text changes invalidate the enclosing tag's value-index entry.
+//   * text changes stop the enclosing tag's value buckets from carrying
+//     forward into the new version.
 // Journal truncation, gap exhaustion, or anything unexpected triggers a
 // full rebuild — incremental maintenance is an optimization, never a
 // correctness requirement.
-//
-// Thread-safety: Sync() must not race queries or document mutations (the
-// engine serializes it behind a mutex before any parallel evaluation
-// phase).  The lazy per-tag value-index build is internally synchronized,
-// so concurrent read-only queries may share one synced index.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/shard.h"
@@ -77,94 +91,184 @@ std::vector<IntervalLabel> ComputeIntervalLabels(const xml::Document& doc,
 bool AllocateChildInterval(uint64_t parent_start, uint64_t parent_end,
                            uint64_t anchor, uint64_t* start, uint64_t* end);
 
+// One immutable published state of the index.  Readers hold it either
+// under an epoch pin (raw pointer from StructuralIndex::current()) or by
+// shared ownership (serve snapshots); either way every accessor below is
+// lock-free and safe against concurrent publication of newer versions.
+//
+// A version is document-object independent: it matches any Document whose
+// version counter and slot count agree (clones preserve both), so one
+// version built on a serve master serves all its snapshot clones.
+class IndexVersion {
+ public:
+  using Stream = std::vector<xml::NodeId>;
+  using ValueBuckets = std::map<std::string, Stream>;
+
+  IndexVersion(const IndexVersion&) = delete;
+  IndexVersion& operator=(const IndexVersion&) = delete;
+
+  // True when this version reflects `doc`'s current content.  The
+  // evaluator dispatch checks this before structural evaluation; with the
+  // writer publishing eagerly at every mutation point it never fails in
+  // steady state (the serve layer counts any miss as
+  // `serve.read.index_stale`).
+  bool Matches(const xml::Document& doc) const {
+    return doc.version() == doc_version_ && doc.size() == labels_->size();
+  }
+
+  // The Document::version() this index version was built at.
+  uint64_t doc_version() const { return doc_version_; }
+
+  const IntervalLabel& label(xml::NodeId id) const { return (*labels_)[id]; }
+
+  // All alive-at-last-compaction elements with tag `tag`, sorted by start.
+  // May contain tombstones (filter with doc.IsAlive).  Empty stream for
+  // unknown tags.
+  const Stream& TagStream(std::string_view tag) const;
+
+  // Every element, sorted by start (the "*" stream).
+  const Stream& ElementStream() const { return *element_stream_; }
+
+  // Elements with tag `tag` whose direct text compares equal to `value`
+  // under the evaluator's =const semantics (numeric when both sides parse
+  // as numbers), sorted by start; nullptr when no element matches.  `doc`
+  // supplies the text (any document this version Matches / was built for).
+  // Buckets build lazily per tag behind a double-checked atomic publish:
+  // the first probe of a tag takes a build lock, every later probe is
+  // wait-free.  Like TagStream, buckets may contain tombstones.
+  const Stream* ValueMatches(std::string_view tag, const std::string& value,
+                             const xml::Document& doc) const;
+
+  // The canonical form under which values are bucketed: numeric strings
+  // normalize so "01" and "1" share a bucket, mirroring CompareValues.
+  static std::string CanonicalValue(const std::string& text);
+
+ private:
+  friend class StructuralIndex;
+
+  using Labels = std::vector<IntervalLabel>;
+
+  // Per-tag value-bucket slot: created at version construction (the slot
+  // map itself is immutable), contents built lazily and published with an
+  // atomic store so readers after the first probe never take the lock.
+  struct ValueSlot {
+    mutable std::mutex build_mu;
+    mutable std::shared_ptr<const ValueBuckets> owned;
+    mutable std::atomic<const ValueBuckets*> published{nullptr};
+  };
+
+  IndexVersion() = default;
+
+  // Creates one (empty) value slot per tag stream.  Called once by the
+  // publisher before the version escapes to readers.
+  void InitValueSlots();
+
+  uint64_t doc_version_ = 0;
+  // COW parts — shared with neighbor versions when unchanged.
+  std::shared_ptr<const Labels> labels_;
+  std::shared_ptr<const Stream> element_stream_;
+  std::map<std::string, std::shared_ptr<const Stream>, std::less<>>
+      tag_streams_;
+  // Tombstones sitting in the streams since the last full rebuild; when
+  // they exceed half the stream entries the publisher compacts.
+  size_t dead_in_streams_ = 0;
+  std::map<std::string, ValueSlot, std::less<>> value_slots_;
+};
+
+// The per-document publisher: owns the current IndexVersion and builds the
+// next one from the mutation journal.  All mutating calls (Publish,
+// Invalidate, RestoreLabels, set_shard_config) are writer-side and must be
+// externally serialized with document mutations — the engine's single
+// writer already guarantees this.  current() is the only member readers
+// touch, and it is a single atomic load.
 class StructuralIndex {
  public:
   // `doc` is not owned and must outlive the index.  The index starts
-  // unsynced; call Sync() before querying.
+  // empty; the writer calls Publish() after every mutation batch.
   explicit StructuralIndex(const xml::Document* doc) : doc_(doc) {}
 
   StructuralIndex(const StructuralIndex&) = delete;
   StructuralIndex& operator=(const StructuralIndex&) = delete;
 
-  // Brings the index up to the document's current version (no-op when
-  // already current).  Must be externally serialized against queries.
-  void Sync();
+  ~StructuralIndex();
 
-  // Drops all state; the next Sync() rebuilds.  Call after the backing
-  // document object is replaced wholesale (its version counter restarts).
+  // Writer side: builds and publishes a version for the document's current
+  // state (no-op when the published version is already current).  The
+  // displaced version is retired to EpochManager::Global() and reclaimed
+  // once no reader pins an older epoch.  Journal window misses force a
+  // full rebuild *here*, on the writer — a reader can never pay one.
+  void Publish();
+
+  // Drops the published version (retiring it); the next Publish() rebuilds
+  // from scratch.  Call after the backing document object is replaced
+  // wholesale (its version counter restarts).
   void Invalidate();
 
-  // Adopts checkpointed labels as the synced state at the document's
-  // current version, rebuilding the tag streams from them instead of
-  // relabeling.  This is recovery's fast path: subsequent Sync() calls
+  // Adopts checkpointed labels as version 0: rebuilds the tag streams from
+  // them instead of relabeling and publishes at the document's current
+  // version.  This is recovery's fast path — subsequent Publish() calls
   // catch up incrementally from these labels exactly as if the index had
   // computed them itself.  `labels` must describe the backing document
   // (size() slots, labels for its alive elements).
   void RestoreLabels(std::vector<IntervalLabel> labels);
 
-  // True when the index reflects `doc`'s current content — the evaluator
-  // falls back to the naive path otherwise rather than answer stale.
+  // Reader side: the current version, or nullptr before the first
+  // Publish().  Callers that can race Publish() must hold an epoch pin
+  // (EpochGuard on EpochManager::Global()) across the load *and* the whole
+  // traversal of the returned version.
+  const IndexVersion* current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Shared ownership of the current version for long-lived holders (serve
+  // snapshots).  Writer-thread only: must not race Publish().
+  std::shared_ptr<const IndexVersion> CurrentShared() const { return head_; }
+
+  // True when the published version reflects `doc`'s current content.
   bool ReadyFor(const xml::Document& doc) const {
-    return doc_ == &doc && synced_ && synced_version_ == doc.version();
+    const IndexVersion* v = current();
+    return doc_ == &doc && v != nullptr && v->Matches(doc);
   }
 
-  const IntervalLabel& label(xml::NodeId id) const { return labels_[id]; }
-
-  // All alive-at-last-compaction elements with tag `tag`, sorted by start.
-  // May contain tombstones (filter with doc.IsAlive).  Empty stream for
-  // unknown tags.
-  const std::vector<xml::NodeId>& TagStream(std::string_view tag) const;
-
-  // Every element, sorted by start (the "*" stream).
-  const std::vector<xml::NodeId>& ElementStream() const {
-    return element_stream_;
+  // Conveniences delegating to the current version (tests, writer-side
+  // probes).  Empty/null results before the first Publish().
+  const IntervalLabel& label(xml::NodeId id) const {
+    return current()->label(id);
   }
-
-  // Elements with tag `tag` whose direct text compares equal to `value`
-  // under the evaluator's =const semantics (numeric when both sides parse
-  // as numbers), sorted by start; nullptr when no element matches.  Builds
-  // the per-tag map lazily; safe to call from concurrent readers.
-  const std::vector<xml::NodeId>* ValueMatches(std::string_view tag,
-                                               const std::string& value) const;
-
-  // The canonical form under which values are bucketed: numeric strings
-  // normalize so "01" and "1" share a bucket, mirroring CompareValues.
-  static std::string CanonicalValue(const std::string& text);
+  const IndexVersion::Stream& TagStream(std::string_view tag) const;
+  const IndexVersion::Stream& ElementStream() const;
+  const IndexVersion::Stream* ValueMatches(std::string_view tag,
+                                           const std::string& value) const {
+    const IndexVersion* v = current();
+    return v == nullptr ? nullptr : v->ValueMatches(tag, value, *doc_);
+  }
+  static std::string CanonicalValue(const std::string& text) {
+    return IndexVersion::CanonicalValue(text);
+  }
 
   uint64_t builds() const { return builds_; }
   uint64_t incremental_updates() const { return incremental_updates_; }
 
   // Sharding for full rebuilds (labeling + stream construction run
   // per-top-level-subtree on ParallelFor workers).  Streams and labels are
-  // identical either way; takes effect at the next Rebuild().
+  // identical either way; takes effect at the next rebuild.
   void set_shard_config(const ShardConfig& shard) { shard_ = shard; }
 
  private:
-  void Rebuild();
-  // Applies journaled mutations; false means the journal couldn't be
-  // applied (gap exhausted / unexpected shape) and the caller must Rebuild.
-  bool Replay(const std::vector<xml::Mutation>& mutations);
-  bool LabelNewElement(xml::NodeId id);
-  void InsertIntoStream(std::vector<xml::NodeId>* stream, xml::NodeId id);
+  std::shared_ptr<IndexVersion> BuildFull();
+  // Builds the next version from `parent` + journaled mutations, sharing
+  // untouched parts; nullptr means the journal couldn't be applied (gap
+  // exhausted / unexpected shape) and the caller must BuildFull.
+  std::shared_ptr<IndexVersion> BuildIncremental(
+      const IndexVersion& parent, const std::vector<xml::Mutation>& mutations);
+  // Publication point: stores the pointer, advances the global epoch,
+  // retires the displaced version, runs a GC pass, updates obs gauges.
+  void Install(std::shared_ptr<const IndexVersion> next);
 
   const xml::Document* doc_;
-  bool synced_ = false;
-  uint64_t synced_version_ = 0;
-
-  std::vector<IntervalLabel> labels_;  // by NodeId
-  std::unordered_map<std::string, std::vector<xml::NodeId>> tag_streams_;
-  std::vector<xml::NodeId> element_stream_;
-  // Tombstones sitting in streams since the last rebuild; when they exceed
-  // half the stream entries, Sync() compacts via Rebuild().
-  size_t dead_in_streams_ = 0;
-
-  // tag -> canonical value -> matching elements sorted by start.  Built
-  // lazily per tag (guarded by value_mu_); std::map keeps bucket addresses
-  // stable while other tags build concurrently.
-  mutable std::mutex value_mu_;
-  mutable std::map<std::string, std::map<std::string, std::vector<xml::NodeId>>,
-                   std::less<>>
-      value_index_;
+  // head_ owns what current_ points to; only the writer touches head_.
+  std::shared_ptr<const IndexVersion> head_;
+  std::atomic<const IndexVersion*> current_{nullptr};
 
   uint64_t builds_ = 0;
   uint64_t incremental_updates_ = 0;

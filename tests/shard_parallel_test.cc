@@ -189,8 +189,9 @@ TEST(StructuralEvalShardTest, ShardCountsProduceIdenticalResults) {
   xopt.seed = 9;
   xml::Document doc = gen.Generate(xopt);
   xpath::StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   ASSERT_TRUE(index.ReadyFor(doc));
+  const xpath::IndexVersion& version = *index.current();
 
   workload::QueryWorkloadOptions qopt;
   qopt.count = 40;
@@ -199,14 +200,14 @@ TEST(StructuralEvalShardTest, ShardCountsProduceIdenticalResults) {
   ASSERT_FALSE(queries.empty());
   for (const xpath::Path& q : queries) {
     std::vector<NodeId> naive = xpath::Evaluate(q, doc);
-    std::vector<NodeId> serial = xpath::EvaluateStructural(q, doc, index);
+    std::vector<NodeId> serial = xpath::EvaluateStructural(q, doc, version);
     EXPECT_EQ(serial, naive) << xpath::ToString(q);
     for (size_t shards : {1u, 2u, 7u, 16u}) {
       ShardConfig config;
       config.threads = shards;
       config.min_work = 1;
       std::vector<NodeId> sharded =
-          xpath::EvaluateStructural(q, doc, index, config);
+          xpath::EvaluateStructural(q, doc, version, config);
       EXPECT_EQ(sharded, serial)
           << xpath::ToString(q) << " with " << shards << " shards";
     }
@@ -220,7 +221,8 @@ TEST(StructuralEvalShardTest, EvaluateFromMatchesSerial) {
   hopt.patients_per_department = 40;
   xml::Document doc = gen.Generate(hopt);
   xpath::StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
+  const xpath::IndexVersion& version = *index.current();
   xpath::Path rel = MustParse("//patient/name");
   // Evaluate the relative tail from a few context nodes.
   std::vector<NodeId> contexts = xpath::Evaluate(MustParse("//dept"), doc);
@@ -230,9 +232,9 @@ TEST(StructuralEvalShardTest, EvaluateFromMatchesSerial) {
   config.min_work = 1;
   for (NodeId ctx : contexts) {
     std::vector<NodeId> serial =
-        xpath::EvaluateFromStructural(rel, doc, ctx, index);
+        xpath::EvaluateFromStructural(rel, doc, ctx, version);
     std::vector<NodeId> sharded =
-        xpath::EvaluateFromStructural(rel, doc, ctx, index, config);
+        xpath::EvaluateFromStructural(rel, doc, ctx, version, config);
     EXPECT_EQ(sharded, serial);
   }
 }

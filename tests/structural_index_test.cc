@@ -41,7 +41,7 @@ std::vector<NodeId> EvalBoth(std::string_view expr, const Document& doc,
   std::vector<NodeId> naive = Evaluate(p, doc);
   EvaluatorOptions options;
   options.use_structural_index = true;
-  options.index = &index;
+  options.index = index.current();
   std::vector<NodeId> structural = Evaluate(p, doc, options);
   EXPECT_EQ(naive, structural) << expr;
   return naive;
@@ -114,7 +114,7 @@ TEST(IntervalLabelTest, AllocateChildIntervalNestsAndExhausts) {
 TEST(StructuralIndexTest, IncrementalInsertAvoidsRebuild) {
   Document doc = Parse(testdata::kHospitalDoc);
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.builds(), 1u);
   ASSERT_TRUE(index.ReadyFor(doc));
 
@@ -125,7 +125,7 @@ TEST(StructuralIndexTest, IncrementalInsertAvoidsRebuild) {
   doc.CreateText(psn, "777");
   EXPECT_FALSE(index.ReadyFor(doc));
 
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.builds(), 1u) << "append should replay, not rebuild";
   EXPECT_GE(index.incremental_updates(), 1u);
   ASSERT_TRUE(index.ReadyFor(doc));
@@ -136,11 +136,11 @@ TEST(StructuralIndexTest, IncrementalInsertAvoidsRebuild) {
 TEST(StructuralIndexTest, DeleteTombstonesThenCompacts) {
   Document doc = Parse(testdata::kHospitalDoc);
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   std::vector<NodeId> patients = EvalBoth("//patient", doc, index);
   ASSERT_EQ(patients.size(), 3u);
   doc.DeleteSubtree(patients[0]);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(EvalBoth("//patient", doc, index).size(), 2u);
   EXPECT_EQ(EvalBoth("//patient[treatment]", doc, index).size(), 1u);
   // Deleting most of the tree forces the tombstone-compaction rebuild
@@ -148,22 +148,22 @@ TEST(StructuralIndexTest, DeleteTombstonesThenCompacts) {
   std::vector<NodeId> depts = EvalBoth("//dept", doc, index);
   ASSERT_EQ(depts.size(), 1u);
   doc.DeleteSubtree(depts[0]);
-  index.Sync();
+  index.Publish();
   EXPECT_TRUE(EvalBoth("//patient", doc, index).empty());
   EXPECT_EQ(EvalBoth("//hospital", doc, index).size(), 1u);
 }
 
 // Regression: when the bounded mutation journal drops the window the
-// index needs, the forced full rebuild must (a) still yield a correct
-// index and (b) be surfaced through the xml.journal.window_misses
-// counter instead of silently charging rebuild cost to every sync
+// publisher needs, the forced full rebuild must (a) still yield a correct
+// version and (b) be surfaced through the xml.journal.window_misses
+// counter, on the WRITER (Publish), never a reader
 // (docs/durability.md, "Observability").
 TEST(StructuralIndexTest, JournalWindowMissCountsAndRebuilds) {
   obs::MetricsRegistry registry;
   obs::ScopedMetrics scoped(&registry);
   Document doc = Parse(testdata::kHospitalDoc);
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.builds(), 1u);
 
   // Overflow the journal (cap 2^16; overflow drops the oldest half) so
@@ -178,7 +178,7 @@ TEST(StructuralIndexTest, JournalWindowMissCountsAndRebuilds) {
   ASSERT_FALSE(doc.MutationsSince(1, &mutations))
       << "journal window unexpectedly intact; raise the loop count";
 
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.builds(), 2u) << "window miss must force a full rebuild";
   obs::MetricsSnapshot snapshot = registry.Snapshot();
   auto it = snapshot.counters.find("xml.journal.window_misses");
@@ -187,12 +187,12 @@ TEST(StructuralIndexTest, JournalWindowMissCountsAndRebuilds) {
   // The rebuilt index still answers correctly.
   EXPECT_EQ(EvalBoth("//patient", doc, index).size(), 3u);
 
-  // A follow-up in-window sync replays incrementally and does not bump
+  // A follow-up in-window publish replays incrementally and does not bump
   // the counter again.
   NodeId p = doc.CreateElement(patients[0], "patient");
   NodeId psn = doc.CreateElement(p, "psn");
   doc.CreateText(psn, "888");
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.builds(), 2u);
   snapshot = registry.Snapshot();
   EXPECT_EQ(snapshot.counters.at("xml.journal.window_misses"), 1u);
@@ -201,17 +201,66 @@ TEST(StructuralIndexTest, JournalWindowMissCountsAndRebuilds) {
 TEST(StructuralIndexTest, StaleIndexFallsBackToNaive) {
   Document doc = Parse(testdata::kHospitalDoc);
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   std::vector<NodeId> treatments = EvalBoth("//treatment", doc, index);
   ASSERT_EQ(treatments.size(), 2u);
   doc.DeleteSubtree(treatments[0]);
-  // No Sync: the dispatching overload must detect the stale index and use
-  // the naive path instead of answering from stale streams.
+  // No Publish: the version predates the delete, so the dispatching
+  // overload must detect the mismatch (Matches false) and answer via the
+  // naive path instead of the stale streams.
   EXPECT_FALSE(index.ReadyFor(doc));
+  ASSERT_NE(index.current(), nullptr);
+  EXPECT_FALSE(index.current()->Matches(doc));
   EvaluatorOptions options;
   options.use_structural_index = true;
-  options.index = &index;
+  options.index = index.current();
   EXPECT_EQ(Evaluate(MustParse("//treatment"), doc, options).size(), 1u);
+}
+
+// ----- Multi-version behavior --------------------------------------------
+
+TEST(StructuralIndexTest, PublishedVersionsAreImmutableSnapshots) {
+  Document doc = Parse(testdata::kHospitalDoc);
+  StructuralIndex index(&doc);
+  index.Publish();
+  // Hold the version across a mutation + publish by shared ownership, the
+  // way a serve snapshot does.
+  std::shared_ptr<const IndexVersion> v1 = index.CurrentShared();
+  ASSERT_NE(v1, nullptr);
+  ASSERT_TRUE(v1->Matches(doc));
+  size_t patients_before = v1->TagStream("patient").size();
+  std::vector<NodeId> patients = EvalBoth("//patients", doc, index);
+  ASSERT_EQ(patients.size(), 1u);
+  doc.CreateElement(patients[0], "patient");
+  index.Publish();
+  const IndexVersion* v2 = index.current();
+  ASSERT_NE(v2, v1.get());
+  EXPECT_TRUE(v2->Matches(doc));
+  EXPECT_FALSE(v1->Matches(doc));
+  // The held version is untouched by the publication — the reader contract
+  // the whole MVCC design rests on.
+  EXPECT_EQ(v1->TagStream("patient").size(), patients_before);
+  EXPECT_EQ(v2->TagStream("patient").size(), patients_before + 1);
+}
+
+TEST(StructuralIndexTest, DeleteOnlyBatchSharesStreamsWithParent) {
+  Document doc = Parse(testdata::kHospitalDoc);
+  StructuralIndex index(&doc);
+  index.Publish();
+  std::shared_ptr<const IndexVersion> v1 = index.CurrentShared();
+  std::vector<NodeId> patients = EvalBoth("//patient", doc, index);
+  ASSERT_GE(patients.size(), 2u);
+  doc.DeleteSubtree(patients[0]);
+  index.Publish();
+  EXPECT_EQ(index.builds(), 1u);
+  const IndexVersion* v2 = index.current();
+  ASSERT_NE(v2, v1.get());
+  // Tombstones filter at scan time, so a delete-only batch shares the
+  // parent's label vector and every stream array wholesale (COW refcounts,
+  // no copies).
+  EXPECT_EQ(&v2->ElementStream(), &v1->ElementStream());
+  EXPECT_EQ(&v2->TagStream("patient"), &v1->TagStream("patient"));
+  EXPECT_EQ(EvalBoth("//patient", doc, index).size(), patients.size() - 1);
 }
 
 // ----- Value index / =const edges ----------------------------------------
@@ -219,7 +268,7 @@ TEST(StructuralIndexTest, StaleIndexFallsBackToNaive) {
 TEST(StructuralIndexTest, ValueIndexCanonicalizesNumbers) {
   Document doc = Parse("<r><a>01</a><a>1</a><a></a><a>x</a><b>1</b></r>");
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   // "01" and "1" are numerically equal, so they share a bucket.
   const std::vector<NodeId>* ones = index.ValueMatches("a", "1");
   ASSERT_NE(ones, nullptr);
@@ -242,7 +291,7 @@ TEST(StructuralIndexTest, ValueIndexCanonicalizesNumbers) {
 TEST(StructuralIndexTest, EqConstEdgeCasesMatchNaive) {
   Document doc = Parse("<r><a>01</a><a>1</a><a></a><a>x</a><b>1</b></r>");
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(EvalBoth("//a[. = \"1\"]", doc, index).size(), 2u);
   EXPECT_EQ(EvalBoth("//a[. = \"01\"]", doc, index).size(), 2u);
   EXPECT_EQ(EvalBoth("//r[a = \"1\"]", doc, index).size(), 1u);
@@ -256,7 +305,7 @@ TEST(StructuralIndexTest, EqConstEdgeCasesMatchNaive) {
   ASSERT_EQ(bs.size(), 1u);
   NodeId b2 = doc.CreateElement(doc.root(), "b");
   doc.CreateText(b2, "2");
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(EvalBoth("//r[b = \"2\"]", doc, index).size(), 1u);
   EXPECT_EQ(EvalBoth("//b[. = \"2\"]", doc, index).size(), 1u);
 }
@@ -274,7 +323,7 @@ TEST(StructuralIndexTest, DeepChainDocumentDoesNotOverflow) {
   doc.CreateText(doc.CreateElement(cur, "leaf"), "bottom");
 
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(index.label(doc.root()).level, 0u);
   EXPECT_EQ(EvalBoth("//leaf", doc, index).size(), 1u);
   EXPECT_EQ(EvalBoth("//b", doc, index).size(),
@@ -311,7 +360,7 @@ constexpr char kRecursiveDoc[] = R"(
 TEST(StructuralIndexTest, RecursiveDocumentDescendants) {
   Document doc = Parse(kRecursiveDoc);
   StructuralIndex index(&doc);
-  index.Sync();
+  index.Publish();
   EXPECT_EQ(EvalBoth("//section", doc, index).size(), 7u);
   EXPECT_EQ(EvalBoth("//section//section", doc, index).size(), 6u);
   EXPECT_EQ(EvalBoth("//section//section//section", doc, index).size(), 4u);
@@ -396,14 +445,14 @@ TEST(StructuralPropertyTest, MatchesNaiveOnGeneratedCorpus) {
     options.max_doc_nodes = 120;
     testing::Instance instance = testing::GenerateInstance(options);
     StructuralIndex index(&instance.doc);
-    index.Sync();
+    index.Publish();
     testing::RandomPathGenerator paths(instance.doc, seed * 7919 + 1);
     for (int i = 0; i < 20; ++i) {
       Path p = paths.Next();
       std::vector<NodeId> naive = Evaluate(p, instance.doc);
       EvaluatorOptions opt;
       opt.use_structural_index = true;
-      opt.index = &index;
+      opt.index = index.current();
       std::vector<NodeId> structural = Evaluate(p, instance.doc, opt);
       ASSERT_EQ(naive, structural)
           << "seed " << seed << " path " << ToString(p);
@@ -416,13 +465,13 @@ TEST(StructuralPropertyTest, MatchesNaiveOnGeneratedCorpus) {
     }
     instance.doc.CreateElement(instance.doc.root(),
                                instance.doc.node(instance.doc.root()).label);
-    index.Sync();
+    index.Publish();
     for (int i = 0; i < 10; ++i) {
       Path p = paths.Next();
       std::vector<NodeId> naive = Evaluate(p, instance.doc);
       EvaluatorOptions opt;
       opt.use_structural_index = true;
-      opt.index = &index;
+      opt.index = index.current();
       std::vector<NodeId> structural = Evaluate(p, instance.doc, opt);
       ASSERT_EQ(naive, structural)
           << "post-update seed " << seed << " path " << ToString(p);

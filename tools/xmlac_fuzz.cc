@@ -18,6 +18,7 @@
 //
 //   xmlac_fuzz --rounds 100 --seed 7
 //   xmlac_fuzz --mode serve --time-budget-s 60
+//   xmlac_fuzz --mode serve --torn-epochs           # reader-held snapshots
 //   xmlac_fuzz --mode serve --crash-after -1        # crash-recovery rounds
 //   xmlac_fuzz --inject-bug flip-cr --rounds 50     # must fail + shrink
 //   xmlac_fuzz --inject-bug stale-cache --rounds 50 # ditto, cache staleness
@@ -61,6 +62,10 @@ struct FuzzOptions {
   // (testing/serve_fuzz.h).  -1 = randomized crash point per round;
   // INT_MIN = disabled.
   int crash_after = INT_MIN;
+  // Torn-epoch reads (serve mode only): force index-version publication
+  // between a reader's snapshot capture and its traversal
+  // (ServeFuzzOptions::torn_epochs).
+  bool torn_epochs = false;
 };
 
 int Usage(const char* argv0) {
@@ -83,6 +88,10 @@ int Usage(const char* argv0) {
       "  --crash-after N       (serve mode) crash-recovery rounds: kill the\n"
       "                        durable server after N WAL records, recover,\n"
       "                        check equivalence; -1 = random crash point\n"
+      "  --torn-epochs         (serve mode) every other read holds its\n"
+      "                        snapshot across a forced publication before\n"
+      "                        traversing it, then diffs against the oracle\n"
+      "                        at the pinned epoch\n"
       "  --doc-nodes N         instance document budget (default 90)\n"
       "  --rules N             max rules per instance (default 6)\n"
       "  --updates N           max updates per instance (default 3)\n"
@@ -192,6 +201,7 @@ int main(int argc, char** argv) {
     else if (arg == "--updates") opt.updates = std::atoi(next(arg.c_str()));
     else if (arg == "--element-types") opt.element_types = std::atoi(next(arg.c_str()));
     else if (arg == "--crash-after") opt.crash_after = std::atoi(next(arg.c_str()));
+    else if (arg == "--torn-epochs") opt.torn_epochs = true;
     else if (arg == "--quiet") opt.quiet = true;
     else return Usage(argv[0]);
   }
@@ -289,6 +299,7 @@ int main(int argc, char** argv) {
       serve_options.instance.max_rules = opt.rules;
       serve_options.instance.element_types = opt.element_types;
       serve_options.update_ops = std::max(opt.updates, 4);
+      serve_options.torn_epochs = opt.torn_epochs;
       // On failure the run's flight recorder lands next to the repro
       // artifacts: the tail-sampled traces show what the pool threads were
       // doing around the mismatching epoch.
